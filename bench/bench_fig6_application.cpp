@@ -1,0 +1,153 @@
+// Figure 6: application-level MrBayes-style speedups.
+//
+// Paper setup: MrBayes 3.2.6 on the dual-Xeon system, 4 Metropolis-coupled
+// chains; nucleotide dataset (16 taxa, 306,780 unique patterns) and codon
+// dataset (15 taxa, 6,080 unique patterns); single and double precision;
+// all speedups relative to MrBayes-MPI (native SSE) in double precision.
+// Paper shape: every library implementation beats the native baseline;
+// codon speedups are much larger than nucleotide (up to 39x on the CPU
+// OpenCL-x86 path, 47x on the GPU); single precision adds ~2x for the
+// native code and less for the library paths.
+//
+// Substitutions here (see DESIGN.md): MrBayes -> our mc3 engine; MPI ->
+// per-chain evaluators stepped at a generation barrier (run serially so
+// the 2-core host measures evaluator cost, not scheduler contention);
+// datasets -> simulated with matched taxon counts and scaled-down pattern
+// counts; GPU rows -> wall time with the measured likelihood seconds
+// replaced by roofline-modeled seconds.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "mc3/mc3.h"
+#include "perfmodel/device_profiles.h"
+#include "phylo/seqsim.h"
+
+namespace {
+
+using namespace bgl;
+
+struct Workload {
+  const char* name;
+  PatternSet data;
+  std::unique_ptr<SubstitutionModel> model;
+  int generations;
+  int chains;
+};
+
+Workload makeNucleotideWorkload() {
+  Workload w;
+  w.name = "nucleotide (16 taxa, scaled from 306,780 patterns)";
+  Rng rng(1001);
+  auto tree = phylo::Tree::random(16, rng, 0.08);
+  w.model = std::make_unique<HKY85Model>(
+      2.5, std::vector<double>{0.3, 0.25, 0.2, 0.25});
+  w.data = phylo::simulatePatterns(tree, *w.model, 6000, rng);
+  w.generations = 30;
+  w.chains = 4;
+  return w;
+}
+
+Workload makeCodonWorkload() {
+  Workload w;
+  w.name = "codon (15 taxa, scaled from 6,080 patterns)";
+  Rng rng(1002);
+  auto tree = phylo::Tree::random(15, rng, 0.06);
+  w.model = std::make_unique<GY94CodonModel>(GY94CodonModel::equalFrequencies(2.0, 0.3));
+  w.data = phylo::simulatePatterns(tree, *w.model, 3000, rng);
+  w.generations = 6;
+  w.chains = 2;
+  return w;
+}
+
+struct RowSpec {
+  const char* label;
+  bool native;      // native evaluator (the MrBayes stand-in)
+  long flags;       // library flags for BglEvaluator rows
+  int resource;
+  bool modeled;     // substitute modeled likelihood seconds
+};
+
+double runSeconds(const Workload& w, const RowSpec& row, bool singlePrecision) {
+  mc3::Mc3Options opts;
+  opts.chains = w.chains;
+  opts.generations = w.generations;
+  opts.swapInterval = 5;
+  opts.seed = 99;
+  opts.parallelChains = false;  // isolate evaluator cost on this 2-core host
+
+  mc3::EvaluatorFactory factory;
+  if (row.native) {
+    factory = mc3::makeNativeFactory(singlePrecision);
+  } else {
+    phylo::LikelihoodOptions lo;
+    lo.categories = 4;
+    lo.useScaling = w.model->states() > 4;
+    lo.requirementFlags =
+        row.flags | (singlePrecision ? BGL_FLAG_PRECISION_SINGLE
+                                     : BGL_FLAG_PRECISION_DOUBLE);
+    lo.resources = {row.resource};
+    factory = mc3::makeBglFactory(lo);
+  }
+
+  mc3::Mc3Sampler sampler(w.data, *w.model, opts, factory);
+  const auto result = sampler.run();
+  double seconds = result.seconds;
+  if (row.modeled) {
+    seconds = result.seconds - result.likelihoodMeasuredSeconds +
+              result.likelihoodModeledSeconds;
+  }
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader("Figure 6: application-level (MrBayes-style) speedups",
+                     "Ayres & Cummings 2017, Fig. 6 (Section VIII-C)");
+  bench::printNote(
+      "MC3 Bayesian engine, per-chain evaluators; speedups relative to the "
+      "native (MrBayes-stand-in) double-precision baseline; scaled-down "
+      "synthetic datasets (see DESIGN.md)");
+
+  const RowSpec rows[] = {
+      {"native SSE-class (MrBayes-MPI stand-in)", true, 0, 0, false},
+      {"C++ threads: Host CPU (measured)", false, BGL_FLAG_THREADING_THREAD_POOL,
+       0, false},
+      {"OpenCL-x86: Host CPU (measured)", false,
+       BGL_FLAG_FRAMEWORK_OPENCL | BGL_FLAG_KERNEL_X86_STYLE, 0, false},
+      {"OpenCL-x86: 2x E5-2680v4 (modeled)", false,
+       BGL_FLAG_FRAMEWORK_OPENCL | BGL_FLAG_KERNEL_X86_STYLE, perf::kDualXeonE5,
+       true},
+      {"C++ threads-class: Xeon Phi 7210 (modeled)", false,
+       BGL_FLAG_FRAMEWORK_OPENCL | BGL_FLAG_KERNEL_X86_STYLE, perf::kXeonPhi7210,
+       true},
+      {"OpenCL-GPU: AMD FirePro S9170 (modeled)", false, BGL_FLAG_FRAMEWORK_OPENCL,
+       perf::kFireProS9170, true},
+  };
+
+  for (auto makeWorkload : {makeNucleotideWorkload, makeCodonWorkload}) {
+    const Workload w = makeWorkload();
+    std::printf("\n--- %s: %d unique patterns, %d chains, %d generations ---\n",
+                w.name, w.data.patterns, w.chains, w.generations);
+
+    const double baseline = runSeconds(w, rows[0], /*singlePrecision=*/false);
+    std::printf("%-46s %10s %10s %10s %10s\n", "implementation", "dbl (s)",
+                "dbl spdup", "sgl (s)", "sgl spdup");
+    for (const RowSpec& row : rows) {
+      std::fflush(stdout);
+      const double dbl =
+          (&row == rows) ? baseline : runSeconds(w, row, /*singlePrecision=*/false);
+      const double sgl = runSeconds(w, row, /*singlePrecision=*/true);
+      std::printf("%-46s %10.2f %9.2fx %10.2f %9.2fx\n", row.label, dbl,
+                  baseline / dbl, sgl, baseline / sgl);
+    }
+  }
+
+  std::printf(
+      "\npaper (relative to MrBayes-MPI double): nucleotide up to ~8x "
+      "(OpenCL-GPU), CPU paths ~5x; codon up to 47x (GPU) / 39x "
+      "(OpenCL-x86 on dual Xeon) / 27x (C++ threads); Xeon Phi modest "
+      "(1.7-5.5x); single precision roughly doubles the native baseline\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared output helpers for the reproduction benchmarks. Each bench binary
+// regenerates one table or figure of the paper and prints the paper's
+// reported values alongside for comparison (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bgl::bench {
+
+inline void printHeader(const std::string& title, const std::string& paperRef) {
+  std::printf("\n=============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paperRef.c_str());
+  std::printf("=============================================================\n");
+}
+
+inline void printNote(const std::string& note) {
+  std::printf("note: %s\n", note.c_str());
+}
+
+/// Geometric label for throughput columns.
+inline std::string fmt(double v, int width = 9, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%*.*f", width, precision, v);
+  return buf;
+}
+
+}  // namespace bgl::bench

@@ -1,0 +1,57 @@
+// Bayesian phylogenetic inference with Metropolis-coupled MCMC — the
+// application workload of the paper's Fig. 6, runnable end to end: simulate
+// data on a true tree, run 4 heated chains backed by the library, and
+// report the posterior trace, acceptance statistics and the MAP tree.
+#include <cstdio>
+
+#include "core/model.h"
+#include "mc3/mc3.h"
+#include "phylo/seqsim.h"
+
+int main() {
+  using namespace bgl;
+
+  Rng rng(7);
+  const phylo::Tree truth = phylo::Tree::random(8, rng, 0.1);
+  const HKY85Model model(2.0, {0.3, 0.25, 0.2, 0.25});
+  const auto data = phylo::simulatePatterns(truth, model, 1500, rng);
+  std::printf("true tree: %s\n", truth.toNewick().c_str());
+  std::printf("%d sites -> %d unique patterns\n\n", data.originalSites,
+              data.patterns);
+
+  mc3::Mc3Options opts;
+  opts.chains = 4;
+  opts.generations = 400;
+  opts.swapInterval = 10;
+  opts.heatDelta = 0.15;
+  opts.seed = 99;
+  opts.parallelChains = true;  // MrBayes-MPI-style chain-level concurrency
+
+  phylo::LikelihoodOptions lo;
+  lo.categories = 4;
+  lo.requirementFlags = BGL_FLAG_THREADING_THREAD_POOL;
+  mc3::Mc3Sampler sampler(data, model, opts, mc3::makeBglFactory(lo));
+
+  const auto result = sampler.run();
+  std::printf("evaluator: %s\n", result.evaluatorName.c_str());
+  std::printf("wall time: %.2f s for %d generations x %d chains\n", result.seconds,
+              opts.generations, opts.chains);
+  std::printf("moves accepted: %ld / %ld (%.1f%%)\n", result.accepted,
+              result.proposed, 100.0 * result.accepted / result.proposed);
+  std::printf("chain swaps:    %ld / %ld\n", result.swapsAccepted,
+              result.swapsProposed);
+
+  std::printf("\ncold-chain logL trace (every 50 generations):\n");
+  for (std::size_t g = 0; g < result.coldTrace.size(); g += 50) {
+    std::printf("  gen %4zu: %12.4f\n", g, result.coldTrace[g]);
+  }
+  std::printf("  final:    %12.4f\n", result.coldLogL);
+  std::printf("\nbest logL: %.4f\nMAP tree: %s\n", result.bestLogL,
+              result.mapTree.toNewick().c_str());
+
+  // Sanity: the chain should have improved dramatically from its random
+  // start toward the likelihood of the generating tree.
+  const bool improved = result.coldLogL > result.coldTrace.front() + 10.0;
+  std::printf("\nchain improved from random start: %s\n", improved ? "yes" : "NO");
+  return improved ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Detecting positive selection with a codon model.
+//
+// The dN/dS ratio (omega) of the GY94 codon model measures selective
+// pressure: omega < 1 purifying selection, omega = 1 neutral evolution,
+// omega > 1 positive selection. This example simulates a protein-coding
+// alignment under a known omega and recovers it by maximum likelihood
+// (golden-section search over omega), the codon-model workload that gives
+// the paper its largest accelerator speedups (61-state partials).
+#include <cmath>
+#include <cstdio>
+
+#include "core/model.h"
+#include "phylo/likelihood.h"
+#include "phylo/seqsim.h"
+
+namespace {
+
+using namespace bgl;
+
+double logLikelihoodAtOmega(const phylo::Tree& tree, const PatternSet& data,
+                            double omega) {
+  const GY94CodonModel model = GY94CodonModel::equalFrequencies(2.0, omega);
+  phylo::LikelihoodOptions opts;
+  opts.categories = 1;
+  opts.useScaling = true;  // 61-state partials underflow without rescaling
+  phylo::TreeLikelihood like(tree, model, data, opts);
+  return like.logLikelihood();
+}
+
+}  // namespace
+
+int main() {
+  const double kTrueOmega = 0.35;
+
+  Rng rng(613);
+  phylo::Tree tree = phylo::Tree::random(8, rng, 0.08);
+  const GY94CodonModel truth = GY94CodonModel::equalFrequencies(2.0, kTrueOmega);
+  const auto data = phylo::simulatePatterns(tree, truth, 800, rng);
+  std::printf("simulated %d codon sites (-> %d unique patterns) at omega=%.2f\n\n",
+              data.originalSites, data.patterns, kTrueOmega);
+
+  // Profile the likelihood over omega.
+  std::printf("%8s %14s\n", "omega", "logL");
+  for (double w : {0.05, 0.2, 0.35, 0.6, 1.0, 2.0}) {
+    std::printf("%8.2f %14.4f\n", w, logLikelihoodAtOmega(tree, data, w));
+  }
+
+  // Golden-section search for the ML omega.
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = 0.02, b = 3.0;
+  double c = b - phi * (b - a);
+  double d = a + phi * (b - a);
+  double fc = logLikelihoodAtOmega(tree, data, c);
+  double fd = logLikelihoodAtOmega(tree, data, d);
+  for (int iter = 0; iter < 40 && (b - a) > 1e-3; ++iter) {
+    if (fc > fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = logLikelihoodAtOmega(tree, data, c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = logLikelihoodAtOmega(tree, data, d);
+    }
+  }
+  const double mlOmega = (a + b) / 2.0;
+  std::printf("\nML estimate of omega: %.4f (simulated with %.2f)\n", mlOmega,
+              kTrueOmega);
+  std::printf("interpretation: omega %s 1 => %s selection\n",
+              mlOmega < 1.0 ? "<" : ">",
+              mlOmega < 1.0 ? "purifying" : "positive");
+
+  const bool recovered = std::abs(mlOmega - kTrueOmega) < 0.15;
+  std::printf("recovered within +/-0.15: %s\n", recovered ? "yes" : "NO");
+  return recovered ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Maximum-likelihood branch-length optimization with analytic derivatives.
+//
+// The library computes first and second derivatives of the log-likelihood
+// with respect to an edge length (bglCalculateEdgeLogLikelihoods), which
+// ML programs such as GARLI and PhyML use for Newton-Raphson branch
+// optimization. This example simulates data on a known tree, perturbs the
+// root branch, and recovers the ML length by Newton iteration — then
+// verifies the optimum against a grid scan.
+#include <cmath>
+#include <cstdio>
+
+#include "core/model.h"
+#include "phylo/likelihood.h"
+#include "phylo/seqsim.h"
+
+int main() {
+  using namespace bgl;
+
+  Rng rng(2024);
+  phylo::Tree tree = phylo::Tree::random(10, rng, 0.12);
+  const HKY85Model model(2.5, {0.3, 0.25, 0.2, 0.25});
+  const auto data = phylo::simulatePatterns(tree, model, 2000, rng);
+  std::printf("simulated %d sites -> %d unique patterns on %d taxa\n",
+              data.originalSites, data.patterns, data.taxa);
+
+  phylo::LikelihoodOptions opts;
+  opts.categories = 4;
+  phylo::TreeLikelihood like(tree, model, data, opts);
+  std::printf("implementation: %s\n", like.implName().c_str());
+  std::printf("logL at simulation tree: %.4f\n\n", like.logLikelihood());
+
+  // The "root branch": the path between the two root children. Its true
+  // length is the sum of the two child branch lengths.
+  const auto& t = like.tree();
+  const double truth = t.node(t.node(t.root()).left).length +
+                       t.node(t.node(t.root()).right).length;
+
+  // Newton-Raphson from a deliberately bad start.
+  double x = 1.5;
+  std::printf("Newton-Raphson on the root branch (truth: %.5f)\n", truth);
+  std::printf("%4s %12s %14s %14s\n", "iter", "t", "logL", "dlogL/dt");
+  for (int iter = 0; iter < 20; ++iter) {
+    double d1 = 0.0, d2 = 0.0;
+    const double f = like.rootEdgeLogLikelihood(x, &d1, &d2);
+    std::printf("%4d %12.6f %14.6f %14.6f\n", iter, x, f, d1);
+    if (std::abs(d1) < 1e-8) break;
+    double step = (d2 < 0.0) ? d1 / d2 : -d1;  // fall back to gradient ascent
+    if (x - step <= 0.0) step = x / 2.0;       // stay in the feasible region
+    x -= step;
+    if (std::abs(step) < 1e-10) break;
+  }
+  std::printf("\nML estimate: %.6f (truth %.6f)\n", x, truth);
+
+  // Independent check: coarse grid scan around the optimum.
+  double bestT = 0.0, bestL = -1e300;
+  for (double g = 0.2 * x; g <= 3.0 * x; g += 0.02 * x) {
+    const double f = like.rootEdgeLogLikelihood(g, nullptr, nullptr);
+    if (f > bestL) {
+      bestL = f;
+      bestT = g;
+    }
+  }
+  std::printf("grid-scan optimum: %.6f (logL %.6f)\n", bestT, bestL);
+  const double newtonL = like.rootEdgeLogLikelihood(x, nullptr, nullptr);
+  std::printf("Newton logL %.6f %s grid optimum\n", newtonL,
+              newtonL >= bestL - 1e-6 ? ">= (confirmed)" : "< (PROBLEM)");
+  return newtonL >= bestL - 1e-6 ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Demonstration plugin: registers an extra CPU implementation through the
+// runtime plugin interface (Section IV-C). The implementation itself is a
+// thin wrapper over the header-only serial CPU engine, distinguishable by
+// name and by supporting the BGL_FLAG_COMPUTATION_ASYNCH capability no
+// built-in factory claims — which is how the plugin test selects it.
+#include <memory>
+
+#include "api/plugin.h"
+#include "cpu/cpu_impl.h"
+
+namespace {
+
+using namespace bgl;
+
+class PluginImpl final : public cpu::CpuImpl<double> {
+ public:
+  using cpu::CpuImpl<double>::CpuImpl;
+  std::string implName() const override { return "plugin-demo-serial"; }
+};
+
+class PluginFactory final : public ImplementationFactory {
+ public:
+  std::string name() const override { return "Plugin-demo"; }
+  int priority() const override { return 1; }  // never wins by default
+
+  long supportFlags(int /*resource*/) const override {
+    return BGL_FLAG_PRECISION_DOUBLE | BGL_FLAG_PRECISION_SINGLE |
+           BGL_FLAG_COMPUTATION_ASYNCH |  // unique capability marker
+           BGL_FLAG_COMPUTATION_SYNCH | BGL_FLAG_PROCESSOR_CPU |
+           BGL_FLAG_FRAMEWORK_CPU | BGL_FLAG_VECTOR_NONE | BGL_FLAG_THREADING_NONE |
+           BGL_FLAG_SCALING_MANUAL | BGL_FLAG_SCALING_ALWAYS;
+  }
+
+  bool servesResource(int resource) const override { return resource == 0; }
+
+  std::unique_ptr<Implementation> create(const InstanceConfig& cfg) override {
+    if (cfg.flags & BGL_FLAG_PRECISION_SINGLE) return nullptr;  // double only
+    return std::make_unique<PluginImpl>(cfg);
+  }
+};
+
+}  // namespace
+
+extern "C" int bglPluginRegister(bgl::PluginHost* host) {
+  host->addFactory(std::make_unique<PluginFactory>());
+  return 1;
+}

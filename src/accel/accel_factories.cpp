@@ -1,0 +1,85 @@
+#include "accel/accel_factories.h"
+
+#include "accel/accel_impl.h"
+#include "clsim/cl_runtime.h"
+#include "cudasim/cuda_device.h"
+#include "perfmodel/device_profiles.h"
+
+namespace bgl::accel {
+namespace {
+
+long resourceProcessorFlag(int resource) {
+  switch (perf::deviceRegistry().at(resource).deviceClass) {
+    case perf::DeviceClass::Gpu: return BGL_FLAG_PROCESSOR_GPU;
+    case perf::DeviceClass::ManyCore: return BGL_FLAG_PROCESSOR_PHI;
+    default: return BGL_FLAG_PROCESSOR_CPU;
+  }
+}
+
+constexpr long kCommonFlags =
+    BGL_FLAG_PRECISION_SINGLE | BGL_FLAG_PRECISION_DOUBLE |
+    BGL_FLAG_COMPUTATION_SYNCH | BGL_FLAG_SCALING_MANUAL | BGL_FLAG_SCALING_ALWAYS |
+    BGL_FLAG_KERNEL_GPU_STYLE | BGL_FLAG_KERNEL_X86_STYLE | BGL_FLAG_FMA_OFF;
+
+class CudaFactory final : public ImplementationFactory {
+ public:
+  std::string name() const override { return "Accel-CUDA"; }
+  int priority() const override { return 40; }  // prefer CUDA on NVIDIA
+
+  long supportFlags(int resource) const override {
+    return kCommonFlags | BGL_FLAG_FRAMEWORK_CUDA | resourceProcessorFlag(resource);
+  }
+
+  bool servesResource(int resource) const override {
+    for (int r : cudasim::visibleDeviceProfiles()) {
+      if (r == resource) return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<Implementation> create(const InstanceConfig& cfg) override {
+    if (!servesResource(cfg.resource)) return nullptr;
+    auto device = cudasim::createDevice(cfg.resource);
+    if (cfg.flags & BGL_FLAG_PRECISION_SINGLE) {
+      return std::make_unique<AccelImpl<float>>(cfg, std::move(device));
+    }
+    return std::make_unique<AccelImpl<double>>(cfg, std::move(device));
+  }
+};
+
+class OpenClFactory final : public ImplementationFactory {
+ public:
+  std::string name() const override { return "Accel-OpenCL"; }
+  int priority() const override { return 35; }
+
+  long supportFlags(int resource) const override {
+    return kCommonFlags | BGL_FLAG_FRAMEWORK_OPENCL | resourceProcessorFlag(resource);
+  }
+
+  bool servesResource(int resource) const override {
+    for (const auto& p : clsim::platforms()) {
+      for (int r : p.deviceProfiles) {
+        if (r == resource) return true;
+      }
+    }
+    return false;
+  }
+
+  std::unique_ptr<Implementation> create(const InstanceConfig& cfg) override {
+    if (!servesResource(cfg.resource)) return nullptr;
+    auto device = clsim::createDeviceByProfile(cfg.resource);
+    if (cfg.flags & BGL_FLAG_PRECISION_SINGLE) {
+      return std::make_unique<AccelImpl<float>>(cfg, std::move(device));
+    }
+    return std::make_unique<AccelImpl<double>>(cfg, std::move(device));
+  }
+};
+
+}  // namespace
+
+void appendAccelFactories(std::vector<std::unique_ptr<ImplementationFactory>>& out) {
+  out.push_back(std::make_unique<CudaFactory>());
+  out.push_back(std::make_unique<OpenClFactory>());
+}
+
+}  // namespace bgl::accel

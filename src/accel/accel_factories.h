@@ -1,0 +1,14 @@
+// Factories for the accelerator-model implementations (CUDA and OpenCL
+// framework runtimes over the shared kernel set).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "api/implementation.h"
+
+namespace bgl::accel {
+
+void appendAccelFactories(std::vector<std::unique_ptr<ImplementationFactory>>& out);
+
+}  // namespace bgl::accel

@@ -1,0 +1,824 @@
+// The framework-independent accelerator implementation (Fig. 3's
+// "accelerator model"). It speaks only to the HAL Device interface, so the
+// identical code drives the CUDA-style and OpenCL-style runtimes; all
+// framework- and hardware-specific behaviour lives below the interface.
+//
+// Minimizing host<->device traffic shapes this class, as it shaped BEAGLE:
+// transition matrices, partials, scaling, root/edge integration and the
+// final site-likelihood reduction all execute on the device; only scalar
+// results and explicitly requested buffers cross back.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "api/implementation.h"
+#include "hal/hal.h"
+#include "kernels/kernels.h"
+#include "kernels/workload.h"
+
+namespace bgl::accel {
+
+template <RealScalar Real>
+class AccelImpl : public Implementation {
+ public:
+  AccelImpl(const InstanceConfig& cfg, hal::DevicePtr device)
+      : device_(std::move(device)) {
+    config_ = cfg;
+    variant_ = (cfg.flags & BGL_FLAG_KERNEL_X86_STYLE)
+                   ? hal::KernelVariant::X86Style
+                   : (cfg.flags & BGL_FLAG_KERNEL_GPU_STYLE)
+                         ? hal::KernelVariant::GpuStyle
+                         : defaultVariant();
+    useFma_ = (cfg.flags & BGL_FLAG_FMA_OFF) == 0 && device_->profile().fastFma;
+
+    const auto& c = config_;
+    partials_.resize(c.bufferCount());
+    tipStates_.resize(c.bufferCount());
+
+    // One allocation per buffer family, addressed through sub-regions —
+    // pointer arithmetic under CUDA, sub-buffer objects under OpenCL.
+    matrixStride_ = alignUp(matrixSize() * sizeof(Real));
+    matrixAlloc_ = device_->alloc(matrixStride_ * c.matrixBufferCount);
+    matrices_.reserve(c.matrixBufferCount);
+    for (int i = 0; i < c.matrixBufferCount; ++i) {
+      matrices_.push_back(
+          device_->subBuffer(matrixAlloc_, matrixStride_ * i, matrixSize() * sizeof(Real)));
+    }
+
+    if (c.scaleBufferCount > 0) {
+      scaleStride_ = alignUp(static_cast<std::size_t>(c.patternCount) * sizeof(Real));
+      scaleAlloc_ = device_->alloc(scaleStride_ * c.scaleBufferCount);
+      scale_.reserve(c.scaleBufferCount);
+      for (int i = 0; i < c.scaleBufferCount; ++i) {
+        scale_.push_back(device_->subBuffer(
+            scaleAlloc_, scaleStride_ * i,
+            static_cast<std::size_t>(c.patternCount) * sizeof(Real)));
+        zeroBuffer(*scale_.back());
+      }
+    }
+
+    cijk_.resize(c.eigenBufferCount);
+    eval_.resize(c.eigenBufferCount);
+    freqs_.resize(c.eigenBufferCount);
+    weights_.resize(c.eigenBufferCount);
+    for (int i = 0; i < c.eigenBufferCount; ++i) {
+      freqs_[i] = device_->alloc(static_cast<std::size_t>(c.stateCount) * sizeof(Real));
+      weights_[i] = device_->alloc(static_cast<std::size_t>(c.categoryCount) * sizeof(Real));
+    }
+    rates_ = device_->alloc(static_cast<std::size_t>(c.categoryCount) * sizeof(Real));
+    {
+      std::vector<Real> ones(c.categoryCount, Real(1));
+      device_->copyToDevice(*rates_, 0, ones.data(), ones.size() * sizeof(Real));
+    }
+    patternWeights_ = device_->alloc(static_cast<std::size_t>(c.patternCount) * sizeof(Real));
+    {
+      std::vector<Real> ones(c.patternCount, Real(1));
+      device_->copyToDevice(*patternWeights_, 0, ones.data(), ones.size() * sizeof(Real));
+    }
+    siteLogL_ = device_->alloc(static_cast<std::size_t>(c.patternCount) * sizeof(Real));
+    siteD1_ = device_->alloc(static_cast<std::size_t>(c.patternCount) * sizeof(Real));
+    siteD2_ = device_->alloc(static_cast<std::size_t>(c.patternCount) * sizeof(Real));
+    result_ = device_->alloc(sizeof(double));
+  }
+
+  std::string implName() const override {
+    return device_->frameworkName() + "-" +
+           (variant_ == hal::KernelVariant::X86Style ? "x86" : "GPU") + ":" +
+           device_->profile().name;
+  }
+
+  hal::Device& device() { return *device_; }
+
+  // ------------------------------------------------------------------
+
+  int setTipStates(int tipIndex, const int* inStates) override {
+    if (tipIndex < 0 || tipIndex >= config_.tipCount) return BGL_ERROR_OUT_OF_RANGE;
+    auto& buf = tipStates_[tipIndex];
+    if (buf == nullptr) {
+      if (compactUsed_ >= config_.compactBufferCount) return BGL_ERROR_OUT_OF_RANGE;
+      ++compactUsed_;
+      buf = device_->alloc(static_cast<std::size_t>(config_.patternCount) *
+                           sizeof(std::int32_t));
+    }
+    std::vector<std::int32_t> staged(config_.patternCount);
+    for (int k = 0; k < config_.patternCount; ++k) {
+      const int s = inStates[k];
+      staged[k] = (s < 0 || s >= config_.stateCount) ? config_.stateCount : s;
+    }
+    device_->copyToDevice(*buf, 0, staged.data(), staged.size() * sizeof(std::int32_t));
+    return BGL_SUCCESS;
+  }
+
+  int setTipPartials(int tipIndex, const double* inPartials) override {
+    if (tipIndex < 0 || tipIndex >= config_.tipCount) return BGL_ERROR_OUT_OF_RANGE;
+    ensurePartials(tipIndex);
+    const int p = config_.patternCount;
+    const int s = config_.stateCount;
+    std::vector<Real> staged(partialsSize());
+    for (int c = 0; c < config_.categoryCount; ++c) {
+      Real* plane = staged.data() + static_cast<std::size_t>(c) * p * s;
+      for (std::size_t i = 0; i < static_cast<std::size_t>(p) * s; ++i) {
+        plane[i] = static_cast<Real>(inPartials[i]);
+      }
+    }
+    device_->copyToDevice(*partials_[tipIndex], 0, staged.data(),
+                          staged.size() * sizeof(Real));
+    return BGL_SUCCESS;
+  }
+
+  int setPartials(int bufferIndex, const double* inPartials) override {
+    if (bufferIndex < 0 || bufferIndex >= config_.bufferCount()) {
+      return BGL_ERROR_OUT_OF_RANGE;
+    }
+    ensurePartials(bufferIndex);
+    std::vector<Real> staged(partialsSize());
+    for (std::size_t i = 0; i < staged.size(); ++i) {
+      staged[i] = static_cast<Real>(inPartials[i]);
+    }
+    device_->copyToDevice(*partials_[bufferIndex], 0, staged.data(),
+                          staged.size() * sizeof(Real));
+    return BGL_SUCCESS;
+  }
+
+  int getPartials(int bufferIndex, double* outPartials) override {
+    if (bufferIndex < 0 || bufferIndex >= config_.bufferCount() ||
+        partials_[bufferIndex] == nullptr) {
+      return BGL_ERROR_OUT_OF_RANGE;
+    }
+    std::vector<Real> staged(partialsSize());
+    device_->copyToHost(staged.data(), *partials_[bufferIndex], 0,
+                        staged.size() * sizeof(Real));
+    for (std::size_t i = 0; i < staged.size(); ++i) {
+      outPartials[i] = static_cast<double>(staged[i]);
+    }
+    return BGL_SUCCESS;
+  }
+
+  int setStateFrequencies(int index, const double* inFreqs) override {
+    if (index < 0 || index >= config_.eigenBufferCount) return BGL_ERROR_OUT_OF_RANGE;
+    copyConverted(*freqs_[index], inFreqs, config_.stateCount);
+    return BGL_SUCCESS;
+  }
+
+  int setCategoryWeights(int index, const double* inWeights) override {
+    if (index < 0 || index >= config_.eigenBufferCount) return BGL_ERROR_OUT_OF_RANGE;
+    copyConverted(*weights_[index], inWeights, config_.categoryCount);
+    return BGL_SUCCESS;
+  }
+
+  int setCategoryRates(const double* inRates) override {
+    copyConverted(*rates_, inRates, config_.categoryCount);
+    return BGL_SUCCESS;
+  }
+
+  int setPatternWeights(const double* inWeights) override {
+    copyConverted(*patternWeights_, inWeights, config_.patternCount);
+    return BGL_SUCCESS;
+  }
+
+  int setEigenDecomposition(int eigenIndex, const double* evec, const double* ivec,
+                            const double* eval) override {
+    if (eigenIndex < 0 || eigenIndex >= config_.eigenBufferCount) {
+      return BGL_ERROR_OUT_OF_RANGE;
+    }
+    const int s = config_.stateCount;
+    std::vector<Real> cijk(static_cast<std::size_t>(s) * s * s);
+    for (int i = 0; i < s; ++i) {
+      for (int j = 0; j < s; ++j) {
+        Real* out = cijk.data() + (static_cast<std::size_t>(i) * s + j) * s;
+        for (int k = 0; k < s; ++k) {
+          out[k] = static_cast<Real>(evec[static_cast<std::size_t>(i) * s + k] *
+                                     ivec[static_cast<std::size_t>(k) * s + j]);
+        }
+      }
+    }
+    if (cijk_[eigenIndex] == nullptr) {
+      cijk_[eigenIndex] = device_->alloc(cijk.size() * sizeof(Real));
+      eval_[eigenIndex] = device_->alloc(static_cast<std::size_t>(s) * sizeof(Real));
+    }
+    device_->copyToDevice(*cijk_[eigenIndex], 0, cijk.data(), cijk.size() * sizeof(Real));
+    copyConverted(*eval_[eigenIndex], eval, s);
+    return BGL_SUCCESS;
+  }
+
+  int updateTransitionMatrices(int eigenIndex, const int* probIndices,
+                               const int* d1Indices, const int* d2Indices,
+                               const double* edgeLengths, int count) override {
+    if (eigenIndex < 0 || eigenIndex >= config_.eigenBufferCount ||
+        cijk_[eigenIndex] == nullptr) {
+      return BGL_ERROR_OUT_OF_RANGE;
+    }
+    if ((d1Indices == nullptr) != (d2Indices == nullptr)) {
+      return BGL_ERROR_UNIMPLEMENTED;
+    }
+    const bool derivs = d1Indices != nullptr;
+    const int s = config_.stateCount;
+    const int c = config_.categoryCount;
+
+    hal::KernelSpec spec;
+    spec.id = derivs ? hal::KernelId::TransitionMatricesDerivs
+                     : hal::KernelId::TransitionMatrices;
+    spec.states = s;
+    spec.singlePrecision = std::is_same_v<Real, float>;
+    spec.variant = variant_;
+    spec.useFma = useFma_;
+    hal::Kernel* kernel = device_->getKernel(spec);
+
+    if (!derivs) {
+      // Batched path: ONE launch computes all edges' matrices. One launch
+      // per edge would make launch overhead dominate whole-tree updates on
+      // high-overhead devices.
+      for (int e = 0; e < count; ++e) {
+        if (probIndices[e] < 0 || probIndices[e] >= config_.matrixBufferCount) {
+          return BGL_ERROR_OUT_OF_RANGE;
+        }
+      }
+      if (edgeScratch_ == nullptr) {
+        edgeScratch_ = device_->alloc(
+            static_cast<std::size_t>(config_.matrixBufferCount) * sizeof(Real));
+        indexScratch_ = device_->alloc(
+            static_cast<std::size_t>(config_.matrixBufferCount) * sizeof(std::int32_t));
+      }
+      std::vector<Real> lengths(count);
+      std::vector<std::int32_t> indices(count);
+      for (int e = 0; e < count; ++e) {
+        lengths[e] = static_cast<Real>(edgeLengths[e]);
+        indices[e] = probIndices[e];
+      }
+      device_->copyToDevice(*edgeScratch_, 0, lengths.data(),
+                            lengths.size() * sizeof(Real));
+      device_->copyToDevice(*indexScratch_, 0, indices.data(),
+                            indices.size() * sizeof(std::int32_t));
+
+      hal::KernelArgs args;
+      args.buffers[0] = matrixAlloc_->data();
+      args.buffers[1] = cijk_[eigenIndex]->data();
+      args.buffers[2] = eval_[eigenIndex]->data();
+      args.buffers[3] = rates_->data();
+      args.buffers[6] = edgeScratch_->data();
+      args.buffers[7] = indexScratch_->data();
+      args.ints[0] = c;
+      args.ints[1] = s;
+      args.ints[2] = count;
+      args.ints[3] = static_cast<std::int64_t>(matrixStride_ / sizeof(Real));
+
+      hal::LaunchDims dims;
+      dims.numGroups = count * c;
+      dims.groupSize = s * s;
+
+      perf::LaunchWork work;
+      work.flops = count * kernels::matrixFlops(c, s, false);
+      work.bytes = count * kernels::matrixBytes(c, s, sizeof(Real), false);
+      work.fmaFriendly = true;
+      work.doublePrecision = !spec.singlePrecision;
+      work.useFma = useFma_;
+      work.numGroups = dims.numGroups;
+      device_->launch(*kernel, dims, args, work);
+      return BGL_SUCCESS;
+    }
+
+    for (int e = 0; e < count; ++e) {
+      if (probIndices[e] < 0 || probIndices[e] >= config_.matrixBufferCount) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      hal::KernelArgs args;
+      args.buffers[0] = matrices_[probIndices[e]]->data();
+      args.buffers[1] = cijk_[eigenIndex]->data();
+      args.buffers[2] = eval_[eigenIndex]->data();
+      args.buffers[3] = rates_->data();
+      if (derivs) {
+        if (d1Indices[e] < 0 || d1Indices[e] >= config_.matrixBufferCount ||
+            d2Indices[e] < 0 || d2Indices[e] >= config_.matrixBufferCount) {
+          return BGL_ERROR_OUT_OF_RANGE;
+        }
+        args.buffers[4] = matrices_[d1Indices[e]]->data();
+        args.buffers[5] = matrices_[d2Indices[e]]->data();
+      }
+      args.ints[0] = c;
+      args.ints[1] = s;
+      args.reals[0] = edgeLengths[e];
+
+      hal::LaunchDims dims;
+      dims.numGroups = c;
+      dims.groupSize = s * s;
+
+      perf::LaunchWork work;
+      work.flops = kernels::matrixFlops(c, s, derivs);
+      work.bytes = kernels::matrixBytes(c, s, sizeof(Real), derivs);
+      work.fmaFriendly = true;
+      work.doublePrecision = !spec.singlePrecision;
+      work.useFma = useFma_;
+      device_->launch(*kernel, dims, args, work);
+    }
+    return BGL_SUCCESS;
+  }
+
+  int setTransitionMatrix(int matrixIndex, const double* inMatrix,
+                          double /*paddedValue*/) override {
+    if (matrixIndex < 0 || matrixIndex >= config_.matrixBufferCount) {
+      return BGL_ERROR_OUT_OF_RANGE;
+    }
+    copyConverted(*matrices_[matrixIndex], inMatrix, static_cast<int>(matrixSize()));
+    return BGL_SUCCESS;
+  }
+
+  int getTransitionMatrix(int matrixIndex, double* outMatrix) override {
+    if (matrixIndex < 0 || matrixIndex >= config_.matrixBufferCount) {
+      return BGL_ERROR_OUT_OF_RANGE;
+    }
+    std::vector<Real> staged(matrixSize());
+    device_->copyToHost(staged.data(), *matrices_[matrixIndex], 0,
+                        staged.size() * sizeof(Real));
+    for (std::size_t i = 0; i < staged.size(); ++i) {
+      outMatrix[i] = static_cast<double>(staged[i]);
+    }
+    return BGL_SUCCESS;
+  }
+
+  // ------------------------------------------------------------------
+
+  int updatePartials(const BglOperation* operations, int count,
+                     int cumulativeScaleIndex) override {
+    // SCALING_ALWAYS: see the flag's documentation — the library assigns
+    // per-operation scale buffers and maintains the final buffer as the
+    // cumulative one across each batch.
+    std::vector<BglOperation> rewritten;
+    if ((config_.flags & BGL_FLAG_SCALING_ALWAYS) && config_.scaleBufferCount > 0) {
+      rewritten.assign(operations, operations + count);
+      for (auto& op : rewritten) {
+        if (op.destinationScaleWrite == BGL_OP_NONE) {
+          op.destinationScaleWrite = op.destinationPartials - config_.tipCount;
+        }
+      }
+      operations = rewritten.data();
+      cumulativeScaleIndex = autoCumulativeIndex();
+      const int rc = resetScaleFactors(cumulativeScaleIndex);
+      if (rc != BGL_SUCCESS) return rc;
+    }
+    if (cumulativeScaleIndex != BGL_OP_NONE && !validScale(cumulativeScaleIndex)) {
+      return BGL_ERROR_OUT_OF_RANGE;
+    }
+    for (int i = 0; i < count; ++i) {
+      const int rc = executeOperation(operations[i], cumulativeScaleIndex);
+      if (rc != BGL_SUCCESS) return rc;
+    }
+    return BGL_SUCCESS;
+  }
+
+  int accumulateScaleFactors(const int* scaleIndices, int count,
+                             int cumulativeScaleIndex) override {
+    return scaleOp(scaleIndices, count, cumulativeScaleIndex, +1);
+  }
+
+  int removeScaleFactors(const int* scaleIndices, int count,
+                         int cumulativeScaleIndex) override {
+    return scaleOp(scaleIndices, count, cumulativeScaleIndex, -1);
+  }
+
+  int resetScaleFactors(int cumulativeScaleIndex) override {
+    if (!validScale(cumulativeScaleIndex)) return BGL_ERROR_OUT_OF_RANGE;
+    hal::KernelSpec spec = baseSpec(hal::KernelId::ResetScale);
+    hal::KernelArgs args;
+    args.buffers[0] = scale_[cumulativeScaleIndex]->data();
+    args.ints[0] = config_.patternCount;
+    device_->launch(*device_->getKernel(spec), {1, 1, 0}, args,
+                    scaleWork(/*buffers=*/1));
+    return BGL_SUCCESS;
+  }
+
+  int calculateRootLogLikelihoods(const int* bufferIndices, const int* weightIndices,
+                                  const int* freqIndices, const int* scaleIndices,
+                                  int count, double* outSumLogLikelihood) override {
+    double total = 0.0;
+    for (int n = 0; n < count; ++n) {
+      const int b = bufferIndices[n];
+      if (b < 0 || b >= config_.bufferCount() || partials_[b] == nullptr) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      if (!validEigenSlot(weightIndices[n]) || !validEigenSlot(freqIndices[n])) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      void* cum = nullptr;
+      if (scaleIndices != nullptr && scaleIndices[n] != BGL_OP_NONE) {
+        if (!validScale(scaleIndices[n])) return BGL_ERROR_OUT_OF_RANGE;
+        cum = scale_[scaleIndices[n]]->data();
+      } else if ((config_.flags & BGL_FLAG_SCALING_ALWAYS) &&
+                 config_.scaleBufferCount > 0) {
+        cum = scale_[autoCumulativeIndex()]->data();
+      }
+
+      hal::KernelSpec spec = baseSpec(hal::KernelId::RootLikelihood);
+      hal::KernelArgs args;
+      args.buffers[0] = partials_[b]->data();
+      args.buffers[1] = freqs_[freqIndices[n]]->data();
+      args.buffers[2] = weights_[weightIndices[n]]->data();
+      args.buffers[3] = siteLogL_->data();
+      args.buffers[4] = cum;
+      const int ppg = integratePpg();
+      args.ints[0] = config_.patternCount;
+      args.ints[1] = config_.categoryCount;
+      args.ints[2] = config_.stateCount;
+      args.ints[3] = ppg;
+
+      hal::LaunchDims dims;
+      dims.numGroups = (config_.patternCount + ppg - 1) / ppg;
+      dims.groupSize = ppg;
+
+      perf::LaunchWork work;
+      work.flops = kernels::rootFlops(config_.patternCount, config_.categoryCount,
+                                      config_.stateCount);
+      work.bytes = kernels::rootBytes(config_.patternCount, config_.categoryCount,
+                                      config_.stateCount, sizeof(Real));
+      work.fmaFriendly = true;
+      work.doublePrecision = !spec.singlePrecision;
+      work.useFma = useFma_;
+      device_->launch(*device_->getKernel(spec), dims, args, work);
+
+      total += reduceSites(*siteLogL_);
+    }
+    *outSumLogLikelihood = total;
+    return std::isfinite(total) ? BGL_SUCCESS : BGL_ERROR_FLOATING_POINT;
+  }
+
+  int calculateEdgeLogLikelihoods(const int* parentIndices, const int* childIndices,
+                                  const int* probIndices, const int* d1Indices,
+                                  const int* d2Indices, const int* weightIndices,
+                                  const int* freqIndices, const int* scaleIndices,
+                                  int count, double* outSumLogLikelihood,
+                                  double* outSumFirstDerivative,
+                                  double* outSumSecondDerivative) override {
+    const bool derivs = d1Indices != nullptr && d2Indices != nullptr &&
+                        outSumFirstDerivative != nullptr &&
+                        outSumSecondDerivative != nullptr;
+    double total = 0.0, totalD1 = 0.0, totalD2 = 0.0;
+    for (int n = 0; n < count; ++n) {
+      const int pb = parentIndices[n];
+      const int cb = childIndices[n];
+      if (pb < 0 || pb >= config_.bufferCount() || partials_[pb] == nullptr) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      if (cb < 0 || cb >= config_.bufferCount()) return BGL_ERROR_OUT_OF_RANGE;
+      if (probIndices[n] < 0 || probIndices[n] >= config_.matrixBufferCount) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      if (!validEigenSlot(weightIndices[n]) || !validEigenSlot(freqIndices[n])) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      const bool childStates = tipStates_[cb] != nullptr;
+      if (!childStates && partials_[cb] == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+
+      hal::KernelSpec spec = baseSpec(derivs ? hal::KernelId::EdgeLikelihoodDerivs
+                                             : hal::KernelId::EdgeLikelihood);
+      hal::KernelArgs args;
+      args.buffers[0] = partials_[pb]->data();
+      args.buffers[1] = childStates ? tipStates_[cb]->data() : partials_[cb]->data();
+      args.buffers[2] = matrices_[probIndices[n]]->data();
+      args.buffers[3] = freqs_[freqIndices[n]]->data();
+      args.buffers[4] = weights_[weightIndices[n]]->data();
+      args.buffers[5] = siteLogL_->data();
+      if (derivs) {
+        if (d1Indices[n] < 0 || d1Indices[n] >= config_.matrixBufferCount ||
+            d2Indices[n] < 0 || d2Indices[n] >= config_.matrixBufferCount) {
+          return BGL_ERROR_OUT_OF_RANGE;
+        }
+        args.buffers[6] = siteD1_->data();
+        args.buffers[7] = siteD2_->data();
+        args.buffers[8] = matrices_[d1Indices[n]]->data();
+        args.buffers[9] = matrices_[d2Indices[n]]->data();
+      }
+      if (scaleIndices != nullptr && scaleIndices[n] != BGL_OP_NONE) {
+        if (!validScale(scaleIndices[n])) return BGL_ERROR_OUT_OF_RANGE;
+        args.buffers[10] = scale_[scaleIndices[n]]->data();
+      }
+      const int ppg = integratePpg();
+      args.ints[0] = config_.patternCount;
+      args.ints[1] = config_.categoryCount;
+      args.ints[2] = config_.stateCount;
+      args.ints[3] = ppg;
+      args.ints[4] = childStates ? 1 : 0;
+
+      hal::LaunchDims dims;
+      dims.numGroups = (config_.patternCount + ppg - 1) / ppg;
+      dims.groupSize = ppg;
+
+      perf::LaunchWork work;
+      work.flops = kernels::partialsFlops(config_.patternCount, config_.categoryCount,
+                                          config_.stateCount) *
+                   (derivs ? 1.5 : 0.5);
+      work.bytes = kernels::partialsBytes(config_.patternCount, config_.categoryCount,
+                                          config_.stateCount, sizeof(Real));
+      work.fmaFriendly = true;
+      work.doublePrecision = !spec.singlePrecision;
+      work.useFma = useFma_;
+      device_->launch(*device_->getKernel(spec), dims, args, work);
+
+      total += reduceSites(*siteLogL_);
+      if (derivs) {
+        totalD1 += reduceSites(*siteD1_);
+        totalD2 += reduceSites(*siteD2_);
+      }
+    }
+    *outSumLogLikelihood = total;
+    if (derivs) {
+      *outSumFirstDerivative = totalD1;
+      *outSumSecondDerivative = totalD2;
+    }
+    return std::isfinite(total) ? BGL_SUCCESS : BGL_ERROR_FLOATING_POINT;
+  }
+
+  int getSiteLogLikelihoods(double* outLogLikelihoods) override {
+    std::vector<Real> staged(config_.patternCount);
+    device_->copyToHost(staged.data(), *siteLogL_, 0, staged.size() * sizeof(Real));
+    for (int k = 0; k < config_.patternCount; ++k) {
+      outLogLikelihoods[k] = static_cast<double>(staged[k]);
+    }
+    return BGL_SUCCESS;
+  }
+
+  int waitForComputation() override {
+    device_->finish();
+    return BGL_SUCCESS;
+  }
+
+  int setThreadCount(int threads) override {
+    if (threads < 1) return BGL_ERROR_OUT_OF_RANGE;
+    device_->setFission(static_cast<unsigned>(threads));
+    return BGL_SUCCESS;
+  }
+
+  int getTimeline(BglTimeline* out) override {
+    const auto& t = device_->timeline();
+    out->modeledSeconds = t.modeledSeconds;
+    out->measuredSeconds = t.measuredSeconds;
+    out->kernelLaunches = t.kernelLaunches;
+    out->bytesCopied = t.bytesCopied;
+    return BGL_SUCCESS;
+  }
+
+  int resetTimeline() override {
+    device_->timeline().reset();
+    return BGL_SUCCESS;
+  }
+
+  int setWorkGroupSize(int patterns) override {
+    if (patterns < 1 || patterns > 16384) return BGL_ERROR_OUT_OF_RANGE;
+    workGroupPatterns_ = patterns;
+    return BGL_SUCCESS;
+  }
+
+ private:
+  hal::KernelVariant defaultVariant() const {
+    return device_->profile().deviceClass == perf::DeviceClass::Gpu
+               ? hal::KernelVariant::GpuStyle
+               : hal::KernelVariant::X86Style;
+  }
+
+  static std::size_t alignUp(std::size_t bytes) {
+    constexpr std::size_t kAlign = 128;
+    return (bytes + kAlign - 1) / kAlign * kAlign;
+  }
+
+  std::size_t partialsSize() const {
+    return static_cast<std::size_t>(config_.categoryCount) * config_.patternCount *
+           config_.stateCount;
+  }
+  std::size_t matrixSize() const {
+    return static_cast<std::size_t>(config_.categoryCount) * config_.stateCount *
+           config_.stateCount;
+  }
+
+  void ensurePartials(int bufferIndex) {
+    if (partials_[bufferIndex] == nullptr) {
+      partials_[bufferIndex] = device_->alloc(partialsSize() * sizeof(Real));
+    }
+  }
+
+  bool validScale(int index) const {
+    return index >= 0 && index < config_.scaleBufferCount;
+  }
+  bool validEigenSlot(int index) const {
+    return index >= 0 && index < config_.eigenBufferCount;
+  }
+  int autoCumulativeIndex() const { return config_.scaleBufferCount - 1; }
+
+  void copyConverted(hal::Buffer& dst, const double* src, int n) {
+    std::vector<Real> staged(n);
+    for (int i = 0; i < n; ++i) staged[i] = static_cast<Real>(src[i]);
+    device_->copyToDevice(dst, 0, staged.data(), staged.size() * sizeof(Real));
+  }
+
+  void zeroBuffer(hal::Buffer& buf) {
+    std::vector<std::byte> zeros(buf.size());
+    device_->copyToDevice(buf, 0, zeros.data(), zeros.size());
+  }
+
+  hal::KernelSpec baseSpec(hal::KernelId id) const {
+    hal::KernelSpec spec;
+    spec.id = id;
+    spec.states = config_.stateCount;
+    spec.singlePrecision = std::is_same_v<Real, float>;
+    spec.variant = variant_;
+    spec.useFma = useFma_;
+    return spec;
+  }
+
+  int integratePpg() const { return 128; }
+
+  perf::LaunchWork scaleWork(int buffers) const {
+    perf::LaunchWork work;
+    work.flops = static_cast<double>(config_.patternCount);
+    work.bytes = static_cast<double>(buffers) * config_.patternCount * sizeof(Real);
+    work.doublePrecision = !std::is_same_v<Real, float>;
+    return work;
+  }
+
+  /// Patterns per work-group for the partials kernels. GPU-style geometry
+  /// targets states*ppg ~ 256 work-items and must respect the device's
+  /// local-memory limit when staging (the AMD codon constraint of
+  /// Section VII-B1); x86-style uses the Table V tuned block size.
+  struct PartialsGeometry {
+    int ppg;
+    std::size_t localMemBytes;
+  };
+  PartialsGeometry partialsGeometry() const {
+    const int s = config_.stateCount;
+    if (variant_ == hal::KernelVariant::X86Style) {
+      return {workGroupPatterns_, 0};
+    }
+    // GPU-style groups stage both matrices plus a block of child partials
+    // in local memory (2*s^2 + 2*ppg*s reals). Devices with small local
+    // memories force fewer patterns per group for high state counts, and
+    // for codon models in double precision the matrices cannot be staged
+    // at all on 32 KB parts (Section VII-B1).
+    const std::size_t real = sizeof(Real);
+    const std::size_t limit =
+        static_cast<std::size_t>(device_->profile().localMemKb * 1024.0);
+    const std::size_t matBytes = kernels::gpuStyleLocalMemBytes(
+        s, std::is_same_v<Real, float>);
+    const std::size_t perPattern = 2 * static_cast<std::size_t>(s) * real;
+    int ppg = std::max(1, 256 / s);
+    if (matBytes + static_cast<std::size_t>(ppg) * perPattern <= limit) {
+      return {ppg, matBytes + static_cast<std::size_t>(ppg) * perPattern};
+    }
+    if (matBytes + perPattern <= limit) {
+      ppg = static_cast<int>((limit - matBytes) / perPattern);
+      return {ppg, matBytes + static_cast<std::size_t>(ppg) * perPattern};
+    }
+    // Matrices do not fit: partials-only staging with a reduced block.
+    ppg = std::max<int>(1, static_cast<int>(std::min<std::size_t>(
+                               static_cast<std::size_t>(ppg), limit / perPattern)));
+    return {ppg, static_cast<std::size_t>(ppg) * perPattern};
+  }
+
+  int executeOperation(const BglOperation& op, int cumulativeScaleIndex) {
+    const auto& c = config_;
+    if (op.destinationPartials < c.tipCount ||
+        op.destinationPartials >= c.bufferCount()) {
+      return BGL_ERROR_OUT_OF_RANGE;
+    }
+    for (int m : {op.child1TransitionMatrix, op.child2TransitionMatrix}) {
+      if (m < 0 || m >= c.matrixBufferCount) return BGL_ERROR_OUT_OF_RANGE;
+    }
+    for (int child : {op.child1Partials, op.child2Partials}) {
+      if (child < 0 || child >= c.bufferCount()) return BGL_ERROR_OUT_OF_RANGE;
+      if (tipStates_[child] == nullptr && partials_[child] == nullptr) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+    }
+    if (op.destinationScaleWrite != BGL_OP_NONE && !validScale(op.destinationScaleWrite)) {
+      return BGL_ERROR_OUT_OF_RANGE;
+    }
+    ensurePartials(op.destinationPartials);
+
+    const bool tip1 = tipStates_[op.child1Partials] != nullptr;
+    const bool tip2 = tipStates_[op.child2Partials] != nullptr;
+
+    hal::KernelSpec spec = baseSpec(
+        tip1 && tip2 ? hal::KernelId::StatesStates
+                     : (tip1 || tip2) ? hal::KernelId::StatesPartials
+                                      : hal::KernelId::PartialsPartials);
+
+    hal::KernelArgs args;
+    args.buffers[0] = partials_[op.destinationPartials]->data();
+    // Convention: the states child (if any) occupies the first child slot.
+    int c1 = op.child1Partials, m1 = op.child1TransitionMatrix;
+    int c2 = op.child2Partials, m2 = op.child2TransitionMatrix;
+    if (!tip1 && tip2) {
+      std::swap(c1, c2);
+      std::swap(m1, m2);
+    }
+    args.buffers[1] = (tip1 || tip2) ? tipStates_[c1]->data() : partials_[c1]->data();
+    args.buffers[2] = matrices_[m1]->data();
+    args.buffers[3] = (tip1 && tip2) ? tipStates_[c2]->data() : partials_[c2]->data();
+    args.buffers[4] = matrices_[m2]->data();
+
+    const auto geom = partialsGeometry();
+    args.ints[0] = c.patternCount;
+    args.ints[1] = c.categoryCount;
+    args.ints[2] = c.stateCount;
+    args.ints[3] = geom.ppg;
+
+    hal::LaunchDims dims;
+    const int patternBlocks = (c.patternCount + geom.ppg - 1) / geom.ppg;
+    dims.numGroups = patternBlocks * c.categoryCount;
+    dims.groupSize = variant_ == hal::KernelVariant::X86Style
+                         ? geom.ppg
+                         : geom.ppg * c.stateCount;
+    dims.localMemBytes = geom.localMemBytes;
+
+    perf::LaunchWork work;
+    work.flops = kernels::partialsFlops(c.patternCount, c.categoryCount, c.stateCount);
+    work.bytes = kernels::partialsBytes(c.patternCount, c.categoryCount, c.stateCount,
+                                        sizeof(Real));
+    work.workingSetBytes =
+        kernels::partialsWorkingSet(c.patternCount, c.categoryCount, c.stateCount,
+                                    sizeof(Real));
+    work.fmaFriendly = true;
+    work.doublePrecision = !spec.singlePrecision;
+    work.useFma = useFma_;
+    work.numGroups = dims.numGroups;
+    if (variant_ == hal::KernelVariant::GpuStyle &&
+        device_->profile().deviceClass != perf::DeviceClass::Gpu) {
+      // Table V: the GPU-style kernel is a poor fit on CPU-class devices.
+      work.variantEfficiency = perf::kGpuStyleOnCpuEfficiency;
+    }
+    device_->launch(*device_->getKernel(spec), dims, args, work);
+
+    if (op.destinationScaleWrite != BGL_OP_NONE) {
+      hal::KernelSpec rspec = baseSpec(hal::KernelId::RescalePartials);
+      hal::KernelArgs rargs;
+      rargs.buffers[0] = partials_[op.destinationPartials]->data();
+      rargs.buffers[1] = scale_[op.destinationScaleWrite]->data();
+      const int ppg = integratePpg();
+      rargs.ints[0] = c.patternCount;
+      rargs.ints[1] = c.categoryCount;
+      rargs.ints[2] = c.stateCount;
+      rargs.ints[3] = ppg;
+      hal::LaunchDims rdims;
+      rdims.numGroups = (c.patternCount + ppg - 1) / ppg;
+      rdims.groupSize = ppg;
+      perf::LaunchWork rwork;
+      rwork.flops = static_cast<double>(c.patternCount) * c.categoryCount * c.stateCount;
+      rwork.bytes = 2.0 * c.patternCount * c.categoryCount * c.stateCount * sizeof(Real);
+      rwork.doublePrecision = !spec.singlePrecision;
+      device_->launch(*device_->getKernel(rspec), rdims, rargs, rwork);
+
+      if (cumulativeScaleIndex != BGL_OP_NONE) {
+        const int idx = op.destinationScaleWrite;
+        const int rc = scaleOp(&idx, 1, cumulativeScaleIndex, +1);
+        if (rc != BGL_SUCCESS) return rc;
+      }
+    }
+    return BGL_SUCCESS;
+  }
+
+  int scaleOp(const int* scaleIndices, int count, int cumulativeScaleIndex, int sign) {
+    if (!validScale(cumulativeScaleIndex)) return BGL_ERROR_OUT_OF_RANGE;
+    hal::KernelSpec spec = baseSpec(hal::KernelId::AccumulateScale);
+    for (int i = 0; i < count; ++i) {
+      if (!validScale(scaleIndices[i])) return BGL_ERROR_OUT_OF_RANGE;
+      hal::KernelArgs args;
+      args.buffers[0] = scale_[cumulativeScaleIndex]->data();
+      args.buffers[1] = scale_[scaleIndices[i]]->data();
+      args.ints[0] = config_.patternCount;
+      args.ints[1] = sign;
+      device_->launch(*device_->getKernel(spec), {1, 1, 0}, args, scaleWork(2));
+    }
+    return BGL_SUCCESS;
+  }
+
+  double reduceSites(hal::Buffer& site) {
+    hal::KernelSpec spec = baseSpec(hal::KernelId::SumSiteLikelihoods);
+    hal::KernelArgs args;
+    args.buffers[0] = site.data();
+    args.buffers[1] = patternWeights_->data();
+    args.buffers[2] = result_->data();
+    args.ints[0] = config_.patternCount;
+    perf::LaunchWork work;
+    work.flops = 2.0 * config_.patternCount;
+    work.bytes = 2.0 * config_.patternCount * sizeof(Real);
+    work.doublePrecision = true;
+    device_->launch(*device_->getKernel(spec), {1, 1, 0}, args, work);
+    double out = 0.0;
+    device_->copyToHost(&out, *result_, 0, sizeof(double));
+    return out;
+  }
+
+  hal::DevicePtr device_;
+  hal::KernelVariant variant_;
+  bool useFma_ = true;
+  int workGroupPatterns_ = 256;  // Table V default
+  int compactUsed_ = 0;
+
+  hal::BufferPtr matrixAlloc_, scaleAlloc_;
+  hal::BufferPtr edgeScratch_, indexScratch_;  // batched matrix updates
+  std::size_t matrixStride_ = 0, scaleStride_ = 0;
+  std::vector<hal::BufferPtr> partials_, tipStates_, matrices_, scale_;
+  std::vector<hal::BufferPtr> cijk_, eval_, freqs_, weights_;
+  hal::BufferPtr rates_, patternWeights_, siteLogL_, siteD1_, siteD2_, result_;
+};
+
+}  // namespace bgl::accel

@@ -1,0 +1,306 @@
+/**
+ * @file bgl.h
+ * @brief Public C API of the library: a uniform interface for computing
+ * phylogenetic likelihoods on heterogeneous hardware.
+ *
+ * The API mirrors the BEAGLE design the paper describes: the library has no
+ * tree data structure. Client programs own the tree; they drive the library
+ * through flexibly indexed buffers of partial likelihoods, transition
+ * matrices, eigendecompositions and scale factors, which lets one API serve
+ * serial CPU, vectorized CPU, threaded CPU, and accelerator-framework
+ * implementations without data-layout assumptions leaking into clients.
+ *
+ * All functions return BGL_SUCCESS (0) or a negative BglReturnCode.
+ */
+#ifndef BGL_H
+#define BGL_H
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/** Error codes returned by all API functions. */
+typedef enum BglReturnCode {
+  BGL_SUCCESS = 0,
+  BGL_ERROR_GENERAL = -1,
+  BGL_ERROR_OUT_OF_MEMORY = -2,
+  BGL_ERROR_UNIDENTIFIED_EXCEPTION = -3,
+  BGL_ERROR_UNIMPLEMENTED = -4,
+  BGL_ERROR_OUT_OF_RANGE = -5,
+  BGL_ERROR_NO_RESOURCE = -6,
+  BGL_ERROR_NO_IMPLEMENTATION = -7,
+  BGL_ERROR_FLOATING_POINT = -8
+} BglReturnCode;
+
+/**
+ * Capability / preference flags (bitwise-or'able). Used both to describe
+ * resources and to request instance properties.
+ */
+typedef enum BglFlags {
+  BGL_FLAG_PRECISION_SINGLE = 1L << 0,   /**< 32-bit floating point */
+  BGL_FLAG_PRECISION_DOUBLE = 1L << 1,   /**< 64-bit floating point */
+
+  BGL_FLAG_COMPUTATION_SYNCH = 1L << 2,  /**< synchronous computation */
+  BGL_FLAG_COMPUTATION_ASYNCH = 1L << 3, /**< asynchronous computation */
+
+  BGL_FLAG_VECTOR_NONE = 1L << 4,        /**< no explicit vectorization */
+  BGL_FLAG_VECTOR_SSE = 1L << 5,         /**< SSE intrinsics */
+  BGL_FLAG_VECTOR_AVX = 1L << 6,         /**< AVX intrinsics */
+
+  BGL_FLAG_THREADING_NONE = 1L << 7,     /**< single host thread */
+  BGL_FLAG_THREADING_CPP = 1L << 8,      /**< C++ std::thread parallelism */
+
+  BGL_FLAG_PROCESSOR_CPU = 1L << 9,      /**< multicore CPU */
+  BGL_FLAG_PROCESSOR_GPU = 1L << 10,     /**< GPU device */
+  BGL_FLAG_PROCESSOR_PHI = 1L << 11,     /**< manycore (Phi-class) device */
+
+  BGL_FLAG_FRAMEWORK_CPU = 1L << 12,     /**< native host code */
+  BGL_FLAG_FRAMEWORK_CUDA = 1L << 13,    /**< CUDA-framework accelerator model */
+  BGL_FLAG_FRAMEWORK_OPENCL = 1L << 14,  /**< OpenCL-framework accelerator model */
+
+  BGL_FLAG_SCALING_MANUAL = 1L << 15,    /**< client-directed rescaling */
+  /**
+   * Rescale every partials operation automatically. The library assigns
+   * scale buffer (destination - tipCount) to each operation, resets and
+   * maintains the cumulative buffer (index scaleBufferCount - 1) across
+   * each bglUpdatePartials batch, and applies it in root/edge
+   * calculations when the caller passes no cumulative index. Requires
+   * scaleBufferCount >= internal-node count + 1.
+   */
+  BGL_FLAG_SCALING_ALWAYS = 1L << 16,
+
+  /* Threading-strategy ablation flags (Section VI / Table III). */
+  BGL_FLAG_THREADING_FUTURES = 1L << 17,      /**< per-operation async futures */
+  BGL_FLAG_THREADING_THREAD_CREATE = 1L << 18,/**< threads created per call */
+  BGL_FLAG_THREADING_THREAD_POOL = 1L << 19,  /**< persistent thread pool */
+
+  /* Kernel-variant selection for the accelerator model (Section VII-B). */
+  BGL_FLAG_KERNEL_GPU_STYLE = 1L << 20,  /**< state-parallel work-items */
+  BGL_FLAG_KERNEL_X86_STYLE = 1L << 21,  /**< state-loop per work-item */
+
+  /* Disable fused-multiply-add kernel generation (FP_FAST_FMA ablation,
+   * Table IV of the paper). */
+  BGL_FLAG_FMA_OFF = 1L << 22
+} BglFlags;
+
+/** Description of a hardware resource usable by the library. */
+typedef struct BglResource {
+  const char* name;        /**< human-readable device name */
+  const char* description; /**< vendor / capability summary */
+  long supportFlags;       /**< flags the resource can satisfy */
+  long requiredFlags;      /**< flags any instance on it will carry */
+} BglResource;
+
+/** List of available hardware resources. */
+typedef struct BglResourceList {
+  BglResource* list;
+  int length;
+} BglResourceList;
+
+/** Details of a successfully created instance. */
+typedef struct BglInstanceDetails {
+  int resourceNumber;      /**< index into the resource list */
+  const char* resourceName;
+  const char* implName;    /**< name of the selected implementation */
+  long flags;              /**< resolved instance flags */
+} BglInstanceDetails;
+
+/**
+ * One partial-likelihoods operation: compute the partials of
+ * destinationPartials from two children, each a (buffer, transition matrix)
+ * pair. Scale indices are BGL_OP_NONE when unused.
+ */
+typedef struct BglOperation {
+  int destinationPartials;
+  int destinationScaleWrite;
+  int destinationScaleRead;
+  int child1Partials;
+  int child1TransitionMatrix;
+  int child2Partials;
+  int child2TransitionMatrix;
+} BglOperation;
+
+#define BGL_OP_NONE (-1)
+#define BGL_OP_COUNT 7
+
+/** Library version string. */
+const char* bglGetVersion(void);
+
+/** Citation blurb, as phylogenetics software conventionally prints. */
+const char* bglGetCitation(void);
+
+/**
+ * Enumerate hardware resources (CPU plus every accelerator device the
+ * framework runtimes expose). The returned pointer is owned by the library.
+ */
+BglResourceList* bglGetResourceList(void);
+
+/**
+ * Create a likelihood-computation instance.
+ *
+ * @param tipCount            number of tips (leaf taxa)
+ * @param partialsBufferCount partials buffers to allocate (internal nodes
+ *                            plus any tips supplied as partials)
+ * @param compactBufferCount  compact state buffers (tips supplied as states)
+ * @param stateCount          states per character (4, 20, 61, ...)
+ * @param patternCount        unique site patterns
+ * @param eigenBufferCount    eigendecomposition / frequency / weight slots
+ * @param matrixBufferCount   transition probability matrix slots
+ * @param categoryCount       rate categories
+ * @param scaleBufferCount    scale-factor buffers (0 disables scaling)
+ * @param resourceList        preferred resources (indices), or NULL for any
+ * @param resourceCount       entries in resourceList
+ * @param preferenceFlags     preferred BglFlags
+ * @param requirementFlags    required BglFlags
+ * @param returnInfo          optional out-param describing the instance
+ * @return instance id (>= 0) or a negative BglReturnCode
+ */
+int bglCreateInstance(int tipCount, int partialsBufferCount, int compactBufferCount,
+                      int stateCount, int patternCount, int eigenBufferCount,
+                      int matrixBufferCount, int categoryCount, int scaleBufferCount,
+                      const int* resourceList, int resourceCount,
+                      long preferenceFlags, long requirementFlags,
+                      BglInstanceDetails* returnInfo);
+
+/** Destroy an instance and release its resources. */
+int bglFinalizeInstance(int instance);
+
+/** Supply tip data as compact integer states (stateCount = gap/ambiguity). */
+int bglSetTipStates(int instance, int tipIndex, const int* inStates);
+
+/** Supply tip data as per-state partial likelihoods (pattern-major). */
+int bglSetTipPartials(int instance, int tipIndex, const double* inPartials);
+
+/** Set a full partials buffer (patternCount x stateCount x categoryCount). */
+int bglSetPartials(int instance, int bufferIndex, const double* inPartials);
+
+/** Read back a partials buffer (category-major, as stored). */
+int bglGetPartials(int instance, int bufferIndex, double* outPartials);
+
+/** Set the state frequencies for slot `stateFrequenciesIndex`. */
+int bglSetStateFrequencies(int instance, int stateFrequenciesIndex,
+                           const double* inStateFrequencies);
+
+/** Set rate-category weights for slot `categoryWeightsIndex`. */
+int bglSetCategoryWeights(int instance, int categoryWeightsIndex,
+                          const double* inCategoryWeights);
+
+/** Set the (global) rate-category rates. */
+int bglSetCategoryRates(int instance, const double* inCategoryRates);
+
+/** Set per-pattern weights (pattern multiplicities). */
+int bglSetPatternWeights(int instance, const double* inPatternWeights);
+
+/**
+ * Load an eigendecomposition: row-major eigenvectors, inverse eigenvectors,
+ * and eigenvalues of the (normalized) rate matrix.
+ */
+int bglSetEigenDecomposition(int instance, int eigenIndex,
+                             const double* inEigenVectors,
+                             const double* inInverseEigenVectors,
+                             const double* inEigenValues);
+
+/**
+ * Compute transition matrices P(t) = E exp(diag(eval) * rate_c * t) E^-1
+ * for `count` edges, writing each to the indexed matrix buffer; optional
+ * first/second derivative matrices (indices may be NULL).
+ */
+int bglUpdateTransitionMatrices(int instance, int eigenIndex,
+                                const int* probabilityIndices,
+                                const int* firstDerivativeIndices,
+                                const int* secondDerivativeIndices,
+                                const double* edgeLengths, int count);
+
+/** Set a transition matrix directly (stateCount^2 x categoryCount values). */
+int bglSetTransitionMatrix(int instance, int matrixIndex, const double* inMatrix,
+                           double paddedValue);
+
+/** Read back a transition matrix. */
+int bglGetTransitionMatrix(int instance, int matrixIndex, double* outMatrix);
+
+/**
+ * Execute a batch of partial-likelihoods operations (the computational core
+ * of the library; Eq. 1 of the paper). Operations are processed in order,
+ * except that implementations may execute topology-independent operations
+ * concurrently. If `cumulativeScaleIndex` != BGL_OP_NONE, per-operation
+ * scale factors are folded into that cumulative buffer.
+ */
+int bglUpdatePartials(int instance, const BglOperation* operations,
+                      int operationCount, int cumulativeScaleIndex);
+
+/** Accumulate the given scale buffers into cumulative buffer `cumulativeScaleIndex`. */
+int bglAccumulateScaleFactors(int instance, const int* scaleIndices, int count,
+                              int cumulativeScaleIndex);
+
+/** Remove previously accumulated scale buffers from a cumulative buffer. */
+int bglRemoveScaleFactors(int instance, const int* scaleIndices, int count,
+                          int cumulativeScaleIndex);
+
+/** Reset a cumulative scale buffer to zero. */
+int bglResetScaleFactors(int instance, int cumulativeScaleIndex);
+
+/**
+ * Integrate root partials against state frequencies and category weights,
+ * producing the total log likelihood (sum over patterns of weighted log
+ * site likelihoods). Supports `count` independent subsets.
+ */
+int bglCalculateRootLogLikelihoods(int instance, const int* bufferIndices,
+                                   const int* categoryWeightsIndices,
+                                   const int* stateFrequenciesIndices,
+                                   const int* cumulativeScaleIndices, int count,
+                                   double* outSumLogLikelihood);
+
+/**
+ * Compute the log likelihood across the edge (parent, child), optionally
+ * with first/second derivatives with respect to the edge length (used by
+ * maximum-likelihood branch-length optimization).
+ */
+int bglCalculateEdgeLogLikelihoods(
+    int instance, const int* parentBufferIndices, const int* childBufferIndices,
+    const int* probabilityIndices, const int* firstDerivativeIndices,
+    const int* secondDerivativeIndices, const int* categoryWeightsIndices,
+    const int* stateFrequenciesIndices, const int* cumulativeScaleIndices,
+    int count, double* outSumLogLikelihood, double* outSumFirstDerivative,
+    double* outSumSecondDerivative);
+
+/** Per-pattern log likelihoods from the last root/edge calculation. */
+int bglGetSiteLogLikelihoods(int instance, double* outLogLikelihoods);
+
+/** Block until any asynchronous computation for the instance completes. */
+int bglWaitForComputation(int instance);
+
+/**
+ * Restrict a threaded implementation (or an OpenCL CPU device, via device
+ * fission) to `threadCount` host threads. Used by the multicore scaling
+ * benchmarks; returns BGL_ERROR_UNIMPLEMENTED for implementations without
+ * thread control.
+ */
+int bglSetThreadCount(int instance, int threadCount);
+
+/** Execution record of an accelerator-framework instance. On simulated
+ * device profiles `modeledSeconds` comes from the calibrated roofline
+ * model; on the host device it equals measured wall time. */
+typedef struct BglTimeline {
+  double modeledSeconds;
+  double measuredSeconds;
+  unsigned long long kernelLaunches;
+  unsigned long long bytesCopied;
+} BglTimeline;
+
+/** Read the accumulated timeline of an accelerator instance. */
+int bglGetTimeline(int instance, BglTimeline* outTimeline);
+
+/** Reset the accumulated timeline of an accelerator instance. */
+int bglResetTimeline(int instance);
+
+/**
+ * Set the number of site patterns computed per work-group for x86-style
+ * accelerator kernels (the tuning dimension of Table V in the paper).
+ */
+int bglSetWorkGroupSize(int instance, int patternsPerWorkGroup);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* BGL_H */

@@ -1,0 +1,145 @@
+// C++ convenience wrapper over the C API: RAII instance lifetime, vectors
+// in, exceptions for hard failures — the idiomatic way for C++ client
+// programs to use the library (the paper's BEAGLE offers an equivalent
+// role through its C++ headers and JNI wrapper for Java programs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/bgl.h"
+#include "core/defs.h"
+
+namespace bgl::xx {
+
+/// Throw bgl::Error for negative return codes (except harmless ones the
+/// caller opted to receive).
+inline int check(int rc, const char* what) {
+  if (rc < 0) {
+    throw Error(std::string(what) + " failed with code " + std::to_string(rc));
+  }
+  return rc;
+}
+
+class Instance {
+ public:
+  Instance(int tipCount, int partialsBufferCount, int compactBufferCount,
+           int stateCount, int patternCount, int eigenBufferCount,
+           int matrixBufferCount, int categoryCount, int scaleBufferCount,
+           const std::vector<int>& resources = {}, long preferenceFlags = 0,
+           long requirementFlags = 0) {
+    BglInstanceDetails details{};
+    id_ = bglCreateInstance(tipCount, partialsBufferCount, compactBufferCount,
+                            stateCount, patternCount, eigenBufferCount,
+                            matrixBufferCount, categoryCount, scaleBufferCount,
+                            resources.empty() ? nullptr : resources.data(),
+                            static_cast<int>(resources.size()), preferenceFlags,
+                            requirementFlags, &details);
+    check(id_, "bglCreateInstance");
+    implName_ = details.implName;
+    resourceName_ = details.resourceName;
+    resource_ = details.resourceNumber;
+    flags_ = details.flags;
+  }
+
+  ~Instance() {
+    if (id_ >= 0) bglFinalizeInstance(id_);
+  }
+
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+  Instance(Instance&& other) noexcept { *this = std::move(other); }
+  Instance& operator=(Instance&& other) noexcept {
+    if (this != &other) {
+      if (id_ >= 0) bglFinalizeInstance(id_);
+      id_ = other.id_;
+      implName_ = std::move(other.implName_);
+      resourceName_ = std::move(other.resourceName_);
+      resource_ = other.resource_;
+      flags_ = other.flags_;
+      other.id_ = -1;
+    }
+    return *this;
+  }
+
+  int id() const { return id_; }
+  const std::string& implName() const { return implName_; }
+  const std::string& resourceName() const { return resourceName_; }
+  int resource() const { return resource_; }
+  long flags() const { return flags_; }
+
+  void setTipStates(int tip, const std::vector<int>& states) {
+    check(bglSetTipStates(id_, tip, states.data()), "bglSetTipStates");
+  }
+  void setTipPartials(int tip, const std::vector<double>& partials) {
+    check(bglSetTipPartials(id_, tip, partials.data()), "bglSetTipPartials");
+  }
+  void setPartials(int buffer, const std::vector<double>& partials) {
+    check(bglSetPartials(id_, buffer, partials.data()), "bglSetPartials");
+  }
+  std::vector<double> getPartials(int buffer, std::size_t size) {
+    std::vector<double> out(size);
+    check(bglGetPartials(id_, buffer, out.data()), "bglGetPartials");
+    return out;
+  }
+  void setStateFrequencies(int index, const std::vector<double>& freqs) {
+    check(bglSetStateFrequencies(id_, index, freqs.data()),
+          "bglSetStateFrequencies");
+  }
+  void setCategoryWeights(int index, const std::vector<double>& weights) {
+    check(bglSetCategoryWeights(id_, index, weights.data()),
+          "bglSetCategoryWeights");
+  }
+  void setCategoryRates(const std::vector<double>& rates) {
+    check(bglSetCategoryRates(id_, rates.data()), "bglSetCategoryRates");
+  }
+  void setPatternWeights(const std::vector<double>& weights) {
+    check(bglSetPatternWeights(id_, weights.data()), "bglSetPatternWeights");
+  }
+  void setEigenDecomposition(int index, const std::vector<double>& evec,
+                             const std::vector<double>& ivec,
+                             const std::vector<double>& eval) {
+    check(bglSetEigenDecomposition(id_, index, evec.data(), ivec.data(),
+                                   eval.data()),
+          "bglSetEigenDecomposition");
+  }
+  void updateTransitionMatrices(int eigenIndex, const std::vector<int>& probIndices,
+                                const std::vector<double>& lengths) {
+    check(bglUpdateTransitionMatrices(id_, eigenIndex, probIndices.data(), nullptr,
+                                      nullptr, lengths.data(),
+                                      static_cast<int>(probIndices.size())),
+          "bglUpdateTransitionMatrices");
+  }
+  void updatePartials(const std::vector<BglOperation>& ops,
+                      int cumulativeScaleIndex = BGL_OP_NONE) {
+    check(bglUpdatePartials(id_, ops.data(), static_cast<int>(ops.size()),
+                            cumulativeScaleIndex),
+          "bglUpdatePartials");
+  }
+  double rootLogLikelihood(int rootBuffer, int weightsIndex = 0, int freqsIndex = 0,
+                           int cumulativeScaleIndex = BGL_OP_NONE) {
+    double out = 0.0;
+    const int cum = cumulativeScaleIndex;
+    const int rc = bglCalculateRootLogLikelihoods(
+        id_, &rootBuffer, &weightsIndex, &freqsIndex,
+        cumulativeScaleIndex == BGL_OP_NONE ? nullptr : &cum, 1, &out);
+    if (rc != BGL_SUCCESS && rc != BGL_ERROR_FLOATING_POINT) {
+      check(rc, "bglCalculateRootLogLikelihoods");
+    }
+    return out;
+  }
+  std::vector<double> siteLogLikelihoods(int patterns) {
+    std::vector<double> out(patterns);
+    check(bglGetSiteLogLikelihoods(id_, out.data()), "bglGetSiteLogLikelihoods");
+    return out;
+  }
+
+ private:
+  int id_ = -1;
+  std::string implName_;
+  std::string resourceName_;
+  int resource_ = -1;
+  long flags_ = 0;
+};
+
+}  // namespace bgl::xx

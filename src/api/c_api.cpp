@@ -1,0 +1,338 @@
+// C API shim: argument checking lives in the implementations; this layer
+// owns the instance table and translates exceptions into return codes.
+#include "api/bgl.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/implementation.h"
+#include "api/registry.h"
+#include "core/defs.h"
+
+namespace {
+
+struct InstanceSlot {
+  std::unique_ptr<bgl::Implementation> impl;
+  std::string implName;
+  std::string resourceName;
+  int resource = -1;
+  long flags = 0;
+};
+
+std::mutex g_mutex;
+std::vector<InstanceSlot> g_instances;
+
+bgl::Implementation* lookup(int instance) {
+  std::lock_guard lock(g_mutex);
+  if (instance < 0 || instance >= static_cast<int>(g_instances.size())) {
+    return nullptr;
+  }
+  return g_instances[instance].impl.get();
+}
+
+/// Run `fn` on the instance, translating exceptions to error codes.
+template <typename F>
+int withInstance(int instance, F&& fn) {
+  bgl::Implementation* impl = lookup(instance);
+  if (impl == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  try {
+    return fn(*impl);
+  } catch (const std::bad_alloc&) {
+    return BGL_ERROR_OUT_OF_MEMORY;
+  } catch (const bgl::Error&) {
+    return BGL_ERROR_GENERAL;
+  } catch (...) {
+    return BGL_ERROR_UNIDENTIFIED_EXCEPTION;
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+const char* bglGetVersion(void) { return "1.0.0"; }
+
+const char* bglGetCitation(void) {
+  return "Reimplementation of: Ayres DL, Cummings MP (2017) Heterogeneous "
+         "Hardware Support in BEAGLE, a High-Performance Computing Library "
+         "for Statistical Phylogenetics. ICPP Workshops 2017.";
+}
+
+BglResourceList* bglGetResourceList(void) {
+  return bgl::Registry::instance().resourceList();
+}
+
+int bglCreateInstance(int tipCount, int partialsBufferCount, int compactBufferCount,
+                      int stateCount, int patternCount, int eigenBufferCount,
+                      int matrixBufferCount, int categoryCount, int scaleBufferCount,
+                      const int* resourceList, int resourceCount,
+                      long preferenceFlags, long requirementFlags,
+                      BglInstanceDetails* returnInfo) {
+  if (tipCount < 0 || partialsBufferCount < 0 || compactBufferCount < 0 ||
+      stateCount < 2 || patternCount < 1 || eigenBufferCount < 1 ||
+      matrixBufferCount < 1 || categoryCount < 1 || scaleBufferCount < 0 ||
+      partialsBufferCount + compactBufferCount < tipCount) {
+    return BGL_ERROR_OUT_OF_RANGE;
+  }
+  bgl::InstanceConfig cfg;
+  cfg.tipCount = tipCount;
+  cfg.partialsBufferCount = partialsBufferCount;
+  cfg.compactBufferCount = compactBufferCount;
+  cfg.stateCount = stateCount;
+  cfg.patternCount = patternCount;
+  cfg.eigenBufferCount = eigenBufferCount;
+  cfg.matrixBufferCount = matrixBufferCount;
+  cfg.categoryCount = categoryCount;
+  cfg.scaleBufferCount = scaleBufferCount;
+
+  int error = BGL_SUCCESS;
+  try {
+    auto result = bgl::Registry::instance().create(cfg, resourceList, resourceCount,
+                                                   preferenceFlags, requirementFlags,
+                                                   &error);
+    if (result.impl == nullptr) return error;
+
+    std::lock_guard lock(g_mutex);
+    int id = -1;
+    for (int i = 0; i < static_cast<int>(g_instances.size()); ++i) {
+      if (g_instances[i].impl == nullptr) {
+        id = i;
+        break;
+      }
+    }
+    if (id < 0) {
+      id = static_cast<int>(g_instances.size());
+      g_instances.emplace_back();
+    }
+    auto& slot = g_instances[id];
+    slot.impl = std::move(result.impl);
+    slot.implName = result.implName;
+    slot.resourceName = result.resourceName;
+    slot.resource = result.resource;
+    slot.flags = result.flags;
+    if (returnInfo != nullptr) {
+      returnInfo->resourceNumber = slot.resource;
+      returnInfo->resourceName = slot.resourceName.c_str();
+      returnInfo->implName = slot.implName.c_str();
+      returnInfo->flags = slot.flags;
+    }
+    return id;
+  } catch (const std::bad_alloc&) {
+    return BGL_ERROR_OUT_OF_MEMORY;
+  } catch (const bgl::Error&) {
+    return BGL_ERROR_GENERAL;
+  } catch (...) {
+    return BGL_ERROR_UNIDENTIFIED_EXCEPTION;
+  }
+}
+
+int bglFinalizeInstance(int instance) {
+  std::lock_guard lock(g_mutex);
+  if (instance < 0 || instance >= static_cast<int>(g_instances.size()) ||
+      g_instances[instance].impl == nullptr) {
+    return BGL_ERROR_OUT_OF_RANGE;
+  }
+  g_instances[instance] = InstanceSlot{};
+  return BGL_SUCCESS;
+}
+
+int bglSetTipStates(int instance, int tipIndex, const int* inStates) {
+  if (inStates == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  return withInstance(instance,
+                      [&](auto& impl) { return impl.setTipStates(tipIndex, inStates); });
+}
+
+int bglSetTipPartials(int instance, int tipIndex, const double* inPartials) {
+  if (inPartials == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  return withInstance(
+      instance, [&](auto& impl) { return impl.setTipPartials(tipIndex, inPartials); });
+}
+
+int bglSetPartials(int instance, int bufferIndex, const double* inPartials) {
+  if (inPartials == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  return withInstance(
+      instance, [&](auto& impl) { return impl.setPartials(bufferIndex, inPartials); });
+}
+
+int bglGetPartials(int instance, int bufferIndex, double* outPartials) {
+  if (outPartials == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  return withInstance(
+      instance, [&](auto& impl) { return impl.getPartials(bufferIndex, outPartials); });
+}
+
+int bglSetStateFrequencies(int instance, int stateFrequenciesIndex,
+                           const double* inStateFrequencies) {
+  if (inStateFrequencies == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  return withInstance(instance, [&](auto& impl) {
+    return impl.setStateFrequencies(stateFrequenciesIndex, inStateFrequencies);
+  });
+}
+
+int bglSetCategoryWeights(int instance, int categoryWeightsIndex,
+                          const double* inCategoryWeights) {
+  if (inCategoryWeights == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  return withInstance(instance, [&](auto& impl) {
+    return impl.setCategoryWeights(categoryWeightsIndex, inCategoryWeights);
+  });
+}
+
+int bglSetCategoryRates(int instance, const double* inCategoryRates) {
+  if (inCategoryRates == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  return withInstance(
+      instance, [&](auto& impl) { return impl.setCategoryRates(inCategoryRates); });
+}
+
+int bglSetPatternWeights(int instance, const double* inPatternWeights) {
+  if (inPatternWeights == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  return withInstance(
+      instance, [&](auto& impl) { return impl.setPatternWeights(inPatternWeights); });
+}
+
+int bglSetEigenDecomposition(int instance, int eigenIndex, const double* inEigenVectors,
+                             const double* inInverseEigenVectors,
+                             const double* inEigenValues) {
+  if (inEigenVectors == nullptr || inInverseEigenVectors == nullptr ||
+      inEigenValues == nullptr) {
+    return BGL_ERROR_OUT_OF_RANGE;
+  }
+  return withInstance(instance, [&](auto& impl) {
+    return impl.setEigenDecomposition(eigenIndex, inEigenVectors,
+                                      inInverseEigenVectors, inEigenValues);
+  });
+}
+
+int bglUpdateTransitionMatrices(int instance, int eigenIndex,
+                                const int* probabilityIndices,
+                                const int* firstDerivativeIndices,
+                                const int* secondDerivativeIndices,
+                                const double* edgeLengths, int count) {
+  if (probabilityIndices == nullptr || edgeLengths == nullptr || count < 0) {
+    return BGL_ERROR_OUT_OF_RANGE;
+  }
+  return withInstance(instance, [&](auto& impl) {
+    return impl.updateTransitionMatrices(eigenIndex, probabilityIndices,
+                                         firstDerivativeIndices,
+                                         secondDerivativeIndices, edgeLengths, count);
+  });
+}
+
+int bglSetTransitionMatrix(int instance, int matrixIndex, const double* inMatrix,
+                           double paddedValue) {
+  if (inMatrix == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  return withInstance(instance, [&](auto& impl) {
+    return impl.setTransitionMatrix(matrixIndex, inMatrix, paddedValue);
+  });
+}
+
+int bglGetTransitionMatrix(int instance, int matrixIndex, double* outMatrix) {
+  if (outMatrix == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  return withInstance(instance, [&](auto& impl) {
+    return impl.getTransitionMatrix(matrixIndex, outMatrix);
+  });
+}
+
+int bglUpdatePartials(int instance, const BglOperation* operations, int operationCount,
+                      int cumulativeScaleIndex) {
+  if (operations == nullptr || operationCount < 0) return BGL_ERROR_OUT_OF_RANGE;
+  return withInstance(instance, [&](auto& impl) {
+    return impl.updatePartials(operations, operationCount, cumulativeScaleIndex);
+  });
+}
+
+int bglAccumulateScaleFactors(int instance, const int* scaleIndices, int count,
+                              int cumulativeScaleIndex) {
+  if (scaleIndices == nullptr || count < 0) return BGL_ERROR_OUT_OF_RANGE;
+  return withInstance(instance, [&](auto& impl) {
+    return impl.accumulateScaleFactors(scaleIndices, count, cumulativeScaleIndex);
+  });
+}
+
+int bglRemoveScaleFactors(int instance, const int* scaleIndices, int count,
+                          int cumulativeScaleIndex) {
+  if (scaleIndices == nullptr || count < 0) return BGL_ERROR_OUT_OF_RANGE;
+  return withInstance(instance, [&](auto& impl) {
+    return impl.removeScaleFactors(scaleIndices, count, cumulativeScaleIndex);
+  });
+}
+
+int bglResetScaleFactors(int instance, int cumulativeScaleIndex) {
+  return withInstance(instance, [&](auto& impl) {
+    return impl.resetScaleFactors(cumulativeScaleIndex);
+  });
+}
+
+int bglCalculateRootLogLikelihoods(int instance, const int* bufferIndices,
+                                   const int* categoryWeightsIndices,
+                                   const int* stateFrequenciesIndices,
+                                   const int* cumulativeScaleIndices, int count,
+                                   double* outSumLogLikelihood) {
+  if (bufferIndices == nullptr || categoryWeightsIndices == nullptr ||
+      stateFrequenciesIndices == nullptr || outSumLogLikelihood == nullptr ||
+      count < 1) {
+    return BGL_ERROR_OUT_OF_RANGE;
+  }
+  return withInstance(instance, [&](auto& impl) {
+    return impl.calculateRootLogLikelihoods(bufferIndices, categoryWeightsIndices,
+                                            stateFrequenciesIndices,
+                                            cumulativeScaleIndices, count,
+                                            outSumLogLikelihood);
+  });
+}
+
+int bglCalculateEdgeLogLikelihoods(
+    int instance, const int* parentBufferIndices, const int* childBufferIndices,
+    const int* probabilityIndices, const int* firstDerivativeIndices,
+    const int* secondDerivativeIndices, const int* categoryWeightsIndices,
+    const int* stateFrequenciesIndices, const int* cumulativeScaleIndices, int count,
+    double* outSumLogLikelihood, double* outSumFirstDerivative,
+    double* outSumSecondDerivative) {
+  if (parentBufferIndices == nullptr || childBufferIndices == nullptr ||
+      probabilityIndices == nullptr || categoryWeightsIndices == nullptr ||
+      stateFrequenciesIndices == nullptr || outSumLogLikelihood == nullptr ||
+      count < 1) {
+    return BGL_ERROR_OUT_OF_RANGE;
+  }
+  return withInstance(instance, [&](auto& impl) {
+    return impl.calculateEdgeLogLikelihoods(
+        parentBufferIndices, childBufferIndices, probabilityIndices,
+        firstDerivativeIndices, secondDerivativeIndices, categoryWeightsIndices,
+        stateFrequenciesIndices, cumulativeScaleIndices, count, outSumLogLikelihood,
+        outSumFirstDerivative, outSumSecondDerivative);
+  });
+}
+
+int bglGetSiteLogLikelihoods(int instance, double* outLogLikelihoods) {
+  if (outLogLikelihoods == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  return withInstance(instance, [&](auto& impl) {
+    return impl.getSiteLogLikelihoods(outLogLikelihoods);
+  });
+}
+
+int bglWaitForComputation(int instance) {
+  return withInstance(instance, [&](auto& impl) { return impl.waitForComputation(); });
+}
+
+int bglSetThreadCount(int instance, int threadCount) {
+  return withInstance(instance,
+                      [&](auto& impl) { return impl.setThreadCount(threadCount); });
+}
+
+int bglGetTimeline(int instance, BglTimeline* outTimeline) {
+  if (outTimeline == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  return withInstance(instance,
+                      [&](auto& impl) { return impl.getTimeline(outTimeline); });
+}
+
+int bglResetTimeline(int instance) {
+  return withInstance(instance, [&](auto& impl) { return impl.resetTimeline(); });
+}
+
+int bglSetWorkGroupSize(int instance, int patternsPerWorkGroup) {
+  return withInstance(instance, [&](auto& impl) {
+    return impl.setWorkGroupSize(patternsPerWorkGroup);
+  });
+}
+
+}  // extern "C"

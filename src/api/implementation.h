@@ -1,0 +1,124 @@
+// Internal interface every likelihood implementation provides.
+//
+// This is the "implementation base-code" layer of the paper's Fig. 1/3:
+// the manager selects an Implementation for a resource, and the C API
+// forwards calls to it. New hardware/framework backends implement this
+// interface without touching the core library or client programs.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "api/bgl.h"
+
+namespace bgl {
+
+/// Instance creation parameters, after flag resolution.
+struct InstanceConfig {
+  int tipCount = 0;
+  int partialsBufferCount = 0;
+  int compactBufferCount = 0;
+  int stateCount = 0;
+  int patternCount = 0;
+  int eigenBufferCount = 0;
+  int matrixBufferCount = 0;
+  int categoryCount = 0;
+  int scaleBufferCount = 0;
+  long flags = 0;    ///< resolved instance flags
+  int resource = 0;  ///< resource id the instance runs on
+
+  int bufferCount() const { return partialsBufferCount + compactBufferCount; }
+  bool doublePrecision() const { return (flags & BGL_FLAG_PRECISION_DOUBLE) != 0; }
+};
+
+/// Abstract likelihood-computation backend. All methods return a
+/// BglReturnCode; buffer-index validation happens here, not in the C shim.
+class Implementation {
+ public:
+  virtual ~Implementation() = default;
+
+  const InstanceConfig& config() const { return config_; }
+
+  virtual std::string implName() const = 0;
+
+  virtual int setTipStates(int tipIndex, const int* inStates) = 0;
+  virtual int setTipPartials(int tipIndex, const double* inPartials) = 0;
+  virtual int setPartials(int bufferIndex, const double* inPartials) = 0;
+  virtual int getPartials(int bufferIndex, double* outPartials) = 0;
+
+  virtual int setStateFrequencies(int index, const double* inFreqs) = 0;
+  virtual int setCategoryWeights(int index, const double* inWeights) = 0;
+  virtual int setCategoryRates(const double* inRates) = 0;
+  virtual int setPatternWeights(const double* inWeights) = 0;
+
+  virtual int setEigenDecomposition(int eigenIndex, const double* evec,
+                                    const double* ivec, const double* eval) = 0;
+  virtual int updateTransitionMatrices(int eigenIndex, const int* probIndices,
+                                       const int* d1Indices, const int* d2Indices,
+                                       const double* edgeLengths, int count) = 0;
+  virtual int setTransitionMatrix(int matrixIndex, const double* inMatrix,
+                                  double paddedValue) = 0;
+  virtual int getTransitionMatrix(int matrixIndex, double* outMatrix) = 0;
+
+  virtual int updatePartials(const BglOperation* operations, int count,
+                             int cumulativeScaleIndex) = 0;
+
+  virtual int accumulateScaleFactors(const int* scaleIndices, int count,
+                                     int cumulativeScaleIndex) = 0;
+  virtual int removeScaleFactors(const int* scaleIndices, int count,
+                                 int cumulativeScaleIndex) = 0;
+  virtual int resetScaleFactors(int cumulativeScaleIndex) = 0;
+
+  virtual int calculateRootLogLikelihoods(const int* bufferIndices,
+                                          const int* weightIndices,
+                                          const int* freqIndices,
+                                          const int* scaleIndices, int count,
+                                          double* outSumLogLikelihood) = 0;
+  virtual int calculateEdgeLogLikelihoods(
+      const int* parentIndices, const int* childIndices, const int* probIndices,
+      const int* d1Indices, const int* d2Indices, const int* weightIndices,
+      const int* freqIndices, const int* scaleIndices, int count,
+      double* outSumLogLikelihood, double* outSumFirstDerivative,
+      double* outSumSecondDerivative) = 0;
+
+  virtual int getSiteLogLikelihoods(double* outLogLikelihoods) = 0;
+
+  virtual int waitForComputation() { return BGL_SUCCESS; }
+
+  /// Set the number of host threads used by threaded implementations
+  /// (benchmarking hook for the multicore scaling study, Fig. 5).
+  virtual int setThreadCount(int /*threads*/) { return BGL_ERROR_UNIMPLEMENTED; }
+
+  /// Read / reset the accelerator execution timeline (accelerator model only).
+  virtual int getTimeline(BglTimeline* /*out*/) { return BGL_ERROR_UNIMPLEMENTED; }
+  virtual int resetTimeline() { return BGL_ERROR_UNIMPLEMENTED; }
+
+  /// Patterns per work-group for x86-style kernels (Table V tuning).
+  virtual int setWorkGroupSize(int /*patterns*/) { return BGL_ERROR_UNIMPLEMENTED; }
+
+ protected:
+  InstanceConfig config_;
+};
+
+/// Factory for one implementation family. The manager interrogates
+/// factories in priority order until one accepts the request.
+class ImplementationFactory {
+ public:
+  virtual ~ImplementationFactory() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Higher wins when several factories can serve the same request.
+  virtual int priority() const = 0;
+
+  /// Flags this factory can provide on resource `resource`.
+  virtual long supportFlags(int resource) const = 0;
+
+  /// True if the factory can serve `resource` at all.
+  virtual bool servesResource(int resource) const = 0;
+
+  /// Create an instance; returns nullptr if the request cannot be served.
+  virtual std::unique_ptr<Implementation> create(const InstanceConfig& config) = 0;
+};
+
+}  // namespace bgl

@@ -1,0 +1,35 @@
+#include "api/plugin.h"
+
+#include <dlfcn.h>
+
+#include "api/registry.h"
+
+namespace bgl {
+namespace {
+
+class RegistryHost final : public PluginHost {
+ public:
+  void addFactory(std::unique_ptr<ImplementationFactory> factory) override {
+    Registry::instance().addFactory(std::move(factory));
+    ++count;
+  }
+  int count = 0;
+};
+
+}  // namespace
+}  // namespace bgl
+
+extern "C" int bglLoadPlugin(const char* path) {
+  if (path == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  void* handle = dlopen(path, RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) return BGL_ERROR_NO_RESOURCE;
+  auto fn = reinterpret_cast<bgl::PluginRegisterFn>(dlsym(handle, "bglPluginRegister"));
+  if (fn == nullptr) {
+    dlclose(handle);
+    return BGL_ERROR_NO_IMPLEMENTATION;
+  }
+  bgl::RegistryHost host;
+  const int declared = fn(&host);
+  // The library must stay loaded: its factories/vtables live in it.
+  return declared >= 0 ? host.count : BGL_ERROR_GENERAL;
+}

@@ -1,0 +1,41 @@
+// Runtime plugin loading (Section IV-C of the paper: "a plugin system,
+// which allows implementation-specific code (via shared libraries) to be
+// loaded at runtime when the required dependencies are present").
+//
+// A plugin is a shared library exporting
+//
+//   extern "C" int bglPluginRegister(bgl::PluginHost* host);
+//
+// which appends ImplementationFactory instances through the host and
+// returns how many it added. Plugins make new frameworks/hardware
+// available to client programs without relinking them.
+#pragma once
+
+#include <memory>
+
+#include "api/implementation.h"
+
+namespace bgl {
+
+/// Registration interface handed to plugins (keeps the Registry type out
+/// of the plugin ABI surface).
+class PluginHost {
+ public:
+  virtual ~PluginHost() = default;
+  virtual void addFactory(std::unique_ptr<ImplementationFactory> factory) = 0;
+};
+
+using PluginRegisterFn = int (*)(PluginHost*);
+
+}  // namespace bgl
+
+extern "C" {
+
+/**
+ * Load a plugin shared library and register its factories with the
+ * implementation manager. Returns the number of factories added (>= 0) or
+ * a negative BglReturnCode (BGL_ERROR_NO_RESOURCE if the library cannot be
+ * opened, BGL_ERROR_NO_IMPLEMENTATION if it lacks the entry point).
+ */
+int bglLoadPlugin(const char* path);
+}

@@ -1,0 +1,131 @@
+#include "api/registry.h"
+
+#include <algorithm>
+
+#include "accel/accel_factories.h"
+#include "cpu/cpu_factories.h"
+#include "perfmodel/device_profiles.h"
+
+namespace bgl {
+
+Registry::Registry() {
+  cpu::appendCpuFactories(factories_);
+  accel::appendAccelFactories(factories_);
+
+  const auto& reg = perf::deviceRegistry();
+  resourceStrings_.reserve(reg.size() * 2);
+  for (int r = 0; r < static_cast<int>(reg.size()); ++r) {
+    std::string desc = reg[r].vendor;
+    if (!reg[r].hostMeasured) desc += " | simulated profile (modeled timing)";
+    resourceStrings_.push_back(reg[r].name);
+    resourceStrings_.push_back(std::move(desc));
+    BglResource res;
+    res.name = resourceStrings_[resourceStrings_.size() - 2].c_str();
+    res.description = resourceStrings_.back().c_str();
+    res.supportFlags = 0;
+    res.requiredFlags = 0;
+    resources_.push_back(res);
+  }
+  refreshResourceFlags();
+  list_.list = resources_.data();
+  list_.length = static_cast<int>(resources_.size());
+}
+
+void Registry::refreshResourceFlags() {
+  for (int r = 0; r < static_cast<int>(resources_.size()); ++r) {
+    long support = 0;
+    for (const auto& f : factories_) {
+      if (f->servesResource(r)) support |= f->supportFlags(r);
+    }
+    resources_[r].supportFlags = support;
+  }
+}
+
+void Registry::addFactory(std::unique_ptr<ImplementationFactory> factory) {
+  factories_.push_back(std::move(factory));
+  refreshResourceFlags();
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+BglResourceList* Registry::resourceList() { return &list_; }
+
+Registry::CreateResult Registry::create(InstanceConfig cfg, const int* resourceList,
+                                        int resourceCount, long preferenceFlags,
+                                        long requirementFlags, int* error) {
+  CreateResult result;
+  *error = BGL_SUCCESS;
+
+  // Resolve precision: requirements beat preferences; double is default.
+  long precision;
+  if (requirementFlags & BGL_FLAG_PRECISION_SINGLE) {
+    precision = BGL_FLAG_PRECISION_SINGLE;
+  } else if (requirementFlags & BGL_FLAG_PRECISION_DOUBLE) {
+    precision = BGL_FLAG_PRECISION_DOUBLE;
+  } else if (preferenceFlags & BGL_FLAG_PRECISION_SINGLE) {
+    precision = BGL_FLAG_PRECISION_SINGLE;
+  } else {
+    precision = BGL_FLAG_PRECISION_DOUBLE;
+  }
+  const long precisionMask = BGL_FLAG_PRECISION_SINGLE | BGL_FLAG_PRECISION_DOUBLE;
+
+  std::vector<int> candidates;
+  if (resourceList != nullptr && resourceCount > 0) {
+    candidates.assign(resourceList, resourceList + resourceCount);
+  } else {
+    for (int r = 0; r < static_cast<int>(resources_.size()); ++r) {
+      candidates.push_back(r);
+    }
+  }
+
+  const long req = (requirementFlags & ~precisionMask) | precision;
+  bool sawResource = false;
+  for (int r : candidates) {
+    if (r < 0 || r >= static_cast<int>(resources_.size())) {
+      *error = BGL_ERROR_OUT_OF_RANGE;
+      return result;
+    }
+    sawResource = true;
+
+    // Factories that serve the resource and can satisfy every requirement.
+    std::vector<ImplementationFactory*> viable;
+    for (const auto& f : factories_) {
+      if (!f->servesResource(r)) continue;
+      if ((req & ~f->supportFlags(r)) != 0) continue;
+      viable.push_back(f.get());
+    }
+    // Among the viable, prefer the one matching the most preference bits,
+    // then the highest priority.
+    std::sort(viable.begin(), viable.end(),
+              [&](const ImplementationFactory* a, const ImplementationFactory* b) {
+                const int ma = std::popcount(
+                    static_cast<unsigned long>(a->supportFlags(r) & preferenceFlags));
+                const int mb = std::popcount(
+                    static_cast<unsigned long>(b->supportFlags(r) & preferenceFlags));
+                if (ma != mb) return ma > mb;
+                return a->priority() > b->priority();
+              });
+    for (auto* f : viable) {
+      InstanceConfig attempt = cfg;
+      attempt.resource = r;
+      attempt.flags = req | (preferenceFlags & f->supportFlags(r));
+      auto impl = f->create(attempt);
+      if (impl != nullptr) {
+        result.impl = std::move(impl);
+        result.resource = r;
+        result.implName = result.impl->implName();
+        result.resourceName = perf::deviceRegistry()[r].name;
+        result.flags = attempt.flags;
+        return result;
+      }
+    }
+  }
+
+  *error = sawResource ? BGL_ERROR_NO_IMPLEMENTATION : BGL_ERROR_NO_RESOURCE;
+  return result;
+}
+
+}  // namespace bgl

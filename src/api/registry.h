@@ -1,0 +1,51 @@
+// Implementation manager: resource enumeration, flag resolution, and
+// factory selection (the "implementation manager" layer of Fig. 1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/implementation.h"
+
+namespace bgl {
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  const std::vector<std::unique_ptr<ImplementationFactory>>& factories() const {
+    return factories_;
+  }
+
+  /// Resource list backing bglGetResourceList (stable storage).
+  BglResourceList* resourceList();
+
+  struct CreateResult {
+    std::unique_ptr<Implementation> impl;
+    int resource = -1;
+    std::string implName;
+    std::string resourceName;
+    long flags = 0;
+  };
+
+  /// Resolve flags, pick a resource+factory, and build the implementation.
+  /// Returns an empty `impl` with an error code in `error` on failure.
+  CreateResult create(InstanceConfig cfg, const int* resourceList, int resourceCount,
+                      long preferenceFlags, long requirementFlags, int* error);
+
+  /// Register an additional factory (plugin loading); refreshes the
+  /// per-resource capability flags. Not safe concurrently with create().
+  void addFactory(std::unique_ptr<ImplementationFactory> factory);
+
+ private:
+  Registry();
+  void refreshResourceFlags();
+
+  std::vector<std::unique_ptr<ImplementationFactory>> factories_;
+  std::vector<BglResource> resources_;
+  std::vector<std::string> resourceStrings_;  // stable name/description storage
+  BglResourceList list_{};
+};
+
+}  // namespace bgl

@@ -1,0 +1,191 @@
+#include "clsim/cl_runtime.h"
+
+#include <chrono>
+#include <cstring>
+#include <mutex>
+
+#include "hal/workgroup_executor.h"
+#include "kernels/kernels.h"
+
+namespace bgl::clsim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+class ClBuffer final : public hal::Buffer {
+ public:
+  explicit ClBuffer(std::size_t bytes)
+      : storage_(new std::byte[bytes]), data_(storage_.get()), size_(bytes) {}
+
+  /// Sub-buffer object: references the parent region, enforcing the
+  /// origin-alignment rule real OpenCL devices impose.
+  ClBuffer(std::shared_ptr<hal::Buffer> parent, std::size_t offset, std::size_t bytes)
+      : parent_(std::move(parent)),
+        data_(static_cast<std::byte*>(parent_->data()) + offset),
+        size_(bytes) {}
+
+  bool isSubBuffer() const { return parent_ != nullptr; }
+  std::size_t size() const override { return size_; }
+  void* data() override { return data_; }
+  const void* data() const override { return data_; }
+
+ private:
+  std::shared_ptr<hal::Buffer> parent_;
+  std::unique_ptr<std::byte[]> storage_;
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+class ClKernel final : public hal::Kernel {
+ public:
+  ClKernel(const hal::KernelSpec& spec, hal::KernelFn fn) : spec_(spec), fn_(fn) {}
+  const hal::KernelSpec& spec() const override { return spec_; }
+  hal::KernelFn fn() const { return fn_; }
+
+ private:
+  hal::KernelSpec spec_;
+  hal::KernelFn fn_;
+};
+
+class ClDevice final : public hal::Device {
+ public:
+  ClDevice(const Platform& platform, int profileIndex)
+      : platform_(platform), profile_(perf::deviceRegistry().at(profileIndex)) {
+    // Non-vendor drivers (Section VII-B3): reduced performance surfaces as
+    // inflated launch overhead and reduced achievable efficiency.
+    profile_.launchOverheadUsOpenCl *= platform_.overheadMultiplier;
+    profile_.computeEfficiency /= platform_.overheadMultiplier;
+    profile_.bandwidthEfficiency /= platform_.overheadMultiplier;
+  }
+
+  const perf::DeviceProfile& profile() const override { return profile_; }
+  std::string frameworkName() const override { return "OpenCL"; }
+  const Platform& platform() const { return platform_; }
+
+  hal::BufferPtr alloc(std::size_t bytes) override {
+    return std::make_shared<ClBuffer>(bytes);
+  }
+
+  hal::BufferPtr subBuffer(const hal::BufferPtr& parent, std::size_t offset,
+                           std::size_t bytes) override {
+    if (offset + bytes > parent->size()) {
+      throw Error("clsim: CL_INVALID_VALUE (sub-buffer out of bounds)");
+    }
+    if (offset % kSubBufferAlign != 0) {
+      throw Error("clsim: CL_MISALIGNED_SUB_BUFFER_OFFSET");
+    }
+    if (static_cast<const ClBuffer*>(parent.get())->isSubBuffer()) {
+      throw Error("clsim: CL_INVALID_MEM_OBJECT (sub-buffer of sub-buffer)");
+    }
+    return std::make_shared<ClBuffer>(parent, offset, bytes);
+  }
+
+  void copyToDevice(hal::Buffer& dst, std::size_t dstOffset, const void* src,
+                    std::size_t bytes) override {
+    if (dstOffset + bytes > dst.size()) throw Error("clsim: write out of bounds");
+    std::memcpy(static_cast<std::byte*>(dst.data()) + dstOffset, src, bytes);
+    timeline_.bytesCopied += bytes;
+    if (!profile_.hostMeasured) {
+      timeline_.modeledSeconds += perf::modeledCopySeconds(profile_, static_cast<double>(bytes));
+    }
+  }
+
+  void copyToHost(void* dst, const hal::Buffer& src, std::size_t srcOffset,
+                  std::size_t bytes) override {
+    if (srcOffset + bytes > src.size()) throw Error("clsim: read out of bounds");
+    std::memcpy(dst, static_cast<const std::byte*>(src.data()) + srcOffset, bytes);
+    timeline_.bytesCopied += bytes;
+    if (!profile_.hostMeasured) {
+      timeline_.modeledSeconds += perf::modeledCopySeconds(profile_, static_cast<double>(bytes));
+    }
+  }
+
+  hal::Kernel* getKernel(const hal::KernelSpec& spec) override {
+    std::lock_guard lock(mutex_);
+    for (auto& k : kernels_) {
+      if (k->spec() == spec) return k.get();
+    }
+    kernels_.push_back(std::make_unique<ClKernel>(spec, kernels::lookupKernel(spec)));
+    return kernels_.back().get();
+  }
+
+  void launch(hal::Kernel& kernel, const hal::LaunchDims& dims,
+              const hal::KernelArgs& args, const perf::LaunchWork& work) override {
+    if (dims.localMemBytes > profile_.localMemKb * 1024.0) {
+      throw Error("clsim: CL_OUT_OF_RESOURCES (local memory request of " +
+                  std::to_string(dims.localMemBytes) + " bytes exceeds " +
+                  std::to_string(static_cast<int>(profile_.localMemKb)) +
+                  " KB local memory)");
+    }
+    auto& k = static_cast<ClKernel&>(kernel);
+    const auto t0 = Clock::now();
+    hal::executeGrid(k.fn(), dims, args, fission_);
+    const auto t1 = Clock::now();
+    const double measured = std::chrono::duration<double>(t1 - t0).count();
+    timeline_.measuredSeconds += measured;
+    timeline_.modeledSeconds +=
+        profile_.hostMeasured
+            ? measured
+            : perf::modeledKernelSeconds(profile_, work, /*openCl=*/true);
+    ++timeline_.kernelLaunches;
+  }
+
+  void finish() override {}
+
+  void setFission(unsigned n) override { fission_ = n; }
+
+ private:
+  Platform platform_;
+  perf::DeviceProfile profile_;
+  unsigned fission_ = 0;  // 0 = all compute units
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<ClKernel>> kernels_;
+};
+
+}  // namespace
+
+const std::vector<Platform>& platforms() {
+  static const std::vector<Platform> list = [] {
+    std::vector<Platform> v;
+    // Vendor drivers: best performance, one per vendor (Table I lists the
+    // NVIDIA, AMD and Intel OpenCL drivers of the paper's systems).
+    v.push_back({"NVIDIA OpenCL (vendor driver)", "NVIDIA Corporation", 1.0,
+                 {perf::kQuadroP5000}});
+    v.push_back({"AMD APP (vendor driver)", "Advanced Micro Devices", 1.0,
+                 {perf::kRadeonR9Nano, perf::kFireProS9170}});
+    v.push_back({"Intel OpenCL CPU Runtime (vendor driver)", "Intel Corporation",
+                 1.0,
+                 {perf::kHostCpu, perf::kXeonPhi7210, perf::kDualXeonE5}});
+    // A generic (macOS-style) driver for the same hardware: demonstrates
+    // ICD-based driver selection with reduced performance.
+    v.push_back({"Generic OpenCL (portable driver)", "Portable Computing", 1.35,
+                 {perf::kHostCpu, perf::kQuadroP5000, perf::kRadeonR9Nano,
+                  perf::kFireProS9170}});
+    return v;
+  }();
+  return list;
+}
+
+hal::DevicePtr createDevice(const Platform& platform, int profileIndex) {
+  bool ok = false;
+  for (int v : platform.deviceProfiles) ok = ok || v == profileIndex;
+  if (!ok) throw Error("clsim: device not exposed by platform " + platform.name);
+  return std::make_shared<ClDevice>(platform, profileIndex);
+}
+
+hal::DevicePtr createDeviceByProfile(int profileIndex) {
+  // Prefer vendor drivers (lowest overhead multiplier).
+  const Platform* best = nullptr;
+  for (const auto& p : platforms()) {
+    for (int v : p.deviceProfiles) {
+      if (v == profileIndex &&
+          (best == nullptr || p.overheadMultiplier < best->overheadMultiplier)) {
+        best = &p;
+      }
+    }
+  }
+  if (best == nullptr) throw Error("clsim: no platform exposes requested device");
+  return createDevice(*best, profileIndex);
+}
+
+}  // namespace bgl::clsim

@@ -1,0 +1,54 @@
+// Cache-line/SIMD aligned storage for numeric buffers.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "core/defs.h"
+
+namespace bgl {
+
+/// Minimal aligned allocator; all partials / matrix buffers use it so that
+/// vectorized kernels may issue aligned loads.
+template <typename T, std::size_t Align = kBufferAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+
+  // Non-type template parameters defeat allocator_traits' automatic
+  // rebinding, so spell it out.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    // Size must be a multiple of alignment for std::aligned_alloc.
+    std::size_t bytes = (n * sizeof(T) + Align - 1) / Align * Align;
+    void* p = std::aligned_alloc(Align, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace bgl

@@ -1,0 +1,43 @@
+// Common definitions shared across the library.
+//
+// The whole compute stack is templated on the floating-point representation
+// (float or double); `RealScalar` constrains those templates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <concepts>
+#include <stdexcept>
+#include <string>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define BGL_RESTRICT __restrict__
+#define BGL_LIKELY(x) __builtin_expect(!!(x), 1)
+#define BGL_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define BGL_RESTRICT
+#define BGL_LIKELY(x) (x)
+#define BGL_UNLIKELY(x) (x)
+#endif
+
+namespace bgl {
+
+template <typename T>
+concept RealScalar = std::same_as<T, float> || std::same_as<T, double>;
+
+/// Alignment (bytes) used for all numeric buffers; wide enough for AVX-512.
+inline constexpr std::size_t kBufferAlignment = 64;
+
+/// Thrown on unrecoverable internal errors (API-level errors return codes).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Number of sense codons under the universal genetic code.
+inline constexpr int kCodonStates = 61;
+/// Canonical nucleotide and amino-acid state counts.
+inline constexpr int kNucleotideStates = 4;
+inline constexpr int kAminoAcidStates = 20;
+
+}  // namespace bgl

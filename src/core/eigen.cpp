@@ -1,0 +1,126 @@
+#include "core/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bgl {
+
+void jacobiEigenSymmetric(const double* matrix, int n,
+                          std::vector<double>& eigenvalues,
+                          std::vector<double>& eigenvectors) {
+  std::vector<double> a(matrix, matrix + static_cast<std::size_t>(n) * n);
+  eigenvectors.assign(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) eigenvectors[static_cast<std::size_t>(i) * n + i] = 1.0;
+
+  auto at = [&](int r, int c) -> double& { return a[static_cast<std::size_t>(r) * n + c]; };
+  auto vt = [&](int r, int c) -> double& {
+    return eigenvectors[static_cast<std::size_t>(r) * n + c];
+  };
+
+  const int kMaxSweeps = 100;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n - 1; ++p)
+      for (int q = p + 1; q < n; ++q) off += at(p, q) * at(p, q);
+    if (off < 1e-30) break;
+    if (sweep == kMaxSweeps - 1) throw Error("jacobiEigenSymmetric: no convergence");
+
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = at(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = at(p, p);
+        const double aqq = at(q, q);
+        const double theta = 0.5 * (aqq - app) / apq;
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        const double tau = s / (1.0 + c);
+
+        at(p, p) = app - t * apq;
+        at(q, q) = aqq + t * apq;
+        at(p, q) = 0.0;
+        at(q, p) = 0.0;
+        for (int i = 0; i < n; ++i) {
+          if (i != p && i != q) {
+            const double aip = at(i, p);
+            const double aiq = at(i, q);
+            at(i, p) = aip - s * (aiq + tau * aip);
+            at(p, i) = at(i, p);
+            at(i, q) = aiq + s * (aip - tau * aiq);
+            at(q, i) = at(i, q);
+          }
+          const double vip = vt(i, p);
+          const double viq = vt(i, q);
+          vt(i, p) = vip - s * (viq + tau * vip);
+          vt(i, q) = viq + s * (vip - tau * viq);
+        }
+      }
+    }
+  }
+
+  eigenvalues.resize(n);
+  for (int i = 0; i < n; ++i) eigenvalues[i] = at(i, i);
+}
+
+EigenSystem decomposeReversible(const double* q, const double* pi, int n) {
+  for (int i = 0; i < n; ++i) {
+    if (!(pi[i] > 0.0)) throw Error("decomposeReversible: frequencies must be positive");
+  }
+
+  // Symmetrize: B = D^{1/2} Q D^{-1/2}. Average the off-diagonal pair to
+  // absorb tiny asymmetries from finite-precision Q construction.
+  std::vector<double> sqrtPi(n), invSqrtPi(n);
+  for (int i = 0; i < n; ++i) {
+    sqrtPi[i] = std::sqrt(pi[i]);
+    invSqrtPi[i] = 1.0 / sqrtPi[i];
+  }
+  std::vector<double> b(static_cast<std::size_t>(n) * n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      b[static_cast<std::size_t>(i) * n + j] =
+          sqrtPi[i] * q[static_cast<std::size_t>(i) * n + j] * invSqrtPi[j];
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      const double avg = 0.5 * (b[static_cast<std::size_t>(i) * n + j] +
+                                b[static_cast<std::size_t>(j) * n + i]);
+      b[static_cast<std::size_t>(i) * n + j] = avg;
+      b[static_cast<std::size_t>(j) * n + i] = avg;
+    }
+
+  std::vector<double> eval;
+  std::vector<double> v;
+  jacobiEigenSymmetric(b.data(), n, eval, v);
+
+  EigenSystem es;
+  es.states = n;
+  es.eval = std::move(eval);
+  es.evec.resize(static_cast<std::size_t>(n) * n);
+  es.ivec.resize(static_cast<std::size_t>(n) * n);
+  // E = D^{-1/2} V, E^{-1} = V^T D^{1/2}
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      es.evec[static_cast<std::size_t>(i) * n + j] =
+          invSqrtPi[i] * v[static_cast<std::size_t>(i) * n + j];
+      es.ivec[static_cast<std::size_t>(i) * n + j] =
+          v[static_cast<std::size_t>(j) * n + i] * sqrtPi[j];
+    }
+  return es;
+}
+
+std::vector<double> reconstructRateMatrix(const EigenSystem& es) {
+  const int n = es.states;
+  std::vector<double> out(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < n; ++k)
+        sum += es.evec[static_cast<std::size_t>(i) * n + k] * es.eval[k] *
+               es.ivec[static_cast<std::size_t>(k) * n + j];
+      out[static_cast<std::size_t>(i) * n + j] = sum;
+    }
+  return out;
+}
+
+}  // namespace bgl

@@ -1,0 +1,40 @@
+// Eigendecomposition of time-reversible rate matrices.
+//
+// For a reversible CTMC generator Q with stationary distribution pi,
+// B = D^{1/2} Q D^{-1/2} (D = diag(pi)) is symmetric, so Q can be
+// diagonalized with a cyclic Jacobi sweep on B. The resulting system
+// Q = E diag(lambda) E^{-1} drives transition-probability computation:
+// P(t) = E diag(exp(lambda * t)) E^{-1}.
+#pragma once
+
+#include <vector>
+
+#include "core/defs.h"
+
+namespace bgl {
+
+/// Dense eigendecomposition of a rate matrix: Q = evec * diag(eval) * ivec.
+/// Row-major `evec`/`ivec` of dimension n x n; `eval` of length n.
+struct EigenSystem {
+  int states = 0;
+  std::vector<double> evec;  ///< right eigenvectors (columns), row-major
+  std::vector<double> ivec;  ///< inverse of evec, row-major
+  std::vector<double> eval;  ///< eigenvalues
+};
+
+/// Jacobi eigenvalue iteration for a symmetric matrix (row-major, n x n).
+/// Fills `eigenvalues` (length n) and `eigenvectors` (n x n, columns are
+/// eigenvectors). Throws bgl::Error if convergence fails.
+void jacobiEigenSymmetric(const double* matrix, int n,
+                          std::vector<double>& eigenvalues,
+                          std::vector<double>& eigenvectors);
+
+/// Decompose a reversible rate matrix Q (row-major n x n) with stationary
+/// frequencies pi (length n, strictly positive, summing to 1).
+EigenSystem decomposeReversible(const double* q, const double* pi, int n);
+
+/// General real decomposition check helper: reconstructs Q from an
+/// EigenSystem; used by tests. Returns row-major n x n matrix.
+std::vector<double> reconstructRateMatrix(const EigenSystem& es);
+
+}  // namespace bgl

@@ -1,0 +1,127 @@
+#include "core/gamma.h"
+
+#include <cmath>
+
+#include "core/defs.h"
+
+namespace bgl {
+namespace {
+
+// Series expansion for P(a, x), valid for x < a + 1.
+double gammaPSeries(double a, double x) {
+  const double gln = std::lgamma(a);
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::abs(del) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - gln);
+}
+
+// Continued fraction for Q(a, x) = 1 - P(a, x), valid for x >= a + 1.
+double gammaQContinuedFraction(double a, double x) {
+  const double gln = std::lgamma(a);
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - gln) * h;
+}
+
+}  // namespace
+
+double incompleteGammaP(double a, double x) {
+  if (x < 0.0 || a <= 0.0) throw Error("incompleteGammaP: invalid arguments");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gammaPSeries(a, x);
+  return 1.0 - gammaQContinuedFraction(a, x);
+}
+
+double chiSquareQuantile(double p, double v) {
+  if (p <= 0.0 || p >= 1.0 || v <= 0.0) {
+    throw Error("chiSquareQuantile: invalid arguments");
+  }
+  // Wilson-Hilferty starting approximation, then Newton refinement on
+  // P(v/2, x/2) = p using d/dx P = gamma density.
+  const double a = v / 2.0;
+  double x;
+  {
+    // Normal quantile via Acklam-style rational approximation is overkill;
+    // a coarse start suffices for Newton below.
+    const double t = (p < 0.5) ? std::sqrt(-2.0 * std::log(p))
+                               : std::sqrt(-2.0 * std::log(1.0 - p));
+    double z = t - (2.30753 + 0.27061 * t) / (1.0 + t * (0.99229 + 0.04481 * t));
+    if (p < 0.5) z = -z;
+    const double c = 2.0 / (9.0 * v);
+    const double wh = v * std::pow(1.0 - c + z * std::sqrt(c), 3.0);
+    x = (wh > 1e-10) ? wh : 1e-10;
+  }
+  const double gln = std::lgamma(a);
+  for (int iter = 0; iter < 100; ++iter) {
+    const double f = incompleteGammaP(a, x / 2.0) - p;
+    // density of chi2(v) at x
+    const double logd = (a - 1.0) * std::log(x / 2.0) - x / 2.0 - gln - std::log(2.0);
+    const double d = std::exp(logd);
+    if (d <= 0.0) break;
+    double step = f / d;
+    // Dampen to keep x positive.
+    if (step > x * 0.9) step = x * 0.9;
+    x -= step;
+    if (std::abs(step) < 1e-12 * (1.0 + x)) break;
+  }
+  return x;
+}
+
+std::vector<double> discreteGammaRates(double alpha, int categories,
+                                       bool useMedian) {
+  if (categories < 1) throw Error("discreteGammaRates: need >= 1 category");
+  if (categories == 1) return {1.0};
+  if (!(alpha > 0.0)) throw Error("discreteGammaRates: alpha must be positive");
+
+  std::vector<double> rates(categories);
+  const double k = categories;
+  if (useMedian) {
+    double sum = 0.0;
+    for (int i = 0; i < categories; ++i) {
+      const double p = (2.0 * i + 1.0) / (2.0 * k);
+      rates[i] = chiSquareQuantile(p, 2.0 * alpha) / (2.0 * alpha);
+      sum += rates[i];
+    }
+    for (auto& r : rates) r *= k / sum;  // renormalize mean to 1
+    return rates;
+  }
+
+  // Mean-of-band rule (Yang 1994): cut points from chi-square quantiles;
+  // category mean uses the incomplete gamma of shape alpha+1.
+  std::vector<double> cut(categories - 1);
+  for (int i = 0; i < categories - 1; ++i) {
+    cut[i] = chiSquareQuantile((i + 1.0) / k, 2.0 * alpha) / (2.0 * alpha);
+  }
+  double prev = 0.0;
+  for (int i = 0; i < categories; ++i) {
+    const double upper =
+        (i < categories - 1) ? incompleteGammaP(alpha + 1.0, cut[i] * alpha) : 1.0;
+    rates[i] = (upper - prev) * k;
+    prev = upper;
+  }
+  return rates;
+}
+
+}  // namespace bgl

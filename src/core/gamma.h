@@ -1,0 +1,24 @@
+// Discrete-gamma rate heterogeneity across sites (Yang 1994).
+//
+// Rates for k equal-probability categories come from the mean of each
+// gamma quantile band, which requires the incomplete gamma function and
+// the chi-square quantile; self-contained implementations live here.
+#pragma once
+
+#include <vector>
+
+namespace bgl {
+
+/// Regularized lower incomplete gamma function P(a, x).
+double incompleteGammaP(double a, double x);
+
+/// Quantile of the chi-square distribution with `v` degrees of freedom.
+double chiSquareQuantile(double p, double v);
+
+/// Mean rates for `categories` equal-probability discrete-gamma categories
+/// with shape `alpha` (mean rate normalized to 1). `useMedian` selects the
+/// median-of-band approximation instead of the mean-of-band rule.
+std::vector<double> discreteGammaRates(double alpha, int categories,
+                                       bool useMedian = false);
+
+}  // namespace bgl

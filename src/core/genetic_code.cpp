@@ -1,0 +1,48 @@
+#include "core/genetic_code.h"
+
+namespace bgl {
+namespace {
+
+// Standard genetic code in TCAG order (first base varies slowest);
+// '*' denotes a stop codon.
+constexpr char kUniversalCode[65] =
+    "FFLLSSSSYY**CC*WLLLLPPPPHHQQRRRRIIIMTTTTNNKKSSRRVVVVAAAADDEEGGGG";
+
+constexpr char kAminoAlphabet[21] = "ACDEFGHIKLMNPQRSTVWY";
+
+int aminoIndex(char c) {
+  for (int i = 0; i < 20; ++i)
+    if (kAminoAlphabet[i] == c) return i;
+  return -1;
+}
+
+}  // namespace
+
+GeneticCode::GeneticCode() {
+  int sense = 0;
+  for (int c = 0; c < 64; ++c) {
+    amino_[c] = aminoIndex(kUniversalCode[c]);
+    if (amino_[c] >= 0) {
+      sense_index_[c] = sense;
+      codon64_[sense] = c;
+      ++sense;
+    } else {
+      sense_index_[c] = -1;
+    }
+  }
+  if (sense != kCodonStates) throw Error("GeneticCode: expected 61 sense codons");
+}
+
+const GeneticCode& GeneticCode::universal() {
+  static const GeneticCode code;
+  return code;
+}
+
+std::string GeneticCode::codonString(int codon64) {
+  static constexpr char kNuc[5] = "TCAG";
+  std::string s(3, ' ');
+  for (int p = 0; p < 3; ++p) s[p] = kNuc[nucleotideAt(codon64, p)];
+  return s;
+}
+
+}  // namespace bgl

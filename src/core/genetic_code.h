@@ -1,0 +1,60 @@
+// The universal (standard) genetic code and the 61 sense-codon state space
+// used by codon substitution models.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "core/defs.h"
+
+namespace bgl {
+
+/// Universal genetic code utilities. Codons are indexed 0..63 by
+/// 16*n1 + 4*n2 + n3 with nucleotide order T, C, A, G (the convention used
+/// by codon-model literature); the 61 sense codons (stops excluded) are the
+/// model's state space, indexed 0..60 in ascending 64-codon order.
+class GeneticCode {
+ public:
+  static const GeneticCode& universal();
+
+  /// Amino acid (0..19, alphabetical by one-letter code) for 64-codon index,
+  /// or -1 for a stop codon.
+  int aminoAcid(int codon64) const { return amino_[codon64]; }
+
+  bool isStop(int codon64) const { return amino_[codon64] < 0; }
+
+  int senseCodonCount() const { return kCodonStates; }
+
+  /// Map 64-codon index -> sense index 0..60, or -1 for stops.
+  int senseIndex(int codon64) const { return sense_index_[codon64]; }
+
+  /// Map sense index 0..60 -> 64-codon index.
+  int codon64(int senseIndex) const { return codon64_[senseIndex]; }
+
+  /// Nucleotide (0..3, order T,C,A,G) at position `pos` (0..2) of codon64.
+  static int nucleotideAt(int codon64, int pos) {
+    switch (pos) {
+      case 0: return (codon64 >> 4) & 3;
+      case 1: return (codon64 >> 2) & 3;
+      default: return codon64 & 3;
+    }
+  }
+
+  /// True if nucleotides a and b differ by a transition (purine<->purine or
+  /// pyrimidine<->pyrimidine). Order T=0, C=1, A=2, G=3.
+  static bool isTransition(int a, int b) {
+    // T<->C (0,1) and A<->G (2,3) are transitions.
+    return (a != b) && ((a <= 1 && b <= 1) || (a >= 2 && b >= 2));
+  }
+
+  /// Three-letter string for a 64-codon index, e.g. "ATG".
+  static std::string codonString(int codon64);
+
+ private:
+  GeneticCode();
+  std::array<int, 64> amino_{};
+  std::array<int, 64> sense_index_{};
+  std::array<int, kCodonStates> codon64_{};
+};
+
+}  // namespace bgl

@@ -1,0 +1,342 @@
+#include "core/model.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/genetic_code.h"
+#include "core/rng.h"
+
+namespace bgl {
+
+std::vector<double> SubstitutionModel::rateMatrix() const {
+  const int n = states();
+  std::vector<double> q(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double rowSum = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double rate = exchangeability(i, j) * freqs_[j];
+      q[static_cast<std::size_t>(i) * n + j] = rate;
+      rowSum += rate;
+    }
+    q[static_cast<std::size_t>(i) * n + i] = -rowSum;
+  }
+  // Normalize to one expected substitution per unit time.
+  double mu = 0.0;
+  for (int i = 0; i < n; ++i) mu -= freqs_[i] * q[static_cast<std::size_t>(i) * n + i];
+  if (!(mu > 0.0)) throw Error("SubstitutionModel: degenerate rate matrix");
+  for (auto& v : q) v /= mu;
+  return q;
+}
+
+EigenSystem SubstitutionModel::eigenSystem() const {
+  const auto q = rateMatrix();
+  return decomposeReversible(q.data(), freqs_.data(), states());
+}
+
+JC69Model::JC69Model() { freqs_.assign(kNucleotideStates, 0.25); }
+
+namespace {
+
+void checkFrequencies(const std::vector<double>& f, int n, const char* who) {
+  if (static_cast<int>(f.size()) != n) throw Error(std::string(who) + ": bad frequency count");
+  double sum = 0.0;
+  for (double v : f) {
+    if (!(v > 0.0)) throw Error(std::string(who) + ": frequencies must be positive");
+    sum += v;
+  }
+  if (std::abs(sum - 1.0) > 1e-6) throw Error(std::string(who) + ": frequencies must sum to 1");
+}
+
+}  // namespace
+
+HKY85Model::HKY85Model(double kappa, const std::vector<double>& frequencies)
+    : kappa_(kappa) {
+  checkFrequencies(frequencies, kNucleotideStates, "HKY85Model");
+  if (!(kappa > 0.0)) throw Error("HKY85Model: kappa must be positive");
+  freqs_ = frequencies;
+}
+
+double HKY85Model::exchangeability(int i, int j) const {
+  // Nucleotide order A=0, C=1, G=2, T=3; transitions are A<->G and C<->T.
+  const bool transition = (i + j == 2 && i != j) || (i + j == 4 && i != j);
+  return transition ? kappa_ : 1.0;
+}
+
+GTRModel::GTRModel(const std::vector<double>& rates, const std::vector<double>& frequencies)
+    : rates_(rates) {
+  if (rates_.size() != 6) throw Error("GTRModel: expected 6 exchangeabilities");
+  for (double r : rates_)
+    if (!(r > 0.0)) throw Error("GTRModel: exchangeabilities must be positive");
+  checkFrequencies(frequencies, kNucleotideStates, "GTRModel");
+  freqs_ = frequencies;
+}
+
+double GTRModel::exchangeability(int i, int j) const {
+  if (i > j) std::swap(i, j);
+  // (i,j) pairs in order: AC AG AT CG CT GT for A,C,G,T = 0..3
+  static constexpr int kIndex[4][4] = {
+      {-1, 0, 1, 2}, {0, -1, 3, 4}, {1, 3, -1, 5}, {2, 4, 5, -1}};
+  return rates_[kIndex[i][j]];
+}
+
+AminoAcidModel::AminoAcidModel(std::vector<double> exchangeabilities,
+                               const std::vector<double>& frequencies)
+    : exch_(std::move(exchangeabilities)) {
+  const std::size_t n = kAminoAcidStates;
+  if (exch_.size() != n * n) throw Error("AminoAcidModel: expected 20x20 exchangeabilities");
+  checkFrequencies(frequencies, kAminoAcidStates, "AminoAcidModel");
+  freqs_ = frequencies;
+}
+
+AminoAcidModel AminoAcidModel::poisson() {
+  std::vector<double> exch(kAminoAcidStates * kAminoAcidStates, 1.0);
+  std::vector<double> freqs(kAminoAcidStates, 1.0 / kAminoAcidStates);
+  return AminoAcidModel(std::move(exch), freqs);
+}
+
+AminoAcidModel AminoAcidModel::random(std::uint64_t seed) {
+  Rng rng(seed);
+  const int n = kAminoAcidStates;
+  std::vector<double> exch(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      const double r = rng.gamma(0.5) + 0.01;  // heavy-tailed, like empirical tables
+      exch[static_cast<std::size_t>(i) * n + j] = r;
+      exch[static_cast<std::size_t>(j) * n + i] = r;
+    }
+  std::vector<double> freqs(n);
+  rng.dirichlet(5.0, n, freqs.data());
+  // dirichlet() normalizes but guard against tiny frequencies.
+  for (auto& f : freqs) f = std::max(f, 1e-4);
+  double sum = 0.0;
+  for (double f : freqs) sum += f;
+  for (auto& f : freqs) f /= sum;
+  return AminoAcidModel(std::move(exch), freqs);
+}
+
+double AminoAcidModel::exchangeability(int i, int j) const {
+  return exch_[static_cast<std::size_t>(i) * kAminoAcidStates + j];
+}
+
+GY94CodonModel::GY94CodonModel(double kappa, double omega,
+                               const std::vector<double>& codonFrequencies)
+    : kappa_(kappa), omega_(omega) {
+  if (!(kappa > 0.0) || !(omega > 0.0)) throw Error("GY94CodonModel: bad parameters");
+  checkFrequencies(codonFrequencies, kCodonStates, "GY94CodonModel");
+  freqs_ = codonFrequencies;
+}
+
+GY94CodonModel GY94CodonModel::equalFrequencies(double kappa, double omega) {
+  std::vector<double> f(kCodonStates, 1.0 / kCodonStates);
+  return GY94CodonModel(kappa, omega, f);
+}
+
+double GY94CodonModel::exchangeability(int i, int j) const {
+  const auto& code = GeneticCode::universal();
+  const int ci = code.codon64(i);
+  const int cj = code.codon64(j);
+  int diffPos = -1;
+  for (int p = 0; p < 3; ++p) {
+    if (GeneticCode::nucleotideAt(ci, p) != GeneticCode::nucleotideAt(cj, p)) {
+      if (diffPos >= 0) return 0.0;  // multi-nucleotide change disallowed
+      diffPos = p;
+    }
+  }
+  if (diffPos < 0) return 0.0;  // same codon (diagonal handled by caller)
+  double rate = 1.0;
+  if (GeneticCode::isTransition(GeneticCode::nucleotideAt(ci, diffPos),
+                                GeneticCode::nucleotideAt(cj, diffPos))) {
+    rate *= kappa_;
+  }
+  if (code.aminoAcid(ci) != code.aminoAcid(cj)) rate *= omega_;
+  return rate;
+}
+
+K80Model::K80Model(double kappa) : kappa_(kappa) {
+  if (!(kappa > 0.0)) throw Error("K80Model: kappa must be positive");
+  freqs_.assign(kNucleotideStates, 0.25);
+}
+
+double K80Model::exchangeability(int i, int j) const {
+  const bool transition = (i + j == 2 && i != j) || (i + j == 4 && i != j);
+  return transition ? kappa_ : 1.0;
+}
+
+TN93Model::TN93Model(double kappaR, double kappaY,
+                     const std::vector<double>& frequencies)
+    : kappaR_(kappaR), kappaY_(kappaY) {
+  if (!(kappaR > 0.0) || !(kappaY > 0.0)) throw Error("TN93Model: bad kappas");
+  checkFrequencies(frequencies, kNucleotideStates, "TN93Model");
+  freqs_ = frequencies;
+}
+
+double TN93Model::exchangeability(int i, int j) const {
+  // A=0, C=1, G=2, T=3: A<->G purine transition, C<->T pyrimidine.
+  if ((i == 0 && j == 2) || (i == 2 && j == 0)) return kappaR_;
+  if ((i == 1 && j == 3) || (i == 3 && j == 1)) return kappaY_;
+  return 1.0;
+}
+
+namespace {
+
+/// Nucleotide A,C,G,T index for the TCAG-digit `tcag` used by GeneticCode.
+int acgtFromTcag(int tcag) {
+  static constexpr int kMap[4] = {3, 1, 0, 2};  // T,C,A,G -> index in A,C,G,T
+  return kMap[tcag];
+}
+
+}  // namespace
+
+std::vector<double> codonFrequenciesF1x4(const std::vector<double>& nucFreqs) {
+  if (nucFreqs.size() != 4) throw Error("codonFrequenciesF1x4: need 4 frequencies");
+  std::vector<double> expanded(12);
+  for (int pos = 0; pos < 3; ++pos) {
+    for (int n = 0; n < 4; ++n) expanded[pos * 4 + n] = nucFreqs[n];
+  }
+  return codonFrequenciesF3x4(expanded);
+}
+
+std::vector<double> codonFrequenciesF3x4(const std::vector<double>& nucFreqs) {
+  if (nucFreqs.size() != 12) {
+    throw Error("codonFrequenciesF3x4: need 12 (3x4) frequencies");
+  }
+  const auto& code = GeneticCode::universal();
+  std::vector<double> out(kCodonStates);
+  double sum = 0.0;
+  for (int s = 0; s < kCodonStates; ++s) {
+    const int c64 = code.codon64(s);
+    double p = 1.0;
+    for (int pos = 0; pos < 3; ++pos) {
+      p *= nucFreqs[pos * 4 + acgtFromTcag(GeneticCode::nucleotideAt(c64, pos))];
+    }
+    out[s] = p;
+    sum += p;
+  }
+  if (!(sum > 0.0)) throw Error("codonFrequenciesF3x4: degenerate frequencies");
+  for (auto& v : out) v /= sum;
+  return out;
+}
+
+std::vector<double> positionalNucleotideFrequencies(
+    const std::vector<int>& codonStates) {
+  const auto& code = GeneticCode::universal();
+  std::vector<double> counts(12, 1.0);  // +1 pseudocount avoids zeros
+  for (int s : codonStates) {
+    if (s < 0 || s >= kCodonStates) continue;
+    const int c64 = code.codon64(s);
+    for (int pos = 0; pos < 3; ++pos) {
+      counts[pos * 4 + acgtFromTcag(GeneticCode::nucleotideAt(c64, pos))] += 1.0;
+    }
+  }
+  for (int pos = 0; pos < 3; ++pos) {
+    double total = 0.0;
+    for (int n = 0; n < 4; ++n) total += counts[pos * 4 + n];
+    for (int n = 0; n < 4; ++n) counts[pos * 4 + n] /= total;
+  }
+  return counts;
+}
+
+MG94CodonModel::MG94CodonModel(double kappa, double omega,
+                               const std::vector<double>& nucFreqs)
+    : kappa_(kappa), omega_(omega), nucFreqs_(nucFreqs) {
+  if (!(kappa > 0.0) || !(omega > 0.0)) throw Error("MG94CodonModel: bad parameters");
+  checkFrequencies(nucFreqs_, kNucleotideStates, "MG94CodonModel");
+  // Stationary distribution of MG94 rates is the F1x4 codon distribution.
+  freqs_ = codonFrequenciesF1x4(nucFreqs_);
+}
+
+double MG94CodonModel::exchangeability(int i, int j) const {
+  // Q_ij = kappa^[ts] * omega^[nonsyn] * pi_nt(target). Our base class
+  // builds Q_ij = r_ij * pi_codon(j), so divide out the unchanged
+  // positions' nucleotide frequencies (the Z normalizer cancels in the
+  // overall rate normalization).
+  const auto& code = GeneticCode::universal();
+  const int ci = code.codon64(i);
+  const int cj = code.codon64(j);
+  int diffPos = -1;
+  for (int p = 0; p < 3; ++p) {
+    if (GeneticCode::nucleotideAt(ci, p) != GeneticCode::nucleotideAt(cj, p)) {
+      if (diffPos >= 0) return 0.0;
+      diffPos = p;
+    }
+  }
+  if (diffPos < 0) return 0.0;
+  double rate = 1.0;
+  if (GeneticCode::isTransition(GeneticCode::nucleotideAt(ci, diffPos),
+                                GeneticCode::nucleotideAt(cj, diffPos))) {
+    rate *= kappa_;
+  }
+  if (code.aminoAcid(ci) != code.aminoAcid(cj)) rate *= omega_;
+  for (int p = 0; p < 3; ++p) {
+    if (p == diffPos) continue;
+    rate /= nucFreqs_[acgtFromTcag(GeneticCode::nucleotideAt(cj, p))];
+  }
+  return rate;
+}
+
+AminoAcidModel aminoAcidModelFromPamlText(const std::string& text) {
+  // Strip '*'-comments, then read 190 lower-triangle values + 20 freqs.
+  std::string clean;
+  clean.reserve(text.size());
+  bool inComment = false;
+  for (char c : text) {
+    if (c == '*') inComment = true;
+    if (c == '\n') inComment = false;
+    if (!inComment) clean += c;
+  }
+  std::vector<double> values;
+  values.reserve(210);
+  const char* p = clean.c_str();
+  char* end = nullptr;
+  for (;;) {
+    const double v = std::strtod(p, &end);
+    if (end == p) break;
+    values.push_back(v);
+    p = end;
+  }
+  if (values.size() != 210) {
+    throw Error("aminoAcidModelFromPamlText: expected 190 rates + 20 frequencies, "
+                "got " + std::to_string(values.size()) + " numbers");
+  }
+  const int n = kAminoAcidStates;
+  std::vector<double> exch(static_cast<std::size_t>(n) * n, 0.0);
+  std::size_t idx = 0;
+  for (int i = 1; i < n; ++i) {
+    for (int j = 0; j < i; ++j) {
+      exch[static_cast<std::size_t>(i) * n + j] = values[idx];
+      exch[static_cast<std::size_t>(j) * n + i] = values[idx];
+      ++idx;
+    }
+  }
+  std::vector<double> freqs(values.begin() + 190, values.end());
+  double sum = 0.0;
+  for (double f : freqs) sum += f;
+  if (!(sum > 0.0)) throw Error("aminoAcidModelFromPamlText: bad frequencies");
+  for (auto& f : freqs) f /= sum;
+  return AminoAcidModel(std::move(exch), freqs);
+}
+
+std::unique_ptr<SubstitutionModel> defaultModelForStates(int states, std::uint64_t seed) {
+  switch (states) {
+    case kNucleotideStates: {
+      Rng rng(seed);
+      std::vector<double> f(4);
+      rng.dirichlet(20.0, 4, f.data());
+      return std::make_unique<HKY85Model>(2.0 + rng.uniform(), f);
+    }
+    case kAminoAcidStates:
+      return std::make_unique<AminoAcidModel>(AminoAcidModel::random(seed));
+    case kCodonStates: {
+      Rng rng(seed);
+      std::vector<double> f(kCodonStates);
+      rng.dirichlet(10.0, kCodonStates, f.data());
+      return std::make_unique<GY94CodonModel>(2.0, 0.5, f);
+    }
+    default:
+      throw Error("defaultModelForStates: unsupported state count " +
+                  std::to_string(states));
+  }
+}
+
+}  // namespace bgl

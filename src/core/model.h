@@ -1,0 +1,208 @@
+// Substitution models: reversible CTMCs over nucleotide, amino-acid and
+// codon state spaces. A model yields a normalized rate matrix Q (mean rate
+// of 1 substitution per unit time at stationarity) plus stationary
+// frequencies; decomposeReversible() turns that into the EigenSystem the
+// library consumes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/defs.h"
+#include "core/eigen.h"
+
+namespace bgl {
+
+/// Abstract reversible substitution model.
+class SubstitutionModel {
+ public:
+  virtual ~SubstitutionModel() = default;
+
+  virtual int states() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Stationary frequencies (length states()).
+  const std::vector<double>& frequencies() const { return freqs_; }
+
+  /// Normalized rate matrix, row-major states() x states(); rows sum to 0,
+  /// and -sum_i pi_i * Q_ii == 1.
+  std::vector<double> rateMatrix() const;
+
+  /// Eigendecomposition of the normalized rate matrix.
+  EigenSystem eigenSystem() const;
+
+ protected:
+  /// Symmetric exchangeabilities r_ij (i<j flattened, or full matrix hook).
+  /// Default rateMatrix() builds Q_ij = r_ij * pi_j from this.
+  virtual double exchangeability(int i, int j) const = 0;
+
+  std::vector<double> freqs_;
+};
+
+/// Jukes-Cantor 1969: equal frequencies, equal exchangeabilities.
+class JC69Model final : public SubstitutionModel {
+ public:
+  JC69Model();
+  int states() const override { return kNucleotideStates; }
+  std::string name() const override { return "JC69"; }
+
+ protected:
+  double exchangeability(int, int) const override { return 1.0; }
+};
+
+/// Hasegawa-Kishino-Yano 1985: transition/transversion ratio kappa plus
+/// arbitrary base frequencies. K80 is the equal-frequency special case.
+class HKY85Model final : public SubstitutionModel {
+ public:
+  HKY85Model(double kappa, const std::vector<double>& frequencies);
+  int states() const override { return kNucleotideStates; }
+  std::string name() const override { return "HKY85"; }
+  double kappa() const { return kappa_; }
+
+ protected:
+  double exchangeability(int i, int j) const override;
+
+ private:
+  double kappa_;
+};
+
+/// Kimura 1980 two-parameter model: HKY85 with equal base frequencies.
+class K80Model final : public SubstitutionModel {
+ public:
+  explicit K80Model(double kappa);
+  int states() const override { return kNucleotideStates; }
+  std::string name() const override { return "K80"; }
+  double kappa() const { return kappa_; }
+
+ protected:
+  double exchangeability(int i, int j) const override;
+
+ private:
+  double kappa_;
+};
+
+/// Tamura-Nei 1993: distinct purine (A<->G) and pyrimidine (C<->T)
+/// transition rates plus arbitrary base frequencies.
+class TN93Model final : public SubstitutionModel {
+ public:
+  TN93Model(double kappaR, double kappaY, const std::vector<double>& frequencies);
+  int states() const override { return kNucleotideStates; }
+  std::string name() const override { return "TN93"; }
+  double kappaR() const { return kappaR_; }
+  double kappaY() const { return kappaY_; }
+
+ protected:
+  double exchangeability(int i, int j) const override;
+
+ private:
+  double kappaR_;  // A<->G
+  double kappaY_;  // C<->T
+};
+
+/// General time-reversible nucleotide model: six exchangeabilities in the
+/// order AC, AG, AT, CG, CT, GT with nucleotide order A,C,G,T.
+class GTRModel final : public SubstitutionModel {
+ public:
+  GTRModel(const std::vector<double>& rates, const std::vector<double>& frequencies);
+  int states() const override { return kNucleotideStates; }
+  std::string name() const override { return "GTR"; }
+  const std::vector<double>& rates() const { return rates_; }
+
+ protected:
+  double exchangeability(int i, int j) const override;
+
+ private:
+  std::vector<double> rates_;  // upper triangle, 6 values
+};
+
+/// Amino-acid model with explicit 20x20 exchangeabilities. `poisson()`
+/// gives the flat (Felsenstein-81-like) model; `random(seed)` produces a
+/// reproducible synthetic empirical-style matrix for benchmarking (we do
+/// not embed WAG/LG numeric tables; see DESIGN.md).
+class AminoAcidModel final : public SubstitutionModel {
+ public:
+  AminoAcidModel(std::vector<double> exchangeabilities,
+                 const std::vector<double>& frequencies);
+  static AminoAcidModel poisson();
+  static AminoAcidModel random(std::uint64_t seed);
+
+  int states() const override { return kAminoAcidStates; }
+  std::string name() const override { return "AminoAcid"; }
+
+ protected:
+  double exchangeability(int i, int j) const override;
+
+ private:
+  std::vector<double> exch_;  // full 20x20 row-major symmetric
+};
+
+/// Goldman-Yang 1994 codon model over 61 sense codons: kappa scales
+/// transitions, omega scales nonsynonymous changes, multi-nucleotide
+/// changes are disallowed.
+class GY94CodonModel final : public SubstitutionModel {
+ public:
+  GY94CodonModel(double kappa, double omega, const std::vector<double>& codonFrequencies);
+  /// Equal sense-codon frequencies convenience constructor.
+  static GY94CodonModel equalFrequencies(double kappa, double omega);
+
+  int states() const override { return kCodonStates; }
+  std::string name() const override { return "GY94"; }
+  double kappa() const { return kappa_; }
+  double omega() const { return omega_; }
+
+ protected:
+  double exchangeability(int i, int j) const override;
+
+ private:
+  double kappa_;
+  double omega_;
+};
+
+/// Codon equilibrium frequencies from nucleotide composition.
+/// F1x4: pi(codon) ~ prod of one shared nucleotide distribution;
+/// F3x4: position-specific nucleotide distributions (nucleotide order
+/// A,C,G,T; `nucFreqs` is 4 values for F1x4 or 12 (3 positions x 4) for
+/// F3x4). Stop codons are excluded and the result renormalized.
+std::vector<double> codonFrequenciesF1x4(const std::vector<double>& nucFreqs);
+std::vector<double> codonFrequenciesF3x4(const std::vector<double>& nucFreqs);
+
+/// Empirical nucleotide composition of coding sequence data, position
+/// aware (12 values, for F3x4). `codonStates` are sense-codon indices;
+/// negative codes are skipped.
+std::vector<double> positionalNucleotideFrequencies(
+    const std::vector<int>& codonStates);
+
+/// Muse-Gaut 1994 codon model: like GY94 but the target-codon factor is
+/// the frequency of the *replaced nucleotide* rather than of the whole
+/// codon (rates are proportional to pi_nucleotide, not pi_codon).
+class MG94CodonModel final : public SubstitutionModel {
+ public:
+  MG94CodonModel(double kappa, double omega, const std::vector<double>& nucFreqs);
+  int states() const override { return kCodonStates; }
+  std::string name() const override { return "MG94"; }
+  double kappa() const { return kappa_; }
+  double omega() const { return omega_; }
+
+ protected:
+  double exchangeability(int i, int j) const override;
+
+ private:
+  double kappa_;
+  double omega_;
+  std::vector<double> nucFreqs_;  // A,C,G,T
+};
+
+/// Parse a PAML-format empirical amino-acid rate file: 190 lower-triangle
+/// exchangeabilities followed by 20 frequencies (whitespace separated,
+/// `*`-to-end-of-line comments allowed). This is the distribution format
+/// of WAG/LG/JTT matrices.
+AminoAcidModel aminoAcidModelFromPamlText(const std::string& text);
+
+/// Factory: build the default benchmarking model for a state count
+/// (4 -> HKY85, 20 -> random amino, 61 -> GY94), as genomictest does with
+/// synthetic parameters.
+std::unique_ptr<SubstitutionModel> defaultModelForStates(int states,
+                                                         std::uint64_t seed = 42);
+
+}  // namespace bgl

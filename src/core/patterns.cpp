@@ -1,0 +1,79 @@
+#include "core/patterns.h"
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "core/defs.h"
+
+namespace bgl {
+namespace {
+
+struct ColumnHash {
+  const std::vector<int>* data;
+  int taxa;
+  int sites;
+  std::size_t operator()(int col) const {
+    std::size_t h = 1469598103934665603ull;
+    for (int t = 0; t < taxa; ++t) {
+      h ^= static_cast<std::size_t>(
+          (*data)[static_cast<std::size_t>(t) * sites + col] + 1);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+struct ColumnEq {
+  const std::vector<int>* data;
+  int taxa;
+  int sites;
+  bool operator()(int a, int b) const {
+    for (int t = 0; t < taxa; ++t) {
+      const std::size_t row = static_cast<std::size_t>(t) * sites;
+      if ((*data)[row + a] != (*data)[row + b]) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+PatternSet compressPatterns(const std::vector<int>& siteStates, int taxa, int sites) {
+  if (taxa <= 0 || sites <= 0 ||
+      siteStates.size() != static_cast<std::size_t>(taxa) * sites) {
+    throw Error("compressPatterns: dimension mismatch");
+  }
+
+  ColumnHash hash{&siteStates, taxa, sites};
+  ColumnEq eq{&siteStates, taxa, sites};
+  std::unordered_map<int, int, ColumnHash, ColumnEq> seen(
+      static_cast<std::size_t>(sites) * 2, hash, eq);
+
+  PatternSet out;
+  out.taxa = taxa;
+  out.originalSites = sites;
+  std::vector<int> firstColumn;  // representative column per unique pattern
+
+  for (int col = 0; col < sites; ++col) {
+    auto [it, inserted] = seen.try_emplace(col, static_cast<int>(firstColumn.size()));
+    if (inserted) {
+      firstColumn.push_back(col);
+      out.weights.push_back(1.0);
+    } else {
+      out.weights[it->second] += 1.0;
+    }
+  }
+
+  out.patterns = static_cast<int>(firstColumn.size());
+  out.states.resize(static_cast<std::size_t>(taxa) * out.patterns);
+  for (int t = 0; t < taxa; ++t) {
+    const std::size_t srcRow = static_cast<std::size_t>(t) * sites;
+    const std::size_t dstRow = static_cast<std::size_t>(t) * out.patterns;
+    for (int k = 0; k < out.patterns; ++k) {
+      out.states[dstRow + k] = siteStates[srcRow + firstColumn[k]];
+    }
+  }
+  return out;
+}
+
+}  // namespace bgl

@@ -1,0 +1,32 @@
+// Site-pattern compression.
+//
+// Phylogenetic likelihoods are identical for alignment columns with the same
+// state assignment across taxa, so alignments are collapsed to unique
+// "site patterns" with integer weights before computation — the problem
+// sizes throughout the paper are counted in unique site patterns.
+#pragma once
+
+#include <vector>
+
+namespace bgl {
+
+/// One alignment compressed into unique patterns.
+struct PatternSet {
+  int taxa = 0;
+  int patterns = 0;           ///< number of unique patterns
+  std::vector<int> states;    ///< taxa x patterns, row-major per taxon
+  std::vector<double> weights;///< per-pattern multiplicity
+  int originalSites = 0;
+
+  /// State code of taxon t at pattern k.
+  int at(int taxon, int pattern) const {
+    return states[static_cast<std::size_t>(taxon) * patterns + pattern];
+  }
+};
+
+/// Compress a taxa x sites matrix of state codes (row-major per taxon,
+/// codes 0..stateCount-1, or negative for ambiguity/gap) into unique
+/// patterns with weights. Column order of first occurrence is preserved.
+PatternSet compressPatterns(const std::vector<int>& siteStates, int taxa, int sites);
+
+}  // namespace bgl

@@ -1,0 +1,141 @@
+// Deterministic, fast pseudo-random number generation (xoshiro256++).
+//
+// Used by the synthetic workload generator, the sequence simulator, and the
+// MC3 engine. A self-contained generator keeps results reproducible across
+// standard-library implementations.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace bgl {
+
+/// xoshiro256++ by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded sampling.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      std::uint64_t t = -n % n;
+      while (lo < t) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  int belowInt(int n) { return static_cast<int>(below(static_cast<std::uint64_t>(n))); }
+
+  /// Exponential with given rate.
+  double exponential(double rate) { return -std::log1p(-uniform()) / rate; }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * f;
+    has_spare_ = true;
+    return u * f;
+  }
+
+  /// Gamma(shape, scale=1) via Marsaglia & Tsang.
+  double gamma(double shape) {
+    if (shape < 1.0) {
+      const double u = uniform();
+      return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+    }
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+      double x, v;
+      do {
+        x = normal();
+        v = 1.0 + c * x;
+      } while (v <= 0.0);
+      v = v * v * v;
+      const double u = uniform();
+      if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+      if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+    }
+  }
+
+  /// Dirichlet-style draw: fills `out[0..n)` with positive values summing to 1.
+  void dirichlet(double alpha, int n, double* out) {
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      out[i] = gamma(alpha);
+      sum += out[i];
+    }
+    for (int i = 0; i < n; ++i) out[i] /= sum;
+  }
+
+  /// Sample index from a discrete distribution given by `weights[0..n)`.
+  int categorical(const double* weights, int n) {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) total += weights[i];
+    double r = uniform() * total;
+    for (int i = 0; i < n; ++i) {
+      r -= weights[i];
+      if (r <= 0.0) return i;
+    }
+    return n - 1;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace bgl

@@ -1,0 +1,10 @@
+#include "core/thread_pool.h"
+
+namespace bgl {
+
+ThreadPool& globalThreadPool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace bgl

@@ -1,0 +1,130 @@
+// A persistent pool of C++ standard-library threads.
+//
+// This is the final iteration of the paper's CPU threading design
+// (Section VI-C): threads are created once and fed work items through a
+// mutex/condition-variable queue, avoiding the per-call thread creation
+// cost the thread-create approach pays.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bgl {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads = std::thread::hardware_concurrency()) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { workerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue a task; the returned future resolves when it completes.
+  template <typename F>
+  std::future<void> submit(F&& f) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(block) for block in [0, blocks), using at most `maxWorkers`
+  /// concurrent executors (0 = all pool threads). The calling thread
+  /// participates and then spin-waits (with yields) for helpers: partials
+  /// blocks are sub-millisecond, so a condition-variable sleep/wake cycle
+  /// per operation would dominate the win from threading.
+  template <typename F>
+  void parallelFor(int blocks, F&& fn, unsigned maxWorkers = 0) {
+    if (blocks <= 0) return;
+    if (blocks == 1) {
+      fn(0);
+      return;
+    }
+    // maxWorkers caps TOTAL concurrency including the calling thread.
+    const unsigned total = maxWorkers == 0 ? size() + 1 : maxWorkers;
+    struct Shared {
+      std::atomic<int> next{0};
+      std::atomic<int> done{0};
+    };
+    auto shared = std::make_shared<Shared>();
+    auto body = [shared, blocks, &fn] {
+      for (;;) {
+        const int i = shared->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= blocks) break;
+        fn(i);
+        shared->done.fetch_add(1, std::memory_order_release);
+      }
+    };
+    const unsigned helpers = std::min<unsigned>(
+        std::min(total - 1, size()), static_cast<unsigned>(blocks) - 1);
+    for (unsigned i = 0; i < helpers; ++i) {
+      // Helpers hold shared (not &fn-lifetime issues: we wait for done).
+      enqueueDetached(body);
+    }
+    body();  // caller participates
+    while (shared->done.load(std::memory_order_acquire) < blocks) {
+      std::this_thread::yield();
+    }
+  }
+
+  /// Enqueue fire-and-forget work (no future allocation).
+  void enqueueDetached(std::function<void()> task) {
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool shared by the simulated accelerator runtimes.
+ThreadPool& globalThreadPool();
+
+}  // namespace bgl

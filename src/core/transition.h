@@ -1,0 +1,33 @@
+// Host-side transition-probability computation from an EigenSystem.
+// Used by the sequence simulator and by tests as an independent reference
+// for the library's transition-matrix kernels.
+#pragma once
+
+#include <vector>
+
+#include "core/eigen.h"
+
+namespace bgl {
+
+/// P(t) = evec * diag(exp(eval * rate * t)) * ivec, row-major n x n.
+/// Entries are clamped at zero (round-off can produce tiny negatives).
+inline std::vector<double> transitionMatrix(const EigenSystem& es, double t,
+                                            double rate = 1.0) {
+  const int n = es.states;
+  std::vector<double> expl(n);
+  for (int k = 0; k < n; ++k) expl[k] = std::exp(es.eval[k] * rate * t);
+  std::vector<double> p(static_cast<std::size_t>(n) * n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < n; ++k) {
+        sum += es.evec[static_cast<std::size_t>(i) * n + k] * expl[k] *
+               es.ivec[static_cast<std::size_t>(k) * n + j];
+      }
+      p[static_cast<std::size_t>(i) * n + j] = sum > 0.0 ? sum : 0.0;
+    }
+  }
+  return p;
+}
+
+}  // namespace bgl

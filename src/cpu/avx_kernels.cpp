@@ -1,0 +1,108 @@
+// AVX2+FMA kernels: 4-state nucleotide model, double precision (4 lanes —
+// one full state vector per register).
+#include "cpu/simd_kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+
+namespace bgl::cpu {
+namespace {
+
+// Given per-row element-wise products t[i] = m_row_i * v, produce the
+// vector { hsum(t0), hsum(t1), hsum(t2), hsum(t3) } via the standard
+// 4x4 horizontal reduction.
+inline __m256d reduce4(__m256d t0, __m256d t1, __m256d t2, __m256d t3) {
+  const __m256d s01 = _mm256_hadd_pd(t0, t1);  // [t0a+t0b, t1a+t1b, t0c+t0d, t1c+t1d]
+  const __m256d s23 = _mm256_hadd_pd(t2, t3);
+  const __m256d lo = _mm256_permute2f128_pd(s01, s23, 0x20);
+  const __m256d hi = _mm256_permute2f128_pd(s01, s23, 0x31);
+  return _mm256_add_pd(lo, hi);  // [sum0, sum1, sum2, sum3]
+}
+
+// out[i] = sum_j m[i*4+j] * v[j] for all four rows at once.
+inline __m256d matVec4(const double* m, __m256d v) {
+  const __m256d t0 = _mm256_mul_pd(_mm256_load_pd(m + 0), v);
+  const __m256d t1 = _mm256_mul_pd(_mm256_load_pd(m + 4), v);
+  const __m256d t2 = _mm256_mul_pd(_mm256_load_pd(m + 8), v);
+  const __m256d t3 = _mm256_mul_pd(_mm256_load_pd(m + 12), v);
+  return reduce4(t0, t1, t2, t3);
+}
+
+// Column i of a row-major 4x4 matrix as a vector (for compact tips), or
+// all-ones for ambiguity codes.
+inline __m256d matCol4(const double* m, int code) {
+  if (code >= 4) return _mm256_set1_pd(1.0);
+  return _mm256_set_pd(m[12 + code], m[8 + code], m[4 + code], m[code]);
+}
+
+}  // namespace
+
+void partialsPartials4Avx(double* dest, const double* p1, const double* m1,
+                          const double* p2, const double* m2, int patterns,
+                          int categories, int kBegin, int kEnd) {
+  for (int c = 0; c < categories; ++c) {
+    const double* mc1 = m1 + static_cast<std::size_t>(c) * 16;
+    const double* mc2 = m2 + static_cast<std::size_t>(c) * 16;
+    const std::size_t plane = static_cast<std::size_t>(c) * patterns * 4;
+    for (int k = kBegin; k < kEnd; ++k) {
+      const std::size_t row = plane + static_cast<std::size_t>(k) * 4;
+      const __m256d v1 = _mm256_loadu_pd(p1 + row);
+      const __m256d v2 = _mm256_loadu_pd(p2 + row);
+      const __m256d s1 = matVec4(mc1, v1);
+      const __m256d s2 = matVec4(mc2, v2);
+      _mm256_storeu_pd(dest + row, _mm256_mul_pd(s1, s2));
+    }
+  }
+}
+
+void statesPartials4Avx(double* dest, const std::int32_t* s1, const double* m1,
+                        const double* p2, const double* m2, int patterns,
+                        int categories, int kBegin, int kEnd) {
+  for (int c = 0; c < categories; ++c) {
+    const double* mc1 = m1 + static_cast<std::size_t>(c) * 16;
+    const double* mc2 = m2 + static_cast<std::size_t>(c) * 16;
+    const std::size_t plane = static_cast<std::size_t>(c) * patterns * 4;
+    for (int k = kBegin; k < kEnd; ++k) {
+      const std::size_t row = plane + static_cast<std::size_t>(k) * 4;
+      const __m256d a = matCol4(mc1, s1[k]);
+      const __m256d s2 = matVec4(mc2, _mm256_loadu_pd(p2 + row));
+      _mm256_storeu_pd(dest + row, _mm256_mul_pd(a, s2));
+    }
+  }
+}
+
+void statesStates4Avx(double* dest, const std::int32_t* s1, const double* m1,
+                      const std::int32_t* s2, const double* m2, int patterns,
+                      int categories, int kBegin, int kEnd) {
+  for (int c = 0; c < categories; ++c) {
+    const double* mc1 = m1 + static_cast<std::size_t>(c) * 16;
+    const double* mc2 = m2 + static_cast<std::size_t>(c) * 16;
+    const std::size_t plane = static_cast<std::size_t>(c) * patterns * 4;
+    for (int k = kBegin; k < kEnd; ++k) {
+      const std::size_t row = plane + static_cast<std::size_t>(k) * 4;
+      const __m256d a = matCol4(mc1, s1[k]);
+      const __m256d b = matCol4(mc2, s2[k]);
+      _mm256_storeu_pd(dest + row, _mm256_mul_pd(a, b));
+    }
+  }
+}
+
+}  // namespace bgl::cpu
+
+#else  // no AVX2+FMA at compile time: runtime dispatch never selects these
+
+#include "core/defs.h"
+
+namespace bgl::cpu {
+namespace {
+[[noreturn]] void unavailable() { throw Error("AVX kernels not compiled in"); }
+}  // namespace
+void partialsPartials4Avx(double*, const double*, const double*, const double*,
+                          const double*, int, int, int, int) { unavailable(); }
+void statesPartials4Avx(double*, const std::int32_t*, const double*, const double*,
+                        const double*, int, int, int, int) { unavailable(); }
+void statesStates4Avx(double*, const std::int32_t*, const double*, const std::int32_t*,
+                      const double*, int, int, int, int) { unavailable(); }
+}  // namespace bgl::cpu
+
+#endif

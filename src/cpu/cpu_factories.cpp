@@ -1,0 +1,115 @@
+#include "cpu/cpu_factories.h"
+
+#include "cpu/cpu_impl.h"
+#include "cpu/simd_impl.h"
+#include "cpu/threaded_impl.h"
+#include "perfmodel/device_profiles.h"
+
+namespace bgl::cpu {
+namespace {
+
+constexpr long kCommonFlags = BGL_FLAG_PROCESSOR_CPU | BGL_FLAG_FRAMEWORK_CPU |
+                              BGL_FLAG_COMPUTATION_SYNCH | BGL_FLAG_SCALING_MANUAL |
+                              BGL_FLAG_SCALING_ALWAYS;
+
+bool wantsSingle(const InstanceConfig& cfg) {
+  return (cfg.flags & BGL_FLAG_PRECISION_SINGLE) != 0;
+}
+
+/// Generic CPU factory: instantiates `Maker` for the requested precision.
+template <typename DoubleImpl, typename FloatImpl>
+class CpuFactory final : public ImplementationFactory {
+ public:
+  CpuFactory(std::string name, int priority, long extraFlags, bool doubleOnly,
+             bool nucleotideOnly, bool available = true)
+      : name_(std::move(name)),
+        priority_(priority),
+        extraFlags_(extraFlags),
+        doubleOnly_(doubleOnly),
+        nucleotideOnly_(nucleotideOnly),
+        available_(available) {}
+
+  std::string name() const override { return name_; }
+  int priority() const override { return priority_; }
+
+  long supportFlags(int /*resource*/) const override {
+    long flags = kCommonFlags | extraFlags_ | BGL_FLAG_PRECISION_DOUBLE;
+    if (!doubleOnly_) flags |= BGL_FLAG_PRECISION_SINGLE;
+    return flags;
+  }
+
+  bool servesResource(int resource) const override {
+    // CPU implementations execute natively: host resource only.
+    return available_ && resource == perf::kHostCpu;
+  }
+
+  std::unique_ptr<Implementation> create(const InstanceConfig& cfg) override {
+    if (!available_) return nullptr;
+    if (nucleotideOnly_ && cfg.stateCount != 4) return nullptr;
+    if (wantsSingle(cfg)) {
+      if (doubleOnly_) return nullptr;
+      if constexpr (std::is_same_v<FloatImpl, void>) {
+        return nullptr;
+      } else {
+        return std::make_unique<FloatImpl>(cfg);
+      }
+    }
+    return std::make_unique<DoubleImpl>(cfg);
+  }
+
+ private:
+  std::string name_;
+  int priority_;
+  long extraFlags_;
+  bool doubleOnly_;
+  bool nucleotideOnly_;
+  bool available_;
+};
+
+}  // namespace
+
+void appendCpuFactories(std::vector<std::unique_ptr<ImplementationFactory>>& out) {
+  using Serial = CpuFactory<CpuImpl<double>, CpuImpl<float>>;
+  using Futures = CpuFactory<FuturesImpl<double>, FuturesImpl<float>>;
+  using Create = CpuFactory<ThreadCreateImpl<double>, ThreadCreateImpl<float>>;
+  using Pool = CpuFactory<ThreadPoolImpl<double>, ThreadPoolImpl<float>>;
+  using Sse = CpuFactory<SseImpl, void>;
+  using Avx = CpuFactory<AvxImpl, void>;
+  using SsePool = CpuFactory<SseThreadPoolImpl, void>;
+  using AvxPool = CpuFactory<AvxThreadPoolImpl, void>;
+
+  out.push_back(std::make_unique<Serial>("CPU-serial", 10,
+                                         BGL_FLAG_VECTOR_NONE | BGL_FLAG_THREADING_NONE,
+                                         false, false));
+  out.push_back(std::make_unique<Futures>(
+      "CPU-threaded-futures", 12,
+      BGL_FLAG_VECTOR_NONE | BGL_FLAG_THREADING_CPP | BGL_FLAG_THREADING_FUTURES,
+      false, false));
+  out.push_back(std::make_unique<Create>(
+      "CPU-threaded-create", 13,
+      BGL_FLAG_VECTOR_NONE | BGL_FLAG_THREADING_CPP | BGL_FLAG_THREADING_THREAD_CREATE,
+      false, false));
+  out.push_back(std::make_unique<Pool>(
+      "CPU-threaded-pool", 30,
+      BGL_FLAG_VECTOR_NONE | BGL_FLAG_THREADING_CPP | BGL_FLAG_THREADING_THREAD_POOL,
+      false, false));
+
+  const bool sse = cpuSupportsSse2();
+  const bool avx = cpuSupportsAvx2Fma();
+  out.push_back(std::make_unique<Sse>("CPU-SSE", 20,
+                                      BGL_FLAG_VECTOR_SSE | BGL_FLAG_THREADING_NONE,
+                                      true, true, sse));
+  out.push_back(std::make_unique<Avx>("CPU-AVX", 22,
+                                      BGL_FLAG_VECTOR_AVX | BGL_FLAG_THREADING_NONE,
+                                      true, true, avx));
+  out.push_back(std::make_unique<SsePool>(
+      "CPU-SSE-threaded-pool", 32,
+      BGL_FLAG_VECTOR_SSE | BGL_FLAG_THREADING_CPP | BGL_FLAG_THREADING_THREAD_POOL,
+      true, true, sse));
+  out.push_back(std::make_unique<AvxPool>(
+      "CPU-AVX-threaded-pool", 34,
+      BGL_FLAG_VECTOR_AVX | BGL_FLAG_THREADING_CPP | BGL_FLAG_THREADING_THREAD_POOL,
+      true, true, avx));
+}
+
+}  // namespace bgl::cpu

@@ -1,0 +1,15 @@
+// Factories for the CPU implementation family.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "api/implementation.h"
+
+namespace bgl::cpu {
+
+/// Append all CPU implementation factories (serial, SSE, AVX, futures,
+/// thread-create, thread-pool, and SIMD+pool combinations) to `out`.
+void appendCpuFactories(std::vector<std::unique_ptr<ImplementationFactory>>& out);
+
+}  // namespace bgl::cpu

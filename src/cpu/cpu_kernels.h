@@ -1,0 +1,223 @@
+// Scalar compute kernels for the CPU implementations.
+//
+// The serial implementation (the paper's baseline) relies on whatever
+// auto-vectorization the compiler provides — explicitly vectorized SSE/AVX
+// versions live in simd_kernels.*. All kernels operate on a pattern range
+// [kBegin, kEnd) so the threaded implementations can split patterns across
+// C++ threads (Section VI-B/C).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "core/defs.h"
+
+namespace bgl::cpu {
+
+/// dest[c,k,i] = (sum_j m1[c,i,j] p1[c,k,j]) * (sum_j m2[c,i,j] p2[c,k,j])
+template <RealScalar Real>
+void partialsPartialsScalar(Real* BGL_RESTRICT dest, const Real* BGL_RESTRICT p1,
+                            const Real* BGL_RESTRICT m1, const Real* BGL_RESTRICT p2,
+                            const Real* BGL_RESTRICT m2, int patterns, int categories,
+                            int states, int kBegin, int kEnd) {
+  const std::size_t matStride = static_cast<std::size_t>(states) * states;
+  for (int c = 0; c < categories; ++c) {
+    const Real* mc1 = m1 + c * matStride;
+    const Real* mc2 = m2 + c * matStride;
+    const std::size_t plane = static_cast<std::size_t>(c) * patterns * states;
+    for (int k = kBegin; k < kEnd; ++k) {
+      const std::size_t row = plane + static_cast<std::size_t>(k) * states;
+      const Real* v1 = p1 + row;
+      const Real* v2 = p2 + row;
+      Real* out = dest + row;
+      for (int i = 0; i < states; ++i) {
+        Real sum1 = Real(0), sum2 = Real(0);
+        const Real* r1 = mc1 + static_cast<std::size_t>(i) * states;
+        const Real* r2 = mc2 + static_cast<std::size_t>(i) * states;
+        for (int j = 0; j < states; ++j) {
+          sum1 += r1[j] * v1[j];
+          sum2 += r2[j] * v2[j];
+        }
+        out[i] = sum1 * sum2;
+      }
+    }
+  }
+}
+
+/// Child 1 given as compact states (code >= states means full ambiguity).
+template <RealScalar Real>
+void statesPartialsScalar(Real* BGL_RESTRICT dest, const std::int32_t* BGL_RESTRICT s1,
+                          const Real* BGL_RESTRICT m1, const Real* BGL_RESTRICT p2,
+                          const Real* BGL_RESTRICT m2, int patterns, int categories,
+                          int states, int kBegin, int kEnd) {
+  const std::size_t matStride = static_cast<std::size_t>(states) * states;
+  for (int c = 0; c < categories; ++c) {
+    const Real* mc1 = m1 + c * matStride;
+    const Real* mc2 = m2 + c * matStride;
+    const std::size_t plane = static_cast<std::size_t>(c) * patterns * states;
+    for (int k = kBegin; k < kEnd; ++k) {
+      const std::size_t row = plane + static_cast<std::size_t>(k) * states;
+      const int code = s1[k];
+      const Real* v2 = p2 + row;
+      Real* out = dest + row;
+      for (int i = 0; i < states; ++i) {
+        const Real sum1 = (code < states)
+                              ? mc1[static_cast<std::size_t>(i) * states + code]
+                              : Real(1);
+        Real sum2 = Real(0);
+        const Real* r2 = mc2 + static_cast<std::size_t>(i) * states;
+        for (int j = 0; j < states; ++j) sum2 += r2[j] * v2[j];
+        out[i] = sum1 * sum2;
+      }
+    }
+  }
+}
+
+/// Both children given as compact states.
+template <RealScalar Real>
+void statesStatesScalar(Real* BGL_RESTRICT dest, const std::int32_t* BGL_RESTRICT s1,
+                        const Real* BGL_RESTRICT m1, const std::int32_t* BGL_RESTRICT s2,
+                        const Real* BGL_RESTRICT m2, int patterns, int categories,
+                        int states, int kBegin, int kEnd) {
+  const std::size_t matStride = static_cast<std::size_t>(states) * states;
+  for (int c = 0; c < categories; ++c) {
+    const Real* mc1 = m1 + c * matStride;
+    const Real* mc2 = m2 + c * matStride;
+    const std::size_t plane = static_cast<std::size_t>(c) * patterns * states;
+    for (int k = kBegin; k < kEnd; ++k) {
+      const std::size_t row = plane + static_cast<std::size_t>(k) * states;
+      const int c1 = s1[k];
+      const int c2 = s2[k];
+      Real* out = dest + row;
+      for (int i = 0; i < states; ++i) {
+        const std::size_t mi = static_cast<std::size_t>(i) * states;
+        const Real a = (c1 < states) ? mc1[mi + c1] : Real(1);
+        const Real b = (c2 < states) ? mc2[mi + c2] : Real(1);
+        out[i] = a * b;
+      }
+    }
+  }
+}
+
+/// Per-pattern site log-likelihood at the root for patterns [kBegin, kEnd).
+template <RealScalar Real>
+void rootLikelihoodScalar(const Real* BGL_RESTRICT partials,
+                          const Real* BGL_RESTRICT freqs,
+                          const Real* BGL_RESTRICT weights,
+                          const Real* BGL_RESTRICT cumScale, Real* BGL_RESTRICT siteOut,
+                          int patterns, int categories, int states, int kBegin,
+                          int kEnd) {
+  for (int k = kBegin; k < kEnd; ++k) {
+    Real lik = Real(0);
+    for (int c = 0; c < categories; ++c) {
+      const Real* row =
+          partials + (static_cast<std::size_t>(c) * patterns + k) * states;
+      Real sum = Real(0);
+      for (int s = 0; s < states; ++s) sum += freqs[s] * row[s];
+      lik += weights[c] * sum;
+    }
+    Real logL = std::log(lik);
+    if (cumScale != nullptr) logL += cumScale[k];
+    siteOut[k] = logL;
+  }
+}
+
+/// Rescale patterns [kBegin, kEnd) of a partials buffer, writing log scale
+/// factors.
+template <RealScalar Real>
+void rescaleScalar(Real* BGL_RESTRICT partials, Real* BGL_RESTRICT scale,
+                   int patterns, int categories, int states, int kBegin, int kEnd) {
+  for (int k = kBegin; k < kEnd; ++k) {
+    Real maxv = Real(0);
+    for (int c = 0; c < categories; ++c) {
+      const Real* row =
+          partials + (static_cast<std::size_t>(c) * patterns + k) * states;
+      for (int s = 0; s < states; ++s) maxv = std::max(maxv, row[s]);
+    }
+    if (maxv > Real(0)) {
+      const Real inv = Real(1) / maxv;
+      for (int c = 0; c < categories; ++c) {
+        Real* row = partials + (static_cast<std::size_t>(c) * patterns + k) * states;
+        for (int s = 0; s < states; ++s) row[s] *= inv;
+      }
+      scale[k] = std::log(maxv);
+    } else {
+      scale[k] = Real(0);
+    }
+  }
+}
+
+/// Edge log-likelihood (optionally with first/second derivatives of the
+/// per-site log-likelihood with respect to the edge length). `child` points
+/// to partials, or `childStates` is non-null for a compact tip child.
+template <RealScalar Real>
+void edgeLikelihoodScalar(const Real* BGL_RESTRICT parent,
+                          const Real* BGL_RESTRICT child,
+                          const std::int32_t* BGL_RESTRICT childStates,
+                          const Real* BGL_RESTRICT pmat,
+                          const Real* BGL_RESTRICT d1mat,
+                          const Real* BGL_RESTRICT d2mat,
+                          const Real* BGL_RESTRICT freqs,
+                          const Real* BGL_RESTRICT weights,
+                          const Real* BGL_RESTRICT cumScale, Real* BGL_RESTRICT siteOut,
+                          Real* BGL_RESTRICT siteD1, Real* BGL_RESTRICT siteD2,
+                          int patterns, int categories, int states, int kBegin,
+                          int kEnd) {
+  const bool derivs = d1mat != nullptr && siteD1 != nullptr;
+  const std::size_t matStride = static_cast<std::size_t>(states) * states;
+  for (int k = kBegin; k < kEnd; ++k) {
+    Real lik = Real(0), num1 = Real(0), num2 = Real(0);
+    for (int c = 0; c < categories; ++c) {
+      const std::size_t row = (static_cast<std::size_t>(c) * patterns + k) *
+                              static_cast<std::size_t>(states);
+      const Real* prow = parent + row;
+      const Real* m = pmat + c * matStride;
+      const Real* m1 = derivs ? d1mat + c * matStride : nullptr;
+      const Real* m2 = derivs ? d2mat + c * matStride : nullptr;
+      const Real* crow = (childStates == nullptr) ? child + row : nullptr;
+      const int code = (childStates != nullptr) ? childStates[k] : 0;
+      Real catSum = Real(0), catSum1 = Real(0), catSum2 = Real(0);
+      for (int i = 0; i < states; ++i) {
+        const std::size_t mi = static_cast<std::size_t>(i) * states;
+        Real inner, inner1 = Real(0), inner2 = Real(0);
+        if (childStates != nullptr) {
+          inner = (code < states) ? m[mi + code] : Real(1);
+          if (derivs) {
+            inner1 = (code < states) ? m1[mi + code] : Real(0);
+            inner2 = (code < states) ? m2[mi + code] : Real(0);
+          }
+        } else {
+          inner = Real(0);
+          for (int j = 0; j < states; ++j) inner += m[mi + j] * crow[j];
+          if (derivs) {
+            for (int j = 0; j < states; ++j) {
+              inner1 += m1[mi + j] * crow[j];
+              inner2 += m2[mi + j] * crow[j];
+            }
+          }
+        }
+        const Real pf = freqs[i] * prow[i];
+        catSum += pf * inner;
+        if (derivs) {
+          catSum1 += pf * inner1;
+          catSum2 += pf * inner2;
+        }
+      }
+      lik += weights[c] * catSum;
+      if (derivs) {
+        num1 += weights[c] * catSum1;
+        num2 += weights[c] * catSum2;
+      }
+    }
+    Real logL = std::log(lik);
+    if (cumScale != nullptr) logL += cumScale[k];
+    siteOut[k] = logL;
+    if (derivs) {
+      siteD1[k] = num1 / lik;
+      siteD2[k] = (num2 * lik - num1 * num1) / (lik * lik);
+    }
+  }
+}
+
+}  // namespace bgl::cpu

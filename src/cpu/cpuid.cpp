@@ -1,0 +1,21 @@
+#include "cpu/simd_kernels.h"
+
+namespace bgl::cpu {
+
+bool cpuSupportsSse2() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("sse2");
+#else
+  return false;
+#endif
+}
+
+bool cpuSupportsAvx2Fma() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+}  // namespace bgl::cpu

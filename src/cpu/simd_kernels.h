@@ -1,0 +1,41 @@
+// Explicitly vectorized kernels for the 4-state (nucleotide) model in
+// double precision — mirroring the paper's BEAGLE SSE support, which
+// "vectorizes likelihood calculations ... across character state values"
+// and exists for nucleotide models in double precision only (Section IV-D,
+// VIII-A1). The AVX set extends the same scheme to 256-bit registers.
+//
+// These functions live in translation units compiled with the matching
+// -m flags; runtime dispatch (cpuSupportsSse2 / cpuSupportsAvx2Fma) guards
+// factory selection.
+#pragma once
+
+#include <cstdint>
+
+namespace bgl::cpu {
+
+bool cpuSupportsSse2();
+bool cpuSupportsAvx2Fma();
+
+// SSE2, 4 states, double precision.
+void partialsPartials4Sse(double* dest, const double* p1, const double* m1,
+                          const double* p2, const double* m2, int patterns,
+                          int categories, int kBegin, int kEnd);
+void statesPartials4Sse(double* dest, const std::int32_t* s1, const double* m1,
+                        const double* p2, const double* m2, int patterns,
+                        int categories, int kBegin, int kEnd);
+void statesStates4Sse(double* dest, const std::int32_t* s1, const double* m1,
+                      const std::int32_t* s2, const double* m2, int patterns,
+                      int categories, int kBegin, int kEnd);
+
+// AVX2+FMA, 4 states, double precision.
+void partialsPartials4Avx(double* dest, const double* p1, const double* m1,
+                          const double* p2, const double* m2, int patterns,
+                          int categories, int kBegin, int kEnd);
+void statesPartials4Avx(double* dest, const std::int32_t* s1, const double* m1,
+                        const double* p2, const double* m2, int patterns,
+                        int categories, int kBegin, int kEnd);
+void statesStates4Avx(double* dest, const std::int32_t* s1, const double* m1,
+                      const std::int32_t* s2, const double* m2, int patterns,
+                      int categories, int kBegin, int kEnd);
+
+}  // namespace bgl::cpu

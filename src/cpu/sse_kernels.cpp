@@ -1,0 +1,86 @@
+// SSE2 kernels: 4-state nucleotide model, double precision (2 lanes).
+#include <emmintrin.h>
+
+#include "cpu/simd_kernels.h"
+
+namespace bgl::cpu {
+namespace {
+
+// Horizontal sum of a __m128d (SSE2-only, no hadd).
+inline double hsum(__m128d v) {
+  const __m128d hi = _mm_unpackhi_pd(v, v);
+  return _mm_cvtsd_f64(_mm_add_sd(v, hi));
+}
+
+// sum_j m[i*4+j] * v[j] for one row i.
+inline double rowDot(const double* row, __m128d vLo, __m128d vHi) {
+  const __m128d a = _mm_mul_pd(_mm_load_pd(row), vLo);
+  const __m128d b = _mm_mul_pd(_mm_load_pd(row + 2), vHi);
+  return hsum(_mm_add_pd(a, b));
+}
+
+}  // namespace
+
+void partialsPartials4Sse(double* dest, const double* p1, const double* m1,
+                          const double* p2, const double* m2, int patterns,
+                          int categories, int kBegin, int kEnd) {
+  for (int c = 0; c < categories; ++c) {
+    const double* mc1 = m1 + static_cast<std::size_t>(c) * 16;
+    const double* mc2 = m2 + static_cast<std::size_t>(c) * 16;
+    const std::size_t plane = static_cast<std::size_t>(c) * patterns * 4;
+    for (int k = kBegin; k < kEnd; ++k) {
+      const std::size_t row = plane + static_cast<std::size_t>(k) * 4;
+      const __m128d v1Lo = _mm_loadu_pd(p1 + row);
+      const __m128d v1Hi = _mm_loadu_pd(p1 + row + 2);
+      const __m128d v2Lo = _mm_loadu_pd(p2 + row);
+      const __m128d v2Hi = _mm_loadu_pd(p2 + row + 2);
+      for (int i = 0; i < 4; ++i) {
+        const double s1 = rowDot(mc1 + i * 4, v1Lo, v1Hi);
+        const double s2 = rowDot(mc2 + i * 4, v2Lo, v2Hi);
+        dest[row + i] = s1 * s2;
+      }
+    }
+  }
+}
+
+void statesPartials4Sse(double* dest, const std::int32_t* s1, const double* m1,
+                        const double* p2, const double* m2, int patterns,
+                        int categories, int kBegin, int kEnd) {
+  for (int c = 0; c < categories; ++c) {
+    const double* mc1 = m1 + static_cast<std::size_t>(c) * 16;
+    const double* mc2 = m2 + static_cast<std::size_t>(c) * 16;
+    const std::size_t plane = static_cast<std::size_t>(c) * patterns * 4;
+    for (int k = kBegin; k < kEnd; ++k) {
+      const std::size_t row = plane + static_cast<std::size_t>(k) * 4;
+      const int code = s1[k];
+      const __m128d v2Lo = _mm_loadu_pd(p2 + row);
+      const __m128d v2Hi = _mm_loadu_pd(p2 + row + 2);
+      for (int i = 0; i < 4; ++i) {
+        const double a = (code < 4) ? mc1[i * 4 + code] : 1.0;
+        dest[row + i] = a * rowDot(mc2 + i * 4, v2Lo, v2Hi);
+      }
+    }
+  }
+}
+
+void statesStates4Sse(double* dest, const std::int32_t* s1, const double* m1,
+                      const std::int32_t* s2, const double* m2, int patterns,
+                      int categories, int kBegin, int kEnd) {
+  for (int c = 0; c < categories; ++c) {
+    const double* mc1 = m1 + static_cast<std::size_t>(c) * 16;
+    const double* mc2 = m2 + static_cast<std::size_t>(c) * 16;
+    const std::size_t plane = static_cast<std::size_t>(c) * patterns * 4;
+    for (int k = kBegin; k < kEnd; ++k) {
+      const std::size_t row = plane + static_cast<std::size_t>(k) * 4;
+      const int c1 = s1[k];
+      const int c2 = s2[k];
+      for (int i = 0; i < 4; ++i) {
+        const double a = (c1 < 4) ? mc1[i * 4 + c1] : 1.0;
+        const double b = (c2 < 4) ? mc2[i * 4 + c2] : 1.0;
+        dest[row + i] = a * b;
+      }
+    }
+  }
+}
+
+}  // namespace bgl::cpu

@@ -1,0 +1,212 @@
+// The three generations of CPU threading described in Section VI.
+//
+//  FuturesImpl       (VI-A) one std::async future per topology-independent
+//                    partials operation; no intra-operation parallelism.
+//  ThreadCreateImpl  (VI-B) threads created and joined per updatePartials
+//                    call, splitting the pattern range into equal blocks;
+//                    a 512-pattern minimum prevents small problems from
+//                    regressing below the serial implementation.
+//  ThreadPoolImpl    (VI-C) a persistent pool fed through a work queue;
+//                    additionally parallelizes the root-likelihood
+//                    integration across patterns. This is the shipping
+//                    threaded model (Table III shows why).
+#pragma once
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "cpu/cpu_impl.h"
+
+namespace bgl::cpu {
+
+/// Minimum pattern count before intra-operation threading engages
+/// (Section VI-B).
+inline constexpr int kMinPatternsForThreading = 512;
+
+template <RealScalar Real>
+class FuturesImpl : public CpuImpl<Real> {
+ public:
+  using CpuImpl<Real>::CpuImpl;
+  std::string implName() const override { return "CPU-threaded-futures"; }
+
+  int setThreadCount(int threads) override {
+    if (threads < 1) return BGL_ERROR_OUT_OF_RANGE;
+    // Futures delegate scheduling to the runtime; the setting only bounds
+    // how many operations are dispatched concurrently.
+    maxConcurrent_ = threads;
+    return BGL_SUCCESS;
+  }
+
+ protected:
+  void executeOperations(const BglOperation* ops, int count,
+                         int cumulativeScaleIndex) override {
+    // Group operations into dependency levels: an operation must wait for
+    // any earlier operation whose destination it consumes. Operations
+    // within a level are topology-independent and run as futures.
+    const int patterns = this->config_.patternCount;
+    std::vector<int> level(count, 0);
+    int maxLevel = 0;
+    for (int i = 0; i < count; ++i) {
+      for (int j = 0; j < i; ++j) {
+        if (ops[j].destinationPartials == ops[i].child1Partials ||
+            ops[j].destinationPartials == ops[i].child2Partials ||
+            ops[j].destinationPartials == ops[i].destinationPartials) {
+          level[i] = std::max(level[i], level[j] + 1);
+        }
+      }
+      maxLevel = std::max(maxLevel, level[i]);
+    }
+
+    for (int lv = 0; lv <= maxLevel; ++lv) {
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < count; ++i) {
+        if (level[i] != lv) continue;
+        this->ensurePartials(ops[i].destinationPartials);
+        if (static_cast<int>(futures.size()) + 1 >= maxConcurrent_) {
+          // Run the final member of the level inline.
+          this->executeOperation(ops[i], 0, patterns);
+          continue;
+        }
+        futures.push_back(std::async(std::launch::async, [this, &ops, i, patterns] {
+          this->executeOperation(ops[i], 0, patterns);
+        }));
+      }
+      for (auto& f : futures) f.get();
+      for (int i = 0; i < count; ++i) {
+        if (level[i] == lv) this->finishOperationScaling(ops[i], cumulativeScaleIndex);
+      }
+    }
+  }
+
+ private:
+  int maxConcurrent_ = static_cast<int>(std::thread::hardware_concurrency());
+};
+
+template <RealScalar Real>
+class ThreadCreateImpl : public CpuImpl<Real> {
+ public:
+  using CpuImpl<Real>::CpuImpl;
+  std::string implName() const override { return "CPU-threaded-create"; }
+
+  int setThreadCount(int threads) override {
+    if (threads < 1) return BGL_ERROR_OUT_OF_RANGE;
+    threads_ = threads;
+    return BGL_SUCCESS;
+  }
+
+ protected:
+  void executeOperations(const BglOperation* ops, int count,
+                         int cumulativeScaleIndex) override {
+    const int patterns = this->config_.patternCount;
+    for (int i = 0; i < count; ++i) {
+      this->ensurePartials(ops[i].destinationPartials);
+      if (patterns < kMinPatternsForThreading || threads_ <= 1) {
+        this->executeOperation(ops[i], 0, patterns);
+      } else {
+        // Equal-size pattern blocks, one freshly created thread each.
+        const int nt = threads_;
+        const int block = (patterns + nt - 1) / nt;
+        std::vector<std::thread> workers;
+        workers.reserve(nt - 1);
+        for (int t = 1; t < nt; ++t) {
+          const int kBegin = t * block;
+          const int kEnd = std::min(patterns, kBegin + block);
+          if (kBegin >= kEnd) break;
+          workers.emplace_back([this, &ops, i, kBegin, kEnd] {
+            this->executeOperation(ops[i], kBegin, kEnd);
+          });
+        }
+        this->executeOperation(ops[i], 0, std::min(patterns, block));
+        for (auto& w : workers) w.join();
+      }
+      this->finishOperationScaling(ops[i], cumulativeScaleIndex);
+    }
+  }
+
+ private:
+  int threads_ = static_cast<int>(std::thread::hardware_concurrency());
+};
+
+template <RealScalar Real>
+class ThreadPoolImpl : public CpuImpl<Real> {
+ public:
+  explicit ThreadPoolImpl(const InstanceConfig& cfg)
+      : CpuImpl<Real>(cfg),
+        pool_(std::make_unique<ThreadPool>(defaultThreads())) {}
+
+  std::string implName() const override { return "CPU-threaded-pool"; }
+
+  int setThreadCount(int threads) override {
+    if (threads < 1) return BGL_ERROR_OUT_OF_RANGE;
+    threads_ = threads;
+    // Recreate the pool only when growing past its size; shrinking is
+    // handled by capping the workers used per parallelFor.
+    if (static_cast<unsigned>(threads) > pool_->size() + 1) {
+      pool_ = std::make_unique<ThreadPool>(threads - 1);
+    }
+    return BGL_SUCCESS;
+  }
+
+ protected:
+  void executeOperations(const BglOperation* ops, int count,
+                         int cumulativeScaleIndex) override {
+    const int patterns = this->config_.patternCount;
+    for (int i = 0; i < count; ++i) {
+      this->ensurePartials(ops[i].destinationPartials);
+      if (patterns < kMinPatternsForThreading || threads_ <= 1) {
+        this->executeOperation(ops[i], 0, patterns);
+      } else {
+        const int nt = threads_;
+        const int block = (patterns + nt - 1) / nt;
+        pool_->parallelFor(
+            nt,
+            [this, &ops, i, block, patterns](int t) {
+              const int kBegin = t * block;
+              const int kEnd = std::min(patterns, kBegin + block);
+              if (kBegin < kEnd) this->executeOperation(ops[i], kBegin, kEnd);
+            },
+            static_cast<unsigned>(nt));
+      }
+      this->finishOperationScaling(ops[i], cumulativeScaleIndex);
+    }
+  }
+
+  /// The pool approach also threads the root-likelihood integration
+  /// across independent site patterns (Section VI-C).
+  void computeRootSites(const Real* partials, const Real* freqs,
+                        const Real* weights, const Real* cumScale) override {
+    const int patterns = this->config_.patternCount;
+    if (patterns < kMinPatternsForThreading || threads_ <= 1) {
+      CpuImpl<Real>::computeRootSites(partials, freqs, weights, cumScale);
+      return;
+    }
+    const int nt = threads_;
+    const int block = (patterns + nt - 1) / nt;
+    pool_->parallelFor(
+        nt,
+        [this, partials, freqs, weights, cumScale, block, patterns](int t) {
+          const int kBegin = t * block;
+          const int kEnd = std::min(patterns, kBegin + block);
+          if (kBegin < kEnd) {
+            rootLikelihoodScalar<Real>(partials, freqs, weights, cumScale,
+                                       this->siteLogL_.data(), patterns,
+                                       this->config_.categoryCount,
+                                       this->config_.stateCount, kBegin, kEnd);
+          }
+        },
+        static_cast<unsigned>(nt));
+  }
+
+ private:
+  static unsigned defaultThreads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? hw - 1 : 1;  // the calling thread participates
+  }
+
+  int threads_ = static_cast<int>(std::thread::hardware_concurrency());
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace bgl::cpu

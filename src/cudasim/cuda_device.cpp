@@ -1,0 +1,147 @@
+#include "cudasim/cuda_device.h"
+
+#include <chrono>
+#include <cstring>
+#include <mutex>
+
+#include "hal/workgroup_executor.h"
+#include "kernels/kernels.h"
+
+namespace bgl::cudasim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Flat device allocation; CUdeviceptr-style linear memory.
+class CudaBuffer final : public hal::Buffer {
+ public:
+  explicit CudaBuffer(std::size_t bytes)
+      : storage_(new std::byte[bytes]), data_(storage_.get()), size_(bytes) {}
+
+  /// Pointer-arithmetic view into a parent allocation (no new storage —
+  /// this is exactly how sub-region addressing works under CUDA).
+  CudaBuffer(std::shared_ptr<hal::Buffer> parent, std::size_t offset,
+             std::size_t bytes)
+      : parent_(std::move(parent)),
+        data_(static_cast<std::byte*>(parent_->data()) + offset),
+        size_(bytes) {}
+
+  std::size_t size() const override { return size_; }
+  void* data() override { return data_; }
+  const void* data() const override { return data_; }
+
+ private:
+  std::shared_ptr<hal::Buffer> parent_;  // keeps parent alive for views
+  std::unique_ptr<std::byte[]> storage_; // owning allocations only
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+class CudaKernel final : public hal::Kernel {
+ public:
+  CudaKernel(const hal::KernelSpec& spec, hal::KernelFn fn) : spec_(spec), fn_(fn) {}
+  const hal::KernelSpec& spec() const override { return spec_; }
+  hal::KernelFn fn() const { return fn_; }
+
+ private:
+  hal::KernelSpec spec_;
+  hal::KernelFn fn_;
+};
+
+class CudaDevice final : public hal::Device {
+ public:
+  explicit CudaDevice(int profileIndex)
+      : profile_(perf::deviceRegistry().at(profileIndex)) {}
+
+  const perf::DeviceProfile& profile() const override { return profile_; }
+  std::string frameworkName() const override { return "CUDA"; }
+
+  hal::BufferPtr alloc(std::size_t bytes) override {
+    return std::make_shared<CudaBuffer>(bytes);
+  }
+
+  hal::BufferPtr subBuffer(const hal::BufferPtr& parent, std::size_t offset,
+                           std::size_t bytes) override {
+    if (offset + bytes > parent->size()) {
+      throw Error("cudasim: sub-region out of bounds");
+    }
+    // CUDA: no object, no alignment rule — just pointer arithmetic.
+    return std::make_shared<CudaBuffer>(parent, offset, bytes);
+  }
+
+  void copyToDevice(hal::Buffer& dst, std::size_t dstOffset, const void* src,
+                    std::size_t bytes) override {
+    if (dstOffset + bytes > dst.size()) throw Error("cudasim: HtoD out of bounds");
+    std::memcpy(static_cast<std::byte*>(dst.data()) + dstOffset, src, bytes);
+    timeline_.bytesCopied += bytes;
+    if (!profile_.hostMeasured) {
+      timeline_.modeledSeconds += perf::modeledCopySeconds(profile_, static_cast<double>(bytes));
+    }
+  }
+
+  void copyToHost(void* dst, const hal::Buffer& src, std::size_t srcOffset,
+                  std::size_t bytes) override {
+    if (srcOffset + bytes > src.size()) throw Error("cudasim: DtoH out of bounds");
+    std::memcpy(dst, static_cast<const std::byte*>(src.data()) + srcOffset, bytes);
+    timeline_.bytesCopied += bytes;
+    if (!profile_.hostMeasured) {
+      timeline_.modeledSeconds += perf::modeledCopySeconds(profile_, static_cast<double>(bytes));
+    }
+  }
+
+  hal::Kernel* getKernel(const hal::KernelSpec& spec) override {
+    std::lock_guard lock(mutex_);
+    for (auto& k : kernels_) {
+      if (k->spec() == spec) return k.get();
+    }
+    kernels_.push_back(
+        std::make_unique<CudaKernel>(spec, kernels::lookupKernel(spec)));
+    return kernels_.back().get();
+  }
+
+  void launch(hal::Kernel& kernel, const hal::LaunchDims& dims,
+              const hal::KernelArgs& args, const perf::LaunchWork& work) override {
+    auto& k = static_cast<CudaKernel&>(kernel);
+    const auto t0 = Clock::now();
+    hal::executeGrid(k.fn(), dims, args);
+    const auto t1 = Clock::now();
+    const double measured = std::chrono::duration<double>(t1 - t0).count();
+    timeline_.measuredSeconds += measured;
+    timeline_.modeledSeconds +=
+        profile_.hostMeasured
+            ? measured
+            : perf::modeledKernelSeconds(profile_, work, /*openCl=*/false);
+    ++timeline_.kernelLaunches;
+  }
+
+  void finish() override {}  // launches are synchronous in the simulation
+
+ private:
+  perf::DeviceProfile profile_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<CudaKernel>> kernels_;
+};
+
+}  // namespace
+
+std::vector<int> visibleDeviceProfiles() {
+  std::vector<int> out;
+  const auto& reg = perf::deviceRegistry();
+  for (int i = 0; i < static_cast<int>(reg.size()); ++i) {
+    // CUDA framework: NVIDIA devices, plus the host for measured testing.
+    if (reg[i].vendor.find("NVIDIA") != std::string::npos || reg[i].hostMeasured) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+hal::DevicePtr createDevice(int profileIndex) {
+  const auto visible = visibleDeviceProfiles();
+  bool ok = false;
+  for (int v : visible) ok = ok || v == profileIndex;
+  if (!ok) throw Error("cudasim: device profile not CUDA-capable");
+  return std::make_shared<CudaDevice>(profileIndex);
+}
+
+}  // namespace bgl::cudasim

@@ -1,0 +1,30 @@
+// CUDA-framework runtime (simulated).
+//
+// Structurally follows the CUDA Driver API model the paper's original GPU
+// implementation used: an explicit context per device, flat device memory
+// addressed by pointer arithmetic (sub-regions are plain offsets into the
+// parent allocation), module/function handles fetched by name+parameters,
+// and stream-ordered kernel launches. Kernels come from the shared kernel
+// set (src/kernels) — identical code to what the OpenCL runtime executes.
+//
+// Execution is functional-on-host: results are real; wall time on non-host
+// device profiles is supplied by the roofline model (see DESIGN.md).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hal/hal.h"
+
+namespace bgl::cudasim {
+
+/// Enumerate devices visible to the CUDA framework (NVIDIA profiles only,
+/// as in the paper's systems; the host CPU is exposed too so the runtime is
+/// testable with measured timing).
+std::vector<int> visibleDeviceProfiles();
+
+/// Create a CUDA-framework hal::Device for a perf-registry profile index.
+/// Throws bgl::Error if the profile is not CUDA-capable.
+hal::DevicePtr createDevice(int profileIndex);
+
+}  // namespace bgl::cudasim

@@ -1,0 +1,162 @@
+// HAL: the single internal hardware interface of the accelerator model.
+//
+// This layer corresponds to the "hardware interface" box in Fig. 3 of the
+// paper: the framework-independent accelerator implementation talks only to
+// this interface, and one concrete Device exists per (framework, device)
+// pair — cudasim provides the CUDA-style one, clsim the OpenCL-style one.
+// The interface covers kernel loading/compilation keyed by analysis
+// parameters (state count, precision, hardware variant), kernel execution,
+// data movement, and device characteristics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/defs.h"
+#include "perfmodel/device_profiles.h"
+
+namespace bgl::hal {
+
+/// Identifiers for the shared kernel set (one source set, both frameworks).
+enum class KernelId : int {
+  PartialsPartials = 0,   ///< two partials children (Eq. 1 core)
+  StatesPartials,         ///< one compact-state child, one partials child
+  StatesStates,           ///< two compact-state children
+  TransitionMatrices,     ///< P(t) from eigendecomposition
+  TransitionMatricesDerivs,///< P(t), P'(t), P''(t)
+  RootLikelihood,         ///< integrate root partials -> site log-likelihoods
+  EdgeLikelihood,         ///< edge likelihood
+  EdgeLikelihoodDerivs,   ///< edge likelihood with 1st/2nd derivatives
+  RescalePartials,        ///< find per-pattern max and rescale
+  AccumulateScale,        ///< add log scale factors into cumulative buffer
+  ResetScale,             ///< zero a cumulative scale buffer
+  SumSiteLikelihoods,     ///< weighted reduction of site log-likelihoods
+  kCount
+};
+
+/// Hardware-specific kernel variants (Section VII-B): GPU-style kernels
+/// parallelize across (pattern, state) with local-memory staging; x86-style
+/// kernels loop over states inside each work-item and avoid explicit local
+/// memory, with much larger work-groups.
+enum class KernelVariant : int { GpuStyle = 0, X86Style = 1 };
+
+/// Key under which compiled kernels are cached.
+struct KernelSpec {
+  KernelId id = KernelId::PartialsPartials;
+  int states = 4;
+  bool singlePrecision = false;
+  KernelVariant variant = KernelVariant::GpuStyle;
+  bool useFma = true;
+
+  bool operator==(const KernelSpec&) const = default;
+};
+
+/// Execution geometry of one launch: 1-D grid of work-groups.
+struct LaunchDims {
+  int numGroups = 1;
+  int groupSize = 1;          ///< work-items per group
+  std::size_t localMemBytes = 0;
+};
+
+/// Untyped argument pack; each kernel documents its slot layout.
+struct KernelArgs {
+  static constexpr int kMaxBuffers = 12;
+  static constexpr int kMaxInts = 12;
+  static constexpr int kMaxReals = 4;
+  void* buffers[kMaxBuffers] = {};
+  std::int64_t ints[kMaxInts] = {};
+  double reals[kMaxReals] = {};
+};
+
+/// Work-group context handed to kernel functions by the executing runtime.
+struct WorkGroupCtx {
+  int groupId = 0;
+  int groupSize = 1;
+  int numGroups = 1;
+  std::byte* localMem = nullptr;
+  std::size_t localMemBytes = 0;
+};
+
+/// A kernel is a host function executed once per work-group; it loops over
+/// its work-items internally (barriers are phase boundaries, the standard
+/// loop-fission lowering CPU OpenCL drivers use).
+using KernelFn = void (*)(const WorkGroupCtx&, const KernelArgs&);
+
+/// Device memory allocation handle.
+class Buffer {
+ public:
+  virtual ~Buffer() = default;
+  virtual std::size_t size() const = 0;
+  /// Host-visible backing storage (the runtimes execute on the host).
+  virtual void* data() = 0;
+  virtual const void* data() const = 0;
+};
+using BufferPtr = std::shared_ptr<Buffer>;
+
+/// Compiled kernel handle.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+  virtual const KernelSpec& spec() const = 0;
+};
+
+/// Accumulated execution record for a device. `modeledSeconds` comes from
+/// the roofline model (or equals measured time on host-measured devices);
+/// `measuredSeconds` is always the real host wall time.
+struct Timeline {
+  double modeledSeconds = 0.0;
+  double measuredSeconds = 0.0;
+  std::uint64_t kernelLaunches = 0;
+  std::uint64_t bytesCopied = 0;
+
+  void reset() { *this = Timeline{}; }
+};
+
+/// The hardware interface. One instance per (framework, physical device).
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  virtual const perf::DeviceProfile& profile() const = 0;
+  virtual std::string frameworkName() const = 0;  ///< "CUDA" or "OpenCL"
+
+  virtual BufferPtr alloc(std::size_t bytes) = 0;
+
+  /// Sub-region addressing. The OpenCL runtime implements this with
+  /// sub-buffer objects (clCreateSubBuffer semantics: alignment-checked,
+  /// parent-owning); the CUDA runtime with plain pointer arithmetic —
+  /// the exact distinction Section VII-A had to bridge.
+  virtual BufferPtr subBuffer(const BufferPtr& parent, std::size_t offset,
+                              std::size_t bytes) = 0;
+
+  virtual void copyToDevice(Buffer& dst, std::size_t dstOffset, const void* src,
+                            std::size_t bytes) = 0;
+  virtual void copyToHost(void* dst, const Buffer& src, std::size_t srcOffset,
+                          std::size_t bytes) = 0;
+
+  /// Fetch (compiling and caching on first use) the kernel for `spec`.
+  virtual Kernel* getKernel(const KernelSpec& spec) = 0;
+
+  /// Launch a kernel. `work` feeds the device performance model.
+  virtual void launch(Kernel& kernel, const LaunchDims& dims,
+                      const KernelArgs& args, const perf::LaunchWork& work) = 0;
+
+  /// Block until all queued work completes.
+  virtual void finish() = 0;
+
+  /// Restrict execution to `n` host workers (OpenCL device fission;
+  /// ignored by devices that do not support it).
+  virtual void setFission(unsigned /*n*/) {}
+
+  Timeline& timeline() { return timeline_; }
+  const Timeline& timeline() const { return timeline_; }
+
+ protected:
+  Timeline timeline_;
+};
+
+using DevicePtr = std::shared_ptr<Device>;
+
+}  // namespace bgl::hal

@@ -1,0 +1,38 @@
+#include "hal/workgroup_executor.h"
+
+#include <vector>
+
+namespace bgl::hal {
+
+void executeGrid(KernelFn fn, const LaunchDims& dims, const KernelArgs& args,
+                 unsigned maxWorkers) {
+  if (dims.numGroups <= 0) return;
+
+  // Chunk groups so each task amortizes queue overhead; one arena per task.
+  auto& pool = globalThreadPool();
+  unsigned workers = maxWorkers == 0 ? pool.size() + 1 : maxWorkers;
+  const int chunks = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(workers) * 4,
+                            static_cast<std::size_t>(dims.numGroups)));
+  const int groupsPerChunk = (dims.numGroups + chunks - 1) / chunks;
+
+  pool.parallelFor(
+      chunks,
+      [&](int chunk) {
+        std::vector<std::byte> localMem(dims.localMemBytes);
+        WorkGroupCtx ctx;
+        ctx.groupSize = dims.groupSize;
+        ctx.numGroups = dims.numGroups;
+        ctx.localMem = localMem.empty() ? nullptr : localMem.data();
+        ctx.localMemBytes = dims.localMemBytes;
+        const int begin = chunk * groupsPerChunk;
+        const int end = std::min(dims.numGroups, begin + groupsPerChunk);
+        for (int g = begin; g < end; ++g) {
+          ctx.groupId = g;
+          fn(ctx, args);
+        }
+      },
+      maxWorkers == 0 ? 0 : maxWorkers);
+}
+
+}  // namespace bgl::hal

@@ -1,0 +1,19 @@
+// Host execution engine for simulated accelerator kernels.
+//
+// Both framework runtimes lower a kernel launch to "run this work-group
+// function for every group id", which this executor parallelizes across
+// host threads. Each worker owns a local-memory arena reused across groups
+// (the simulated analog of on-chip local/shared memory).
+#pragma once
+
+#include "core/thread_pool.h"
+#include "hal/hal.h"
+
+namespace bgl::hal {
+
+/// Execute `fn` for every work-group described by `dims`, using at most
+/// `maxWorkers` concurrent host workers (0 = all pool threads).
+void executeGrid(KernelFn fn, const LaunchDims& dims, const KernelArgs& args,
+                 unsigned maxWorkers = 0);
+
+}  // namespace bgl::hal

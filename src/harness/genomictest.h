@@ -1,0 +1,63 @@
+// genomictest-equivalent workload harness (Section V-A).
+//
+// Generates random synthetic datasets of arbitrary size, runs the core
+// partial-likelihoods computation repeatedly through the public API, and
+// reports throughput as effective GFLOPS (p * c * s * (4s-1) FLOPs per
+// operation), which is the measure used by every table and figure in the
+// paper. On simulated device profiles the time base is the roofline-model
+// timeline; on the host it is measured wall time.
+#pragma once
+
+#include <string>
+
+#include "api/bgl.h"
+
+namespace bgl::harness {
+
+struct ProblemSpec {
+  int tips = 16;
+  int patterns = 10000;
+  int states = 4;
+  int categories = 4;
+  bool singlePrecision = false;
+  long preferenceFlags = 0;
+  long requirementFlags = 0;
+  int resource = 0;          ///< perf-registry resource id
+  int reps = 3;              ///< full-traversal repetitions to time
+  int warmupReps = 1;
+  unsigned seed = 1234;
+  int threadCount = 0;       ///< 0 = implementation default
+  int workGroupSize = 0;     ///< 0 = implementation default (x86 kernels)
+  /// Cap on concurrently live internal partials buffers when the balanced
+  /// topology would not fit memory (or balancedTopology is off):
+  /// operations then rotate through a bounded pool (same FLOPs, same
+  /// kernel shapes, but a chain has no independent operations).
+  int internalBufferPool = 8;
+  /// Balanced pairwise-join topology (default; one buffer per internal
+  /// node, gives the futures implementation concurrency). false forces the
+  /// bounded-memory caterpillar chain.
+  bool balancedTopology = true;
+};
+
+struct RunResult {
+  double seconds = 0.0;       ///< time base used for throughput
+  double measuredSeconds = 0.0;
+  double gflops = 0.0;
+  double flops = 0.0;
+  double logL = 0.0;
+  bool modeled = false;       ///< true if `seconds` came from the perf model
+  std::string implName;
+  std::string resourceName;
+};
+
+/// Effective FLOPs of one full evaluation (tips-1 partials operations).
+double evaluationFlops(const ProblemSpec& spec);
+
+/// Run the throughput benchmark for one problem specification.
+/// Throws bgl::Error if no implementation satisfies the spec.
+RunResult runThroughput(const ProblemSpec& spec);
+
+/// Resource id whose name contains `nameFragment` (case-sensitive), or -1.
+int findResource(const std::string& nameFragment);
+
+}  // namespace bgl::harness

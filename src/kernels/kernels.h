@@ -1,0 +1,87 @@
+// The single shared kernel set used by BOTH framework runtimes.
+//
+// Section VII-A of the paper: "There is a single set of kernels for both
+// frameworks, with keywords for each being defined at the pre-processor
+// stage." Here the sharing is structural: kernels are host function
+// templates instantiated per (precision, state count, hardware variant)
+// and both cudasim and clsim obtain them through lookupKernel(). The
+// framework-specific part — buffer models, sub-region addressing, launch
+// mechanics, overhead profile — lives entirely in the runtimes.
+//
+// Hardware-specific variants (Section VII-B):
+//  * GpuStyle — one work-item per (pattern, state); transition matrices are
+//    staged into local memory per work-group before the compute phase.
+//  * X86Style — one work-item per pattern, looping over the state space,
+//    no explicit local-memory staging (the cache hierarchy serves reuse),
+//    and much larger work-groups (Table V tunes this size).
+//
+// Argument slot layout per kernel (buffers `b`, ints `i`, reals `r`):
+//
+//  PartialsPartials / StatesPartials / StatesStates
+//    b0 dest partials [C][P][S]
+//    b1 child1 partials (Real*) or states (int32*)
+//    b2 child1 transition matrices [C][S][S]
+//    b3 child2 partials (Real*) or states (int32*)
+//    b4 child2 transition matrices [C][S][S]
+//    i0 patterns  i1 categories  i2 states  i3 patternsPerGroup
+//
+//  TransitionMatrices / TransitionMatricesDerivs
+//    b0 dest P  [C][S][S]       (derivs: b4 dest P', b5 dest P'')
+//    b1 Cijk    [S][S][S]  (evec[i][k] * ivec[k][j])
+//    b2 eigenvalues [S]
+//    b3 category rates [C]
+//    i0 categories  i1 states  r0 edge length
+//
+//  RootLikelihood
+//    b0 root partials [C][P][S]
+//    b1 state frequencies [S]
+//    b2 category weights [C]
+//    b3 site log-likelihoods out [P] (Real)
+//    b4 cumulative scale factors [P] or null
+//    i0 patterns  i1 categories  i2 states  i3 patternsPerGroup
+//
+//  EdgeLikelihood
+//    b0 parent partials [C][P][S]
+//    b1 child partials (Real*) or states (int32*)
+//    b2 transition matrices [C][S][S]
+//    b3 state frequencies [S]
+//    b4 category weights [C]
+//    b5 site log-likelihoods out [P]
+//    b6 site d1 out [P] or null       b7 site d2 out [P] or null
+//    b8 d1 matrices or null           b9 d2 matrices or null
+//    b10 cumulative scale factors [P] or null
+//    i0 patterns  i1 categories  i2 states  i3 patternsPerGroup
+//    i4 child-is-states flag
+//
+//  RescalePartials
+//    b0 partials [C][P][S] (in/out)
+//    b1 scale factors out [P] (log space)
+//    i0 patterns  i1 categories  i2 states  i3 patternsPerGroup
+//
+//  AccumulateScale
+//    b0 cumulative [P]  b1 source [P]  i0 patterns  i1 sign (+1/-1)
+//
+//  ResetScale
+//    b0 cumulative [P]  i0 patterns
+//
+//  SumSiteLikelihoods
+//    b0 site log-likelihoods [P] (Real)
+//    b1 pattern weights [P] (Real)
+//    b2 out (double[1])
+//    i0 patterns
+#pragma once
+
+#include "hal/hal.h"
+
+namespace bgl::kernels {
+
+/// Resolve the kernel function for a spec; throws bgl::Error for
+/// unsupported combinations. Both framework runtimes use this — the code
+/// they execute is identical; only the runtime around it differs.
+hal::KernelFn lookupKernel(const hal::KernelSpec& spec);
+
+/// Local-memory bytes the GPU-style partials kernel wants per work-group
+/// (two staged transition matrices).
+std::size_t gpuStyleLocalMemBytes(int states, bool singlePrecision);
+
+}  // namespace bgl::kernels

@@ -1,0 +1,490 @@
+// Shared kernel implementations (see kernels.h for the slot layout).
+//
+// These templates are the "single set of kernels" both framework runtimes
+// execute. Work-groups map onto the problem as a 1-D grid:
+//   partials kernels:  group = (pattern block, category)
+//   integrate kernels: group = pattern block (categories looped inside)
+//   matrix kernels:    group = category
+// A kernel function runs one whole work-group; phases that would be
+// separated by barriers on a GPU appear as consecutive loops.
+#pragma once
+
+#include <cmath>
+#include <cstring>
+
+#include "hal/hal.h"
+
+namespace bgl::kernels::detail {
+
+using hal::KernelArgs;
+using hal::KernelVariant;
+using hal::WorkGroupCtx;
+
+/// Fused or split multiply-add, matching the FP_FAST_FMA toggle the paper
+/// flips for AMD devices (Section VII-B1). The non-FMA path inserts an
+/// optimization barrier between the multiply and the add: with
+/// -ffp-contract the compiler would otherwise fuse them anyway, making the
+/// toggle a no-op on FMA-capable hosts.
+template <typename Real, bool UseFma>
+inline Real madd(Real a, Real b, Real c) {
+  if constexpr (UseFma) {
+    return a * b + c;  // contraction allowed: compiles to one FMA
+  } else {
+    Real product = a * b;
+#if defined(__x86_64__) || defined(_M_X64)
+    asm volatile("" : "+x"(product));
+#else
+    asm volatile("" : "+r"(product));
+#endif
+    return product + c;
+  }
+}
+
+template <int StatesT>
+inline int stateCount(const KernelArgs& args) {
+  if constexpr (StatesT > 0) {
+    return StatesT;
+  } else {
+    return static_cast<int>(args.ints[2]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Partials kernels (the Eq. 1 core).
+// ---------------------------------------------------------------------------
+
+enum class ChildKind { Partials, States };
+
+template <typename Real, int StatesT, KernelVariant Variant, bool UseFma,
+          ChildKind Child1, ChildKind Child2>
+void partialsKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
+  const int patterns = static_cast<int>(args.ints[0]);
+  const int states = stateCount<StatesT>(args);
+  const int ppg = static_cast<int>(args.ints[3]);
+  const int patternBlocks = (patterns + ppg - 1) / ppg;
+
+  const int pb = wg.groupId % patternBlocks;
+  const int c = wg.groupId / patternBlocks;
+
+  Real* BGL_RESTRICT dest = static_cast<Real*>(args.buffers[0]);
+  const void* child1 = args.buffers[1];
+  const Real* BGL_RESTRICT gm1 = static_cast<const Real*>(args.buffers[2]);
+  const void* child2 = args.buffers[3];
+  const Real* BGL_RESTRICT gm2 = static_cast<const Real*>(args.buffers[4]);
+
+  const std::size_t matStride = static_cast<std::size_t>(states) * states;
+  const Real* m1 = gm1 + static_cast<std::size_t>(c) * matStride;
+  const Real* m2 = gm2 + static_cast<std::size_t>(c) * matStride;
+
+  const std::size_t planeOffset =
+      static_cast<std::size_t>(c) * patterns * states;
+  const int kBegin = pb * ppg;
+  const int kEnd = std::min(patterns, kBegin + ppg);
+
+  if constexpr (Variant == KernelVariant::GpuStyle) {
+    // GPU-style execution: one work-item per (pattern, state), the exact
+    // structure of the GPU kernel, with barriers lowered to phase
+    // boundaries. Child partials are staged into local memory element by
+    // element by the items that will consume them, and — when it fits —
+    // the transition matrices are staged cooperatively too. On a CPU this
+    // item-level structure (index decode per item, local-memory round
+    // trips, light work per item) is exactly what makes the GPU variant a
+    // poor fit, which Table V quantifies.
+    auto* lm = reinterpret_cast<Real*>(wg.localMem);
+    const int items = ppg * states;
+    const std::size_t partialsStage =
+        (Child1 == ChildKind::Partials ? static_cast<std::size_t>(ppg) * states : 0) +
+        (Child2 == ChildKind::Partials ? static_cast<std::size_t>(ppg) * states : 0);
+    const bool stageMatrices =
+        wg.localMemBytes >= (2 * matStride + partialsStage) * sizeof(Real);
+
+    Real* lmMat = lm;
+    Real* lmP1 = lm + (stageMatrices ? 2 * matStride : 0);
+    Real* lmP2 = lmP1 + (Child1 == ChildKind::Partials
+                             ? static_cast<std::size_t>(ppg) * states
+                             : 0);
+
+    // Phase A (cooperative): stage both matrices, strided by item id.
+    if (stageMatrices) {
+      for (int item = 0; item < items; ++item) {
+        for (std::size_t idx = item; idx < 2 * matStride;
+             idx += static_cast<std::size_t>(items)) {
+          lmMat[idx] = idx < matStride ? m1[idx] : m2[idx - matStride];
+        }
+      }
+      m1 = lmMat;
+      m2 = lmMat + matStride;
+    }
+
+    // Phase B: each item copies its own child-partials element.
+    for (int item = 0; item < items; ++item) {
+      const int kk = item / states;
+      const int i = item % states;
+      const int k = kBegin + kk;
+      if (k >= kEnd) continue;
+      const std::size_t row = planeOffset + static_cast<std::size_t>(k) * states;
+      if constexpr (Child1 == ChildKind::Partials) {
+        lmP1[static_cast<std::size_t>(kk) * states + i] =
+            static_cast<const Real*>(child1)[row + i];
+      }
+      if constexpr (Child2 == ChildKind::Partials) {
+        lmP2[static_cast<std::size_t>(kk) * states + i] =
+            static_cast<const Real*>(child2)[row + i];
+      }
+    }
+
+    // Phase C: compute, one (pattern, state) entry per item.
+    for (int item = 0; item < items; ++item) {
+      const int kk = item / states;
+      const int i = item % states;
+      const int k = kBegin + kk;
+      if (k >= kEnd) continue;
+      const std::size_t row = planeOffset + static_cast<std::size_t>(k) * states;
+      Real sum1, sum2;
+      if constexpr (Child1 == ChildKind::Partials) {
+        sum1 = Real(0);
+        const Real* mrow = m1 + static_cast<std::size_t>(i) * states;
+        const Real* p1 = lmP1 + static_cast<std::size_t>(kk) * states;
+        for (int j = 0; j < states; ++j) {
+          sum1 = madd<Real, UseFma>(mrow[j], p1[j], sum1);
+        }
+      } else {
+        const int s1 = static_cast<const std::int32_t*>(child1)[k];
+        sum1 = (s1 < states) ? m1[static_cast<std::size_t>(i) * states + s1] : Real(1);
+      }
+      if constexpr (Child2 == ChildKind::Partials) {
+        sum2 = Real(0);
+        const Real* mrow = m2 + static_cast<std::size_t>(i) * states;
+        const Real* p2 = lmP2 + static_cast<std::size_t>(kk) * states;
+        for (int j = 0; j < states; ++j) {
+          sum2 = madd<Real, UseFma>(mrow[j], p2[j], sum2);
+        }
+      } else {
+        const int s2 = static_cast<const std::int32_t*>(child2)[k];
+        sum2 = (s2 < states) ? m2[static_cast<std::size_t>(i) * states + s2] : Real(1);
+      }
+      dest[row + i] = sum1 * sum2;
+    }
+    return;
+  }
+
+  // x86-style execution: one work-item per pattern, looping over the state
+  // space with no explicit local memory (Section VII-B2's key change: more
+  // work per item, let the cache hierarchy serve reuse).
+  for (int k = kBegin; k < kEnd; ++k) {
+    const std::size_t row = planeOffset + static_cast<std::size_t>(k) * states;
+    const Real* p1 = nullptr;
+    const Real* p2 = nullptr;
+    int s1 = 0, s2 = 0;
+    if constexpr (Child1 == ChildKind::Partials) {
+      p1 = static_cast<const Real*>(child1) + row;
+    } else {
+      s1 = static_cast<const std::int32_t*>(child1)[k];
+    }
+    if constexpr (Child2 == ChildKind::Partials) {
+      p2 = static_cast<const Real*>(child2) + row;
+    } else {
+      s2 = static_cast<const std::int32_t*>(child2)[k];
+    }
+    for (int i = 0; i < states; ++i) {
+      Real sum1, sum2;
+      if constexpr (Child1 == ChildKind::Partials) {
+        sum1 = Real(0);
+        const Real* mrow = m1 + static_cast<std::size_t>(i) * states;
+        for (int j = 0; j < states; ++j) sum1 = madd<Real, UseFma>(mrow[j], p1[j], sum1);
+      } else {
+        sum1 = (s1 < states) ? m1[static_cast<std::size_t>(i) * states + s1] : Real(1);
+      }
+      if constexpr (Child2 == ChildKind::Partials) {
+        sum2 = Real(0);
+        const Real* mrow = m2 + static_cast<std::size_t>(i) * states;
+        for (int j = 0; j < states; ++j) sum2 = madd<Real, UseFma>(mrow[j], p2[j], sum2);
+      } else {
+        sum2 = (s2 < states) ? m2[static_cast<std::size_t>(i) * states + s2] : Real(1);
+      }
+      dest[row + i] = sum1 * sum2;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transition-probability kernels: P(t) from the precomputed Cijk tensor.
+// ---------------------------------------------------------------------------
+
+template <typename Real, int StatesT, bool UseFma, bool WithDerivs>
+void transitionMatrixKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
+  // This kernel's slot layout carries the state count in ints[1]. The
+  // non-derivative form is batched: one launch covers `count` edges
+  // (ints[2] > 0), with per-edge lengths in buffers[6] and destination
+  // matrix-buffer indices in buffers[7] (stride ints[3] reals) — a single
+  // kernel launch per updateTransitionMatrices call, which keeps
+  // launch-overhead-dominated devices viable.
+  const int states = (StatesT > 0) ? StatesT : static_cast<int>(args.ints[1]);
+  const int categories = static_cast<int>(args.ints[0]);
+  const int batchCount = static_cast<int>(args.ints[2]);
+
+  int c = wg.groupId;
+  double t = args.reals[0];
+  Real* BGL_RESTRICT dest = static_cast<Real*>(args.buffers[0]);
+  if (batchCount > 0) {
+    const int edge = wg.groupId / categories;
+    if (edge >= batchCount) return;
+    c = wg.groupId % categories;
+    const auto* lengths = static_cast<const Real*>(args.buffers[6]);
+    const auto* indices = static_cast<const std::int32_t*>(args.buffers[7]);
+    t = static_cast<double>(lengths[edge]);
+    dest += static_cast<std::size_t>(indices[edge]) *
+            static_cast<std::size_t>(args.ints[3]);
+  }
+
+  const Real* BGL_RESTRICT cijk = static_cast<const Real*>(args.buffers[1]);
+  const Real* BGL_RESTRICT eval = static_cast<const Real*>(args.buffers[2]);
+  const Real* BGL_RESTRICT rates = static_cast<const Real*>(args.buffers[3]);
+
+  const std::size_t matStride = static_cast<std::size_t>(states) * states;
+  Real* p = dest + static_cast<std::size_t>(c) * matStride;
+
+  Real* d1 = nullptr;
+  Real* d2 = nullptr;
+  if constexpr (WithDerivs) {
+    d1 = static_cast<Real*>(args.buffers[4]) + static_cast<std::size_t>(c) * matStride;
+    d2 = static_cast<Real*>(args.buffers[5]) + static_cast<std::size_t>(c) * matStride;
+  }
+
+  const double rt = static_cast<double>(rates[c]) * t;
+
+  // exp(lambda_k * r_c * t) per eigenvalue, staged on the stack (the GPU
+  // kernel stages this in local memory).
+  constexpr int kMaxStates = 64;
+  Real expl[kMaxStates];
+  Real lam1[kMaxStates];
+  Real lam2[kMaxStates];
+  for (int k = 0; k < states; ++k) {
+    const double lam = static_cast<double>(eval[k]) * static_cast<double>(rates[c]);
+    expl[k] = static_cast<Real>(std::exp(static_cast<double>(eval[k]) * rt));
+    if constexpr (WithDerivs) {
+      lam1[k] = static_cast<Real>(lam);
+      lam2[k] = static_cast<Real>(lam * lam);
+    }
+  }
+  (void)lam1;
+  (void)lam2;
+
+  for (int i = 0; i < states; ++i) {
+    for (int j = 0; j < states; ++j) {
+      const Real* ck = cijk + (static_cast<std::size_t>(i) * states + j) * states;
+      Real sum = Real(0);
+      for (int k = 0; k < states; ++k) sum = madd<Real, UseFma>(ck[k], expl[k], sum);
+      // Tiny negative values from round-off would poison log() later.
+      p[static_cast<std::size_t>(i) * states + j] = sum > Real(0) ? sum : Real(0);
+      if constexpr (WithDerivs) {
+        Real sum1 = Real(0), sum2 = Real(0);
+        for (int k = 0; k < states; ++k) {
+          const Real e = ck[k] * expl[k];
+          sum1 = madd<Real, UseFma>(e, lam1[k], sum1);
+          sum2 = madd<Real, UseFma>(e, lam2[k], sum2);
+        }
+        d1[static_cast<std::size_t>(i) * states + j] = sum1;
+        d2[static_cast<std::size_t>(i) * states + j] = sum2;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Root-likelihood integration.
+// ---------------------------------------------------------------------------
+
+template <typename Real, int StatesT, bool UseFma>
+void rootLikelihoodKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
+  const int patterns = static_cast<int>(args.ints[0]);
+  const int categories = static_cast<int>(args.ints[1]);
+  const int states = stateCount<StatesT>(args);
+  const int ppg = static_cast<int>(args.ints[3]);
+
+  const Real* BGL_RESTRICT partials = static_cast<const Real*>(args.buffers[0]);
+  const Real* BGL_RESTRICT freqs = static_cast<const Real*>(args.buffers[1]);
+  const Real* BGL_RESTRICT weights = static_cast<const Real*>(args.buffers[2]);
+  Real* BGL_RESTRICT siteOut = static_cast<Real*>(args.buffers[3]);
+  const Real* BGL_RESTRICT cumScale = static_cast<const Real*>(args.buffers[4]);
+
+  const int kBegin = wg.groupId * ppg;
+  const int kEnd = std::min(patterns, kBegin + ppg);
+
+  for (int k = kBegin; k < kEnd; ++k) {
+    Real lik = Real(0);
+    for (int c = 0; c < categories; ++c) {
+      const Real* row = partials +
+          (static_cast<std::size_t>(c) * patterns + k) * states;
+      Real sum = Real(0);
+      for (int s = 0; s < states; ++s) sum = madd<Real, UseFma>(freqs[s], row[s], sum);
+      lik = madd<Real, UseFma>(weights[c], sum, lik);
+    }
+    Real logL = std::log(lik);
+    if (cumScale != nullptr) logL += cumScale[k];
+    siteOut[k] = logL;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Edge-likelihood integration (optionally with derivatives).
+// ---------------------------------------------------------------------------
+
+template <typename Real, int StatesT, bool UseFma, bool WithDerivs>
+void edgeLikelihoodKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
+  const int patterns = static_cast<int>(args.ints[0]);
+  const int categories = static_cast<int>(args.ints[1]);
+  const int states = stateCount<StatesT>(args);
+  const int ppg = static_cast<int>(args.ints[3]);
+  const bool childIsStates = args.ints[4] != 0;
+
+  const Real* BGL_RESTRICT parent = static_cast<const Real*>(args.buffers[0]);
+  const void* child = args.buffers[1];
+  const Real* BGL_RESTRICT pmat = static_cast<const Real*>(args.buffers[2]);
+  const Real* BGL_RESTRICT freqs = static_cast<const Real*>(args.buffers[3]);
+  const Real* BGL_RESTRICT weights = static_cast<const Real*>(args.buffers[4]);
+  Real* BGL_RESTRICT siteOut = static_cast<Real*>(args.buffers[5]);
+  Real* BGL_RESTRICT siteD1 = static_cast<Real*>(args.buffers[6]);
+  Real* BGL_RESTRICT siteD2 = static_cast<Real*>(args.buffers[7]);
+  const Real* BGL_RESTRICT mat1 = static_cast<const Real*>(args.buffers[8]);
+  const Real* BGL_RESTRICT mat2 = static_cast<const Real*>(args.buffers[9]);
+  const Real* BGL_RESTRICT cumScale = static_cast<const Real*>(args.buffers[10]);
+
+  const std::size_t matStride = static_cast<std::size_t>(states) * states;
+  const int kBegin = wg.groupId * ppg;
+  const int kEnd = std::min(patterns, kBegin + ppg);
+
+  for (int k = kBegin; k < kEnd; ++k) {
+    Real lik = Real(0), num1 = Real(0), num2 = Real(0);
+    for (int c = 0; c < categories; ++c) {
+      const std::size_t row = (static_cast<std::size_t>(c) * patterns + k) *
+                              static_cast<std::size_t>(states);
+      const Real* prow = parent + row;
+      const Real* m = pmat + static_cast<std::size_t>(c) * matStride;
+      const Real* childRow = nullptr;
+      int cs = 0;
+      if (childIsStates) {
+        cs = static_cast<const std::int32_t*>(child)[k];
+      } else {
+        childRow = static_cast<const Real*>(child) + row;
+      }
+      Real catSum = Real(0), catSum1 = Real(0), catSum2 = Real(0);
+      for (int i = 0; i < states; ++i) {
+        Real inner;
+        if (childIsStates) {
+          inner = (cs < states) ? m[static_cast<std::size_t>(i) * states + cs] : Real(1);
+        } else {
+          inner = Real(0);
+          const Real* mrow = m + static_cast<std::size_t>(i) * states;
+          for (int j = 0; j < states; ++j)
+            inner = madd<Real, UseFma>(mrow[j], childRow[j], inner);
+        }
+        const Real pf = freqs[i] * prow[i];
+        catSum = madd<Real, UseFma>(pf, inner, catSum);
+        if constexpr (WithDerivs) {
+          const Real* m1c = mat1 + static_cast<std::size_t>(c) * matStride;
+          const Real* m2c = mat2 + static_cast<std::size_t>(c) * matStride;
+          Real inner1, inner2;
+          if (childIsStates) {
+            inner1 = (cs < states) ? m1c[static_cast<std::size_t>(i) * states + cs] : Real(0);
+            inner2 = (cs < states) ? m2c[static_cast<std::size_t>(i) * states + cs] : Real(0);
+          } else {
+            inner1 = Real(0);
+            inner2 = Real(0);
+            const Real* m1row = m1c + static_cast<std::size_t>(i) * states;
+            const Real* m2row = m2c + static_cast<std::size_t>(i) * states;
+            for (int j = 0; j < states; ++j) {
+              inner1 = madd<Real, UseFma>(m1row[j], childRow[j], inner1);
+              inner2 = madd<Real, UseFma>(m2row[j], childRow[j], inner2);
+            }
+          }
+          catSum1 = madd<Real, UseFma>(pf, inner1, catSum1);
+          catSum2 = madd<Real, UseFma>(pf, inner2, catSum2);
+        }
+      }
+      lik = madd<Real, UseFma>(weights[c], catSum, lik);
+      if constexpr (WithDerivs) {
+        num1 = madd<Real, UseFma>(weights[c], catSum1, num1);
+        num2 = madd<Real, UseFma>(weights[c], catSum2, num2);
+      }
+    }
+    Real logL = std::log(lik);
+    if (cumScale != nullptr) logL += cumScale[k];
+    siteOut[k] = logL;
+    if constexpr (WithDerivs) {
+      // d/dt log L and d2/dt2 log L for this site.
+      siteD1[k] = num1 / lik;
+      siteD2[k] = (num2 * lik - num1 * num1) / (lik * lik);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scaling kernels.
+// ---------------------------------------------------------------------------
+
+template <typename Real, int StatesT>
+void rescalePartialsKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
+  const int patterns = static_cast<int>(args.ints[0]);
+  const int categories = static_cast<int>(args.ints[1]);
+  const int states = stateCount<StatesT>(args);
+  const int ppg = static_cast<int>(args.ints[3]);
+
+  Real* BGL_RESTRICT partials = static_cast<Real*>(args.buffers[0]);
+  Real* BGL_RESTRICT scale = static_cast<Real*>(args.buffers[1]);
+
+  const int kBegin = wg.groupId * ppg;
+  const int kEnd = std::min(patterns, kBegin + ppg);
+
+  for (int k = kBegin; k < kEnd; ++k) {
+    Real maxv = Real(0);
+    for (int c = 0; c < categories; ++c) {
+      const Real* row = partials +
+          (static_cast<std::size_t>(c) * patterns + k) * states;
+      for (int s = 0; s < states; ++s) maxv = std::max(maxv, row[s]);
+    }
+    if (maxv > Real(0)) {
+      const Real inv = Real(1) / maxv;
+      for (int c = 0; c < categories; ++c) {
+        Real* row = partials + (static_cast<std::size_t>(c) * patterns + k) * states;
+        for (int s = 0; s < states; ++s) row[s] *= inv;
+      }
+      scale[k] = std::log(maxv);
+    } else {
+      scale[k] = Real(0);
+    }
+  }
+}
+
+template <typename Real>
+void accumulateScaleKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
+  const int patterns = static_cast<int>(args.ints[0]);
+  const Real sign = static_cast<Real>(args.ints[1]);
+  Real* BGL_RESTRICT cum = static_cast<Real*>(args.buffers[0]);
+  const Real* BGL_RESTRICT src = static_cast<const Real*>(args.buffers[1]);
+  if (wg.groupId != 0) return;
+  for (int k = 0; k < patterns; ++k) cum[k] += sign * src[k];
+}
+
+template <typename Real>
+void resetScaleKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
+  const int patterns = static_cast<int>(args.ints[0]);
+  Real* BGL_RESTRICT cum = static_cast<Real*>(args.buffers[0]);
+  if (wg.groupId != 0) return;
+  for (int k = 0; k < patterns; ++k) cum[k] = Real(0);
+}
+
+template <typename Real>
+void sumSiteLikelihoodsKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
+  const int patterns = static_cast<int>(args.ints[0]);
+  const Real* BGL_RESTRICT site = static_cast<const Real*>(args.buffers[0]);
+  const Real* BGL_RESTRICT weights = static_cast<const Real*>(args.buffers[1]);
+  double* BGL_RESTRICT out = static_cast<double*>(args.buffers[2]);
+  if (wg.groupId != 0) return;
+  double sum = 0.0;
+  for (int k = 0; k < patterns; ++k)
+    sum += static_cast<double>(weights[k]) * static_cast<double>(site[k]);
+  out[0] = sum;
+}
+
+}  // namespace bgl::kernels::detail

@@ -1,0 +1,103 @@
+#include "kernels/kernels.h"
+
+#include "kernels/kernels_impl.h"
+
+namespace bgl::kernels {
+namespace {
+
+using namespace detail;
+using hal::KernelFn;
+using hal::KernelId;
+using hal::KernelSpec;
+using hal::KernelVariant;
+
+template <typename Real, int StatesT, KernelVariant Variant, bool UseFma>
+KernelFn selectPartials(KernelId id) {
+  switch (id) {
+    case KernelId::PartialsPartials:
+      return &partialsKernel<Real, StatesT, Variant, UseFma, ChildKind::Partials,
+                             ChildKind::Partials>;
+    case KernelId::StatesPartials:
+      return &partialsKernel<Real, StatesT, Variant, UseFma, ChildKind::States,
+                             ChildKind::Partials>;
+    case KernelId::StatesStates:
+      return &partialsKernel<Real, StatesT, Variant, UseFma, ChildKind::States,
+                             ChildKind::States>;
+    default:
+      return nullptr;
+  }
+}
+
+template <typename Real, int StatesT, bool UseFma>
+KernelFn selectCommon(KernelId id) {
+  switch (id) {
+    case KernelId::TransitionMatrices:
+      return &transitionMatrixKernel<Real, StatesT, UseFma, false>;
+    case KernelId::TransitionMatricesDerivs:
+      return &transitionMatrixKernel<Real, StatesT, UseFma, true>;
+    case KernelId::RootLikelihood:
+      return &rootLikelihoodKernel<Real, StatesT, UseFma>;
+    case KernelId::EdgeLikelihood:
+      return &edgeLikelihoodKernel<Real, StatesT, UseFma, false>;
+    case KernelId::EdgeLikelihoodDerivs:
+      return &edgeLikelihoodKernel<Real, StatesT, UseFma, true>;
+    case KernelId::RescalePartials:
+      return &rescalePartialsKernel<Real, StatesT>;
+    case KernelId::AccumulateScale:
+      return &accumulateScaleKernel<Real>;
+    case KernelId::ResetScale:
+      return &resetScaleKernel<Real>;
+    case KernelId::SumSiteLikelihoods:
+      return &sumSiteLikelihoodsKernel<Real>;
+    default:
+      return nullptr;
+  }
+}
+
+template <typename Real, int StatesT, bool UseFma>
+KernelFn selectWithVariant(const KernelSpec& spec) {
+  KernelFn fn = (spec.variant == KernelVariant::GpuStyle)
+                    ? selectPartials<Real, StatesT, KernelVariant::GpuStyle, UseFma>(spec.id)
+                    : selectPartials<Real, StatesT, KernelVariant::X86Style, UseFma>(spec.id);
+  if (fn != nullptr) return fn;
+  return selectCommon<Real, StatesT, UseFma>(spec.id);
+}
+
+template <typename Real, int StatesT>
+KernelFn selectWithFma(const KernelSpec& spec) {
+  return spec.useFma ? selectWithVariant<Real, StatesT, true>(spec)
+                     : selectWithVariant<Real, StatesT, false>(spec);
+}
+
+template <typename Real>
+KernelFn selectWithStates(const KernelSpec& spec) {
+  // Specialized 4-state (nucleotide) instantiation; generic otherwise.
+  return spec.states == 4 ? selectWithFma<Real, 4>(spec)
+                          : selectWithFma<Real, 0>(spec);
+}
+
+}  // namespace
+
+hal::KernelFn lookupKernel(const hal::KernelSpec& spec) {
+#if defined(BGL_KERNELS_COMPILED_AVX2) && (defined(__x86_64__) || defined(_M_X64))
+  // Kernels were compiled for AVX2+FMA (the JIT-for-best-ISA behaviour of
+  // a vendor driver); refuse to hand them to an incapable CPU.
+  if (!__builtin_cpu_supports("avx2") || !__builtin_cpu_supports("fma")) {
+    throw Error("lookupKernel: kernels compiled for AVX2+FMA, host lacks it");
+  }
+#endif
+  if (spec.states < 2 || spec.states > 64) {
+    throw Error("lookupKernel: unsupported state count");
+  }
+  KernelFn fn = spec.singlePrecision ? selectWithStates<float>(spec)
+                                     : selectWithStates<double>(spec);
+  if (fn == nullptr) throw Error("lookupKernel: unknown kernel id");
+  return fn;
+}
+
+std::size_t gpuStyleLocalMemBytes(int states, bool singlePrecision) {
+  const std::size_t real = singlePrecision ? sizeof(float) : sizeof(double);
+  return 2 * static_cast<std::size_t>(states) * states * real;
+}
+
+}  // namespace bgl::kernels

@@ -1,0 +1,62 @@
+// Effective-FLOP and memory-traffic accounting for kernel launches.
+//
+// The throughput measure used throughout the paper (Section V-A) counts
+// effective floating-point operations of the partial-likelihoods function:
+// per parent entry, two child dot products (s multiplies + s-1 adds each)
+// plus one combining multiply => s * (4s - 1) FLOPs per (pattern, category).
+#pragma once
+
+#include <cstddef>
+
+#include "perfmodel/device_profiles.h"
+
+namespace bgl::kernels {
+
+/// Effective FLOPs of one partials operation.
+inline double partialsFlops(int patterns, int categories, int states) {
+  return static_cast<double>(patterns) * categories * states *
+         (4.0 * states - 1.0);
+}
+
+/// Global-memory traffic of one partials operation (2 child reads + 1
+/// write per entry, plus the per-category matrices).
+inline double partialsBytes(int patterns, int categories, int states,
+                            std::size_t realBytes) {
+  const double entries = static_cast<double>(patterns) * categories * states;
+  const double matrices = 2.0 * categories * states * states;
+  return (3.0 * entries + matrices) * static_cast<double>(realBytes);
+}
+
+/// Resident working set of one partials operation (cache-model input).
+inline double partialsWorkingSet(int patterns, int categories, int states,
+                                 std::size_t realBytes) {
+  return 3.0 * patterns * categories * states * static_cast<double>(realBytes);
+}
+
+/// FLOPs of the root-integration kernel.
+inline double rootFlops(int patterns, int categories, int states) {
+  return static_cast<double>(patterns) * categories * (2.0 * states + 2.0);
+}
+
+inline double rootBytes(int patterns, int categories, int states,
+                        std::size_t realBytes) {
+  return (static_cast<double>(patterns) * categories * states +
+          2.0 * patterns) *
+         static_cast<double>(realBytes);
+}
+
+/// FLOPs of the transition-matrix kernel (Cijk contraction).
+inline double matrixFlops(int categories, int states, bool derivs) {
+  const double base = static_cast<double>(categories) * states * states *
+                      (2.0 * states);
+  return derivs ? 3.0 * base : base;
+}
+
+inline double matrixBytes(int categories, int states, std::size_t realBytes,
+                          bool derivs) {
+  const double cijk = static_cast<double>(states) * states * states;
+  const double out = static_cast<double>(categories) * states * states;
+  return (cijk + (derivs ? 3.0 : 1.0) * out) * static_cast<double>(realBytes);
+}
+
+}  // namespace bgl::kernels

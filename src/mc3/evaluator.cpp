@@ -1,0 +1,193 @@
+#include "mc3/evaluator.h"
+
+#include <cmath>
+#include <vector>
+
+#include "core/aligned.h"
+#include "core/defs.h"
+#include "core/gamma.h"
+#include "core/transition.h"
+#include "cpu/cpu_kernels.h"
+
+namespace bgl::mc3 {
+
+// ---------------------------------------------------------------------------
+// BglEvaluator
+// ---------------------------------------------------------------------------
+
+BglEvaluator::BglEvaluator(const PatternSet& data, const SubstitutionModel& model,
+                           const phylo::LikelihoodOptions& options) {
+  Rng rng(7);
+  phylo::Tree initial = phylo::Tree::random(data.taxa, rng);
+  like_ = std::make_unique<phylo::TreeLikelihood>(initial, model, data, options);
+  bglResetTimeline(like_->instance());
+}
+
+double BglEvaluator::logLikelihood(const phylo::Tree& tree) {
+  return like_->logLikelihood(tree);
+}
+
+std::string BglEvaluator::name() const { return like_->implName(); }
+
+bool BglEvaluator::timeline(double* measured, double* modeled) {
+  BglTimeline t{};
+  if (bglGetTimeline(like_->instance(), &t) != BGL_SUCCESS) return false;
+  *measured = t.measuredSeconds;
+  *modeled = t.modeledSeconds;
+  return true;
+}
+
+void BglEvaluator::resetTimeline() { bglResetTimeline(like_->instance()); }
+
+EvaluatorFactory makeBglFactory(phylo::LikelihoodOptions options) {
+  return [options](const PatternSet& data, const SubstitutionModel& model) {
+    return std::make_unique<BglEvaluator>(data, model, options);
+  };
+}
+
+// ---------------------------------------------------------------------------
+// NativeEvaluator
+// ---------------------------------------------------------------------------
+
+template <typename Real>
+struct NativeEvaluator<Real>::Impl {
+  PatternSet data;
+  EigenSystem es;
+  std::vector<double> freqs;
+  std::vector<double> rates;
+  int categories;
+  int states;
+
+  // Per-node working storage.
+  std::vector<AlignedVector<Real>> partials;          // internal nodes
+  std::vector<std::vector<std::int32_t>> tipStates;   // tips
+  AlignedVector<Real> scale;                          // cumulative log factors
+  std::vector<AlignedVector<Real>> matrices;          // per non-root node
+  AlignedVector<Real> freqsR, weightsR, siteLogL;
+
+  Impl(const PatternSet& d, const SubstitutionModel& model, int cats, double alpha)
+      : data(d),
+        es(model.eigenSystem()),
+        freqs(model.frequencies()),
+        rates(cats > 1 ? discreteGammaRates(alpha, cats) : std::vector<double>{1.0}),
+        categories(cats),
+        states(model.states()) {
+    const int nodes = 2 * data.taxa - 1;
+    const std::size_t psz =
+        static_cast<std::size_t>(cats) * data.patterns * states;
+    partials.assign(nodes, {});
+    for (int n = data.taxa; n < nodes; ++n) partials[n].assign(psz, Real(0));
+    tipStates.resize(data.taxa);
+    for (int t = 0; t < data.taxa; ++t) {
+      tipStates[t].resize(data.patterns);
+      for (int k = 0; k < data.patterns; ++k) {
+        const int s = data.at(t, k);
+        tipStates[t][k] =
+            (s < 0 || s >= states) ? states : s;  // out of range = ambiguous
+      }
+    }
+    scale.assign(data.patterns, Real(0));
+    matrices.assign(nodes, {});
+    for (int n = 0; n < nodes - 1; ++n) {
+      matrices[n].assign(static_cast<std::size_t>(cats) * states * states, Real(0));
+    }
+    freqsR.assign(states, Real(0));
+    for (int s = 0; s < states; ++s) freqsR[s] = static_cast<Real>(freqs[s]);
+    weightsR.assign(cats, static_cast<Real>(1.0 / cats));
+    siteLogL.assign(data.patterns, Real(0));
+  }
+
+  double evaluate(const phylo::Tree& tree) {
+    const int p = data.patterns;
+    // Transition matrices per non-root node.
+    for (int n = 0; n < tree.nodeCount(); ++n) {
+      if (n == tree.root()) continue;
+      Real* out = matrices[n].data();
+      for (int c = 0; c < categories; ++c) {
+        const auto pm = transitionMatrix(es, tree.node(n).length, rates[c]);
+        for (std::size_t i = 0; i < pm.size(); ++i) {
+          out[static_cast<std::size_t>(c) * states * states + i] =
+              static_cast<Real>(pm[i]);
+        }
+      }
+    }
+
+    std::fill(scale.begin(), scale.end(), Real(0));
+    for (int n : tree.postOrder()) {
+      if (tree.isTip(n)) continue;
+      const int l = tree.node(n).left;
+      const int r = tree.node(n).right;
+      Real* dest = partials[n].data();
+      const Real* m1 = matrices[l].data();
+      const Real* m2 = matrices[r].data();
+      const bool tip1 = tree.isTip(l);
+      const bool tip2 = tree.isTip(r);
+      if (tip1 && tip2) {
+        cpu::statesStatesScalar<Real>(dest, tipStates[l].data(), m1,
+                                      tipStates[r].data(), m2, p, categories,
+                                      states, 0, p);
+      } else if (tip1) {
+        cpu::statesPartialsScalar<Real>(dest, tipStates[l].data(), m1,
+                                        partials[r].data(), m2, p, categories,
+                                        states, 0, p);
+      } else if (tip2) {
+        cpu::statesPartialsScalar<Real>(dest, tipStates[r].data(), m2,
+                                        partials[l].data(), m1, p, categories,
+                                        states, 0, p);
+      } else {
+        cpu::partialsPartialsScalar<Real>(dest, partials[l].data(), m1,
+                                          partials[r].data(), m2, p, categories,
+                                          states, 0, p);
+      }
+      // Per-node rescaling keeps single precision viable (MrBayes does the
+      // same in its native implementation).
+      AlignedVector<Real> nodeScale(p);
+      cpu::rescaleScalar<Real>(dest, nodeScale.data(), p, categories, states, 0, p);
+      for (int k = 0; k < p; ++k) scale[k] += nodeScale[k];
+    }
+
+    cpu::rootLikelihoodScalar<Real>(partials[tree.root()].data(), freqsR.data(),
+                                    weightsR.data(), scale.data(), siteLogL.data(),
+                                    p, categories, states, 0, p);
+    double sum = 0.0;
+    for (int k = 0; k < p; ++k) {
+      sum += data.weights[k] * static_cast<double>(siteLogL[k]);
+    }
+    return sum;
+  }
+};
+
+template <typename Real>
+NativeEvaluator<Real>::NativeEvaluator(const PatternSet& data,
+                                       const SubstitutionModel& model, int categories,
+                                       double alpha)
+    : impl_(std::make_unique<Impl>(data, model, categories, alpha)) {}
+
+template <typename Real>
+NativeEvaluator<Real>::~NativeEvaluator() = default;
+
+template <typename Real>
+double NativeEvaluator<Real>::logLikelihood(const phylo::Tree& tree) {
+  return impl_->evaluate(tree);
+}
+
+template <typename Real>
+std::string NativeEvaluator<Real>::name() const {
+  return std::is_same_v<Real, float> ? "native-single" : "native-double";
+}
+
+template class NativeEvaluator<float>;
+template class NativeEvaluator<double>;
+
+EvaluatorFactory makeNativeFactory(bool singlePrecision, int categories) {
+  return [singlePrecision, categories](const PatternSet& data,
+                                       const SubstitutionModel& model)
+             -> std::unique_ptr<Evaluator> {
+    if (singlePrecision) {
+      return std::make_unique<NativeEvaluator<float>>(data, model, categories);
+    }
+    return std::make_unique<NativeEvaluator<double>>(data, model, categories);
+  };
+}
+
+}  // namespace bgl::mc3

@@ -1,0 +1,77 @@
+// Likelihood evaluators for the MC3 engine.
+//
+// Two families, mirroring the paper's Fig. 6 application benchmark:
+//  * NativeEvaluator — a from-scratch in-process likelihood computation
+//    independent of the library API, standing in for MrBayes' built-in
+//    (MPI + SSE) implementation: one evaluator per chain, no shared state.
+//  * BglEvaluator — the library-backed path, configured by flags to select
+//    any implementation (threaded CPU, OpenCL-x86, OpenCL-GPU, CUDA, ...).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "api/bgl.h"
+#include "core/model.h"
+#include "core/patterns.h"
+#include "phylo/likelihood.h"
+#include "phylo/tree.h"
+
+namespace bgl::mc3 {
+
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+  virtual double logLikelihood(const phylo::Tree& tree) = 0;
+  virtual std::string name() const = 0;
+  /// Accumulated (measured, modeled) likelihood seconds, if tracked.
+  virtual bool timeline(double* measured, double* modeled) {
+    (void)measured;
+    (void)modeled;
+    return false;
+  }
+  /// Zero the timeline (called by the sampler before timed runs).
+  virtual void resetTimeline() {}
+};
+
+using EvaluatorFactory = std::function<std::unique_ptr<Evaluator>(
+    const PatternSet&, const SubstitutionModel&)>;
+
+/// Library-backed evaluator.
+class BglEvaluator final : public Evaluator {
+ public:
+  BglEvaluator(const PatternSet& data, const SubstitutionModel& model,
+               const phylo::LikelihoodOptions& options);
+  double logLikelihood(const phylo::Tree& tree) override;
+  std::string name() const override;
+  bool timeline(double* measured, double* modeled) override;
+  void resetTimeline() override;
+
+ private:
+  std::unique_ptr<phylo::TreeLikelihood> like_;
+};
+
+/// Factory helper for BglEvaluator with fixed options.
+EvaluatorFactory makeBglFactory(phylo::LikelihoodOptions options);
+
+/// Self-contained native evaluator (no library): scalar loops with
+/// per-node rescaling, templated on precision. Stands in for the MrBayes
+/// built-in SSE implementation as the application baseline.
+template <typename Real>
+class NativeEvaluator final : public Evaluator {
+ public:
+  NativeEvaluator(const PatternSet& data, const SubstitutionModel& model,
+                  int categories = 4, double alpha = 0.5);
+  ~NativeEvaluator() override;
+  double logLikelihood(const phylo::Tree& tree) override;
+  std::string name() const override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+EvaluatorFactory makeNativeFactory(bool singlePrecision, int categories = 4);
+
+}  // namespace bgl::mc3

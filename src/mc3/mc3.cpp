@@ -1,0 +1,146 @@
+#include "mc3/mc3.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "core/defs.h"
+
+namespace bgl::mc3 {
+
+struct Mc3Sampler::Chain {
+  phylo::Tree tree;
+  double logL = 0.0;
+  double logPrior = 0.0;
+  double beta = 1.0;
+  std::unique_ptr<Evaluator> evaluator;
+  Rng rng;
+  long proposed = 0;
+  long accepted = 0;
+};
+
+namespace {
+
+double branchLogPrior(const phylo::Tree& tree, double mean) {
+  // Independent exponential priors on every branch.
+  double sum = 0.0;
+  const double rate = 1.0 / mean;
+  for (int n = 0; n < tree.nodeCount(); ++n) {
+    if (n == tree.root()) continue;
+    sum += std::log(rate) - rate * tree.node(n).length;
+  }
+  return sum;
+}
+
+}  // namespace
+
+Mc3Sampler::Mc3Sampler(const PatternSet& data, const SubstitutionModel& model,
+                       const Mc3Options& options, EvaluatorFactory factory)
+    : data_(data), options_(options), rng_(options.seed) {
+  if (options_.chains < 1) throw Error("Mc3Sampler: need >= 1 chain");
+  for (int i = 0; i < options_.chains; ++i) {
+    auto chain = std::make_unique<Chain>();
+    chain->tree = phylo::Tree::random(data.taxa, rng_, options_.branchPriorMean);
+    chain->beta = 1.0 / (1.0 + options_.heatDelta * i);
+    chain->evaluator = factory(data, model);
+    chain->rng.reseed(options_.seed * 1000003u + i + 1);
+    chain->logL = chain->evaluator->logLikelihood(chain->tree);
+    chain->logPrior = branchLogPrior(chain->tree, options_.branchPriorMean);
+    chains_.push_back(std::move(chain));
+  }
+}
+
+Mc3Sampler::~Mc3Sampler() = default;
+
+void Mc3Sampler::step(Chain& chain) {
+  phylo::Tree proposal = chain.tree;
+  double logHastings = 0.0;
+
+  if (chain.rng.uniform() < options_.topologyMoveWeight && data_.taxa >= 4) {
+    // NNI: symmetric proposal on topologies.
+    proposal.nni(chain.rng);
+  } else {
+    // Branch-length multiplier on a random non-root branch.
+    int node = chain.rng.belowInt(proposal.nodeCount() - 1);
+    const double m =
+        std::exp(options_.branchMoveLambda * (chain.rng.uniform() - 0.5));
+    proposal.node(node).length *= m;
+    logHastings = std::log(m);  // Jacobian of the multiplier move
+  }
+
+  const double logL = chain.evaluator->logLikelihood(proposal);
+  const double logPrior = branchLogPrior(proposal, options_.branchPriorMean);
+  const double logRatio =
+      chain.beta * ((logL + logPrior) - (chain.logL + chain.logPrior)) + logHastings;
+
+  ++chain.proposed;
+  if (std::log(chain.rng.uniform()) < logRatio) {
+    chain.tree = std::move(proposal);
+    chain.logL = logL;
+    chain.logPrior = logPrior;
+    ++chain.accepted;
+  }
+}
+
+Mc3Result Mc3Sampler::run() {
+  using Clock = std::chrono::steady_clock;
+  Mc3Result result;
+  result.evaluatorName = chains_[0]->evaluator->name();
+  result.bestLogL = chains_[0]->logL;
+  result.mapTree = chains_[0]->tree;
+  result.coldTrace.reserve(options_.generations);
+
+  for (auto& chain : chains_) chain->evaluator->resetTimeline();
+  const auto t0 = Clock::now();
+  for (int gen = 0; gen < options_.generations; ++gen) {
+    if (options_.parallelChains && chains_.size() > 1) {
+      // MPI-style: one worker per chain, join at the generation barrier.
+      std::vector<std::thread> workers;
+      workers.reserve(chains_.size());
+      for (auto& chain : chains_) {
+        workers.emplace_back([this, &chain] { step(*chain); });
+      }
+      for (auto& w : workers) w.join();
+    } else {
+      for (auto& chain : chains_) step(*chain);
+    }
+
+    if ((gen + 1) % options_.swapInterval == 0 && chains_.size() > 1) {
+      // Attempt one swap between a random adjacent temperature pair;
+      // exchange chain states so chain 0 stays cold.
+      const int i = rng_.belowInt(static_cast<int>(chains_.size()) - 1);
+      Chain& a = *chains_[i];
+      Chain& b = *chains_[i + 1];
+      const double logRatio = (a.beta - b.beta) * ((b.logL + b.logPrior) -
+                                                   (a.logL + a.logPrior));
+      ++result.swapsProposed;
+      if (std::log(rng_.uniform()) < logRatio) {
+        std::swap(a.tree, b.tree);
+        std::swap(a.logL, b.logL);
+        std::swap(a.logPrior, b.logPrior);
+        ++result.swapsAccepted;
+      }
+    }
+
+    result.coldTrace.push_back(chains_[0]->logL);
+    if (chains_[0]->logL > result.bestLogL) {
+      result.bestLogL = chains_[0]->logL;
+      result.mapTree = chains_[0]->tree;
+    }
+  }
+  result.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  result.coldLogL = chains_[0]->logL;
+  for (auto& chain : chains_) {
+    result.proposed += chain->proposed;
+    result.accepted += chain->accepted;
+    double measured = 0.0, modeled = 0.0;
+    if (chain->evaluator->timeline(&measured, &modeled)) {
+      result.likelihoodMeasuredSeconds += measured;
+      result.likelihoodModeledSeconds += modeled;
+    }
+  }
+  return result;
+}
+
+}  // namespace bgl::mc3

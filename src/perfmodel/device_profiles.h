@@ -1,0 +1,93 @@
+// Device profiles and the calibrated roofline performance model.
+//
+// The paper benchmarks three discrete GPUs (Table II), a Xeon Phi 7210 and
+// dual Xeon E5-2680v4 CPUs. None of that hardware exists here, so the
+// accelerator frameworks execute kernels functionally on the host while a
+// roofline model — parameterized by each device's published specifications
+// plus calibrated efficiency/overhead constants — supplies modeled wall
+// times. The host CPU profile is marked `hostMeasured`, meaning launches on
+// it report real measured time instead of modeled time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bgl::perf {
+
+enum class DeviceClass { HostCpu, Gpu, ManyCore };
+
+struct DeviceProfile {
+  std::string name;
+  std::string vendor;
+  DeviceClass deviceClass = DeviceClass::Gpu;
+  bool hostMeasured = false;  ///< true: wall time is real, not modeled
+
+  // Published specifications (Table II of the paper for the GPUs).
+  int computeUnits = 0;         ///< cores (GPU "cores" / CPU hardware threads)
+  double memoryGb = 0.0;        ///< device global memory
+  double bandwidthGBs = 0.0;    ///< global memory bandwidth, GB/s
+  double spGflops = 0.0;        ///< theoretical single-precision peak
+  double dpRatio = 0.5;         ///< DP throughput as a fraction of SP
+  double localMemKb = 48.0;     ///< local/shared memory per work-group
+  bool fastFma = true;          ///< FP_FAST_FMA(F) available
+
+  // Calibrated model constants.
+  double launchOverheadUsCuda = 5.0;    ///< per-kernel-launch cost (CUDA)
+  double launchOverheadUsOpenCl = 14.0; ///< per-kernel-launch cost (OpenCL)
+  double computeEfficiency = 0.16;      ///< achievable fraction of peak FLOPS
+  double bandwidthEfficiency = 0.70;    ///< achievable fraction of peak BW
+  double pcieGBs = 12.0;                ///< host<->device copy bandwidth
+  double pcieLatencyUs = 10.0;          ///< host<->device copy latency
+
+  // CPU-class devices stream from cache when the working set fits, which is
+  // what makes the paper's dual-Xeon throughput non-monotonic in pattern
+  // count (peak at ~2e4 patterns, decline at 1e5+).
+  double llcMb = 0.0;                   ///< last-level cache (0: no cache model)
+  double llcBandwidthGBs = 0.0;         ///< effective bandwidth when resident
+
+  /// Per-work-group scheduling cost (drives the Table V work-group-size
+  /// sweep: many small groups cost more on CPU-class devices).
+  double perGroupNs = 5.0;
+};
+
+/// Work descriptor for one kernel launch, used by the roofline model.
+struct LaunchWork {
+  double flops = 0.0;      ///< useful floating-point operations
+  double bytes = 0.0;      ///< global-memory traffic
+  double workingSetBytes = 0.0;  ///< resident data (cache model input)
+  bool fmaFriendly = false;///< dominated by mul+add pairs fusable into FMA
+  bool doublePrecision = false;
+  bool useFma = true;      ///< kernel compiled with FMA enabled
+  int numGroups = 0;       ///< work-groups launched (scheduling cost input)
+  /// Efficiency multiplier for a kernel variant mismatched to the device
+  /// class (e.g. the GPU-style kernel on a CPU: Table V measures ~0.16x).
+  double variantEfficiency = 1.0;
+};
+
+/// Calibrated efficiency of running GPU-style kernels on CPU-class devices
+/// (fits the Table V dual-Xeon GPU-style row of 15.75 GFLOPS).
+inline constexpr double kGpuStyleOnCpuEfficiency = 0.032;
+
+/// Modeled execution time (seconds) of one kernel launch on `device` when
+/// submitted through framework `openCl ? OpenCL : CUDA`.
+double modeledKernelSeconds(const DeviceProfile& device, const LaunchWork& work,
+                            bool openCl);
+
+/// Modeled host<->device copy time (seconds).
+double modeledCopySeconds(const DeviceProfile& device, double bytes);
+
+/// The registry of known devices: index 0 is always the host CPU; the
+/// remainder are the paper's accelerator profiles.
+const std::vector<DeviceProfile>& deviceRegistry();
+
+/// Profiles by well-known index into deviceRegistry().
+enum WellKnownDevice {
+  kHostCpu = 0,
+  kQuadroP5000 = 1,
+  kRadeonR9Nano = 2,
+  kFireProS9170 = 3,
+  kXeonPhi7210 = 4,
+  kDualXeonE5 = 5,
+};
+
+}  // namespace bgl::perf

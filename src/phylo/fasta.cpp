@@ -1,0 +1,187 @@
+#include "phylo/fasta.h"
+
+#include <cctype>
+#include <istream>
+#include <sstream>
+
+#include "core/defs.h"
+#include "core/genetic_code.h"
+
+namespace bgl::phylo {
+
+std::vector<FastaRecord> parseFasta(std::istream& in) {
+  std::vector<FastaRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      FastaRecord rec;
+      rec.name = line.substr(1);
+      // Trim leading whitespace and cut at the first space.
+      const auto start = rec.name.find_first_not_of(" \t");
+      rec.name = (start == std::string::npos) ? "" : rec.name.substr(start);
+      const auto space = rec.name.find_first_of(" \t");
+      if (space != std::string::npos) rec.name.resize(space);
+      records.push_back(std::move(rec));
+    } else {
+      if (records.empty()) throw Error("FASTA: sequence data before first header");
+      for (char c : line) {
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          records.back().sequence += c;
+        }
+      }
+    }
+  }
+  if (records.empty()) throw Error("FASTA: no records");
+  return records;
+}
+
+std::vector<FastaRecord> parseFastaString(const std::string& text) {
+  std::istringstream in(text);
+  return parseFasta(in);
+}
+
+std::string writeFasta(const std::vector<FastaRecord>& records) {
+  std::string out;
+  for (const auto& rec : records) {
+    out += '>';
+    out += rec.name;
+    out += '\n';
+    for (std::size_t i = 0; i < rec.sequence.size(); i += 70) {
+      out += rec.sequence.substr(i, 70);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+int nucleotideState(char c) {
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'A': return 0;
+    case 'C': return 1;
+    case 'G': return 2;
+    case 'T':
+    case 'U': return 3;
+    default: return -1;
+  }
+}
+
+char nucleotideChar(int state) {
+  static constexpr char kAlpha[] = "ACGT";
+  return (state >= 0 && state < 4) ? kAlpha[state] : 'N';
+}
+
+int aminoAcidState(char c) {
+  static constexpr char kAlpha[] = "ACDEFGHIKLMNPQRSTVWY";
+  const char u = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  for (int i = 0; i < 20; ++i) {
+    if (kAlpha[i] == u) return i;
+  }
+  return -1;
+}
+
+char aminoAcidChar(int state) {
+  static constexpr char kAlpha[] = "ACDEFGHIKLMNPQRSTVWY";
+  return (state >= 0 && state < 20) ? kAlpha[state] : 'X';
+}
+
+std::vector<int> encodeAlignment(const std::vector<FastaRecord>& records,
+                                 int (*mapper)(char), int* outSites) {
+  if (records.empty()) throw Error("encodeAlignment: no records");
+  const std::size_t sites = records[0].sequence.size();
+  for (const auto& rec : records) {
+    if (rec.sequence.size() != sites) {
+      throw Error("encodeAlignment: sequences have unequal lengths");
+    }
+  }
+  std::vector<int> out(records.size() * sites);
+  for (std::size_t t = 0; t < records.size(); ++t) {
+    for (std::size_t k = 0; k < sites; ++k) {
+      out[t * sites + k] = mapper(records[t].sequence[k]);
+    }
+  }
+  *outSites = static_cast<int>(sites);
+  return out;
+}
+
+std::vector<int> encodeCodonAlignment(const std::vector<FastaRecord>& records,
+                                      int* outSites) {
+  if (records.empty()) throw Error("encodeCodonAlignment: no records");
+  const std::size_t length = records[0].sequence.size();
+  if (length % 3 != 0) throw Error("encodeCodonAlignment: length not divisible by 3");
+  const std::size_t sites = length / 3;
+  const auto& code = GeneticCode::universal();
+
+  // GeneticCode uses the T,C,A,G ordering; the nucleotide alphabet here is
+  // A,C,G,T, so translate per position.
+  auto tcagState = [](char c) {
+    switch (std::toupper(static_cast<unsigned char>(c))) {
+      case 'T':
+      case 'U': return 0;
+      case 'C': return 1;
+      case 'A': return 2;
+      case 'G': return 3;
+      default: return -1;
+    }
+  };
+
+  std::vector<int> out(records.size() * sites);
+  for (std::size_t t = 0; t < records.size(); ++t) {
+    if (records[t].sequence.size() != length) {
+      throw Error("encodeCodonAlignment: sequences have unequal lengths");
+    }
+    for (std::size_t k = 0; k < sites; ++k) {
+      const int n1 = tcagState(records[t].sequence[3 * k]);
+      const int n2 = tcagState(records[t].sequence[3 * k + 1]);
+      const int n3 = tcagState(records[t].sequence[3 * k + 2]);
+      if (n1 < 0 || n2 < 0 || n3 < 0) {
+        out[t * sites + k] = -1;
+      } else {
+        out[t * sites + k] = code.senseIndex(16 * n1 + 4 * n2 + n3);
+      }
+    }
+  }
+  *outSites = static_cast<int>(sites);
+  return out;
+}
+
+void iupacPartials(char c, double out[4]) {
+  // Bitmask over A,C,G,T per IUPAC code.
+  int mask;
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'A': mask = 0b0001; break;
+    case 'C': mask = 0b0010; break;
+    case 'G': mask = 0b0100; break;
+    case 'T':
+    case 'U': mask = 0b1000; break;
+    case 'R': mask = 0b0101; break;  // A/G
+    case 'Y': mask = 0b1010; break;  // C/T
+    case 'S': mask = 0b0110; break;  // C/G
+    case 'W': mask = 0b1001; break;  // A/T
+    case 'K': mask = 0b1100; break;  // G/T
+    case 'M': mask = 0b0011; break;  // A/C
+    case 'B': mask = 0b1110; break;  // not A
+    case 'D': mask = 0b1101; break;  // not C
+    case 'H': mask = 0b1011; break;  // not G
+    case 'V': mask = 0b0111; break;  // not T
+    default:  mask = 0b1111; break;  // N, gap, ?
+  }
+  for (int s = 0; s < 4; ++s) out[s] = (mask >> s) & 1 ? 1.0 : 0.0;
+}
+
+std::vector<double> iupacTipPartials(const std::string& sequence) {
+  std::vector<double> out(sequence.size() * 4);
+  for (std::size_t k = 0; k < sequence.size(); ++k) {
+    iupacPartials(sequence[k], out.data() + 4 * k);
+  }
+  return out;
+}
+
+std::string decodeNucleotides(const int* states, int sites) {
+  std::string out(sites, 'N');
+  for (int k = 0; k < sites; ++k) out[k] = nucleotideChar(states[k]);
+  return out;
+}
+
+}  // namespace bgl::phylo

@@ -1,0 +1,55 @@
+// FASTA I/O for nucleotide and amino-acid data, plus codon encoding.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bgl::phylo {
+
+struct FastaRecord {
+  std::string name;
+  std::string sequence;
+};
+
+/// Parse FASTA text into records. Throws bgl::Error on malformed input.
+std::vector<FastaRecord> parseFasta(std::istream& in);
+std::vector<FastaRecord> parseFastaString(const std::string& text);
+
+/// Serialize records to FASTA with 70-column wrapping.
+std::string writeFasta(const std::vector<FastaRecord>& records);
+
+/// Nucleotide character -> state (A=0, C=1, G=2, T/U=3; anything else,
+/// including IUPAC ambiguity codes and gaps, maps to -1 = fully ambiguous).
+int nucleotideState(char c);
+char nucleotideChar(int state);
+
+/// Amino-acid character -> state (alphabetical one-letter order), -1 for
+/// unknown/gap.
+int aminoAcidState(char c);
+char aminoAcidChar(int state);
+
+/// Encode aligned sequences of equal length into a taxa x sites state
+/// matrix using the given per-character mapper.
+std::vector<int> encodeAlignment(const std::vector<FastaRecord>& records,
+                                 int (*mapper)(char), int* outSites);
+
+/// Encode nucleotide records as sense-codon states (sites = length/3);
+/// codons containing ambiguity or encoding a stop map to -1.
+std::vector<int> encodeCodonAlignment(const std::vector<FastaRecord>& records,
+                                      int* outSites);
+
+/// Decode a state row back into sequence text (nucleotide alphabet).
+std::string decodeNucleotides(const int* states, int sites);
+
+/// IUPAC nucleotide ambiguity code -> per-state tip partials (1.0 for each
+/// compatible base, order A,C,G,T). Gaps, '?' and unknown characters yield
+/// full ambiguity. Use with bglSetTipPartials for data with partial
+/// ambiguity codes (R, Y, S, W, K, M, B, D, H, V, N), which compact state
+/// codes cannot represent.
+void iupacPartials(char c, double out[4]);
+
+/// Pattern-major tip partials (length 4 x sequence length) for a sequence.
+std::vector<double> iupacTipPartials(const std::string& sequence);
+
+}  // namespace bgl::phylo

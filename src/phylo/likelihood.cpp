@@ -1,0 +1,150 @@
+#include "phylo/likelihood.h"
+
+#include <utility>
+
+#include "core/defs.h"
+#include "core/gamma.h"
+
+namespace bgl::phylo {
+
+TreeLikelihood::TreeLikelihood(const Tree& tree, const SubstitutionModel& model,
+                               const PatternSet& data,
+                               const LikelihoodOptions& options)
+    : tree_(tree),
+      patterns_(data.patterns),
+      useScaling_(options.useScaling) {
+  if (data.taxa != tree.tipCount()) {
+    throw Error("TreeLikelihood: tree/data taxon count mismatch");
+  }
+  const int tips = tree.tipCount();
+  const int states = model.states();
+  const int categories = options.categories;
+  const int scaleBuffers = useScaling_ ? tips : 0;  // tips-1 per-node + 1 cum
+  cumulativeScaleIndex_ = useScaling_ ? tips - 1 : BGL_OP_NONE;
+
+  BglInstanceDetails details{};
+  instance_ = bglCreateInstance(
+      tips, /*partialsBufferCount=*/tips - 1, /*compactBufferCount=*/tips, states,
+      data.patterns, /*eigenBufferCount=*/1, /*matrixBufferCount=*/2 * tips - 2,
+      categories, scaleBuffers,
+      options.resources.empty() ? nullptr : options.resources.data(),
+      static_cast<int>(options.resources.size()), options.preferenceFlags,
+      options.requirementFlags, &details);
+  if (instance_ < 0) {
+    throw Error("TreeLikelihood: bglCreateInstance failed with code " +
+                std::to_string(instance_));
+  }
+  implName_ = details.implName;
+  resource_ = details.resourceNumber;
+
+  const auto es = model.eigenSystem();
+  int rc = bglSetEigenDecomposition(instance_, 0, es.evec.data(), es.ivec.data(),
+                                    es.eval.data());
+  if (rc == BGL_SUCCESS) {
+    rc = bglSetStateFrequencies(instance_, 0, model.frequencies().data());
+  }
+  if (rc == BGL_SUCCESS) {
+    const std::vector<double> weights(categories, 1.0 / categories);
+    rc = bglSetCategoryWeights(instance_, 0, weights.data());
+  }
+  if (rc == BGL_SUCCESS) {
+    const auto rates = categories > 1 ? discreteGammaRates(options.alpha, categories)
+                                      : std::vector<double>{1.0};
+    rc = bglSetCategoryRates(instance_, rates.data());
+  }
+  if (rc == BGL_SUCCESS) {
+    rc = bglSetPatternWeights(instance_, data.weights.data());
+  }
+  for (int t = 0; rc == BGL_SUCCESS && t < tips; ++t) {
+    std::vector<int> tipStates(data.patterns);
+    for (int k = 0; k < data.patterns; ++k) tipStates[k] = data.at(t, k);
+    rc = bglSetTipStates(instance_, t, tipStates.data());
+  }
+  if (rc != BGL_SUCCESS) {
+    bglFinalizeInstance(instance_);
+    throw Error("TreeLikelihood: instance setup failed with code " +
+                std::to_string(rc));
+  }
+}
+
+TreeLikelihood::~TreeLikelihood() {
+  if (instance_ >= 0) bglFinalizeInstance(instance_);
+}
+
+double TreeLikelihood::logLikelihood(const Tree& tree) {
+  if (tree.tipCount() != tree_.tipCount()) {
+    throw Error("TreeLikelihood: taxon count changed");
+  }
+  tree_ = tree;
+
+  std::vector<int> matrixNodes;
+  std::vector<double> lengths;
+  tree_.matrixUpdates(matrixNodes, lengths);
+  int rc = bglUpdateTransitionMatrices(instance_, 0, matrixNodes.data(), nullptr,
+                                       nullptr, lengths.data(),
+                                       static_cast<int>(matrixNodes.size()));
+  if (rc != BGL_SUCCESS) throw Error("updateTransitionMatrices failed");
+
+  if (useScaling_) {
+    rc = bglResetScaleFactors(instance_, cumulativeScaleIndex_);
+    if (rc != BGL_SUCCESS) throw Error("resetScaleFactors failed");
+  }
+  const auto ops = tree_.operations(useScaling_);
+  rc = bglUpdatePartials(instance_, ops.data(), static_cast<int>(ops.size()),
+                         cumulativeScaleIndex_);
+  if (rc != BGL_SUCCESS) throw Error("updatePartials failed");
+
+  const int rootIndex = tree_.root();
+  const int zero = 0;
+  const int cum = cumulativeScaleIndex_;
+  double logL = 0.0;
+  rc = bglCalculateRootLogLikelihoods(instance_, &rootIndex, &zero, &zero,
+                                      useScaling_ ? &cum : nullptr, 1, &logL);
+  if (rc != BGL_SUCCESS && rc != BGL_ERROR_FLOATING_POINT) {
+    throw Error("calculateRootLogLikelihoods failed");
+  }
+  return logL;
+}
+
+double TreeLikelihood::rootEdgeLogLikelihood(double t, double* outD1, double* outD2) {
+  if (useScaling_) {
+    // The cumulative buffer also holds the root node's factor, which the
+    // edge-based evaluation (over the two root-child subtrees) must not
+    // include; restrict this helper to unscaled instances.
+    throw Error("rootEdgeLogLikelihood: not supported with scaling enabled");
+  }
+  int left = tree_.node(tree_.root()).left;
+  int right = tree_.node(tree_.root()).right;
+  // The parent side must hold partials (not compact tip states); for a
+  // reversible model the edge likelihood is symmetric in its endpoints, so
+  // orient the internal child as the parent.
+  if (tree_.isTip(left)) std::swap(left, right);
+  if (tree_.isTip(left)) {
+    throw Error("rootEdgeLogLikelihood: needs at least 3 taxa");
+  }
+  // Reuse the matrix slots of the root children for P(t), P'(t), P''(t):
+  // they are refreshed by the next logLikelihood() call anyway. The third
+  // scratch slot is the smallest index not already in use.
+  const int probIndex = left;
+  const int d1Index = right;
+  int d2Index = 0;
+  while (d2Index == left || d2Index == right) ++d2Index;
+  int rc = bglUpdateTransitionMatrices(instance_, 0, &probIndex, &d1Index, &d2Index,
+                                       &t, 1);
+  if (rc != BGL_SUCCESS) throw Error("updateTransitionMatrices(derivs) failed");
+
+  const int zero = 0;
+  const int cum = cumulativeScaleIndex_;
+  double logL = 0.0, d1 = 0.0, d2 = 0.0;
+  rc = bglCalculateEdgeLogLikelihoods(instance_, &left, &right, &probIndex, &d1Index,
+                                      &d2Index, &zero, &zero,
+                                      useScaling_ ? &cum : nullptr, 1, &logL, &d1, &d2);
+  if (rc != BGL_SUCCESS && rc != BGL_ERROR_FLOATING_POINT) {
+    throw Error("calculateEdgeLogLikelihoods failed");
+  }
+  if (outD1 != nullptr) *outD1 = d1;
+  if (outD2 != nullptr) *outD2 = d2;
+  return logL;
+}
+
+}  // namespace bgl::phylo

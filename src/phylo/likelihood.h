@@ -1,0 +1,66 @@
+// TreeLikelihood: the client-side glue between a tree+model+data triple and
+// the tree-free library API. This is the canonical usage pattern of the
+// library (what BEAST/MrBayes/PhyML-style programs implement): buffer
+// indices are node ids, matrices live on the branch above each node, and a
+// post-order operation batch evaluates the tree.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/bgl.h"
+#include "core/model.h"
+#include "core/patterns.h"
+#include "phylo/tree.h"
+
+namespace bgl::phylo {
+
+struct LikelihoodOptions {
+  long preferenceFlags = 0;
+  long requirementFlags = 0;
+  std::vector<int> resources;     ///< preferred resource ids (empty = any)
+  int categories = 4;             ///< discrete-gamma rate categories
+  double alpha = 0.5;             ///< gamma shape
+  bool useScaling = false;        ///< per-node rescaling (large trees/codon)
+};
+
+/// Owns one library instance configured for (taxa, states, patterns) and
+/// evaluates tree log-likelihoods against fixed data.
+class TreeLikelihood {
+ public:
+  TreeLikelihood(const Tree& tree, const SubstitutionModel& model,
+                 const PatternSet& data, const LikelihoodOptions& options = {});
+  ~TreeLikelihood();
+
+  TreeLikelihood(const TreeLikelihood&) = delete;
+  TreeLikelihood& operator=(const TreeLikelihood&) = delete;
+
+  /// Full evaluation of `tree` (same taxon count as construction).
+  double logLikelihood(const Tree& tree);
+
+  /// Evaluate the stored tree.
+  double logLikelihood() { return logLikelihood(tree_); }
+
+  /// Log-likelihood (and derivatives) as a function of the root branch:
+  /// both root-child subtrees are combined across a single branch of
+  /// length `t`. Requires logLikelihood() to have been called for the
+  /// current tree first (partials must be up to date).
+  double rootEdgeLogLikelihood(double t, double* outD1, double* outD2);
+
+  const std::string& implName() const { return implName_; }
+  int resource() const { return resource_; }
+  int instance() const { return instance_; }
+  const Tree& tree() const { return tree_; }
+
+ private:
+  Tree tree_;
+  int instance_ = -1;
+  int patterns_ = 0;
+  bool useScaling_ = false;
+  int cumulativeScaleIndex_ = -1;
+  std::string implName_;
+  int resource_ = -1;
+};
+
+}  // namespace bgl::phylo

@@ -1,0 +1,84 @@
+#include "phylo/mlsearch.h"
+
+#include <cmath>
+
+namespace bgl::phylo {
+namespace {
+
+/// Multiplicative line search on one branch: try up/down steps while the
+/// likelihood improves. Greedy but robust (the likelihood is unimodal in a
+/// single branch length for common models).
+double optimizeBranch(TreeLikelihood& like, Tree& tree, int node, double step,
+                      double currentLogL, long* evaluations) {
+  double best = currentLogL;
+  for (double factor : {step, 1.0 / step}) {
+    for (;;) {
+      const double saved = tree.node(node).length;
+      const double trial = saved * factor;
+      if (trial < 1e-9 || trial > 50.0) break;
+      tree.node(node).length = trial;
+      const double logL = like.logLikelihood(tree);
+      ++*evaluations;
+      if (logL > best) {
+        best = logL;
+      } else {
+        tree.node(node).length = saved;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MlSearchResult mlSearch(const Tree& start, const SubstitutionModel& model,
+                        const PatternSet& data, const MlSearchOptions& options) {
+  MlSearchResult result;
+  result.tree = start;
+  Rng rng(options.seed);
+
+  TreeLikelihood like(start, model, data, options.likelihood);
+  result.logL = like.logLikelihood(result.tree);
+  ++result.evaluations;
+
+  for (int round = 0; round < options.maxRounds; ++round) {
+    ++result.rounds;
+    bool improved = false;
+
+    // Branch-length sweeps.
+    for (int sweep = 0; sweep < options.branchSweeps; ++sweep) {
+      for (int n = 0; n < result.tree.nodeCount(); ++n) {
+        if (n == result.tree.root()) continue;
+        const double before = result.logL;
+        result.logL = optimizeBranch(like, result.tree, n, options.branchStep,
+                                     result.logL, &result.evaluations);
+        improved |= result.logL > before + 1e-9;
+      }
+    }
+
+    // NNI pass: try a batch of random interchanges, keep improvements.
+    const int attempts = std::max(4, result.tree.tipCount());
+    for (int a = 0; a < attempts; ++a) {
+      Tree trial = result.tree;
+      if (!trial.nni(rng)) break;
+      ++result.nniTried;
+      const double logL = like.logLikelihood(trial);
+      ++result.evaluations;
+      if (logL > result.logL + 1e-9) {
+        result.tree = trial;
+        result.logL = logL;
+        ++result.nniAccepted;
+        improved = true;
+      }
+    }
+
+    if (!improved) break;
+  }
+
+  // Leave the evaluator consistent with the reported tree.
+  result.logL = like.logLikelihood(result.tree);
+  return result;
+}
+
+}  // namespace bgl::phylo

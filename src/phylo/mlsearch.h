@@ -1,0 +1,36 @@
+// Maximum-likelihood tree search: a GARLI-class hill climber (the paper's
+// Section III-A profiles GARLI to motivate the library). Alternates
+// branch-length optimization sweeps with NNI topology moves, accepting
+// improvements only; every likelihood evaluation goes through the library.
+#pragma once
+
+#include "core/model.h"
+#include "core/patterns.h"
+#include "core/rng.h"
+#include "phylo/likelihood.h"
+#include "phylo/tree.h"
+
+namespace bgl::phylo {
+
+struct MlSearchOptions {
+  int maxRounds = 25;           ///< NNI improvement rounds
+  int branchSweeps = 2;         ///< branch-optimization sweeps per round
+  double branchStep = 1.3;      ///< multiplicative step of the line search
+  unsigned seed = 1;
+  LikelihoodOptions likelihood; ///< backend selection
+};
+
+struct MlSearchResult {
+  Tree tree;
+  double logL = 0.0;
+  int nniAccepted = 0;
+  int nniTried = 0;
+  int rounds = 0;
+  long evaluations = 0;
+};
+
+/// Hill-climb from `start`. Deterministic for a given seed.
+MlSearchResult mlSearch(const Tree& start, const SubstitutionModel& model,
+                        const PatternSet& data, const MlSearchOptions& options = {});
+
+}  // namespace bgl::phylo

@@ -1,0 +1,390 @@
+#include "phylo/nexus.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "core/defs.h"
+
+namespace bgl::phylo {
+namespace {
+
+/// Tokenizer: NEXUS is word-based with [] comments, ; terminators, and
+/// case-insensitive keywords.
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  /// Next token, or empty string at end. Punctuation ; = , stand alone.
+  std::string next() {
+    skipSpaceAndComments();
+    if (pos_ >= text_.size()) return "";
+    const char c = text_[pos_];
+    if (c == ';' || c == '=' || c == ',') {
+      ++pos_;
+      return std::string(1, c);
+    }
+    if (c == '\'') {  // quoted token
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size() && text_[pos_] != '\'') out += text_[pos_++];
+      if (pos_ < text_.size()) ++pos_;
+      return out;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char d = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(d)) || d == ';' || d == '=' ||
+          d == ',' || d == '[') {
+        break;
+      }
+      out += d;
+      ++pos_;
+    }
+    return out;
+  }
+
+  /// Peek without consuming.
+  std::string peek() {
+    const std::size_t save = pos_;
+    std::string token = next();
+    pos_ = save;
+    return token;
+  }
+
+  /// Raw characters until the next ';' (for MATRIX rows and TREE strings).
+  std::string untilSemicolon() {
+    skipSpaceAndComments();
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != ';') {
+      if (text_[pos_] == '[') {
+        skipSpaceAndComments();
+        continue;
+      }
+      out += text_[pos_++];
+    }
+    if (pos_ < text_.size()) ++pos_;  // consume ';'
+    return out;
+  }
+
+  bool atEnd() {
+    skipSpaceAndComments();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  void skipSpaceAndComments() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '[') {
+        int depth = 1;
+        ++pos_;
+        while (pos_ < text_.size() && depth > 0) {
+          if (text_[pos_] == '[') ++depth;
+          if (text_[pos_] == ']') --depth;
+          ++pos_;
+        }
+        continue;
+      }
+      break;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+void skipToSemicolon(Lexer& lex) { lex.untilSemicolon(); }
+
+void parseDimensions(Lexer& lex, NexusData& out) {
+  for (;;) {
+    std::string token = lower(lex.next());
+    if (token.empty() || token == ";") break;
+    if (token == "ntax" || token == "nchar") {
+      if (lex.next() != "=") throw Error("NEXUS: expected '=' in DIMENSIONS");
+      const std::string value = lex.next();
+      try {
+        (token == "ntax" ? out.taxa : out.characters) = std::stoi(value);
+      } catch (...) {
+        throw Error("NEXUS: bad number in DIMENSIONS: " + value);
+      }
+    }
+  }
+}
+
+void parseFormat(Lexer& lex, NexusData& out) {
+  for (;;) {
+    std::string token = lower(lex.next());
+    if (token.empty() || token == ";") break;
+    if (token == "datatype" || token == "gap" || token == "missing") {
+      if (lex.next() != "=") throw Error("NEXUS: expected '=' in FORMAT");
+      const std::string value = lower(lex.next());
+      if (token == "datatype") {
+        if (value == "dna" || value == "nucleotide" || value == "rna") {
+          out.dataType = NexusDataType::Dna;
+        } else if (value == "protein") {
+          out.dataType = NexusDataType::Protein;
+        } else {
+          throw Error("NEXUS: unsupported datatype '" + value + "'");
+        }
+      } else if (token == "gap") {
+        out.gapChar = value.empty() ? '-' : value[0];
+      } else {
+        out.missingChar = value.empty() ? '?' : value[0];
+      }
+    }
+  }
+}
+
+void parseMatrix(Lexer& lex, NexusData& out) {
+  if (out.taxa <= 0 || out.characters <= 0) {
+    throw Error("NEXUS: MATRIX before DIMENSIONS");
+  }
+  // MATRIX rows are line-oriented: "name chunk [chunk...]" per line, with
+  // interleaved files repeating the names in later blocks. A line whose
+  // first token is a known name (or a new name while NTAX is not yet
+  // reached) starts/extends that taxon; other lines continue the previous
+  // taxon (wrapped sequential format).
+  const std::string raw = lex.untilSemicolon();
+  std::map<std::string, int> indexOf;
+  int lastTaxon = -1;
+  std::istringstream lines(raw);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream in(line);
+    std::string first;
+    if (!(in >> first)) continue;
+
+    int taxon;
+    std::string chunk;
+    const auto known = indexOf.find(first);
+    if (known != indexOf.end()) {
+      taxon = known->second;
+    } else if (static_cast<int>(out.taxonNames.size()) < out.taxa) {
+      taxon = static_cast<int>(out.taxonNames.size());
+      indexOf[first] = taxon;
+      out.taxonNames.push_back(first);
+      out.sequences.emplace_back();
+    } else if (lastTaxon >= 0) {
+      taxon = lastTaxon;  // continuation line: `first` is sequence data
+      out.sequences[taxon] += first;
+    } else {
+      throw Error("NEXUS: unexpected token in MATRIX: " + first);
+    }
+    while (in >> chunk) out.sequences[taxon] += chunk;
+    lastTaxon = taxon;
+  }
+  if (static_cast<int>(out.taxonNames.size()) != out.taxa) {
+    throw Error("NEXUS: MATRIX has " + std::to_string(out.taxonNames.size()) +
+                " taxa, expected " + std::to_string(out.taxa));
+  }
+  for (const auto& seq : out.sequences) {
+    if (static_cast<int>(seq.size()) != out.characters) {
+      throw Error("NEXUS: sequence length mismatch in MATRIX");
+    }
+  }
+}
+
+void parseTrees(Lexer& lex, NexusData& out) {
+  std::map<std::string, int> translate;  // label -> taxon index
+  // Default translation: data-block taxon names.
+  for (std::size_t i = 0; i < out.taxonNames.size(); ++i) {
+    translate[out.taxonNames[i]] = static_cast<int>(i);
+  }
+
+  for (;;) {
+    std::string token = lower(lex.next());
+    if (token.empty() || token == "end" || token == "endblock") {
+      skipToSemicolon(lex);
+      break;
+    }
+    if (token == "translate") {
+      const std::string body = lex.untilSemicolon();
+      std::istringstream in(body);
+      std::string key, value;
+      while (in >> key >> value) {
+        if (!value.empty() && value.back() == ',') value.pop_back();
+        int index;
+        if (translate.count(value) != 0) {
+          index = translate[value];
+        } else {
+          index = static_cast<int>(translate.size());
+          translate[value] = index;
+        }
+        translate[key] = index;
+        std::string comma;
+        const auto save = in.tellg();
+        if (in >> comma && comma != ",") in.seekg(save);
+      }
+    } else if (token == "tree") {
+      std::string name = lex.next();
+      if (lex.next() != "=") throw Error("NEXUS: expected '=' in TREE");
+      std::string newick = lex.untilSemicolon();
+      // Strip rooting comments like [&R] (already removed) and rewrite
+      // labels through the translate table into t<i> form.
+      std::string rewritten;
+      for (std::size_t i = 0; i < newick.size();) {
+        const char c = newick[i];
+        if (c == '(' || c == ')' || c == ',' || c == ':') {
+          rewritten += c;
+          ++i;
+          if (c == ':') {  // copy the number verbatim
+            while (i < newick.size() &&
+                   (std::isdigit(static_cast<unsigned char>(newick[i])) ||
+                    newick[i] == '.' || newick[i] == 'e' || newick[i] == 'E' ||
+                    newick[i] == '-' || newick[i] == '+')) {
+              rewritten += newick[i++];
+            }
+          }
+          continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+          ++i;
+          continue;
+        }
+        std::string label;
+        while (i < newick.size() && newick[i] != '(' && newick[i] != ')' &&
+               newick[i] != ',' && newick[i] != ':' &&
+               !std::isspace(static_cast<unsigned char>(newick[i]))) {
+          label += newick[i++];
+        }
+        const auto it = translate.find(label);
+        if (it == translate.end()) {
+          throw Error("NEXUS: unknown taxon label '" + label + "' in tree");
+        }
+        rewritten += "t" + std::to_string(it->second);
+      }
+      rewritten += ";";
+      out.trees.emplace_back(name, Tree::fromNewick(rewritten));
+    } else if (token == ";") {
+      continue;
+    } else {
+      skipToSemicolon(lex);
+    }
+  }
+}
+
+}  // namespace
+
+NexusData parseNexus(const std::string& text) {
+  Lexer lex(text);
+  const std::string magic = lower(lex.next());
+  if (magic != "#nexus") throw Error("NEXUS: missing #NEXUS header");
+
+  NexusData out;
+  while (!lex.atEnd()) {
+    std::string token = lower(lex.next());
+    if (token != "begin") continue;
+    std::string block = lower(lex.next());
+    skipToSemicolon(lex);  // 'begin <name>;'
+
+    if (block == "data" || block == "characters" || block == "taxa") {
+      for (;;) {
+        std::string cmd = lower(lex.next());
+        if (cmd.empty() || cmd == "end" || cmd == "endblock") {
+          skipToSemicolon(lex);
+          break;
+        }
+        if (cmd == "dimensions") {
+          parseDimensions(lex, out);
+        } else if (cmd == "format") {
+          parseFormat(lex, out);
+        } else if (cmd == "matrix") {
+          parseMatrix(lex, out);
+        } else if (cmd == "taxlabels") {
+          const std::string body = lex.untilSemicolon();
+          std::istringstream in(body);
+          std::string label;
+          while (in >> label) out.taxonNames.push_back(label);
+        } else {
+          skipToSemicolon(lex);
+        }
+      }
+    } else if (block == "trees") {
+      parseTrees(lex, out);
+    } else {
+      // Unknown block: skip to END;.
+      for (;;) {
+        std::string cmd = lower(lex.next());
+        if (cmd.empty()) break;
+        if (cmd == "end" || cmd == "endblock") {
+          skipToSemicolon(lex);
+          break;
+        }
+        if (cmd != ";") skipToSemicolon(lex);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> NexusData::encodeStates() const {
+  if (sequences.empty()) throw Error("NexusData: no sequence matrix");
+  std::vector<int> out(static_cast<std::size_t>(taxa) * characters);
+  for (int t = 0; t < taxa; ++t) {
+    for (int k = 0; k < characters; ++k) {
+      const char c = sequences[t][k];
+      if (c == gapChar || c == missingChar) {
+        out[static_cast<std::size_t>(t) * characters + k] = -1;
+      } else {
+        out[static_cast<std::size_t>(t) * characters + k] =
+            dataType == NexusDataType::Dna ? nucleotideState(c) : aminoAcidState(c);
+      }
+    }
+  }
+  return out;
+}
+
+std::string writeNexus(const NexusData& data) {
+  std::ostringstream os;
+  os << "#NEXUS\n\nBEGIN DATA;\n";
+  os << "  DIMENSIONS NTAX=" << data.taxa << " NCHAR=" << data.characters << ";\n";
+  os << "  FORMAT DATATYPE="
+     << (data.dataType == NexusDataType::Dna ? "DNA" : "PROTEIN") << " GAP="
+     << data.gapChar << " MISSING=" << data.missingChar << ";\n  MATRIX\n";
+  for (int t = 0; t < data.taxa; ++t) {
+    os << "    " << data.taxonNames[t] << "  " << data.sequences[t] << "\n";
+  }
+  os << "  ;\nEND;\n";
+  if (!data.trees.empty()) {
+    os << "\nBEGIN TREES;\n  TRANSLATE\n";
+    for (int t = 0; t < data.taxa; ++t) {
+      os << "    " << (t + 1) << " " << data.taxonNames[t]
+         << (t + 1 < data.taxa ? ",\n" : ";\n");
+    }
+    for (const auto& [name, tree] : data.trees) {
+      // Rewrite t<i> labels to 1-based translate keys.
+      std::string newick = tree.toNewick();
+      std::string rewritten;
+      for (std::size_t i = 0; i < newick.size();) {
+        if (newick[i] == 't' &&
+            i + 1 < newick.size() &&
+            std::isdigit(static_cast<unsigned char>(newick[i + 1]))) {
+          ++i;
+          int index = 0;
+          while (i < newick.size() &&
+                 std::isdigit(static_cast<unsigned char>(newick[i]))) {
+            index = index * 10 + (newick[i++] - '0');
+          }
+          rewritten += std::to_string(index + 1);
+        } else {
+          rewritten += newick[i++];
+        }
+      }
+      os << "  TREE " << name << " = " << rewritten << "\n";
+    }
+    os << "END;\n";
+  }
+  return os.str();
+}
+
+}  // namespace bgl::phylo

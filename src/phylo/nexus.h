@@ -1,0 +1,43 @@
+// NEXUS file support (the input format of MrBayes and much of the
+// phylogenetics ecosystem). Implements the subset needed for likelihood
+// analyses: the DATA/CHARACTERS block (DIMENSIONS, FORMAT with
+// datatype=dna|protein, MATRIX with interleaved or sequential layouts) and
+// the TREES block (TRANSLATE table plus TREE statements).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "phylo/fasta.h"
+#include "phylo/tree.h"
+
+namespace bgl::phylo {
+
+enum class NexusDataType { Dna, Protein };
+
+struct NexusData {
+  NexusDataType dataType = NexusDataType::Dna;
+  int taxa = 0;
+  int characters = 0;
+  char gapChar = '-';
+  char missingChar = '?';
+  std::vector<std::string> taxonNames;
+  std::vector<std::string> sequences;  ///< aligned, one per taxon
+
+  /// Trees from the TREES block, tips renumbered to the taxon order of the
+  /// data block (or of the TRANSLATE table when no data block exists).
+  std::vector<std::pair<std::string, Tree>> trees;
+
+  /// Encode the matrix to state codes (taxa x characters, row-major);
+  /// gap/missing/ambiguity map to -1.
+  std::vector<int> encodeStates() const;
+};
+
+/// Parse NEXUS text. Throws bgl::Error on malformed input.
+NexusData parseNexus(const std::string& text);
+
+/// Serialize sequences + optional trees back to NEXUS.
+std::string writeNexus(const NexusData& data);
+
+}  // namespace bgl::phylo

@@ -1,0 +1,104 @@
+#include "phylo/partition.h"
+
+#include <future>
+
+#include "core/defs.h"
+
+namespace bgl::phylo {
+
+PartitionedLikelihood::PartitionedLikelihood(const Tree& tree,
+                                             const std::vector<PartitionSpec>& specs,
+                                             bool concurrent)
+    : concurrent_(concurrent) {
+  if (specs.empty()) throw Error("PartitionedLikelihood: no partitions");
+  parts_.reserve(specs.size());
+  for (const auto& spec : specs) {
+    if (spec.model == nullptr) throw Error("PartitionedLikelihood: null model");
+    parts_.push_back(std::make_unique<TreeLikelihood>(tree, *spec.model, spec.data,
+                                                      spec.options));
+  }
+}
+
+double PartitionedLikelihood::logLikelihood(const Tree& tree) {
+  if (!concurrent_ || parts_.size() == 1) {
+    double total = 0.0;
+    for (auto& part : parts_) total += part->logLikelihood(tree);
+    return total;
+  }
+  // One async evaluation per instance: instances are fully independent
+  // (this is the concurrency model client programs use per Section IV-F).
+  std::vector<std::future<double>> futures;
+  futures.reserve(parts_.size() - 1);
+  for (std::size_t i = 1; i < parts_.size(); ++i) {
+    futures.push_back(std::async(std::launch::async, [this, i, &tree] {
+      return parts_[i]->logLikelihood(tree);
+    }));
+  }
+  double total = parts_[0]->logLikelihood(tree);
+  for (auto& f : futures) total += f.get();
+  return total;
+}
+
+std::vector<PatternSet> splitPatterns(const PatternSet& data, int shards) {
+  if (shards < 1) throw Error("splitPatterns: need >= 1 shard");
+  if (shards > data.patterns) shards = data.patterns;
+  std::vector<PatternSet> out(shards);
+  for (int s = 0; s < shards; ++s) {
+    out[s].taxa = data.taxa;
+    out[s].originalSites = 0;
+  }
+  // Round-robin deal, preserving weights.
+  std::vector<std::vector<int>> columns(shards);
+  for (int k = 0; k < data.patterns; ++k) columns[k % shards].push_back(k);
+  for (int s = 0; s < shards; ++s) {
+    auto& shard = out[s];
+    shard.patterns = static_cast<int>(columns[s].size());
+    shard.states.resize(static_cast<std::size_t>(data.taxa) * shard.patterns);
+    shard.weights.reserve(shard.patterns);
+    for (int j = 0; j < shard.patterns; ++j) {
+      const int k = columns[s][j];
+      shard.weights.push_back(data.weights[k]);
+      shard.originalSites += static_cast<int>(data.weights[k]);
+      for (int t = 0; t < data.taxa; ++t) {
+        shard.states[static_cast<std::size_t>(t) * shard.patterns + j] =
+            data.at(t, k);
+      }
+    }
+  }
+  return out;
+}
+
+SplitLikelihood::SplitLikelihood(const Tree& tree, const SubstitutionModel& model,
+                                 const PatternSet& data,
+                                 const std::vector<LikelihoodOptions>& shardOptions,
+                                 bool concurrent)
+    : concurrent_(concurrent) {
+  if (shardOptions.empty()) throw Error("SplitLikelihood: no shards");
+  const auto shardData = splitPatterns(data, static_cast<int>(shardOptions.size()));
+  shards_.reserve(shardData.size());
+  for (std::size_t s = 0; s < shardData.size(); ++s) {
+    shardPatterns_.push_back(shardData[s].patterns);
+    shards_.push_back(std::make_unique<TreeLikelihood>(tree, model, shardData[s],
+                                                       shardOptions[s]));
+  }
+}
+
+double SplitLikelihood::logLikelihood(const Tree& tree) {
+  if (!concurrent_ || shards_.size() == 1) {
+    double total = 0.0;
+    for (auto& shard : shards_) total += shard->logLikelihood(tree);
+    return total;
+  }
+  std::vector<std::future<double>> futures;
+  futures.reserve(shards_.size() - 1);
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    futures.push_back(std::async(std::launch::async, [this, i, &tree] {
+      return shards_[i]->logLikelihood(tree);
+    }));
+  }
+  double total = shards_[0]->logLikelihood(tree);
+  for (auto& f : futures) total += f.get();
+  return total;
+}
+
+}  // namespace bgl::phylo

@@ -1,0 +1,80 @@
+// Partitioned and multi-device analyses.
+//
+// Section IV-F: "application programs running partitioned analyses can
+// invoke multiple library instances, one for each data subset" — each
+// partition gets its own model, its own instance, and (optionally) its own
+// hardware resource; instance evaluations run concurrently.
+//
+// The paper's conclusion sketches the complementary feature: splitting a
+// single data subset across multiple devices by site patterns, with one
+// instance per device. SplitLikelihood implements that: the total log
+// likelihood is the sum over pattern shards, so shards evaluate
+// independently and concurrently on different resources.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/model.h"
+#include "core/patterns.h"
+#include "phylo/likelihood.h"
+#include "phylo/tree.h"
+
+namespace bgl::phylo {
+
+/// One data subset of a partitioned analysis.
+struct PartitionSpec {
+  PatternSet data;
+  const SubstitutionModel* model = nullptr;  ///< borrowed, must outlive
+  LikelihoodOptions options;
+};
+
+/// Multiple (model, data, instance) triples sharing one tree: the
+/// partitioned-analysis pattern of Section IV-F.
+class PartitionedLikelihood {
+ public:
+  PartitionedLikelihood(const Tree& tree, const std::vector<PartitionSpec>& specs,
+                        bool concurrent = true);
+
+  /// Sum of per-partition log likelihoods for `tree`.
+  double logLikelihood(const Tree& tree);
+
+  int partitionCount() const { return static_cast<int>(parts_.size()); }
+  const std::string& implName(int partition) const {
+    return parts_[partition]->implName();
+  }
+
+ private:
+  std::vector<std::unique_ptr<TreeLikelihood>> parts_;
+  bool concurrent_;
+};
+
+/// One alignment split across several resources by site patterns
+/// (multi-device execution; the conclusion's planned extension). The split
+/// preserves per-pattern weights, so the shard log likelihoods add up to
+/// exactly the single-instance value.
+class SplitLikelihood {
+ public:
+  /// `shardOptions[i]` selects the resource/implementation of shard i;
+  /// patterns are dealt round-robin across shards.
+  SplitLikelihood(const Tree& tree, const SubstitutionModel& model,
+                  const PatternSet& data,
+                  const std::vector<LikelihoodOptions>& shardOptions,
+                  bool concurrent = true);
+
+  double logLikelihood(const Tree& tree);
+
+  int shardCount() const { return static_cast<int>(shards_.size()); }
+  int shardPatterns(int shard) const { return shardPatterns_[shard]; }
+  const std::string& implName(int shard) const { return shards_[shard]->implName(); }
+
+ private:
+  std::vector<std::unique_ptr<TreeLikelihood>> shards_;
+  std::vector<int> shardPatterns_;
+  bool concurrent_;
+};
+
+/// Deal `data`'s patterns round-robin into `shards` subsets (weights kept).
+std::vector<PatternSet> splitPatterns(const PatternSet& data, int shards);
+
+}  // namespace bgl::phylo

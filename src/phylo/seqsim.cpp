@@ -1,0 +1,68 @@
+#include "phylo/seqsim.h"
+
+#include "core/transition.h"
+
+namespace bgl::phylo {
+
+std::vector<int> simulateAlignment(const Tree& tree, const SubstitutionModel& model,
+                                   int sites, Rng& rng,
+                                   const std::vector<double>& siteRates) {
+  const int s = model.states();
+  const auto es = model.eigenSystem();
+  const auto& freqs = model.frequencies();
+
+  // Unique rates present (matrix cache key). Per-site category assignment.
+  std::vector<double> rates = siteRates.empty() ? std::vector<double>{1.0} : siteRates;
+  std::vector<int> siteCategory(sites);
+  for (int k = 0; k < sites; ++k) {
+    siteCategory[k] = rng.belowInt(static_cast<int>(rates.size()));
+  }
+
+  // state[node][site]; root drawn from the stationary distribution.
+  std::vector<std::vector<int>> state(tree.nodeCount(), std::vector<int>(sites));
+  for (int k = 0; k < sites; ++k) {
+    state[tree.root()][k] = rng.categorical(freqs.data(), s);
+  }
+
+  // Pre-order: parents before children (reverse post-order works).
+  auto order = tree.postOrder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int n = *it;
+    if (n == tree.root()) continue;
+    const double t = tree.node(n).length;
+    // One transition matrix per rate category for this branch.
+    std::vector<std::vector<double>> pmats(rates.size());
+    for (std::size_t c = 0; c < rates.size(); ++c) {
+      pmats[c] = transitionMatrix(es, t, rates[c]);
+    }
+    const auto& parentState = state[tree.node(n).parent];
+    for (int k = 0; k < sites; ++k) {
+      const double* row =
+          pmats[siteCategory[k]].data() + static_cast<std::size_t>(parentState[k]) * s;
+      state[n][k] = rng.categorical(row, s);
+    }
+  }
+
+  std::vector<int> out(static_cast<std::size_t>(tree.tipCount()) * sites);
+  for (int t = 0; t < tree.tipCount(); ++t) {
+    for (int k = 0; k < sites; ++k) {
+      out[static_cast<std::size_t>(t) * sites + k] = state[t][k];
+    }
+  }
+  return out;
+}
+
+PatternSet simulatePatterns(const Tree& tree, const SubstitutionModel& model,
+                            int sites, Rng& rng,
+                            const std::vector<double>& siteRates) {
+  const auto alignment = simulateAlignment(tree, model, sites, rng, siteRates);
+  return compressPatterns(alignment, tree.tipCount(), sites);
+}
+
+std::vector<int> randomStates(int taxa, int patterns, int states, Rng& rng) {
+  std::vector<int> out(static_cast<std::size_t>(taxa) * patterns);
+  for (auto& v : out) v = rng.belowInt(states);
+  return out;
+}
+
+}  // namespace bgl::phylo

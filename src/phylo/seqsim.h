@@ -1,0 +1,32 @@
+// Simulation of molecular sequence data along a tree under a substitution
+// model — the synthetic-dataset machinery the paper's genomictest program
+// relies on, extended with full model-based evolution for the application
+// benchmarks and tests.
+#pragma once
+
+#include <vector>
+
+#include "core/model.h"
+#include "core/patterns.h"
+#include "core/rng.h"
+#include "phylo/tree.h"
+
+namespace bgl::phylo {
+
+/// Evolve `sites` characters down `tree` under `model` with per-site rate
+/// multipliers `siteRates` (empty = rate 1). Returns a taxa x sites state
+/// matrix (row-major per taxon).
+std::vector<int> simulateAlignment(const Tree& tree, const SubstitutionModel& model,
+                                   int sites, Rng& rng,
+                                   const std::vector<double>& siteRates = {});
+
+/// Convenience: simulate and compress to unique site patterns.
+PatternSet simulatePatterns(const Tree& tree, const SubstitutionModel& model,
+                            int sites, Rng& rng,
+                            const std::vector<double>& siteRates = {});
+
+/// Uniform random states (the genomictest approach for kernel throughput
+/// benchmarks, where pattern content does not affect cost).
+std::vector<int> randomStates(int taxa, int patterns, int states, Rng& rng);
+
+}  // namespace bgl::phylo

@@ -1,0 +1,315 @@
+#include "phylo/tree.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/defs.h"
+
+namespace bgl::phylo {
+namespace {
+
+struct RawTree {
+  std::vector<Node> nodes;
+  int root = -1;
+};
+
+}  // namespace
+
+Tree Tree::random(int tips, Rng& rng, double meanBranchLength) {
+  if (tips < 2) throw Error("Tree::random: need at least 2 tips");
+  std::vector<Node> raw(tips);
+  auto newLength = [&] { return rng.exponential(1.0 / meanBranchLength); };
+  for (int t = 0; t < tips; ++t) raw[t].length = newLength();
+
+  // Root joining the first two tips.
+  int root = static_cast<int>(raw.size());
+  raw.push_back({});
+  raw[root].left = 0;
+  raw[root].right = 1;
+  raw[0].parent = root;
+  raw[1].parent = root;
+
+  std::vector<int> attachable = {0, 1};  // nodes with an edge above them
+  for (int t = 2; t < tips; ++t) {
+    // Split the edge above a random node with a new internal node that
+    // also subtends the new tip.
+    const int below = attachable[rng.belowInt(static_cast<int>(attachable.size()))];
+    const int parent = raw[below].parent;
+    const int mid = static_cast<int>(raw.size());
+    raw.push_back({});
+    raw[mid].parent = parent;
+    raw[mid].length = newLength();
+    raw[mid].left = below;
+    raw[mid].right = t;
+    if (raw[parent].left == below) {
+      raw[parent].left = mid;
+    } else {
+      raw[parent].right = mid;
+    }
+    raw[below].parent = mid;
+    raw[t].parent = mid;
+    attachable.push_back(t);
+    attachable.push_back(mid);
+  }
+  return Tree::fromRaw(raw, tips, root);
+}
+
+Tree Tree::fromRaw(const std::vector<Node>& raw, int tipCount, int rawRoot) {
+  // Post-order over the raw ids.
+  std::vector<int> order;
+  order.reserve(raw.size());
+  std::vector<std::pair<int, bool>> stack{{rawRoot, false}};
+  while (!stack.empty()) {
+    auto [n, visited] = stack.back();
+    stack.pop_back();
+    if (raw[n].left < 0) {
+      order.push_back(n);
+      continue;
+    }
+    if (visited) {
+      order.push_back(n);
+    } else {
+      stack.push_back({n, true});
+      stack.push_back({raw[n].right, false});
+      stack.push_back({raw[n].left, false});
+    }
+  }
+
+  std::vector<int> remap(raw.size(), -1);
+  int nextInternal = tipCount;
+  for (int n : order) {
+    remap[n] = (raw[n].left < 0) ? n : nextInternal++;
+  }
+
+  Tree tree;
+  tree.tipCount_ = tipCount;
+  tree.nodes_.resize(raw.size());
+  for (std::size_t n = 0; n < raw.size(); ++n) {
+    const int id = remap[n];
+    Node& out = tree.nodes_[id];
+    out.length = raw[n].length;
+    out.parent = raw[n].parent >= 0 ? remap[raw[n].parent] : -1;
+    out.left = raw[n].left >= 0 ? remap[raw[n].left] : -1;
+    out.right = raw[n].right >= 0 ? remap[raw[n].right] : -1;
+  }
+  tree.validate();
+  return tree;
+}
+
+namespace {
+
+// --- Newick parsing -------------------------------------------------------
+
+struct NewickParser {
+  const std::string& text;
+  std::size_t pos = 0;
+  RawTree out;
+  int tipCount = 0;
+
+  explicit NewickParser(const std::string& s) : text(s) {}
+
+  char peek() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    if (pos >= text.size()) throw Error("Newick: unexpected end of input");
+    return text[pos];
+  }
+
+  int parseClade() {
+    if (peek() == '(') {
+      ++pos;  // '('
+      const int left = parseClade();
+      if (peek() != ',') throw Error("Newick: expected ','");
+      ++pos;
+      const int right = parseClade();
+      if (peek() != ')') throw Error("Newick: expected ')'");
+      ++pos;
+      const int id = static_cast<int>(out.nodes.size());
+      out.nodes.push_back({});
+      out.nodes[id].left = left;
+      out.nodes[id].right = right;
+      out.nodes[left].parent = id;
+      out.nodes[right].parent = id;
+      parseLength(id);
+      return id;
+    }
+    // Tip: "t<k>" or "<k>".
+    std::string label;
+    while (pos < text.size() && text[pos] != ':' && text[pos] != ',' &&
+           text[pos] != ')' && text[pos] != ';') {
+      label += text[pos++];
+    }
+    if (label.empty()) throw Error("Newick: empty tip label");
+    const std::string digits = (label[0] == 't') ? label.substr(1) : label;
+    int tip = -1;
+    try {
+      tip = std::stoi(digits);
+    } catch (...) {
+      throw Error("Newick: tip labels must be t<number>, got '" + label + "'");
+    }
+    while (static_cast<int>(out.nodes.size()) <= tip) out.nodes.push_back({});
+    tipCount = std::max(tipCount, tip + 1);
+    parseLength(tip);
+    return tip;
+  }
+
+  void parseLength(int id) {
+    if (pos < text.size() && text[pos] == ':') {
+      ++pos;
+      std::size_t used = 0;
+      out.nodes[id].length = std::stod(text.substr(pos), &used);
+      pos += used;
+    }
+  }
+};
+
+}  // namespace
+
+Tree Tree::fromNewick(const std::string& newick) {
+  NewickParser parser(newick);
+  // Tips are numbered 0..T-1 by the caller; reserve their slots first by
+  // scanning: parseClade() grows the node vector on demand, so internal
+  // nodes created before high-numbered tips could collide. Avoid that by
+  // pre-allocating from the label scan.
+  int maxTip = -1;
+  for (std::size_t i = 0; i < newick.size(); ++i) {
+    if (newick[i] == 't' && i + 1 < newick.size() &&
+        std::isdigit(static_cast<unsigned char>(newick[i + 1]))) {
+      maxTip = std::max(maxTip, std::atoi(newick.c_str() + i + 1));
+    }
+  }
+  if (maxTip < 1) throw Error("Newick: need at least two labeled tips");
+  parser.out.nodes.resize(maxTip + 1);
+  const int root = parser.parseClade();
+  parser.out.root = root;
+  return Tree::fromRaw(parser.out.nodes, maxTip + 1, root);
+}
+
+std::vector<int> Tree::postOrder() const {
+  std::vector<int> order;
+  order.reserve(nodes_.size());
+  std::vector<std::pair<int, bool>> stack{{root(), false}};
+  while (!stack.empty()) {
+    auto [n, visited] = stack.back();
+    stack.pop_back();
+    if (isTip(n)) {
+      order.push_back(n);
+      continue;
+    }
+    if (visited) {
+      order.push_back(n);
+    } else {
+      stack.push_back({n, true});
+      stack.push_back({nodes_[n].right, false});
+      stack.push_back({nodes_[n].left, false});
+    }
+  }
+  return order;
+}
+
+std::vector<BglOperation> Tree::operations(bool scaleWrite) const {
+  std::vector<BglOperation> ops;
+  ops.reserve(nodeCount() - tipCount_);
+  for (int n : postOrder()) {
+    if (isTip(n)) continue;
+    BglOperation op;
+    op.destinationPartials = n;
+    op.destinationScaleWrite = scaleWrite ? n - tipCount_ : BGL_OP_NONE;
+    op.destinationScaleRead = BGL_OP_NONE;
+    op.child1Partials = nodes_[n].left;
+    op.child1TransitionMatrix = nodes_[n].left;
+    op.child2Partials = nodes_[n].right;
+    op.child2TransitionMatrix = nodes_[n].right;
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+void Tree::matrixUpdates(std::vector<int>& nodeIndices,
+                         std::vector<double>& lengths) const {
+  nodeIndices.clear();
+  lengths.clear();
+  for (int n = 0; n < nodeCount(); ++n) {
+    if (n == root()) continue;
+    nodeIndices.push_back(n);
+    lengths.push_back(nodes_[n].length);
+  }
+}
+
+std::string Tree::toNewick() const {
+  std::ostringstream os;
+  os.precision(10);
+  auto emit = [&](auto&& self, int n) -> void {
+    if (isTip(n)) {
+      os << 't' << n;
+    } else {
+      os << '(';
+      self(self, nodes_[n].left);
+      os << ',';
+      self(self, nodes_[n].right);
+      os << ')';
+    }
+    if (n != root()) os << ':' << nodes_[n].length;
+  };
+  emit(emit, root());
+  os << ';';
+  return os.str();
+}
+
+double Tree::totalLength() const {
+  double sum = 0.0;
+  for (int n = 0; n < nodeCount(); ++n) {
+    if (n != root()) sum += nodes_[n].length;
+  }
+  return sum;
+}
+
+void Tree::validate() const {
+  if (nodeCount() != 2 * tipCount_ - 1) throw Error("Tree: wrong node count");
+  int seenRoot = -1;
+  for (int n = 0; n < nodeCount(); ++n) {
+    const Node& nd = nodes_[n];
+    if (nd.parent < 0) {
+      if (seenRoot >= 0) throw Error("Tree: multiple roots");
+      seenRoot = n;
+    } else {
+      const Node& p = nodes_[nd.parent];
+      if (p.left != n && p.right != n) throw Error("Tree: parent/child mismatch");
+    }
+    if (isTip(n)) {
+      if (nd.left >= 0 || nd.right >= 0) throw Error("Tree: tip with children");
+    } else {
+      if (nd.left < 0 || nd.right < 0) throw Error("Tree: internal node missing child");
+      if (nodes_[nd.left].parent != n || nodes_[nd.right].parent != n) {
+        throw Error("Tree: child/parent mismatch");
+      }
+    }
+  }
+  if (seenRoot != root()) throw Error("Tree: root is not the last node");
+}
+
+bool Tree::nni(Rng& rng) {
+  if (tipCount_ < 4) return false;
+  // Pick an internal node whose parent is also internal (any non-root
+  // internal node qualifies, since the root is internal).
+  std::vector<int> candidates;
+  for (int n = tipCount_; n < nodeCount(); ++n) {
+    if (n != root()) candidates.push_back(n);
+  }
+  if (candidates.empty()) return false;
+  const int n = candidates[rng.belowInt(static_cast<int>(candidates.size()))];
+  const int p = nodes_[n].parent;
+  const int sibling = (nodes_[p].left == n) ? nodes_[p].right : nodes_[p].left;
+  // Swap the sibling with a random child of n.
+  int& childSlot = rng.uniform() < 0.5 ? nodes_[n].left : nodes_[n].right;
+  int& siblingSlot = (nodes_[p].left == sibling) ? nodes_[p].left : nodes_[p].right;
+  const int child = childSlot;
+  childSlot = sibling;
+  siblingSlot = child;
+  nodes_[sibling].parent = n;
+  nodes_[child].parent = p;
+  return true;
+}
+
+}  // namespace bgl::phylo

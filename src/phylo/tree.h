@@ -1,0 +1,82 @@
+// Rooted binary phylogenetic trees.
+//
+// The library itself is tree-free (Section IV-B); client code such as the
+// MC3 engine, the examples and the tests use this structure to drive the
+// indexed buffer operations of the API.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/bgl.h"
+#include "core/rng.h"
+
+namespace bgl::phylo {
+
+/// Node storage: tips are 0..tipCount-1, internal nodes follow, the root is
+/// node count-1. `length` is the branch above the node (root length unused).
+struct Node {
+  int parent = -1;
+  int left = -1;   ///< -1 for tips
+  int right = -1;
+  double length = 0.0;
+};
+
+class Tree {
+ public:
+  Tree() = default;
+
+  /// Build a random rooted binary topology over `tips` taxa by sequential
+  /// random attachment, with exponential branch lengths of the given mean.
+  static Tree random(int tips, Rng& rng, double meanBranchLength = 0.1);
+
+  /// Parse a Newick string (names must be "t<number>" or bare indices).
+  static Tree fromNewick(const std::string& newick);
+
+  int tipCount() const { return tipCount_; }
+  int nodeCount() const { return static_cast<int>(nodes_.size()); }
+  int root() const { return nodeCount() - 1; }
+  bool isTip(int node) const { return node < tipCount_; }
+
+  const Node& node(int i) const { return nodes_[i]; }
+  Node& node(int i) { return nodes_[i]; }
+
+  /// Nodes in post-order (children before parents); tips included.
+  std::vector<int> postOrder() const;
+
+  /// Partials operations for a full post-order evaluation: one operation
+  /// per internal node, destination buffer = node id, transition matrix
+  /// index = child node id (matrix of the branch above the child).
+  /// If `scaleWrite` is true each operation writes scale buffer
+  /// (node id - tipCount).
+  std::vector<BglOperation> operations(bool scaleWrite = false) const;
+
+  /// (node, branch length) pairs for every non-root node: the matrix
+  /// update list matching operations().
+  void matrixUpdates(std::vector<int>& nodeIndices, std::vector<double>& lengths) const;
+
+  /// Newick serialization with t<i> tip labels.
+  std::string toNewick() const;
+
+  /// Total branch length.
+  double totalLength() const;
+
+  /// Check structural invariants (parent/child symmetry, single root,
+  /// every non-root reachable). Throws bgl::Error on violation.
+  void validate() const;
+
+  /// Nearest-neighbor interchange around a random internal edge; returns
+  /// false if the tree is too small. Preserves validity.
+  bool nni(Rng& rng);
+
+  /// Build from an arbitrary parent/left/right node soup: tips keep ids
+  /// 0..tipCount-1, internal nodes are renumbered into post-order with the
+  /// root last (the canonical layout). Used by random() and fromNewick().
+  static Tree fromRaw(const std::vector<Node>& raw, int tipCount, int rawRoot);
+
+ private:
+  int tipCount_ = 0;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace bgl::phylo

@@ -1,0 +1,54 @@
+#include "phylo/treedist.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/defs.h"
+
+namespace bgl::phylo {
+namespace {
+
+/// Non-trivial bipartitions of the (implicitly unrooted) tree as
+/// canonicalized tip bitsets: each internal edge splits the taxa; the set
+/// not containing tip 0 is the canonical representative.
+std::set<std::vector<bool>> bipartitions(const Tree& tree) {
+  const int tips = tree.tipCount();
+  std::vector<std::vector<bool>> below(tree.nodeCount(),
+                                       std::vector<bool>(tips, false));
+  for (int n : tree.postOrder()) {
+    if (tree.isTip(n)) {
+      below[n][n] = true;
+    } else {
+      for (int t = 0; t < tips; ++t) {
+        below[n][t] = below[tree.node(n).left][t] || below[tree.node(n).right][t];
+      }
+    }
+  }
+
+  std::set<std::vector<bool>> out;
+  for (int n = tree.tipCount(); n < tree.nodeCount(); ++n) {
+    if (n == tree.root()) continue;  // root edge is not a real edge unrooted
+    std::vector<bool> side = below[n];
+    int count = static_cast<int>(std::count(side.begin(), side.end(), true));
+    if (count <= 1 || count >= tips - 1) continue;  // trivial split
+    if (side[0]) side.flip();                       // canonical orientation
+    out.insert(std::move(side));
+  }
+  return out;
+}
+
+}  // namespace
+
+int robinsonFouldsDistance(const Tree& a, const Tree& b) {
+  if (a.tipCount() != b.tipCount()) {
+    throw Error("robinsonFouldsDistance: different taxon sets");
+  }
+  const auto bipA = bipartitions(a);
+  const auto bipB = bipartitions(b);
+  int shared = 0;
+  for (const auto& split : bipA) shared += bipB.count(split);
+  return static_cast<int>(bipA.size()) + static_cast<int>(bipB.size()) - 2 * shared;
+}
+
+}  // namespace bgl::phylo

@@ -1,0 +1,17 @@
+// Tree comparison metrics.
+#pragma once
+
+#include "phylo/tree.h"
+
+namespace bgl::phylo {
+
+/// Robinson-Foulds distance between two trees over the same taxon set:
+/// the number of non-trivial bipartitions present in exactly one of the
+/// trees. 0 means identical (unrooted) topologies; the maximum for binary
+/// trees is 2*(tips-3).
+int robinsonFouldsDistance(const Tree& a, const Tree& b);
+
+/// Maximum possible RF distance for binary trees with `tips` taxa.
+inline int robinsonFouldsMax(int tips) { return tips > 3 ? 2 * (tips - 3) : 0; }
+
+}  // namespace bgl::phylo

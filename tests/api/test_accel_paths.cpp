@@ -1,0 +1,132 @@
+// Accelerator-implementation-specific paths: multiple eigen/frequency
+// slots, partials round trips through device memory, matrix buffer
+// round trips, and batched vs per-edge matrix updates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "api/bglxx.h"
+#include "core/model.h"
+#include "core/transition.h"
+#include "perfmodel/device_profiles.h"
+#include "tests/test_util.h"
+
+namespace bgl {
+namespace {
+
+class AccelPaths : public ::testing::TestWithParam<long> {};
+
+TEST_P(AccelPaths, MultipleEigenSlotsSelectIndependentModels) {
+  // Slot 0: JC69; slot 1: strongly skewed HKY85. Root evaluation against
+  // slot 1's frequencies/weights must differ from slot 0's and match a
+  // single-slot instance configured with the skewed model.
+  Rng rng(404);
+  auto tree = phylo::Tree::random(5, rng, 0.1);
+  HKY85Model skewed(5.0, {0.7, 0.1, 0.1, 0.1});
+  JC69Model jc;
+  auto data = phylo::simulatePatterns(tree, skewed, 60, rng);
+
+  auto evaluate = [&](const SubstitutionModel& matrixModel,
+                      const SubstitutionModel& rootModel, int matrixSlot,
+                      int rootSlot, int eigenBuffers) -> double {
+    bgl::xx::Instance inst(5, 4, 5, 4, data.patterns, eigenBuffers,
+                           2 * 5 - 2, 1, 0, {}, 0, GetParam());
+    for (int t = 0; t < 5; ++t) {
+      std::vector<int> states(data.patterns);
+      for (int k = 0; k < data.patterns; ++k) states[k] = data.at(t, k);
+      inst.setTipStates(t, states);
+    }
+    for (int slot = 0; slot < eigenBuffers; ++slot) {
+      const SubstitutionModel& m = slot == matrixSlot ? matrixModel : rootModel;
+      const auto es = m.eigenSystem();
+      inst.setEigenDecomposition(slot, es.evec, es.ivec, es.eval);
+      inst.setStateFrequencies(slot, m.frequencies());
+      inst.setCategoryWeights(slot, {1.0});
+    }
+    // Always fill the root slot with rootModel's frequencies.
+    inst.setStateFrequencies(rootSlot, rootModel.frequencies());
+    inst.setCategoryRates({1.0});
+    inst.setPatternWeights(std::vector<double>(data.patterns, 1.0));
+
+    std::vector<int> nodes;
+    std::vector<double> lengths;
+    tree.matrixUpdates(nodes, lengths);
+    EXPECT_EQ(bglUpdateTransitionMatrices(inst.id(), matrixSlot, nodes.data(),
+                                          nullptr, nullptr, lengths.data(),
+                                          static_cast<int>(nodes.size())),
+              BGL_SUCCESS)
+        << "matrix update failed";
+    inst.updatePartials(tree.operations());
+    return inst.rootLogLikelihood(tree.root(), rootSlot, rootSlot);
+  };
+
+  const double viaSlot1 = evaluate(skewed, skewed, 0, 1, 2);
+  const double viaSingleSlot = evaluate(skewed, skewed, 0, 0, 1);
+  EXPECT_NEAR(viaSlot1, viaSingleSlot, std::abs(viaSingleSlot) * 1e-9);
+
+  const double jcRoot = evaluate(skewed, jc, 0, 1, 2);  // JC root frequencies
+  EXPECT_NE(viaSlot1, jcRoot);
+}
+
+TEST_P(AccelPaths, PartialsRoundTripThroughDeviceMemory) {
+  const int patterns = 6, categories = 3;
+  bgl::xx::Instance inst(2, 2, 2, 4, patterns, 1, 2, categories, 0, {}, 0,
+                         GetParam());
+  std::vector<double> in(static_cast<std::size_t>(categories) * patterns * 4);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = 0.001 * static_cast<double>(i);
+  inst.setPartials(2, in);
+  const auto out = inst.getPartials(2, in.size());
+  EXPECT_EQ(out, in);
+}
+
+TEST_P(AccelPaths, TransitionMatricesMatchHostReference) {
+  HKY85Model model(2.5, {0.3, 0.25, 0.2, 0.25});
+  const auto es = model.eigenSystem();
+  const int categories = 2;
+  bgl::xx::Instance inst(2, 2, 2, 4, 4, 1, 4, categories, 0, {}, 0, GetParam());
+  inst.setEigenDecomposition(0, es.evec, es.ivec, es.eval);
+  const std::vector<double> rates = {0.5, 1.5};
+  inst.setCategoryRates(rates);
+
+  const double t = 0.37;
+  inst.updateTransitionMatrices(0, {1}, {t});
+  std::vector<double> out(categories * 16);
+  ASSERT_EQ(bglGetTransitionMatrix(inst.id(), 1, out.data()), BGL_SUCCESS);
+  for (int c = 0; c < categories; ++c) {
+    const auto ref = transitionMatrix(es, t, rates[c]);
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_NEAR(out[c * 16 + i], ref[i], 1e-10) << "cat " << c << " entry " << i;
+    }
+  }
+}
+
+TEST_P(AccelPaths, BatchedMatrixUpdateMatchesIndividualUpdates) {
+  HKY85Model model(2.0, {0.25, 0.25, 0.25, 0.25});
+  const auto es = model.eigenSystem();
+  bgl::xx::Instance inst(2, 2, 2, 4, 4, 1, 8, 1, 0, {}, 0, GetParam());
+  inst.setEigenDecomposition(0, es.evec, es.ivec, es.eval);
+  inst.setCategoryRates({1.0});
+
+  const std::vector<int> indices = {5, 2, 7};
+  const std::vector<double> lengths = {0.1, 0.33, 0.71};
+  inst.updateTransitionMatrices(0, indices, lengths);  // one batched call
+  for (std::size_t e = 0; e < indices.size(); ++e) {
+    std::vector<double> batched(16);
+    ASSERT_EQ(bglGetTransitionMatrix(inst.id(), indices[e], batched.data()),
+              BGL_SUCCESS);
+    const int one = indices[e];
+    const double len = lengths[e];
+    inst.updateTransitionMatrices(0, {one}, {len});  // count=1 call
+    std::vector<double> single(16);
+    ASSERT_EQ(bglGetTransitionMatrix(inst.id(), one, single.data()), BGL_SUCCESS);
+    EXPECT_EQ(batched, single);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Frameworks, AccelPaths,
+                         ::testing::Values(BGL_FLAG_FRAMEWORK_CUDA,
+                                           BGL_FLAG_FRAMEWORK_OPENCL,
+                                           BGL_FLAG_THREADING_NONE));
+
+}  // namespace
+}  // namespace bgl

@@ -1,0 +1,217 @@
+// Behavioural tests for the CPU implementation family: dependency handling
+// in the futures scheduler, the pattern-count threading threshold, thread
+// count control, direct transition-matrix usage (no eigendecomposition),
+// multi-subset root evaluation, and scale-factor arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "api/bglxx.h"
+#include "harness/genomictest.h"
+#include "phylo/likelihood.h"
+#include "tests/test_util.h"
+
+namespace bgl {
+namespace {
+
+TEST(FuturesScheduler, DiamondDependenciesComputeCorrectly) {
+  // Balanced trees give the futures implementation several operations per
+  // level; the result must match the serial implementation exactly even
+  // when operations race within a level.
+  auto problem = test::makeNucleotideProblem(32, 700, 1234);
+  phylo::LikelihoodOptions serial, futures;
+  serial.requirementFlags = BGL_FLAG_THREADING_NONE | BGL_FLAG_VECTOR_NONE;
+  futures.requirementFlags = BGL_FLAG_THREADING_FUTURES;
+  phylo::TreeLikelihood a(problem.tree, *problem.model, problem.data, serial);
+  phylo::TreeLikelihood b(problem.tree, *problem.model, problem.data, futures);
+  for (int round = 0; round < 3; ++round) {
+    // Re-evaluate repeatedly: scheduling differs between rounds.
+    EXPECT_DOUBLE_EQ(a.logLikelihood(), b.logLikelihood());
+  }
+}
+
+TEST(FuturesScheduler, ChainedOperationsRespectOrder) {
+  // A caterpillar chain has strictly dependent operations: the futures
+  // level analysis must serialize them (wrong ordering would corrupt
+  // results deterministically).
+  harness::ProblemSpec spec;
+  spec.tips = 12;
+  spec.patterns = 800;
+  spec.requirementFlags = BGL_FLAG_THREADING_FUTURES;
+  spec.balancedTopology = false;  // force the dependent chain
+  spec.internalBufferPool = 3;
+  const auto futures = harness::runThroughput(spec);
+
+  spec.requirementFlags = BGL_FLAG_THREADING_NONE | BGL_FLAG_VECTOR_NONE;
+  const auto serial = harness::runThroughput(spec);
+  EXPECT_NEAR(futures.logL, serial.logL, std::abs(serial.logL) * 1e-12);
+}
+
+TEST(ThreadingThreshold, SmallProblemsUseSerialPathButStayCorrect) {
+  // Below the 512-pattern threshold (Section VI-B) the threaded
+  // implementations fall back to in-place execution.
+  auto problem = test::makeNucleotideProblem(6, 160, 77);
+  ASSERT_LT(problem.data.patterns, 512);
+  phylo::LikelihoodOptions serial, pool, create;
+  serial.requirementFlags = BGL_FLAG_THREADING_NONE | BGL_FLAG_VECTOR_NONE;
+  pool.requirementFlags = BGL_FLAG_THREADING_THREAD_POOL | BGL_FLAG_VECTOR_NONE;
+  create.requirementFlags = BGL_FLAG_THREADING_THREAD_CREATE;
+  phylo::TreeLikelihood a(problem.tree, *problem.model, problem.data, serial);
+  phylo::TreeLikelihood b(problem.tree, *problem.model, problem.data, pool);
+  phylo::TreeLikelihood c(problem.tree, *problem.model, problem.data, create);
+  EXPECT_DOUBLE_EQ(a.logLikelihood(), b.logLikelihood());
+  EXPECT_DOUBLE_EQ(a.logLikelihood(), c.logLikelihood());
+}
+
+TEST(ThreadingThreshold, LargeProblemsSplitAcrossThreadsCorrectly) {
+  Rng rng(5);
+  auto tree = phylo::Tree::random(14, rng, 0.4);
+  HKY85Model model(2.0, {0.25, 0.25, 0.25, 0.25});
+  auto data = phylo::simulatePatterns(tree, model, 4000, rng);
+  ASSERT_GT(data.patterns, 512);
+
+  phylo::LikelihoodOptions serial, pool;
+  serial.requirementFlags = BGL_FLAG_THREADING_NONE | BGL_FLAG_VECTOR_NONE;
+  pool.requirementFlags = BGL_FLAG_THREADING_THREAD_POOL | BGL_FLAG_VECTOR_NONE;
+  phylo::TreeLikelihood a(tree, model, data, serial);
+  phylo::TreeLikelihood b(tree, model, data, pool);
+  for (int threads : {1, 2, 3, 7}) {
+    ASSERT_EQ(bglSetThreadCount(b.instance(), threads), BGL_SUCCESS);
+    EXPECT_DOUBLE_EQ(a.logLikelihood(), b.logLikelihood()) << threads << " threads";
+  }
+}
+
+TEST(DirectMatrices, LikelihoodWithoutEigendecomposition) {
+  // Client programs may compute transition matrices themselves and push
+  // them with bglSetTransitionMatrix: no eigen slot involvement.
+  const JC69Model model;
+  const auto es = model.eigenSystem();
+  const int patterns = 4;
+  bgl::xx::Instance inst(2, 1, 2, 4, patterns, 1, 2, 1, 0);
+  inst.setTipStates(0, {0, 1, 2, 3});
+  inst.setTipStates(1, {0, 1, 2, 0});
+  inst.setStateFrequencies(0, model.frequencies());
+  inst.setCategoryWeights(0, {1.0});
+  inst.setCategoryRates({1.0});
+  inst.setPatternWeights(std::vector<double>(patterns, 1.0));
+
+  // Reference path: library computes P(t).
+  inst.setEigenDecomposition(0, es.evec, es.ivec, es.eval);
+  inst.updateTransitionMatrices(0, {0, 1}, {0.1, 0.2});
+  inst.updatePartials({BglOperation{2, BGL_OP_NONE, BGL_OP_NONE, 0, 0, 1, 1}});
+  const double viaEigen = inst.rootLogLikelihood(2);
+
+  // Direct path: host-computed matrices.
+  const auto p0 = transitionMatrix(es, 0.1);
+  const auto p1 = transitionMatrix(es, 0.2);
+  ASSERT_EQ(bglSetTransitionMatrix(inst.id(), 0, p0.data(), 1.0), BGL_SUCCESS);
+  ASSERT_EQ(bglSetTransitionMatrix(inst.id(), 1, p1.data(), 1.0), BGL_SUCCESS);
+  inst.updatePartials({BglOperation{2, BGL_OP_NONE, BGL_OP_NONE, 0, 0, 1, 1}});
+  const double viaDirect = inst.rootLogLikelihood(2);
+  EXPECT_NEAR(viaDirect, viaEigen, std::abs(viaEigen) * 1e-12);
+}
+
+class MultiSubsetRoot : public ::testing::TestWithParam<long> {};
+
+TEST_P(MultiSubsetRoot, CountTwoSumsBothSubsets) {
+  // calculateRootLogLikelihoods with count=2: two root buffers with
+  // different frequency/weight slots; the result is the sum.
+  auto problem = test::makeNucleotideProblem(4, 100, 3);
+  const int resource = 0;
+  phylo::LikelihoodOptions opts;
+  opts.categories = 2;
+  opts.requirementFlags = GetParam();
+  opts.resources = {resource};
+  phylo::TreeLikelihood like(problem.tree, *problem.model, problem.data, opts);
+  const double single = like.logLikelihood();
+
+  const int roots[2] = {like.tree().root(), like.tree().root()};
+  const int zeros[2] = {0, 0};
+  double combined = 0.0;
+  ASSERT_EQ(bglCalculateRootLogLikelihoods(like.instance(), roots, zeros, zeros,
+                                           nullptr, 2, &combined),
+            BGL_SUCCESS);
+  EXPECT_NEAR(combined, 2.0 * single, std::abs(single) * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Implementations, MultiSubsetRoot,
+                         ::testing::Values(BGL_FLAG_THREADING_NONE,
+                                           BGL_FLAG_FRAMEWORK_CUDA,
+                                           BGL_FLAG_FRAMEWORK_OPENCL));
+
+class ScaleArithmetic : public ::testing::TestWithParam<long> {};
+
+TEST_P(ScaleArithmetic, RemoveUndoesAccumulate) {
+  // Drive real factors through rescaling operations, then verify
+  // accumulate followed by remove restores the original cumulative buffer
+  // (observable through the root log-likelihood).
+  Rng rng(8);
+  auto tree = phylo::Tree::random(8, rng, 0.3);
+  HKY85Model model(2.0, {0.25, 0.25, 0.25, 0.25});
+  auto data = phylo::simulatePatterns(tree, model, 150, rng);
+
+  phylo::LikelihoodOptions opts;
+  opts.useScaling = true;
+  opts.requirementFlags = GetParam();
+  opts.resources = {0};
+  phylo::TreeLikelihood like(tree, model, data, opts);
+  const double base = like.logLikelihood();
+
+  // Accumulate node 0's factors a second time, then remove them: logL via
+  // the cumulative index must return to its original value.
+  const int cumIndex = tree.tipCount() - 1;
+  const int nodeScale = 0;
+  const int root = tree.root();
+  const int zero = 0;
+  double doubled = 0.0, restored = 0.0;
+  ASSERT_EQ(bglAccumulateScaleFactors(like.instance(), &nodeScale, 1, cumIndex),
+            BGL_SUCCESS);
+  ASSERT_EQ(bglCalculateRootLogLikelihoods(like.instance(), &root, &zero, &zero,
+                                           &cumIndex, 1, &doubled),
+            BGL_SUCCESS);
+  ASSERT_EQ(bglRemoveScaleFactors(like.instance(), &nodeScale, 1, cumIndex),
+            BGL_SUCCESS);
+  ASSERT_EQ(bglCalculateRootLogLikelihoods(like.instance(), &root, &zero, &zero,
+                                           &cumIndex, 1, &restored),
+            BGL_SUCCESS);
+  EXPECT_NEAR(restored, base, std::abs(base) * 1e-10);
+  // The doubled accumulation must actually have changed something (the
+  // tree is long-branched enough that node 0's factors are non-zero).
+  EXPECT_NE(doubled, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Implementations, ScaleArithmetic,
+                         ::testing::Values(BGL_FLAG_THREADING_NONE,
+                                           BGL_FLAG_FRAMEWORK_OPENCL));
+
+TEST(GammaRates, MoreCategoriesChangesLikelihood) {
+  // Discrete-gamma heterogeneity must have an effect on real data, and the
+  // effect must agree between CPU and accelerator paths.
+  auto problem = test::makeNucleotideProblem(8, 400, 12);
+  double values[2];
+  for (int i = 0; i < 2; ++i) {
+    phylo::LikelihoodOptions opts;
+    opts.categories = i == 0 ? 1 : 8;
+    opts.alpha = 0.3;
+    phylo::TreeLikelihood like(problem.tree, *problem.model, problem.data, opts);
+    values[i] = like.logLikelihood();
+  }
+  EXPECT_NE(values[0], values[1]);
+}
+
+TEST(Harness, CaterpillarAndBalancedTopologiesBothRun) {
+  for (bool balanced : {true, false}) {
+    harness::ProblemSpec spec;
+    spec.tips = 10;
+    spec.patterns = 300;
+    spec.balancedTopology = balanced;
+    spec.internalBufferPool = 2;
+    spec.reps = 1;
+    const auto result = harness::runThroughput(spec);
+    EXPECT_GT(result.gflops, 0.0);
+    EXPECT_TRUE(std::isfinite(result.logL));
+  }
+}
+
+}  // namespace
+}  // namespace bgl

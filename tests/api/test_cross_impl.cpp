@@ -1,0 +1,170 @@
+// Cross-implementation agreement: every implementation x framework x
+// kernel-variant combination must produce the same log-likelihood as the
+// serial double-precision CPU implementation. This is the test-script
+// methodology of Section V-A ("we have verified correct functioning of all
+// new implementations").
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perfmodel/device_profiles.h"
+#include "phylo/likelihood.h"
+#include "tests/test_util.h"
+
+namespace bgl {
+namespace {
+
+struct ImplConfig {
+  const char* label;
+  long requirementFlags;
+  int resource;          // perf-registry id
+  bool singlePrecision;
+  bool nucleotideOnly;
+};
+
+const ImplConfig kConfigs[] = {
+    {"cpu-serial-double", BGL_FLAG_THREADING_NONE | BGL_FLAG_VECTOR_NONE,
+     perf::kHostCpu, false, false},
+    {"cpu-serial-single", BGL_FLAG_THREADING_NONE | BGL_FLAG_VECTOR_NONE,
+     perf::kHostCpu, true, false},
+    {"cpu-sse-double", BGL_FLAG_VECTOR_SSE | BGL_FLAG_THREADING_NONE,
+     perf::kHostCpu, false, true},
+    {"cpu-avx-double", BGL_FLAG_VECTOR_AVX | BGL_FLAG_THREADING_NONE,
+     perf::kHostCpu, false, true},
+    {"cpu-futures", BGL_FLAG_THREADING_FUTURES, perf::kHostCpu, false, false},
+    {"cpu-thread-create", BGL_FLAG_THREADING_THREAD_CREATE, perf::kHostCpu, false,
+     false},
+    {"cpu-thread-pool", BGL_FLAG_THREADING_THREAD_POOL, perf::kHostCpu, false, false},
+    {"cpu-thread-pool-single", BGL_FLAG_THREADING_THREAD_POOL, perf::kHostCpu, true,
+     false},
+    {"cpu-sse-pool", BGL_FLAG_VECTOR_SSE | BGL_FLAG_THREADING_THREAD_POOL,
+     perf::kHostCpu, false, true},
+    {"cuda-host-x86", BGL_FLAG_FRAMEWORK_CUDA | BGL_FLAG_KERNEL_X86_STYLE,
+     perf::kHostCpu, false, false},
+    {"cuda-host-gpu-style", BGL_FLAG_FRAMEWORK_CUDA | BGL_FLAG_KERNEL_GPU_STYLE,
+     perf::kHostCpu, false, false},
+    {"opencl-host-x86", BGL_FLAG_FRAMEWORK_OPENCL | BGL_FLAG_KERNEL_X86_STYLE,
+     perf::kHostCpu, false, false},
+    {"opencl-host-gpu-style", BGL_FLAG_FRAMEWORK_OPENCL | BGL_FLAG_KERNEL_GPU_STYLE,
+     perf::kHostCpu, false, false},
+    {"opencl-host-single", BGL_FLAG_FRAMEWORK_OPENCL, perf::kHostCpu, true, false},
+    {"cuda-p5000", BGL_FLAG_FRAMEWORK_CUDA, perf::kQuadroP5000, false, false},
+    {"opencl-p5000", BGL_FLAG_FRAMEWORK_OPENCL, perf::kQuadroP5000, false, false},
+    {"opencl-r9nano", BGL_FLAG_FRAMEWORK_OPENCL, perf::kRadeonR9Nano, false, false},
+    {"opencl-r9nano-single", BGL_FLAG_FRAMEWORK_OPENCL, perf::kRadeonR9Nano, true,
+     false},
+    {"opencl-s9170", BGL_FLAG_FRAMEWORK_OPENCL, perf::kFireProS9170, false, false},
+    {"opencl-phi", BGL_FLAG_FRAMEWORK_OPENCL, perf::kXeonPhi7210, false, false},
+    {"opencl-dualxeon", BGL_FLAG_FRAMEWORK_OPENCL, perf::kDualXeonE5, false, false},
+    {"opencl-nofma", BGL_FLAG_FRAMEWORK_OPENCL | BGL_FLAG_FMA_OFF,
+     perf::kRadeonR9Nano, false, false},
+};
+
+class CrossImpl : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CrossImpl, AgreesWithSerialReference) {
+  const auto [configIndex, states] = GetParam();
+  const ImplConfig& config = kConfigs[configIndex];
+  if (config.nucleotideOnly && states != 4) GTEST_SKIP();
+
+  // Shared problem.
+  Rng rng(900 + states);
+  auto tree = phylo::Tree::random(7, rng, 0.1);
+  auto model = defaultModelForStates(states, 33);
+  auto data = phylo::simulatePatterns(tree, *model, 80, rng);
+
+  phylo::LikelihoodOptions refOpts;
+  refOpts.categories = 4;
+  refOpts.requirementFlags = BGL_FLAG_THREADING_NONE | BGL_FLAG_VECTOR_NONE;
+  refOpts.resources = {perf::kHostCpu};
+  phylo::TreeLikelihood ref(tree, *model, data, refOpts);
+  const double reference = ref.logLikelihood();
+  ASSERT_TRUE(std::isfinite(reference));
+
+  phylo::LikelihoodOptions opts;
+  opts.categories = 4;
+  opts.requirementFlags =
+      config.requirementFlags |
+      (config.singlePrecision ? BGL_FLAG_PRECISION_SINGLE : BGL_FLAG_PRECISION_DOUBLE);
+  opts.resources = {config.resource};
+  opts.useScaling = config.singlePrecision;  // keep single precision in range
+  phylo::TreeLikelihood like(tree, *model, data, opts);
+
+  const double value = like.logLikelihood();
+  const double tol = config.singlePrecision ? std::abs(reference) * 2e-4
+                                            : std::abs(reference) * 1e-9;
+  EXPECT_NEAR(value, reference, tol)
+      << config.label << " impl=" << like.implName() << " states=" << states;
+}
+
+std::string crossImplName(const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  const auto [configIndex, states] = info.param;
+  std::string name = kConfigs[configIndex].label;
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_s" + std::to_string(states);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllImplementations, CrossImpl,
+    ::testing::Combine(::testing::Range(0, static_cast<int>(std::size(kConfigs))),
+                       ::testing::Values(4, 20, 61)),
+    crossImplName);
+
+TEST(CrossImpl, SiteLogLikelihoodsAgreeAcrossFrameworks) {
+  Rng rng(77);
+  auto tree = phylo::Tree::random(6, rng, 0.1);
+  HKY85Model model(2.5, {0.3, 0.25, 0.2, 0.25});
+  auto data = phylo::simulatePatterns(tree, model, 120, rng);
+
+  auto run = [&](long req, int resource, std::vector<double>& site) {
+    phylo::LikelihoodOptions opts;
+    opts.requirementFlags = req;
+    opts.resources = {resource};
+    phylo::TreeLikelihood like(tree, model, data, opts);
+    like.logLikelihood();
+    site.resize(data.patterns);
+    ASSERT_EQ(bglGetSiteLogLikelihoods(like.instance(), site.data()), BGL_SUCCESS);
+  };
+
+  std::vector<double> cpu, cuda, opencl;
+  run(BGL_FLAG_THREADING_NONE, perf::kHostCpu, cpu);
+  run(BGL_FLAG_FRAMEWORK_CUDA, perf::kQuadroP5000, cuda);
+  run(BGL_FLAG_FRAMEWORK_OPENCL, perf::kRadeonR9Nano, opencl);
+  for (int k = 0; k < data.patterns; ++k) {
+    EXPECT_NEAR(cpu[k], cuda[k], 1e-9);
+    EXPECT_NEAR(cuda[k], opencl[k], 1e-12);  // identical shared kernels
+  }
+}
+
+TEST(CrossImpl, PartialsRoundTripThroughEveryFramework) {
+  Rng rng(78);
+  auto tree = phylo::Tree::random(4, rng, 0.1);
+  JC69Model model;
+  auto data = phylo::simulatePatterns(tree, model, 30, rng);
+
+  auto partialsOf = [&](long req, int resource) {
+    phylo::LikelihoodOptions opts;
+    opts.categories = 2;
+    opts.requirementFlags = req;
+    opts.resources = {resource};
+    phylo::TreeLikelihood like(tree, model, data, opts);
+    like.logLikelihood();
+    std::vector<double> p(2ull * data.patterns * 4);
+    EXPECT_EQ(bglGetPartials(like.instance(), tree.root(), p.data()), BGL_SUCCESS);
+    return p;
+  };
+
+  const auto a = partialsOf(BGL_FLAG_THREADING_NONE, perf::kHostCpu);
+  const auto b = partialsOf(BGL_FLAG_FRAMEWORK_CUDA, perf::kHostCpu);
+  const auto c = partialsOf(BGL_FLAG_FRAMEWORK_OPENCL, perf::kHostCpu);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-12);
+    EXPECT_NEAR(b[i], c[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace bgl

@@ -1,0 +1,161 @@
+// End-to-end correctness of the likelihood pipeline against independent
+// references: a direct Felsenstein recursion (different code path) and a
+// brute-force summation over internal-node states (tiny trees).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phylo/likelihood.h"
+#include "tests/test_util.h"
+
+namespace bgl {
+namespace {
+
+using phylo::LikelihoodOptions;
+using phylo::TreeLikelihood;
+
+TEST(LikelihoodCorrectness, MatchesBruteForceEnumeration) {
+  // 4-taxon tree, 1 rate category: sum over all 4^3 internal assignments.
+  Rng rng(101);
+  auto tree = phylo::Tree::random(4, rng, 0.15);
+  HKY85Model model(2.0, {0.3, 0.25, 0.2, 0.25});
+
+  // One pattern per possible tip configuration subset.
+  std::vector<int> raw;
+  const std::vector<std::vector<int>> configs = {
+      {0, 1, 2, 3}, {0, 0, 0, 0}, {3, 3, 0, 0}, {1, 2, 1, 2}, {2, 2, 2, 1}};
+  for (int t = 0; t < 4; ++t) {
+    for (const auto& cfg : configs) raw.push_back(cfg[t]);
+  }
+  const auto data = compressPatterns(raw, 4, static_cast<int>(configs.size()));
+
+  LikelihoodOptions opts;
+  opts.categories = 1;
+  TreeLikelihood like(tree, model, data, opts);
+  like.logLikelihood();
+
+  std::vector<double> siteLogL(data.patterns);
+  ASSERT_EQ(bglGetSiteLogLikelihoods(like.instance(), siteLogL.data()), BGL_SUCCESS);
+
+  for (int k = 0; k < data.patterns; ++k) {
+    std::vector<int> tips(4);
+    for (int t = 0; t < 4; ++t) tips[t] = data.at(t, k);
+    const double ref = test::bruteForceSiteLikelihood(tree, model, tips);
+    EXPECT_NEAR(siteLogL[k], std::log(ref), 1e-8) << "pattern " << k;
+  }
+}
+
+class FelsensteinReference
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(FelsensteinReference, LibraryMatchesIndependentRecursion) {
+  const auto [taxa, sites, categories] = GetParam();
+  auto problem = test::makeNucleotideProblem(taxa, sites, 7 * taxa + sites);
+
+  const double reference = test::referenceLogLikelihood(
+      problem.tree, *problem.model, problem.data, categories, 0.5);
+
+  LikelihoodOptions opts;
+  opts.categories = categories;
+  TreeLikelihood like(problem.tree, *problem.model, problem.data, opts);
+  const double lib = like.logLikelihood();
+  EXPECT_NEAR(lib, reference, std::abs(reference) * 1e-9 + 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FelsensteinReference,
+    ::testing::Combine(::testing::Values(4, 8, 16), ::testing::Values(50, 300),
+                       ::testing::Values(1, 4)));
+
+TEST(LikelihoodCorrectness, ScalingDoesNotChangeResult) {
+  auto problem = test::makeNucleotideProblem(12, 200, 55);
+  LikelihoodOptions plain, scaled;
+  scaled.useScaling = true;
+  TreeLikelihood a(problem.tree, *problem.model, problem.data, plain);
+  TreeLikelihood b(problem.tree, *problem.model, problem.data, scaled);
+  const double la = a.logLikelihood();
+  const double lb = b.logLikelihood();
+  EXPECT_NEAR(la, lb, std::abs(la) * 1e-9);
+}
+
+TEST(LikelihoodCorrectness, ScalingRescuesSinglePrecisionUnderflow) {
+  // A long-branch, many-taxon tree in single precision underflows without
+  // rescaling but stays finite with it.
+  Rng rng(42);
+  auto tree = phylo::Tree::random(40, rng, 1.2);
+  HKY85Model model(2.0, {0.25, 0.25, 0.25, 0.25});
+  auto data = phylo::simulatePatterns(tree, model, 60, rng);
+
+  LikelihoodOptions scaled;
+  scaled.useScaling = true;
+  scaled.requirementFlags = BGL_FLAG_PRECISION_SINGLE;
+  scaled.categories = 1;
+  TreeLikelihood like(tree, model, data, scaled);
+  const double logL = like.logLikelihood();
+  EXPECT_TRUE(std::isfinite(logL));
+  EXPECT_LT(logL, 0.0);
+
+  // Against the double-precision reference.
+  const double ref =
+      test::referenceLogLikelihood(tree, model, data, 1, 0.5);
+  EXPECT_NEAR(logL, ref, std::abs(ref) * 5e-4);
+}
+
+TEST(LikelihoodCorrectness, PatternWeightsScaleLogLikelihood) {
+  auto problem = test::makeNucleotideProblem(6, 100, 77);
+  LikelihoodOptions opts;
+  opts.categories = 2;
+  TreeLikelihood like(problem.tree, *problem.model, problem.data, opts);
+  const double base = like.logLikelihood();
+
+  // Doubling every weight doubles the log likelihood.
+  std::vector<double> doubled = problem.data.weights;
+  for (auto& w : doubled) w *= 2.0;
+  ASSERT_EQ(bglSetPatternWeights(like.instance(), doubled.data()), BGL_SUCCESS);
+  const double twice = like.logLikelihood();
+  EXPECT_NEAR(twice, 2.0 * base, std::abs(base) * 1e-9);
+}
+
+TEST(LikelihoodCorrectness, AmbiguousTipsIncreaseLikelihood) {
+  // Replacing a tip's data with full ambiguity can only raise site
+  // likelihoods (it sums over states).
+  auto problem = test::makeNucleotideProblem(5, 80, 31);
+  LikelihoodOptions opts;
+  TreeLikelihood like(problem.tree, *problem.model, problem.data, opts);
+  const double informative = like.logLikelihood();
+
+  std::vector<int> ambiguous(problem.data.patterns, -1);
+  ASSERT_EQ(bglSetTipStates(like.instance(), 0, ambiguous.data()), BGL_SUCCESS);
+  const double lessInformative = like.logLikelihood();
+  EXPECT_GT(lessInformative, informative);
+}
+
+TEST(LikelihoodCorrectness, CodonModelAgainstReference) {
+  Rng rng(202);
+  auto tree = phylo::Tree::random(5, rng, 0.08);
+  GY94CodonModel model = GY94CodonModel::equalFrequencies(2.0, 0.4);
+  auto data = phylo::simulatePatterns(tree, model, 40, rng);
+
+  const double reference = test::referenceLogLikelihood(tree, model, data, 1, 0.5);
+  LikelihoodOptions opts;
+  opts.categories = 1;
+  opts.useScaling = true;
+  TreeLikelihood like(tree, model, data, opts);
+  EXPECT_NEAR(like.logLikelihood(), reference, std::abs(reference) * 1e-8);
+}
+
+TEST(LikelihoodCorrectness, AminoAcidModelAgainstReference) {
+  Rng rng(203);
+  auto tree = phylo::Tree::random(6, rng, 0.1);
+  auto model = AminoAcidModel::random(17);
+  auto data = phylo::simulatePatterns(tree, model, 60, rng);
+
+  const double reference = test::referenceLogLikelihood(tree, model, data, 2, 0.5);
+  LikelihoodOptions opts;
+  opts.categories = 2;
+  TreeLikelihood like(tree, model, data, opts);
+  EXPECT_NEAR(like.logLikelihood(), reference, std::abs(reference) * 1e-8);
+}
+
+}  // namespace
+}  // namespace bgl

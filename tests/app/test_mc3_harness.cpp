@@ -1,0 +1,212 @@
+// Application substrate (MC3 Bayesian engine) and workload harness tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/genomictest.h"
+#include "mc3/mc3.h"
+#include "perfmodel/device_profiles.h"
+#include "phylo/seqsim.h"
+
+namespace bgl {
+namespace {
+
+mc3::Mc3Options quickOptions() {
+  mc3::Mc3Options opts;
+  opts.chains = 2;
+  opts.generations = 60;
+  opts.swapInterval = 5;
+  opts.seed = 11;
+  opts.parallelChains = false;
+  return opts;
+}
+
+struct Mc3Problem {
+  PatternSet data;
+  std::unique_ptr<SubstitutionModel> model;
+};
+
+Mc3Problem makeMc3Problem(int taxa, int sites, unsigned seed) {
+  Mc3Problem p;
+  Rng rng(seed);
+  auto tree = phylo::Tree::random(taxa, rng, 0.1);
+  std::vector<double> f = {0.3, 0.25, 0.2, 0.25};
+  p.model = std::make_unique<HKY85Model>(2.0, f);
+  p.data = phylo::simulatePatterns(tree, *p.model, sites, rng);
+  return p;
+}
+
+TEST(Mc3, RunsAndImprovesLikelihood) {
+  auto problem = makeMc3Problem(6, 300, 3);
+  mc3::Mc3Sampler sampler(problem.data, *problem.model, quickOptions(),
+                          mc3::makeNativeFactory(false));
+  const auto result = sampler.run();
+  ASSERT_EQ(result.coldTrace.size(), 60u);
+  // MCMC from a random start must improve markedly on simulated data.
+  EXPECT_GT(result.coldTrace.back(), result.coldTrace.front());
+  EXPECT_GE(result.bestLogL, result.coldTrace.front());
+  EXPECT_GT(result.accepted, 0);
+  EXPECT_LT(result.accepted, result.proposed);
+  EXPECT_TRUE(std::isfinite(result.coldLogL));
+}
+
+TEST(Mc3, DeterministicForSeed) {
+  auto problem = makeMc3Problem(5, 200, 4);
+  mc3::Mc3Sampler a(problem.data, *problem.model, quickOptions(),
+                    mc3::makeNativeFactory(false));
+  mc3::Mc3Sampler b(problem.data, *problem.model, quickOptions(),
+                    mc3::makeNativeFactory(false));
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.coldTrace, rb.coldTrace);
+  EXPECT_EQ(ra.accepted, rb.accepted);
+}
+
+TEST(Mc3, ParallelChainsMatchSerialChains) {
+  // MPI-style per-chain threads must not change the sampled trajectory
+  // (chains only interact at the swap barrier).
+  auto problem = makeMc3Problem(5, 200, 5);
+  auto serialOpts = quickOptions();
+  auto parallelOpts = quickOptions();
+  parallelOpts.parallelChains = true;
+  mc3::Mc3Sampler a(problem.data, *problem.model, serialOpts,
+                    mc3::makeNativeFactory(false));
+  mc3::Mc3Sampler b(problem.data, *problem.model, parallelOpts,
+                    mc3::makeNativeFactory(false));
+  EXPECT_EQ(a.run().coldTrace, b.run().coldTrace);
+}
+
+TEST(Mc3, LibraryAndNativeEvaluatorsAgreeOnTrajectory) {
+  // Same seeds + numerically equal likelihoods => identical accept/reject
+  // decisions and identical traces (double precision).
+  auto problem = makeMc3Problem(5, 150, 6);
+  phylo::LikelihoodOptions libOpts;
+  libOpts.categories = 4;
+  libOpts.requirementFlags = BGL_FLAG_THREADING_NONE;
+  libOpts.resources = {perf::kHostCpu};
+
+  mc3::Mc3Sampler native(problem.data, *problem.model, quickOptions(),
+                         mc3::makeNativeFactory(false));
+  mc3::Mc3Sampler lib(problem.data, *problem.model, quickOptions(),
+                      mc3::makeBglFactory(libOpts));
+  const auto rn = native.run();
+  const auto rl = lib.run();
+  ASSERT_EQ(rn.coldTrace.size(), rl.coldTrace.size());
+  for (std::size_t i = 0; i < rn.coldTrace.size(); ++i) {
+    EXPECT_NEAR(rn.coldTrace[i], rl.coldTrace[i], std::abs(rn.coldTrace[i]) * 1e-8);
+  }
+}
+
+TEST(Mc3, SwapsOccurBetweenHeatedChains) {
+  auto problem = makeMc3Problem(6, 200, 7);
+  auto opts = quickOptions();
+  opts.chains = 4;
+  opts.generations = 120;
+  opts.heatDelta = 0.3;
+  mc3::Mc3Sampler sampler(problem.data, *problem.model, opts,
+                          mc3::makeNativeFactory(false));
+  const auto result = sampler.run();
+  EXPECT_GT(result.swapsProposed, 0);
+  EXPECT_GT(result.swapsAccepted, 0);
+}
+
+TEST(Mc3, SinglePrecisionNativeStaysFinite) {
+  auto problem = makeMc3Problem(10, 400, 8);
+  auto opts = quickOptions();
+  opts.generations = 30;
+  mc3::Mc3Sampler sampler(problem.data, *problem.model, opts,
+                          mc3::makeNativeFactory(true));
+  const auto result = sampler.run();
+  for (double v : result.coldTrace) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Mc3, EvaluatorTimelineExposedForLibraryBackend) {
+  auto problem = makeMc3Problem(5, 150, 9);
+  phylo::LikelihoodOptions libOpts;
+  libOpts.requirementFlags = BGL_FLAG_FRAMEWORK_OPENCL;
+  libOpts.resources = {perf::kHostCpu};
+  auto evaluator = mc3::makeBglFactory(libOpts)(problem.data, *problem.model);
+  Rng rng(10);
+  auto tree = phylo::Tree::random(problem.data.taxa, rng);
+  evaluator->logLikelihood(tree);
+  double measured = 0.0, modeled = 0.0;
+  EXPECT_TRUE(evaluator->timeline(&measured, &modeled));
+  EXPECT_GT(measured, 0.0);
+}
+
+// --- Harness -----------------------------------------------------------------
+
+TEST(Harness, FlopAccountingFormula) {
+  harness::ProblemSpec spec;
+  spec.tips = 5;
+  spec.patterns = 100;
+  spec.states = 4;
+  spec.categories = 2;
+  // (tips-1) * p * c * s * (4s-1) = 4 * 100 * 2 * 4 * 15
+  EXPECT_DOUBLE_EQ(harness::evaluationFlops(spec), 4.0 * 100 * 2 * 4 * 15);
+}
+
+TEST(Harness, FindResourceByName) {
+  EXPECT_EQ(harness::findResource("Host CPU"), 0);
+  EXPECT_EQ(harness::findResource("R9 Nano"), perf::kRadeonR9Nano);
+  EXPECT_EQ(harness::findResource("no-such-device"), -1);
+}
+
+class HarnessRun : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(HarnessRun, ProducesPositiveThroughput) {
+  const auto [states, accel] = GetParam();
+  harness::ProblemSpec spec;
+  spec.tips = 6;
+  spec.patterns = 600;
+  spec.states = states;
+  spec.categories = 2;
+  spec.reps = 2;
+  spec.warmupReps = 1;
+  spec.requirementFlags = accel ? BGL_FLAG_FRAMEWORK_OPENCL : BGL_FLAG_FRAMEWORK_CPU;
+  const auto result = harness::runThroughput(spec);
+  EXPECT_GT(result.gflops, 0.0);
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_TRUE(std::isfinite(result.logL));
+  EXPECT_LT(result.logL, 0.0);
+  EXPECT_FALSE(result.implName.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HarnessRun,
+                         ::testing::Combine(::testing::Values(4, 61),
+                                            ::testing::Values(false, true)));
+
+TEST(Harness, ModeledDeviceReportsModeledTime) {
+  harness::ProblemSpec spec;
+  spec.tips = 4;
+  spec.patterns = 2000;
+  spec.reps = 1;
+  spec.resource = perf::kRadeonR9Nano;
+  spec.requirementFlags = BGL_FLAG_FRAMEWORK_OPENCL;
+  const auto result = harness::runThroughput(spec);
+  EXPECT_TRUE(result.modeled);
+  EXPECT_GT(result.gflops, 0.0);
+}
+
+TEST(Harness, RefusesOversizedProblems) {
+  harness::ProblemSpec spec;
+  spec.tips = 64;
+  spec.patterns = 100000000;  // would exceed the memory guard
+  spec.states = 61;
+  EXPECT_THROW(harness::runThroughput(spec), Error);
+}
+
+TEST(Harness, SingleAndDoublePrecisionBothRun) {
+  for (bool single : {false, true}) {
+    harness::ProblemSpec spec;
+    spec.tips = 4;
+    spec.patterns = 400;
+    spec.singlePrecision = single;
+    spec.reps = 1;
+    const auto result = harness::runThroughput(spec);
+    EXPECT_GT(result.gflops, 0.0) << "single=" << single;
+  }
+}
+
+}  // namespace
+}  // namespace bgl

@@ -1,0 +1,206 @@
+#include "core/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.h"
+#include "core/rng.h"
+#include "core/transition.h"
+
+namespace bgl {
+namespace {
+
+TEST(JacobiEigen, DiagonalMatrixIsItsOwnDecomposition) {
+  const double m[9] = {3, 0, 0, 0, -1, 0, 0, 0, 7};
+  std::vector<double> eval, evec;
+  jacobiEigenSymmetric(m, 3, eval, evec);
+  std::vector<double> sorted = eval;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_NEAR(sorted[0], -1.0, 1e-12);
+  EXPECT_NEAR(sorted[1], 3.0, 1e-12);
+  EXPECT_NEAR(sorted[2], 7.0, 1e-12);
+}
+
+TEST(JacobiEigen, KnownSymmetricMatrix) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  const double m[4] = {2, 1, 1, 2};
+  std::vector<double> eval, evec;
+  jacobiEigenSymmetric(m, 2, eval, evec);
+  std::sort(eval.begin(), eval.end());
+  EXPECT_NEAR(eval[0], 1.0, 1e-12);
+  EXPECT_NEAR(eval[1], 3.0, 1e-12);
+}
+
+TEST(JacobiEigen, EigenvectorsAreOrthonormal) {
+  Rng rng(11);
+  const int n = 8;
+  std::vector<double> m(n * n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      m[i * n + j] = m[j * n + i] = rng.uniform(-1.0, 1.0);
+    }
+  }
+  std::vector<double> eval, v;
+  jacobiEigenSymmetric(m.data(), n, eval, v);
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      double dot = 0.0;
+      for (int i = 0; i < n; ++i) dot += v[i * n + a] * v[i * n + b];
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(JacobiEigen, ReconstructsOriginalMatrix) {
+  Rng rng(5);
+  const int n = 6;
+  std::vector<double> m(n * n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      m[i * n + j] = m[j * n + i] = rng.uniform(-2.0, 2.0);
+    }
+  }
+  std::vector<double> eval, v;
+  jacobiEigenSymmetric(m.data(), n, eval, v);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < n; ++k) sum += v[i * n + k] * eval[k] * v[j * n + k];
+      EXPECT_NEAR(sum, m[i * n + j], 1e-9);
+    }
+  }
+}
+
+TEST(DecomposeReversible, ReconstructsRateMatrix) {
+  std::vector<double> f = {0.1, 0.2, 0.3, 0.4};
+  GTRModel model({1.0, 2.0, 0.5, 0.8, 3.0, 1.2}, f);
+  const auto q = model.rateMatrix();
+  const auto es = decomposeReversible(q.data(), f.data(), 4);
+  const auto back = reconstructRateMatrix(es);
+  for (int i = 0; i < 16; ++i) EXPECT_NEAR(back[i], q[i], 1e-9) << "entry " << i;
+}
+
+TEST(DecomposeReversible, InverseIsActuallyInverse) {
+  std::vector<double> f = {0.25, 0.25, 0.25, 0.25};
+  JC69Model model;
+  const auto es = model.eigenSystem();
+  const int n = 4;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < n; ++k) sum += es.evec[i * n + k] * es.ivec[k * n + j];
+      EXPECT_NEAR(sum, i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(DecomposeReversible, RejectsNonPositiveFrequencies) {
+  const double q[4] = {-1, 1, 1, -1};
+  const double f[2] = {1.0, 0.0};
+  EXPECT_THROW(decomposeReversible(q, f, 2), Error);
+}
+
+TEST(DecomposeReversible, ZeroEigenvalueExists) {
+  // Every CTMC generator has eigenvalue 0 (stationarity).
+  const auto es = GY94CodonModel::equalFrequencies(2.0, 0.5).eigenSystem();
+  double closest = 1e9;
+  for (double ev : es.eval) closest = std::min(closest, std::abs(ev));
+  EXPECT_LT(closest, 1e-9);
+}
+
+TEST(TransitionMatrix, RowsSumToOne) {
+  std::vector<double> f = {0.3, 0.25, 0.2, 0.25};
+  HKY85Model model(2.0, f);
+  const auto es = model.eigenSystem();
+  for (double t : {0.0, 0.01, 0.1, 1.0, 10.0}) {
+    const auto p = transitionMatrix(es, t);
+    for (int i = 0; i < 4; ++i) {
+      double rowSum = 0.0;
+      for (int j = 0; j < 4; ++j) {
+        rowSum += p[i * 4 + j];
+        EXPECT_GE(p[i * 4 + j], 0.0);
+        EXPECT_LE(p[i * 4 + j], 1.0 + 1e-12);
+      }
+      EXPECT_NEAR(rowSum, 1.0, 1e-10) << "t=" << t << " row " << i;
+    }
+  }
+}
+
+TEST(TransitionMatrix, IdentityAtZero) {
+  const auto es = JC69Model().eigenSystem();
+  const auto p = transitionMatrix(es, 0.0);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(p[i * 4 + j], i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(TransitionMatrix, ConvergesToStationaryDistribution) {
+  std::vector<double> f = {0.4, 0.3, 0.2, 0.1};
+  HKY85Model model(3.0, f);
+  const auto p = transitionMatrix(model.eigenSystem(), 100.0);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(p[i * 4 + j], f[j], 1e-8);
+    }
+  }
+}
+
+TEST(TransitionMatrix, ChapmanKolmogorov) {
+  // P(t1 + t2) == P(t1) * P(t2).
+  std::vector<double> f = {0.3, 0.25, 0.2, 0.25};
+  GTRModel model({1.5, 2.0, 0.7, 1.1, 4.0, 1.0}, f);
+  const auto es = model.eigenSystem();
+  const auto p1 = transitionMatrix(es, 0.13);
+  const auto p2 = transitionMatrix(es, 0.29);
+  const auto p12 = transitionMatrix(es, 0.42);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < 4; ++k) sum += p1[i * 4 + k] * p2[k * 4 + j];
+      EXPECT_NEAR(sum, p12[i * 4 + j], 1e-10);
+    }
+  }
+}
+
+TEST(TransitionMatrix, DetailedBalance) {
+  // pi_i P_ij == pi_j P_ji for reversible models.
+  std::vector<double> f = {0.35, 0.15, 0.3, 0.2};
+  HKY85Model model(4.0, f);
+  const auto p = transitionMatrix(model.eigenSystem(), 0.2);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(f[i] * p[i * 4 + j], f[j] * p[j * 4 + i], 1e-10);
+    }
+  }
+}
+
+TEST(TransitionMatrix, JukesCantorClosedForm) {
+  // JC69 has the closed form P_ii = 1/4 + 3/4 e^{-4t/3}.
+  const auto es = JC69Model().eigenSystem();
+  for (double t : {0.05, 0.2, 0.7}) {
+    const auto p = transitionMatrix(es, t);
+    const double same = 0.25 + 0.75 * std::exp(-4.0 * t / 3.0);
+    const double diff = 0.25 - 0.25 * std::exp(-4.0 * t / 3.0);
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_NEAR(p[i * 4 + j], i == j ? same : diff, 1e-10) << "t=" << t;
+      }
+    }
+  }
+}
+
+TEST(TransitionMatrix, CodonModelRowsSumToOne) {
+  const auto es = GY94CodonModel::equalFrequencies(2.5, 0.3).eigenSystem();
+  const auto p = transitionMatrix(es, 0.4);
+  for (int i = 0; i < kCodonStates; ++i) {
+    double rowSum = 0.0;
+    for (int j = 0; j < kCodonStates; ++j) rowSum += p[i * kCodonStates + j];
+    EXPECT_NEAR(rowSum, 1.0, 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace bgl

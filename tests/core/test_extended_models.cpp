@@ -1,0 +1,204 @@
+// Extended substitution models: K80, TN93, MG94, F1x4/F3x4 codon
+// frequencies, and the PAML-format empirical amino-acid parser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "core/genetic_code.h"
+#include "core/model.h"
+#include "core/transition.h"
+
+namespace bgl {
+namespace {
+
+void expectValidGenerator(const SubstitutionModel& model) {
+  const int n = model.states();
+  const auto q = model.rateMatrix();
+  const auto& f = model.frequencies();
+  for (int i = 0; i < n; ++i) {
+    double rowSum = 0.0;
+    for (int j = 0; j < n; ++j) {
+      rowSum += q[static_cast<std::size_t>(i) * n + j];
+      if (i != j) {
+        EXPECT_GE(q[static_cast<std::size_t>(i) * n + j], 0.0);
+      }
+    }
+    EXPECT_NEAR(rowSum, 0.0, 1e-9);
+  }
+  double mu = 0.0;
+  for (int i = 0; i < n; ++i) mu -= f[i] * q[static_cast<std::size_t>(i) * n + i];
+  EXPECT_NEAR(mu, 1.0, 1e-9);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_NEAR(f[i] * q[static_cast<std::size_t>(i) * n + j],
+                  f[j] * q[static_cast<std::size_t>(j) * n + i], 1e-9);
+    }
+  }
+}
+
+TEST(ExtendedModels, K80IsValidAndMatchesHky) {
+  K80Model k80(3.0);
+  expectValidGenerator(k80);
+  HKY85Model hky(3.0, {0.25, 0.25, 0.25, 0.25});
+  const auto q1 = k80.rateMatrix();
+  const auto q2 = hky.rateMatrix();
+  for (int i = 0; i < 16; ++i) EXPECT_NEAR(q1[i], q2[i], 1e-12);
+}
+
+TEST(ExtendedModels, Tn93IsValid) {
+  expectValidGenerator(TN93Model(4.0, 2.0, {0.3, 0.25, 0.2, 0.25}));
+}
+
+TEST(ExtendedModels, Tn93EqualKappasCollapsesToHky) {
+  std::vector<double> f = {0.3, 0.25, 0.2, 0.25};
+  TN93Model tn(2.5, 2.5, f);
+  HKY85Model hky(2.5, f);
+  const auto q1 = tn.rateMatrix();
+  const auto q2 = hky.rateMatrix();
+  for (int i = 0; i < 16; ++i) EXPECT_NEAR(q1[i], q2[i], 1e-12);
+}
+
+TEST(ExtendedModels, Tn93DistinguishesTransitionClasses) {
+  TN93Model tn(6.0, 2.0, {0.25, 0.25, 0.25, 0.25});
+  const auto q = tn.rateMatrix();
+  // A->G (purine) three times the C->T (pyrimidine) rate at equal freqs.
+  EXPECT_NEAR(q[0 * 4 + 2] / q[1 * 4 + 3], 3.0, 1e-9);
+}
+
+TEST(ExtendedModels, F1x4FrequenciesSumToOneAndOrderCorrectly) {
+  const std::vector<double> nuc = {0.4, 0.1, 0.2, 0.3};  // A,C,G,T
+  const auto f = codonFrequenciesF1x4(nuc);
+  ASSERT_EQ(f.size(), 61u);
+  EXPECT_NEAR(std::accumulate(f.begin(), f.end(), 0.0), 1.0, 1e-12);
+  // AAA should be the most frequent codon (A is the commonest base and
+  // AAA is a sense codon).
+  const auto& code = GeneticCode::universal();
+  const int aaa = code.senseIndex(16 * 2 + 4 * 2 + 2);  // A=2 in TCAG digits
+  ASSERT_GE(aaa, 0);
+  for (std::size_t s = 0; s < f.size(); ++s) {
+    EXPECT_LE(f[s], f[aaa] + 1e-15);
+  }
+}
+
+TEST(ExtendedModels, F3x4UsesPositionSpecificFrequencies) {
+  // Position 3 strongly prefers C: codons ending in C dominate their
+  // T-ending siblings.
+  std::vector<double> nuc(12, 0.25);
+  nuc[2 * 4 + 1] = 0.7;   // pos 3, C
+  nuc[2 * 4 + 3] = 0.1;   // pos 3, T
+  nuc[2 * 4 + 0] = 0.1;
+  nuc[2 * 4 + 2] = 0.1;
+  const auto f = codonFrequenciesF3x4(nuc);
+  const auto& code = GeneticCode::universal();
+  const int ttc = code.senseIndex(16 * 0 + 4 * 0 + 1);
+  const int ttt = code.senseIndex(16 * 0 + 4 * 0 + 0);
+  EXPECT_NEAR(f[ttc] / f[ttt], 7.0, 1e-9);
+}
+
+TEST(ExtendedModels, F1x4EqualFrequenciesAreUniform) {
+  const auto f = codonFrequenciesF1x4({0.25, 0.25, 0.25, 0.25});
+  for (double v : f) EXPECT_NEAR(v, 1.0 / 61.0, 1e-12);
+}
+
+TEST(ExtendedModels, PositionalFrequenciesFromData) {
+  const auto& code = GeneticCode::universal();
+  // All codons = ATG: position frequencies concentrate on A, T, G.
+  const int atg = code.senseIndex(16 * 2 + 4 * 0 + 3);
+  const std::vector<int> data(300, atg);
+  const auto freq = positionalNucleotideFrequencies(data);
+  ASSERT_EQ(freq.size(), 12u);
+  EXPECT_GT(freq[0 * 4 + 0], 0.9);  // pos 1 is A
+  EXPECT_GT(freq[1 * 4 + 3], 0.9);  // pos 2 is T
+  EXPECT_GT(freq[2 * 4 + 2], 0.9);  // pos 3 is G
+  for (int pos = 0; pos < 3; ++pos) {
+    double sum = 0.0;
+    for (int n = 0; n < 4; ++n) sum += freq[pos * 4 + n];
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(ExtendedModels, Mg94IsValidReversibleGenerator) {
+  expectValidGenerator(MG94CodonModel(2.0, 0.4, {0.3, 0.25, 0.2, 0.25}));
+}
+
+TEST(ExtendedModels, Mg94ForbidsMultiNucleotideChanges) {
+  MG94CodonModel model(2.0, 0.5, {0.25, 0.25, 0.25, 0.25});
+  const auto q = model.rateMatrix();
+  const auto& code = GeneticCode::universal();
+  for (int i = 0; i < kCodonStates; ++i) {
+    for (int j = 0; j < kCodonStates; ++j) {
+      if (i == j) continue;
+      int diffs = 0;
+      for (int p = 0; p < 3; ++p) {
+        if (GeneticCode::nucleotideAt(code.codon64(i), p) !=
+            GeneticCode::nucleotideAt(code.codon64(j), p)) {
+          ++diffs;
+        }
+      }
+      if (diffs > 1) {
+        EXPECT_DOUBLE_EQ(q[static_cast<std::size_t>(i) * kCodonStates + j], 0.0);
+      }
+    }
+  }
+}
+
+TEST(ExtendedModels, Mg94AndGy94DifferUnderBiasedFrequencies) {
+  // With skewed nucleotide composition the two parameterizations assign
+  // different relative rates (MG94 scales by target-nucleotide frequency,
+  // GY94 by whole-codon frequency).
+  const std::vector<double> nuc = {0.4, 0.1, 0.2, 0.3};
+  MG94CodonModel mg(2.0, 0.5, nuc);
+  GY94CodonModel gy(2.0, 0.5, codonFrequenciesF1x4(nuc));
+  const auto qm = mg.rateMatrix();
+  const auto qg = gy.rateMatrix();
+  double maxDiff = 0.0;
+  for (std::size_t i = 0; i < qm.size(); ++i) {
+    maxDiff = std::max(maxDiff, std::abs(qm[i] - qg[i]));
+  }
+  EXPECT_GT(maxDiff, 1e-3);
+}
+
+TEST(ExtendedModels, Mg94TransitionMatrixRowsSumToOne) {
+  MG94CodonModel model(2.0, 0.4, {0.3, 0.25, 0.2, 0.25});
+  const auto p = transitionMatrix(model.eigenSystem(), 0.3);
+  for (int i = 0; i < kCodonStates; ++i) {
+    double rowSum = 0.0;
+    for (int j = 0; j < kCodonStates; ++j) rowSum += p[i * kCodonStates + j];
+    EXPECT_NEAR(rowSum, 1.0, 1e-8);
+  }
+}
+
+TEST(ExtendedModels, PamlParserReadsRatesAndFrequencies) {
+  // Synthetic PAML file: rates r(i,j) = i*20 + j (lower triangle), easy
+  // to verify; frequencies proportional to 1..20.
+  std::ostringstream os;
+  for (int i = 1; i < 20; ++i) {
+    for (int j = 0; j < i; ++j) os << (i * 20 + j) << " ";
+    os << "\n";
+  }
+  os << "* frequencies follow\n";
+  for (int i = 1; i <= 20; ++i) os << i << " ";
+  os << "\n";
+
+  const auto model = aminoAcidModelFromPamlText(os.str());
+  expectValidGenerator(model);
+  const auto& f = model.frequencies();
+  EXPECT_NEAR(f[19] / f[0], 20.0, 1e-12);
+}
+
+TEST(ExtendedModels, PamlParserRejectsWrongCount) {
+  EXPECT_THROW(aminoAcidModelFromPamlText("1 2 3"), Error);
+}
+
+TEST(ExtendedModels, RejectBadParameters) {
+  EXPECT_THROW(K80Model(0.0), Error);
+  EXPECT_THROW(TN93Model(-1.0, 2.0, {0.25, 0.25, 0.25, 0.25}), Error);
+  EXPECT_THROW(MG94CodonModel(2.0, 0.5, {0.5, 0.5, 0.1, 0.1}), Error);
+  EXPECT_THROW(codonFrequenciesF1x4({0.5, 0.5}), Error);
+  EXPECT_THROW(codonFrequenciesF3x4(std::vector<double>(11, 0.1)), Error);
+}
+
+}  // namespace
+}  // namespace bgl

@@ -1,0 +1,107 @@
+#include "core/gamma.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/defs.h"
+
+namespace bgl {
+namespace {
+
+TEST(IncompleteGamma, KnownValues) {
+  // P(1, x) = 1 - e^{-x}.
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(incompleteGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+  // P(0.5, x) = erf(sqrt(x)).
+  for (double x : {0.2, 1.0, 3.0}) {
+    EXPECT_NEAR(incompleteGammaP(0.5, x), std::erf(std::sqrt(x)), 1e-10);
+  }
+}
+
+TEST(IncompleteGamma, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(incompleteGammaP(2.0, 0.0), 0.0);
+  EXPECT_NEAR(incompleteGammaP(3.0, 100.0), 1.0, 1e-12);
+  EXPECT_THROW(incompleteGammaP(-1.0, 1.0), Error);
+  EXPECT_THROW(incompleteGammaP(1.0, -1.0), Error);
+}
+
+TEST(IncompleteGamma, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x < 10.0; x += 0.25) {
+    const double v = incompleteGammaP(2.3, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(ChiSquareQuantile, InverseOfCdf) {
+  for (double v : {1.0, 2.0, 4.0, 10.0}) {
+    for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+      const double x = chiSquareQuantile(p, v);
+      EXPECT_NEAR(incompleteGammaP(v / 2.0, x / 2.0), p, 1e-8)
+          << "p=" << p << " v=" << v;
+    }
+  }
+}
+
+TEST(ChiSquareQuantile, KnownMedian) {
+  // Median of chi2(2) is 2 ln 2.
+  EXPECT_NEAR(chiSquareQuantile(0.5, 2.0), 2.0 * std::log(2.0), 1e-8);
+}
+
+TEST(ChiSquareQuantile, RejectsBadArguments) {
+  EXPECT_THROW(chiSquareQuantile(0.0, 2.0), Error);
+  EXPECT_THROW(chiSquareQuantile(1.0, 2.0), Error);
+  EXPECT_THROW(chiSquareQuantile(0.5, -1.0), Error);
+}
+
+class DiscreteGammaParam : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(DiscreteGammaParam, MeanIsOneAndRatesIncrease) {
+  const auto [alpha, cats] = GetParam();
+  const auto rates = discreteGammaRates(alpha, cats);
+  ASSERT_EQ(static_cast<int>(rates.size()), cats);
+  const double mean = std::accumulate(rates.begin(), rates.end(), 0.0) / cats;
+  EXPECT_NEAR(mean, 1.0, 1e-6);
+  for (int i = 1; i < cats; ++i) EXPECT_GT(rates[i], rates[i - 1]);
+  for (double r : rates) EXPECT_GT(r, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DiscreteGammaParam,
+    ::testing::Combine(::testing::Values(0.1, 0.5, 1.0, 2.0, 10.0),
+                       ::testing::Values(2, 4, 8, 16)));
+
+TEST(DiscreteGamma, SingleCategoryIsRateOne) {
+  const auto rates = discreteGammaRates(0.5, 1);
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);
+}
+
+TEST(DiscreteGamma, MedianRuleAlsoNormalized) {
+  const auto rates = discreteGammaRates(0.7, 4, /*useMedian=*/true);
+  const double mean = std::accumulate(rates.begin(), rates.end(), 0.0) / 4.0;
+  EXPECT_NEAR(mean, 1.0, 1e-9);
+}
+
+TEST(DiscreteGamma, HighAlphaApproachesEqualRates) {
+  const auto rates = discreteGammaRates(1000.0, 4);
+  for (double r : rates) EXPECT_NEAR(r, 1.0, 0.05);
+}
+
+TEST(DiscreteGamma, LowAlphaIsStronglySkewed) {
+  const auto rates = discreteGammaRates(0.1, 4);
+  EXPECT_LT(rates[0], 0.01);
+  EXPECT_GT(rates[3], 2.0);
+}
+
+TEST(DiscreteGamma, RejectsInvalidArguments) {
+  EXPECT_THROW(discreteGammaRates(-1.0, 4), Error);
+  EXPECT_THROW(discreteGammaRates(0.5, 0), Error);
+}
+
+}  // namespace
+}  // namespace bgl

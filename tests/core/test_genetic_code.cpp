@@ -1,0 +1,107 @@
+#include "core/genetic_code.h"
+
+#include <gtest/gtest.h>
+
+namespace bgl {
+namespace {
+
+TEST(GeneticCode, SixtyOneSenseCodons) {
+  const auto& code = GeneticCode::universal();
+  EXPECT_EQ(code.senseCodonCount(), 61);
+  int sense = 0, stops = 0;
+  for (int c = 0; c < 64; ++c) {
+    if (code.isStop(c)) {
+      ++stops;
+      EXPECT_EQ(code.senseIndex(c), -1);
+    } else {
+      ++sense;
+    }
+  }
+  EXPECT_EQ(sense, 61);
+  EXPECT_EQ(stops, 3);
+}
+
+TEST(GeneticCode, StopCodonsAreTaaTagTga) {
+  const auto& code = GeneticCode::universal();
+  // TCAG order: T=0, C=1, A=2, G=3.
+  const int taa = 16 * 0 + 4 * 2 + 2;
+  const int tag = 16 * 0 + 4 * 2 + 3;
+  const int tga = 16 * 0 + 4 * 3 + 2;
+  EXPECT_TRUE(code.isStop(taa));
+  EXPECT_TRUE(code.isStop(tag));
+  EXPECT_TRUE(code.isStop(tga));
+  EXPECT_EQ(GeneticCode::codonString(taa), "TAA");
+  EXPECT_EQ(GeneticCode::codonString(tag), "TAG");
+  EXPECT_EQ(GeneticCode::codonString(tga), "TGA");
+}
+
+TEST(GeneticCode, AtgIsMethionine) {
+  const auto& code = GeneticCode::universal();
+  const int atg = 16 * 2 + 4 * 0 + 3;  // A, T, G in TCAG digits
+  EXPECT_EQ(GeneticCode::codonString(atg), "ATG");
+  EXPECT_EQ(code.aminoAcid(atg), 10);  // 'M' in ACDEFGHIKLMNPQRSTVWY
+}
+
+TEST(GeneticCode, TggIsTryptophan) {
+  const auto& code = GeneticCode::universal();
+  const int tgg = 16 * 0 + 4 * 3 + 3;
+  EXPECT_EQ(GeneticCode::codonString(tgg), "TGG");
+  EXPECT_EQ(code.aminoAcid(tgg), 18);  // 'W'
+}
+
+TEST(GeneticCode, SenseIndexRoundTrip) {
+  const auto& code = GeneticCode::universal();
+  for (int i = 0; i < 61; ++i) {
+    const int c64 = code.codon64(i);
+    EXPECT_EQ(code.senseIndex(c64), i);
+    EXPECT_FALSE(code.isStop(c64));
+  }
+}
+
+TEST(GeneticCode, SenseIndicesAreAscending) {
+  const auto& code = GeneticCode::universal();
+  for (int i = 1; i < 61; ++i) {
+    EXPECT_GT(code.codon64(i), code.codon64(i - 1));
+  }
+}
+
+TEST(GeneticCode, NucleotideAtDecodesPositions) {
+  const int codon = 16 * 1 + 4 * 2 + 3;  // C, A, G
+  EXPECT_EQ(GeneticCode::nucleotideAt(codon, 0), 1);
+  EXPECT_EQ(GeneticCode::nucleotideAt(codon, 1), 2);
+  EXPECT_EQ(GeneticCode::nucleotideAt(codon, 2), 3);
+}
+
+TEST(GeneticCode, TransitionClassification) {
+  // T<->C and A<->G are transitions, everything else a transversion.
+  EXPECT_TRUE(GeneticCode::isTransition(0, 1));
+  EXPECT_TRUE(GeneticCode::isTransition(1, 0));
+  EXPECT_TRUE(GeneticCode::isTransition(2, 3));
+  EXPECT_TRUE(GeneticCode::isTransition(3, 2));
+  EXPECT_FALSE(GeneticCode::isTransition(0, 2));
+  EXPECT_FALSE(GeneticCode::isTransition(0, 3));
+  EXPECT_FALSE(GeneticCode::isTransition(1, 2));
+  EXPECT_FALSE(GeneticCode::isTransition(1, 3));
+  EXPECT_FALSE(GeneticCode::isTransition(2, 2));
+}
+
+TEST(GeneticCode, SerineHasSixCodons) {
+  const auto& code = GeneticCode::universal();
+  int count = 0;
+  for (int c = 0; c < 64; ++c) {
+    if (code.aminoAcid(c) == 15) ++count;  // 'S'
+  }
+  EXPECT_EQ(count, 6);
+}
+
+TEST(GeneticCode, LeucineHasSixCodons) {
+  const auto& code = GeneticCode::universal();
+  int count = 0;
+  for (int c = 0; c < 64; ++c) {
+    if (code.aminoAcid(c) == 9) ++count;  // 'L'
+  }
+  EXPECT_EQ(count, 6);
+}
+
+}  // namespace
+}  // namespace bgl

@@ -1,0 +1,165 @@
+#include "core/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/genetic_code.h"
+
+namespace bgl {
+namespace {
+
+void expectValidGenerator(const SubstitutionModel& model) {
+  const int n = model.states();
+  const auto q = model.rateMatrix();
+  const auto& f = model.frequencies();
+
+  // Rows sum to zero; off-diagonals non-negative.
+  for (int i = 0; i < n; ++i) {
+    double rowSum = 0.0;
+    for (int j = 0; j < n; ++j) {
+      rowSum += q[static_cast<std::size_t>(i) * n + j];
+      if (i != j) {
+        EXPECT_GE(q[static_cast<std::size_t>(i) * n + j], 0.0);
+      }
+    }
+    EXPECT_NEAR(rowSum, 0.0, 1e-10);
+  }
+  // Normalization: expected rate 1.
+  double mu = 0.0;
+  for (int i = 0; i < n; ++i) mu -= f[i] * q[static_cast<std::size_t>(i) * n + i];
+  EXPECT_NEAR(mu, 1.0, 1e-10);
+  // Detailed balance: pi_i q_ij == pi_j q_ji.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_NEAR(f[i] * q[static_cast<std::size_t>(i) * n + j],
+                  f[j] * q[static_cast<std::size_t>(j) * n + i], 1e-10);
+    }
+  }
+}
+
+TEST(Models, Jc69IsValid) { expectValidGenerator(JC69Model()); }
+
+TEST(Models, Hky85IsValid) {
+  expectValidGenerator(HKY85Model(3.0, {0.3, 0.25, 0.2, 0.25}));
+}
+
+TEST(Models, GtrIsValid) {
+  expectValidGenerator(GTRModel({1.1, 2.2, 0.6, 0.9, 3.7, 1.0},
+                                {0.28, 0.22, 0.24, 0.26}));
+}
+
+TEST(Models, AminoPoissonIsValid) { expectValidGenerator(AminoAcidModel::poisson()); }
+
+TEST(Models, AminoRandomIsValid) {
+  expectValidGenerator(AminoAcidModel::random(123));
+}
+
+TEST(Models, Gy94IsValid) {
+  expectValidGenerator(GY94CodonModel::equalFrequencies(2.0, 0.5));
+}
+
+TEST(Models, Hky85EqualFreqKappaOneIsJc) {
+  // With kappa=1 and equal frequencies, HKY collapses to JC69.
+  HKY85Model hky(1.0, {0.25, 0.25, 0.25, 0.25});
+  JC69Model jc;
+  const auto q1 = hky.rateMatrix();
+  const auto q2 = jc.rateMatrix();
+  for (int i = 0; i < 16; ++i) EXPECT_NEAR(q1[i], q2[i], 1e-12);
+}
+
+TEST(Models, Hky85TransitionsScaleWithKappa) {
+  HKY85Model model(5.0, {0.25, 0.25, 0.25, 0.25});
+  const auto q = model.rateMatrix();
+  // A->G (transition) vs A->C (transversion) with equal frequencies.
+  EXPECT_NEAR(q[0 * 4 + 2] / q[0 * 4 + 1], 5.0, 1e-10);
+}
+
+TEST(Models, Gy94ForbidsMultiNucleotideChanges) {
+  GY94CodonModel model = GY94CodonModel::equalFrequencies(2.0, 0.5);
+  const auto q = model.rateMatrix();
+  const auto& code = GeneticCode::universal();
+  int zeros = 0, nonzeros = 0;
+  for (int i = 0; i < kCodonStates; ++i) {
+    for (int j = 0; j < kCodonStates; ++j) {
+      if (i == j) continue;
+      const int ci = code.codon64(i);
+      const int cj = code.codon64(j);
+      int diffs = 0;
+      for (int p = 0; p < 3; ++p) {
+        if (GeneticCode::nucleotideAt(ci, p) != GeneticCode::nucleotideAt(cj, p)) {
+          ++diffs;
+        }
+      }
+      const double rate = q[static_cast<std::size_t>(i) * kCodonStates + j];
+      if (diffs > 1) {
+        EXPECT_DOUBLE_EQ(rate, 0.0);
+        ++zeros;
+      } else {
+        EXPECT_GT(rate, 0.0);
+        ++nonzeros;
+      }
+    }
+  }
+  EXPECT_GT(zeros, 0);
+  EXPECT_GT(nonzeros, 0);
+}
+
+TEST(Models, Gy94OmegaSuppressesNonsynonymous) {
+  // omega < 1: nonsynonymous rates scale down relative to synonymous.
+  GY94CodonModel neutral = GY94CodonModel::equalFrequencies(2.0, 1.0);
+  GY94CodonModel purifying = GY94CodonModel::equalFrequencies(2.0, 0.1);
+  const auto& code = GeneticCode::universal();
+  const auto qn = neutral.rateMatrix();
+  const auto qp = purifying.rateMatrix();
+
+  // Find a synonymous and a nonsynonymous single-step pair.
+  int synI = -1, synJ = -1, nonI = -1, nonJ = -1;
+  for (int i = 0; i < kCodonStates && (synI < 0 || nonI < 0); ++i) {
+    for (int j = 0; j < kCodonStates; ++j) {
+      if (i == j || qn[static_cast<std::size_t>(i) * kCodonStates + j] == 0.0) continue;
+      const bool sameAmino =
+          code.aminoAcid(code.codon64(i)) == code.aminoAcid(code.codon64(j));
+      if (sameAmino && synI < 0) {
+        synI = i;
+        synJ = j;
+      }
+      if (!sameAmino && nonI < 0) {
+        nonI = i;
+        nonJ = j;
+      }
+    }
+  }
+  ASSERT_GE(synI, 0);
+  ASSERT_GE(nonI, 0);
+  // Ratio of (nonsyn / syn) drops by the omega factor (up to normalization).
+  const double rn = qn[static_cast<std::size_t>(nonI) * kCodonStates + nonJ] /
+                    qn[static_cast<std::size_t>(synI) * kCodonStates + synJ];
+  const double rp = qp[static_cast<std::size_t>(nonI) * kCodonStates + nonJ] /
+                    qp[static_cast<std::size_t>(synI) * kCodonStates + synJ];
+  EXPECT_NEAR(rp / rn, 0.1, 1e-9);
+}
+
+TEST(Models, RejectsBadParameters) {
+  EXPECT_THROW(HKY85Model(-1.0, {0.25, 0.25, 0.25, 0.25}), Error);
+  EXPECT_THROW(HKY85Model(2.0, {0.5, 0.5, 0.0, 0.0}), Error);
+  EXPECT_THROW(HKY85Model(2.0, {0.3, 0.3, 0.3, 0.3}), Error);  // sum != 1
+  EXPECT_THROW(GTRModel({1, 2, 3}, {0.25, 0.25, 0.25, 0.25}), Error);
+  EXPECT_THROW(GY94CodonModel(2.0, -0.5, std::vector<double>(61, 1.0 / 61)), Error);
+}
+
+TEST(Models, DefaultModelFactory) {
+  EXPECT_EQ(defaultModelForStates(4)->states(), 4);
+  EXPECT_EQ(defaultModelForStates(20)->states(), 20);
+  EXPECT_EQ(defaultModelForStates(61)->states(), 61);
+  EXPECT_THROW(defaultModelForStates(7), Error);
+}
+
+TEST(Models, DefaultModelsAreValidGenerators) {
+  for (int states : {4, 20, 61}) {
+    expectValidGenerator(*defaultModelForStates(states));
+  }
+}
+
+}  // namespace
+}  // namespace bgl

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/defs.h"
+#include "core/patterns.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+
+namespace bgl {
+namespace {
+
+// --- Pattern compression ---------------------------------------------------
+
+TEST(Patterns, CompressesDuplicateColumns) {
+  // 2 taxa, 5 sites, columns: (0,1) (0,1) (2,3) (0,1) (2,2)
+  const std::vector<int> data = {0, 0, 2, 0, 2,   // taxon 0
+                                 1, 1, 3, 1, 2};  // taxon 1
+  const auto ps = compressPatterns(data, 2, 5);
+  EXPECT_EQ(ps.patterns, 3);
+  EXPECT_EQ(ps.originalSites, 5);
+  EXPECT_DOUBLE_EQ(ps.weights[0], 3.0);
+  EXPECT_DOUBLE_EQ(ps.weights[1], 1.0);
+  EXPECT_DOUBLE_EQ(ps.weights[2], 1.0);
+  EXPECT_EQ(ps.at(0, 0), 0);
+  EXPECT_EQ(ps.at(1, 0), 1);
+  EXPECT_EQ(ps.at(0, 1), 2);
+  EXPECT_EQ(ps.at(1, 2), 2);
+}
+
+TEST(Patterns, WeightsSumToSiteCount) {
+  Rng rng(3);
+  const int taxa = 7, sites = 500;
+  std::vector<int> data(taxa * sites);
+  for (auto& v : data) v = rng.belowInt(4);
+  const auto ps = compressPatterns(data, taxa, sites);
+  const double sum = std::accumulate(ps.weights.begin(), ps.weights.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, sites);
+  EXPECT_LE(ps.patterns, sites);
+  EXPECT_GT(ps.patterns, 0);
+}
+
+TEST(Patterns, AllUniqueColumnsPreserved) {
+  // 1 taxon, 4 distinct states -> 4 patterns.
+  const std::vector<int> data = {0, 1, 2, 3};
+  const auto ps = compressPatterns(data, 1, 4);
+  EXPECT_EQ(ps.patterns, 4);
+}
+
+TEST(Patterns, NegativeCodesParticipateInIdentity) {
+  // Ambiguity codes distinguish patterns.
+  const std::vector<int> data = {0, -1, 0, 0, 0, 0};  // 2 taxa x 3 sites
+  const auto ps = compressPatterns(data, 2, 3);
+  EXPECT_EQ(ps.patterns, 2);
+}
+
+TEST(Patterns, RejectsDimensionMismatch) {
+  EXPECT_THROW(compressPatterns(std::vector<int>({0, 1, 2}), 2, 2), Error);
+  EXPECT_THROW(compressPatterns(std::vector<int>(), 0, 0), Error);
+}
+
+TEST(Patterns, FirstOccurrenceOrderPreserved) {
+  const std::vector<int> data = {3, 1, 3, 2};
+  const auto ps = compressPatterns(data, 1, 4);
+  EXPECT_EQ(ps.patterns, 3);
+  EXPECT_EQ(ps.at(0, 0), 3);
+  EXPECT_EQ(ps.at(0, 1), 1);
+  EXPECT_EQ(ps.at(0, 2), 2);
+}
+
+// --- RNG --------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowCoversFullRange) {
+  Rng rng(13);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.belowInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(Rng, GammaMeanMatchesShape) {
+  Rng rng(17);
+  for (double shape : {0.5, 1.0, 3.0}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += rng.gamma(shape);
+    EXPECT_NEAR(sum / n, shape, shape * 0.05) << "shape " << shape;
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(19);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(23);
+  double out[10];
+  rng.dirichlet(2.0, 10, out);
+  double sum = 0.0;
+  for (double v : out) {
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(29);
+  const double w[3] = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w, 3)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.15);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+// --- Thread pool -------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallelFor(100, [&](int i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  int count = 0;
+  pool.parallelFor(0, [&](int) { ++count; });
+  EXPECT_EQ(count, 0);
+  pool.parallelFor(1, [&](int) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPool, SubmitReturnsCompletingFuture) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  auto fut = pool.submit([&] { value.store(42); });
+  fut.get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 200; ++i) {
+    futs.push_back(pool.submit([&] { count.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, MaxWorkersRespectsCap) {
+  // With a cap of 1, only the caller runs: still correct coverage.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(50);
+  pool.parallelFor(50, [&](int i) { hits[i].fetch_add(1); }, 1);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SizeReportsWorkers) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.size(), 5u);
+}
+
+}  // namespace
+}  // namespace bgl

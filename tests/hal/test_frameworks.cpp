@@ -1,0 +1,228 @@
+// Framework-runtime semantics: the CUDA/OpenCL differences the shared-code
+// design has to bridge (Section VII-A), device enumeration, work-group
+// limits, device fission, and timelines.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "clsim/cl_runtime.h"
+#include "cudasim/cuda_device.h"
+#include "kernels/kernels.h"
+#include "perfmodel/device_profiles.h"
+
+namespace bgl {
+namespace {
+
+TEST(CudaRuntime, EnumeratesNvidiaAndHostOnly) {
+  const auto visible = cudasim::visibleDeviceProfiles();
+  const auto& reg = perf::deviceRegistry();
+  for (int r : visible) {
+    const bool nvidia = reg[r].vendor.find("NVIDIA") != std::string::npos;
+    EXPECT_TRUE(nvidia || reg[r].hostMeasured) << reg[r].name;
+  }
+  // The AMD GPUs must not be CUDA-visible.
+  for (int r : visible) {
+    EXPECT_EQ(reg[r].vendor.find("Micro Devices"), std::string::npos);
+  }
+}
+
+TEST(CudaRuntime, RejectsNonCudaDevice) {
+  EXPECT_THROW(cudasim::createDevice(perf::kRadeonR9Nano), Error);
+}
+
+TEST(CudaRuntime, MemcpyRoundTrip) {
+  auto dev = cudasim::createDevice(perf::kHostCpu);
+  auto buf = dev->alloc(1024);
+  std::vector<double> in(128), out(128);
+  for (int i = 0; i < 128; ++i) in[i] = i * 0.5;
+  dev->copyToDevice(*buf, 0, in.data(), 1024);
+  dev->copyToHost(out.data(), *buf, 0, 1024);
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), 1024), 0);
+}
+
+TEST(CudaRuntime, SubRegionByPointerArithmeticAtAnyOffset) {
+  // CUDA-style sub-addressing has no alignment rule.
+  auto dev = cudasim::createDevice(perf::kHostCpu);
+  auto buf = dev->alloc(256);
+  auto view = dev->subBuffer(buf, 13, 100);  // arbitrary odd offset: fine
+  EXPECT_EQ(view->size(), 100u);
+  const char payload[4] = {'a', 'b', 'c', 'd'};
+  dev->copyToDevice(*view, 0, payload, 4);
+  char check[4];
+  dev->copyToHost(check, *buf, 13, 4);
+  EXPECT_EQ(std::memcmp(payload, check, 4), 0);
+}
+
+TEST(CudaRuntime, SubRegionOutOfBoundsThrows) {
+  auto dev = cudasim::createDevice(perf::kHostCpu);
+  auto buf = dev->alloc(64);
+  EXPECT_THROW(dev->subBuffer(buf, 32, 64), Error);
+}
+
+TEST(OpenClRuntime, IcdLoaderExposesMultiplePlatforms) {
+  const auto& platforms = clsim::platforms();
+  EXPECT_GE(platforms.size(), 3u);
+  // Same physical device reachable through more than one driver
+  // (Section VII-B3: driver selection for the same hardware resource).
+  int hostDrivers = 0;
+  for (const auto& p : platforms) {
+    for (int r : p.deviceProfiles) {
+      if (r == perf::kHostCpu) ++hostDrivers;
+    }
+  }
+  EXPECT_GE(hostDrivers, 2);
+}
+
+TEST(OpenClRuntime, VendorDriverPreferredOverGeneric) {
+  auto dev = clsim::createDeviceByProfile(perf::kQuadroP5000);
+  // The vendor driver has multiplier 1.0; the generic one would inflate
+  // the launch overhead beyond the profile's base value.
+  EXPECT_DOUBLE_EQ(dev->profile().launchOverheadUsOpenCl,
+                   perf::deviceRegistry()[perf::kQuadroP5000].launchOverheadUsOpenCl);
+}
+
+TEST(OpenClRuntime, GenericDriverDegradesPerformanceModel) {
+  const clsim::Platform* generic = nullptr;
+  for (const auto& p : clsim::platforms()) {
+    if (p.overheadMultiplier > 1.0) generic = &p;
+  }
+  ASSERT_NE(generic, nullptr);
+  auto dev = clsim::createDevice(*generic, perf::kQuadroP5000);
+  EXPECT_GT(dev->profile().launchOverheadUsOpenCl,
+            perf::deviceRegistry()[perf::kQuadroP5000].launchOverheadUsOpenCl);
+  EXPECT_LT(dev->profile().computeEfficiency,
+            perf::deviceRegistry()[perf::kQuadroP5000].computeEfficiency);
+}
+
+TEST(OpenClRuntime, SubBufferRequiresAlignment) {
+  auto dev = clsim::createDeviceByProfile(perf::kHostCpu);
+  auto buf = dev->alloc(4096);
+  EXPECT_NO_THROW(dev->subBuffer(buf, clsim::kSubBufferAlign, 128));
+  EXPECT_THROW(dev->subBuffer(buf, 13, 128), Error);  // misaligned origin
+}
+
+TEST(OpenClRuntime, SubBufferOfSubBufferRejected) {
+  auto dev = clsim::createDeviceByProfile(perf::kHostCpu);
+  auto buf = dev->alloc(4096);
+  auto sub = dev->subBuffer(buf, 0, 1024);
+  EXPECT_THROW(dev->subBuffer(sub, 128, 128), Error);
+}
+
+TEST(OpenClRuntime, LocalMemoryLimitEnforced) {
+  auto dev = clsim::createDeviceByProfile(perf::kRadeonR9Nano);  // 32 KB local
+  hal::KernelSpec spec;
+  spec.id = hal::KernelId::PartialsPartials;
+  spec.states = 4;
+  spec.variant = hal::KernelVariant::GpuStyle;
+  auto* kernel = dev->getKernel(spec);
+  hal::LaunchDims dims;
+  dims.numGroups = 1;
+  dims.groupSize = 64;
+  dims.localMemBytes = 64 * 1024;  // over the 32 KB limit
+  hal::KernelArgs args;
+  EXPECT_THROW(dev->launch(*kernel, dims, args, {}), Error);
+}
+
+TEST(OpenClRuntime, KernelCacheReturnsSameObject) {
+  auto dev = clsim::createDeviceByProfile(perf::kHostCpu);
+  hal::KernelSpec spec;
+  spec.id = hal::KernelId::ResetScale;
+  spec.states = 4;
+  auto* a = dev->getKernel(spec);
+  auto* b = dev->getKernel(spec);
+  EXPECT_EQ(a, b);
+  spec.singlePrecision = true;
+  EXPECT_NE(dev->getKernel(spec), a);
+}
+
+TEST(OpenClRuntime, TimelineAccumulatesLaunches) {
+  auto dev = clsim::createDeviceByProfile(perf::kHostCpu);
+  hal::KernelSpec spec;
+  spec.id = hal::KernelId::ResetScale;
+  spec.states = 4;
+  auto* kernel = dev->getKernel(spec);
+  auto buf = dev->alloc(128 * sizeof(double));
+  hal::KernelArgs args;
+  args.buffers[0] = buf->data();
+  args.ints[0] = 128;
+  EXPECT_EQ(dev->timeline().kernelLaunches, 0u);
+  dev->launch(*kernel, {1, 1, 0}, args, {});
+  dev->launch(*kernel, {1, 1, 0}, args, {});
+  EXPECT_EQ(dev->timeline().kernelLaunches, 2u);
+  EXPECT_GT(dev->timeline().measuredSeconds, 0.0);
+  // Host device: modeled time mirrors measured time.
+  EXPECT_DOUBLE_EQ(dev->timeline().modeledSeconds, dev->timeline().measuredSeconds);
+  dev->timeline().reset();
+  EXPECT_EQ(dev->timeline().kernelLaunches, 0u);
+}
+
+TEST(OpenClRuntime, ModeledDeviceUsesRoofline) {
+  auto dev = clsim::createDeviceByProfile(perf::kRadeonR9Nano);
+  hal::KernelSpec spec;
+  spec.id = hal::KernelId::ResetScale;
+  spec.states = 4;
+  auto* kernel = dev->getKernel(spec);
+  auto buf = dev->alloc(128 * sizeof(double));
+  hal::KernelArgs args;
+  args.buffers[0] = buf->data();
+  args.ints[0] = 128;
+  perf::LaunchWork work;
+  work.flops = 1e9;  // would take ~0.75 ms at modeled codon efficiency
+  work.bytes = 1e6;
+  dev->launch(*kernel, {1, 1, 0}, args, work);
+  // Modeled time reflects the roofline, not host execution of a tiny loop.
+  EXPECT_GT(dev->timeline().modeledSeconds, 1e-4);
+}
+
+TEST(OpenClRuntime, DeviceFissionRestrictsWorkers) {
+  // Functional check: fission must not change results.
+  auto dev = clsim::createDeviceByProfile(perf::kHostCpu);
+  dev->setFission(1);
+  hal::KernelSpec spec;
+  spec.id = hal::KernelId::ResetScale;
+  spec.states = 4;
+  auto* kernel = dev->getKernel(spec);
+  std::vector<double> ones(64, 1.0);
+  auto buf = dev->alloc(64 * sizeof(double));
+  dev->copyToDevice(*buf, 0, ones.data(), 64 * sizeof(double));
+  hal::KernelArgs args;
+  args.buffers[0] = buf->data();
+  args.ints[0] = 64;
+  dev->launch(*kernel, {1, 1, 0}, args, {});
+  std::vector<double> out(64, -1.0);
+  dev->copyToHost(out.data(), *buf, 0, 64 * sizeof(double));
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Kernels, LookupRejectsBadStateCounts) {
+  hal::KernelSpec spec;
+  spec.id = hal::KernelId::PartialsPartials;
+  spec.states = 1;
+  EXPECT_THROW(kernels::lookupKernel(spec), Error);
+  spec.states = 100;
+  EXPECT_THROW(kernels::lookupKernel(spec), Error);
+}
+
+TEST(Kernels, SharedAcrossFrameworks) {
+  // The two runtimes must resolve the identical kernel function for the
+  // same spec — the "single set of kernels" property.
+  hal::KernelSpec spec;
+  spec.id = hal::KernelId::PartialsPartials;
+  spec.states = 4;
+  spec.variant = hal::KernelVariant::GpuStyle;
+  EXPECT_EQ(kernels::lookupKernel(spec), kernels::lookupKernel(spec));
+  // Variants and precisions are distinct compiled kernels.
+  hal::KernelSpec x86 = spec;
+  x86.variant = hal::KernelVariant::X86Style;
+  EXPECT_NE(kernels::lookupKernel(spec), kernels::lookupKernel(x86));
+}
+
+TEST(Kernels, GpuLocalMemoryRequirement) {
+  EXPECT_EQ(kernels::gpuStyleLocalMemBytes(4, false), 2u * 16 * 8);
+  EXPECT_EQ(kernels::gpuStyleLocalMemBytes(61, true), 2u * 61 * 61 * 4);
+  // Codon double precision exceeds the AMD 32 KB local memory.
+  EXPECT_GT(kernels::gpuStyleLocalMemBytes(61, false), 32u * 1024);
+}
+
+}  // namespace
+}  // namespace bgl

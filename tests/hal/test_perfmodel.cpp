@@ -1,0 +1,169 @@
+// Roofline performance model properties: the qualitative behaviours that
+// generate the paper's figures must hold structurally.
+#include <gtest/gtest.h>
+
+#include "kernels/workload.h"
+#include "perfmodel/device_profiles.h"
+
+namespace bgl::perf {
+namespace {
+
+const DeviceProfile& nano() { return deviceRegistry()[kRadeonR9Nano]; }
+const DeviceProfile& p5000() { return deviceRegistry()[kQuadroP5000]; }
+const DeviceProfile& dualXeon() { return deviceRegistry()[kDualXeonE5]; }
+
+LaunchWork nucleotideWork(int patterns, bool dp = false) {
+  LaunchWork w;
+  w.flops = kernels::partialsFlops(patterns, 4, 4);
+  w.bytes = kernels::partialsBytes(patterns, 4, 4, dp ? 8 : 4);
+  w.workingSetBytes = kernels::partialsWorkingSet(patterns, 4, 4, dp ? 8 : 4);
+  w.fmaFriendly = true;
+  w.doublePrecision = dp;
+  return w;
+}
+
+LaunchWork codonWork(int patterns, bool dp = false) {
+  LaunchWork w;
+  w.flops = kernels::partialsFlops(patterns, 4, 61);
+  w.bytes = kernels::partialsBytes(patterns, 4, 61, dp ? 8 : 4);
+  w.workingSetBytes = kernels::partialsWorkingSet(patterns, 4, 61, dp ? 8 : 4);
+  w.fmaFriendly = true;
+  w.doublePrecision = dp;
+  return w;
+}
+
+double gflopsOf(const DeviceProfile& d, const LaunchWork& w, bool openCl) {
+  return w.flops / modeledKernelSeconds(d, w, openCl) / 1e9;
+}
+
+TEST(DeviceRegistry, ContainsPaperDevices) {
+  const auto& reg = deviceRegistry();
+  ASSERT_GE(reg.size(), 6u);
+  EXPECT_TRUE(reg[kHostCpu].hostMeasured);
+  EXPECT_EQ(reg[kQuadroP5000].name, "NVIDIA Quadro P5000");
+  EXPECT_EQ(reg[kRadeonR9Nano].name, "AMD Radeon R9 Nano");
+  EXPECT_EQ(reg[kFireProS9170].name, "AMD FirePro S9170");
+  EXPECT_EQ(reg[kXeonPhi7210].name, "Intel Xeon Phi 7210");
+}
+
+TEST(DeviceRegistry, TableTwoSpecifications) {
+  // Table II of the paper, verbatim.
+  EXPECT_EQ(p5000().computeUnits, 2560);
+  EXPECT_DOUBLE_EQ(p5000().memoryGb, 16.0);
+  EXPECT_DOUBLE_EQ(p5000().bandwidthGBs, 288.0);
+  EXPECT_DOUBLE_EQ(p5000().spGflops, 8900.0);
+  EXPECT_EQ(nano().computeUnits, 4096);
+  EXPECT_DOUBLE_EQ(nano().memoryGb, 4.0);
+  EXPECT_DOUBLE_EQ(nano().bandwidthGBs, 512.0);
+  EXPECT_DOUBLE_EQ(nano().spGflops, 8192.0);
+  EXPECT_EQ(deviceRegistry()[kFireProS9170].computeUnits, 2816);
+  EXPECT_DOUBLE_EQ(deviceRegistry()[kFireProS9170].memoryGb, 32.0);
+  EXPECT_DOUBLE_EQ(deviceRegistry()[kFireProS9170].bandwidthGBs, 320.0);
+  EXPECT_DOUBLE_EQ(deviceRegistry()[kFireProS9170].spGflops, 5240.0);
+}
+
+TEST(Roofline, ThroughputGrowsThenSaturatesWithProblemSize) {
+  double prev = 0.0;
+  for (int patterns : {100, 1000, 10000, 100000, 1000000}) {
+    const double g = gflopsOf(nano(), nucleotideWork(patterns), true);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+  // Saturation: 10x more work gains little at the top end.
+  const double big = gflopsOf(nano(), nucleotideWork(1000000), true);
+  const double bigger = gflopsOf(nano(), nucleotideWork(10000000), true);
+  EXPECT_LT(bigger / big, 1.05);
+}
+
+TEST(Roofline, SmallProblemsDominatedByLaunchOverhead) {
+  const LaunchWork tiny = nucleotideWork(100);
+  const double seconds = modeledKernelSeconds(nano(), tiny, true);
+  EXPECT_GT(seconds, 0.9 * nano().launchOverheadUsOpenCl * 1e-6);
+  EXPECT_LT(seconds, 2.0 * nano().launchOverheadUsOpenCl * 1e-6);
+}
+
+TEST(Roofline, CudaFasterThanOpenClOnNvidiaAtSmallSizes) {
+  const LaunchWork w = nucleotideWork(1000);
+  EXPECT_LT(modeledKernelSeconds(p5000(), w, false),
+            modeledKernelSeconds(p5000(), w, true));
+}
+
+TEST(Roofline, FrameworkGapVanishesAtLargeSizes) {
+  const LaunchWork w = nucleotideWork(2000000);
+  const double cuda = modeledKernelSeconds(p5000(), w, false);
+  const double opencl = modeledKernelSeconds(p5000(), w, true);
+  EXPECT_LT((opencl - cuda) / cuda, 0.02);
+}
+
+TEST(Roofline, NucleotideIsBandwidthBoundOnGpus) {
+  // At saturation, nucleotide single-precision throughput is set by
+  // bandwidth: R9 Nano (512 GB/s) beats P5000 (288 GB/s) despite lower
+  // peak FLOPS ordering being close.
+  const LaunchWork w = nucleotideWork(1000000);
+  EXPECT_GT(gflopsOf(nano(), w, true), gflopsOf(p5000(), w, true));
+}
+
+TEST(Roofline, CodonIsComputeBound) {
+  // Codon work has ~16x higher arithmetic intensity; throughput at
+  // saturation lands near the compute ceiling, far above the
+  // bandwidth-implied nucleotide ceiling.
+  const double nuc = gflopsOf(nano(), nucleotideWork(500000), true);
+  const double codon = gflopsOf(nano(), codonWork(30000), true);
+  EXPECT_GT(codon, 2.0 * nuc);
+}
+
+TEST(Roofline, CalibratedPeaksMatchPaperFigures) {
+  // Paper Section VIII-A: R9 Nano 444.92 GFLOPS nucleotide @475k patterns;
+  // 1324.19 GFLOPS codon @28,419 patterns (single precision). The model
+  // should land within ~15%.
+  const double nuc = gflopsOf(nano(), nucleotideWork(475081), true);
+  EXPECT_NEAR(nuc, 444.92, 444.92 * 0.15);
+  const double codon = gflopsOf(nano(), codonWork(28419), true);
+  EXPECT_NEAR(codon, 1324.19, 1324.19 * 0.15);
+}
+
+TEST(Roofline, FmaGainLargerInDoublePrecision) {
+  // Table IV: ~1.8%/0.7% gains in single precision (bandwidth-bound), and
+  // ~10-12% in double precision (compute-bound).
+  auto gain = [&](bool dp, int patterns) {
+    LaunchWork with = nucleotideWork(patterns, dp);
+    LaunchWork without = with;
+    without.useFma = false;
+    const double tWith = modeledKernelSeconds(nano(), with, true);
+    const double tWithout = modeledKernelSeconds(nano(), without, true);
+    return (tWithout - tWith) / tWith * 100.0;
+  };
+  const double sp = gain(false, 100000);
+  const double dp = gain(true, 100000);
+  EXPECT_GE(sp, 0.0);
+  EXPECT_LT(sp, 5.0);
+  EXPECT_GT(dp, 5.0);
+  EXPECT_LT(dp, 30.0);
+}
+
+TEST(Roofline, CpuCacheModelMakesThroughputNonMonotonic) {
+  // The dual-Xeon profile peaks when the working set fits in L3 and
+  // declines at very large pattern counts (Section VIII-A1).
+  const double mid = gflopsOf(dualXeon(), nucleotideWork(20000), true);
+  const double small = gflopsOf(dualXeon(), nucleotideWork(500), true);
+  const double large = gflopsOf(dualXeon(), nucleotideWork(500000), true);
+  EXPECT_GT(mid, small);
+  EXPECT_GT(mid, large);
+}
+
+TEST(Roofline, CopyModelHasLatencyAndBandwidthTerms) {
+  const double tiny = modeledCopySeconds(nano(), 64.0);
+  EXPECT_NEAR(tiny, nano().pcieLatencyUs * 1e-6, 1e-7);
+  const double big = modeledCopySeconds(nano(), 1.2e10);
+  EXPECT_GT(big, 0.9);  // ~1 s at 12 GB/s
+}
+
+TEST(Roofline, DoublePrecisionSlowerThanSingle) {
+  const LaunchWork sp = codonWork(20000, false);
+  const LaunchWork dp = codonWork(20000, true);
+  EXPECT_LT(modeledKernelSeconds(nano(), sp, true),
+            modeledKernelSeconds(nano(), dp, true));
+}
+
+}  // namespace
+}  // namespace bgl::perf

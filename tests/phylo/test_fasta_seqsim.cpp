@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/defs.h"
+#include "core/model.h"
+#include "phylo/fasta.h"
+#include "phylo/seqsim.h"
+#include "phylo/tree.h"
+
+namespace bgl::phylo {
+namespace {
+
+// --- FASTA -------------------------------------------------------------------
+
+TEST(Fasta, ParsesRecordsWithWrappedSequences) {
+  const std::string text = ">seq1 description here\nACGT\nACGT\n>seq2\nTTTT\n";
+  const auto records = parseFastaString(text);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "seq1");
+  EXPECT_EQ(records[0].sequence, "ACGTACGT");
+  EXPECT_EQ(records[1].name, "seq2");
+  EXPECT_EQ(records[1].sequence, "TTTT");
+}
+
+TEST(Fasta, RoundTrip) {
+  std::vector<FastaRecord> records = {{"a", std::string(150, 'A')},
+                                      {"b", std::string(150, 'C')}};
+  const auto back = parseFastaString(writeFasta(records));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].sequence, records[0].sequence);
+  EXPECT_EQ(back[1].sequence, records[1].sequence);
+}
+
+TEST(Fasta, HandlesWindowsLineEndings) {
+  const auto records = parseFastaString(">x\r\nACGT\r\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence, "ACGT");
+}
+
+TEST(Fasta, RejectsMalformedInput) {
+  EXPECT_THROW(parseFastaString("ACGT\n"), Error);
+  EXPECT_THROW(parseFastaString(""), Error);
+}
+
+TEST(Fasta, NucleotideEncoding) {
+  EXPECT_EQ(nucleotideState('A'), 0);
+  EXPECT_EQ(nucleotideState('c'), 1);
+  EXPECT_EQ(nucleotideState('G'), 2);
+  EXPECT_EQ(nucleotideState('t'), 3);
+  EXPECT_EQ(nucleotideState('U'), 3);
+  EXPECT_EQ(nucleotideState('N'), -1);
+  EXPECT_EQ(nucleotideState('-'), -1);
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(nucleotideState(nucleotideChar(s)), s);
+}
+
+TEST(Fasta, AminoAcidEncoding) {
+  EXPECT_EQ(aminoAcidState('A'), 0);
+  EXPECT_EQ(aminoAcidState('Y'), 19);
+  EXPECT_EQ(aminoAcidState('X'), -1);
+  for (int s = 0; s < 20; ++s) EXPECT_EQ(aminoAcidState(aminoAcidChar(s)), s);
+}
+
+TEST(Fasta, EncodeAlignmentChecksLengths) {
+  std::vector<FastaRecord> records = {{"a", "ACGT"}, {"b", "ACG"}};
+  int sites = 0;
+  EXPECT_THROW(encodeAlignment(records, nucleotideState, &sites), Error);
+}
+
+TEST(Fasta, CodonEncodingMapsAtgAndStops) {
+  std::vector<FastaRecord> records = {{"a", "ATGTAA"}};
+  int sites = 0;
+  const auto states = encodeCodonAlignment(records, &sites);
+  EXPECT_EQ(sites, 2);
+  EXPECT_GE(states[0], 0);
+  EXPECT_LT(states[0], 61);
+  EXPECT_EQ(states[1], -1);  // TAA is a stop -> ambiguous/invalid
+}
+
+TEST(Fasta, CodonEncodingRejectsBadLength) {
+  std::vector<FastaRecord> records = {{"a", "ACGTA"}};
+  int sites = 0;
+  EXPECT_THROW(encodeCodonAlignment(records, &sites), Error);
+}
+
+TEST(Fasta, DecodeNucleotides) {
+  const int states[4] = {0, 1, 2, 3};
+  EXPECT_EQ(decodeNucleotides(states, 4), "ACGT");
+}
+
+// --- Sequence simulation -----------------------------------------------------
+
+TEST(SeqSim, ProducesValidStateCodes) {
+  Rng rng(21);
+  Tree tree = Tree::random(6, rng);
+  HKY85Model model(2.0, {0.3, 0.25, 0.2, 0.25});
+  const auto alignment = simulateAlignment(tree, model, 200, rng);
+  EXPECT_EQ(alignment.size(), 6u * 200);
+  for (int v : alignment) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 4);
+  }
+}
+
+TEST(SeqSim, TipFrequenciesApproachStationary) {
+  Rng rng(22);
+  Tree tree = Tree::random(4, rng, 0.3);
+  std::vector<double> f = {0.4, 0.3, 0.2, 0.1};
+  HKY85Model model(2.0, f);
+  const int sites = 40000;
+  const auto alignment = simulateAlignment(tree, model, sites, rng);
+  int counts[4] = {};
+  for (int v : alignment) ++counts[v];
+  const double total = 4.0 * sites;
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_NEAR(counts[s] / total, f[s], 0.02) << "state " << s;
+  }
+}
+
+TEST(SeqSim, ShortBranchesPreserveIdentity) {
+  Rng rng(23);
+  Tree tree = Tree::random(5, rng, 1e-6);
+  JC69Model model;
+  const auto alignment = simulateAlignment(tree, model, 300, rng);
+  // With near-zero branch lengths all tips should be identical.
+  for (int k = 0; k < 300; ++k) {
+    for (int t = 1; t < 5; ++t) {
+      EXPECT_EQ(alignment[static_cast<std::size_t>(t) * 300 + k], alignment[k]);
+    }
+  }
+}
+
+TEST(SeqSim, LongBranchesDecorrelateTips) {
+  Rng rng(24);
+  Tree tree = Tree::random(2, rng, 50.0);
+  JC69Model model;
+  const auto alignment = simulateAlignment(tree, model, 10000, rng);
+  int same = 0;
+  for (int k = 0; k < 10000; ++k) {
+    same += alignment[k] == alignment[10000 + k];
+  }
+  // Saturated: ~25% identity.
+  EXPECT_NEAR(same / 10000.0, 0.25, 0.02);
+}
+
+TEST(SeqSim, PatternCompressionIntegration) {
+  Rng rng(25);
+  Tree tree = Tree::random(4, rng, 0.05);
+  JC69Model model;
+  const auto ps = simulatePatterns(tree, model, 5000, rng);
+  EXPECT_EQ(ps.taxa, 4);
+  EXPECT_LT(ps.patterns, 5000);  // duplicates certain at this divergence
+  double sum = 0.0;
+  for (double w : ps.weights) sum += w;
+  EXPECT_DOUBLE_EQ(sum, 5000.0);
+}
+
+TEST(SeqSim, RandomStatesInRange) {
+  Rng rng(26);
+  const auto states = randomStates(3, 100, 61, rng);
+  EXPECT_EQ(states.size(), 300u);
+  for (int v : states) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 61);
+  }
+}
+
+TEST(SeqSim, SiteRatesAffectDivergence) {
+  // Sites simulated at rate ~0 should show no change; high-rate sites
+  // should diverge.
+  Rng rng(27);
+  Tree tree = Tree::random(2, rng, 0.5);
+  JC69Model model;
+  const std::vector<double> rates = {1e-9};
+  const auto frozen = simulateAlignment(tree, model, 500, rng, rates);
+  for (int k = 0; k < 500; ++k) EXPECT_EQ(frozen[k], frozen[500 + k]);
+}
+
+}  // namespace
+}  // namespace bgl::phylo

@@ -1,0 +1,186 @@
+// ML tree search, Robinson-Foulds distances, and IUPAC ambiguity partials.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "api/bglxx.h"
+#include "core/model.h"
+#include "phylo/fasta.h"
+#include "phylo/mlsearch.h"
+#include "phylo/seqsim.h"
+#include "phylo/treedist.h"
+
+namespace bgl::phylo {
+namespace {
+
+// --- Robinson-Foulds ----------------------------------------------------------
+
+TEST(RobinsonFoulds, IdenticalTreesAreDistanceZero) {
+  Rng rng(1);
+  for (int tips : {4, 8, 16}) {
+    Tree tree = Tree::random(tips, rng);
+    EXPECT_EQ(robinsonFouldsDistance(tree, tree), 0);
+  }
+}
+
+TEST(RobinsonFoulds, BranchLengthsDoNotMatter) {
+  Rng rng(2);
+  Tree a = Tree::random(10, rng);
+  Tree b = a;
+  for (int n = 0; n < b.nodeCount(); ++n) {
+    if (n != b.root()) b.node(n).length *= 3.7;
+  }
+  EXPECT_EQ(robinsonFouldsDistance(a, b), 0);
+}
+
+TEST(RobinsonFoulds, SingleNniMovesDistanceByTwo) {
+  Rng rng(3);
+  Tree a = Tree::random(12, rng);
+  Tree b = a;
+  // Keep applying single NNIs until the topology actually changes.
+  do {
+    b = a;
+    ASSERT_TRUE(b.nni(rng));
+  } while (robinsonFouldsDistance(a, b) == 0);
+  // One NNI changes exactly one bipartition.
+  EXPECT_EQ(robinsonFouldsDistance(a, b), 2);
+}
+
+TEST(RobinsonFoulds, SymmetricAndBounded) {
+  Rng rng(4);
+  Tree a = Tree::random(9, rng);
+  Tree b = Tree::random(9, rng);
+  const int ab = robinsonFouldsDistance(a, b);
+  EXPECT_EQ(ab, robinsonFouldsDistance(b, a));
+  EXPECT_GE(ab, 0);
+  EXPECT_LE(ab, robinsonFouldsMax(9));
+}
+
+TEST(RobinsonFoulds, RejectsDifferentTaxonCounts) {
+  Rng rng(5);
+  Tree a = Tree::random(5, rng);
+  Tree b = Tree::random(6, rng);
+  EXPECT_THROW(robinsonFouldsDistance(a, b), Error);
+}
+
+TEST(RobinsonFoulds, TinyTreesHaveNoInternalSplits) {
+  Rng rng(6);
+  Tree a = Tree::random(3, rng);
+  Tree b = Tree::random(3, rng);
+  EXPECT_EQ(robinsonFouldsDistance(a, b), 0);
+  EXPECT_EQ(robinsonFouldsMax(3), 0);
+}
+
+// --- ML search -----------------------------------------------------------------
+
+TEST(MlSearch, ImprovesLikelihoodAndApproachesTruth) {
+  Rng rng(42);
+  const Tree truth = Tree::random(8, rng, 0.15);
+  HKY85Model model(2.0, {0.3, 0.25, 0.2, 0.25});
+  const auto data = simulatePatterns(truth, model, 2000, rng);
+
+  // Start from a random tree far from the truth.
+  Tree start = Tree::random(8, rng, 0.1);
+  MlSearchOptions opts;
+  opts.seed = 7;
+  opts.likelihood.categories = 1;
+  TreeLikelihood startLike(start, model, data, opts.likelihood);
+  const double startLogL = startLike.logLikelihood();
+  TreeLikelihood truthLike(truth, model, data, opts.likelihood);
+  const double truthLogL = truthLike.logLikelihood();
+
+  const auto result = mlSearch(start, model, data, opts);
+  EXPECT_GT(result.logL, startLogL);
+  // The search should reach (or beat, by optimizing branch lengths) the
+  // generating tree's likelihood minus a small slack.
+  EXPECT_GT(result.logL, truthLogL - 20.0);
+  EXPECT_GT(result.evaluations, 0);
+  // And the recovered topology should be closer to the truth than the
+  // random start was.
+  const int before = robinsonFouldsDistance(start, truth);
+  const int after = robinsonFouldsDistance(result.tree, truth);
+  EXPECT_LE(after, before);
+}
+
+TEST(MlSearch, DeterministicForSeed) {
+  Rng rng(50);
+  const Tree truth = Tree::random(6, rng, 0.1);
+  HKY85Model model(2.0, {0.25, 0.25, 0.25, 0.25});
+  const auto data = simulatePatterns(truth, model, 500, rng);
+  Tree start = Tree::random(6, rng, 0.1);
+
+  MlSearchOptions opts;
+  opts.seed = 3;
+  opts.maxRounds = 5;
+  const auto a = mlSearch(start, model, data, opts);
+  const auto b = mlSearch(start, model, data, opts);
+  EXPECT_EQ(a.tree.toNewick(), b.tree.toNewick());
+  EXPECT_DOUBLE_EQ(a.logL, b.logL);
+}
+
+TEST(MlSearch, BranchOnlyRoundsKeepTopology) {
+  Rng rng(60);
+  const Tree truth = Tree::random(5, rng, 0.1);
+  HKY85Model model(2.0, {0.25, 0.25, 0.25, 0.25});
+  const auto data = simulatePatterns(truth, model, 800, rng);
+
+  MlSearchOptions opts;
+  opts.seed = 1;
+  opts.maxRounds = 1;
+  const auto result = mlSearch(truth, model, data, opts);
+  // Starting at the true topology with simulated data, NNIs should not
+  // find a better topology (branch optimization only).
+  EXPECT_EQ(robinsonFouldsDistance(result.tree, truth), 0);
+}
+
+// --- IUPAC ambiguity ------------------------------------------------------------
+
+TEST(Iupac, CodesExpandToCorrectBaseSets) {
+  double p[4];
+  iupacPartials('A', p);
+  EXPECT_EQ(std::vector<double>(p, p + 4), (std::vector<double>{1, 0, 0, 0}));
+  iupacPartials('r', p);  // case-insensitive: A/G
+  EXPECT_EQ(std::vector<double>(p, p + 4), (std::vector<double>{1, 0, 1, 0}));
+  iupacPartials('Y', p);
+  EXPECT_EQ(std::vector<double>(p, p + 4), (std::vector<double>{0, 1, 0, 1}));
+  iupacPartials('B', p);  // not A
+  EXPECT_EQ(std::vector<double>(p, p + 4), (std::vector<double>{0, 1, 1, 1}));
+  iupacPartials('N', p);
+  EXPECT_EQ(std::vector<double>(p, p + 4), (std::vector<double>{1, 1, 1, 1}));
+  iupacPartials('-', p);
+  EXPECT_EQ(std::vector<double>(p, p + 4), (std::vector<double>{1, 1, 1, 1}));
+}
+
+TEST(Iupac, TipPartialsLikelihoodIsSumOverCompatibleStates) {
+  // A two-taxon instance where one tip carries 'R' (A or G): the site
+  // likelihood must equal the sum of the A-version and G-version
+  // likelihoods computed with compact states.
+  const JC69Model model;
+  const auto es = model.eigenSystem();
+
+  auto build = [&](bool usePartials, int code) {
+    bgl::xx::Instance inst(2, 2, 2, 4, 1, 1, 2, 1, 0);
+    inst.setTipStates(0, {1});  // C
+    if (usePartials) {
+      inst.setTipPartials(1, iupacTipPartials("R"));
+    } else {
+      inst.setTipStates(1, {code});
+    }
+    inst.setEigenDecomposition(0, es.evec, es.ivec, es.eval);
+    inst.setStateFrequencies(0, model.frequencies());
+    inst.setCategoryWeights(0, {1.0});
+    inst.setCategoryRates({1.0});
+    inst.setPatternWeights({1.0});
+    inst.updateTransitionMatrices(0, {0, 1}, {0.15, 0.25});
+    inst.updatePartials({BglOperation{2, BGL_OP_NONE, BGL_OP_NONE, 0, 0, 1, 1}});
+    return std::exp(inst.rootLogLikelihood(2));
+  };
+
+  const double ambiguous = build(true, -1);
+  const double asA = build(false, 0);
+  const double asG = build(false, 2);
+  EXPECT_NEAR(ambiguous, asA + asG, 1e-12);
+}
+
+}  // namespace
+}  // namespace bgl::phylo

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/defs.h"
+#include "core/model.h"
+#include "perfmodel/device_profiles.h"
+#include "phylo/nexus.h"
+#include "phylo/partition.h"
+#include "phylo/seqsim.h"
+
+namespace bgl::phylo {
+namespace {
+
+constexpr const char* kSmallNexus = R"(#NEXUS
+[ comment at top ]
+BEGIN DATA;
+  DIMENSIONS NTAX=4 NCHAR=12;
+  FORMAT DATATYPE=DNA GAP=- MISSING=?;
+  MATRIX
+    human    ACGTACGTACGT
+    chimp    ACGTACGTACGA
+    gorilla  ACGTACGAACGT
+    orang    ACG-ACGAACG?
+  ;
+END;
+BEGIN TREES;
+  TRANSLATE 1 human, 2 chimp, 3 gorilla, 4 orang;
+  TREE start = ((1:0.1,2:0.1):0.05,(3:0.2,4:0.25):0.03);
+END;
+)";
+
+TEST(Nexus, ParsesDataBlock) {
+  const auto nexus = parseNexus(kSmallNexus);
+  EXPECT_EQ(nexus.taxa, 4);
+  EXPECT_EQ(nexus.characters, 12);
+  EXPECT_EQ(nexus.dataType, NexusDataType::Dna);
+  ASSERT_EQ(nexus.taxonNames.size(), 4u);
+  EXPECT_EQ(nexus.taxonNames[0], "human");
+  EXPECT_EQ(nexus.sequences[3], "ACG-ACGAACG?");
+}
+
+TEST(Nexus, EncodesStatesWithGapsAndMissing) {
+  const auto nexus = parseNexus(kSmallNexus);
+  const auto states = nexus.encodeStates();
+  ASSERT_EQ(states.size(), 48u);
+  EXPECT_EQ(states[0], 0);                 // A
+  EXPECT_EQ(states[1], 1);                 // C
+  EXPECT_EQ(states[3 * 12 + 3], -1);       // gap in orang
+  EXPECT_EQ(states[3 * 12 + 11], -1);      // missing in orang
+}
+
+TEST(Nexus, ParsesTreesWithTranslateTable) {
+  const auto nexus = parseNexus(kSmallNexus);
+  ASSERT_EQ(nexus.trees.size(), 1u);
+  EXPECT_EQ(nexus.trees[0].first, "start");
+  const Tree& tree = nexus.trees[0].second;
+  EXPECT_EQ(tree.tipCount(), 4);
+  EXPECT_NEAR(tree.totalLength(), 0.1 + 0.1 + 0.05 + 0.2 + 0.25 + 0.03, 1e-9);
+}
+
+TEST(Nexus, InterleavedMatrix) {
+  const char* text = R"(#NEXUS
+BEGIN DATA;
+  DIMENSIONS NTAX=2 NCHAR=8;
+  FORMAT DATATYPE=DNA;
+  MATRIX
+    a ACGT
+    b TTTT
+    a ACGT
+    b CCCC
+  ;
+END;
+)";
+  const auto nexus = parseNexus(text);
+  EXPECT_EQ(nexus.sequences[0], "ACGTACGT");
+  EXPECT_EQ(nexus.sequences[1], "TTTTCCCC");
+}
+
+TEST(Nexus, ProteinDatatype) {
+  const char* text = R"(#NEXUS
+BEGIN DATA;
+  DIMENSIONS NTAX=2 NCHAR=4;
+  FORMAT DATATYPE=PROTEIN;
+  MATRIX
+    a ACDE
+    b WYVK
+  ;
+END;
+)";
+  const auto nexus = parseNexus(text);
+  EXPECT_EQ(nexus.dataType, NexusDataType::Protein);
+  const auto states = nexus.encodeStates();
+  EXPECT_EQ(states[0], 0);   // A
+  EXPECT_EQ(states[4], 18);  // W
+}
+
+TEST(Nexus, RoundTripThroughWriter) {
+  const auto nexus = parseNexus(kSmallNexus);
+  const auto back = parseNexus(writeNexus(nexus));
+  EXPECT_EQ(back.taxa, nexus.taxa);
+  EXPECT_EQ(back.sequences, nexus.sequences);
+  ASSERT_EQ(back.trees.size(), 1u);
+  EXPECT_EQ(back.trees[0].second.toNewick(), nexus.trees[0].second.toNewick());
+}
+
+TEST(Nexus, RejectsMalformedInput) {
+  EXPECT_THROW(parseNexus("not nexus at all"), Error);
+  EXPECT_THROW(parseNexus("#NEXUS BEGIN DATA; MATRIX a ACGT;END;"), Error);
+  // Sequence length mismatch.
+  EXPECT_THROW(parseNexus(R"(#NEXUS
+BEGIN DATA;
+  DIMENSIONS NTAX=2 NCHAR=4;
+  FORMAT DATATYPE=DNA;
+  MATRIX
+    a ACGT
+    b ACG
+  ;
+END;)"),
+               Error);
+}
+
+TEST(Nexus, SkipsUnknownBlocks) {
+  const char* text = R"(#NEXUS
+BEGIN MRBAYES;
+  set autoclose=yes;
+  mcmc ngen=1000;
+END;
+BEGIN DATA;
+  DIMENSIONS NTAX=2 NCHAR=4;
+  FORMAT DATATYPE=DNA;
+  MATRIX
+    a ACGT
+    b ACGT
+  ;
+END;
+)";
+  const auto nexus = parseNexus(text);
+  EXPECT_EQ(nexus.taxa, 2);
+}
+
+// --- Pattern splitting / partitioned analyses --------------------------------
+
+struct SplitFixture {
+  Tree tree;
+  std::unique_ptr<SubstitutionModel> model;
+  PatternSet data;
+
+  SplitFixture() {
+    Rng rng(512);
+    tree = Tree::random(7, rng, 0.1);
+    model = std::make_unique<HKY85Model>(2.0,
+                                         std::vector<double>{0.3, 0.25, 0.2, 0.25});
+    data = simulatePatterns(tree, *model, 600, rng);
+  }
+};
+
+TEST(SplitPatterns, PreservesPatternsAndWeights) {
+  SplitFixture f;
+  const auto shards = splitPatterns(f.data, 3);
+  ASSERT_EQ(shards.size(), 3u);
+  int total = 0;
+  double weight = 0.0;
+  for (const auto& shard : shards) {
+    EXPECT_EQ(shard.taxa, f.data.taxa);
+    total += shard.patterns;
+    for (double w : shard.weights) weight += w;
+  }
+  EXPECT_EQ(total, f.data.patterns);
+  double originalWeight = 0.0;
+  for (double w : f.data.weights) originalWeight += w;
+  EXPECT_DOUBLE_EQ(weight, originalWeight);
+}
+
+TEST(SplitPatterns, MoreShardsThanPatternsClamps) {
+  SplitFixture f;
+  PatternSet tiny = f.data;
+  // keep only 2 patterns
+  tiny.patterns = 2;
+  tiny.weights = {1.0, 2.0};
+  tiny.states.resize(static_cast<std::size_t>(tiny.taxa) * 2);
+  const auto shards = splitPatterns(tiny, 5);
+  EXPECT_EQ(shards.size(), 2u);
+}
+
+TEST(SplitLikelihood, ShardsSumToSingleInstanceValue) {
+  SplitFixture f;
+  LikelihoodOptions base;
+  base.categories = 4;
+  TreeLikelihood whole(f.tree, *f.model, f.data, base);
+  const double reference = whole.logLikelihood();
+
+  // Three shards across three different (framework, resource) combos —
+  // the conclusion's multi-device execution.
+  std::vector<LikelihoodOptions> shardOptions(3, base);
+  shardOptions[0].requirementFlags = BGL_FLAG_FRAMEWORK_CPU;
+  shardOptions[1].requirementFlags = BGL_FLAG_FRAMEWORK_CUDA;
+  shardOptions[1].resources = {perf::kQuadroP5000};
+  shardOptions[2].requirementFlags = BGL_FLAG_FRAMEWORK_OPENCL;
+  shardOptions[2].resources = {perf::kRadeonR9Nano};
+
+  SplitLikelihood split(f.tree, *f.model, f.data, shardOptions);
+  EXPECT_EQ(split.shardCount(), 3);
+  EXPECT_NEAR(split.logLikelihood(f.tree), reference, std::abs(reference) * 1e-9);
+}
+
+TEST(SplitLikelihood, ConcurrentAndSerialAgree) {
+  SplitFixture f;
+  std::vector<LikelihoodOptions> opts(4);
+  SplitLikelihood serial(f.tree, *f.model, f.data, opts, /*concurrent=*/false);
+  SplitLikelihood parallel(f.tree, *f.model, f.data, opts, /*concurrent=*/true);
+  const double a = serial.logLikelihood(f.tree);
+  const double b = parallel.logLikelihood(f.tree);
+  EXPECT_NEAR(a, b, std::abs(a) * 1e-12);
+}
+
+TEST(PartitionedLikelihood, SumsPartitionLikelihoods) {
+  SplitFixture f;
+  Rng rng(99);
+  // Second partition: codon data on the same tree.
+  GY94CodonModel codon = GY94CodonModel::equalFrequencies(2.0, 0.5);
+  auto codonData = simulatePatterns(f.tree, codon, 90, rng);
+
+  LikelihoodOptions nucOpts;
+  LikelihoodOptions codonOpts;
+  codonOpts.categories = 1;
+  codonOpts.useScaling = true;
+
+  TreeLikelihood nucOnly(f.tree, *f.model, f.data, nucOpts);
+  TreeLikelihood codonOnly(f.tree, codon, codonData, codonOpts);
+  const double expected = nucOnly.logLikelihood() + codonOnly.logLikelihood();
+
+  std::vector<PartitionSpec> specs(2);
+  specs[0].data = f.data;
+  specs[0].model = f.model.get();
+  specs[0].options = nucOpts;
+  specs[1].data = codonData;
+  specs[1].model = &codon;
+  specs[1].options = codonOpts;
+  PartitionedLikelihood partitioned(f.tree, specs);
+  EXPECT_EQ(partitioned.partitionCount(), 2);
+  EXPECT_NEAR(partitioned.logLikelihood(f.tree), expected,
+              std::abs(expected) * 1e-9);
+}
+
+TEST(PartitionedLikelihood, RejectsEmptyAndNull) {
+  SplitFixture f;
+  EXPECT_THROW(PartitionedLikelihood(f.tree, {}), Error);
+  std::vector<PartitionSpec> specs(1);
+  specs[0].data = f.data;
+  specs[0].model = nullptr;
+  EXPECT_THROW(PartitionedLikelihood(f.tree, specs), Error);
+}
+
+}  // namespace
+}  // namespace bgl::phylo

@@ -1,0 +1,168 @@
+#include "phylo/tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/defs.h"
+
+namespace bgl::phylo {
+namespace {
+
+TEST(Tree, RandomTreesAreStructurallyValid) {
+  Rng rng(1);
+  for (int tips : {2, 3, 4, 8, 17, 64}) {
+    Tree tree = Tree::random(tips, rng);
+    EXPECT_EQ(tree.tipCount(), tips);
+    EXPECT_EQ(tree.nodeCount(), 2 * tips - 1);
+    EXPECT_NO_THROW(tree.validate());
+  }
+}
+
+TEST(Tree, PostOrderVisitsChildrenFirst) {
+  Rng rng(2);
+  Tree tree = Tree::random(20, rng);
+  const auto order = tree.postOrder();
+  EXPECT_EQ(order.size(), static_cast<std::size_t>(tree.nodeCount()));
+  std::set<int> seen;
+  for (int n : order) {
+    if (!tree.isTip(n)) {
+      EXPECT_TRUE(seen.count(tree.node(n).left));
+      EXPECT_TRUE(seen.count(tree.node(n).right));
+    }
+    seen.insert(n);
+  }
+  EXPECT_EQ(order.back(), tree.root());
+}
+
+TEST(Tree, InternalNodeIdsAreInPostOrder) {
+  Rng rng(3);
+  Tree tree = Tree::random(12, rng);
+  int prev = -1;
+  for (int n : tree.postOrder()) {
+    if (tree.isTip(n)) continue;
+    EXPECT_GT(n, prev);
+    prev = n;
+  }
+}
+
+TEST(Tree, OperationsMatchInternalNodes) {
+  Rng rng(4);
+  Tree tree = Tree::random(10, rng);
+  const auto ops = tree.operations();
+  EXPECT_EQ(ops.size(), 9u);
+  std::set<int> dests;
+  for (const auto& op : ops) {
+    EXPECT_GE(op.destinationPartials, tree.tipCount());
+    EXPECT_EQ(op.child1TransitionMatrix, op.child1Partials);
+    EXPECT_EQ(op.child2TransitionMatrix, op.child2Partials);
+    EXPECT_EQ(op.destinationScaleWrite, BGL_OP_NONE);
+    dests.insert(op.destinationPartials);
+  }
+  EXPECT_EQ(dests.size(), ops.size());
+}
+
+TEST(Tree, OperationsWithScalingUseNodeOffsets) {
+  Rng rng(5);
+  Tree tree = Tree::random(6, rng);
+  const auto ops = tree.operations(/*scaleWrite=*/true);
+  for (const auto& op : ops) {
+    EXPECT_EQ(op.destinationScaleWrite, op.destinationPartials - tree.tipCount());
+  }
+}
+
+TEST(Tree, MatrixUpdatesCoverAllNonRootNodes) {
+  Rng rng(6);
+  Tree tree = Tree::random(9, rng);
+  std::vector<int> nodes;
+  std::vector<double> lengths;
+  tree.matrixUpdates(nodes, lengths);
+  EXPECT_EQ(nodes.size(), static_cast<std::size_t>(tree.nodeCount() - 1));
+  EXPECT_EQ(nodes.size(), lengths.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_NE(nodes[i], tree.root());
+    EXPECT_DOUBLE_EQ(lengths[i], tree.node(nodes[i]).length);
+  }
+}
+
+TEST(Tree, NewickRoundTripPreservesStructure) {
+  Rng rng(7);
+  for (int tips : {3, 5, 11}) {
+    Tree tree = Tree::random(tips, rng);
+    Tree back = Tree::fromNewick(tree.toNewick());
+    EXPECT_EQ(back.tipCount(), tips);
+    EXPECT_NO_THROW(back.validate());
+    // Serialization is canonical under the node renumbering, so a second
+    // round trip must be a fixed point.
+    EXPECT_EQ(back.toNewick(), Tree::fromNewick(back.toNewick()).toNewick());
+    EXPECT_NEAR(back.totalLength(), tree.totalLength(), 1e-9);
+  }
+}
+
+TEST(Tree, ParsesHandWrittenNewick) {
+  Tree tree = Tree::fromNewick("((t0:0.1,t1:0.2):0.05,t2:0.3);");
+  EXPECT_EQ(tree.tipCount(), 3);
+  EXPECT_DOUBLE_EQ(tree.node(0).length, 0.1);
+  EXPECT_DOUBLE_EQ(tree.node(1).length, 0.2);
+  EXPECT_DOUBLE_EQ(tree.node(2).length, 0.3);
+  const int inner = tree.node(tree.root()).left == 2 ? tree.node(tree.root()).right
+                                                     : tree.node(tree.root()).left;
+  EXPECT_DOUBLE_EQ(tree.node(inner).length, 0.05);
+}
+
+TEST(Tree, RejectsMalformedNewick) {
+  EXPECT_THROW(Tree::fromNewick("(t0:0.1,t1"), Error);
+  EXPECT_THROW(Tree::fromNewick("(alpha,beta);"), Error);
+  EXPECT_THROW(Tree::fromNewick(""), Error);
+}
+
+TEST(Tree, NniPreservesValidityAndTipSet) {
+  Rng rng(8);
+  Tree tree = Tree::random(12, rng);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree.nni(rng));
+    EXPECT_NO_THROW(tree.validate());
+    EXPECT_EQ(tree.tipCount(), 12);
+  }
+}
+
+TEST(Tree, NniEventuallyChangesTopology) {
+  Rng rng(9);
+  Tree tree = Tree::random(8, rng);
+  const std::string before = tree.toNewick();
+  bool changed = false;
+  for (int i = 0; i < 10 && !changed; ++i) {
+    tree.nni(rng);
+    changed = tree.toNewick() != before;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Tree, NniRefusesTinyTrees) {
+  Rng rng(10);
+  Tree tree = Tree::random(3, rng);
+  EXPECT_FALSE(tree.nni(rng));
+}
+
+TEST(Tree, TotalLengthSumsBranches) {
+  Tree tree = Tree::fromNewick("((t0:1,t1:2):4,t2:8);");
+  EXPECT_DOUBLE_EQ(tree.totalLength(), 15.0);
+}
+
+TEST(Tree, RandomRejectsDegenerateInput) {
+  Rng rng(11);
+  EXPECT_THROW(Tree::random(1, rng), Error);
+}
+
+TEST(Tree, BranchLengthsArePositive) {
+  Rng rng(12);
+  Tree tree = Tree::random(30, rng, 0.25);
+  for (int n = 0; n < tree.nodeCount(); ++n) {
+    if (n != tree.root()) {
+      EXPECT_GT(tree.node(n).length, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bgl::phylo

@@ -1,0 +1,131 @@
+// Shared helpers for the test suite: reference (independent-path)
+// likelihood computations and dataset builders.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "core/gamma.h"
+#include "core/model.h"
+#include "core/patterns.h"
+#include "core/rng.h"
+#include "core/transition.h"
+#include "phylo/seqsim.h"
+#include "phylo/tree.h"
+
+namespace bgl::test {
+
+/// Reference log-likelihood by direct Felsenstein recursion in double
+/// precision, using the host-side transitionMatrix() (a code path disjoint
+/// from both the CPU implementations' Cijk scheme and the shared kernels).
+inline double referenceLogLikelihood(const phylo::Tree& tree,
+                                     const SubstitutionModel& model,
+                                     const PatternSet& data, int categories,
+                                     double alpha) {
+  const int s = model.states();
+  const auto es = model.eigenSystem();
+  const auto rates = categories > 1 ? discreteGammaRates(alpha, categories)
+                                    : std::vector<double>{1.0};
+  const auto& freqs = model.frequencies();
+
+  std::vector<std::vector<double>> pmats(tree.nodeCount());
+  auto matFor = [&](int node, int cat) -> std::vector<double> {
+    return transitionMatrix(es, tree.node(node).length, rates[cat]);
+  };
+
+  double total = 0.0;
+  for (int k = 0; k < data.patterns; ++k) {
+    double siteLik = 0.0;
+    for (int c = 0; c < categories; ++c) {
+      // partial[node][state]
+      std::vector<std::vector<double>> partial(tree.nodeCount(),
+                                               std::vector<double>(s, 0.0));
+      for (int n : tree.postOrder()) {
+        if (tree.isTip(n)) {
+          const int code = data.at(n, k);
+          for (int i = 0; i < s; ++i) {
+            partial[n][i] =
+                (code < 0 || code >= s) ? 1.0 : (i == code ? 1.0 : 0.0);
+          }
+          continue;
+        }
+        const int l = tree.node(n).left;
+        const int r = tree.node(n).right;
+        const auto pl = matFor(l, c);
+        const auto pr = matFor(r, c);
+        for (int i = 0; i < s; ++i) {
+          double suml = 0.0, sumr = 0.0;
+          for (int j = 0; j < s; ++j) {
+            suml += pl[static_cast<std::size_t>(i) * s + j] * partial[l][j];
+            sumr += pr[static_cast<std::size_t>(i) * s + j] * partial[r][j];
+          }
+          partial[n][i] = suml * sumr;
+        }
+      }
+      double rootSum = 0.0;
+      for (int i = 0; i < s; ++i) rootSum += freqs[i] * partial[tree.root()][i];
+      siteLik += rootSum / categories;
+    }
+    total += data.weights[k] * std::log(siteLik);
+  }
+  (void)pmats;
+  return total;
+}
+
+/// Brute-force likelihood for a nucleotide pattern by explicit summation
+/// over all internal-node state assignments (exponential; tiny trees only).
+inline double bruteForceSiteLikelihood(const phylo::Tree& tree,
+                                       const SubstitutionModel& model,
+                                       const std::vector<int>& tipStates,
+                                       double rate = 1.0) {
+  const int s = model.states();
+  const auto es = model.eigenSystem();
+  const auto& freqs = model.frequencies();
+  const int internals = tree.nodeCount() - tree.tipCount();
+
+  std::vector<std::vector<double>> pmats(tree.nodeCount());
+  for (int n = 0; n < tree.nodeCount(); ++n) {
+    if (n != tree.root()) pmats[n] = transitionMatrix(es, tree.node(n).length, rate);
+  }
+
+  double total = 0.0;
+  std::vector<int> assign(internals, 0);
+  const long combos = static_cast<long>(std::pow(s, internals));
+  for (long combo = 0; combo < combos; ++combo) {
+    long rem = combo;
+    for (int i = 0; i < internals; ++i) {
+      assign[i] = static_cast<int>(rem % s);
+      rem /= s;
+    }
+    auto stateOf = [&](int node) {
+      return tree.isTip(node) ? tipStates[node] : assign[node - tree.tipCount()];
+    };
+    double prob = freqs[stateOf(tree.root())];
+    for (int n = 0; n < tree.nodeCount(); ++n) {
+      if (n == tree.root()) continue;
+      const int parentState = stateOf(tree.node(n).parent);
+      prob *= pmats[n][static_cast<std::size_t>(parentState) * s + stateOf(n)];
+    }
+    total += prob;
+  }
+  return total;
+}
+
+/// Simulated nucleotide dataset plus matching tree and model.
+struct SmallProblem {
+  phylo::Tree tree;
+  std::unique_ptr<SubstitutionModel> model;
+  PatternSet data;
+};
+
+inline SmallProblem makeNucleotideProblem(int taxa, int sites, unsigned seed) {
+  SmallProblem p;
+  Rng rng(seed);
+  p.tree = phylo::Tree::random(taxa, rng, 0.12);
+  std::vector<double> f = {0.3, 0.25, 0.2, 0.25};
+  p.model = std::make_unique<HKY85Model>(2.5, f);
+  p.data = phylo::simulatePatterns(p.tree, *p.model, sites, rng);
+  return p;
+}
+
+}  // namespace bgl::test

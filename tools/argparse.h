@@ -1,0 +1,59 @@
+// Minimal argument parsing for the command-line tools.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bgl::tools {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+          values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          values_[arg.substr(2)] = argv[++i];
+        } else {
+          values_[arg.substr(2)] = "1";  // boolean flag
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int getInt(const std::string& key, int fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+
+  double getDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bgl::tools
