@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_threading.cpp" "bench/CMakeFiles/bench_table3_threading.dir/bench_table3_threading.cpp.o" "gcc" "bench/CMakeFiles/bench_table3_threading.dir/bench_table3_threading.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bgl_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc3/CMakeFiles/bgl_mc3.dir/DependInfo.cmake"
+  "/root/repo/build/src/phylo/CMakeFiles/bgl_phylo.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/bgl_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bgl_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/bgl_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/bgl_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bgl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/bgl_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/bgl_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudasim/CMakeFiles/bgl_cudasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clsim/CMakeFiles/bgl_clsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_fma.dir/bench_table4_fma.cpp.o"
+  "CMakeFiles/bench_table4_fma.dir/bench_table4_fma.cpp.o.d"
+  "bench_table4_fma"
+  "bench_table4_fma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_fma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_workgroup.dir/bench_table5_workgroup.cpp.o"
+  "CMakeFiles/bench_table5_workgroup.dir/bench_table5_workgroup.cpp.o.d"
+  "bench_table5_workgroup"
+  "bench_table5_workgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_workgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bayesian_mc3.dir/bayesian_mc3.cpp.o"
+  "CMakeFiles/bayesian_mc3.dir/bayesian_mc3.cpp.o.d"
+  "bayesian_mc3"
+  "bayesian_mc3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bayesian_mc3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

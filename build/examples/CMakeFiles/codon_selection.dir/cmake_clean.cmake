@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codon_selection.dir/codon_selection.cpp.o"
+  "CMakeFiles/codon_selection.dir/codon_selection.cpp.o.d"
+  "codon_selection"
+  "codon_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codon_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

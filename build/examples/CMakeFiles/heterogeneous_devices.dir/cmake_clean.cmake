@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_devices.dir/heterogeneous_devices.cpp.o"
+  "CMakeFiles/heterogeneous_devices.dir/heterogeneous_devices.cpp.o.d"
+  "heterogeneous_devices"
+  "heterogeneous_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

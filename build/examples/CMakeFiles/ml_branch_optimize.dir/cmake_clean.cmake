@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_branch_optimize.dir/ml_branch_optimize.cpp.o"
+  "CMakeFiles/ml_branch_optimize.dir/ml_branch_optimize.cpp.o.d"
+  "ml_branch_optimize"
+  "ml_branch_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_branch_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

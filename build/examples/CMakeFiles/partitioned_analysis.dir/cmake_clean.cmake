@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_analysis.dir/partitioned_analysis.cpp.o"
+  "CMakeFiles/partitioned_analysis.dir/partitioned_analysis.cpp.o.d"
+  "partitioned_analysis"
+  "partitioned_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

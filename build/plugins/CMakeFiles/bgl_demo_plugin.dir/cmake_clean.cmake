@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_demo_plugin.dir/demo_plugin.cpp.o"
+  "CMakeFiles/bgl_demo_plugin.dir/demo_plugin.cpp.o.d"
+  "bgl_demo_plugin.pdb"
+  "bgl_demo_plugin.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_demo_plugin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

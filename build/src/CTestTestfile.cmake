@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("hal")
+subdirs("perfmodel")
+subdirs("kernels")
+subdirs("cudasim")
+subdirs("clsim")
+subdirs("cpu")
+subdirs("accel")
+subdirs("api")
+subdirs("phylo")
+subdirs("mc3")
+subdirs("harness")

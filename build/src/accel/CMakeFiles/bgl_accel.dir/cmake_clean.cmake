@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_accel.dir/accel_factories.cpp.o"
+  "CMakeFiles/bgl_accel.dir/accel_factories.cpp.o.d"
+  "libbgl_accel.a"
+  "libbgl_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

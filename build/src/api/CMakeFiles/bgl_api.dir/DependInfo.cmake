@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/c_api.cpp" "src/api/CMakeFiles/bgl_api.dir/c_api.cpp.o" "gcc" "src/api/CMakeFiles/bgl_api.dir/c_api.cpp.o.d"
+  "/root/repo/src/api/plugin.cpp" "src/api/CMakeFiles/bgl_api.dir/plugin.cpp.o" "gcc" "src/api/CMakeFiles/bgl_api.dir/plugin.cpp.o.d"
+  "/root/repo/src/api/registry.cpp" "src/api/CMakeFiles/bgl_api.dir/registry.cpp.o" "gcc" "src/api/CMakeFiles/bgl_api.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bgl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/bgl_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/bgl_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/bgl_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudasim/CMakeFiles/bgl_cudasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clsim/CMakeFiles/bgl_clsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bgl_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/bgl_hal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_api.dir/c_api.cpp.o"
+  "CMakeFiles/bgl_api.dir/c_api.cpp.o.d"
+  "CMakeFiles/bgl_api.dir/plugin.cpp.o"
+  "CMakeFiles/bgl_api.dir/plugin.cpp.o.d"
+  "CMakeFiles/bgl_api.dir/registry.cpp.o"
+  "CMakeFiles/bgl_api.dir/registry.cpp.o.d"
+  "libbgl_api.a"
+  "libbgl_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clsim/cl_runtime.cpp" "src/clsim/CMakeFiles/bgl_clsim.dir/cl_runtime.cpp.o" "gcc" "src/clsim/CMakeFiles/bgl_clsim.dir/cl_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hal/CMakeFiles/bgl_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bgl_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/bgl_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bgl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_clsim.dir/cl_runtime.cpp.o"
+  "CMakeFiles/bgl_clsim.dir/cl_runtime.cpp.o.d"
+  "libbgl_clsim.a"
+  "libbgl_clsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_clsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/eigen.cpp" "src/core/CMakeFiles/bgl_core.dir/eigen.cpp.o" "gcc" "src/core/CMakeFiles/bgl_core.dir/eigen.cpp.o.d"
+  "/root/repo/src/core/gamma.cpp" "src/core/CMakeFiles/bgl_core.dir/gamma.cpp.o" "gcc" "src/core/CMakeFiles/bgl_core.dir/gamma.cpp.o.d"
+  "/root/repo/src/core/genetic_code.cpp" "src/core/CMakeFiles/bgl_core.dir/genetic_code.cpp.o" "gcc" "src/core/CMakeFiles/bgl_core.dir/genetic_code.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/bgl_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/bgl_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/patterns.cpp" "src/core/CMakeFiles/bgl_core.dir/patterns.cpp.o" "gcc" "src/core/CMakeFiles/bgl_core.dir/patterns.cpp.o.d"
+  "/root/repo/src/core/thread_pool.cpp" "src/core/CMakeFiles/bgl_core.dir/thread_pool.cpp.o" "gcc" "src/core/CMakeFiles/bgl_core.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_core.dir/eigen.cpp.o"
+  "CMakeFiles/bgl_core.dir/eigen.cpp.o.d"
+  "CMakeFiles/bgl_core.dir/gamma.cpp.o"
+  "CMakeFiles/bgl_core.dir/gamma.cpp.o.d"
+  "CMakeFiles/bgl_core.dir/genetic_code.cpp.o"
+  "CMakeFiles/bgl_core.dir/genetic_code.cpp.o.d"
+  "CMakeFiles/bgl_core.dir/model.cpp.o"
+  "CMakeFiles/bgl_core.dir/model.cpp.o.d"
+  "CMakeFiles/bgl_core.dir/patterns.cpp.o"
+  "CMakeFiles/bgl_core.dir/patterns.cpp.o.d"
+  "CMakeFiles/bgl_core.dir/thread_pool.cpp.o"
+  "CMakeFiles/bgl_core.dir/thread_pool.cpp.o.d"
+  "libbgl_core.a"
+  "libbgl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

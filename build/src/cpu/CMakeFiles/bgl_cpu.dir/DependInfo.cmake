@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/avx_kernels.cpp" "src/cpu/CMakeFiles/bgl_cpu.dir/avx_kernels.cpp.o" "gcc" "src/cpu/CMakeFiles/bgl_cpu.dir/avx_kernels.cpp.o.d"
+  "/root/repo/src/cpu/cpu_factories.cpp" "src/cpu/CMakeFiles/bgl_cpu.dir/cpu_factories.cpp.o" "gcc" "src/cpu/CMakeFiles/bgl_cpu.dir/cpu_factories.cpp.o.d"
+  "/root/repo/src/cpu/cpuid.cpp" "src/cpu/CMakeFiles/bgl_cpu.dir/cpuid.cpp.o" "gcc" "src/cpu/CMakeFiles/bgl_cpu.dir/cpuid.cpp.o.d"
+  "/root/repo/src/cpu/sse_kernels.cpp" "src/cpu/CMakeFiles/bgl_cpu.dir/sse_kernels.cpp.o" "gcc" "src/cpu/CMakeFiles/bgl_cpu.dir/sse_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bgl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/bgl_perfmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_cpu.dir/avx_kernels.cpp.o"
+  "CMakeFiles/bgl_cpu.dir/avx_kernels.cpp.o.d"
+  "CMakeFiles/bgl_cpu.dir/cpu_factories.cpp.o"
+  "CMakeFiles/bgl_cpu.dir/cpu_factories.cpp.o.d"
+  "CMakeFiles/bgl_cpu.dir/cpuid.cpp.o"
+  "CMakeFiles/bgl_cpu.dir/cpuid.cpp.o.d"
+  "CMakeFiles/bgl_cpu.dir/sse_kernels.cpp.o"
+  "CMakeFiles/bgl_cpu.dir/sse_kernels.cpp.o.d"
+  "libbgl_cpu.a"
+  "libbgl_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_cudasim.dir/cuda_device.cpp.o"
+  "CMakeFiles/bgl_cudasim.dir/cuda_device.cpp.o.d"
+  "libbgl_cudasim.a"
+  "libbgl_cudasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_cudasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

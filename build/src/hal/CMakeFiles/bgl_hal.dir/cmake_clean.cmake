@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_hal.dir/workgroup_executor.cpp.o"
+  "CMakeFiles/bgl_hal.dir/workgroup_executor.cpp.o.d"
+  "libbgl_hal.a"
+  "libbgl_hal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_hal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

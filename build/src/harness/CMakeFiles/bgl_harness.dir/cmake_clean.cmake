@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_harness.dir/genomictest.cpp.o"
+  "CMakeFiles/bgl_harness.dir/genomictest.cpp.o.d"
+  "libbgl_harness.a"
+  "libbgl_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

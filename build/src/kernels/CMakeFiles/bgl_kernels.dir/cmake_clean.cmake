@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_kernels.dir/registry.cpp.o"
+  "CMakeFiles/bgl_kernels.dir/registry.cpp.o.d"
+  "libbgl_kernels.a"
+  "libbgl_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_mc3.dir/evaluator.cpp.o"
+  "CMakeFiles/bgl_mc3.dir/evaluator.cpp.o.d"
+  "CMakeFiles/bgl_mc3.dir/mc3.cpp.o"
+  "CMakeFiles/bgl_mc3.dir/mc3.cpp.o.d"
+  "libbgl_mc3.a"
+  "libbgl_mc3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_mc3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_perfmodel.dir/device_profiles.cpp.o"
+  "CMakeFiles/bgl_perfmodel.dir/device_profiles.cpp.o.d"
+  "libbgl_perfmodel.a"
+  "libbgl_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

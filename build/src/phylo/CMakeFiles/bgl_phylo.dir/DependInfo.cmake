@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phylo/fasta.cpp" "src/phylo/CMakeFiles/bgl_phylo.dir/fasta.cpp.o" "gcc" "src/phylo/CMakeFiles/bgl_phylo.dir/fasta.cpp.o.d"
+  "/root/repo/src/phylo/likelihood.cpp" "src/phylo/CMakeFiles/bgl_phylo.dir/likelihood.cpp.o" "gcc" "src/phylo/CMakeFiles/bgl_phylo.dir/likelihood.cpp.o.d"
+  "/root/repo/src/phylo/mlsearch.cpp" "src/phylo/CMakeFiles/bgl_phylo.dir/mlsearch.cpp.o" "gcc" "src/phylo/CMakeFiles/bgl_phylo.dir/mlsearch.cpp.o.d"
+  "/root/repo/src/phylo/nexus.cpp" "src/phylo/CMakeFiles/bgl_phylo.dir/nexus.cpp.o" "gcc" "src/phylo/CMakeFiles/bgl_phylo.dir/nexus.cpp.o.d"
+  "/root/repo/src/phylo/partition.cpp" "src/phylo/CMakeFiles/bgl_phylo.dir/partition.cpp.o" "gcc" "src/phylo/CMakeFiles/bgl_phylo.dir/partition.cpp.o.d"
+  "/root/repo/src/phylo/seqsim.cpp" "src/phylo/CMakeFiles/bgl_phylo.dir/seqsim.cpp.o" "gcc" "src/phylo/CMakeFiles/bgl_phylo.dir/seqsim.cpp.o.d"
+  "/root/repo/src/phylo/tree.cpp" "src/phylo/CMakeFiles/bgl_phylo.dir/tree.cpp.o" "gcc" "src/phylo/CMakeFiles/bgl_phylo.dir/tree.cpp.o.d"
+  "/root/repo/src/phylo/treedist.cpp" "src/phylo/CMakeFiles/bgl_phylo.dir/treedist.cpp.o" "gcc" "src/phylo/CMakeFiles/bgl_phylo.dir/treedist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bgl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/bgl_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/bgl_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/bgl_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudasim/CMakeFiles/bgl_cudasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clsim/CMakeFiles/bgl_clsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bgl_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/bgl_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/bgl_perfmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_phylo.dir/fasta.cpp.o"
+  "CMakeFiles/bgl_phylo.dir/fasta.cpp.o.d"
+  "CMakeFiles/bgl_phylo.dir/likelihood.cpp.o"
+  "CMakeFiles/bgl_phylo.dir/likelihood.cpp.o.d"
+  "CMakeFiles/bgl_phylo.dir/mlsearch.cpp.o"
+  "CMakeFiles/bgl_phylo.dir/mlsearch.cpp.o.d"
+  "CMakeFiles/bgl_phylo.dir/nexus.cpp.o"
+  "CMakeFiles/bgl_phylo.dir/nexus.cpp.o.d"
+  "CMakeFiles/bgl_phylo.dir/partition.cpp.o"
+  "CMakeFiles/bgl_phylo.dir/partition.cpp.o.d"
+  "CMakeFiles/bgl_phylo.dir/seqsim.cpp.o"
+  "CMakeFiles/bgl_phylo.dir/seqsim.cpp.o.d"
+  "CMakeFiles/bgl_phylo.dir/tree.cpp.o"
+  "CMakeFiles/bgl_phylo.dir/tree.cpp.o.d"
+  "CMakeFiles/bgl_phylo.dir/treedist.cpp.o"
+  "CMakeFiles/bgl_phylo.dir/treedist.cpp.o.d"
+  "libbgl_phylo.a"
+  "libbgl_phylo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_phylo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_api.dir/api/test_accel_paths.cpp.o"
+  "CMakeFiles/unit_api.dir/api/test_accel_paths.cpp.o.d"
+  "CMakeFiles/unit_api.dir/api/test_api_basic.cpp.o"
+  "CMakeFiles/unit_api.dir/api/test_api_basic.cpp.o.d"
+  "CMakeFiles/unit_api.dir/api/test_cpu_behaviors.cpp.o"
+  "CMakeFiles/unit_api.dir/api/test_cpu_behaviors.cpp.o.d"
+  "CMakeFiles/unit_api.dir/api/test_cross_impl.cpp.o"
+  "CMakeFiles/unit_api.dir/api/test_cross_impl.cpp.o.d"
+  "CMakeFiles/unit_api.dir/api/test_derivatives_scaling.cpp.o"
+  "CMakeFiles/unit_api.dir/api/test_derivatives_scaling.cpp.o.d"
+  "CMakeFiles/unit_api.dir/api/test_likelihood_correct.cpp.o"
+  "CMakeFiles/unit_api.dir/api/test_likelihood_correct.cpp.o.d"
+  "unit_api"
+  "unit_api.pdb"
+  "unit_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

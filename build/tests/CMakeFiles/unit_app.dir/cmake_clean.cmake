@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_app.dir/app/test_mc3_harness.cpp.o"
+  "CMakeFiles/unit_app.dir/app/test_mc3_harness.cpp.o.d"
+  "unit_app"
+  "unit_app.pdb"
+  "unit_app[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

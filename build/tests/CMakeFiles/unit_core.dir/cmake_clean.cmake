@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_core.dir/core/test_eigen.cpp.o"
+  "CMakeFiles/unit_core.dir/core/test_eigen.cpp.o.d"
+  "CMakeFiles/unit_core.dir/core/test_extended_models.cpp.o"
+  "CMakeFiles/unit_core.dir/core/test_extended_models.cpp.o.d"
+  "CMakeFiles/unit_core.dir/core/test_gamma.cpp.o"
+  "CMakeFiles/unit_core.dir/core/test_gamma.cpp.o.d"
+  "CMakeFiles/unit_core.dir/core/test_genetic_code.cpp.o"
+  "CMakeFiles/unit_core.dir/core/test_genetic_code.cpp.o.d"
+  "CMakeFiles/unit_core.dir/core/test_models.cpp.o"
+  "CMakeFiles/unit_core.dir/core/test_models.cpp.o.d"
+  "CMakeFiles/unit_core.dir/core/test_patterns_rng_pool.cpp.o"
+  "CMakeFiles/unit_core.dir/core/test_patterns_rng_pool.cpp.o.d"
+  "unit_core"
+  "unit_core.pdb"
+  "unit_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_hal.dir/hal/test_frameworks.cpp.o"
+  "CMakeFiles/unit_hal.dir/hal/test_frameworks.cpp.o.d"
+  "CMakeFiles/unit_hal.dir/hal/test_kernel_properties.cpp.o"
+  "CMakeFiles/unit_hal.dir/hal/test_kernel_properties.cpp.o.d"
+  "CMakeFiles/unit_hal.dir/hal/test_perfmodel.cpp.o"
+  "CMakeFiles/unit_hal.dir/hal/test_perfmodel.cpp.o.d"
+  "unit_hal"
+  "unit_hal.pdb"
+  "unit_hal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_hal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

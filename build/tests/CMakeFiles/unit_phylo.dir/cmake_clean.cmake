@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_phylo.dir/phylo/test_fasta_seqsim.cpp.o"
+  "CMakeFiles/unit_phylo.dir/phylo/test_fasta_seqsim.cpp.o.d"
+  "CMakeFiles/unit_phylo.dir/phylo/test_mlsearch_treedist.cpp.o"
+  "CMakeFiles/unit_phylo.dir/phylo/test_mlsearch_treedist.cpp.o.d"
+  "CMakeFiles/unit_phylo.dir/phylo/test_nexus_partition.cpp.o"
+  "CMakeFiles/unit_phylo.dir/phylo/test_nexus_partition.cpp.o.d"
+  "CMakeFiles/unit_phylo.dir/phylo/test_tree.cpp.o"
+  "CMakeFiles/unit_phylo.dir/phylo/test_tree.cpp.o.d"
+  "unit_phylo"
+  "unit_phylo.pdb"
+  "unit_phylo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_phylo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

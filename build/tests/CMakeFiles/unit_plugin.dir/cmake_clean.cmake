@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_plugin.dir/api/test_plugin_bglxx.cpp.o"
+  "CMakeFiles/unit_plugin.dir/api/test_plugin_bglxx.cpp.o.d"
+  "unit_plugin"
+  "unit_plugin.pdb"
+  "unit_plugin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_plugin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

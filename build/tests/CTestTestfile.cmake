@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/unit_core[1]_include.cmake")
+include("/root/repo/build/tests/unit_phylo[1]_include.cmake")
+include("/root/repo/build/tests/unit_hal[1]_include.cmake")
+include("/root/repo/build/tests/unit_api[1]_include.cmake")
+include("/root/repo/build/tests/unit_plugin[1]_include.cmake")
+include("/root/repo/build/tests/unit_app[1]_include.cmake")

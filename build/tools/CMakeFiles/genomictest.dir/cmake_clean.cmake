@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genomictest.dir/genomictest.cpp.o"
+  "CMakeFiles/genomictest.dir/genomictest.cpp.o.d"
+  "genomictest"
+  "genomictest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genomictest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for genomictest.
+# This may be replaced when dependencies are built.

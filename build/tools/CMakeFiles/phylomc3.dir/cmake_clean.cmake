@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phylomc3.dir/phylomc3.cpp.o"
+  "CMakeFiles/phylomc3.dir/phylomc3.cpp.o.d"
+  "phylomc3"
+  "phylomc3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phylomc3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
