@@ -16,7 +16,7 @@ namespace {
 
 using namespace bgl;
 
-void kernelVariantAblation() {
+void kernelVariantAblation(bench::JsonReport& report) {
   bench::printHeader("Ablation 1: kernel variant x device class",
                      "design choice 1 of DESIGN.md (Section VII-B)");
   std::printf("%-34s %14s %14s %9s\n", "device", "GPU-style", "x86-style",
@@ -42,6 +42,11 @@ void kernelVariantAblation() {
     }
     std::printf("%-34s %14.2f %14.2f %8.2fx\n", dev.label, gflops[0], gflops[1],
                 gflops[1] / gflops[0]);
+    report.row()
+        .field("section", "kernel-variant")
+        .field("device", dev.label)
+        .field("gpuStyleGflops", gflops[0])
+        .field("x86StyleGflops", gflops[1]);
   }
   std::printf(
       "expectation: x86-style wins clearly on the CPU (Table V says 5-6x); "
@@ -49,7 +54,7 @@ void kernelVariantAblation() {
       "choice is a wash there\n");
 }
 
-void scalingCostAblation() {
+void scalingCostAblation(bench::JsonReport& report) {
   bench::printHeader("Ablation 2: per-operation rescaling cost",
                      "design choice 4 of DESIGN.md (scaling buffers)");
   Rng rng(77);
@@ -79,11 +84,17 @@ void scalingCostAblation() {
                 flags == BGL_FLAG_THREADING_NONE ? "CPU-serial" : "OpenCL-host",
                 seconds[0], seconds[1],
                 (seconds[1] - seconds[0]) / seconds[0] * 100.0);
+    report.row()
+        .field("section", "rescaling-cost")
+        .field("implementation",
+               flags == BGL_FLAG_THREADING_NONE ? "CPU-serial" : "OpenCL-host")
+        .field("noScalingSeconds", seconds[0])
+        .field("scalingSeconds", seconds[1]);
   }
   std::printf("expectation: rescaling adds a bounded, sub-2x overhead\n");
 }
 
-void vectorLadderAblation() {
+void vectorLadderAblation(bench::JsonReport& report) {
   bench::printHeader("Ablation 3: host vectorization ladder (double precision)",
                      "Section IV-D / VI (SSE + threading composition)");
   struct Step {
@@ -111,6 +122,10 @@ void vectorLadderAblation() {
       const double gflops = harness::runThroughput(spec).gflops;
       if (base == 0.0) base = gflops;
       std::printf("%-28s %12.2f %9.2fx\n", step.label, gflops, gflops / base);
+      report.row()
+          .field("section", "vector-ladder")
+          .field("configuration", step.label)
+          .field("gflops", gflops);
     } catch (const std::exception&) {
       std::printf("%-28s %12s %10s\n", step.label, "-", "(unavailable)");
     }
@@ -120,8 +135,10 @@ void vectorLadderAblation() {
 }  // namespace
 
 int main() {
-  kernelVariantAblation();
-  scalingCostAblation();
-  vectorLadderAblation();
+  bench::JsonReport report("ablation", "Design-choice ablations",
+                           "DESIGN.md ablations (beyond the paper's tables)");
+  kernelVariantAblation(report);
+  scalingCostAblation(report);
+  vectorLadderAblation(report);
   return 0;
 }

@@ -53,7 +53,8 @@ double modeledDualXeonThreadsGflops(int patterns, int states, int tips) {
 }
 
 void runModel(const char* title, int states, int tips,
-              const std::vector<int>& sizes, const std::vector<Config>& configs) {
+              const std::vector<int>& sizes, const std::vector<Config>& configs,
+              bgl::bench::JsonReport& report) {
   std::printf("\n--- %s ---\n", title);
   std::printf("%-44s", "implementation: device");
   for (int p : sizes) std::printf(" %9d", p);
@@ -77,6 +78,14 @@ void runModel(const char* title, int states, int tips,
         const auto result = bgl::harness::runThroughput(spec);
         std::printf(" %9.2f", result.gflops);
         if (c == 0) serialRow[i] = result.gflops;
+        report.row()
+            .field("implementation", configs[c].label)
+            .field("states", states)
+            .field("tips", tips)
+            .field("patterns", sizes[i])
+            .field("gflops", result.gflops)
+            .field("seconds", result.seconds)
+            .field("modeled", result.modeled ? 1 : 0);
       } catch (const std::exception&) {
         std::printf(" %9s", "-");
       }
@@ -87,7 +96,15 @@ void runModel(const char* title, int states, int tips,
 
   std::printf("%-44s", "C++ threads: 2x Xeon E5-2680v4 (modeled)");
   for (std::size_t i = 0; i < sizes.size(); ++i) {
-    std::printf(" %9.2f", modeledDualXeonThreadsGflops(sizes[i], states, tips));
+    const double gflops = modeledDualXeonThreadsGflops(sizes[i], states, tips);
+    std::printf(" %9.2f", gflops);
+    report.row()
+        .field("implementation", "C++ threads: 2x Xeon E5-2680v4 (modeled)")
+        .field("states", states)
+        .field("tips", tips)
+        .field("patterns", sizes[i])
+        .field("gflops", gflops)
+        .field("modeled", 1);
   }
   std::printf("\n");
   (void)serialRow;
@@ -136,14 +153,22 @@ int main(int argc, char** argv) {
        BGL_FLAG_FRAMEWORK_OPENCL},
   };
 
+  bench::JsonReport report(
+      "fig4", "Figure 4: kernel throughput vs unique site patterns",
+      "Ayres & Cummings 2017, Fig. 4 (Section VIII-A)");
+  report.note(
+      "single precision, 4 rate categories, effective GFLOPS; host rows "
+      "measured, device rows roofline-modeled");
+
   runModel("nucleotide model (4 states)", 4, 8,
-           {128, 512, 2048, 8192, 20092, 131072, 475081}, configs);
+           {128, 512, 2048, 8192, 20092, 131072, 475081}, configs, report);
   std::printf(
       "paper: R9 Nano 444.92 GFLOPS @475,081; dual Xeon (threads) peak "
       "328.78 @20,092; saturation by 1e5 patterns; OpenCL weak at small "
       "sizes due to launch overhead\n");
 
-  runModel("codon model (61 states)", 61, 4, {128, 1024, 6080, 28419}, configs);
+  runModel("codon model (61 states)", 61, 4, {128, 1024, 6080, 28419}, configs,
+           report);
   std::printf(
       "paper: R9 Nano 1324.19 GFLOPS @28,419 (~253x serial, ~2x the "
       "dual-Xeon OpenCL-x86); all GPUs cluster; weak pattern-count "

@@ -59,6 +59,8 @@ int main() {
   std::vector<int> threadCounts;
   for (unsigned t = 1; t <= 2 * hw; t *= 2) threadCounts.push_back(static_cast<int>(t));
 
+  bench::JsonReport report("fig5", "Figure 5: multicore CPU performance scaling",
+                           "Ayres & Cummings 2017, Fig. 5 (Section VIII-B)");
   for (int t : threadCounts) {
     harness::ProblemSpec pool;
     pool.tips = 8;
@@ -76,6 +78,11 @@ int main() {
 
     std::printf("%8d %24.2f %24.2f %28.2f\n", t, threadsGflops, openclGflops,
                 modeledDualXeonGflops(t, 10000));
+    report.row()
+        .field("threads", t)
+        .field("cppThreadsGflops", threadsGflops)
+        .field("openclX86Gflops", openclGflops)
+        .field("modeledDualXeonGflops", modeledDualXeonGflops(t, 10000));
   }
 
   std::printf("\nmodeled dual-Xeon sweep to 56 threads (paper's x-axis):\n");

@@ -126,6 +126,9 @@ int main() {
        perf::kFireProS9170, true},
   };
 
+  bench::JsonReport report(
+      "fig6", "Figure 6: application-level (MrBayes-style) speedups",
+      "Ayres & Cummings 2017, Fig. 6 (Section VIII-C)");
   for (auto makeWorkload : {makeNucleotideWorkload, makeCodonWorkload}) {
     const Workload w = makeWorkload();
     std::printf("\n--- %s: %d unique patterns, %d chains, %d generations ---\n",
@@ -141,6 +144,13 @@ int main() {
       const double sgl = runSeconds(w, row, /*singlePrecision=*/true);
       std::printf("%-46s %10.2f %9.2fx %10.2f %9.2fx\n", row.label, dbl,
                   baseline / dbl, sgl, baseline / sgl);
+      report.row()
+          .field("workload", w.name)
+          .field("implementation", row.label)
+          .field("doubleSeconds", dbl)
+          .field("doubleSpeedup", baseline / dbl)
+          .field("singleSeconds", sgl)
+          .field("singleSpeedup", baseline / sgl);
     }
   }
 

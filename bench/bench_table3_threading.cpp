@@ -41,7 +41,11 @@ int main() {
       BGL_FLAG_THREADING_THREAD_CREATE,
       BGL_FLAG_THREADING_THREAD_POOL,
   };
+  const char* kVariantNames[4] = {"serial", "futures", "thread-create",
+                                  "thread-pool"};
 
+  bench::JsonReport report("table3", "Table III: CPU threading optimizations",
+                           "Ayres & Cummings 2017, Table III (Section VI)");
   for (int tips : {8, 16, 64, 128}) {
     double gflops[4] = {};
     for (int v = 0; v < 4; ++v) {
@@ -55,6 +59,10 @@ int main() {
       spec.resource = 0;
       spec.reps = 5;
       gflops[v] = harness::runThroughput(spec).gflops;
+      report.row()
+          .field("tips", tips)
+          .field("threading", kVariantNames[v])
+          .field("gflops", gflops[v]);
     }
     std::printf("%6d %12.2f %12.2f %14.2f %13.2f %9.2fx\n", tips, gflops[0],
                 gflops[1], gflops[2], gflops[3], gflops[3] / gflops[0]);

@@ -34,6 +34,8 @@ int main() {
   };
   const Row rows[] = {{true, 10000}, {false, 10000}, {true, 100000}, {false, 100000}};
 
+  bench::JsonReport report("table4", "Table IV: OpenCL-GPU FMA optimizations",
+                           "Ayres & Cummings 2017, Table IV (Section VII-B1)");
   for (int resource : {static_cast<int>(perf::kRadeonR9Nano), 0}) {
     const char* deviceName = resource == 0 ? "Host CPU (measured)" : "R9 Nano (modeled)";
     for (const Row& row : rows) {
@@ -52,6 +54,12 @@ int main() {
 
       const double with = harness::runThroughput(spec).gflops;
       const double without = harness::runThroughput(noFma).gflops;
+      report.row()
+          .field("device", deviceName)
+          .field("precision", row.single ? "single" : "double")
+          .field("patterns", row.patterns)
+          .field("gflopsWithoutFma", without)
+          .field("gflopsWithFma", with);
       std::printf("%-22s %-9s %9d %14.2f %12.2f %6.2f%%\n", deviceName,
                   row.single ? "single" : "double", row.patterns, without, with,
                   (with - without) / without * 100.0);

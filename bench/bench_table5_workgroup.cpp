@@ -36,20 +36,34 @@ int main() {
     return harness::runThroughput(spec).gflops;
   };
 
+  bench::JsonReport report("table5",
+                           "Table V: OpenCL-x86 work-group size optimization",
+                           "Ayres & Cummings 2017, Table V (Section VII-B2)");
   for (int resource : {0, static_cast<int>(perf::kDualXeonE5)}) {
-    std::printf("\n[%s]\n",
-                resource == 0 ? "Host CPU (measured)"
-                              : "2x Xeon E5-2680v4 (modeled, paper's system)");
+    const char* deviceName = resource == 0
+                                 ? "Host CPU (measured)"
+                                 : "2x Xeon E5-2680v4 (modeled, paper's system)";
+    std::printf("\n[%s]\n", deviceName);
     std::printf("%-14s %18s %12s %22s\n", "solution", "work-group (pat.)",
                 "GFLOPS", "speedup (x GPU-style)");
 
     const double gpuStyle = run(resource, BGL_FLAG_KERNEL_GPU_STYLE, 0);
     std::printf("%-14s %18d %12.2f %22s\n", "OpenCL-GPU", 64, gpuStyle, "1.00");
+    report.row()
+        .field("device", deviceName)
+        .field("kernel", "gpu-style")
+        .field("workGroup", 64)
+        .field("gflops", gpuStyle);
 
     for (int wg : {64, 128, 256, 512, 1024}) {
       const double x86 = run(resource, BGL_FLAG_KERNEL_X86_STYLE, wg);
       std::printf("%-14s %18d %12.2f %21.2fx\n", "OpenCL-x86", wg, x86,
                   x86 / gpuStyle);
+      report.row()
+          .field("device", deviceName)
+          .field("kernel", "x86-style")
+          .field("workGroup", wg)
+          .field("gflops", x86);
     }
   }
 

@@ -1,11 +1,21 @@
 // Shared output helpers for the reproduction benchmarks. Each bench binary
 // regenerates one table or figure of the paper and prints the paper's
 // reported values alongside for comparison (see EXPERIMENTS.md).
+//
+// Besides the human-readable text, every benchmark also emits a
+// machine-readable BENCH_<name>.json record (JsonReport below) so runs can
+// be diffed and plotted without scraping stdout. Set BGL_BENCH_DIR to
+// redirect where the records land (default: current directory).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/export.h"
 
 namespace bgl::bench {
 
@@ -26,5 +36,112 @@ inline std::string fmt(double v, int width = 9, int precision = 2) {
   std::snprintf(buf, sizeof(buf), "%*.*f", width, precision, v);
   return buf;
 }
+
+/// Accumulates benchmark rows and writes them as BENCH_<name>.json when
+/// destroyed (or on an explicit write()). A row is an ordered list of
+/// key/value fields; string and numeric values are supported.
+class JsonReport {
+ public:
+  JsonReport(std::string name, std::string title, std::string paperRef)
+      : name_(std::move(name)), title_(std::move(title)),
+        paperRef_(std::move(paperRef)) {}
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  ~JsonReport() { write(); }
+
+  class Row {
+   public:
+    explicit Row(JsonReport* report) : report_(report) {}
+
+    Row& field(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, Field{Field::kString, 0.0, value});
+      return *this;
+    }
+    Row& field(const std::string& key, const char* value) {
+      return field(key, std::string(value));
+    }
+    Row& field(const std::string& key, double value) {
+      fields_.emplace_back(key, Field{Field::kNumber, value, {}});
+      return *this;
+    }
+    Row& field(const std::string& key, int value) {
+      return field(key, static_cast<double>(value));
+    }
+
+    ~Row() { report_->commit(std::move(fields_)); }
+
+   private:
+    friend class JsonReport;
+    struct Field {
+      enum Kind { kNumber, kString } kind;
+      double number;
+      std::string text;
+    };
+    JsonReport* report_;
+    std::vector<std::pair<std::string, Field>> fields_;
+  };
+
+  /// Start a row; fields chain fluently and the row commits when the
+  /// temporary dies at the end of the statement.
+  Row row() { return Row(this); }
+
+  /// Free-form annotation (shows up under "notes" in the record).
+  void note(const std::string& text) { notes_.push_back(text); }
+
+  void write() {
+    if (written_) return;
+    written_ = true;
+    const char* dir = std::getenv("BGL_BENCH_DIR");
+    const std::string path =
+        (dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : std::string()) +
+        "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    obs::JsonWriter w(out);
+    w.beginObject();
+    w.field("benchmark", name_);
+    w.field("title", title_);
+    w.field("paperRef", paperRef_);
+    if (!notes_.empty()) {
+      w.key("notes");
+      w.beginArray();
+      for (const auto& n : notes_) w.value(n);
+      w.endArray();
+    }
+    w.key("rows");
+    w.beginArray();
+    for (const auto& row : rows_) {
+      w.beginObject();
+      for (const auto& [key, f] : row) {
+        if (f.kind == Row::Field::kString) {
+          w.field(key, f.text);
+        } else {
+          w.field(key, f.number);
+        }
+      }
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    out << "\n";
+    std::printf("bench record: %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  friend class Row;
+  void commit(std::vector<std::pair<std::string, Row::Field>> fields) {
+    rows_.push_back(std::move(fields));
+  }
+
+  std::string name_, title_, paperRef_;
+  std::vector<std::vector<std::pair<std::string, Row::Field>>> rows_;
+  std::vector<std::string> notes_;
+  bool written_ = false;
+};
 
 }  // namespace bgl::bench

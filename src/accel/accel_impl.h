@@ -27,6 +27,9 @@ class AccelImpl : public Implementation {
   AccelImpl(const InstanceConfig& cfg, hal::DevicePtr device)
       : device_(std::move(device)) {
     config_ = cfg;
+    // The runtime emits kernel-launch and memcpy events (with device and
+    // framework metadata) into this instance's recorder.
+    device_->setRecorder(&recorder_);
     variant_ = (cfg.flags & BGL_FLAG_KERNEL_X86_STYLE)
                    ? hal::KernelVariant::X86Style
                    : (cfg.flags & BGL_FLAG_KERNEL_GPU_STYLE)
@@ -214,6 +217,10 @@ class AccelImpl : public Implementation {
     if ((d1Indices == nullptr) != (d2Indices == nullptr)) {
       return BGL_ERROR_UNIMPLEMENTED;
     }
+    obs::ScopedSpan span(recorder_, obs::Category::kUpdateTransitionMatrices,
+                         "updateTransitionMatrices");
+    recorder_.count(obs::Counter::kTransitionMatrices,
+                    static_cast<std::uint64_t>(count));
     const bool derivs = d1Indices != nullptr;
     const int s = config_.stateCount;
     const int c = config_.categoryCount;
@@ -361,6 +368,10 @@ class AccelImpl : public Implementation {
     if (cumulativeScaleIndex != BGL_OP_NONE && !validScale(cumulativeScaleIndex)) {
       return BGL_ERROR_OUT_OF_RANGE;
     }
+    obs::ScopedSpan span(recorder_, obs::Category::kUpdatePartials,
+                         "updatePartials");
+    recorder_.count(obs::Counter::kPartialsOperations,
+                    static_cast<std::uint64_t>(count));
     for (int i = 0; i < count; ++i) {
       const int rc = executeOperation(operations[i], cumulativeScaleIndex);
       if (rc != BGL_SUCCESS) return rc;
@@ -370,11 +381,17 @@ class AccelImpl : public Implementation {
 
   int accumulateScaleFactors(const int* scaleIndices, int count,
                              int cumulativeScaleIndex) override {
+    obs::ScopedSpan span(recorder_, obs::Category::kScaling, "accumulateScaleFactors");
+    recorder_.count(obs::Counter::kScaleAccumulations,
+                    static_cast<std::uint64_t>(count));
     return scaleOp(scaleIndices, count, cumulativeScaleIndex, +1);
   }
 
   int removeScaleFactors(const int* scaleIndices, int count,
                          int cumulativeScaleIndex) override {
+    obs::ScopedSpan span(recorder_, obs::Category::kScaling, "removeScaleFactors");
+    recorder_.count(obs::Counter::kScaleAccumulations,
+                    static_cast<std::uint64_t>(count));
     return scaleOp(scaleIndices, count, cumulativeScaleIndex, -1);
   }
 
@@ -392,6 +409,10 @@ class AccelImpl : public Implementation {
   int calculateRootLogLikelihoods(const int* bufferIndices, const int* weightIndices,
                                   const int* freqIndices, const int* scaleIndices,
                                   int count, double* outSumLogLikelihood) override {
+    obs::ScopedSpan span(recorder_, obs::Category::kRootLogLikelihoods,
+                         "rootLogLikelihoods");
+    recorder_.count(obs::Counter::kRootEvaluations,
+                    static_cast<std::uint64_t>(count));
     double total = 0.0;
     for (int n = 0; n < count; ++n) {
       const int b = bufferIndices[n];
@@ -450,6 +471,10 @@ class AccelImpl : public Implementation {
                                   int count, double* outSumLogLikelihood,
                                   double* outSumFirstDerivative,
                                   double* outSumSecondDerivative) override {
+    obs::ScopedSpan span(recorder_, obs::Category::kEdgeLogLikelihoods,
+                         "edgeLogLikelihoods");
+    recorder_.count(obs::Counter::kEdgeEvaluations,
+                    static_cast<std::uint64_t>(count));
     const bool derivs = d1Indices != nullptr && d2Indices != nullptr &&
                         outSumFirstDerivative != nullptr &&
                         outSumSecondDerivative != nullptr;
@@ -748,6 +773,7 @@ class AccelImpl : public Implementation {
     device_->launch(*device_->getKernel(spec), dims, args, work);
 
     if (op.destinationScaleWrite != BGL_OP_NONE) {
+      recorder_.count(obs::Counter::kRescaleEvents);
       hal::KernelSpec rspec = baseSpec(hal::KernelId::RescalePartials);
       hal::KernelArgs rargs;
       rargs.buffers[0] = partials_[op.destinationPartials]->data();

@@ -277,9 +277,10 @@ int bglWaitForComputation(int instance);
  */
 int bglSetThreadCount(int instance, int threadCount);
 
-/** Execution record of an accelerator-framework instance. On simulated
- * device profiles `modeledSeconds` comes from the calibrated roofline
- * model; on the host device it equals measured wall time. */
+/** Execution record of an instance. On accelerator instances with a
+ * simulated device profile `modeledSeconds` comes from the calibrated
+ * roofline model; on CPU instances (and the accelerator host device) it
+ * equals measured wall time spent inside API-level operations. */
 typedef struct BglTimeline {
   double modeledSeconds;
   double measuredSeconds;
@@ -287,11 +288,72 @@ typedef struct BglTimeline {
   unsigned long long bytesCopied;
 } BglTimeline;
 
-/** Read the accumulated timeline of an accelerator instance. */
+/**
+ * Read the accumulated timeline of an instance.
+ *
+ * Contract: an instance only returns BGL_SUCCESS here if it has actually
+ * been recording. Accelerator instances always record (the device runtime
+ * keeps a timeline). CPU instances record span timing only after
+ * bglResetTimeline (or trace/stats output) has enabled it; calling
+ * bglGetTimeline before that returns BGL_ERROR_UNIMPLEMENTED rather than
+ * silently succeeding with zeros.
+ */
 int bglGetTimeline(int instance, BglTimeline* outTimeline);
 
-/** Reset the accumulated timeline of an accelerator instance. */
+/**
+ * Reset the accumulated timeline of an instance. On CPU instances this
+ * also enables span timing, so `bglResetTimeline(i) == BGL_SUCCESS`
+ * followed by computation and bglGetTimeline yields measured seconds on
+ * every implementation family.
+ */
 int bglResetTimeline(int instance);
+
+/**
+ * Snapshot of an instance's always-on operation counters plus the time
+ * (in seconds) spent inside each API-level entry point. The seconds
+ * fields are zero until span timing is enabled (bglResetTimeline,
+ * bglSetTraceFile / bglSetStatsFile, or the BGL_TRACE / BGL_STATS
+ * environment variables); the counters are always live.
+ */
+typedef struct BglStatistics {
+  unsigned long long partialsOperations;  /**< partials operations executed */
+  unsigned long long transitionMatrices;  /**< transition matrices computed */
+  unsigned long long rootEvaluations;     /**< root-likelihood subsets */
+  unsigned long long edgeEvaluations;     /**< edge-likelihood subsets */
+  unsigned long long rescaleEvents;       /**< per-operation rescale passes */
+  unsigned long long scaleAccumulations;  /**< scale buffers accumulated/removed */
+  unsigned long long kernelLaunches;      /**< device kernel launches */
+  unsigned long long bytesCopiedIn;       /**< bytes staged into the instance */
+  unsigned long long bytesCopiedOut;      /**< bytes read back out */
+  double updatePartialsSeconds;
+  double updateTransitionMatricesSeconds;
+  double rootLogLikelihoodsSeconds;
+  double edgeLogLikelihoodsSeconds;
+} BglStatistics;
+
+/** Read the instance's operation counters and per-category timings. */
+int bglGetStatistics(int instance, BglStatistics* outStatistics);
+
+/** Zero the instance's counters, timings and retained trace events. */
+int bglResetStatistics(int instance);
+
+/**
+ * Arrange for a Chrome trace-event JSON timeline (loadable in
+ * about:tracing or Perfetto) to be written to `path` when the instance is
+ * finalized. Enables span timing and event retention immediately. Passing
+ * NULL or "" cancels. Equivalent to setting BGL_TRACE in the environment
+ * before bglCreateInstance; if several live instances resolve to the same
+ * path, later instances write to `path` + ".i<instance>".
+ */
+int bglSetTraceFile(int instance, const char* path);
+
+/**
+ * Arrange for a flat stats-JSON summary (counters plus per-category
+ * duration histograms) to be written to `path` at finalize. Enables span
+ * timing immediately. Passing NULL or "" cancels. Equivalent to setting
+ * BGL_STATS in the environment before bglCreateInstance.
+ */
+int bglSetStatsFile(int instance, const char* path);
 
 /**
  * Set the number of site patterns computed per work-group for x86-style

@@ -2,14 +2,18 @@
 // owns the instance table and translates exceptions into return codes.
 #include "api/bgl.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "api/implementation.h"
 #include "api/registry.h"
 #include "core/defs.h"
+#include "obs/export.h"
 
 namespace {
 
@@ -19,10 +23,32 @@ struct InstanceSlot {
   std::string resourceName;
   int resource = -1;
   long flags = 0;
+  std::string traceFile;  ///< Chrome-trace output path, written at finalize
+  std::string statsFile;  ///< stats-JSON output path, written at finalize
 };
 
 std::mutex g_mutex;
 std::vector<InstanceSlot> g_instances;
+
+/// Output paths claimed by live instances, so several instances created
+/// with the same BGL_TRACE/BGL_STATS value don't clobber one file.
+std::set<std::string> g_claimedPaths;
+
+/// Claim `path` for instance `id`, uniquifying with an ".i<id>" suffix if
+/// another live instance already owns it. Caller holds g_mutex.
+std::string claimPathLocked(const std::string& path, int id) {
+  if (path.empty()) return path;
+  std::string chosen = path;
+  if (g_claimedPaths.count(chosen) != 0) {
+    chosen = path + ".i" + std::to_string(id);
+  }
+  g_claimedPaths.insert(chosen);
+  return chosen;
+}
+
+void releasePathLocked(const std::string& path) {
+  if (!path.empty()) g_claimedPaths.erase(path);
+}
 
 bgl::Implementation* lookup(int instance) {
   std::lock_guard lock(g_mutex);
@@ -112,6 +138,14 @@ int bglCreateInstance(int tipCount, int partialsBufferCount, int compactBufferCo
     slot.resourceName = result.resourceName;
     slot.resource = result.resource;
     slot.flags = result.flags;
+    if (const char* trace = std::getenv("BGL_TRACE"); trace != nullptr && *trace) {
+      slot.traceFile = claimPathLocked(trace, id);
+      slot.impl->recorder().enableEvents();
+    }
+    if (const char* stats = std::getenv("BGL_STATS"); stats != nullptr && *stats) {
+      slot.statsFile = claimPathLocked(stats, id);
+      slot.impl->recorder().enableTiming();
+    }
     if (returnInfo != nullptr) {
       returnInfo->resourceNumber = slot.resource;
       returnInfo->resourceName = slot.resourceName.c_str();
@@ -133,6 +167,24 @@ int bglFinalizeInstance(int instance) {
   if (instance < 0 || instance >= static_cast<int>(g_instances.size()) ||
       g_instances[instance].impl == nullptr) {
     return BGL_ERROR_OUT_OF_RANGE;
+  }
+  auto& slot = g_instances[instance];
+  const std::string process = slot.implName + " @ " + slot.resourceName;
+  if (!slot.traceFile.empty()) {
+    if (!bgl::obs::writeChromeTraceFile(slot.traceFile, slot.impl->recorder(),
+                                        process)) {
+      std::fprintf(stderr, "bgl: could not write trace file '%s'\n",
+                   slot.traceFile.c_str());
+    }
+    releasePathLocked(slot.traceFile);
+  }
+  if (!slot.statsFile.empty()) {
+    if (!bgl::obs::writeStatsJsonFile(slot.statsFile, slot.impl->recorder(),
+                                      slot.implName, slot.resourceName)) {
+      std::fprintf(stderr, "bgl: could not write stats file '%s'\n",
+                   slot.statsFile.c_str());
+    }
+    releasePathLocked(slot.statsFile);
   }
   g_instances[instance] = InstanceSlot{};
   return BGL_SUCCESS;
@@ -327,6 +379,72 @@ int bglGetTimeline(int instance, BglTimeline* outTimeline) {
 
 int bglResetTimeline(int instance) {
   return withInstance(instance, [&](auto& impl) { return impl.resetTimeline(); });
+}
+
+int bglGetStatistics(int instance, BglStatistics* outStatistics) {
+  if (outStatistics == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  return withInstance(instance, [&](auto& impl) {
+    using bgl::obs::Category;
+    using bgl::obs::Counter;
+    const auto& rec = impl.recorder();
+    outStatistics->partialsOperations = rec.counter(Counter::kPartialsOperations);
+    outStatistics->transitionMatrices = rec.counter(Counter::kTransitionMatrices);
+    outStatistics->rootEvaluations = rec.counter(Counter::kRootEvaluations);
+    outStatistics->edgeEvaluations = rec.counter(Counter::kEdgeEvaluations);
+    outStatistics->rescaleEvents = rec.counter(Counter::kRescaleEvents);
+    outStatistics->scaleAccumulations = rec.counter(Counter::kScaleAccumulations);
+    outStatistics->kernelLaunches = rec.counter(Counter::kKernelLaunches);
+    outStatistics->bytesCopiedIn = rec.counter(Counter::kBytesIn);
+    outStatistics->bytesCopiedOut = rec.counter(Counter::kBytesOut);
+    outStatistics->updatePartialsSeconds =
+        rec.categorySeconds(Category::kUpdatePartials);
+    outStatistics->updateTransitionMatricesSeconds =
+        rec.categorySeconds(Category::kUpdateTransitionMatrices);
+    outStatistics->rootLogLikelihoodsSeconds =
+        rec.categorySeconds(Category::kRootLogLikelihoods);
+    outStatistics->edgeLogLikelihoodsSeconds =
+        rec.categorySeconds(Category::kEdgeLogLikelihoods);
+    return BGL_SUCCESS;
+  });
+}
+
+int bglResetStatistics(int instance) {
+  return withInstance(instance, [&](auto& impl) {
+    impl.recorder().reset();
+    return BGL_SUCCESS;
+  });
+}
+
+int bglSetTraceFile(int instance, const char* path) {
+  std::lock_guard lock(g_mutex);
+  if (instance < 0 || instance >= static_cast<int>(g_instances.size()) ||
+      g_instances[instance].impl == nullptr) {
+    return BGL_ERROR_OUT_OF_RANGE;
+  }
+  auto& slot = g_instances[instance];
+  releasePathLocked(slot.traceFile);
+  slot.traceFile.clear();
+  if (path != nullptr && *path) {
+    slot.traceFile = claimPathLocked(path, instance);
+    slot.impl->recorder().enableEvents();
+  }
+  return BGL_SUCCESS;
+}
+
+int bglSetStatsFile(int instance, const char* path) {
+  std::lock_guard lock(g_mutex);
+  if (instance < 0 || instance >= static_cast<int>(g_instances.size()) ||
+      g_instances[instance].impl == nullptr) {
+    return BGL_ERROR_OUT_OF_RANGE;
+  }
+  auto& slot = g_instances[instance];
+  releasePathLocked(slot.statsFile);
+  slot.statsFile.clear();
+  if (path != nullptr && *path) {
+    slot.statsFile = claimPathLocked(path, instance);
+    slot.impl->recorder().enableTiming();
+  }
+  return BGL_SUCCESS;
 }
 
 int bglSetWorkGroupSize(int instance, int patternsPerWorkGroup) {

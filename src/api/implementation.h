@@ -10,6 +10,7 @@
 #include <string>
 
 #include "api/bgl.h"
+#include "obs/trace.h"
 
 namespace bgl {
 
@@ -38,6 +39,11 @@ class Implementation {
   virtual ~Implementation() = default;
 
   const InstanceConfig& config() const { return config_; }
+
+  /// Tracing/metrics recorder owned by this instance. Counters are always
+  /// live; span timing and event retention are opt-in (see obs/trace.h).
+  obs::TraceRecorder& recorder() { return recorder_; }
+  const obs::TraceRecorder& recorder() const { return recorder_; }
 
   virtual std::string implName() const = 0;
 
@@ -98,6 +104,7 @@ class Implementation {
 
  protected:
   InstanceConfig config_;
+  obs::TraceRecorder recorder_;
 };
 
 /// Factory for one implementation family. The manager interrogates

@@ -6,6 +6,7 @@
 
 #include "hal/workgroup_executor.h"
 #include "kernels/kernels.h"
+#include "obs/trace.h"
 
 namespace bgl::clsim {
 namespace {
@@ -83,20 +84,30 @@ class ClDevice final : public hal::Device {
   void copyToDevice(hal::Buffer& dst, std::size_t dstOffset, const void* src,
                     std::size_t bytes) override {
     if (dstOffset + bytes > dst.size()) throw Error("clsim: write out of bounds");
+    const auto t0 = Clock::now();
     std::memcpy(static_cast<std::byte*>(dst.data()) + dstOffset, src, bytes);
     timeline_.bytesCopied += bytes;
     if (!profile_.hostMeasured) {
       timeline_.modeledSeconds += perf::modeledCopySeconds(profile_, static_cast<double>(bytes));
+    }
+    if (recorder_ != nullptr) {
+      recorder_->count(obs::Counter::kBytesIn, bytes);
+      recordCopy("HtoD", t0, bytes);
     }
   }
 
   void copyToHost(void* dst, const hal::Buffer& src, std::size_t srcOffset,
                   std::size_t bytes) override {
     if (srcOffset + bytes > src.size()) throw Error("clsim: read out of bounds");
+    const auto t0 = Clock::now();
     std::memcpy(dst, static_cast<const std::byte*>(src.data()) + srcOffset, bytes);
     timeline_.bytesCopied += bytes;
     if (!profile_.hostMeasured) {
       timeline_.modeledSeconds += perf::modeledCopySeconds(profile_, static_cast<double>(bytes));
+    }
+    if (recorder_ != nullptr) {
+      recorder_->count(obs::Counter::kBytesOut, bytes);
+      recordCopy("DtoH", t0, bytes);
     }
   }
 
@@ -128,6 +139,21 @@ class ClDevice final : public hal::Device {
             ? measured
             : perf::modeledKernelSeconds(profile_, work, /*openCl=*/true);
     ++timeline_.kernelLaunches;
+    if (recorder_ != nullptr) {
+      recorder_->count(obs::Counter::kKernelLaunches);
+      if (recorder_->timingEnabled()) {
+        obs::TraceEvent ev;
+        ev.category = obs::Category::kKernel;
+        ev.name = hal::kernelIdName(k.spec().id);
+        ev.beginNs = recorder_->sinceEpochNs(t0);
+        ev.durNs = recorder_->sinceEpochNs(t1) - ev.beginNs;
+        ev.stream = 0;  // one in-order command queue in the simulation
+        ev.groups = static_cast<std::uint64_t>(dims.numGroups);
+        ev.device = profile_.name;
+        ev.framework = "OpenCL";
+        recorder_->recordEvent(std::move(ev));
+      }
+    }
   }
 
   void finish() override {}
@@ -135,6 +161,20 @@ class ClDevice final : public hal::Device {
   void setFission(unsigned n) override { fission_ = n; }
 
  private:
+  void recordCopy(const char* name, Clock::time_point t0, std::size_t bytes) {
+    if (!recorder_->timingEnabled()) return;
+    obs::TraceEvent ev;
+    ev.category = obs::Category::kMemcpy;
+    ev.name = name;
+    ev.beginNs = recorder_->sinceEpochNs(t0);
+    ev.durNs = recorder_->nowNs() - ev.beginNs;
+    ev.stream = 0;
+    ev.bytes = bytes;
+    ev.device = profile_.name;
+    ev.framework = "OpenCL";
+    recorder_->recordEvent(std::move(ev));
+  }
+
   Platform platform_;
   perf::DeviceProfile profile_;
   unsigned fission_ = 0;  // 0 = all compute units

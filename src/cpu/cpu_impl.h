@@ -63,6 +63,8 @@ class CpuImpl : public Implementation {
                    ? config_.stateCount  // any out-of-range code = ambiguity
                    : s;
     }
+    recorder_.count(obs::Counter::kBytesIn,
+                    static_cast<std::uint64_t>(config_.patternCount) * sizeof(int));
     return BGL_SUCCESS;
   }
 
@@ -80,6 +82,8 @@ class CpuImpl : public Implementation {
         plane[i] = static_cast<Real>(inPartials[i]);
       }
     }
+    recorder_.count(obs::Counter::kBytesIn,
+                    static_cast<std::uint64_t>(p) * s * sizeof(double));
     return BGL_SUCCESS;
   }
 
@@ -92,6 +96,7 @@ class CpuImpl : public Implementation {
     for (std::size_t i = 0; i < buf.size(); ++i) {
       buf[i] = static_cast<Real>(inPartials[i]);
     }
+    recorder_.count(obs::Counter::kBytesIn, buf.size() * sizeof(double));
     return BGL_SUCCESS;
   }
 
@@ -104,6 +109,7 @@ class CpuImpl : public Implementation {
     for (std::size_t i = 0; i < buf.size(); ++i) {
       outPartials[i] = static_cast<double>(buf[i]);
     }
+    recorder_.count(obs::Counter::kBytesOut, buf.size() * sizeof(double));
     return BGL_SUCCESS;
   }
 
@@ -170,6 +176,10 @@ class CpuImpl : public Implementation {
     if ((d1Indices == nullptr) != (d2Indices == nullptr)) {
       return BGL_ERROR_UNIMPLEMENTED;  // derivatives come in pairs
     }
+    obs::ScopedSpan span(recorder_, obs::Category::kUpdateTransitionMatrices,
+                         "updateTransitionMatrices");
+    recorder_.count(obs::Counter::kTransitionMatrices,
+                    static_cast<std::uint64_t>(count));
     const int s = config_.stateCount;
     const auto& cijk = eigenCijk_[eigenIndex];
     const auto& eval = eigenValues_[eigenIndex];
@@ -229,6 +239,7 @@ class CpuImpl : public Implementation {
     }
     auto& m = matrices_[matrixIndex];
     for (std::size_t i = 0; i < m.size(); ++i) m[i] = static_cast<Real>(inMatrix[i]);
+    recorder_.count(obs::Counter::kBytesIn, m.size() * sizeof(double));
     return BGL_SUCCESS;
   }
 
@@ -238,6 +249,7 @@ class CpuImpl : public Implementation {
     }
     const auto& m = matrices_[matrixIndex];
     for (std::size_t i = 0; i < m.size(); ++i) outMatrix[i] = static_cast<double>(m[i]);
+    recorder_.count(obs::Counter::kBytesOut, m.size() * sizeof(double));
     return BGL_SUCCESS;
   }
 
@@ -266,6 +278,10 @@ class CpuImpl : public Implementation {
     }
     const int rc = validateOperations(operations, count, cumulativeScaleIndex);
     if (rc != BGL_SUCCESS) return rc;
+    obs::ScopedSpan span(recorder_, obs::Category::kUpdatePartials,
+                         "updatePartials");
+    recorder_.count(obs::Counter::kPartialsOperations,
+                    static_cast<std::uint64_t>(count));
     executeOperations(operations, count, cumulativeScaleIndex);
     return BGL_SUCCESS;
   }
@@ -277,6 +293,9 @@ class CpuImpl : public Implementation {
   int accumulateScaleFactors(const int* scaleIndices, int count,
                              int cumulativeScaleIndex) override {
     if (!validScale(cumulativeScaleIndex)) return BGL_ERROR_OUT_OF_RANGE;
+    obs::ScopedSpan span(recorder_, obs::Category::kScaling, "accumulateScaleFactors");
+    recorder_.count(obs::Counter::kScaleAccumulations,
+                    static_cast<std::uint64_t>(count));
     for (int i = 0; i < count; ++i) {
       if (!validScale(scaleIndices[i])) return BGL_ERROR_OUT_OF_RANGE;
       auto& cum = scale_[cumulativeScaleIndex];
@@ -289,6 +308,9 @@ class CpuImpl : public Implementation {
   int removeScaleFactors(const int* scaleIndices, int count,
                          int cumulativeScaleIndex) override {
     if (!validScale(cumulativeScaleIndex)) return BGL_ERROR_OUT_OF_RANGE;
+    obs::ScopedSpan span(recorder_, obs::Category::kScaling, "removeScaleFactors");
+    recorder_.count(obs::Counter::kScaleAccumulations,
+                    static_cast<std::uint64_t>(count));
     for (int i = 0; i < count; ++i) {
       if (!validScale(scaleIndices[i])) return BGL_ERROR_OUT_OF_RANGE;
       auto& cum = scale_[cumulativeScaleIndex];
@@ -312,6 +334,10 @@ class CpuImpl : public Implementation {
   int calculateRootLogLikelihoods(const int* bufferIndices, const int* weightIndices,
                                   const int* freqIndices, const int* scaleIndices,
                                   int count, double* outSumLogLikelihood) override {
+    obs::ScopedSpan span(recorder_, obs::Category::kRootLogLikelihoods,
+                         "rootLogLikelihoods");
+    recorder_.count(obs::Counter::kRootEvaluations,
+                    static_cast<std::uint64_t>(count));
     double total = 0.0;
     for (int n = 0; n < count; ++n) {
       const int b = bufferIndices[n];
@@ -348,6 +374,10 @@ class CpuImpl : public Implementation {
                                   int count, double* outSumLogLikelihood,
                                   double* outSumFirstDerivative,
                                   double* outSumSecondDerivative) override {
+    obs::ScopedSpan span(recorder_, obs::Category::kEdgeLogLikelihoods,
+                         "edgeLogLikelihoods");
+    recorder_.count(obs::Counter::kEdgeEvaluations,
+                    static_cast<std::uint64_t>(count));
     const bool derivs = d1Indices != nullptr && d2Indices != nullptr &&
                         outSumFirstDerivative != nullptr &&
                         outSumSecondDerivative != nullptr;
@@ -405,16 +435,49 @@ class CpuImpl : public Implementation {
     for (int k = 0; k < config_.patternCount; ++k) {
       outLogLikelihoods[k] = static_cast<double>(siteLogL_[k]);
     }
+    recorder_.count(obs::Counter::kBytesOut,
+                    static_cast<std::uint64_t>(config_.patternCount) * sizeof(double));
+    return BGL_SUCCESS;
+  }
+
+  // ------------------------------------------------------------------
+  // Timeline (see the bglGetTimeline contract in api/bgl.h)
+  // ------------------------------------------------------------------
+
+  int getTimeline(BglTimeline* out) override {
+    if (!recorder_.timingEnabled()) return BGL_ERROR_UNIMPLEMENTED;
+    const double secs = recorder_.timelineSeconds();
+    // Host execution: modeled time is measured time.
+    out->modeledSeconds = secs > timelineBaseSeconds_ ? secs - timelineBaseSeconds_ : 0.0;
+    out->measuredSeconds = out->modeledSeconds;
+    const auto ops = recorder_.counter(obs::Counter::kPartialsOperations);
+    out->kernelLaunches = ops > timelineBaseOps_ ? ops - timelineBaseOps_ : 0;
+    const auto bytes = recorder_.counter(obs::Counter::kBytesIn) +
+                       recorder_.counter(obs::Counter::kBytesOut);
+    out->bytesCopied = bytes > timelineBaseBytes_ ? bytes - timelineBaseBytes_ : 0;
+    return BGL_SUCCESS;
+  }
+
+  int resetTimeline() override {
+    recorder_.enableTiming();
+    timelineBaseSeconds_ = recorder_.timelineSeconds();
+    timelineBaseOps_ = recorder_.counter(obs::Counter::kPartialsOperations);
+    timelineBaseBytes_ = recorder_.counter(obs::Counter::kBytesIn) +
+                         recorder_.counter(obs::Counter::kBytesOut);
     return BGL_SUCCESS;
   }
 
  protected:
   // ----- hooks the vectorized / threaded subclasses override -----
 
+  /// Kernel flavor used in trace span names ("serial", "sse", "avx", ...).
+  virtual const char* kernelLabel() const { return "serial"; }
+
   /// Execute a batch of operations. The serial base runs them in order.
   virtual void executeOperations(const BglOperation* ops, int count,
                                  int cumulativeScaleIndex) {
     for (int i = 0; i < count; ++i) {
+      obs::ScopedSpan span(recorder_, obs::Category::kOperation, kernelLabel());
       executeOperation(ops[i], 0, config_.patternCount);
       finishOperationScaling(ops[i], cumulativeScaleIndex);
     }
@@ -450,6 +513,8 @@ class CpuImpl : public Implementation {
   /// Rescaling + cumulative accumulation after an operation completes.
   void finishOperationScaling(const BglOperation& op, int cumulativeScaleIndex) {
     if (op.destinationScaleWrite != BGL_OP_NONE) {
+      obs::ScopedSpan span(recorder_, obs::Category::kRescale, "rescale");
+      recorder_.count(obs::Counter::kRescaleEvents);
       Real* dest = partials_[op.destinationPartials].data();
       Real* scale = scale_[op.destinationScaleWrite].data();
       rescaleScalar<Real>(dest, scale, config_.patternCount, config_.categoryCount,
@@ -567,6 +632,11 @@ class CpuImpl : public Implementation {
   std::vector<double> patternWeights_;
   std::vector<AlignedVector<Real>> scale_;
   AlignedVector<Real> siteLogL_, siteD1_, siteD2_;
+
+  // Timeline baseline captured by resetTimeline().
+  double timelineBaseSeconds_ = 0.0;
+  std::uint64_t timelineBaseOps_ = 0;
+  std::uint64_t timelineBaseBytes_ = 0;
 };
 
 }  // namespace bgl::cpu

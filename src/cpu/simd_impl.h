@@ -20,6 +20,8 @@ class SseMixin : public Base {
   std::string implName() const override { return Base::implName() + "+SSE"; }
 
  protected:
+  const char* kernelLabel() const override { return "sse"; }
+
   void partialsPartials(double* dest, const double* p1, const double* m1,
                         const double* p2, const double* m2, int p, int c, int s,
                         int kBegin, int kEnd) override {
@@ -58,6 +60,8 @@ class AvxMixin : public Base {
   std::string implName() const override { return Base::implName() + "+AVX"; }
 
  protected:
+  const char* kernelLabel() const override { return "avx"; }
+
   void partialsPartials(double* dest, const double* p1, const double* m1,
                         const double* p2, const double* m2, int p, int c, int s,
                         int kBegin, int kEnd) override {

@@ -66,10 +66,14 @@ class FuturesImpl : public CpuImpl<Real> {
         this->ensurePartials(ops[i].destinationPartials);
         if (static_cast<int>(futures.size()) + 1 >= maxConcurrent_) {
           // Run the final member of the level inline.
+          obs::ScopedSpan span(this->recorder_, obs::Category::kOperation,
+                               this->kernelLabel());
           this->executeOperation(ops[i], 0, patterns);
           continue;
         }
         futures.push_back(std::async(std::launch::async, [this, &ops, i, patterns] {
+          obs::ScopedSpan span(this->recorder_, obs::Category::kWorker,
+                               this->kernelLabel(), i + 1);
           this->executeOperation(ops[i], 0, patterns);
         }));
       }
@@ -102,6 +106,8 @@ class ThreadCreateImpl : public CpuImpl<Real> {
     const int patterns = this->config_.patternCount;
     for (int i = 0; i < count; ++i) {
       this->ensurePartials(ops[i].destinationPartials);
+      obs::ScopedSpan opSpan(this->recorder_, obs::Category::kOperation,
+                             this->kernelLabel());
       if (patterns < kMinPatternsForThreading || threads_ <= 1) {
         this->executeOperation(ops[i], 0, patterns);
       } else {
@@ -114,7 +120,9 @@ class ThreadCreateImpl : public CpuImpl<Real> {
           const int kBegin = t * block;
           const int kEnd = std::min(patterns, kBegin + block);
           if (kBegin >= kEnd) break;
-          workers.emplace_back([this, &ops, i, kBegin, kEnd] {
+          workers.emplace_back([this, &ops, i, t, kBegin, kEnd] {
+            obs::ScopedSpan span(this->recorder_, obs::Category::kWorker,
+                                 this->kernelLabel(), t);
             this->executeOperation(ops[i], kBegin, kEnd);
           });
         }
@@ -155,6 +163,8 @@ class ThreadPoolImpl : public CpuImpl<Real> {
     const int patterns = this->config_.patternCount;
     for (int i = 0; i < count; ++i) {
       this->ensurePartials(ops[i].destinationPartials);
+      obs::ScopedSpan opSpan(this->recorder_, obs::Category::kOperation,
+                             this->kernelLabel());
       if (patterns < kMinPatternsForThreading || threads_ <= 1) {
         this->executeOperation(ops[i], 0, patterns);
       } else {
@@ -165,7 +175,11 @@ class ThreadPoolImpl : public CpuImpl<Real> {
             [this, &ops, i, block, patterns](int t) {
               const int kBegin = t * block;
               const int kEnd = std::min(patterns, kBegin + block);
-              if (kBegin < kEnd) this->executeOperation(ops[i], kBegin, kEnd);
+              if (kBegin < kEnd) {
+                obs::ScopedSpan span(this->recorder_, obs::Category::kWorker,
+                                     this->kernelLabel(), t);
+                this->executeOperation(ops[i], kBegin, kEnd);
+              }
             },
             static_cast<unsigned>(nt));
       }
@@ -190,6 +204,8 @@ class ThreadPoolImpl : public CpuImpl<Real> {
           const int kBegin = t * block;
           const int kEnd = std::min(patterns, kBegin + block);
           if (kBegin < kEnd) {
+            obs::ScopedSpan span(this->recorder_, obs::Category::kWorker,
+                                 "rootSites", t);
             rootLikelihoodScalar<Real>(partials, freqs, weights, cumScale,
                                        this->siteLogL_.data(), patterns,
                                        this->config_.categoryCount,

@@ -17,6 +17,10 @@
 #include "core/defs.h"
 #include "perfmodel/device_profiles.h"
 
+namespace bgl::obs {
+class TraceRecorder;
+}
+
 namespace bgl::hal {
 
 /// Identifiers for the shared kernel set (one source set, both frameworks).
@@ -35,6 +39,26 @@ enum class KernelId : int {
   SumSiteLikelihoods,     ///< weighted reduction of site log-likelihoods
   kCount
 };
+
+/// Stable kernel names used in trace output.
+inline const char* kernelIdName(KernelId id) {
+  switch (id) {
+    case KernelId::PartialsPartials: return "PartialsPartials";
+    case KernelId::StatesPartials: return "StatesPartials";
+    case KernelId::StatesStates: return "StatesStates";
+    case KernelId::TransitionMatrices: return "TransitionMatrices";
+    case KernelId::TransitionMatricesDerivs: return "TransitionMatricesDerivs";
+    case KernelId::RootLikelihood: return "RootLikelihood";
+    case KernelId::EdgeLikelihood: return "EdgeLikelihood";
+    case KernelId::EdgeLikelihoodDerivs: return "EdgeLikelihoodDerivs";
+    case KernelId::RescalePartials: return "RescalePartials";
+    case KernelId::AccumulateScale: return "AccumulateScale";
+    case KernelId::ResetScale: return "ResetScale";
+    case KernelId::SumSiteLikelihoods: return "SumSiteLikelihoods";
+    case KernelId::kCount: break;
+  }
+  return "Unknown";
+}
 
 /// Hardware-specific kernel variants (Section VII-B): GPU-style kernels
 /// parallelize across (pattern, state) with local-memory staging; x86-style
@@ -153,8 +177,15 @@ class Device {
   Timeline& timeline() { return timeline_; }
   const Timeline& timeline() const { return timeline_; }
 
+  /// Attach the owning instance's trace recorder; the runtimes then emit
+  /// kernel-launch and memcpy events (with device/framework/stream
+  /// metadata) into it. Null detaches.
+  void setRecorder(obs::TraceRecorder* recorder) { recorder_ = recorder; }
+  obs::TraceRecorder* recorder() const { return recorder_; }
+
  protected:
   Timeline timeline_;
+  obs::TraceRecorder* recorder_ = nullptr;
 };
 
 using DevicePtr = std::shared_ptr<Device>;

@@ -78,6 +78,8 @@ RunResult runThroughput(const ProblemSpec& spec) {
   result.resourceName = details.resourceName;
 
   try {
+    if (!spec.traceFile.empty()) bglSetTraceFile(instance, spec.traceFile.c_str());
+    if (!spec.statsFile.empty()) bglSetStatsFile(instance, spec.statsFile.c_str());
     if (spec.threadCount > 0) bglSetThreadCount(instance, spec.threadCount);
     if (spec.workGroupSize > 0) bglSetWorkGroupSize(instance, spec.workGroupSize);
 

@@ -37,6 +37,8 @@ struct ProblemSpec {
   /// node, gives the futures implementation concurrency). false forces the
   /// bounded-memory caterpillar chain.
   bool balancedTopology = true;
+  std::string traceFile;     ///< non-empty: write a Chrome trace on finalize
+  std::string statsFile;     ///< non-empty: write a stats JSON on finalize
 };
 
 struct RunResult {

@@ -1,0 +1,284 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+namespace bgl::obs {
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::separator() {
+  if (pendingKey_) {
+    pendingKey_ = false;
+    return;  // value follows its key; no comma
+  }
+  if (!needComma_.empty()) {
+    if (needComma_.back()) os_ << ',';
+    needComma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  separator();
+  os_ << '{';
+  needComma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  needComma_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  separator();
+  os_ << '[';
+  needComma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  needComma_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  separator();
+  os_ << '"' << escape(k) << "\":";
+  pendingKey_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  separator();
+  os_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separator();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separator();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separator();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separator();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Microsecond timestamp with sub-microsecond precision preserved, as the
+// trace-event format expects.
+double toUs(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+void writeEventArgs(JsonWriter& w, const TraceEvent& ev) {
+  w.key("args").beginObject();
+  w.field("category", categoryName(ev.category));
+  if (!ev.device.empty()) w.field("device", ev.device);
+  if (!ev.framework.empty()) w.field("framework", ev.framework);
+  if (ev.stream >= 0) w.field("stream", ev.stream);
+  if (ev.bytes > 0) w.field("bytes", ev.bytes);
+  if (ev.groups > 0) w.field("groups", ev.groups);
+  w.endObject();
+}
+
+void writeBegin(JsonWriter& w, const TraceEvent& ev) {
+  w.beginObject();
+  w.field("name", ev.name);
+  w.field("cat", categoryName(ev.category));
+  w.field("ph", "B");
+  w.field("ts", toUs(ev.beginNs));
+  w.field("pid", 1);
+  w.field("tid", ev.tid);
+  writeEventArgs(w, ev);
+  w.endObject();
+}
+
+void writeEnd(JsonWriter& w, const TraceEvent& ev) {
+  w.beginObject();
+  w.field("name", ev.name);
+  w.field("cat", categoryName(ev.category));
+  w.field("ph", "E");
+  w.field("ts", toUs(ev.beginNs + ev.durNs));
+  w.field("pid", 1);
+  w.field("tid", ev.tid);
+  w.endObject();
+}
+
+}  // namespace
+
+void writeChromeTrace(std::ostream& os, const TraceRecorder& recorder,
+                      const std::string& processName) {
+  std::vector<TraceEvent> events = recorder.events();
+
+  // Group by tid; within a tid, emit properly nested B/E pairs by treating
+  // spans as a stack ordered by (begin asc, duration desc) so an enclosing
+  // span opens before anything nested inside it.
+  std::map<int, std::vector<const TraceEvent*>> byTid;
+  for (const TraceEvent& ev : events) byTid[ev.tid].push_back(&ev);
+
+  JsonWriter w(os);
+  w.beginObject();
+  w.key("traceEvents").beginArray();
+
+  // Process metadata so viewers show a friendly name.
+  w.beginObject();
+  w.field("name", "process_name");
+  w.field("ph", "M");
+  w.field("pid", 1);
+  w.key("args").beginObject().field("name", processName).endObject();
+  w.endObject();
+
+  for (auto& [tid, spans] : byTid) {
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                       if (a->beginNs != b->beginNs) return a->beginNs < b->beginNs;
+                       return a->durNs > b->durNs;
+                     });
+    std::vector<const TraceEvent*> open;
+    for (const TraceEvent* ev : spans) {
+      // Close any span that ends before this one begins. Spans that merely
+      // partially overlap (clock jitter between lanes) are closed too, which
+      // keeps the stream balanced at the cost of clipping the earlier span.
+      while (!open.empty() &&
+             open.back()->beginNs + open.back()->durNs <= ev->beginNs) {
+        writeEnd(w, *open.back());
+        open.pop_back();
+      }
+      writeBegin(w, *ev);
+      open.push_back(ev);
+    }
+    while (!open.empty()) {
+      writeEnd(w, *open.back());
+      open.pop_back();
+    }
+  }
+
+  w.endArray();
+  w.field("displayTimeUnit", "ms");
+  if (recorder.droppedEvents() > 0) {
+    w.field("droppedEvents", recorder.droppedEvents());
+  }
+  w.endObject();
+  os << '\n';
+}
+
+// ---------------------------------------------------------------------------
+// Stats export
+// ---------------------------------------------------------------------------
+
+void writeStatsJson(std::ostream& os, const TraceRecorder& recorder,
+                    const std::string& implName, const std::string& resourceName) {
+  JsonWriter w(os);
+  w.beginObject();
+  w.field("implementation", implName);
+  w.field("resource", resourceName);
+
+  w.key("counters").beginObject();
+  for (int c = 0; c < static_cast<int>(Counter::kCount); ++c) {
+    const auto counter = static_cast<Counter>(c);
+    w.field(counterName(counter), recorder.counter(counter));
+  }
+  w.endObject();
+
+  w.key("categories").beginObject();
+  for (int c = 0; c < static_cast<int>(Category::kCount); ++c) {
+    const auto cat = static_cast<Category>(c);
+    const DurationHistogram h = recorder.histogram(cat);
+    if (h.count == 0) continue;
+    w.key(categoryName(cat)).beginObject();
+    w.field("count", h.count);
+    w.field("totalSeconds", h.totalNs * 1e-9);
+    w.field("minNs", h.minNs);
+    w.field("maxNs", h.maxNs);
+    w.field("meanNs", static_cast<double>(h.totalNs) / static_cast<double>(h.count));
+    w.key("log2Buckets").beginArray();
+    int last = DurationHistogram::kBuckets;
+    while (last > 0 && h.buckets[last - 1] == 0) --last;
+    for (int b = 0; b < last; ++b) w.value(h.buckets[b]);
+    w.endArray();
+    w.endObject();
+  }
+  w.endObject();
+
+  w.field("timelineSeconds", recorder.timelineSeconds());
+  w.field("retainedEvents", static_cast<std::uint64_t>(recorder.eventCount()));
+  w.field("droppedEvents", recorder.droppedEvents());
+  w.endObject();
+  os << '\n';
+}
+
+// ---------------------------------------------------------------------------
+// File variants
+// ---------------------------------------------------------------------------
+
+bool writeChromeTraceFile(const std::string& path, const TraceRecorder& recorder,
+                          const std::string& processName) {
+  std::ofstream os(path);
+  if (!os) return false;
+  writeChromeTrace(os, recorder, processName);
+  return os.good();
+}
+
+bool writeStatsJsonFile(const std::string& path, const TraceRecorder& recorder,
+                        const std::string& implName,
+                        const std::string& resourceName) {
+  std::ofstream os(path);
+  if (!os) return false;
+  writeStatsJson(os, recorder, implName, resourceName);
+  return os.good();
+}
+
+}  // namespace bgl::obs

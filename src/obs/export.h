@@ -1,0 +1,70 @@
+// Exporters for the tracing/metrics layer: Chrome trace-event JSON (load
+// in about:tracing or https://ui.perfetto.dev) and a flat stats summary.
+// JsonWriter is a dependency-free streaming JSON serializer also used by
+// the benchmark harness for its BENCH_*.json trajectory records.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace bgl::obs {
+
+/// Minimal streaming JSON writer: tracks nesting and comma placement,
+/// escapes strings. Misuse (value without key inside an object) is the
+/// caller's bug; the writer emits whatever it is told.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  template <typename T>
+  JsonWriter& field(const std::string& k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void separator();
+
+  std::ostream& os_;
+  std::vector<bool> needComma_;  // one entry per open container
+  bool pendingKey_ = false;
+};
+
+/// Write the recorder's retained timeline as Chrome trace-event JSON with
+/// balanced, per-(pid,tid) properly nested B/E event pairs.
+void writeChromeTrace(std::ostream& os, const TraceRecorder& recorder,
+                      const std::string& processName);
+
+/// Write counters plus per-category duration histograms as flat JSON.
+void writeStatsJson(std::ostream& os, const TraceRecorder& recorder,
+                    const std::string& implName, const std::string& resourceName);
+
+/// File variants; return false if the file cannot be opened or written.
+bool writeChromeTraceFile(const std::string& path, const TraceRecorder& recorder,
+                          const std::string& processName);
+bool writeStatsJsonFile(const std::string& path, const TraceRecorder& recorder,
+                        const std::string& implName,
+                        const std::string& resourceName);
+
+}  // namespace bgl::obs

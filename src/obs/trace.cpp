@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <bit>
+
+namespace bgl::obs {
+
+const char* counterName(Counter c) {
+  switch (c) {
+    case Counter::kPartialsOperations: return "partialsOperations";
+    case Counter::kTransitionMatrices: return "transitionMatrices";
+    case Counter::kRootEvaluations: return "rootEvaluations";
+    case Counter::kEdgeEvaluations: return "edgeEvaluations";
+    case Counter::kRescaleEvents: return "rescaleEvents";
+    case Counter::kScaleAccumulations: return "scaleAccumulations";
+    case Counter::kKernelLaunches: return "kernelLaunches";
+    case Counter::kBytesIn: return "bytesCopiedIn";
+    case Counter::kBytesOut: return "bytesCopiedOut";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* categoryName(Category c) {
+  switch (c) {
+    case Category::kUpdatePartials: return "updatePartials";
+    case Category::kUpdateTransitionMatrices: return "updateTransitionMatrices";
+    case Category::kRootLogLikelihoods: return "rootLogLikelihoods";
+    case Category::kEdgeLogLikelihoods: return "edgeLogLikelihoods";
+    case Category::kOperation: return "operation";
+    case Category::kRescale: return "rescale";
+    case Category::kScaling: return "scaling";
+    case Category::kKernel: return "kernel";
+    case Category::kMemcpy: return "memcpy";
+    case Category::kWorker: return "worker";
+    case Category::kCount: break;
+  }
+  return "unknown";
+}
+
+bool isTimelineCategory(Category c) {
+  switch (c) {
+    case Category::kUpdatePartials:
+    case Category::kUpdateTransitionMatrices:
+    case Category::kRootLogLikelihoods:
+    case Category::kEdgeLogLikelihoods:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void DurationHistogram::record(std::uint64_t ns) {
+  if (count == 0 || ns < minNs) minNs = ns;
+  if (ns > maxNs) maxNs = ns;
+  ++count;
+  totalNs += ns;
+  const int bucket =
+      ns == 0 ? 0 : std::min(kBuckets - 1, static_cast<int>(std::bit_width(ns)) - 1);
+  ++buckets[bucket];
+}
+
+void TraceRecorder::reset() {
+  for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
+  std::lock_guard lock(mutex_);
+  for (auto& h : hist_) h = DurationHistogram{};
+  events_.clear();
+  dropped_ = 0;
+}
+
+void TraceRecorder::recordSpan(Category cat, const char* name,
+                               std::uint64_t beginNs, std::uint64_t endNs,
+                               int tid) {
+  TraceEvent ev;
+  ev.category = cat;
+  ev.name = name;
+  ev.beginNs = beginNs;
+  ev.durNs = endNs > beginNs ? endNs - beginNs : 0;
+  ev.tid = tid;
+  recordEvent(std::move(ev));
+}
+
+void TraceRecorder::recordEvent(TraceEvent ev) {
+  if (!timingEnabled()) return;
+  std::lock_guard lock(mutex_);
+  hist_[static_cast<int>(ev.category)].record(ev.durNs);
+  if (!eventsEnabled()) return;
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+std::uint64_t TraceRecorder::categoryCount(Category cat) const {
+  std::lock_guard lock(mutex_);
+  return hist_[static_cast<int>(cat)].count;
+}
+
+double TraceRecorder::categorySeconds(Category cat) const {
+  std::lock_guard lock(mutex_);
+  return hist_[static_cast<int>(cat)].totalNs * 1e-9;
+}
+
+double TraceRecorder::timelineSeconds() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t totalNs = 0;
+  for (int c = 0; c < static_cast<int>(Category::kCount); ++c) {
+    if (isTimelineCategory(static_cast<Category>(c))) {
+      totalNs += hist_[c].totalNs;
+    }
+  }
+  return totalNs * 1e-9;
+}
+
+DurationHistogram TraceRecorder::histogram(Category cat) const {
+  std::lock_guard lock(mutex_);
+  return hist_[static_cast<int>(cat)];
+}
+
+std::size_t TraceRecorder::eventCount() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t TraceRecorder::droppedEvents() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+}  // namespace bgl::obs

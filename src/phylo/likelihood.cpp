@@ -36,6 +36,12 @@ TreeLikelihood::TreeLikelihood(const Tree& tree, const SubstitutionModel& model,
   }
   implName_ = details.implName;
   resource_ = details.resourceNumber;
+  if (!options.traceFile.empty()) {
+    bglSetTraceFile(instance_, options.traceFile.c_str());
+  }
+  if (!options.statsFile.empty()) {
+    bglSetStatsFile(instance_, options.statsFile.c_str());
+  }
 
   const auto es = model.eigenSystem();
   int rc = bglSetEigenDecomposition(instance_, 0, es.evec.data(), es.ivec.data(),

@@ -23,6 +23,10 @@ struct LikelihoodOptions {
   int categories = 4;             ///< discrete-gamma rate categories
   double alpha = 0.5;             ///< gamma shape
   bool useScaling = false;        ///< per-node rescaling (large trees/codon)
+  /// Non-empty: export a Chrome trace / stats JSON when the instance is
+  /// finalized. Concurrent instances sharing a path get unique suffixes.
+  std::string traceFile;
+  std::string statsFile;
 };
 
 /// Owns one library instance configured for (taxa, states, patterns) and

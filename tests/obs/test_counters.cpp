@@ -1,0 +1,210 @@
+// Observability counters: bglGetStatistics totals must agree with the
+// number of operations the client issued, on every implementation family,
+// and the bglGetTimeline contract (UNIMPLEMENTED until something records)
+// must hold.
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <string>
+
+#include "api/bgl.h"
+#include "perfmodel/device_profiles.h"
+#include "phylo/likelihood.h"
+#include "tests/test_util.h"
+
+namespace bgl {
+namespace {
+
+constexpr int kTips = 8;
+constexpr int kPatterns = 40;
+
+struct ObsConfig {
+  const char* label;
+  long requirementFlags;
+  int resource;
+  bool accelerator;
+};
+
+const ObsConfig kObsConfigs[] = {
+    {"serial", BGL_FLAG_THREADING_NONE | BGL_FLAG_VECTOR_NONE, perf::kHostCpu,
+     false},
+    {"sse", BGL_FLAG_VECTOR_SSE | BGL_FLAG_THREADING_NONE, perf::kHostCpu, false},
+    {"futures", BGL_FLAG_THREADING_FUTURES, perf::kHostCpu, false},
+    {"thread_create", BGL_FLAG_THREADING_THREAD_CREATE, perf::kHostCpu, false},
+    {"thread_pool", BGL_FLAG_THREADING_THREAD_POOL, perf::kHostCpu, false},
+    {"cuda_host", BGL_FLAG_FRAMEWORK_CUDA, perf::kHostCpu, true},
+    {"opencl_p5000", BGL_FLAG_FRAMEWORK_OPENCL, perf::kQuadroP5000, true},
+};
+
+phylo::TreeLikelihood makeLikelihood(const ObsConfig& config, const phylo::Tree& tree,
+                                     const SubstitutionModel& model,
+                                     const PatternSet& data, bool scaling = false) {
+  phylo::LikelihoodOptions opts;
+  opts.categories = 2;
+  opts.requirementFlags = config.requirementFlags;
+  opts.resources = {config.resource};
+  opts.useScaling = scaling;
+  return phylo::TreeLikelihood(tree, model, data, opts);
+}
+
+class ObsCounters : public ::testing::TestWithParam<int> {};
+
+TEST_P(ObsCounters, MatchIssuedOperationCounts) {
+  const ObsConfig& config = kObsConfigs[GetParam()];
+  Rng rng(501);
+  auto tree = phylo::Tree::random(kTips, rng, 0.1);
+  JC69Model model;
+  auto data = phylo::simulatePatterns(tree, model, kPatterns, rng);
+  auto like = makeLikelihood(config, tree, model, data);
+
+  BglStatistics stats{};
+  ASSERT_EQ(bglGetStatistics(like.instance(), &stats), BGL_SUCCESS);
+  EXPECT_EQ(stats.partialsOperations, 0u) << config.label;
+  EXPECT_EQ(stats.transitionMatrices, 0u) << config.label;
+  EXPECT_EQ(stats.rootEvaluations, 0u) << config.label;
+
+  const int evaluations = 3;
+  for (int i = 0; i < evaluations; ++i) like.logLikelihood();
+
+  // Per evaluation the client issues one matrix batch covering every branch
+  // (2*tips - 2), one partials batch with one operation per internal node
+  // (tips - 1), and one root integration.
+  ASSERT_EQ(bglGetStatistics(like.instance(), &stats), BGL_SUCCESS);
+  EXPECT_EQ(stats.partialsOperations,
+            static_cast<unsigned long long>(evaluations * (kTips - 1)))
+      << config.label;
+  EXPECT_EQ(stats.transitionMatrices,
+            static_cast<unsigned long long>(evaluations * (2 * kTips - 2)))
+      << config.label;
+  EXPECT_EQ(stats.rootEvaluations, static_cast<unsigned long long>(evaluations))
+      << config.label;
+  EXPECT_EQ(stats.edgeEvaluations, 0u) << config.label;
+  EXPECT_EQ(stats.rescaleEvents, 0u) << config.label;
+
+  if (config.accelerator) {
+    EXPECT_GT(stats.kernelLaunches, 0u) << config.label;
+    EXPECT_GT(stats.bytesCopiedIn, 0u) << config.label;
+    EXPECT_GT(stats.bytesCopiedOut, 0u) << config.label;
+  } else {
+    EXPECT_EQ(stats.kernelLaunches, 0u) << config.label;
+  }
+
+  ASSERT_EQ(bglResetStatistics(like.instance()), BGL_SUCCESS);
+  ASSERT_EQ(bglGetStatistics(like.instance(), &stats), BGL_SUCCESS);
+  EXPECT_EQ(stats.partialsOperations, 0u) << config.label;
+  EXPECT_EQ(stats.transitionMatrices, 0u) << config.label;
+  EXPECT_EQ(stats.kernelLaunches, 0u) << config.label;
+}
+
+TEST_P(ObsCounters, EdgeAndRescaleCountersTrackUsage) {
+  const ObsConfig& config = kObsConfigs[GetParam()];
+  Rng rng(502);
+  auto tree = phylo::Tree::random(kTips, rng, 0.1);
+  JC69Model model;
+  auto data = phylo::simulatePatterns(tree, model, kPatterns, rng);
+
+  {
+    auto like = makeLikelihood(config, tree, model, data, /*scaling=*/true);
+    like.logLikelihood();
+    BglStatistics stats{};
+    ASSERT_EQ(bglGetStatistics(like.instance(), &stats), BGL_SUCCESS);
+    // With scaling enabled every partials operation rescales its result.
+    EXPECT_EQ(stats.rescaleEvents, static_cast<unsigned long long>(kTips - 1))
+        << config.label;
+  }
+
+  auto like = makeLikelihood(config, tree, model, data);
+  like.logLikelihood();
+  like.rootEdgeLogLikelihood(0.05, nullptr, nullptr);
+  BglStatistics stats{};
+  ASSERT_EQ(bglGetStatistics(like.instance(), &stats), BGL_SUCCESS);
+  EXPECT_EQ(stats.edgeEvaluations, 1u) << config.label;
+}
+
+TEST_P(ObsCounters, DisabledModeRecordsNoTiming) {
+  const ObsConfig& config = kObsConfigs[GetParam()];
+  Rng rng(503);
+  auto tree = phylo::Tree::random(kTips, rng, 0.1);
+  JC69Model model;
+  auto data = phylo::simulatePatterns(tree, model, kPatterns, rng);
+  auto like = makeLikelihood(config, tree, model, data);
+  like.logLikelihood();
+
+  // Counters are live, but no span timing was enabled: the seconds fields
+  // must all stay exactly zero.
+  BglStatistics stats{};
+  ASSERT_EQ(bglGetStatistics(like.instance(), &stats), BGL_SUCCESS);
+  EXPECT_GT(stats.partialsOperations, 0u);
+  EXPECT_EQ(stats.updatePartialsSeconds, 0.0) << config.label;
+  EXPECT_EQ(stats.updateTransitionMatricesSeconds, 0.0) << config.label;
+  EXPECT_EQ(stats.rootLogLikelihoodsSeconds, 0.0) << config.label;
+  EXPECT_EQ(stats.edgeLogLikelihoodsSeconds, 0.0) << config.label;
+}
+
+std::string obsConfigName(const ::testing::TestParamInfo<int>& info) {
+  return kObsConfigs[info.param].label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImplementations, ObsCounters,
+                         ::testing::Range(0, static_cast<int>(std::size(kObsConfigs))),
+                         obsConfigName);
+
+TEST(ObsTimeline, CpuRequiresResetBeforeGet) {
+  Rng rng(504);
+  auto tree = phylo::Tree::random(kTips, rng, 0.1);
+  JC69Model model;
+  auto data = phylo::simulatePatterns(tree, model, kPatterns, rng);
+  phylo::LikelihoodOptions opts;
+  opts.requirementFlags = BGL_FLAG_THREADING_NONE | BGL_FLAG_VECTOR_NONE;
+  opts.resources = {perf::kHostCpu};
+  phylo::TreeLikelihood like(tree, model, data, opts);
+
+  // Contract: a CPU instance that never enabled timing records nothing and
+  // must say so instead of returning zeros.
+  BglTimeline timeline{};
+  EXPECT_EQ(bglGetTimeline(like.instance(), &timeline), BGL_ERROR_UNIMPLEMENTED);
+
+  ASSERT_EQ(bglResetTimeline(like.instance()), BGL_SUCCESS);
+  like.logLikelihood();
+  ASSERT_EQ(bglGetTimeline(like.instance(), &timeline), BGL_SUCCESS);
+  EXPECT_GT(timeline.measuredSeconds, 0.0);
+  EXPECT_EQ(timeline.modeledSeconds, timeline.measuredSeconds);  // host: measured
+  EXPECT_GT(timeline.kernelLaunches, 0u);  // one per partials operation
+
+  // A second reset re-baselines: with no new work the timeline reads zero.
+  ASSERT_EQ(bglResetTimeline(like.instance()), BGL_SUCCESS);
+  ASSERT_EQ(bglGetTimeline(like.instance(), &timeline), BGL_SUCCESS);
+  EXPECT_EQ(timeline.measuredSeconds, 0.0);
+}
+
+TEST(ObsTimeline, AcceleratorRecordsWithoutOptIn) {
+  Rng rng(505);
+  auto tree = phylo::Tree::random(kTips, rng, 0.1);
+  JC69Model model;
+  auto data = phylo::simulatePatterns(tree, model, kPatterns, rng);
+  phylo::LikelihoodOptions opts;
+  opts.requirementFlags = BGL_FLAG_FRAMEWORK_CUDA;
+  opts.resources = {perf::kQuadroP5000};
+  phylo::TreeLikelihood like(tree, model, data, opts);
+  like.logLikelihood();
+
+  BglTimeline timeline{};
+  ASSERT_EQ(bglGetTimeline(like.instance(), &timeline), BGL_SUCCESS);
+  EXPECT_GT(timeline.kernelLaunches, 0u);
+  EXPECT_GT(timeline.modeledSeconds, 0.0);  // roofline-modeled device
+  EXPECT_GT(timeline.bytesCopied, 0u);
+}
+
+TEST(ObsTimeline, InvalidInstanceRejected) {
+  BglTimeline timeline{};
+  EXPECT_EQ(bglGetTimeline(424242, &timeline), BGL_ERROR_OUT_OF_RANGE);
+  EXPECT_EQ(bglGetTimeline(0, nullptr), BGL_ERROR_OUT_OF_RANGE);
+  BglStatistics stats{};
+  EXPECT_EQ(bglGetStatistics(424242, &stats), BGL_ERROR_OUT_OF_RANGE);
+  EXPECT_EQ(bglGetStatistics(0, nullptr), BGL_ERROR_OUT_OF_RANGE);
+  EXPECT_EQ(bglSetTraceFile(424242, "x.json"), BGL_ERROR_OUT_OF_RANGE);
+  EXPECT_EQ(bglSetStatsFile(424242, "x.json"), BGL_ERROR_OUT_OF_RANGE);
+}
+
+}  // namespace
+}  // namespace bgl

@@ -11,6 +11,7 @@
 //   genomictest --framework opencl --kernel x86 --workgroup 512
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "api/bgl.h"
@@ -37,7 +38,9 @@ void printUsage(const char* program) {
       "  --threads N            thread count / device fission\n"
       "  --workgroup N          patterns per work-group (x86 kernels)\n"
       "  --no-fma               disable fused-multiply-add kernels\n"
-      "  --seed N               RNG seed (default 1234)\n",
+      "  --seed N               RNG seed (default 1234)\n"
+      "  --trace FILE           write a Chrome trace (chrome://tracing) JSON\n"
+      "  --stats-json FILE      write per-operation counters/timings as JSON\n",
       program);
 }
 
@@ -72,6 +75,8 @@ int main(int argc, char** argv) {
   spec.threadCount = args.getInt("threads", 0);
   spec.workGroupSize = args.getInt("workgroup", 0);
   spec.seed = static_cast<unsigned>(args.getInt("seed", 1234));
+  spec.traceFile = args.get("trace");
+  spec.statsFile = args.get("stats-json");
 
   const std::string framework = args.get("framework");
   if (framework == "cpu") spec.requirementFlags |= BGL_FLAG_FRAMEWORK_CPU;
@@ -107,6 +112,14 @@ int main(int argc, char** argv) {
                 result.modeled ? "roofline-modeled" : "measured");
     std::printf("throughput: %.2f GFLOPS effective\n", result.gflops);
     std::printf("validation logL: %.6f\n", result.logL);
+    // The library warns on stderr if an export could not be written; only
+    // claim success for files that actually exist.
+    if (!spec.traceFile.empty() && std::filesystem::exists(spec.traceFile)) {
+      std::printf("trace written: %s\n", spec.traceFile.c_str());
+    }
+    if (!spec.statsFile.empty() && std::filesystem::exists(spec.statsFile)) {
+      std::printf("stats written: %s\n", spec.statsFile.c_str());
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

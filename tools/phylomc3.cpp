@@ -45,7 +45,10 @@ int main(int argc, char** argv) {
         "  --framework cpu|cuda|opencl --resource N --threading pool|...\n"
         "  --native           use the built-in (non-library) evaluator\n"
         "  --serial-chains    disable chain-level concurrency\n"
-        "  --ml               maximum-likelihood hill-climb instead of MCMC\n",
+        "  --ml               maximum-likelihood hill-climb instead of MCMC\n"
+        "  --trace FILE       Chrome trace JSON per instance (chains get\n"
+        "                     unique .iN suffixes)\n"
+        "  --stats-json FILE  per-operation counters/timings as JSON\n",
         args.program().c_str());
     return 0;
   }
@@ -102,6 +105,8 @@ int main(int argc, char** argv) {
       if (args.has("resource")) {
         mlOpts.likelihood.resources = {args.getInt("resource", 0)};
       }
+      mlOpts.likelihood.traceFile = args.get("trace");
+      mlOpts.likelihood.statsFile = args.get("stats-json");
       const auto start = phylo::Tree::random(data.taxa, rng, 0.1);
       const auto result = phylo::mlSearch(start, model, data, mlOpts);
       std::printf("\nML search: %d rounds, %d/%d NNIs accepted, %ld evaluations\n",
@@ -135,6 +140,8 @@ int main(int argc, char** argv) {
       }
       if (args.has("single")) lo.requirementFlags |= BGL_FLAG_PRECISION_SINGLE;
       if (args.has("resource")) lo.resources = {args.getInt("resource", 0)};
+      lo.traceFile = args.get("trace");
+      lo.statsFile = args.get("stats-json");
       factory = mc3::makeBglFactory(lo);
     }
 
