@@ -80,7 +80,20 @@ typedef enum BglFlags {
 
   /* Disable fused-multiply-add kernel generation (FP_FAST_FMA ablation,
    * Table IV of the paper). */
-  BGL_FLAG_FMA_OFF = 1L << 22
+  BGL_FLAG_FMA_OFF = 1L << 22,
+
+  /* Load-balancing policy hints for the heterogeneous scheduler. These are
+   * resolved by the implementation manager, not by any backend: they never
+   * disqualify a factory, and they are carried through into the resolved
+   * instance flags so multi-instance consumers (pattern splitting, resource
+   * auto-selection) can read the requested policy back. */
+  BGL_FLAG_LOADBALANCE_NONE = 1L << 23,      /**< equal round-robin sharding */
+  BGL_FLAG_LOADBALANCE_BENCHMARK = 1L << 24, /**< calibrate resources by running
+                                                  the benchmark workload */
+  BGL_FLAG_LOADBALANCE_MODEL = 1L << 25,     /**< seed speed estimates from the
+                                                  perf-model device profiles */
+  BGL_FLAG_LOADBALANCE_ADAPTIVE = 1L << 26   /**< proportional sharding plus
+                                                  EWMA-driven rebalancing */
 } BglFlags;
 
 /** Description of a hardware resource usable by the library. */
@@ -360,6 +373,49 @@ int bglSetStatsFile(int instance, const char* path);
  * accelerator kernels (the tuning dimension of Table V in the paper).
  */
 int bglSetWorkGroupSize(int instance, int patternsPerWorkGroup);
+
+/** One resource's calibrated (or model-estimated) throughput. */
+typedef struct BglBenchmarkedResource {
+  int resourceNumber;  /**< index into the resource list */
+  double performance;  /**< effective GFLOPS on the calibration workload */
+  double seconds;      /**< seconds per calibration evaluation */
+  int measured;        /**< 1 = benchmark executed, 0 = perf-model estimate */
+} BglBenchmarkedResource;
+
+/**
+ * Benchmark hardware resources on a short synthetic partials+root workload
+ * (the beagleBenchmarkResources capability of BEAGLE 4.1) and cache the
+ * resulting throughput estimates for later scheduling decisions.
+ *
+ * @param resourceList     resources to benchmark, or NULL for all
+ * @param resourceCount    entries in resourceList (ignored when NULL)
+ * @param stateCount       workload states per character (<= 0: default 4)
+ * @param patternCount     workload site patterns (<= 0: default 1024)
+ * @param categoryCount    workload rate categories (<= 0: default 4)
+ * @param preferenceFlags  preferred BglFlags for the benchmark instances
+ * @param requirementFlags required BglFlags; include
+ *                         BGL_FLAG_LOADBALANCE_MODEL to skip execution and
+ *                         return perf-model estimates instead
+ * @param outBenchmarks    caller-allocated array with room for every
+ *                         requested resource
+ * @param outCount         number of entries written
+ *
+ * Resources that no implementation can serve under the given flags are
+ * filled with perf-model estimates (measured = 0) rather than omitted.
+ * The calibration dataset is deterministic; set BGL_SCHED_SEED to change
+ * its seed.
+ */
+int bglBenchmarkResources(const int* resourceList, int resourceCount,
+                          int stateCount, int patternCount, int categoryCount,
+                          long preferenceFlags, long requirementFlags,
+                          BglBenchmarkedResource* outBenchmarks, int* outCount);
+
+/**
+ * Best throughput estimate (effective GFLOPS) known for `resource`:
+ * the cached benchmark result when one exists, else a perf-model
+ * estimate. Never runs a benchmark itself.
+ */
+int bglGetResourcePerformance(int resource, double* outPerformance);
 
 #ifdef __cplusplus
 }

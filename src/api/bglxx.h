@@ -21,6 +21,34 @@ inline int check(int rc, const char* what) {
   return rc;
 }
 
+/// Benchmark (or, with BGL_FLAG_LOADBALANCE_MODEL in requirementFlags,
+/// model-estimate) hardware resources; empty `resources` = all. Requires
+/// linking the scheduler library (bgl_sched), which owns these entry points.
+inline std::vector<BglBenchmarkedResource> benchmarkResources(
+    const std::vector<int>& resources = {}, int stateCount = 0,
+    int patternCount = 0, int categoryCount = 0, long preferenceFlags = 0,
+    long requirementFlags = 0) {
+  int capacity = static_cast<int>(resources.size());
+  if (resources.empty()) capacity = bglGetResourceList()->length;
+  std::vector<BglBenchmarkedResource> out(static_cast<std::size_t>(capacity));
+  int count = 0;
+  check(bglBenchmarkResources(resources.empty() ? nullptr : resources.data(),
+                              static_cast<int>(resources.size()), stateCount,
+                              patternCount, categoryCount, preferenceFlags,
+                              requirementFlags, out.data(), &count),
+        "bglBenchmarkResources");
+  out.resize(static_cast<std::size_t>(count));
+  return out;
+}
+
+/// Cached-or-model effective GFLOPS for one resource.
+inline double resourcePerformance(int resource) {
+  double performance = 0.0;
+  check(bglGetResourcePerformance(resource, &performance),
+        "bglGetResourcePerformance");
+  return performance;
+}
+
 class Instance {
  public:
   Instance(int tipCount, int partialsBufferCount, int compactBufferCount,

@@ -7,6 +7,16 @@
 #include "perfmodel/device_profiles.h"
 
 namespace bgl {
+namespace {
+
+/// Scheduler policy hints: resolved by the manager, never by a factory.
+/// They must not disqualify any implementation, but they are carried into
+/// the resolved instance flags so consumers can read the policy back.
+constexpr long kLoadBalanceFlags =
+    BGL_FLAG_LOADBALANCE_NONE | BGL_FLAG_LOADBALANCE_BENCHMARK |
+    BGL_FLAG_LOADBALANCE_MODEL | BGL_FLAG_LOADBALANCE_ADAPTIVE;
+
+}  // namespace
 
 Registry::Registry() {
   cpu::appendCpuFactories(factories_);
@@ -26,12 +36,12 @@ Registry::Registry() {
     res.requiredFlags = 0;
     resources_.push_back(res);
   }
-  refreshResourceFlags();
+  refreshResourceFlagsLocked();
   list_.list = resources_.data();
   list_.length = static_cast<int>(resources_.size());
 }
 
-void Registry::refreshResourceFlags() {
+void Registry::refreshResourceFlagsLocked() {
   for (int r = 0; r < static_cast<int>(resources_.size()); ++r) {
     long support = 0;
     for (const auto& f : factories_) {
@@ -42,8 +52,9 @@ void Registry::refreshResourceFlags() {
 }
 
 void Registry::addFactory(std::unique_ptr<ImplementationFactory> factory) {
+  std::lock_guard lock(mutex_);
   factories_.push_back(std::move(factory));
-  refreshResourceFlags();
+  refreshResourceFlagsLocked();
 }
 
 Registry& Registry::instance() {
@@ -58,6 +69,13 @@ Registry::CreateResult Registry::create(InstanceConfig cfg, const int* resourceL
                                         long requirementFlags, int* error) {
   CreateResult result;
   *error = BGL_SUCCESS;
+  std::lock_guard lock(mutex_);
+
+  // Resolve the load-balancing policy hints: the manager consumes them,
+  // factories never see them as requirements.
+  const long loadBalance = (requirementFlags | preferenceFlags) & kLoadBalanceFlags;
+  requirementFlags &= ~kLoadBalanceFlags;
+  preferenceFlags &= ~kLoadBalanceFlags;
 
   // Resolve precision: requirements beat preferences; double is default.
   long precision;
@@ -111,7 +129,7 @@ Registry::CreateResult Registry::create(InstanceConfig cfg, const int* resourceL
     for (auto* f : viable) {
       InstanceConfig attempt = cfg;
       attempt.resource = r;
-      attempt.flags = req | (preferenceFlags & f->supportFlags(r));
+      attempt.flags = req | (preferenceFlags & f->supportFlags(r)) | loadBalance;
       auto impl = f->create(attempt);
       if (impl != nullptr) {
         result.impl = std::move(impl);

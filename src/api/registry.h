@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,13 +36,15 @@ class Registry {
                       long preferenceFlags, long requirementFlags, int* error);
 
   /// Register an additional factory (plugin loading); refreshes the
-  /// per-resource capability flags. Not safe concurrently with create().
+  /// per-resource capability flags. Factory and resource-list mutation is
+  /// mutex-guarded, so this is safe concurrently with create().
   void addFactory(std::unique_ptr<ImplementationFactory> factory);
 
  private:
   Registry();
-  void refreshResourceFlags();
+  void refreshResourceFlagsLocked();
 
+  mutable std::mutex mutex_;  ///< guards factories_ / resources_ mutation
   std::vector<std::unique_ptr<ImplementationFactory>> factories_;
   std::vector<BglResource> resources_;
   std::vector<std::string> resourceStrings_;  // stable name/description storage

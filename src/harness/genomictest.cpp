@@ -220,4 +220,46 @@ RunResult runThroughput(const ProblemSpec& spec) {
   return result;
 }
 
+SplitRunResult runSplitThroughput(const ProblemSpec& spec,
+                                  const std::vector<phylo::LikelihoodOptions>& shardOptions,
+                                  const phylo::SplitOptions& split) {
+  if (spec.tips < 2) throw Error("runSplitThroughput: need >= 2 tips");
+  if (shardOptions.empty()) throw Error("runSplitThroughput: no shards");
+
+  Rng rng(spec.seed);
+  const auto model = defaultModelForStates(spec.states, spec.seed);
+  const phylo::Tree tree = phylo::Tree::random(spec.tips, rng);
+
+  // Uniform random states with unit weights: the genomictest dataset shape
+  // (pattern content does not affect kernel cost).
+  PatternSet data;
+  data.taxa = spec.tips;
+  data.patterns = spec.patterns;
+  data.states = phylo::randomStates(spec.tips, spec.patterns, spec.states, rng);
+  data.weights.assign(static_cast<std::size_t>(spec.patterns), 1.0);
+  data.originalSites = spec.patterns;
+
+  phylo::SplitLikelihood like(tree, *model, data, shardOptions, split);
+
+  SplitRunResult result;
+  for (int w = 0; w < spec.warmupReps; ++w) result.logL = like.logLikelihood(tree);
+
+  double best = 1e300;
+  for (int r = 0; r < spec.reps; ++r) {
+    const double t0 = now();
+    result.logL = like.logLikelihood(tree);
+    best = std::min(best, now() - t0);
+  }
+
+  result.seconds = best;
+  result.gflops = evaluationFlops(spec) / best / 1e9;
+  result.rebalances = like.rebalanceCount();
+  result.shardPatterns = like.shardPatternCounts();
+  result.implNames.reserve(static_cast<std::size_t>(like.shardCount()));
+  for (int s = 0; s < like.shardCount(); ++s) {
+    result.implNames.push_back(like.implName(s));
+  }
+  return result;
+}
+
 }  // namespace bgl::harness

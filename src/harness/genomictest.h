@@ -9,8 +9,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "api/bgl.h"
+#include "phylo/partition.h"
 
 namespace bgl::harness {
 
@@ -61,5 +63,23 @@ RunResult runThroughput(const ProblemSpec& spec);
 
 /// Resource id whose name contains `nameFragment` (case-sensitive), or -1.
 int findResource(const std::string& nameFragment);
+
+/// Result of a multi-instance split-likelihood run.
+struct SplitRunResult {
+  double seconds = 0.0;    ///< best-of-reps wall time of one evaluation round
+  double gflops = 0.0;     ///< evaluationFlops(spec) / seconds
+  double logL = 0.0;       ///< full-alignment log likelihood (shard sum)
+  int rebalances = 0;      ///< adaptive re-splits applied during the run
+  std::vector<int> shardPatterns;       ///< final per-shard pattern counts
+  std::vector<std::string> implNames;   ///< final per-shard implementations
+};
+
+/// Split one synthetic genomictest-style problem across several instances
+/// (one per entry of `shardOptions`) under the given split policy, and
+/// time the combined evaluation. Warmup rounds run first, so Adaptive mode
+/// can converge before the timed repetitions.
+SplitRunResult runSplitThroughput(const ProblemSpec& spec,
+                                  const std::vector<phylo::LikelihoodOptions>& shardOptions,
+                                  const phylo::SplitOptions& split);
 
 }  // namespace bgl::harness

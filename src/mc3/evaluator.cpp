@@ -8,6 +8,7 @@
 #include "core/gamma.h"
 #include "core/transition.h"
 #include "cpu/cpu_kernels.h"
+#include "sched/sched.h"
 
 namespace bgl::mc3 {
 
@@ -42,6 +43,24 @@ void BglEvaluator::resetTimeline() { bglResetTimeline(like_->instance()); }
 EvaluatorFactory makeBglFactory(phylo::LikelihoodOptions options) {
   return [options](const PatternSet& data, const SubstitutionModel& model) {
     return std::make_unique<BglEvaluator>(data, model, options);
+  };
+}
+
+EvaluatorFactory makeAutoBglFactory(phylo::LikelihoodOptions options,
+                                    bool benchmark) {
+  return [options, benchmark](const PatternSet& data,
+                              const SubstitutionModel& model) {
+    sched::CalibrationSpec spec;
+    spec.states = model.states();
+    spec.categories = options.categories;
+    spec.singlePrecision = ((options.preferenceFlags | options.requirementFlags) &
+                            BGL_FLAG_PRECISION_SINGLE) != 0;
+    spec.preferenceFlags = options.preferenceFlags;
+    spec.requirementFlags = options.requirementFlags;
+    phylo::LikelihoodOptions resolved = options;
+    const int best = sched::fastestResource(options.resources, spec, benchmark);
+    if (best >= 0) resolved.resources = {best};
+    return std::make_unique<BglEvaluator>(data, model, resolved);
   };
 }
 

@@ -55,6 +55,13 @@ class BglEvaluator final : public Evaluator {
 /// Factory helper for BglEvaluator with fixed options.
 EvaluatorFactory makeBglFactory(phylo::LikelihoodOptions options);
 
+/// Like makeBglFactory, but the resource is chosen by the scheduler: the
+/// fastest among `options.resources` (or all resources when empty) by
+/// calibrated throughput — the --auto-resource path. `benchmark` false
+/// ranks by perf-model estimates instead of running calibrations.
+EvaluatorFactory makeAutoBglFactory(phylo::LikelihoodOptions options,
+                                    bool benchmark = true);
+
 /// Self-contained native evaluator (no library): scalar loops with
 /// per-node rescaling, templated on precision. Stands in for the MrBayes
 /// built-in SSE implementation as the application baseline.

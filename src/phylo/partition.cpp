@@ -1,10 +1,43 @@
 #include "phylo/partition.h"
 
+#include <algorithm>
+#include <chrono>
 #include <future>
+#include <numeric>
 
 #include "core/defs.h"
+#include "sched/sched.h"
 
 namespace bgl::phylo {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsedSeconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Calibration spec matching one shard's (model, options) combination.
+sched::CalibrationSpec shardSpec(const SubstitutionModel& model,
+                                 const LikelihoodOptions& options,
+                                 const SplitOptions& split) {
+  sched::CalibrationSpec spec;
+  spec.states = model.states();
+  spec.categories = options.categories;
+  spec.singlePrecision =
+      ((options.preferenceFlags | options.requirementFlags) &
+       BGL_FLAG_PRECISION_SINGLE) != 0;
+  spec.preferenceFlags = options.preferenceFlags;
+  spec.requirementFlags = options.requirementFlags;
+  spec.seed = split.calibrationSeed;
+  return spec;
+}
+
+int shardResource(const LikelihoodOptions& options) {
+  return options.resources.empty() ? 0 : options.resources.front();
+}
+
+}  // namespace
 
 PartitionedLikelihood::PartitionedLikelihood(const Tree& tree,
                                              const std::vector<PartitionSpec>& specs,
@@ -39,18 +72,83 @@ double PartitionedLikelihood::logLikelihood(const Tree& tree) {
   return total;
 }
 
+void autoAssignResources(std::vector<PartitionSpec>& specs, bool benchmark) {
+  if (specs.empty()) return;
+  const auto estimates = sched::resourceEstimates({}, {}, benchmark);
+  if (estimates.empty()) return;
+  // Fastest resources first.
+  std::vector<const sched::ResourceEstimate*> ranked;
+  ranked.reserve(estimates.size());
+  for (const auto& e : estimates) ranked.push_back(&e);
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const sched::ResourceEstimate* a,
+                      const sched::ResourceEstimate* b) {
+                     return a->patternsPerSecond > b->patternsPerSecond;
+                   });
+  // Largest partitions first, so the heaviest subsets land on the fastest
+  // resources; wrap around when partitions outnumber resources.
+  std::vector<std::size_t> order(specs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return specs[a].data.patterns > specs[b].data.patterns;
+  });
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto* pick = ranked[i % ranked.size()];
+    specs[order[i]].options.resources = {pick->resource};
+  }
+}
+
+SplitMode splitModeFromFlags(long flags) {
+  if (flags & BGL_FLAG_LOADBALANCE_ADAPTIVE) return SplitMode::Adaptive;
+  if (flags & (BGL_FLAG_LOADBALANCE_BENCHMARK | BGL_FLAG_LOADBALANCE_MODEL)) {
+    return SplitMode::Proportional;
+  }
+  return SplitMode::Equal;
+}
+
 std::vector<PatternSet> splitPatterns(const PatternSet& data, int shards) {
   if (shards < 1) throw Error("splitPatterns: need >= 1 shard");
   if (shards > data.patterns) shards = data.patterns;
-  std::vector<PatternSet> out(shards);
-  for (int s = 0; s < shards; ++s) {
+  std::vector<int> shares(static_cast<std::size_t>(shards));
+  for (int k = 0; k < data.patterns; ++k) ++shares[static_cast<std::size_t>(k % shards)];
+  return splitPatternsByShares(data, shares);
+}
+
+std::vector<PatternSet> splitPatternsByShares(const PatternSet& data,
+                                              const std::vector<int>& shares) {
+  if (shares.empty()) throw Error("splitPatternsByShares: need >= 1 shard");
+  int total = 0;
+  for (int s : shares) {
+    if (s < 0) throw Error("splitPatternsByShares: negative share");
+    total += s;
+  }
+  if (total != data.patterns) {
+    throw Error("splitPatternsByShares: shares sum to " + std::to_string(total) +
+                ", expected " + std::to_string(data.patterns));
+  }
+  const int n = static_cast<int>(shares.size());
+  std::vector<PatternSet> out(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
     out[s].taxa = data.taxa;
     out[s].originalSites = 0;
   }
-  // Round-robin deal, preserving weights.
-  std::vector<std::vector<int>> columns(shards);
-  for (int k = 0; k < data.patterns; ++k) columns[k % shards].push_back(k);
-  for (int s = 0; s < shards; ++s) {
+  // Deal pattern columns in index order, strided across the shards that
+  // still have capacity: shard composition stays statistically similar to
+  // the full set even when shares are very unequal.
+  std::vector<std::vector<int>> columns(static_cast<std::size_t>(n));
+  std::vector<int> remaining = shares;
+  int cursor = 0;
+  for (int k = 0; k < data.patterns; ++k) {
+    int probed = 0;
+    while (remaining[static_cast<std::size_t>(cursor)] == 0 && probed < n) {
+      cursor = (cursor + 1) % n;
+      ++probed;
+    }
+    columns[static_cast<std::size_t>(cursor)].push_back(k);
+    --remaining[static_cast<std::size_t>(cursor)];
+    cursor = (cursor + 1) % n;
+  }
+  for (int s = 0; s < n; ++s) {
     auto& shard = out[s];
     shard.patterns = static_cast<int>(columns[s].size());
     shard.states.resize(static_cast<std::size_t>(data.taxa) * shard.patterns);
@@ -72,33 +170,144 @@ SplitLikelihood::SplitLikelihood(const Tree& tree, const SubstitutionModel& mode
                                  const PatternSet& data,
                                  const std::vector<LikelihoodOptions>& shardOptions,
                                  bool concurrent)
-    : concurrent_(concurrent) {
-  if (shardOptions.empty()) throw Error("SplitLikelihood: no shards");
-  const auto shardData = splitPatterns(data, static_cast<int>(shardOptions.size()));
-  shards_.reserve(shardData.size());
-  for (std::size_t s = 0; s < shardData.size(); ++s) {
-    shardPatterns_.push_back(shardData[s].patterns);
-    shards_.push_back(std::make_unique<TreeLikelihood>(tree, model, shardData[s],
-                                                       shardOptions[s]));
+    : SplitLikelihood(tree, model, data, shardOptions, [&] {
+        SplitOptions split;
+        split.mode = SplitMode::Equal;
+        split.concurrent = concurrent;
+        return split;
+      }()) {}
+
+SplitLikelihood::SplitLikelihood(const Tree& tree, const SubstitutionModel& model,
+                                 const PatternSet& data,
+                                 const std::vector<LikelihoodOptions>& shardOptions,
+                                 const SplitOptions& split)
+    : model_(&model), data_(data), shardOptions_(shardOptions), split_(split) {
+  if (shardOptions_.empty()) throw Error("SplitLikelihood: no shards");
+  if (data_.patterns < 1) throw Error("SplitLikelihood: no patterns");
+  const int n = static_cast<int>(shardOptions_.size());
+
+  std::vector<double> speeds;
+  if (split_.mode == SplitMode::Equal) {
+    speeds.assign(static_cast<std::size_t>(n), 1.0);
+  } else if (!split_.speeds.empty()) {
+    if (static_cast<int>(split_.speeds.size()) != n) {
+      throw Error("SplitLikelihood: speeds/shardOptions size mismatch");
+    }
+    speeds = split_.speeds;
+    calibratedSpeeds_ = speeds;
+  } else {
+    // Calibrate each shard's (resource, flags) combination through the
+    // scheduler; estimates are cached process-wide, so identical shard
+    // configurations cost one calibration run between them.
+    speeds.reserve(static_cast<std::size_t>(n));
+    for (const auto& options : shardOptions_) {
+      const auto estimate = sched::resourceEstimate(
+          shardResource(options), shardSpec(model, options, split_),
+          split_.benchmark);
+      speeds.push_back(estimate.patternsPerSecond);
+    }
+    calibratedSpeeds_ = speeds;
+  }
+
+  const auto shares =
+      sched::proportionalShares(data_.patterns, speeds, split_.minPatternsPerShard);
+  if (split_.mode == SplitMode::Adaptive) {
+    sched::LoadBalancer::Options options;
+    options.ewmaAlpha = split_.ewmaAlpha;
+    options.imbalanceThreshold = split_.imbalanceThreshold;
+    options.minShare = split_.minPatternsPerShard;
+    options.settleRounds = split_.settleRounds;
+    balancer_ = std::make_unique<sched::LoadBalancer>(speeds, options);
+  }
+  build(tree, shares);
+}
+
+void SplitLikelihood::build(const Tree& tree, const std::vector<int>& shares) {
+  shards_.clear();
+  shards_.resize(shares.size());
+  shardPatterns_ = shares;
+  shardSeconds_.assign(shares.size(), 0.0);
+  const auto shardData = splitPatternsByShares(data_, shares);
+  for (std::size_t s = 0; s < shares.size(); ++s) {
+    if (shares[s] <= 0) continue;  // idle shard: no instance
+    shards_[s] = std::make_unique<TreeLikelihood>(tree, *model_, shardData[s],
+                                                  shardOptions_[s]);
   }
 }
 
+double SplitLikelihood::evaluateShard(std::size_t shard, const Tree& tree) {
+  if (shards_[shard] == nullptr) {
+    shardSeconds_[shard] = 0.0;
+    return 0.0;
+  }
+  const int instance = shards_[shard]->instance();
+  const bool timeline = bglResetTimeline(instance) == BGL_SUCCESS;
+  const auto start = Clock::now();
+  const double logL = shards_[shard]->logLikelihood(tree);
+  double seconds = elapsedSeconds(start);
+  if (timeline) {
+    // Prefer the obs-layer timeline: on simulated accelerator profiles the
+    // roofline-modeled time is the honest per-device time base, and it is
+    // immune to host-side oversubscription when shards run concurrently.
+    BglTimeline tl{};
+    if (bglGetTimeline(instance, &tl) == BGL_SUCCESS && tl.modeledSeconds > 0.0) {
+      seconds = tl.modeledSeconds;
+    }
+  }
+  if (shard < split_.debugSlowdown.size() && split_.debugSlowdown[shard] > 0.0) {
+    seconds *= split_.debugSlowdown[shard];
+  }
+  shardSeconds_[shard] = seconds;
+  return logL;
+}
+
 double SplitLikelihood::logLikelihood(const Tree& tree) {
-  if (!concurrent_ || shards_.size() == 1) {
-    double total = 0.0;
-    for (auto& shard : shards_) total += shard->logLikelihood(tree);
-    return total;
+  double total = 0.0;
+  if (!split_.concurrent || shards_.size() == 1) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      total += evaluateShard(i, tree);
+    }
+  } else {
+    std::vector<std::future<double>> futures;
+    futures.reserve(shards_.size() - 1);
+    for (std::size_t i = 1; i < shards_.size(); ++i) {
+      futures.push_back(std::async(std::launch::async, [this, i, &tree] {
+        return evaluateShard(i, tree);
+      }));
+    }
+    total = evaluateShard(0, tree);
+    for (auto& f : futures) total += f.get();
   }
-  std::vector<std::future<double>> futures;
-  futures.reserve(shards_.size() - 1);
-  for (std::size_t i = 1; i < shards_.size(); ++i) {
-    futures.push_back(std::async(std::launch::async, [this, i, &tree] {
-      return shards_[i]->logLikelihood(tree);
-    }));
+
+  if (balancer_ != nullptr) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (shardPatterns_[i] > 0 && shardSeconds_[i] > 0.0) {
+        balancer_->observe(static_cast<int>(i), shardPatterns_[i],
+                           shardSeconds_[i]);
+      }
+    }
+    const auto newShares = balancer_->rebalance(data_.patterns, shardPatterns_);
+    if (!newShares.empty()) {
+      const int migrated = sched::migratedItems(shardPatterns_, newShares);
+      sched::noteRebalance(static_cast<std::uint64_t>(migrated));
+      obs::ScopedSpan span(sched::recorder(), obs::Category::kOperation,
+                           "sched.rebalance");
+      build(tree, newShares);
+      ++rebalances_;
+    }
   }
-  double total = shards_[0]->logLikelihood(tree);
-  for (auto& f : futures) total += f.get();
   return total;
+}
+
+const std::string& SplitLikelihood::implName(int shard) const {
+  static const std::string kIdle = "(idle)";
+  const auto& ptr = shards_[static_cast<std::size_t>(shard)];
+  return ptr == nullptr ? kIdle : ptr->implName();
+}
+
+std::vector<double> SplitLikelihood::shardSpeeds() const {
+  if (balancer_ != nullptr) return balancer_->speeds();
+  return calibratedSpeeds_;
 }
 
 }  // namespace bgl::phylo

@@ -7,9 +7,10 @@
 //
 // The paper's conclusion sketches the complementary feature: splitting a
 // single data subset across multiple devices by site patterns, with one
-// instance per device. SplitLikelihood implements that: the total log
-// likelihood is the sum over pattern shards, so shards evaluate
-// independently and concurrently on different resources.
+// instance per device. SplitLikelihood implements that — and, through the
+// scheduler (src/sched/), closes the loop the conclusion leaves open:
+// shards can be sized proportionally to calibrated per-resource speeds,
+// and rebalanced between evaluation rounds from observed per-shard times.
 #pragma once
 
 #include <memory>
@@ -19,6 +20,7 @@
 #include "core/patterns.h"
 #include "phylo/likelihood.h"
 #include "phylo/tree.h"
+#include "sched/balancer.h"
 
 namespace bgl::phylo {
 
@@ -49,32 +51,105 @@ class PartitionedLikelihood {
   bool concurrent_;
 };
 
+/// Assign each partition a preferred resource using the scheduler's
+/// throughput estimates: partitions are ranked by pattern count and the
+/// largest ones get the fastest resources (round-robin over the distinct
+/// resources when there are more partitions than resources). `benchmark`
+/// false seeds speeds from the perf model instead of calibrating.
+void autoAssignResources(std::vector<PartitionSpec>& specs, bool benchmark = true);
+
+/// How SplitLikelihood divides patterns across shards.
+enum class SplitMode {
+  Equal,         ///< equal shares regardless of shard speed
+  Proportional,  ///< shares proportional to calibrated/model speeds
+  Adaptive       ///< proportional, plus between-round rebalancing from
+                 ///< observed per-shard times
+};
+
+/// Split policy derived from BGL_FLAG_LOADBALANCE_* bits (NONE -> Equal,
+/// BENCHMARK/MODEL -> Proportional, ADAPTIVE -> Adaptive; default Equal).
+SplitMode splitModeFromFlags(long flags);
+
+/// Scheduling options for SplitLikelihood.
+struct SplitOptions {
+  SplitMode mode = SplitMode::Equal;
+  /// Per-shard speed estimates (patterns/second). Empty under
+  /// Proportional/Adaptive: the scheduler calibrates each shard's
+  /// (resource, flags) combination instead.
+  std::vector<double> speeds;
+  bool benchmark = true;       ///< false: perf-model seeds, no calibration run
+  double imbalanceThreshold = 1.15;  ///< predicted max/min round-time ratio
+  double ewmaAlpha = 0.4;      ///< weight of newest per-shard observation
+  int settleRounds = 2;        ///< imbalanced rounds required before a re-split
+  int minPatternsPerShard = 1; ///< floor for non-degenerate shards
+  unsigned calibrationSeed = 0;///< 0 = BGL_SCHED_SEED / default
+  bool concurrent = true;      ///< evaluate shards concurrently
+  /// Test hook: multiply shard i's observed seconds by debugSlowdown[i]
+  /// before feeding the balancer (artificially skews a homogeneous setup).
+  std::vector<double> debugSlowdown;
+};
+
 /// One alignment split across several resources by site patterns
-/// (multi-device execution; the conclusion's planned extension). The split
-/// preserves per-pattern weights, so the shard log likelihoods add up to
-/// exactly the single-instance value.
+/// (multi-device execution; the conclusion's planned extension). Any
+/// division preserves per-pattern weights, so the shard log likelihoods
+/// add up to exactly the single-instance value in every mode.
 class SplitLikelihood {
  public:
-  /// `shardOptions[i]` selects the resource/implementation of shard i;
-  /// patterns are dealt round-robin across shards.
+  /// Equal round-robin split (the original static policy).
+  /// `shardOptions[i]` selects the resource/implementation of shard i.
   SplitLikelihood(const Tree& tree, const SubstitutionModel& model,
                   const PatternSet& data,
                   const std::vector<LikelihoodOptions>& shardOptions,
                   bool concurrent = true);
 
+  /// Scheduler-driven split. Shards may receive zero patterns (no instance
+  /// is created for them); the model must outlive this object when
+  /// rebalancing can occur (Adaptive mode rebuilds shard instances).
+  SplitLikelihood(const Tree& tree, const SubstitutionModel& model,
+                  const PatternSet& data,
+                  const std::vector<LikelihoodOptions>& shardOptions,
+                  const SplitOptions& split);
+
   double logLikelihood(const Tree& tree);
 
   int shardCount() const { return static_cast<int>(shards_.size()); }
   int shardPatterns(int shard) const { return shardPatterns_[shard]; }
-  const std::string& implName(int shard) const { return shards_[shard]->implName(); }
+  const std::vector<int>& shardPatternCounts() const { return shardPatterns_; }
+  const std::string& implName(int shard) const;
+  /// Observed seconds of shard `shard` in the last evaluation round
+  /// (obs-layer timeline when available, wall time otherwise).
+  double shardSeconds(int shard) const { return shardSeconds_[shard]; }
+  /// Adaptive re-splits applied so far.
+  int rebalanceCount() const { return rebalances_; }
+  /// Current per-shard speed estimates (patterns/second); empty unless
+  /// Proportional/Adaptive.
+  std::vector<double> shardSpeeds() const;
 
  private:
-  std::vector<std::unique_ptr<TreeLikelihood>> shards_;
+  void build(const Tree& tree, const std::vector<int>& shares);
+  double evaluateShard(std::size_t shard, const Tree& tree);
+
+  const SubstitutionModel* model_ = nullptr;  ///< borrowed, must outlive
+  PatternSet data_;
+  std::vector<LikelihoodOptions> shardOptions_;
+  SplitOptions split_;
+  std::vector<double> calibratedSpeeds_;  ///< empty under Equal
+  std::unique_ptr<sched::LoadBalancer> balancer_;
+
+  std::vector<std::unique_ptr<TreeLikelihood>> shards_;  ///< null = idle shard
   std::vector<int> shardPatterns_;
-  bool concurrent_;
+  std::vector<double> shardSeconds_;
+  int rebalances_ = 0;
 };
 
 /// Deal `data`'s patterns round-robin into `shards` subsets (weights kept).
 std::vector<PatternSet> splitPatterns(const PatternSet& data, int shards);
+
+/// Divide `data`'s patterns into len(shares) subsets of the given sizes
+/// (sum of shares must equal data.patterns; shares may be zero). Patterns
+/// are dealt in index order, strided across the non-empty shards to keep
+/// per-shard pattern composition statistically similar.
+std::vector<PatternSet> splitPatternsByShares(const PatternSet& data,
+                                              const std::vector<int>& shares);
 
 }  // namespace bgl::phylo

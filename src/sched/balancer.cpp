@@ -1,0 +1,175 @@
+#include "sched/balancer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/defs.h"
+
+namespace bgl::sched {
+namespace {
+
+/// Replace non-finite / non-positive speeds with a small positive fraction
+/// of the fastest valid speed so they still receive (little) work.
+std::vector<double> sanitizeSpeeds(const std::vector<double>& speeds) {
+  double maxSpeed = 0.0;
+  for (double s : speeds) {
+    if (std::isfinite(s) && s > 0.0) maxSpeed = std::max(maxSpeed, s);
+  }
+  if (maxSpeed <= 0.0) maxSpeed = 1.0;
+  std::vector<double> out(speeds.size());
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    out[i] = (std::isfinite(speeds[i]) && speeds[i] > 0.0) ? speeds[i]
+                                                           : maxSpeed * 1e-6;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> proportionalShares(int total, const std::vector<double>& speeds,
+                                    int minShare) {
+  const int n = static_cast<int>(speeds.size());
+  if (n == 0) throw Error("proportionalShares: no shards");
+  if (minShare < 0) minShare = 0;
+  std::vector<int> shares(n, 0);
+  if (total <= 0) return shares;
+
+  const std::vector<double> s = sanitizeSpeeds(speeds);
+
+  if (total < static_cast<long long>(n) * std::max(minShare, 1)) {
+    // Too few items for every shard: hand one item each to the fastest
+    // shards until the items run out.
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](int a, int b) { return s[a] > s[b]; });
+    for (int i = 0; i < total; ++i) shares[order[i]] = 1;
+    return shares;
+  }
+
+  // Largest-remainder apportionment.
+  const double sum = std::accumulate(s.begin(), s.end(), 0.0);
+  std::vector<double> remainder(n);
+  int assigned = 0;
+  for (int i = 0; i < n; ++i) {
+    const double exact = total * (s[i] / sum);
+    shares[i] = static_cast<int>(exact);
+    remainder[i] = exact - shares[i];
+    assigned += shares[i];
+  }
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return remainder[a] > remainder[b]; });
+  for (int i = 0; assigned < total; ++i) {
+    ++shares[order[i % n]];
+    ++assigned;
+  }
+
+  // Enforce the minimum by taking from the largest shares.
+  for (int i = 0; i < n; ++i) {
+    while (shares[i] < minShare) {
+      const int donor = static_cast<int>(
+          std::max_element(shares.begin(), shares.end()) - shares.begin());
+      if (shares[donor] <= minShare) return shares;  // infeasible; best effort
+      --shares[donor];
+      ++shares[i];
+    }
+  }
+  return shares;
+}
+
+int migratedItems(const std::vector<int>& before, const std::vector<int>& after) {
+  int moved = 0;
+  const std::size_t n = std::min(before.size(), after.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (after[i] < before[i]) moved += before[i] - after[i];
+  }
+  return moved;
+}
+
+LoadBalancer::LoadBalancer(std::vector<double> initialSpeeds, Options options)
+    : options_(options),
+      speeds_(sanitizeSpeeds(initialSpeeds)),
+      observed_(initialSpeeds.size(), false),
+      fresh_(initialSpeeds.size(), false) {
+  if (speeds_.empty()) throw Error("LoadBalancer: no shards");
+}
+
+void LoadBalancer::observe(int shard, int patterns, double seconds) {
+  if (shard < 0 || shard >= shardCount()) return;
+  if (patterns <= 0 || !(seconds > 0.0) || !std::isfinite(seconds)) return;
+  const double speed = patterns / seconds;
+  fresh_[shard] = true;
+  if (!observed_[shard]) {
+    // First real measurement replaces the calibration/model seed outright.
+    speeds_[shard] = speed;
+    observed_[shard] = true;
+  } else {
+    speeds_[shard] =
+        options_.ewmaAlpha * speed + (1.0 - options_.ewmaAlpha) * speeds_[shard];
+  }
+}
+
+double LoadBalancer::predictedSeconds(int shard, int share) const {
+  if (shard < 0 || shard >= shardCount() || share <= 0) return 0.0;
+  return share / speeds_[shard];
+}
+
+bool LoadBalancer::imbalanced(const std::vector<int>& shares) const {
+  double slowest = 0.0;
+  double fastest = 0.0;
+  bool any = false;
+  for (int i = 0; i < shardCount() && i < static_cast<int>(shares.size()); ++i) {
+    if (shares[i] <= 0) continue;
+    const double t = predictedSeconds(i, shares[i]);
+    if (!any) {
+      slowest = fastest = t;
+      any = true;
+    } else {
+      slowest = std::max(slowest, t);
+      fastest = std::min(fastest, t);
+    }
+  }
+  // A shard idling at zero patterns while others work is itself imbalance
+  // once its estimated speed would earn it at least minShare patterns.
+  if (any) {
+    const auto ideal = proportionalShares(
+        std::accumulate(shares.begin(), shares.end(), 0), speeds_,
+        options_.minShare);
+    for (std::size_t i = 0; i < shares.size() && i < ideal.size(); ++i) {
+      if (shares[i] == 0 && ideal[i] > 0) return true;
+    }
+  }
+  if (!any || fastest <= 0.0) return false;
+  return slowest / fastest > options_.imbalanceThreshold;
+}
+
+std::vector<int> LoadBalancer::rebalance(int total,
+                                         const std::vector<int>& currentShares) {
+  // Judge a division only on measurements taken under it: every active
+  // shard must have reported in since the last re-split.
+  for (int i = 0; i < shardCount() && i < static_cast<int>(currentShares.size());
+       ++i) {
+    if (currentShares[i] > 0 && !fresh_[i]) return {};
+  }
+  if (!imbalanced(currentShares)) {
+    imbalancedStreak_ = 0;
+    return {};
+  }
+  // Require the imbalance to persist: one noisy round on a contended host
+  // must not trigger an instance-rebuilding migration.
+  if (++imbalancedStreak_ < std::max(1, options_.settleRounds)) return {};
+  auto shares = proportionalShares(total, speeds_, options_.minShare);
+  if (shares == currentShares) {
+    imbalancedStreak_ = 0;
+    return {};
+  }
+  ++rebalances_;
+  imbalancedStreak_ = 0;
+  std::fill(fresh_.begin(), fresh_.end(), false);
+  return shares;
+}
+
+}  // namespace bgl::sched

@@ -1,0 +1,90 @@
+// Work apportionment and adaptive load balancing across heterogeneous
+// instances.
+//
+// The paper's conclusion names "load balancing among heterogeneous devices"
+// as the planned step beyond per-instance heterogeneous support. This is
+// the policy half of that step: given per-resource speed estimates (from
+// calibration, the perf model, or live measurements), divide site patterns
+// across instances proportionally, and keep the division balanced as the
+// estimates are refined by observed per-shard wall times.
+#pragma once
+
+#include <vector>
+
+namespace bgl::sched {
+
+/// Apportion `total` items across shards proportionally to `speeds` using
+/// the largest-remainder method, so the shares always sum to `total`.
+/// Non-positive or non-finite speeds are treated as "very slow" rather
+/// than rejected. Every shard receives at least `minShare` items when
+/// total >= shards * minShare; otherwise the fastest shards receive one
+/// item each until the items run out (the rest get zero).
+std::vector<int> proportionalShares(int total, const std::vector<double>& speeds,
+                                    int minShare = 1);
+
+/// Exponentially weighted per-shard speed tracker with threshold-gated
+/// re-apportionment: the dynamic half of the heterogeneous scheduler.
+///
+/// Protocol per evaluation round:
+///   1. observe(shard, patterns, seconds) for every shard that ran;
+///   2. rebalance(total, currentShares) — returns the new shares when the
+///      predicted imbalance exceeds the threshold, or an empty vector when
+///      the current division should be kept.
+class LoadBalancer {
+ public:
+  struct Options {
+    double ewmaAlpha = 0.4;          ///< weight of the newest observation
+    double imbalanceThreshold = 1.15;///< predicted max/min round-time ratio
+                                     ///< that triggers a re-split
+    int minShare = 1;                ///< minimum patterns per active shard
+    /// Consecutive imbalanced observation rounds required before a
+    /// re-split is issued. Values > 1 reject one-off noise spikes
+    /// (contended hosts) at the cost of reacting one round later.
+    int settleRounds = 2;
+  };
+
+  /// `initialSpeeds[i]` seeds shard i's estimate (items per second, e.g.
+  /// patterns/s from calibration). Seeds are fully replaced by the first
+  /// observation; afterwards the EWMA applies.
+  explicit LoadBalancer(std::vector<double> initialSpeeds)
+      : LoadBalancer(std::move(initialSpeeds), Options()) {}
+  LoadBalancer(std::vector<double> initialSpeeds, Options options);
+
+  int shardCount() const { return static_cast<int>(speeds_.size()); }
+
+  /// Feed one shard's measured round: `patterns` items in `seconds`.
+  /// Ignored when the measurement is degenerate (<= 0 items or seconds).
+  void observe(int shard, int patterns, double seconds);
+
+  /// Predicted per-round time of shard i under `shares`.
+  double predictedSeconds(int shard, int share) const;
+
+  /// True when the predicted slowest/fastest round-time ratio across
+  /// non-empty shards exceeds the imbalance threshold.
+  bool imbalanced(const std::vector<int>& shares) const;
+
+  /// New proportional shares when the division should change; empty vector
+  /// otherwise. A re-split is only issued when every active shard has been
+  /// observed since the last re-split (so a fresh division gets a full
+  /// measurement round before being judged) and the predicted imbalance
+  /// persisted for `settleRounds` consecutive calls. Increments
+  /// rebalanceCount() when a new division is returned.
+  std::vector<int> rebalance(int total, const std::vector<int>& currentShares);
+
+  const std::vector<double>& speeds() const { return speeds_; }
+  int rebalanceCount() const { return rebalances_; }
+
+ private:
+  Options options_;
+  std::vector<double> speeds_;      ///< items per second, EWMA
+  std::vector<bool> observed_;      ///< true once a real measurement arrived
+  std::vector<bool> fresh_;         ///< observed since the last re-split
+  int imbalancedStreak_ = 0;        ///< consecutive imbalanced fresh rounds
+  int rebalances_ = 0;
+};
+
+/// Patterns migrated between two apportionments (sum of per-shard
+/// decreases; equals the sum of increases).
+int migratedItems(const std::vector<int>& before, const std::vector<int>& after);
+
+}  // namespace bgl::sched

@@ -1,0 +1,378 @@
+// Resource calibration: run a short synthetic partials+root workload on a
+// resource through the public C API and cache the resulting throughput
+// estimate; seed from the perfmodel device profile when calibration is
+// skipped or impossible.
+#include "sched/sched.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "api/bgl.h"
+#include "core/defs.h"
+#include "core/gamma.h"
+#include "core/model.h"
+#include "core/rng.h"
+#include "kernels/workload.h"
+#include "perfmodel/device_profiles.h"
+
+namespace bgl::sched {
+namespace {
+
+struct GlobalCounters {
+  std::atomic<std::uint64_t> calibrations{0};
+  std::atomic<std::uint64_t> modelEstimates{0};
+  std::atomic<std::uint64_t> cacheHits{0};
+  std::atomic<std::uint64_t> rebalances{0};
+  std::atomic<std::uint64_t> migratedPatterns{0};
+};
+
+GlobalCounters& globalCounters() {
+  static GlobalCounters counters;
+  return counters;
+}
+
+/// Cache key: every spec field that changes the workload or the viable
+/// implementation set.
+using CacheKey = std::tuple<int, int, int, int, int, bool, long, long, unsigned>;
+
+CacheKey makeKey(int resource, const CalibrationSpec& spec) {
+  return {resource,          spec.tips,
+          spec.patterns,     spec.states,
+          spec.categories,   spec.singlePrecision,
+          spec.preferenceFlags, spec.requirementFlags,
+          resolveSeed(spec.seed)};
+}
+
+std::mutex& cacheMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<CacheKey, ResourceEstimate>& cache() {
+  static std::map<CacheKey, ResourceEstimate> c;
+  return c;
+}
+
+double wallNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Build the balanced pairwise-join operation batch over `tips` leaves
+/// (one buffer per internal node, destinations from `tips` upward).
+std::vector<BglOperation> balancedOps(int tips, int matPool, int* rootBuffer) {
+  std::vector<BglOperation> ops;
+  ops.reserve(tips - 1);
+  std::vector<int> level(tips);
+  for (int t = 0; t < tips; ++t) level[t] = t;
+  int nextInternal = tips;
+  int opIndex = 0;
+  while (level.size() > 1) {
+    std::vector<int> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      BglOperation op;
+      op.destinationPartials = nextInternal;
+      op.destinationScaleWrite = BGL_OP_NONE;
+      op.destinationScaleRead = BGL_OP_NONE;
+      op.child1Partials = level[i];
+      op.child1TransitionMatrix = (2 * opIndex) % matPool;
+      op.child2Partials = level[i + 1];
+      op.child2TransitionMatrix = (2 * opIndex + 1) % matPool;
+      ops.push_back(op);
+      next.push_back(nextInternal);
+      ++nextInternal;
+      ++opIndex;
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  *rootBuffer = level[0];
+  return ops;
+}
+
+}  // namespace
+
+unsigned resolveSeed(unsigned seed) {
+  if (seed != 0) return seed;
+  if (const char* env = std::getenv("BGL_SCHED_SEED"); env != nullptr && *env) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && v != 0) return static_cast<unsigned>(v);
+  }
+  return kDefaultSeed;
+}
+
+obs::TraceRecorder& recorder() {
+  static obs::TraceRecorder rec;
+  return rec;
+}
+
+Counters counters() {
+  auto& g = globalCounters();
+  Counters c;
+  c.calibrations = g.calibrations.load(std::memory_order_relaxed);
+  c.modelEstimates = g.modelEstimates.load(std::memory_order_relaxed);
+  c.cacheHits = g.cacheHits.load(std::memory_order_relaxed);
+  c.rebalances = g.rebalances.load(std::memory_order_relaxed);
+  c.migratedPatterns = g.migratedPatterns.load(std::memory_order_relaxed);
+  return c;
+}
+
+void noteRebalance(std::uint64_t migratedPatterns) {
+  auto& g = globalCounters();
+  g.rebalances.fetch_add(1, std::memory_order_relaxed);
+  g.migratedPatterns.fetch_add(migratedPatterns, std::memory_order_relaxed);
+}
+
+std::optional<ResourceEstimate> benchmarkResource(int resource,
+                                                  const CalibrationSpec& spec) {
+  if (spec.tips < 2 || spec.patterns < 1) {
+    throw Error("benchmarkResource: need >= 2 tips and >= 1 pattern");
+  }
+  obs::ScopedSpan span(recorder(), obs::Category::kOperation, "sched.calibrate");
+
+  const unsigned seed = resolveSeed(spec.seed);
+  const int matPool = std::min(2 * (spec.tips - 1), 16);
+  const long precisionFlag = spec.singlePrecision ? BGL_FLAG_PRECISION_SINGLE
+                                                  : BGL_FLAG_PRECISION_DOUBLE;
+
+  BglInstanceDetails details{};
+  const int instance = bglCreateInstance(
+      spec.tips, spec.tips - 1, spec.tips, spec.states, spec.patterns,
+      /*eigenBufferCount=*/1, matPool, spec.categories, /*scaleBufferCount=*/0,
+      &resource, 1, spec.preferenceFlags, spec.requirementFlags | precisionFlag,
+      &details);
+  if (instance < 0) return std::nullopt;
+
+  ResourceEstimate estimate;
+  estimate.resource = resource;
+  estimate.measured = true;
+  estimate.implName = details.implName;
+
+  try {
+    // Deterministic synthetic model + data (the BGL_SCHED_SEED contract).
+    Rng rng(seed);
+    const auto model = defaultModelForStates(spec.states, seed);
+    const auto es = model->eigenSystem();
+    if (bglSetEigenDecomposition(instance, 0, es.evec.data(), es.ivec.data(),
+                                 es.eval.data()) != BGL_SUCCESS) {
+      throw Error("sched.calibrate: setEigenDecomposition failed");
+    }
+    bglSetStateFrequencies(instance, 0, model->frequencies().data());
+    const std::vector<double> catWeights(spec.categories, 1.0 / spec.categories);
+    bglSetCategoryWeights(instance, 0, catWeights.data());
+    const auto rates = spec.categories > 1
+                           ? discreteGammaRates(0.5, spec.categories)
+                           : std::vector<double>{1.0};
+    bglSetCategoryRates(instance, rates.data());
+    const std::vector<double> patternWeights(spec.patterns, 1.0);
+    bglSetPatternWeights(instance, patternWeights.data());
+
+    std::vector<int> tipBuf(spec.patterns);
+    for (int t = 0; t < spec.tips; ++t) {
+      for (int k = 0; k < spec.patterns; ++k) {
+        tipBuf[k] = rng.belowInt(spec.states);
+      }
+      if (bglSetTipStates(instance, t, tipBuf.data()) != BGL_SUCCESS) {
+        throw Error("sched.calibrate: setTipStates failed");
+      }
+    }
+
+    std::vector<int> matrixIndices(matPool);
+    std::vector<double> edgeLengths(matPool);
+    for (int m = 0; m < matPool; ++m) {
+      matrixIndices[m] = m;
+      edgeLengths[m] = rng.uniform(0.01, 0.5);
+    }
+    if (bglUpdateTransitionMatrices(instance, 0, matrixIndices.data(), nullptr,
+                                    nullptr, edgeLengths.data(),
+                                    matPool) != BGL_SUCCESS) {
+      throw Error("sched.calibrate: updateTransitionMatrices failed");
+    }
+
+    int rootBuffer = 0;
+    const auto ops = balancedOps(spec.tips, matPool, &rootBuffer);
+
+    // One warmup, then best-of-reps. Accelerator instances report the
+    // roofline-modeled timeline; host instances report measured wall time
+    // (bglResetTimeline enables span timing there).
+    if (bglUpdatePartials(instance, ops.data(), static_cast<int>(ops.size()),
+                          BGL_OP_NONE) != BGL_SUCCESS) {
+      throw Error("sched.calibrate: updatePartials failed");
+    }
+    bglWaitForComputation(instance);
+
+    const bool hasTimeline = bglResetTimeline(instance) == BGL_SUCCESS;
+    double best = 1e300;
+    for (int r = 0; r < std::max(1, spec.reps); ++r) {
+      if (hasTimeline) bglResetTimeline(instance);
+      const double t0 = wallNow();
+      if (bglUpdatePartials(instance, ops.data(), static_cast<int>(ops.size()),
+                            BGL_OP_NONE) != BGL_SUCCESS) {
+        throw Error("sched.calibrate: updatePartials failed");
+      }
+      bglWaitForComputation(instance);
+      double seconds = wallNow() - t0;
+      if (hasTimeline) {
+        BglTimeline timeline{};
+        if (bglGetTimeline(instance, &timeline) == BGL_SUCCESS &&
+            timeline.modeledSeconds > 0.0) {
+          seconds = timeline.modeledSeconds;
+        }
+      }
+      best = std::min(best, seconds);
+    }
+
+    const int zero = 0;
+    const int rc = bglCalculateRootLogLikelihoods(instance, &rootBuffer, &zero,
+                                                  &zero, nullptr, 1,
+                                                  &estimate.logL);
+    if (rc != BGL_SUCCESS && rc != BGL_ERROR_FLOATING_POINT) {
+      throw Error("sched.calibrate: calculateRootLogLikelihoods failed");
+    }
+
+    estimate.seconds = std::max(best, 1e-12);
+    estimate.patternsPerSecond = spec.patterns / estimate.seconds;
+    estimate.gflops =
+        (spec.tips - 1) *
+        kernels::partialsFlops(spec.patterns, spec.categories, spec.states) /
+        estimate.seconds / 1e9;
+  } catch (...) {
+    bglFinalizeInstance(instance);
+    throw;
+  }
+  bglFinalizeInstance(instance);
+  globalCounters().calibrations.fetch_add(1, std::memory_order_relaxed);
+  return estimate;
+}
+
+ResourceEstimate modelEstimate(int resource, const CalibrationSpec& spec) {
+  const auto& registry = perf::deviceRegistry();
+  if (resource < 0 || resource >= static_cast<int>(registry.size())) {
+    throw Error("modelEstimate: resource out of range");
+  }
+  obs::ScopedSpan span(recorder(), obs::Category::kOperation,
+                       "sched.model_estimate");
+  const perf::DeviceProfile& device = registry[resource];
+  const std::size_t realBytes = spec.singlePrecision ? 4 : 8;
+
+  perf::LaunchWork work;
+  work.flops = kernels::partialsFlops(spec.patterns, spec.categories, spec.states);
+  work.bytes =
+      kernels::partialsBytes(spec.patterns, spec.categories, spec.states, realBytes);
+  work.workingSetBytes = kernels::partialsWorkingSet(spec.patterns, spec.categories,
+                                                     spec.states, realBytes);
+  work.fmaFriendly = true;
+  work.useFma = true;
+  work.doublePrecision = !spec.singlePrecision;
+  work.numGroups = std::max(1, spec.patterns / 256);
+
+  // Framework choice mirrors the accelerator factories: CUDA on NVIDIA,
+  // OpenCL elsewhere (including the CPU-class profiles).
+  const bool openCl = device.vendor.find("NVIDIA") == std::string::npos;
+  const double perOp = perf::modeledKernelSeconds(device, work, openCl);
+
+  ResourceEstimate estimate;
+  estimate.resource = resource;
+  estimate.measured = false;
+  estimate.implName = "perfmodel:" + device.name;
+  estimate.seconds = std::max(perOp * (spec.tips - 1), 1e-12);
+  estimate.patternsPerSecond = spec.patterns / estimate.seconds;
+  estimate.gflops = (spec.tips - 1) * work.flops / estimate.seconds / 1e9;
+  globalCounters().modelEstimates.fetch_add(1, std::memory_order_relaxed);
+  return estimate;
+}
+
+ResourceEstimate resourceEstimate(int resource, const CalibrationSpec& spec,
+                                  bool benchmark) {
+  const CacheKey key = makeKey(resource, spec);
+  {
+    std::lock_guard lock(cacheMutex());
+    const auto it = cache().find(key);
+    // A cached measurement satisfies both request kinds; a cached model
+    // seed only satisfies a model request (a benchmark request upgrades it).
+    if (it != cache().end() && (it->second.measured || !benchmark)) {
+      globalCounters().cacheHits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+
+  ResourceEstimate estimate;
+  if (benchmark) {
+    if (auto measured = benchmarkResource(resource, spec)) {
+      estimate = *measured;
+    } else {
+      estimate = modelEstimate(resource, spec);
+    }
+  } else {
+    estimate = modelEstimate(resource, spec);
+  }
+
+  std::lock_guard lock(cacheMutex());
+  cache()[key] = estimate;
+  return estimate;
+}
+
+std::vector<ResourceEstimate> resourceEstimates(const std::vector<int>& resources,
+                                                const CalibrationSpec& spec,
+                                                bool benchmark) {
+  std::vector<int> ids = resources;
+  if (ids.empty()) {
+    const int count = static_cast<int>(perf::deviceRegistry().size());
+    for (int r = 0; r < count; ++r) ids.push_back(r);
+  }
+  std::vector<ResourceEstimate> out;
+  out.reserve(ids.size());
+  for (int r : ids) out.push_back(resourceEstimate(r, spec, benchmark));
+  return out;
+}
+
+double resourcePerformance(int resource) {
+  const auto& registry = perf::deviceRegistry();
+  if (resource < 0 || resource >= static_cast<int>(registry.size())) return -1.0;
+  double best = -1.0;
+  bool haveMeasured = false;
+  {
+    std::lock_guard lock(cacheMutex());
+    for (const auto& [key, estimate] : cache()) {
+      if (std::get<0>(key) != resource) continue;
+      // Measured estimates outrank model seeds regardless of magnitude.
+      if (estimate.measured && !haveMeasured) {
+        haveMeasured = true;
+        best = estimate.gflops;
+      } else if (estimate.measured == haveMeasured) {
+        best = std::max(best, estimate.gflops);
+      }
+    }
+  }
+  if (best >= 0.0) return best;
+  return modelEstimate(resource, CalibrationSpec{}).gflops;
+}
+
+int fastestResource(const std::vector<int>& candidates,
+                    const CalibrationSpec& spec, bool benchmark) {
+  const auto estimates = resourceEstimates(candidates, spec, benchmark);
+  int bestResource = -1;
+  double bestPerf = -1.0;
+  for (const auto& e : estimates) {
+    if (e.gflops > bestPerf) {
+      bestPerf = e.gflops;
+      bestResource = e.resource;
+    }
+  }
+  return bestResource;
+}
+
+void clearCache() {
+  std::lock_guard lock(cacheMutex());
+  cache().clear();
+}
+
+}  // namespace bgl::sched

@@ -1,0 +1,121 @@
+// Heterogeneous scheduler: benchmark-driven resource calibration.
+//
+// BEAGLE 4.1 ships this capability as beagleBenchmarkResources: measure
+// every resource on a short representative workload, then choose (or
+// split) accordingly. This module is that measurement half. It closes the
+// loop the repo previously left open: the resource registry enumerates
+// devices, the perf model predicts them, the obs layer times them — and
+// the scheduler turns those into throughput estimates that drive
+// proportional pattern sharding (phylo::SplitLikelihood), resource
+// auto-selection (mc3, genomictest --auto-resource) and the
+// bglBenchmarkResources / bglGetResourcePerformance C API.
+//
+// Estimates come from two sources:
+//   * benchmarkResource() — runs a short synthetic partials+root workload
+//     through the public C API on the resource. On accelerator profiles
+//     the roofline-modeled timeline is the time base (the same base every
+//     benchmark in this repo uses); on the host it is measured wall time.
+//   * modelEstimate() — no execution; seeds the estimate from the
+//     perfmodel device profile (used when calibration is skipped).
+//
+// Results are cached process-wide per (resource, workload-shape, flags)
+// key. The calibration dataset is deterministic under a fixed seed; the
+// BGL_SCHED_SEED environment variable overrides the default.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace bgl::sched {
+
+/// Default calibration-dataset seed (overridable via BGL_SCHED_SEED).
+inline constexpr unsigned kDefaultSeed = 1234;
+
+/// `seed` if non-zero, else BGL_SCHED_SEED from the environment, else
+/// kDefaultSeed.
+unsigned resolveSeed(unsigned seed);
+
+/// Shape of the synthetic calibration workload. The defaults are small on
+/// purpose: calibration should cost milliseconds, not the analysis it is
+/// scheduling.
+struct CalibrationSpec {
+  int tips = 8;
+  int patterns = 1024;
+  int states = 4;
+  int categories = 4;
+  int reps = 3;              ///< timed repetitions, best-of
+  bool singlePrecision = false;
+  long preferenceFlags = 0;  ///< forwarded to bglCreateInstance
+  long requirementFlags = 0; ///< forwarded to bglCreateInstance
+  unsigned seed = 0;         ///< 0 = resolveSeed default
+};
+
+/// One resource's throughput estimate.
+struct ResourceEstimate {
+  int resource = -1;
+  double patternsPerSecond = 0.0;  ///< calibration patterns / second / evaluation
+  double gflops = 0.0;             ///< effective GFLOPS on the workload
+  double seconds = 0.0;            ///< one full calibration evaluation
+  double logL = 0.0;               ///< workload root log likelihood
+                                   ///< (deterministic under the seed)
+  bool measured = false;           ///< true: benchmarked; false: model-seeded
+  std::string implName;            ///< implementation that served the benchmark
+};
+
+/// Benchmark one resource (uncached). Returns nullopt when no
+/// implementation can serve (resource, spec flags).
+std::optional<ResourceEstimate> benchmarkResource(int resource,
+                                                  const CalibrationSpec& spec = {});
+
+/// Perf-model-seeded estimate for one resource (uncached, no execution).
+ResourceEstimate modelEstimate(int resource, const CalibrationSpec& spec = {});
+
+/// Cached estimate: benchmark when `benchmark` is true (falling back to
+/// the model when no implementation serves the request), else model-seed.
+/// A cached measured estimate is preferred over re-deriving a model seed.
+ResourceEstimate resourceEstimate(int resource, const CalibrationSpec& spec,
+                                  bool benchmark);
+
+/// Cached estimates for several resources (empty = every registry
+/// resource), in the order given.
+std::vector<ResourceEstimate> resourceEstimates(const std::vector<int>& resources,
+                                                const CalibrationSpec& spec,
+                                                bool benchmark);
+
+/// Best cached-or-model effective GFLOPS known for `resource` (any cached
+/// workload shape; falls back to a default-spec model estimate). Backs
+/// bglGetResourcePerformance. Returns < 0 for an invalid resource.
+double resourcePerformance(int resource);
+
+/// Fastest resource among `candidates` (empty = all) by estimate; -1 when
+/// none can be served.
+int fastestResource(const std::vector<int>& candidates = {},
+                    const CalibrationSpec& spec = {}, bool benchmark = true);
+
+/// Drop every cached estimate (tests).
+void clearCache();
+
+/// Scheduler-wide counters (process-global, always on).
+struct Counters {
+  std::uint64_t calibrations = 0;    ///< benchmark workloads executed
+  std::uint64_t modelEstimates = 0;  ///< model-seeded estimates derived
+  std::uint64_t cacheHits = 0;       ///< estimate requests served from cache
+  std::uint64_t rebalances = 0;      ///< adaptive re-splits applied
+  std::uint64_t migratedPatterns = 0;///< patterns moved by re-splits
+};
+Counters counters();
+
+/// Record an applied adaptive re-split (called by consumers, e.g.
+/// phylo::SplitLikelihood).
+void noteRebalance(std::uint64_t migratedPatterns);
+
+/// Module-level trace recorder: `sched.calibrate`, `sched.model_estimate`
+/// and `sched.rebalance` spans land here (enable timing/events to
+/// collect them, same contract as per-instance recorders).
+obs::TraceRecorder& recorder();
+
+}  // namespace bgl::sched

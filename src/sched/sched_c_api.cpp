@@ -1,0 +1,89 @@
+// C API surface of the heterogeneous scheduler. Lives in the sched
+// library (not the api shim) so bgl_api does not have to link back into
+// the scheduler: the scheduler itself drives instance creation through
+// the public C API.
+#include <new>
+#include <vector>
+
+#include "api/bgl.h"
+#include "core/defs.h"
+#include "perfmodel/device_profiles.h"
+#include "sched/sched.h"
+
+extern "C" {
+
+int bglBenchmarkResources(const int* resourceList, int resourceCount,
+                          int stateCount, int patternCount, int categoryCount,
+                          long preferenceFlags, long requirementFlags,
+                          BglBenchmarkedResource* outBenchmarks, int* outCount) {
+  if (outBenchmarks == nullptr || outCount == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  if (resourceList != nullptr && resourceCount < 1) return BGL_ERROR_OUT_OF_RANGE;
+  *outCount = 0;
+
+  const int registrySize =
+      static_cast<int>(bgl::perf::deviceRegistry().size());
+  std::vector<int> resources;
+  if (resourceList != nullptr) {
+    for (int i = 0; i < resourceCount; ++i) {
+      if (resourceList[i] < 0 || resourceList[i] >= registrySize) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      resources.push_back(resourceList[i]);
+    }
+  } else {
+    for (int r = 0; r < registrySize; ++r) resources.push_back(r);
+  }
+
+  bgl::sched::CalibrationSpec spec;
+  if (stateCount > 0) spec.states = stateCount;
+  if (patternCount > 0) spec.patterns = patternCount;
+  if (categoryCount > 0) spec.categories = categoryCount;
+  spec.preferenceFlags = preferenceFlags;
+  spec.requirementFlags = requirementFlags;
+  spec.singlePrecision = (requirementFlags & BGL_FLAG_PRECISION_SINGLE) != 0 ||
+                         ((requirementFlags & BGL_FLAG_PRECISION_DOUBLE) == 0 &&
+                          (preferenceFlags & BGL_FLAG_PRECISION_SINGLE) != 0);
+  // BGL_FLAG_LOADBALANCE_MODEL requests model-seeded estimates (no
+  // execution); the default — and BGL_FLAG_LOADBALANCE_BENCHMARK — runs
+  // the calibration workload.
+  const bool benchmark =
+      ((preferenceFlags | requirementFlags) & BGL_FLAG_LOADBALANCE_MODEL) == 0;
+
+  try {
+    const auto estimates =
+        bgl::sched::resourceEstimates(resources, spec, benchmark);
+    for (const auto& e : estimates) {
+      BglBenchmarkedResource out;
+      out.resourceNumber = e.resource;
+      out.performance = e.gflops;
+      out.seconds = e.seconds;
+      out.measured = e.measured ? 1 : 0;
+      outBenchmarks[(*outCount)++] = out;
+    }
+    return BGL_SUCCESS;
+  } catch (const std::bad_alloc&) {
+    return BGL_ERROR_OUT_OF_MEMORY;
+  } catch (const bgl::Error&) {
+    return BGL_ERROR_GENERAL;
+  } catch (...) {
+    return BGL_ERROR_UNIDENTIFIED_EXCEPTION;
+  }
+}
+
+int bglGetResourcePerformance(int resource, double* outPerformance) {
+  if (outPerformance == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  try {
+    const double perf = bgl::sched::resourcePerformance(resource);
+    if (perf < 0.0) return BGL_ERROR_OUT_OF_RANGE;
+    *outPerformance = perf;
+    return BGL_SUCCESS;
+  } catch (const std::bad_alloc&) {
+    return BGL_ERROR_OUT_OF_MEMORY;
+  } catch (const bgl::Error&) {
+    return BGL_ERROR_GENERAL;
+  } catch (...) {
+    return BGL_ERROR_UNIDENTIFIED_EXCEPTION;
+  }
+}
+
+}  // extern "C"

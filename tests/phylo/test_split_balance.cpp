@@ -1,0 +1,243 @@
+// Scheduler-driven SplitLikelihood: every split mode must reproduce the
+// single-instance log likelihood exactly (pattern weights are preserved,
+// so the shard sum is the full sum), shares must track speeds, and
+// adaptive mode must rebalance a skewed setup.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/defs.h"
+#include "core/model.h"
+#include "core/rng.h"
+#include "phylo/partition.h"
+#include "phylo/seqsim.h"
+#include "phylo/tree.h"
+
+namespace bgl::phylo {
+namespace {
+
+/// Synthetic dataset with an exact, controllable pattern count (prime
+/// counts exercise the remainder paths of the apportionment) and
+/// non-uniform weights.
+struct BalanceFixture {
+  explicit BalanceFixture(int patterns, int taxa = 6)
+      : rng(2024), tree(Tree::random(taxa, rng)) {
+    model = defaultModelForStates(4, 2024);
+    data.taxa = taxa;
+    data.patterns = patterns;
+    data.states = randomStates(taxa, patterns, 4, rng);
+    data.weights.reserve(patterns);
+    data.originalSites = 0;
+    for (int k = 0; k < patterns; ++k) {
+      const double w = 1.0 + k % 3;  // weights 1,2,3 repeating
+      data.weights.push_back(w);
+      data.originalSites += static_cast<int>(w);
+    }
+  }
+
+  double reference(const LikelihoodOptions& options = {}) {
+    TreeLikelihood whole(tree, *model, data, options);
+    return whole.logLikelihood();
+  }
+
+  Rng rng;
+  Tree tree;
+  std::unique_ptr<SubstitutionModel> model;
+  PatternSet data;
+};
+
+TEST(SplitModeFromFlags, MapsLoadBalanceBits) {
+  EXPECT_EQ(splitModeFromFlags(0), SplitMode::Equal);
+  EXPECT_EQ(splitModeFromFlags(BGL_FLAG_LOADBALANCE_NONE), SplitMode::Equal);
+  EXPECT_EQ(splitModeFromFlags(BGL_FLAG_LOADBALANCE_BENCHMARK),
+            SplitMode::Proportional);
+  EXPECT_EQ(splitModeFromFlags(BGL_FLAG_LOADBALANCE_MODEL),
+            SplitMode::Proportional);
+  EXPECT_EQ(splitModeFromFlags(BGL_FLAG_LOADBALANCE_ADAPTIVE),
+            SplitMode::Adaptive);
+  EXPECT_EQ(splitModeFromFlags(BGL_FLAG_LOADBALANCE_ADAPTIVE |
+                               BGL_FLAG_LOADBALANCE_BENCHMARK),
+            SplitMode::Adaptive);
+}
+
+TEST(SplitPatternsByShares, RejectsBadShareVectors) {
+  BalanceFixture f(10);
+  EXPECT_THROW(splitPatternsByShares(f.data, {}), Error);
+  EXPECT_THROW(splitPatternsByShares(f.data, {5, 4}), Error);
+  EXPECT_THROW(splitPatternsByShares(f.data, {12, -2}), Error);
+}
+
+TEST(SplitPatternsByShares, PreservesWeightsAcrossUnequalShares) {
+  BalanceFixture f(101);
+  const auto shards = splitPatternsByShares(f.data, {70, 0, 31});
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0].patterns, 70);
+  EXPECT_EQ(shards[1].patterns, 0);
+  EXPECT_EQ(shards[2].patterns, 31);
+  double weight = 0.0;
+  int sites = 0;
+  for (const auto& shard : shards) {
+    for (double w : shard.weights) weight += w;
+    sites += shard.originalSites;
+  }
+  double fullWeight = 0.0;
+  for (double w : f.data.weights) fullWeight += w;
+  EXPECT_DOUBLE_EQ(weight, fullWeight);
+  EXPECT_EQ(sites, f.data.originalSites);
+}
+
+TEST(SplitBalance, AllModesReproduceSingleInstanceOnPrimePatternCounts) {
+  for (int patterns : {97, 251}) {
+    BalanceFixture f(patterns);
+    const double reference = f.reference();
+    const double tolerance =
+        std::max(1e-10, std::abs(reference) * 1e-12);
+
+    std::vector<LikelihoodOptions> shardOptions(3);
+    for (SplitMode mode :
+         {SplitMode::Equal, SplitMode::Proportional, SplitMode::Adaptive}) {
+      SplitOptions split;
+      split.mode = mode;
+      // Provided speeds: no calibration cost, deliberately lopsided so
+      // Proportional/Adaptive exercise unequal shares.
+      split.speeds = {1.0, 2.0, 5.0};
+      SplitLikelihood like(f.tree, *f.model, f.data, shardOptions, split);
+      EXPECT_NEAR(like.logLikelihood(f.tree), reference, tolerance)
+          << "patterns=" << patterns << " mode=" << static_cast<int>(mode);
+      int total = 0;
+      for (int s = 0; s < like.shardCount(); ++s) total += like.shardPatterns(s);
+      EXPECT_EQ(total, patterns);
+    }
+  }
+}
+
+TEST(SplitBalance, ProportionalSharesMatchProvidedSpeeds) {
+  BalanceFixture f(1000);
+  std::vector<LikelihoodOptions> shardOptions(2);
+  SplitOptions split;
+  split.mode = SplitMode::Proportional;
+  split.speeds = {1.0, 3.0};
+  SplitLikelihood like(f.tree, *f.model, f.data, shardOptions, split);
+  EXPECT_EQ(like.shardPatterns(0), 250);
+  EXPECT_EQ(like.shardPatterns(1), 750);
+  EXPECT_NEAR(like.logLikelihood(f.tree), f.reference(),
+              std::abs(f.reference()) * 1e-12);
+  const auto speeds = like.shardSpeeds();
+  ASSERT_EQ(speeds.size(), 2u);
+  EXPECT_DOUBLE_EQ(speeds[1] / speeds[0], 3.0);
+}
+
+TEST(SplitBalance, CalibratedProportionalSplitStillExact) {
+  // No speeds provided: the scheduler model-estimates each shard (cheap,
+  // deterministic) and the split must still sum exactly.
+  BalanceFixture f(151);
+  std::vector<LikelihoodOptions> shardOptions(2);
+  shardOptions[0].resources = {0};
+  shardOptions[1].resources = {1};  // simulated accelerator shard
+  SplitOptions split;
+  split.mode = SplitMode::Proportional;
+  split.benchmark = false;
+  SplitLikelihood like(f.tree, *f.model, f.data, shardOptions, split);
+  const double reference = f.reference();
+  EXPECT_NEAR(like.logLikelihood(f.tree), reference,
+              std::max(1e-10, std::abs(reference) * 1e-12));
+  // The accelerator profile is far faster than the host CPU, so its shard
+  // must be the larger one.
+  EXPECT_GT(like.shardPatterns(1), like.shardPatterns(0));
+}
+
+TEST(SplitBalance, MoreShardsThanPatternsLeavesIdleShards) {
+  BalanceFixture f(3);
+  std::vector<LikelihoodOptions> shardOptions(5);
+  SplitOptions split;
+  split.mode = SplitMode::Proportional;
+  split.speeds = {1.0, 1.0, 1.0, 1.0, 1.0};
+  SplitLikelihood like(f.tree, *f.model, f.data, shardOptions, split);
+  EXPECT_EQ(like.shardCount(), 5);
+  int total = 0, idle = 0;
+  for (int s = 0; s < like.shardCount(); ++s) {
+    total += like.shardPatterns(s);
+    if (like.shardPatterns(s) == 0) {
+      ++idle;
+      EXPECT_EQ(like.implName(s), "(idle)");
+    }
+  }
+  EXPECT_EQ(total, 3);
+  EXPECT_EQ(idle, 2);
+  const double reference = f.reference();
+  EXPECT_NEAR(like.logLikelihood(f.tree), reference,
+              std::max(1e-10, std::abs(reference) * 1e-12));
+}
+
+TEST(SplitBalance, SingleShardDegeneratesToWholeProblem) {
+  BalanceFixture f(83);
+  std::vector<LikelihoodOptions> shardOptions(1);
+  SplitOptions split;
+  split.mode = SplitMode::Adaptive;
+  split.speeds = {1.0};
+  SplitLikelihood like(f.tree, *f.model, f.data, shardOptions, split);
+  EXPECT_EQ(like.shardPatterns(0), 83);
+  const double reference = f.reference();
+  EXPECT_NEAR(like.logLikelihood(f.tree), reference,
+              std::max(1e-10, std::abs(reference) * 1e-12));
+  EXPECT_EQ(like.rebalanceCount(), 0);
+}
+
+TEST(SplitBalance, AdaptiveRebalancesUnderArtificialSlowdown) {
+  // Two identical host shards, but shard 0's observed times are multiplied
+  // 6x (the debug hook): the balancer must shift patterns to shard 1 and
+  // the log likelihood must stay put through every re-split.
+  BalanceFixture f(601);
+  const double reference = f.reference();
+  const double tolerance = std::max(1e-10, std::abs(reference) * 1e-12);
+
+  std::vector<LikelihoodOptions> shardOptions(2);
+  SplitOptions split;
+  split.mode = SplitMode::Adaptive;
+  split.speeds = {1.0, 1.0};  // start from an equal split
+  split.debugSlowdown = {6.0, 1.0};
+  split.concurrent = false;  // deterministic observation order
+  SplitLikelihood like(f.tree, *f.model, f.data, shardOptions, split);
+  EXPECT_EQ(like.shardPatterns(0), 301);
+
+  for (int round = 0; round < 8; ++round) {
+    EXPECT_NEAR(like.logLikelihood(f.tree), reference, tolerance)
+        << "round " << round;
+  }
+  EXPECT_GT(like.rebalanceCount(), 0);
+  EXPECT_LT(like.shardPatterns(0), like.shardPatterns(1));
+  int total = like.shardPatterns(0) + like.shardPatterns(1);
+  EXPECT_EQ(total, 601);
+}
+
+TEST(AutoAssignResources, FastestResourceGetsLargestPartition) {
+  BalanceFixture big(300);
+  BalanceFixture small(50);
+  std::vector<PartitionSpec> specs(2);
+  specs[0].data = small.data;
+  specs[0].model = small.model.get();
+  specs[1].data = big.data;
+  specs[1].model = big.model.get();
+  autoAssignResources(specs, /*benchmark=*/false);
+  ASSERT_EQ(specs[0].options.resources.size(), 1u);
+  ASSERT_EQ(specs[1].options.resources.size(), 1u);
+  // Model-estimated speeds rank every accelerator above the host CPU, so
+  // the big partition must not land on the host while the small one gets
+  // an accelerator.
+  const int bigResource = specs[1].options.resources[0];
+  const int smallResource = specs[0].options.resources[0];
+  EXPECT_NE(bigResource, smallResource);
+  EXPECT_NE(bigResource, 0);
+
+  PartitionedLikelihood parts(big.tree, specs);
+  const double sum = parts.logLikelihood(big.tree);
+  TreeLikelihood wholeSmall(big.tree, *small.model, small.data, specs[0].options);
+  TreeLikelihood wholeBig(big.tree, *big.model, big.data, specs[1].options);
+  const double expected =
+      wholeSmall.logLikelihood(big.tree) + wholeBig.logLikelihood(big.tree);
+  EXPECT_NEAR(sum, expected, std::abs(expected) * 1e-12);
+}
+
+}  // namespace
+}  // namespace bgl::phylo

@@ -1,0 +1,356 @@
+// Scheduler subsystem tests: proportional apportionment, adaptive load
+// balancing, resource calibration determinism, and the C-API surface.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/bgl.h"
+#include "api/bglxx.h"
+#include "api/registry.h"
+#include "core/defs.h"
+#include "sched/balancer.h"
+#include "sched/sched.h"
+
+namespace bgl::sched {
+namespace {
+
+// ---------------------------------------------------------------------------
+// proportionalShares
+// ---------------------------------------------------------------------------
+
+TEST(ProportionalShares, SumsToTotalAndTracksSpeedRatios) {
+  const auto shares = proportionalShares(1000, {1.0, 3.0});
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_EQ(shares[0] + shares[1], 1000);
+  EXPECT_EQ(shares[0], 250);
+  EXPECT_EQ(shares[1], 750);
+}
+
+TEST(ProportionalShares, LargestRemainderKeepsExactTotal) {
+  const auto shares = proportionalShares(100, {1.0, 1.0, 1.0});
+  EXPECT_EQ(shares[0] + shares[1] + shares[2], 100);
+  for (int s : shares) EXPECT_GE(s, 33);
+}
+
+TEST(ProportionalShares, EnforcesMinimumShare) {
+  // Shard 1 is 1000x slower but must still receive minShare items.
+  const auto shares = proportionalShares(100, {1000.0, 1.0}, /*minShare=*/5);
+  EXPECT_EQ(shares[0] + shares[1], 100);
+  EXPECT_GE(shares[1], 5);
+}
+
+TEST(ProportionalShares, MoreShardsThanItemsGivesFastestOneEach) {
+  const auto shares = proportionalShares(3, {1.0, 4.0, 2.0, 3.0, 0.5});
+  EXPECT_EQ(shares.size(), 5u);
+  int total = 0, empty = 0;
+  for (int s : shares) {
+    total += s;
+    if (s == 0) ++empty;
+  }
+  EXPECT_EQ(total, 3);
+  EXPECT_EQ(empty, 2);
+  // The three fastest shards (1, 3, 2) got the items.
+  EXPECT_EQ(shares[1], 1);
+  EXPECT_EQ(shares[3], 1);
+  EXPECT_EQ(shares[2], 1);
+}
+
+TEST(ProportionalShares, DegenerateSpeedsAreTreatedAsVerySlow) {
+  const auto shares = proportionalShares(100, {1.0, 0.0, -3.0});
+  EXPECT_EQ(shares[0] + shares[1] + shares[2], 100);
+  EXPECT_GT(shares[0], shares[1]);
+  EXPECT_GT(shares[0], shares[2]);
+}
+
+TEST(MigratedItems, CountsOneDirectionOfFlow) {
+  EXPECT_EQ(migratedItems({50, 50}, {70, 30}), 20);
+  EXPECT_EQ(migratedItems({10, 20, 30}, {30, 20, 10}), 20);
+  EXPECT_EQ(migratedItems({10, 20}, {10, 20}), 0);
+}
+
+// ---------------------------------------------------------------------------
+// LoadBalancer
+// ---------------------------------------------------------------------------
+
+TEST(LoadBalancer, ConvergesOnSkewedTwoShardSetup) {
+  // Seeded as equal-speed, but shard 0 is really 6x slower. Simulate rounds
+  // where each shard's time is share / trueSpeed and let the balancer
+  // converge.
+  const std::vector<double> trueSpeeds = {1000.0, 6000.0};
+  LoadBalancer::Options options;
+  options.ewmaAlpha = 0.5;
+  LoadBalancer balancer({1.0, 1.0}, options);
+
+  const int total = 7000;
+  std::vector<int> shares = {3500, 3500};
+  int rounds = 0;
+  for (; rounds < 20; ++rounds) {
+    for (int s = 0; s < 2; ++s) {
+      if (shares[s] > 0) {
+        balancer.observe(s, shares[s], shares[s] / trueSpeeds[s]);
+      }
+    }
+    const auto next = balancer.rebalance(total, shares);
+    if (!next.empty()) shares = next;
+    if (!balancer.imbalanced(shares)) break;
+  }
+  EXPECT_GT(balancer.rebalanceCount(), 0);
+  EXPECT_FALSE(balancer.imbalanced(shares));
+  // Converged split should be close to the true 1:6 speed ratio.
+  EXPECT_NEAR(shares[1] / static_cast<double>(shares[0]), 6.0, 1.0);
+  EXPECT_EQ(shares[0] + shares[1], total);
+}
+
+TEST(LoadBalancer, BalancedObservationsDoNotTriggerRebalance) {
+  LoadBalancer balancer({1.0, 1.0});
+  std::vector<int> shares = {500, 500};
+  for (int round = 0; round < 5; ++round) {
+    balancer.observe(0, shares[0], 0.10);
+    balancer.observe(1, shares[1], 0.11);  // within the 1.15x threshold
+    EXPECT_TRUE(balancer.rebalance(1000, shares).empty());
+  }
+  EXPECT_EQ(balancer.rebalanceCount(), 0);
+}
+
+TEST(LoadBalancer, IgnoresDegenerateObservations) {
+  LoadBalancer balancer({2.0, 1.0});
+  balancer.observe(0, 0, 1.0);
+  balancer.observe(1, 100, 0.0);
+  EXPECT_DOUBLE_EQ(balancer.speeds()[0], 2.0);
+  EXPECT_DOUBLE_EQ(balancer.speeds()[1], 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Calibration
+// ---------------------------------------------------------------------------
+
+TEST(Calibration, DeterministicUnderExplicitSeed) {
+  CalibrationSpec spec;
+  spec.tips = 6;
+  spec.patterns = 257;
+  spec.reps = 1;
+  spec.seed = 4242;
+  const auto first = benchmarkResource(0, spec);
+  const auto second = benchmarkResource(0, spec);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(first->measured);
+  EXPECT_DOUBLE_EQ(first->logL, second->logL);
+  EXPECT_GT(first->patternsPerSecond, 0.0);
+  EXPECT_GT(first->gflops, 0.0);
+
+  // A different seed produces a different synthetic dataset.
+  spec.seed = 77;
+  const auto other = benchmarkResource(0, spec);
+  ASSERT_TRUE(other.has_value());
+  EXPECT_NE(first->logL, other->logL);
+}
+
+TEST(Calibration, SeedResolvesFromEnvironment) {
+  const char* saved = std::getenv("BGL_SCHED_SEED");
+  const std::string savedValue = saved != nullptr ? saved : "";
+
+  ::setenv("BGL_SCHED_SEED", "9001", 1);
+  EXPECT_EQ(resolveSeed(0), 9001u);
+  EXPECT_EQ(resolveSeed(5), 5u);  // explicit seed beats the environment
+
+  CalibrationSpec spec;
+  spec.tips = 5;
+  spec.patterns = 101;
+  spec.reps = 1;
+  const auto fromEnv = benchmarkResource(0, spec);
+  spec.seed = 9001;
+  const auto fromExplicit = benchmarkResource(0, spec);
+  ASSERT_TRUE(fromEnv.has_value());
+  ASSERT_TRUE(fromExplicit.has_value());
+  EXPECT_DOUBLE_EQ(fromEnv->logL, fromExplicit->logL);
+
+  ::unsetenv("BGL_SCHED_SEED");
+  EXPECT_EQ(resolveSeed(0), kDefaultSeed);
+  if (!savedValue.empty()) ::setenv("BGL_SCHED_SEED", savedValue.c_str(), 1);
+}
+
+TEST(Calibration, ModelEstimatesPositiveForEveryResource) {
+  BglResourceList* list = bglGetResourceList();
+  ASSERT_NE(list, nullptr);
+  for (int r = 0; r < list->length; ++r) {
+    const auto estimate = modelEstimate(r, CalibrationSpec{});
+    EXPECT_EQ(estimate.resource, r);
+    EXPECT_FALSE(estimate.measured);
+    EXPECT_GT(estimate.patternsPerSecond, 0.0) << "resource " << r;
+    EXPECT_GT(estimate.gflops, 0.0) << "resource " << r;
+    EXPECT_FALSE(estimate.implName.empty());
+  }
+}
+
+TEST(Calibration, CacheServesRepeatsAndBenchmarkUpgradesModelSeeds) {
+  clearCache();
+  CalibrationSpec spec;
+  spec.tips = 5;
+  spec.patterns = 64;
+  spec.reps = 1;
+  spec.seed = 515;
+
+  const auto seeded = resourceEstimate(1, spec, /*benchmark=*/false);
+  EXPECT_FALSE(seeded.measured);
+
+  const auto before = counters();
+  const auto again = resourceEstimate(1, spec, /*benchmark=*/false);
+  EXPECT_FALSE(again.measured);
+  EXPECT_EQ(counters().cacheHits, before.cacheHits + 1);
+  EXPECT_DOUBLE_EQ(again.patternsPerSecond, seeded.patternsPerSecond);
+
+  // A benchmark request upgrades the cached model seed to a measurement...
+  const auto upgraded = resourceEstimate(1, spec, /*benchmark=*/true);
+  EXPECT_TRUE(upgraded.measured);
+  // ...and the measurement then satisfies model requests too.
+  const auto hits = counters().cacheHits;
+  const auto cached = resourceEstimate(1, spec, /*benchmark=*/false);
+  EXPECT_TRUE(cached.measured);
+  EXPECT_EQ(counters().cacheHits, hits + 1);
+}
+
+TEST(Calibration, FastestResourcePicksHighestThroughput) {
+  CalibrationSpec spec;
+  spec.seed = 616;
+  const int best = fastestResource({}, spec, /*benchmark=*/false);
+  ASSERT_GE(best, 0);
+  const auto estimates = resourceEstimates({}, spec, /*benchmark=*/false);
+  for (const auto& e : estimates) {
+    EXPECT_GE(resourcePerformance(best), 0.0);
+    EXPECT_LE(e.gflops, resourceEstimate(best, spec, false).gflops + 1e-12);
+  }
+}
+
+TEST(SchedCounters, RebalanceNotesAccumulate) {
+  const auto before = counters();
+  noteRebalance(123);
+  const auto after = counters();
+  EXPECT_EQ(after.rebalances, before.rebalances + 1);
+  EXPECT_EQ(after.migratedPatterns, before.migratedPatterns + 123);
+}
+
+// ---------------------------------------------------------------------------
+// C API
+// ---------------------------------------------------------------------------
+
+TEST(SchedCApi, BenchmarkAllResourcesRoundTrips) {
+  BglResourceList* list = bglGetResourceList();
+  std::vector<BglBenchmarkedResource> out(static_cast<std::size_t>(list->length));
+  int count = 0;
+  // Model-estimate mode: covers every resource without timing noise.
+  const int rc = bglBenchmarkResources(nullptr, 0, 4, 128, 4, 0,
+                                       BGL_FLAG_LOADBALANCE_MODEL, out.data(),
+                                       &count);
+  EXPECT_EQ(rc, BGL_SUCCESS);
+  ASSERT_EQ(count, list->length);
+  for (int i = 0; i < count; ++i) {
+    EXPECT_EQ(out[i].resourceNumber, i);
+    EXPECT_GT(out[i].performance, 0.0);
+    EXPECT_GT(out[i].seconds, 0.0);
+    EXPECT_EQ(out[i].measured, 0);
+  }
+}
+
+TEST(SchedCApi, BenchmarkExplicitResourceMeasures) {
+  const int resource = 0;
+  BglBenchmarkedResource out{};
+  int count = 0;
+  const int rc =
+      bglBenchmarkResources(&resource, 1, 4, 128, 4, 0, 0, &out, &count);
+  EXPECT_EQ(rc, BGL_SUCCESS);
+  ASSERT_EQ(count, 1);
+  EXPECT_EQ(out.resourceNumber, 0);
+  EXPECT_EQ(out.measured, 1);
+  EXPECT_GT(out.performance, 0.0);
+}
+
+TEST(SchedCApi, RejectsBadArguments) {
+  int count = 0;
+  BglBenchmarkedResource out{};
+  EXPECT_EQ(bglBenchmarkResources(nullptr, 0, 4, 128, 4, 0, 0, nullptr, &count),
+            BGL_ERROR_OUT_OF_RANGE);
+  EXPECT_EQ(bglBenchmarkResources(nullptr, 0, 4, 128, 4, 0, 0, &out, nullptr),
+            BGL_ERROR_OUT_OF_RANGE);
+  const int bogus = 99;
+  EXPECT_EQ(bglBenchmarkResources(&bogus, 1, 4, 128, 4, 0, 0, &out, &count),
+            BGL_ERROR_OUT_OF_RANGE);
+  double perf = 0.0;
+  EXPECT_EQ(bglGetResourcePerformance(99, &perf), BGL_ERROR_OUT_OF_RANGE);
+  EXPECT_EQ(bglGetResourcePerformance(0, nullptr), BGL_ERROR_OUT_OF_RANGE);
+}
+
+TEST(SchedCApi, ResourcePerformanceIsPositive) {
+  BglResourceList* list = bglGetResourceList();
+  for (int r = 0; r < list->length; ++r) {
+    double perf = -1.0;
+    EXPECT_EQ(bglGetResourcePerformance(r, &perf), BGL_SUCCESS);
+    EXPECT_GT(perf, 0.0) << "resource " << r;
+  }
+}
+
+TEST(SchedCApi, CxxWrappersRoundTrip) {
+  const auto all = xx::benchmarkResources({}, 4, 128, 4, 0,
+                                          BGL_FLAG_LOADBALANCE_MODEL);
+  EXPECT_EQ(static_cast<int>(all.size()), bglGetResourceList()->length);
+  EXPECT_GT(xx::resourcePerformance(0), 0.0);
+  EXPECT_THROW(xx::resourcePerformance(99), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Registry concurrency (the documented refreshResourceFlags race, fixed)
+// ---------------------------------------------------------------------------
+
+/// Factory that serves nothing: registering it exercises the registry's
+/// factory-list and resource-flag mutation paths without changing which
+/// implementations any other request resolves to.
+class InertFactory final : public ImplementationFactory {
+ public:
+  std::string name() const override { return "test-inert"; }
+  int priority() const override { return -1000; }
+  long supportFlags(int) const override { return 0; }
+  bool servesResource(int) const override { return false; }
+  std::unique_ptr<Implementation> create(const InstanceConfig&) override {
+    return nullptr;
+  }
+};
+
+TEST(RegistryThreads, AddFactoryConcurrentWithCreate) {
+  std::atomic<bool> stop{false};
+  std::atomic<int> created{0};
+
+  std::thread creator([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      BglInstanceDetails details{};
+      const int inst = bglCreateInstance(4, 3, 4, 4, 16, 1, 6, 1, 0, nullptr, 0,
+                                         0, 0, &details);
+      if (inst >= 0) {
+        ++created;
+        bglFinalizeInstance(inst);
+      }
+    }
+  });
+
+  for (int i = 0; i < 50; ++i) {
+    Registry::instance().addFactory(std::make_unique<InertFactory>());
+  }
+  // Keep mutating until the creator thread has demonstrably overlapped
+  // with at least one successful create (scheduling under a loaded test
+  // host can delay the thread past the 50 registrations above).
+  for (int i = 0; i < 20000 && created.load(std::memory_order_relaxed) == 0;
+       ++i) {
+    Registry::instance().addFactory(std::make_unique<InertFactory>());
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  creator.join();
+  EXPECT_GT(created.load(), 0);
+}
+
+}  // namespace
+}  // namespace bgl::sched

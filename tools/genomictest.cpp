@@ -13,6 +13,7 @@
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "api/bgl.h"
 #include "harness/genomictest.h"
@@ -40,7 +41,14 @@ void printUsage(const char* program) {
       "  --no-fma               disable fused-multiply-add kernels\n"
       "  --seed N               RNG seed (default 1234)\n"
       "  --trace FILE           write a Chrome trace (chrome://tracing) JSON\n"
-      "  --stats-json FILE      write per-operation counters/timings as JSON\n",
+      "  --stats-json FILE      write per-operation counters/timings as JSON\n"
+      "  --auto-resource        benchmark all resources, run on the fastest\n"
+      "  --model-estimate       with --auto-resource: rank by perf model\n"
+      "                         instead of running calibrations\n"
+      "  --split N              split patterns across N instances (alternating\n"
+      "                         threaded / serial CPU shards)\n"
+      "  --balance MODE         equal | prop | adaptive split (default equal)\n"
+      "  --rebalance            shorthand for --balance adaptive\n",
       program);
 }
 
@@ -103,6 +111,93 @@ int main(int argc, char** argv) {
   std::printf("genomictest: %d tips, %d patterns, %d states, %d categories, %s\n",
               spec.tips, spec.patterns, spec.states, spec.categories,
               spec.singlePrecision ? "single precision" : "double precision");
+
+  if (args.has("auto-resource")) {
+    // Benchmark every resource on a short calibration workload and run the
+    // real problem on the fastest (beagleBenchmarkResources-style).
+    long reqFlags = spec.requirementFlags;
+    if (args.has("model-estimate")) reqFlags |= BGL_FLAG_LOADBALANCE_MODEL;
+    BglResourceList* list = bglGetResourceList();
+    std::vector<BglBenchmarkedResource> bench(
+        static_cast<std::size_t>(list->length));
+    int count = 0;
+    const int rc = bglBenchmarkResources(
+        nullptr, 0, spec.states, 0, spec.categories, spec.preferenceFlags,
+        reqFlags, bench.data(), &count);
+    if (rc != BGL_SUCCESS || count == 0) {
+      std::fprintf(stderr, "error: resource benchmarking failed (code %d)\n", rc);
+      return 1;
+    }
+    std::printf("%-4s %-28s %12s %12s %s\n", "id", "resource", "GFLOPS",
+                "seconds", "source");
+    int best = bench[0].resourceNumber;
+    double bestPerf = -1.0;
+    for (int i = 0; i < count; ++i) {
+      const auto& b = bench[static_cast<std::size_t>(i)];
+      std::printf("%-4d %-28s %12.2f %12.6f %s\n", b.resourceNumber,
+                  list->list[b.resourceNumber].name, b.performance, b.seconds,
+                  b.measured ? "benchmarked" : "perf model");
+      if (b.performance > bestPerf) {
+        bestPerf = b.performance;
+        best = b.resourceNumber;
+      }
+    }
+    spec.resource = best;
+    std::printf("auto-selected resource %d (%s)\n", best, list->list[best].name);
+  }
+
+  const int splitShards = args.getInt("split", 0);
+  if (splitShards > 0) {
+    phylo::SplitOptions split;
+    const std::string balance = args.get("balance");
+    if (balance == "prop") split.mode = phylo::SplitMode::Proportional;
+    if (balance == "adaptive") split.mode = phylo::SplitMode::Adaptive;
+    if (args.has("rebalance")) split.mode = phylo::SplitMode::Adaptive;
+    split.calibrationSeed = spec.seed;
+
+    // Heterogeneous-by-construction shards: even shards use the threaded
+    // pool (preferring AVX), odd shards the serial scalar implementation —
+    // the two-unequal-backends setup of the conclusion's load-balancing
+    // scenario, realizable on any host.
+    std::vector<phylo::LikelihoodOptions> shardOptions(
+        static_cast<std::size_t>(splitShards));
+    for (int s = 0; s < splitShards; ++s) {
+      auto& o = shardOptions[static_cast<std::size_t>(s)];
+      o.categories = spec.categories;
+      o.resources = {spec.resource};
+      if (spec.singlePrecision) o.requirementFlags |= BGL_FLAG_PRECISION_SINGLE;
+      if (s % 2 == 0) {
+        o.requirementFlags |= BGL_FLAG_THREADING_THREAD_POOL;
+        o.preferenceFlags |= BGL_FLAG_VECTOR_AVX;
+      } else {
+        o.requirementFlags |= BGL_FLAG_THREADING_NONE | BGL_FLAG_VECTOR_NONE;
+      }
+    }
+
+    try {
+      const auto result = harness::runSplitThroughput(spec, shardOptions, split);
+      const char* modeName = split.mode == phylo::SplitMode::Equal ? "equal"
+                             : split.mode == phylo::SplitMode::Proportional
+                                 ? "proportional"
+                                 : "adaptive";
+      std::printf("split: %d shards, %s balancing\n", splitShards, modeName);
+      for (std::size_t s = 0; s < result.shardPatterns.size(); ++s) {
+        std::printf("  shard %zu: %6d patterns  %s\n", s, result.shardPatterns[s],
+                    result.implNames[s].c_str());
+      }
+      std::printf("time per evaluation: %.6f s (wall, all shards)\n",
+                  result.seconds);
+      std::printf("throughput: %.2f GFLOPS effective\n", result.gflops);
+      if (split.mode == phylo::SplitMode::Adaptive) {
+        std::printf("rebalances applied: %d\n", result.rebalances);
+      }
+      std::printf("validation logL: %.6f\n", result.logL);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
 
   try {
     const auto result = harness::runThroughput(spec);

@@ -44,6 +44,8 @@ int main(int argc, char** argv) {
         "  --kappa X --alpha X --categories N\n"
         "  --framework cpu|cuda|opencl --resource N --threading pool|...\n"
         "  --native           use the built-in (non-library) evaluator\n"
+        "  --auto-resource    calibrate resources, run on the fastest\n"
+        "  --model-estimate   with --auto-resource: rank by perf model\n"
         "  --serial-chains    disable chain-level concurrency\n"
         "  --ml               maximum-likelihood hill-climb instead of MCMC\n"
         "  --trace FILE       Chrome trace JSON per instance (chains get\n"
@@ -142,7 +144,11 @@ int main(int argc, char** argv) {
       if (args.has("resource")) lo.resources = {args.getInt("resource", 0)};
       lo.traceFile = args.get("trace");
       lo.statsFile = args.get("stats-json");
-      factory = mc3::makeBglFactory(lo);
+      if (args.has("auto-resource")) {
+        factory = mc3::makeAutoBglFactory(lo, !args.has("model-estimate"));
+      } else {
+        factory = mc3::makeBglFactory(lo);
+      }
     }
 
     mc3::Mc3Sampler sampler(data, model, opts, factory);
