@@ -145,6 +145,9 @@ const char* bglGetCitation(void);
 /**
  * Enumerate hardware resources (CPU plus every accelerator device the
  * framework runtimes expose). The returned pointer is owned by the library.
+ * Per-resource supportFlags are rewritten when a plugin registers a new
+ * implementation factory; reading the list concurrently with plugin
+ * registration is undefined. Re-read flags after registering a plugin.
  */
 BglResourceList* bglGetResourceList(void);
 

@@ -69,7 +69,20 @@ Registry::CreateResult Registry::create(InstanceConfig cfg, const int* resourceL
                                         long requirementFlags, int* error) {
   CreateResult result;
   *error = BGL_SUCCESS;
-  std::lock_guard lock(mutex_);
+
+  // Snapshot the factory list under the lock, then release it before any
+  // f->create call: instance construction can be slow (device init) and
+  // may re-enter the registry, so it must not serialize on mutex_.
+  // Factory objects themselves are never destroyed, so raw pointers from
+  // the snapshot stay valid; addFactory only appends.
+  std::vector<ImplementationFactory*> factories;
+  int registeredResources;
+  {
+    std::lock_guard lock(mutex_);
+    factories.reserve(factories_.size());
+    for (const auto& f : factories_) factories.push_back(f.get());
+    registeredResources = static_cast<int>(resources_.size());
+  }
 
   // Resolve the load-balancing policy hints: the manager consumes them,
   // factories never see them as requirements.
@@ -94,7 +107,7 @@ Registry::CreateResult Registry::create(InstanceConfig cfg, const int* resourceL
   if (resourceList != nullptr && resourceCount > 0) {
     candidates.assign(resourceList, resourceList + resourceCount);
   } else {
-    for (int r = 0; r < static_cast<int>(resources_.size()); ++r) {
+    for (int r = 0; r < registeredResources; ++r) {
       candidates.push_back(r);
     }
   }
@@ -102,7 +115,7 @@ Registry::CreateResult Registry::create(InstanceConfig cfg, const int* resourceL
   const long req = (requirementFlags & ~precisionMask) | precision;
   bool sawResource = false;
   for (int r : candidates) {
-    if (r < 0 || r >= static_cast<int>(resources_.size())) {
+    if (r < 0 || r >= registeredResources) {
       *error = BGL_ERROR_OUT_OF_RANGE;
       return result;
     }
@@ -110,10 +123,10 @@ Registry::CreateResult Registry::create(InstanceConfig cfg, const int* resourceL
 
     // Factories that serve the resource and can satisfy every requirement.
     std::vector<ImplementationFactory*> viable;
-    for (const auto& f : factories_) {
+    for (auto* f : factories) {
       if (!f->servesResource(r)) continue;
       if ((req & ~f->supportFlags(r)) != 0) continue;
-      viable.push_back(f.get());
+      viable.push_back(f);
     }
     // Among the viable, prefer the one matching the most preference bits,
     // then the highest priority.

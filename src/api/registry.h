@@ -19,7 +19,11 @@ class Registry {
     return factories_;
   }
 
-  /// Resource list backing bglGetResourceList (stable storage).
+  /// Resource list backing bglGetResourceList (stable storage). The
+  /// returned entries are updated in place when addFactory() refreshes
+  /// per-resource supportFlags, and those reads are unsynchronized:
+  /// callers must not read the list concurrently with plugin
+  /// registration, and should re-read flags after registering a factory.
   BglResourceList* resourceList();
 
   struct CreateResult {
@@ -37,7 +41,8 @@ class Registry {
 
   /// Register an additional factory (plugin loading); refreshes the
   /// per-resource capability flags. Factory and resource-list mutation is
-  /// mutex-guarded, so this is safe concurrently with create().
+  /// mutex-guarded, so this is safe concurrently with create(). It is NOT
+  /// safe concurrently with readers of resourceList() — see above.
   void addFactory(std::unique_ptr<ImplementationFactory> factory);
 
  private:

@@ -53,8 +53,8 @@ EvaluatorFactory makeAutoBglFactory(phylo::LikelihoodOptions options,
     sched::CalibrationSpec spec;
     spec.states = model.states();
     spec.categories = options.categories;
-    spec.singlePrecision = ((options.preferenceFlags | options.requirementFlags) &
-                            BGL_FLAG_PRECISION_SINGLE) != 0;
+    spec.singlePrecision = sched::resolveSinglePrecision(
+        options.preferenceFlags, options.requirementFlags);
     spec.preferenceFlags = options.preferenceFlags;
     spec.requirementFlags = options.requirementFlags;
     phylo::LikelihoodOptions resolved = options;

@@ -38,13 +38,14 @@ std::vector<int> proportionalShares(int total, const std::vector<double>& speeds
   const std::vector<double> s = sanitizeSpeeds(speeds);
 
   if (total < static_cast<long long>(n) * std::max(minShare, 1)) {
-    // Too few items for every shard: hand one item each to the fastest
-    // shards until the items run out.
+    // Too few items for every shard to reach the minimum: hand items to
+    // the fastest shards one at a time (round-robin in speed order) until
+    // the items run out, so shares differ by at most one.
     std::vector<int> order(n);
     std::iota(order.begin(), order.end(), 0);
     std::stable_sort(order.begin(), order.end(),
                      [&](int a, int b) { return s[a] > s[b]; });
-    for (int i = 0; i < total; ++i) shares[order[i]] = 1;
+    for (int i = 0; i < total; ++i) ++shares[order[i % n]];
     return shares;
   }
 

@@ -17,8 +17,9 @@ namespace bgl::sched {
 /// the largest-remainder method, so the shares always sum to `total`.
 /// Non-positive or non-finite speeds are treated as "very slow" rather
 /// than rejected. Every shard receives at least `minShare` items when
-/// total >= shards * minShare; otherwise the fastest shards receive one
-/// item each until the items run out (the rest get zero).
+/// total >= shards * minShare; otherwise items go to the fastest shards
+/// one at a time (round-robin in speed order), so shares differ by at
+/// most one and only trailing shards can end up with zero.
 std::vector<int> proportionalShares(int total, const std::vector<double>& speeds,
                                     int minShare = 1);
 

@@ -109,6 +109,12 @@ unsigned resolveSeed(unsigned seed) {
   return kDefaultSeed;
 }
 
+bool resolveSinglePrecision(long preferenceFlags, long requirementFlags) {
+  return (requirementFlags & BGL_FLAG_PRECISION_SINGLE) != 0 ||
+         ((requirementFlags & BGL_FLAG_PRECISION_DOUBLE) == 0 &&
+          (preferenceFlags & BGL_FLAG_PRECISION_SINGLE) != 0);
+}
+
 obs::TraceRecorder& recorder() {
   static obs::TraceRecorder rec;
   return rec;

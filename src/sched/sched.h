@@ -39,6 +39,13 @@ inline constexpr unsigned kDefaultSeed = 1234;
 /// kDefaultSeed.
 unsigned resolveSeed(unsigned seed);
 
+/// Precision resolution matching the registry (bglCreateInstance):
+/// requirements beat preferences and double is the default, so the result
+/// is single iff single is required, or preferred while double is not
+/// required. Every CalibrationSpec built from instance flags must use
+/// this so calibration measures the precision the instance will run at.
+bool resolveSinglePrecision(long preferenceFlags, long requirementFlags);
+
 /// Shape of the synthetic calibration workload. The defaults are small on
 /// purpose: calibration should cost milliseconds, not the analysis it is
 /// scheduling.

@@ -40,9 +40,8 @@ int bglBenchmarkResources(const int* resourceList, int resourceCount,
   if (categoryCount > 0) spec.categories = categoryCount;
   spec.preferenceFlags = preferenceFlags;
   spec.requirementFlags = requirementFlags;
-  spec.singlePrecision = (requirementFlags & BGL_FLAG_PRECISION_SINGLE) != 0 ||
-                         ((requirementFlags & BGL_FLAG_PRECISION_DOUBLE) == 0 &&
-                          (preferenceFlags & BGL_FLAG_PRECISION_SINGLE) != 0);
+  spec.singlePrecision =
+      bgl::sched::resolveSinglePrecision(preferenceFlags, requirementFlags);
   // BGL_FLAG_LOADBALANCE_MODEL requests model-seeded estimates (no
   // execution); the default — and BGL_FLAG_LOADBALANCE_BENCHMARK — runs
   // the calibration workload.

@@ -60,6 +60,23 @@ TEST(ProportionalShares, MoreShardsThanItemsGivesFastestOneEach) {
   EXPECT_EQ(shares[2], 1);
 }
 
+TEST(ProportionalShares, InfeasibleMinimumWithEnoughItemsForOneEach) {
+  // Regression: n <= total < n*minShare used to index the speed-order
+  // vector out of bounds. The minimum is infeasible (5 < 3*2) but with
+  // total >= n every shard still gets at least one item, fastest first,
+  // and the total is preserved.
+  const auto shares = proportionalShares(5, {4.0, 2.0, 1.0}, /*minShare=*/2);
+  ASSERT_EQ(shares.size(), 3u);
+  EXPECT_EQ(shares[0] + shares[1] + shares[2], 5);
+  for (int s : shares) EXPECT_GE(s, 1);
+  EXPECT_GE(shares[0], shares[2]);
+
+  // Exactly one item per shard when total == shard count.
+  const auto one = proportionalShares(3, {4.0, 2.0, 1.0}, /*minShare=*/4);
+  EXPECT_EQ(one[0] + one[1] + one[2], 3);
+  for (int s : one) EXPECT_EQ(s, 1);
+}
+
 TEST(ProportionalShares, DegenerateSpeedsAreTreatedAsVerySlow) {
   const auto shares = proportionalShares(100, {1.0, 0.0, -3.0});
   EXPECT_EQ(shares[0] + shares[1] + shares[2], 100);

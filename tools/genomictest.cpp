@@ -149,9 +149,16 @@ int main(int argc, char** argv) {
   const int splitShards = args.getInt("split", 0);
   if (splitShards > 0) {
     phylo::SplitOptions split;
-    const std::string balance = args.get("balance");
-    if (balance == "prop") split.mode = phylo::SplitMode::Proportional;
-    if (balance == "adaptive") split.mode = phylo::SplitMode::Adaptive;
+    const std::string balance = args.get("balance", "equal");
+    if (balance == "prop") {
+      split.mode = phylo::SplitMode::Proportional;
+    } else if (balance == "adaptive") {
+      split.mode = phylo::SplitMode::Adaptive;
+    } else if (balance != "equal") {
+      std::fprintf(stderr, "error: unknown --balance mode '%s' (expected equal, prop or adaptive)\n",
+                   balance.c_str());
+      return 1;
+    }
     if (args.has("rebalance")) split.mode = phylo::SplitMode::Adaptive;
     split.calibrationSeed = spec.seed;
 
