@@ -29,7 +29,8 @@ typedef enum BglReturnCode {
   BGL_ERROR_OUT_OF_RANGE = -5,
   BGL_ERROR_NO_RESOURCE = -6,
   BGL_ERROR_NO_IMPLEMENTATION = -7,
-  BGL_ERROR_FLOATING_POINT = -8
+  BGL_ERROR_FLOATING_POINT = -8,
+  BGL_ERROR_HARDWARE = -9        /**< device/runtime failure (launch, transfer) */
 } BglReturnCode;
 
 /**
@@ -144,10 +145,12 @@ const char* bglGetCitation(void);
 
 /**
  * Enumerate hardware resources (CPU plus every accelerator device the
- * framework runtimes expose). The returned pointer is owned by the library.
- * Per-resource supportFlags are rewritten when a plugin registers a new
- * implementation factory; reading the list concurrently with plugin
- * registration is undefined. Re-read flags after registering a plugin.
+ * framework runtimes expose). The returned pointer is owned by the library
+ * and refers to a per-thread snapshot taken at the time of the call: it
+ * stays valid (and immutable) until the calling thread's next
+ * bglGetResourceList call, and it is safe to call concurrently with
+ * plugin registration. Re-call after registering a plugin to observe the
+ * refreshed per-resource supportFlags.
  */
 BglResourceList* bglGetResourceList(void);
 
@@ -419,6 +422,38 @@ int bglBenchmarkResources(const int* resourceList, int resourceCount,
  * estimate. Never runs a benchmark itself.
  */
 int bglGetResourcePerformance(int resource, double* outPerformance);
+
+/**
+ * Human-readable detail for the most recent failed library call on the
+ * calling thread, or "" when the last call on this thread succeeded (or
+ * carried no detail). The returned pointer is owned by the library and
+ * valid until the thread's next library call. Never returns NULL.
+ *
+ * Populated whenever a layer below the C API can attach detail — device
+ * runtime bounds checks, injected faults, instance-creation failures —
+ * so a caller seeing BGL_ERROR_HARDWARE or BGL_ERROR_OUT_OF_RANGE can
+ * report *which* transfer or index was at fault.
+ */
+const char* bglGetLastErrorMessage(void);
+
+/**
+ * Arm (or disarm) the deterministic fault injector of the simulated
+ * device runtimes. `spec` is a comma-separated list of directives
+ * `[framework:]kind:value` with kind one of:
+ *   launch:N  — the Nth kernel launch after this call fails (one-shot)
+ *   memcpy:N  — the Nth device transfer fails (one-shot)
+ *   alloc:B   — device allocations beyond a cumulative budget of B bytes
+ *               fail (persistent)
+ * and framework optionally "cuda" or "opencl" to restrict the directive
+ * to one runtime. Fired faults surface as BGL_ERROR_HARDWARE (or
+ * BGL_ERROR_OUT_OF_MEMORY for the allocation budget) with detail in
+ * bglGetLastErrorMessage. Passing NULL or "" disarms. Equivalent to
+ * setting BGL_FAULT in the environment before the first library call.
+ *
+ * Returns BGL_ERROR_OUT_OF_RANGE (with detail in the last-error
+ * message) on a malformed spec, leaving the previous spec armed.
+ */
+int bglSetFaultSpec(const char* spec);
 
 #ifdef __cplusplus
 }

@@ -13,12 +13,25 @@
 #include "api/implementation.h"
 #include "api/registry.h"
 #include "core/defs.h"
+#include "fault/fault.h"
 #include "obs/export.h"
+
+// The Error::code() constants in core/defs.h mirror BglReturnCode so the
+// layers below the C API can attach structured codes without including
+// the public header; keep the two in lockstep.
+static_assert(bgl::kErrGeneral == BGL_ERROR_GENERAL);
+static_assert(bgl::kErrOutOfMemory == BGL_ERROR_OUT_OF_MEMORY);
+static_assert(bgl::kErrOutOfRange == BGL_ERROR_OUT_OF_RANGE);
+static_assert(bgl::kErrHardware == BGL_ERROR_HARDWARE);
 
 namespace {
 
 struct InstanceSlot {
-  std::unique_ptr<bgl::Implementation> impl;
+  /// shared_ptr so in-flight operations pin the implementation: a
+  /// concurrent bglFinalizeInstance clears the slot, and destruction
+  /// happens when the last operation drops its reference — never under
+  /// an operation's feet.
+  std::shared_ptr<bgl::Implementation> impl;
   std::string implName;
   std::string resourceName;
   int resource = -1;
@@ -29,6 +42,20 @@ struct InstanceSlot {
 
 std::mutex g_mutex;
 std::vector<InstanceSlot> g_instances;
+
+/// Detail for the most recent failed call on this thread (bglGetLastErrorMessage).
+thread_local std::string t_lastError;
+
+void setLastError(std::string message) { t_lastError = std::move(message); }
+
+/// Map an Error's embedded code to a BglReturnCode (anything outside the
+/// known range degrades to BGL_ERROR_GENERAL rather than leaking
+/// arbitrary integers through the C ABI).
+int returnCodeFor(const bgl::Error& error) {
+  const int code = error.code();
+  return (code <= BGL_SUCCESS && code >= BGL_ERROR_HARDWARE) ? code
+                                                             : BGL_ERROR_GENERAL;
+}
 
 /// Output paths claimed by live instances, so several instances created
 /// with the same BGL_TRACE/BGL_STATS value don't clobber one file.
@@ -50,25 +77,38 @@ void releasePathLocked(const std::string& path) {
   if (!path.empty()) g_claimedPaths.erase(path);
 }
 
-bgl::Implementation* lookup(int instance) {
+/// Pin the instance: the returned shared_ptr keeps the implementation
+/// alive even if another thread finalizes the slot mid-operation.
+std::shared_ptr<bgl::Implementation> lookup(int instance) {
   std::lock_guard lock(g_mutex);
   if (instance < 0 || instance >= static_cast<int>(g_instances.size())) {
     return nullptr;
   }
-  return g_instances[instance].impl.get();
+  return g_instances[instance].impl;
 }
 
-/// Run `fn` on the instance, translating exceptions to error codes.
+/// Run `fn` on the instance, translating exceptions to error codes and
+/// capturing their messages for bglGetLastErrorMessage.
 template <typename F>
 int withInstance(int instance, F&& fn) {
-  bgl::Implementation* impl = lookup(instance);
-  if (impl == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  t_lastError.clear();
+  const std::shared_ptr<bgl::Implementation> impl = lookup(instance);
+  if (impl == nullptr) {
+    setLastError("instance " + std::to_string(instance) +
+                 " is not a live instance id");
+    return BGL_ERROR_OUT_OF_RANGE;
+  }
   try {
     return fn(*impl);
   } catch (const std::bad_alloc&) {
+    setLastError("allocation failed");
     return BGL_ERROR_OUT_OF_MEMORY;
-  } catch (const bgl::Error&) {
-    return BGL_ERROR_GENERAL;
+  } catch (const bgl::Error& e) {
+    setLastError(e.what());
+    return returnCodeFor(e);
+  } catch (const std::exception& e) {
+    setLastError(e.what());
+    return BGL_ERROR_UNIDENTIFIED_EXCEPTION;
   } catch (...) {
     return BGL_ERROR_UNIDENTIFIED_EXCEPTION;
   }
@@ -87,7 +127,25 @@ const char* bglGetCitation(void) {
 }
 
 BglResourceList* bglGetResourceList(void) {
-  return bgl::Registry::instance().resourceList();
+  // Per-thread snapshot: stable storage for the caller, immune to plugin
+  // registration rewriting the registry's own list. Valid until this
+  // thread's next call.
+  thread_local bgl::Registry::ResourceSnapshot snapshot;
+  bgl::Registry::instance().snapshotResources(snapshot);
+  return &snapshot.list;
+}
+
+const char* bglGetLastErrorMessage(void) { return t_lastError.c_str(); }
+
+int bglSetFaultSpec(const char* spec) {
+  t_lastError.clear();
+  std::string error;
+  if (!bgl::fault::Injector::instance().configure(
+          spec == nullptr ? "" : spec, &error)) {
+    setLastError(error);
+    return BGL_ERROR_OUT_OF_RANGE;
+  }
+  return BGL_SUCCESS;
 }
 
 int bglCreateInstance(int tipCount, int partialsBufferCount, int compactBufferCount,
@@ -96,6 +154,7 @@ int bglCreateInstance(int tipCount, int partialsBufferCount, int compactBufferCo
                       const int* resourceList, int resourceCount,
                       long preferenceFlags, long requirementFlags,
                       BglInstanceDetails* returnInfo) {
+  t_lastError.clear();
   if (tipCount < 0 || partialsBufferCount < 0 || compactBufferCount < 0 ||
       stateCount < 2 || patternCount < 1 || eigenBufferCount < 1 ||
       matrixBufferCount < 1 || categoryCount < 1 || scaleBufferCount < 0 ||
@@ -154,21 +213,40 @@ int bglCreateInstance(int tipCount, int partialsBufferCount, int compactBufferCo
     }
     return id;
   } catch (const std::bad_alloc&) {
+    setLastError("allocation failed while creating the instance");
     return BGL_ERROR_OUT_OF_MEMORY;
-  } catch (const bgl::Error&) {
-    return BGL_ERROR_GENERAL;
+  } catch (const bgl::Error& e) {
+    setLastError(e.what());
+    return returnCodeFor(e);
+  } catch (const std::exception& e) {
+    setLastError(e.what());
+    return BGL_ERROR_UNIDENTIFIED_EXCEPTION;
   } catch (...) {
     return BGL_ERROR_UNIDENTIFIED_EXCEPTION;
   }
 }
 
 int bglFinalizeInstance(int instance) {
-  std::lock_guard lock(g_mutex);
-  if (instance < 0 || instance >= static_cast<int>(g_instances.size()) ||
-      g_instances[instance].impl == nullptr) {
-    return BGL_ERROR_OUT_OF_RANGE;
+  t_lastError.clear();
+  // Detach the slot under the lock, then export and destroy outside it:
+  // trace/stats writing does file I/O, and the implementation itself may
+  // only be destroyed once every in-flight operation has dropped its
+  // pinning reference (which can be after this function returns — the
+  // shared_ptr handles that).
+  InstanceSlot slot;
+  {
+    std::lock_guard lock(g_mutex);
+    if (instance < 0 || instance >= static_cast<int>(g_instances.size()) ||
+        g_instances[instance].impl == nullptr) {
+      setLastError("instance " + std::to_string(instance) +
+                   " is not a live instance id");
+      return BGL_ERROR_OUT_OF_RANGE;
+    }
+    slot = std::move(g_instances[instance]);
+    g_instances[instance] = InstanceSlot{};
+    releasePathLocked(slot.traceFile);
+    releasePathLocked(slot.statsFile);
   }
-  auto& slot = g_instances[instance];
   const std::string process = slot.implName + " @ " + slot.resourceName;
   if (!slot.traceFile.empty()) {
     if (!bgl::obs::writeChromeTraceFile(slot.traceFile, slot.impl->recorder(),
@@ -176,7 +254,6 @@ int bglFinalizeInstance(int instance) {
       std::fprintf(stderr, "bgl: could not write trace file '%s'\n",
                    slot.traceFile.c_str());
     }
-    releasePathLocked(slot.traceFile);
   }
   if (!slot.statsFile.empty()) {
     if (!bgl::obs::writeStatsJsonFile(slot.statsFile, slot.impl->recorder(),
@@ -184,9 +261,7 @@ int bglFinalizeInstance(int instance) {
       std::fprintf(stderr, "bgl: could not write stats file '%s'\n",
                    slot.statsFile.c_str());
     }
-    releasePathLocked(slot.statsFile);
   }
-  g_instances[instance] = InstanceSlot{};
   return BGL_SUCCESS;
 }
 

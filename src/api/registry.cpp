@@ -37,8 +37,6 @@ Registry::Registry() {
     resources_.push_back(res);
   }
   refreshResourceFlagsLocked();
-  list_.list = resources_.data();
-  list_.length = static_cast<int>(resources_.size());
 }
 
 void Registry::refreshResourceFlagsLocked() {
@@ -62,7 +60,19 @@ Registry& Registry::instance() {
   return registry;
 }
 
-BglResourceList* Registry::resourceList() { return &list_; }
+void Registry::snapshotResources(ResourceSnapshot& out) const {
+  std::lock_guard lock(mutex_);
+  out.resources = resources_;
+  out.strings = resourceStrings_;
+  // resourceStrings_ interleaves (name, description) per resource; re-point
+  // the copied entries at the snapshot's own string storage.
+  for (std::size_t r = 0; r < out.resources.size(); ++r) {
+    out.resources[r].name = out.strings[2 * r].c_str();
+    out.resources[r].description = out.strings[2 * r + 1].c_str();
+  }
+  out.list.list = out.resources.data();
+  out.list.length = static_cast<int>(out.resources.size());
+}
 
 Registry::CreateResult Registry::create(InstanceConfig cfg, const int* resourceList,
                                         int resourceCount, long preferenceFlags,

@@ -19,12 +19,19 @@ class Registry {
     return factories_;
   }
 
-  /// Resource list backing bglGetResourceList (stable storage). The
-  /// returned entries are updated in place when addFactory() refreshes
-  /// per-resource supportFlags, and those reads are unsynchronized:
-  /// callers must not read the list concurrently with plugin
-  /// registration, and should re-read flags after registering a factory.
-  BglResourceList* resourceList();
+  /// Caller-owned copy of the resource list: the BglResource entries and
+  /// the strings they point into both live in the snapshot, so reading it
+  /// is safe no matter what addFactory() does to the registry afterwards.
+  struct ResourceSnapshot {
+    std::vector<BglResource> resources;
+    std::vector<std::string> strings;  ///< stable name/description storage
+    BglResourceList list{};            ///< points into `resources`
+  };
+
+  /// Fill `out` with a consistent copy of the current resource list
+  /// (taken under the registry mutex, so it is safe concurrently with
+  /// plugin registration). Backs bglGetResourceList.
+  void snapshotResources(ResourceSnapshot& out) const;
 
   struct CreateResult {
     std::unique_ptr<Implementation> impl;
@@ -41,8 +48,8 @@ class Registry {
 
   /// Register an additional factory (plugin loading); refreshes the
   /// per-resource capability flags. Factory and resource-list mutation is
-  /// mutex-guarded, so this is safe concurrently with create(). It is NOT
-  /// safe concurrently with readers of resourceList() — see above.
+  /// mutex-guarded, so this is safe concurrently with create() and with
+  /// snapshotResources().
   void addFactory(std::unique_ptr<ImplementationFactory> factory);
 
  private:
@@ -53,7 +60,6 @@ class Registry {
   std::vector<std::unique_ptr<ImplementationFactory>> factories_;
   std::vector<BglResource> resources_;
   std::vector<std::string> resourceStrings_;  // stable name/description storage
-  BglResourceList list_{};
 };
 
 }  // namespace bgl

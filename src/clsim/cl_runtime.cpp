@@ -4,6 +4,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "fault/fault.h"
 #include "hal/workgroup_executor.h"
 #include "kernels/kernels.h"
 #include "obs/trace.h"
@@ -64,26 +65,30 @@ class ClDevice final : public hal::Device {
   const Platform& platform() const { return platform_; }
 
   hal::BufferPtr alloc(std::size_t bytes) override {
+    fault::Injector::instance().onAlloc("opencl", bytes);
     return std::make_shared<ClBuffer>(bytes);
   }
 
   hal::BufferPtr subBuffer(const hal::BufferPtr& parent, std::size_t offset,
                            std::size_t bytes) override {
     if (offset + bytes > parent->size()) {
-      throw Error("clsim: CL_INVALID_VALUE (sub-buffer out of bounds)");
+      throw Error("clsim: CL_INVALID_VALUE (sub-buffer out of bounds)", kErrOutOfRange);
     }
     if (offset % kSubBufferAlign != 0) {
-      throw Error("clsim: CL_MISALIGNED_SUB_BUFFER_OFFSET");
+      throw Error("clsim: CL_MISALIGNED_SUB_BUFFER_OFFSET", kErrOutOfRange);
     }
     if (static_cast<const ClBuffer*>(parent.get())->isSubBuffer()) {
-      throw Error("clsim: CL_INVALID_MEM_OBJECT (sub-buffer of sub-buffer)");
+      throw Error("clsim: CL_INVALID_MEM_OBJECT (sub-buffer of sub-buffer)", kErrOutOfRange);
     }
     return std::make_shared<ClBuffer>(parent, offset, bytes);
   }
 
   void copyToDevice(hal::Buffer& dst, std::size_t dstOffset, const void* src,
                     std::size_t bytes) override {
-    if (dstOffset + bytes > dst.size()) throw Error("clsim: write out of bounds");
+    if (dstOffset + bytes > dst.size()) {
+      throw Error("clsim: write out of bounds", kErrOutOfRange);
+    }
+    fault::Injector::instance().onMemcpy("opencl", bytes);
     const auto t0 = Clock::now();
     std::memcpy(static_cast<std::byte*>(dst.data()) + dstOffset, src, bytes);
     timeline_.bytesCopied += bytes;
@@ -98,7 +103,10 @@ class ClDevice final : public hal::Device {
 
   void copyToHost(void* dst, const hal::Buffer& src, std::size_t srcOffset,
                   std::size_t bytes) override {
-    if (srcOffset + bytes > src.size()) throw Error("clsim: read out of bounds");
+    if (srcOffset + bytes > src.size()) {
+      throw Error("clsim: read out of bounds", kErrOutOfRange);
+    }
+    fault::Injector::instance().onMemcpy("opencl", bytes);
     const auto t0 = Clock::now();
     std::memcpy(dst, static_cast<const std::byte*>(src.data()) + srcOffset, bytes);
     timeline_.bytesCopied += bytes;
@@ -126,8 +134,10 @@ class ClDevice final : public hal::Device {
       throw Error("clsim: CL_OUT_OF_RESOURCES (local memory request of " +
                   std::to_string(dims.localMemBytes) + " bytes exceeds " +
                   std::to_string(static_cast<int>(profile_.localMemKb)) +
-                  " KB local memory)");
+                  " KB local memory)",
+                  kErrOutOfMemory);
     }
+    fault::Injector::instance().onLaunch("opencl");
     auto& k = static_cast<ClKernel&>(kernel);
     const auto t0 = Clock::now();
     hal::executeGrid(k.fn(), dims, args, fission_);
@@ -209,7 +219,10 @@ const std::vector<Platform>& platforms() {
 hal::DevicePtr createDevice(const Platform& platform, int profileIndex) {
   bool ok = false;
   for (int v : platform.deviceProfiles) ok = ok || v == profileIndex;
-  if (!ok) throw Error("clsim: device not exposed by platform " + platform.name);
+  if (!ok) {
+    throw Error("clsim: device not exposed by platform " + platform.name,
+                kErrOutOfRange);
+  }
   return std::make_shared<ClDevice>(platform, profileIndex);
 }
 
@@ -224,7 +237,9 @@ hal::DevicePtr createDeviceByProfile(int profileIndex) {
       }
     }
   }
-  if (best == nullptr) throw Error("clsim: no platform exposes requested device");
+  if (best == nullptr) {
+    throw Error("clsim: no platform exposes requested device", kErrOutOfRange);
+  }
   return createDevice(*best, profileIndex);
 }
 

@@ -28,10 +28,28 @@ concept RealScalar = std::same_as<T, float> || std::same_as<T, double>;
 /// Alignment (bytes) used for all numeric buffers; wide enough for AVX-512.
 inline constexpr std::size_t kBufferAlignment = 64;
 
+/// Error-code values carried by Error::code(). They mirror the public
+/// BglReturnCode enum (api/bgl.h) so layers below the C API can attach a
+/// structured code without including the public header; c_api.cpp
+/// static_asserts the two stay in sync.
+inline constexpr int kErrGeneral = -1;
+inline constexpr int kErrOutOfMemory = -2;
+inline constexpr int kErrOutOfRange = -5;
+inline constexpr int kErrHardware = -9;
+
 /// Thrown on unrecoverable internal errors (API-level errors return codes).
+/// `code` classifies the failure for the C API shim: it becomes the
+/// function's return code, so runtimes that know better than "general
+/// error" (bounds checks, injected hardware faults) should say so.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what, int code = kErrGeneral)
+      : std::runtime_error(what), code_(code) {}
+
+  int code() const { return code_; }
+
+ private:
+  int code_ = kErrGeneral;
 };
 
 /// Number of sense codons under the universal genetic code.

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "fault/fault.h"
 #include "hal/workgroup_executor.h"
 #include "kernels/kernels.h"
 #include "obs/trace.h"
@@ -58,13 +59,14 @@ class CudaDevice final : public hal::Device {
   std::string frameworkName() const override { return "CUDA"; }
 
   hal::BufferPtr alloc(std::size_t bytes) override {
+    fault::Injector::instance().onAlloc("cuda", bytes);
     return std::make_shared<CudaBuffer>(bytes);
   }
 
   hal::BufferPtr subBuffer(const hal::BufferPtr& parent, std::size_t offset,
                            std::size_t bytes) override {
     if (offset + bytes > parent->size()) {
-      throw Error("cudasim: sub-region out of bounds");
+      throw Error("cudasim: sub-region out of bounds", kErrOutOfRange);
     }
     // CUDA: no object, no alignment rule — just pointer arithmetic.
     return std::make_shared<CudaBuffer>(parent, offset, bytes);
@@ -72,7 +74,10 @@ class CudaDevice final : public hal::Device {
 
   void copyToDevice(hal::Buffer& dst, std::size_t dstOffset, const void* src,
                     std::size_t bytes) override {
-    if (dstOffset + bytes > dst.size()) throw Error("cudasim: HtoD out of bounds");
+    if (dstOffset + bytes > dst.size()) {
+      throw Error("cudasim: HtoD out of bounds", kErrOutOfRange);
+    }
+    fault::Injector::instance().onMemcpy("cuda", bytes);
     const auto t0 = Clock::now();
     std::memcpy(static_cast<std::byte*>(dst.data()) + dstOffset, src, bytes);
     timeline_.bytesCopied += bytes;
@@ -87,7 +92,10 @@ class CudaDevice final : public hal::Device {
 
   void copyToHost(void* dst, const hal::Buffer& src, std::size_t srcOffset,
                   std::size_t bytes) override {
-    if (srcOffset + bytes > src.size()) throw Error("cudasim: DtoH out of bounds");
+    if (srcOffset + bytes > src.size()) {
+      throw Error("cudasim: DtoH out of bounds", kErrOutOfRange);
+    }
+    fault::Injector::instance().onMemcpy("cuda", bytes);
     const auto t0 = Clock::now();
     std::memcpy(dst, static_cast<const std::byte*>(src.data()) + srcOffset, bytes);
     timeline_.bytesCopied += bytes;
@@ -112,6 +120,7 @@ class CudaDevice final : public hal::Device {
 
   void launch(hal::Kernel& kernel, const hal::LaunchDims& dims,
               const hal::KernelArgs& args, const perf::LaunchWork& work) override {
+    fault::Injector::instance().onLaunch("cuda");
     auto& k = static_cast<CudaKernel&>(kernel);
     const auto t0 = Clock::now();
     hal::executeGrid(k.fn(), dims, args);
@@ -180,7 +189,7 @@ hal::DevicePtr createDevice(int profileIndex) {
   const auto visible = visibleDeviceProfiles();
   bool ok = false;
   for (int v : visible) ok = ok || v == profileIndex;
-  if (!ok) throw Error("cudasim: device profile not CUDA-capable");
+  if (!ok) throw Error("cudasim: device profile not CUDA-capable", kErrOutOfRange);
   return std::make_shared<CudaDevice>(profileIndex);
 }
 

@@ -1,0 +1,195 @@
+#include "fault/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/defs.h"
+
+namespace bgl::fault {
+namespace {
+
+const char* kindName(Kind kind) {
+  switch (kind) {
+    case Kind::Launch: return "launch";
+    case Kind::Memcpy: return "memcpy";
+    case Kind::Alloc: return "alloc";
+  }
+  return "?";
+}
+
+/// Split `spec` on commas, dropping empty pieces (trailing commas ok).
+std::vector<std::string> splitDirectives(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    if (end > start) out.push_back(spec.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool parseValue(const std::string& text, long long* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Injector::Injector() {
+  if (const char* env = std::getenv("BGL_FAULT"); env != nullptr && *env) {
+    std::string error;
+    if (!configure(env, &error)) {
+      // Environment-driven configuration has nowhere to return a code to;
+      // a silently ignored spec would be worse than a noisy one.
+      std::fprintf(stderr, "bgl: ignoring BGL_FAULT: %s\n", error.c_str());
+    }
+  }
+}
+
+Injector& Injector::instance() {
+  static Injector injector;
+  return injector;
+}
+
+bool Injector::configure(const std::string& spec, std::string* error) {
+  auto state = std::make_unique<State>();
+  for (const std::string& piece : splitDirectives(spec)) {
+    // [framework:]kind:value — split on the *last* two colons so the
+    // optional framework prefix falls out naturally.
+    const std::size_t lastColon = piece.rfind(':');
+    if (lastColon == std::string::npos || lastColon + 1 >= piece.size()) {
+      if (error != nullptr) *error = "fault spec directive '" + piece +
+                                     "' is not [framework:]kind:value";
+      return false;
+    }
+    const std::size_t kindStart = piece.rfind(':', lastColon - 1);
+    const std::string framework =
+        kindStart == std::string::npos ? "" : piece.substr(0, kindStart);
+    const std::string kindText = piece.substr(
+        kindStart == std::string::npos ? 0 : kindStart + 1,
+        lastColon - (kindStart == std::string::npos ? 0 : kindStart + 1));
+    const std::string valueText = piece.substr(lastColon + 1);
+
+    if (!framework.empty() && framework != "cuda" && framework != "opencl") {
+      if (error != nullptr) *error = "unknown fault framework '" + framework +
+                                     "' (expected cuda or opencl)";
+      return false;
+    }
+    auto directive = std::make_unique<Directive>();
+    directive->framework = framework;
+    if (kindText == "launch") {
+      directive->kind = Kind::Launch;
+    } else if (kindText == "memcpy") {
+      directive->kind = Kind::Memcpy;
+    } else if (kindText == "alloc") {
+      directive->kind = Kind::Alloc;
+    } else {
+      if (error != nullptr) *error = "unknown fault kind '" + kindText +
+                                     "' (expected launch, memcpy or alloc)";
+      return false;
+    }
+    long long value = 0;
+    if (!parseValue(valueText, &value) || value < 1) {
+      if (error != nullptr) *error = "fault value '" + valueText +
+                                     "' must be a positive integer";
+      return false;
+    }
+    directive->value = value;
+    directive->remaining.store(value, std::memory_order_relaxed);
+    state->directives.push_back(std::move(directive));
+  }
+
+  std::lock_guard lock(configMutex_);
+  if (state->directives.empty()) {
+    state_.store(nullptr, std::memory_order_release);
+    return true;
+  }
+  State* raw = state.get();
+  retired_.push_back(std::move(state));
+  state_.store(raw, std::memory_order_release);
+  return true;
+}
+
+void Injector::disable() {
+  std::lock_guard lock(configMutex_);
+  state_.store(nullptr, std::memory_order_release);
+}
+
+Counters Injector::counters() const {
+  Counters out;
+  const State* s = state_.load(std::memory_order_acquire);
+  if (s == nullptr) return out;
+  out.launches = s->launches.load(std::memory_order_relaxed);
+  out.memcpys = s->memcpys.load(std::memory_order_relaxed);
+  out.allocBytes = s->allocBytes.load(std::memory_order_relaxed);
+  for (const auto& d : s->directives) {
+    if (d->fired.load(std::memory_order_relaxed)) ++out.fired;
+  }
+  return out;
+}
+
+void Injector::onLaunch(const char* framework) {
+  State* s = state_.load(std::memory_order_acquire);
+  if (s == nullptr) return;
+  s->launches.fetch_add(1, std::memory_order_relaxed);
+  for (auto& d : s->directives) {
+    if (d->kind != Kind::Launch) continue;
+    if (!d->framework.empty() && d->framework != framework) continue;
+    // One-shot: exactly the thread that takes the countdown from 1 to 0
+    // fires; later events drive it negative and never match again.
+    if (d->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      d->fired.store(true, std::memory_order_relaxed);
+      throw Error("fault: injected kernel-launch failure (launch " +
+                      std::to_string(d->value) + " on " + framework + ")",
+                  kErrHardware);
+    }
+  }
+}
+
+void Injector::onMemcpy(const char* framework, std::size_t bytes) {
+  State* s = state_.load(std::memory_order_acquire);
+  if (s == nullptr) return;
+  s->memcpys.fetch_add(1, std::memory_order_relaxed);
+  for (auto& d : s->directives) {
+    if (d->kind != Kind::Memcpy) continue;
+    if (!d->framework.empty() && d->framework != framework) continue;
+    if (d->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      d->fired.store(true, std::memory_order_relaxed);
+      throw Error("fault: injected memcpy failure (transfer " +
+                      std::to_string(d->value) + ", " + std::to_string(bytes) +
+                      " bytes on " + framework + ")",
+                  kErrHardware);
+    }
+  }
+}
+
+void Injector::onAlloc(const char* framework, std::size_t bytes) {
+  State* s = state_.load(std::memory_order_acquire);
+  if (s == nullptr) return;
+  s->allocBytes.fetch_add(bytes, std::memory_order_relaxed);
+  for (auto& d : s->directives) {
+    if (d->kind != Kind::Alloc) continue;
+    if (!d->framework.empty() && d->framework != framework) continue;
+    // Persistent budget: the allocation that crosses it fails, and so
+    // does every allocation after (the budget only ever shrinks).
+    const long long before =
+        d->remaining.fetch_sub(static_cast<long long>(bytes),
+                               std::memory_order_acq_rel);
+    if (before < static_cast<long long>(bytes)) {
+      d->fired.store(true, std::memory_order_relaxed);
+      throw Error("fault: device allocation budget exhausted (" +
+                      std::to_string(bytes) + " bytes requested, budget " +
+                      std::to_string(d->value) + " on " + framework + ")",
+                  kErrOutOfMemory);
+    }
+  }
+}
+
+}  // namespace bgl::fault

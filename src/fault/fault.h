@@ -1,0 +1,109 @@
+// Deterministic fault injection for the simulated device runtimes.
+//
+// Hardened failure paths are only trustworthy if they are exercised, and
+// real accelerator failures (lost contexts, exhausted device memory,
+// failed transfers) cannot be scheduled in a unit test. This module makes
+// them schedulable: a process-wide injector, configured from a spec
+// string (bglSetFaultSpec or the BGL_FAULT environment variable), arms
+// countdown triggers that the cudasim/clsim device runtimes consult on
+// every kernel launch, memcpy, and device allocation. When a trigger
+// fires, the runtime throws bgl::Error with a structured code, which the
+// C API surfaces as BGL_ERROR_HARDWARE / BGL_ERROR_OUT_OF_MEMORY plus a
+// thread-local message — exactly the path a real device failure would
+// take.
+//
+// Spec grammar (comma-separated directives):
+//   [framework:]kind:value
+//     kind = launch | memcpy | alloc
+//     framework = cuda | opencl      (optional; default: both runtimes)
+//   launch:N  — the Nth kernel launch after configuration fails (one-shot)
+//   memcpy:N  — the Nth device copy (either direction) fails (one-shot)
+//   alloc:B   — device allocations beyond a cumulative budget of B bytes
+//               fail (persistent: once exhausted, every later allocation
+//               fails too)
+//
+// Examples: "launch:2", "cuda:launch:1,opencl:memcpy:3", "alloc:1048576".
+//
+// The disabled fast path is one relaxed atomic load; instrumented
+// runtimes pay nothing when no spec is armed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bgl::fault {
+
+/// What a directive intercepts.
+enum class Kind { Launch, Memcpy, Alloc };
+
+/// Snapshot of the injector's activity since the last configure().
+struct Counters {
+  std::uint64_t launches = 0;   ///< launch events observed
+  std::uint64_t memcpys = 0;    ///< memcpy events observed
+  std::uint64_t allocBytes = 0; ///< cumulative allocation bytes observed
+  int fired = 0;                ///< directives that have fired
+};
+
+/// Process-wide deterministic fault injector.
+class Injector {
+ public:
+  /// The singleton. First access reads BGL_FAULT from the environment.
+  static Injector& instance();
+
+  /// Arm the injector from a spec string (see grammar above). An empty
+  /// string disarms. Counters restart from zero. Returns false and sets
+  /// `*error` (when non-null) on a malformed spec, leaving the previous
+  /// configuration in place.
+  bool configure(const std::string& spec, std::string* error = nullptr);
+
+  /// Disarm all directives.
+  void disable();
+
+  /// True when at least one directive is armed.
+  bool enabled() const {
+    return state_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// Event hooks, called by the device runtimes. `framework` is the
+  /// runtime's lowercase spec name ("cuda" / "opencl"). A hook throws
+  /// bgl::Error (code kErrHardware, or kErrOutOfMemory for an exhausted
+  /// allocation budget) when a matching directive fires; otherwise it
+  /// returns normally.
+  void onLaunch(const char* framework);
+  void onMemcpy(const char* framework, std::size_t bytes);
+  void onAlloc(const char* framework, std::size_t bytes);
+
+  Counters counters() const;
+
+ private:
+  Injector();
+
+  struct Directive {
+    Kind kind = Kind::Launch;
+    std::string framework;               ///< empty = any runtime
+    long long value = 0;                 ///< N (events) or B (bytes)
+    std::atomic<long long> remaining{0}; ///< countdown / budget left
+    std::atomic<bool> fired{false};
+  };
+
+  struct State {
+    std::vector<std::unique_ptr<Directive>> directives;
+    std::atomic<std::uint64_t> launches{0};
+    std::atomic<std::uint64_t> memcpys{0};
+    std::atomic<std::uint64_t> allocBytes{0};
+  };
+
+  /// Armed configuration; null when disabled. Hooks read it lock-free.
+  /// Superseded states are retired (kept alive, never reused) so a hook
+  /// holding the old pointer across a concurrent reconfigure stays safe.
+  std::atomic<State*> state_{nullptr};
+  std::mutex configMutex_;                         ///< serializes configure()
+  std::vector<std::unique_ptr<State>> retired_;    ///< all states ever armed
+};
+
+}  // namespace bgl::fault

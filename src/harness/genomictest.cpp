@@ -21,6 +21,16 @@ double now() {
   return std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
 }
 
+/// Append the thread-local API error detail (when any) to `message`.
+std::string withLastError(std::string message) {
+  if (const char* detail = bglGetLastErrorMessage();
+      detail != nullptr && *detail != '\0') {
+    message += ": ";
+    message += detail;
+  }
+  return message;
+}
+
 }  // namespace
 
 double evaluationFlops(const ProblemSpec& spec) {
@@ -69,8 +79,9 @@ RunResult runThroughput(const ProblemSpec& spec) {
       &resource, 1, spec.preferenceFlags,
       spec.requirementFlags | precisionFlag, &details);
   if (instance < 0) {
-    throw Error("runThroughput: no implementation (code " + std::to_string(instance) +
-                ")");
+    throw Error(withLastError("runThroughput: no implementation (code " +
+                              std::to_string(instance) + ")"),
+                instance);
   }
 
   RunResult result;
@@ -89,7 +100,7 @@ RunResult runThroughput(const ProblemSpec& spec) {
     const auto es = model->eigenSystem();
     int rc = bglSetEigenDecomposition(instance, 0, es.evec.data(), es.ivec.data(),
                                       es.eval.data());
-    if (rc != BGL_SUCCESS) throw Error("setEigenDecomposition failed");
+    if (rc != BGL_SUCCESS) throw Error(withLastError("setEigenDecomposition failed"), rc);
     bglSetStateFrequencies(instance, 0, model->frequencies().data());
     const std::vector<double> weights(spec.categories, 1.0 / spec.categories);
     bglSetCategoryWeights(instance, 0, weights.data());
@@ -107,7 +118,7 @@ RunResult runThroughput(const ProblemSpec& spec) {
       std::memcpy(tipBuf.data(), tipData.data() + static_cast<std::size_t>(t) * spec.patterns,
                   sizeof(int) * spec.patterns);
       rc = bglSetTipStates(instance, t, tipBuf.data());
-      if (rc != BGL_SUCCESS) throw Error("setTipStates failed");
+      if (rc != BGL_SUCCESS) throw Error(withLastError("setTipStates failed"), rc);
     }
 
     std::vector<int> matrixIndices(matPool);
@@ -118,7 +129,7 @@ RunResult runThroughput(const ProblemSpec& spec) {
     }
     rc = bglUpdateTransitionMatrices(instance, 0, matrixIndices.data(), nullptr,
                                      nullptr, edgeLengths.data(), matPool);
-    if (rc != BGL_SUCCESS) throw Error("updateTransitionMatrices failed");
+    if (rc != BGL_SUCCESS) throw Error(withLastError("updateTransitionMatrices failed"), rc);
 
     // Evaluation topology. When memory permits, a balanced reduction over
     // the tips (pairwise joins level by level): this is what a random tree
@@ -172,7 +183,7 @@ RunResult runThroughput(const ProblemSpec& spec) {
     for (int w = 0; w < spec.warmupReps; ++w) {
       rc = bglUpdatePartials(instance, ops.data(), static_cast<int>(ops.size()),
                              BGL_OP_NONE);
-      if (rc != BGL_SUCCESS) throw Error("updatePartials failed");
+      if (rc != BGL_SUCCESS) throw Error(withLastError("updatePartials failed"), rc);
     }
     bglWaitForComputation(instance);
 
@@ -186,7 +197,7 @@ RunResult runThroughput(const ProblemSpec& spec) {
       const double t0 = now();
       rc = bglUpdatePartials(instance, ops.data(), static_cast<int>(ops.size()),
                              BGL_OP_NONE);
-      if (rc != BGL_SUCCESS) throw Error("updatePartials failed");
+      if (rc != BGL_SUCCESS) throw Error(withLastError("updatePartials failed"), rc);
       bglWaitForComputation(instance);
       const double wall = now() - t0;
       bestWall = std::min(bestWall, wall);
@@ -210,7 +221,7 @@ RunResult runThroughput(const ProblemSpec& spec) {
     rc = bglCalculateRootLogLikelihoods(instance, &rootBuffer, &zero, &zero, nullptr,
                                         1, &result.logL);
     if (rc != BGL_SUCCESS && rc != BGL_ERROR_FLOATING_POINT) {
-      throw Error("calculateRootLogLikelihoods failed");
+      throw Error(withLastError("calculateRootLogLikelihoods failed"), rc);
     }
   } catch (...) {
     bglFinalizeInstance(instance);
@@ -254,10 +265,34 @@ SplitRunResult runSplitThroughput(const ProblemSpec& spec,
   result.seconds = best;
   result.gflops = evaluationFlops(spec) / best / 1e9;
   result.rebalances = like.rebalanceCount();
+  result.failovers = like.failoverCount();
+  result.cpuFallback = like.usedCpuFallback();
+  result.quarantined = like.quarantinedShards();
   result.shardPatterns = like.shardPatternCounts();
   result.implNames.reserve(static_cast<std::size_t>(like.shardCount()));
+  result.shardErrors.reserve(static_cast<std::size_t>(like.shardCount()));
   for (int s = 0; s < like.shardCount(); ++s) {
     result.implNames.push_back(like.implName(s));
+    result.shardErrors.push_back(like.shardError(s));
+  }
+
+  if (spec.validateSplitReference) {
+    // Serial host-CPU single-instance reference over the same (tree, model,
+    // data). When a single shard survived a failover it holds every pattern
+    // in original index order, so the split result must match bitwise.
+    phylo::LikelihoodOptions ref = shardOptions.front();
+    ref.resources = {0};
+    ref.preferenceFlags = 0;
+    ref.requirementFlags =
+        BGL_FLAG_FRAMEWORK_CPU | BGL_FLAG_THREADING_NONE | BGL_FLAG_VECTOR_NONE |
+        (spec.singlePrecision ? BGL_FLAG_PRECISION_SINGLE
+                              : BGL_FLAG_PRECISION_DOUBLE);
+    ref.traceFile.clear();
+    ref.statsFile.clear();
+    phylo::TreeLikelihood reference(tree, *model, data, ref);
+    result.referenceLogL = reference.logLikelihood(tree);
+    result.referenceComputed = true;
+    result.referenceExact = result.logL == result.referenceLogL;
   }
   return result;
 }

@@ -39,6 +39,12 @@ struct ProblemSpec {
   /// node, gives the futures implementation concurrency). false forces the
   /// bounded-memory caterpillar chain.
   bool balancedTopology = true;
+  /// Split runs only: also evaluate the same (tree, model, data) problem on
+  /// one serial host-CPU instance and compare. Any pattern division
+  /// preserves per-pattern weights and summation order within a shard, so
+  /// the split log likelihood must be bit-identical whenever a single
+  /// shard survives (failover/CPU-fallback acceptance check).
+  bool validateSplitReference = false;
   std::string traceFile;     ///< non-empty: write a Chrome trace on finalize
   std::string statsFile;     ///< non-empty: write a stats JSON on finalize
 };
@@ -70,6 +76,13 @@ struct SplitRunResult {
   double gflops = 0.0;     ///< evaluationFlops(spec) / seconds
   double logL = 0.0;       ///< full-alignment log likelihood (shard sum)
   int rebalances = 0;      ///< adaptive re-splits applied during the run
+  int failovers = 0;       ///< shard failovers applied during the run
+  bool cpuFallback = false;        ///< all-shards-failed CPU fallback engaged
+  std::vector<int> quarantined;    ///< shards quarantined by failover
+  std::vector<std::string> shardErrors;  ///< per-shard quarantine reasons ("")
+  double referenceLogL = 0.0;      ///< serial host-CPU single-instance logL
+  bool referenceComputed = false;  ///< true when validateSplitReference ran
+  bool referenceExact = false;     ///< logL bitwise-equal to referenceLogL
   std::vector<int> shardPatterns;       ///< final per-shard pattern counts
   std::vector<std::string> implNames;   ///< final per-shard implementations
 };

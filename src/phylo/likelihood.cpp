@@ -6,6 +6,21 @@
 #include "core/gamma.h"
 
 namespace bgl::phylo {
+namespace {
+
+/// Throw an Error carrying the failed call's return code plus whatever
+/// detail the library attached to the thread-local last-error message, so
+/// failover layers (SplitLikelihood) can classify the failure.
+[[noreturn]] void throwApiError(const std::string& what, int rc) {
+  std::string message = what + " failed with code " + std::to_string(rc);
+  if (const char* detail = bglGetLastErrorMessage(); detail != nullptr && *detail) {
+    message += ": ";
+    message += detail;
+  }
+  throw Error(message, rc);
+}
+
+}  // namespace
 
 TreeLikelihood::TreeLikelihood(const Tree& tree, const SubstitutionModel& model,
                                const PatternSet& data,
@@ -31,8 +46,7 @@ TreeLikelihood::TreeLikelihood(const Tree& tree, const SubstitutionModel& model,
       static_cast<int>(options.resources.size()), options.preferenceFlags,
       options.requirementFlags, &details);
   if (instance_ < 0) {
-    throw Error("TreeLikelihood: bglCreateInstance failed with code " +
-                std::to_string(instance_));
+    throwApiError("TreeLikelihood: bglCreateInstance", instance_);
   }
   implName_ = details.implName;
   resource_ = details.resourceNumber;
@@ -67,9 +81,14 @@ TreeLikelihood::TreeLikelihood(const Tree& tree, const SubstitutionModel& model,
     rc = bglSetTipStates(instance_, t, tipStates.data());
   }
   if (rc != BGL_SUCCESS) {
+    // Preserve the failing call's message across the cleanup call.
+    const std::string detail = bglGetLastErrorMessage();
     bglFinalizeInstance(instance_);
-    throw Error("TreeLikelihood: instance setup failed with code " +
-                std::to_string(rc));
+    instance_ = -1;
+    std::string message =
+        "TreeLikelihood: instance setup failed with code " + std::to_string(rc);
+    if (!detail.empty()) message += ": " + detail;
+    throw Error(message, rc);
   }
 }
 
@@ -89,16 +108,16 @@ double TreeLikelihood::logLikelihood(const Tree& tree) {
   int rc = bglUpdateTransitionMatrices(instance_, 0, matrixNodes.data(), nullptr,
                                        nullptr, lengths.data(),
                                        static_cast<int>(matrixNodes.size()));
-  if (rc != BGL_SUCCESS) throw Error("updateTransitionMatrices failed");
+  if (rc != BGL_SUCCESS) throwApiError("updateTransitionMatrices", rc);
 
   if (useScaling_) {
     rc = bglResetScaleFactors(instance_, cumulativeScaleIndex_);
-    if (rc != BGL_SUCCESS) throw Error("resetScaleFactors failed");
+    if (rc != BGL_SUCCESS) throwApiError("resetScaleFactors", rc);
   }
   const auto ops = tree_.operations(useScaling_);
   rc = bglUpdatePartials(instance_, ops.data(), static_cast<int>(ops.size()),
                          cumulativeScaleIndex_);
-  if (rc != BGL_SUCCESS) throw Error("updatePartials failed");
+  if (rc != BGL_SUCCESS) throwApiError("updatePartials", rc);
 
   const int rootIndex = tree_.root();
   const int zero = 0;
@@ -107,7 +126,7 @@ double TreeLikelihood::logLikelihood(const Tree& tree) {
   rc = bglCalculateRootLogLikelihoods(instance_, &rootIndex, &zero, &zero,
                                       useScaling_ ? &cum : nullptr, 1, &logL);
   if (rc != BGL_SUCCESS && rc != BGL_ERROR_FLOATING_POINT) {
-    throw Error("calculateRootLogLikelihoods failed");
+    throwApiError("calculateRootLogLikelihoods", rc);
   }
   return logL;
 }
@@ -137,7 +156,7 @@ double TreeLikelihood::rootEdgeLogLikelihood(double t, double* outD1, double* ou
   while (d2Index == left || d2Index == right) ++d2Index;
   int rc = bglUpdateTransitionMatrices(instance_, 0, &probIndex, &d1Index, &d2Index,
                                        &t, 1);
-  if (rc != BGL_SUCCESS) throw Error("updateTransitionMatrices(derivs) failed");
+  if (rc != BGL_SUCCESS) throwApiError("updateTransitionMatrices(derivs)", rc);
 
   const int zero = 0;
   const int cum = cumulativeScaleIndex_;
@@ -146,7 +165,7 @@ double TreeLikelihood::rootEdgeLogLikelihood(double t, double* outD1, double* ou
                                       &d2Index, &zero, &zero,
                                       useScaling_ ? &cum : nullptr, 1, &logL, &d1, &d2);
   if (rc != BGL_SUCCESS && rc != BGL_ERROR_FLOATING_POINT) {
-    throw Error("calculateEdgeLogLikelihoods failed");
+    throwApiError("calculateEdgeLogLikelihoods", rc);
   }
   if (outD1 != nullptr) *outD1 = d1;
   if (outD2 != nullptr) *outD2 = d2;

@@ -36,6 +36,24 @@ int shardResource(const LikelihoodOptions& options) {
   return options.resources.empty() ? 0 : options.resources.front();
 }
 
+/// Failures worth failing over: the device/runtime/implementation is gone
+/// or misbehaving. Programming errors (OUT_OF_RANGE, UNIMPLEMENTED,
+/// FLOATING_POINT) would reproduce identically on any shard, so they are
+/// never failed over.
+bool isHardError(int code) {
+  switch (code) {
+    case BGL_ERROR_GENERAL:
+    case BGL_ERROR_OUT_OF_MEMORY:
+    case BGL_ERROR_UNIDENTIFIED_EXCEPTION:
+    case BGL_ERROR_NO_RESOURCE:
+    case BGL_ERROR_NO_IMPLEMENTATION:
+    case BGL_ERROR_HARDWARE:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 PartitionedLikelihood::PartitionedLikelihood(const Tree& tree,
@@ -208,6 +226,12 @@ SplitLikelihood::SplitLikelihood(const Tree& tree, const SubstitutionModel& mode
     calibratedSpeeds_ = speeds;
   }
 
+  currentSpeeds_ = speeds;
+  quarantined_.assign(static_cast<std::size_t>(n), 0);
+  shardErrors_.assign(static_cast<std::size_t>(n), std::string());
+  active_.resize(static_cast<std::size_t>(n));
+  std::iota(active_.begin(), active_.end(), 0);
+
   const auto shares =
       sched::proportionalShares(data_.patterns, speeds, split_.minPatternsPerShard);
   if (split_.mode == SplitMode::Adaptive) {
@@ -222,16 +246,113 @@ SplitLikelihood::SplitLikelihood(const Tree& tree, const SubstitutionModel& mode
 }
 
 void SplitLikelihood::build(const Tree& tree, const std::vector<int>& shares) {
+  std::vector<int> current = shares;
+  const int maxAttempts = static_cast<int>(shardOptions_.size()) + 2;
+  for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+    if (tryBuild(tree, current)) return;
+    // tryBuild quarantined the failing shard; re-apportion its patterns
+    // across the survivors and retry the whole build.
+    ++failovers_;
+    sched::noteFailover(1);
+    obs::ScopedSpan span(sched::recorder(), obs::Category::kOperation,
+                         "sched.failover");
+    current = sharesAfterQuarantine();
+  }
+  throw Error("SplitLikelihood: shard construction still failing after " +
+                  std::to_string(maxAttempts) + " failovers: " + lastFailure_,
+              lastFailureCode_ != 0 ? lastFailureCode_ : kErrHardware);
+}
+
+bool SplitLikelihood::tryBuild(const Tree& tree, const std::vector<int>& shares) {
   shards_.clear();
   shards_.resize(shares.size());
   shardPatterns_ = shares;
   shardSeconds_.assign(shares.size(), 0.0);
   const auto shardData = splitPatternsByShares(data_, shares);
   for (std::size_t s = 0; s < shares.size(); ++s) {
-    if (shares[s] <= 0) continue;  // idle shard: no instance
-    shards_[s] = std::make_unique<TreeLikelihood>(tree, *model_, shardData[s],
-                                                  shardOptions_[s]);
+    if (shares[s] <= 0) continue;  // idle or quarantined shard: no instance
+    try {
+      shards_[s] = std::make_unique<TreeLikelihood>(tree, *model_, shardData[s],
+                                                    shardOptions_[s]);
+    } catch (const Error& e) {
+      if (!split_.failover || !isHardError(e.code())) throw;
+      quarantine(s, e.what(), e.code());
+      return false;
+    } catch (const std::bad_alloc&) {
+      if (!split_.failover) throw;
+      quarantine(s, "out of host memory building shard", kErrOutOfMemory);
+      return false;
+    }
   }
+  return true;
+}
+
+void SplitLikelihood::quarantine(std::size_t shard, const std::string& reason,
+                                 int code) {
+  quarantined_[shard] = 1;
+  shardErrors_[shard] = reason;
+  shards_[shard].reset();  // destroy the instance; never hand it work again
+  lastFailure_ = reason;
+  lastFailureCode_ = code;
+}
+
+std::vector<int> SplitLikelihood::sharesAfterQuarantine() {
+  active_.clear();
+  for (std::size_t i = 0; i < quarantined_.size(); ++i) {
+    if (!quarantined_[i]) active_.push_back(static_cast<int>(i));
+  }
+  if (active_.empty()) {
+    if (!split_.cpuFallback || cpuFallbackUsed_) {
+      throw Error("SplitLikelihood: every shard is quarantined; last error: " +
+                      lastFailure_,
+                  lastFailureCode_ != 0 ? lastFailureCode_ : kErrHardware);
+    }
+    // Last resort: rebuild shard 0 as a plain host-CPU instance carrying
+    // the whole alignment. Precision requirements are preserved; the
+    // failing framework/vector/threading demands are dropped.
+    const long precisionMask =
+        BGL_FLAG_PRECISION_SINGLE | BGL_FLAG_PRECISION_DOUBLE;
+    const LikelihoodOptions& orig = shardOptions_[0];
+    LikelihoodOptions fallback;
+    fallback.categories = orig.categories;
+    fallback.alpha = orig.alpha;
+    fallback.useScaling = orig.useScaling;
+    fallback.requirementFlags =
+        BGL_FLAG_FRAMEWORK_CPU | (orig.requirementFlags & precisionMask);
+    fallback.preferenceFlags = orig.preferenceFlags & precisionMask;
+    fallback.resources = {0};
+    shardOptions_[0] = fallback;
+    quarantined_[0] = 0;
+    shardErrors_[0].clear();
+    cpuFallbackUsed_ = true;
+    active_ = {0};
+  }
+
+  std::vector<double> speeds;
+  speeds.reserve(active_.size());
+  for (int i : active_) {
+    const double s = i < static_cast<int>(currentSpeeds_.size())
+                         ? currentSpeeds_[static_cast<std::size_t>(i)]
+                         : 1.0;
+    speeds.push_back(s > 0.0 ? s : 1.0);
+  }
+  // The balancer must be rebuilt over the survivors only: feeding the old
+  // full-size balancer would let sanitizeSpeeds resurrect dead shards.
+  if (split_.mode == SplitMode::Adaptive) {
+    sched::LoadBalancer::Options options;
+    options.ewmaAlpha = split_.ewmaAlpha;
+    options.imbalanceThreshold = split_.imbalanceThreshold;
+    options.minShare = split_.minPatternsPerShard;
+    options.settleRounds = split_.settleRounds;
+    balancer_ = std::make_unique<sched::LoadBalancer>(speeds, options);
+  }
+  const auto activeShares =
+      sched::proportionalShares(data_.patterns, speeds, split_.minPatternsPerShard);
+  std::vector<int> shares(shardOptions_.size(), 0);
+  for (std::size_t j = 0; j < active_.size(); ++j) {
+    shares[static_cast<std::size_t>(active_[j])] = activeShares[j];
+  }
+  return shares;
 }
 
 double SplitLikelihood::evaluateShard(std::size_t shard, const Tree& tree) {
@@ -239,28 +360,44 @@ double SplitLikelihood::evaluateShard(std::size_t shard, const Tree& tree) {
     shardSeconds_[shard] = 0.0;
     return 0.0;
   }
-  const int instance = shards_[shard]->instance();
-  const bool timeline = bglResetTimeline(instance) == BGL_SUCCESS;
-  const auto start = Clock::now();
-  const double logL = shards_[shard]->logLikelihood(tree);
-  double seconds = elapsedSeconds(start);
-  if (timeline) {
-    // Prefer the obs-layer timeline: on simulated accelerator profiles the
-    // roofline-modeled time is the honest per-device time base, and it is
-    // immune to host-side oversubscription when shards run concurrently.
-    BglTimeline tl{};
-    if (bglGetTimeline(instance, &tl) == BGL_SUCCESS && tl.modeledSeconds > 0.0) {
-      seconds = tl.modeledSeconds;
+  // Failures are captured into roundErrorCode_/roundErrorMessage_ instead
+  // of thrown: shards run inside futures, and a raw exception would lose
+  // the shard identity the failover path needs.
+  try {
+    const int instance = shards_[shard]->instance();
+    const bool timeline = bglResetTimeline(instance) == BGL_SUCCESS;
+    const auto start = Clock::now();
+    const double logL = shards_[shard]->logLikelihood(tree);
+    double seconds = elapsedSeconds(start);
+    if (timeline) {
+      // Prefer the obs-layer timeline: on simulated accelerator profiles the
+      // roofline-modeled time is the honest per-device time base, and it is
+      // immune to host-side oversubscription when shards run concurrently.
+      BglTimeline tl{};
+      if (bglGetTimeline(instance, &tl) == BGL_SUCCESS && tl.modeledSeconds > 0.0) {
+        seconds = tl.modeledSeconds;
+      }
     }
+    if (shard < split_.debugSlowdown.size() && split_.debugSlowdown[shard] > 0.0) {
+      seconds *= split_.debugSlowdown[shard];
+    }
+    shardSeconds_[shard] = seconds;
+    return logL;
+  } catch (const Error& e) {
+    roundErrorCode_[shard] = e.code() != 0 ? e.code() : kErrGeneral;
+    roundErrorMessage_[shard] = e.what();
+  } catch (const std::bad_alloc&) {
+    roundErrorCode_[shard] = kErrOutOfMemory;
+    roundErrorMessage_[shard] = "out of host memory evaluating shard";
+  } catch (const std::exception& e) {
+    roundErrorCode_[shard] = kErrGeneral;
+    roundErrorMessage_[shard] = e.what();
   }
-  if (shard < split_.debugSlowdown.size() && split_.debugSlowdown[shard] > 0.0) {
-    seconds *= split_.debugSlowdown[shard];
-  }
-  shardSeconds_[shard] = seconds;
-  return logL;
+  shardSeconds_[shard] = 0.0;
+  return 0.0;
 }
 
-double SplitLikelihood::logLikelihood(const Tree& tree) {
+double SplitLikelihood::evaluateRound(const Tree& tree) {
   double total = 0.0;
   if (!split_.concurrent || shards_.size() == 1) {
     for (std::size_t i = 0; i < shards_.size(); ++i) {
@@ -277,25 +414,78 @@ double SplitLikelihood::logLikelihood(const Tree& tree) {
     total = evaluateShard(0, tree);
     for (auto& f : futures) total += f.get();
   }
-
-  if (balancer_ != nullptr) {
-    for (std::size_t i = 0; i < shards_.size(); ++i) {
-      if (shardPatterns_[i] > 0 && shardSeconds_[i] > 0.0) {
-        balancer_->observe(static_cast<int>(i), shardPatterns_[i],
-                           shardSeconds_[i]);
-      }
-    }
-    const auto newShares = balancer_->rebalance(data_.patterns, shardPatterns_);
-    if (!newShares.empty()) {
-      const int migrated = sched::migratedItems(shardPatterns_, newShares);
-      sched::noteRebalance(static_cast<std::uint64_t>(migrated));
-      obs::ScopedSpan span(sched::recorder(), obs::Category::kOperation,
-                           "sched.rebalance");
-      build(tree, newShares);
-      ++rebalances_;
-    }
-  }
   return total;
+}
+
+double SplitLikelihood::logLikelihood(const Tree& tree) {
+  const int maxAttempts = static_cast<int>(shardOptions_.size()) + 2;
+  for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+    roundErrorCode_.assign(shards_.size(), 0);
+    roundErrorMessage_.assign(shards_.size(), std::string());
+    const double total = evaluateRound(tree);
+
+    std::vector<std::size_t> failed;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (roundErrorCode_[i] == 0) continue;
+      if (!isHardError(roundErrorCode_[i])) {
+        // Programming error: reproduces on any shard, never failed over.
+        throw Error(roundErrorMessage_[i], roundErrorCode_[i]);
+      }
+      failed.push_back(i);
+    }
+
+    if (failed.empty()) {
+      if (balancer_ != nullptr) {
+        // The balancer is indexed over active_ (the non-quarantined
+        // shards); translate between balancer slots and shard indices.
+        for (std::size_t j = 0; j < active_.size(); ++j) {
+          const auto i = static_cast<std::size_t>(active_[j]);
+          if (shardPatterns_[i] > 0 && shardSeconds_[i] > 0.0) {
+            balancer_->observe(static_cast<int>(j), shardPatterns_[i],
+                               shardSeconds_[i]);
+          }
+        }
+        const auto& observed = balancer_->speeds();
+        for (std::size_t j = 0; j < active_.size() && j < observed.size(); ++j) {
+          currentSpeeds_[static_cast<std::size_t>(active_[j])] = observed[j];
+        }
+        std::vector<int> activeShares(active_.size());
+        for (std::size_t j = 0; j < active_.size(); ++j) {
+          activeShares[j] = shardPatterns_[static_cast<std::size_t>(active_[j])];
+        }
+        const auto newActive = balancer_->rebalance(data_.patterns, activeShares);
+        if (!newActive.empty()) {
+          std::vector<int> newShares(shards_.size(), 0);
+          for (std::size_t j = 0; j < active_.size(); ++j) {
+            newShares[static_cast<std::size_t>(active_[j])] = newActive[j];
+          }
+          const int migrated = sched::migratedItems(shardPatterns_, newShares);
+          sched::noteRebalance(static_cast<std::uint64_t>(migrated));
+          obs::ScopedSpan span(sched::recorder(), obs::Category::kOperation,
+                               "sched.rebalance");
+          build(tree, newShares);
+          ++rebalances_;
+        }
+      }
+      return total;
+    }
+
+    if (!split_.failover) {
+      throw Error(roundErrorMessage_[failed.front()],
+                  roundErrorCode_[failed.front()]);
+    }
+    for (std::size_t i : failed) {
+      quarantine(i, roundErrorMessage_[i], roundErrorCode_[i]);
+    }
+    ++failovers_;
+    sched::noteFailover(static_cast<std::uint64_t>(failed.size()));
+    obs::ScopedSpan span(sched::recorder(), obs::Category::kOperation,
+                         "sched.failover");
+    build(tree, sharesAfterQuarantine());
+  }
+  throw Error("SplitLikelihood: evaluation still failing after " +
+                  std::to_string(maxAttempts) + " failovers: " + lastFailure_,
+              lastFailureCode_ != 0 ? lastFailureCode_ : kErrHardware);
 }
 
 const std::string& SplitLikelihood::implName(int shard) const {
@@ -304,9 +494,24 @@ const std::string& SplitLikelihood::implName(int shard) const {
   return ptr == nullptr ? kIdle : ptr->implName();
 }
 
+std::vector<int> SplitLikelihood::quarantinedShards() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < quarantined_.size(); ++i) {
+    if (quarantined_[i]) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
 std::vector<double> SplitLikelihood::shardSpeeds() const {
-  if (balancer_ != nullptr) return balancer_->speeds();
-  return calibratedSpeeds_;
+  if (balancer_ == nullptr) return calibratedSpeeds_;
+  // Balancer slots map to active_ shard indices; quarantined shards
+  // report speed 0.
+  std::vector<double> out(shards_.size(), 0.0);
+  const auto& observed = balancer_->speeds();
+  for (std::size_t j = 0; j < active_.size() && j < observed.size(); ++j) {
+    out[static_cast<std::size_t>(active_[j])] = observed[j];
+  }
+  return out;
 }
 
 }  // namespace bgl::phylo

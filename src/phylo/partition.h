@@ -84,6 +84,15 @@ struct SplitOptions {
   int minPatternsPerShard = 1; ///< floor for non-degenerate shards
   unsigned calibrationSeed = 0;///< 0 = BGL_SCHED_SEED / default
   bool concurrent = true;      ///< evaluate shards concurrently
+  /// Failover policy: when a shard's instance fails hard (device fault,
+  /// exhausted memory, lost implementation), quarantine that shard,
+  /// re-apportion its patterns across the surviving shards, and retry
+  /// the evaluation round. false: the error propagates to the caller.
+  bool failover = true;
+  /// Last resort when every shard is quarantined: rebuild shard 0 as a
+  /// plain host-CPU instance carrying the full alignment. false: an
+  /// all-shards failure propagates instead.
+  bool cpuFallback = true;
   /// Test hook: multiply shard i's observed seconds by debugSlowdown[i]
   /// before feeding the balancer (artificially skews a homogeneous setup).
   std::vector<double> debugSlowdown;
@@ -93,6 +102,20 @@ struct SplitOptions {
 /// (multi-device execution; the conclusion's planned extension). Any
 /// division preserves per-pattern weights, so the shard log likelihoods
 /// add up to exactly the single-instance value in every mode.
+///
+/// Failure handling (SplitOptions::failover): a shard whose instance
+/// fails hard — BGL_ERROR_HARDWARE, _OUT_OF_MEMORY, _GENERAL,
+/// _UNIDENTIFIED_EXCEPTION, _NO_RESOURCE or _NO_IMPLEMENTATION, at
+/// construction or during an evaluation round — is quarantined: its
+/// instance is destroyed, its patterns are re-apportioned across the
+/// surviving shards (proportionally to the current speed estimates), the
+/// adaptive balancer is rebuilt over the survivors, and the round is
+/// retried. When every shard is quarantined, a host-CPU fallback instance
+/// takes the whole alignment (SplitOptions::cpuFallback). Programming
+/// errors (BGL_ERROR_OUT_OF_RANGE and friends) are never failed over;
+/// they propagate. Every failover is recorded in the scheduler counters
+/// (sched::counters().failovers / .quarantinedShards) and as a
+/// `sched.failover` span on sched::recorder().
 class SplitLikelihood {
  public:
   /// Equal round-robin split (the original static policy).
@@ -121,13 +144,27 @@ class SplitLikelihood {
   double shardSeconds(int shard) const { return shardSeconds_[shard]; }
   /// Adaptive re-splits applied so far.
   int rebalanceCount() const { return rebalances_; }
+  /// Failovers applied so far (each may quarantine several shards).
+  int failoverCount() const { return failovers_; }
+  /// Indices of shards currently quarantined by failover.
+  std::vector<int> quarantinedShards() const;
+  /// Error message that quarantined `shard` ("" when not quarantined).
+  const std::string& shardError(int shard) const {
+    return shardErrors_[static_cast<std::size_t>(shard)];
+  }
+  /// True once the all-shards-failed CPU fallback has been engaged.
+  bool usedCpuFallback() const { return cpuFallbackUsed_; }
   /// Current per-shard speed estimates (patterns/second); empty unless
   /// Proportional/Adaptive.
   std::vector<double> shardSpeeds() const;
 
  private:
   void build(const Tree& tree, const std::vector<int>& shares);
+  bool tryBuild(const Tree& tree, const std::vector<int>& shares);
   double evaluateShard(std::size_t shard, const Tree& tree);
+  double evaluateRound(const Tree& tree);
+  void quarantine(std::size_t shard, const std::string& reason, int code);
+  std::vector<int> sharesAfterQuarantine();
 
   const SubstitutionModel* model_ = nullptr;  ///< borrowed, must outlive
   PatternSet data_;
@@ -140,6 +177,20 @@ class SplitLikelihood {
   std::vector<int> shardPatterns_;
   std::vector<double> shardSeconds_;
   int rebalances_ = 0;
+
+  // Failover state. `active_` lists the non-quarantined shard indices;
+  // the balancer (when present) is always sized to `active_`, so
+  // quarantined shards can never be handed work again.
+  std::vector<char> quarantined_;
+  std::vector<int> active_;
+  std::vector<double> currentSpeeds_;   ///< full-size, observation-refreshed
+  std::vector<std::string> shardErrors_;
+  std::vector<int> roundErrorCode_;     ///< per-round: 0 = shard succeeded
+  std::vector<std::string> roundErrorMessage_;
+  std::string lastFailure_;
+  int lastFailureCode_ = 0;
+  int failovers_ = 0;
+  bool cpuFallbackUsed_ = false;
 };
 
 /// Deal `data`'s patterns round-robin into `shards` subsets (weights kept).

@@ -30,6 +30,9 @@ struct GlobalCounters {
   std::atomic<std::uint64_t> cacheHits{0};
   std::atomic<std::uint64_t> rebalances{0};
   std::atomic<std::uint64_t> migratedPatterns{0};
+  std::atomic<std::uint64_t> failovers{0};
+  std::atomic<std::uint64_t> quarantinedShards{0};
+  std::atomic<std::uint64_t> calibrationFailures{0};
 };
 
 GlobalCounters& globalCounters() {
@@ -128,6 +131,10 @@ Counters counters() {
   c.cacheHits = g.cacheHits.load(std::memory_order_relaxed);
   c.rebalances = g.rebalances.load(std::memory_order_relaxed);
   c.migratedPatterns = g.migratedPatterns.load(std::memory_order_relaxed);
+  c.failovers = g.failovers.load(std::memory_order_relaxed);
+  c.quarantinedShards = g.quarantinedShards.load(std::memory_order_relaxed);
+  c.calibrationFailures =
+      g.calibrationFailures.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -135,6 +142,12 @@ void noteRebalance(std::uint64_t migratedPatterns) {
   auto& g = globalCounters();
   g.rebalances.fetch_add(1, std::memory_order_relaxed);
   g.migratedPatterns.fetch_add(migratedPatterns, std::memory_order_relaxed);
+}
+
+void noteFailover(std::uint64_t quarantined) {
+  auto& g = globalCounters();
+  g.failovers.fetch_add(1, std::memory_order_relaxed);
+  g.quarantinedShards.fetch_add(quarantined, std::memory_order_relaxed);
 }
 
 std::optional<ResourceEstimate> benchmarkResource(int resource,
@@ -312,9 +325,18 @@ ResourceEstimate resourceEstimate(int resource, const CalibrationSpec& spec,
 
   ResourceEstimate estimate;
   if (benchmark) {
-    if (auto measured = benchmarkResource(resource, spec)) {
-      estimate = *measured;
-    } else {
+    try {
+      if (auto measured = benchmarkResource(resource, spec)) {
+        estimate = *measured;
+      } else {
+        estimate = modelEstimate(resource, spec);
+      }
+    } catch (const Error&) {
+      // A calibration run that dies mid-workload (device fault, injected
+      // or real) must not take the scheduler down with it: fall back to
+      // the perf-model seed and keep scheduling.
+      globalCounters().calibrationFailures.fetch_add(1,
+                                                     std::memory_order_relaxed);
       estimate = modelEstimate(resource, spec);
     }
   } else {

@@ -113,6 +113,10 @@ struct Counters {
   std::uint64_t cacheHits = 0;       ///< estimate requests served from cache
   std::uint64_t rebalances = 0;      ///< adaptive re-splits applied
   std::uint64_t migratedPatterns = 0;///< patterns moved by re-splits
+  std::uint64_t failovers = 0;       ///< shard failovers applied
+  std::uint64_t quarantinedShards = 0;   ///< shards quarantined by failovers
+  std::uint64_t calibrationFailures = 0; ///< benchmark runs that errored and
+                                         ///< fell back to the perf model
 };
 Counters counters();
 
@@ -120,9 +124,15 @@ Counters counters();
 /// phylo::SplitLikelihood).
 void noteRebalance(std::uint64_t migratedPatterns);
 
-/// Module-level trace recorder: `sched.calibrate`, `sched.model_estimate`
-/// and `sched.rebalance` spans land here (enable timing/events to
-/// collect them, same contract as per-instance recorders).
+/// Record an applied shard failover: `quarantined` shards were taken out
+/// of service and their patterns re-apportioned across the survivors
+/// (called by consumers, e.g. phylo::SplitLikelihood).
+void noteFailover(std::uint64_t quarantined);
+
+/// Module-level trace recorder: `sched.calibrate`, `sched.model_estimate`,
+/// `sched.rebalance` and `sched.failover` spans land here (enable
+/// timing/events to collect them, same contract as per-instance
+/// recorders).
 obs::TraceRecorder& recorder();
 
 }  // namespace bgl::sched

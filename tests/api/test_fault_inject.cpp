@@ -1,0 +1,124 @@
+// Deterministic runtime fault injection (src/fault/): spec validation,
+// one-shot launch/memcpy faults, the persistent allocation budget, and
+// framework scoping. Injected faults must surface through the C API as
+// structured return codes with detail in bglGetLastErrorMessage.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/bgl.h"
+
+namespace {
+
+/// Every test disarms on exit so later suites never see a live fault.
+class FaultInject : public ::testing::Test {
+ protected:
+  void TearDown() override { ASSERT_EQ(bglSetFaultSpec(""), BGL_SUCCESS); }
+};
+
+int makeInstance(long framework, int patterns = 16) {
+  const int resource = 0;
+  return bglCreateInstance(/*tips=*/4, /*partials=*/3, /*compact=*/4,
+                           /*states=*/4, patterns, /*eigen=*/1, /*matrices=*/6,
+                           /*categories=*/2, /*scale=*/0, &resource, 1, 0,
+                           framework | BGL_FLAG_PRECISION_DOUBLE, nullptr);
+}
+
+std::string lastError() { return bglGetLastErrorMessage(); }
+
+TEST_F(FaultInject, MalformedSpecsRejectedWithDetail) {
+  EXPECT_EQ(bglSetFaultSpec("bogus:1"), BGL_ERROR_OUT_OF_RANGE);
+  EXPECT_NE(lastError().find("bogus"), std::string::npos);
+  EXPECT_EQ(bglSetFaultSpec("launch"), BGL_ERROR_OUT_OF_RANGE);
+  EXPECT_EQ(bglSetFaultSpec("launch:0"), BGL_ERROR_OUT_OF_RANGE);
+  EXPECT_EQ(bglSetFaultSpec("launch:-3"), BGL_ERROR_OUT_OF_RANGE);
+  EXPECT_EQ(bglSetFaultSpec("metal:launch:1"), BGL_ERROR_OUT_OF_RANGE);
+  EXPECT_NE(lastError().find("metal"), std::string::npos);
+  EXPECT_EQ(bglSetFaultSpec("launch:2,memcpy:"), BGL_ERROR_OUT_OF_RANGE);
+  // NULL and empty both disarm.
+  EXPECT_EQ(bglSetFaultSpec(nullptr), BGL_SUCCESS);
+  EXPECT_EQ(bglSetFaultSpec(""), BGL_SUCCESS);
+  // Well-formed multi-directive specs parse.
+  EXPECT_EQ(bglSetFaultSpec("cuda:launch:3,opencl:memcpy:2,alloc:4096"),
+            BGL_SUCCESS);
+}
+
+TEST_F(FaultInject, MemcpyFaultIsOneShotWithStructuredCode) {
+  const int inst = makeInstance(BGL_FLAG_FRAMEWORK_CUDA);
+  ASSERT_GE(inst, 0);
+  std::vector<int> states(16, 1);
+  ASSERT_EQ(bglSetFaultSpec("memcpy:1"), BGL_SUCCESS);
+  EXPECT_EQ(bglSetTipStates(inst, 0, states.data()), BGL_ERROR_HARDWARE);
+  EXPECT_NE(lastError().find("fault"), std::string::npos);
+  // One-shot: the very next transfer goes through.
+  EXPECT_EQ(bglSetTipStates(inst, 0, states.data()), BGL_SUCCESS);
+  EXPECT_TRUE(lastError().empty());
+  EXPECT_EQ(bglFinalizeInstance(inst), BGL_SUCCESS);
+}
+
+TEST_F(FaultInject, LaunchFaultFiresOnNthLaunch) {
+  const int inst = makeInstance(BGL_FLAG_FRAMEWORK_CUDA);
+  ASSERT_GE(inst, 0);
+  // Identity-ish eigen system is enough: only the launch matters.
+  std::vector<double> evec(16, 0.0), ivec(16, 0.0), eval(4, 0.0);
+  for (int i = 0; i < 4; ++i) evec[i * 4 + i] = ivec[i * 4 + i] = 1.0;
+  ASSERT_EQ(bglSetEigenDecomposition(inst, 0, evec.data(), ivec.data(),
+                                     eval.data()),
+            BGL_SUCCESS);
+  const int index = 1;
+  const double length = 0.1;
+  ASSERT_EQ(bglSetFaultSpec("launch:2"), BGL_SUCCESS);
+  // Launch 1 passes, launch 2 fails, launch 3 passes again (one-shot).
+  EXPECT_EQ(bglUpdateTransitionMatrices(inst, 0, &index, nullptr, nullptr,
+                                        &length, 1),
+            BGL_SUCCESS);
+  EXPECT_EQ(bglUpdateTransitionMatrices(inst, 0, &index, nullptr, nullptr,
+                                        &length, 1),
+            BGL_ERROR_HARDWARE);
+  EXPECT_NE(lastError().find("launch"), std::string::npos);
+  EXPECT_EQ(bglUpdateTransitionMatrices(inst, 0, &index, nullptr, nullptr,
+                                        &length, 1),
+            BGL_SUCCESS);
+  EXPECT_EQ(bglFinalizeInstance(inst), BGL_SUCCESS);
+}
+
+TEST_F(FaultInject, AllocBudgetFailsInstanceCreation) {
+  ASSERT_EQ(bglSetFaultSpec("alloc:1024"), BGL_SUCCESS);
+  const int inst = makeInstance(BGL_FLAG_FRAMEWORK_CUDA, /*patterns=*/512);
+  EXPECT_EQ(inst, BGL_ERROR_OUT_OF_MEMORY);
+  EXPECT_NE(lastError().find("budget"), std::string::npos);
+  // The budget is persistent, not one-shot: a retry fails the same way.
+  EXPECT_EQ(makeInstance(BGL_FLAG_FRAMEWORK_CUDA, 512),
+            BGL_ERROR_OUT_OF_MEMORY);
+  // Disarmed, the same creation succeeds.
+  ASSERT_EQ(bglSetFaultSpec(""), BGL_SUCCESS);
+  const int ok = makeInstance(BGL_FLAG_FRAMEWORK_CUDA, 512);
+  ASSERT_GE(ok, 0);
+  EXPECT_EQ(bglFinalizeInstance(ok), BGL_SUCCESS);
+}
+
+TEST_F(FaultInject, FrameworkPrefixScopesTheFault) {
+  const int cuda = makeInstance(BGL_FLAG_FRAMEWORK_CUDA);
+  const int opencl = makeInstance(BGL_FLAG_FRAMEWORK_OPENCL);
+  ASSERT_GE(cuda, 0);
+  ASSERT_GE(opencl, 0);
+  std::vector<int> states(16, 2);
+  ASSERT_EQ(bglSetFaultSpec("cuda:memcpy:1"), BGL_SUCCESS);
+  // The OpenCL runtime's transfers are not matched by a cuda-scoped fault.
+  EXPECT_EQ(bglSetTipStates(opencl, 0, states.data()), BGL_SUCCESS);
+  EXPECT_EQ(bglSetTipStates(cuda, 0, states.data()), BGL_ERROR_HARDWARE);
+  EXPECT_EQ(bglFinalizeInstance(cuda), BGL_SUCCESS);
+  EXPECT_EQ(bglFinalizeInstance(opencl), BGL_SUCCESS);
+}
+
+TEST_F(FaultInject, CpuImplementationsNeverSeeDeviceFaults) {
+  ASSERT_EQ(bglSetFaultSpec("launch:1,memcpy:1"), BGL_SUCCESS);
+  const int inst = makeInstance(BGL_FLAG_FRAMEWORK_CPU);
+  ASSERT_GE(inst, 0);
+  std::vector<int> states(16, 0);
+  EXPECT_EQ(bglSetTipStates(inst, 0, states.data()), BGL_SUCCESS);
+  EXPECT_EQ(bglFinalizeInstance(inst), BGL_SUCCESS);
+}
+
+}  // namespace

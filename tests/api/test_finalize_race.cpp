@@ -1,0 +1,53 @@
+// Regression for the instance-lifetime race: bglFinalizeInstance must not
+// destroy an implementation while another thread is inside an operation on
+// the same instance id. The fix pins the implementation with a shared_ptr
+// for the duration of each call; before it, withInstance returned a raw
+// pointer after releasing the global mutex, and this test is a
+// use-after-free under TSan/ASan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "api/bgl.h"
+
+namespace {
+
+TEST(FinalizeRace, ConcurrentFinalizeAndOperations) {
+  const int resource = 0;
+  std::vector<int> states(64, 1);
+  std::vector<double> partials(2ull * 64 * 4, 0.25);
+
+  for (int iter = 0; iter < 50; ++iter) {
+    const int inst = bglCreateInstance(
+        /*tips=*/4, /*partials=*/3, /*compact=*/4, /*states=*/4,
+        /*patterns=*/64, /*eigen=*/1, /*matrices=*/6, /*categories=*/2,
+        /*scale=*/0, &resource, 1, 0,
+        BGL_FLAG_FRAMEWORK_CPU | BGL_FLAG_PRECISION_DOUBLE, nullptr);
+    ASSERT_GE(inst, 0);
+    for (int t = 0; t < 4; ++t) {
+      ASSERT_EQ(bglSetTipStates(inst, t, states.data()), BGL_SUCCESS);
+    }
+
+    std::atomic<bool> started{false};
+    std::thread worker([&] {
+      started.store(true);
+      for (int i = 0; i < 64; ++i) {
+        // Once the main thread finalizes, the only acceptable outcome is a
+        // clean OUT_OF_RANGE — never a crash or a sanitizer report.
+        const int rc = bglSetPartials(inst, 4, partials.data());
+        if (rc != BGL_SUCCESS) {
+          EXPECT_EQ(rc, BGL_ERROR_OUT_OF_RANGE);
+          break;
+        }
+      }
+    });
+    while (!started.load()) std::this_thread::yield();
+    const int rc = bglFinalizeInstance(inst);
+    EXPECT_TRUE(rc == BGL_SUCCESS || rc == BGL_ERROR_OUT_OF_RANGE);
+    worker.join();
+  }
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// Shard failover in SplitLikelihood under injected device faults: failing
+// shards are quarantined, survivors absorb their patterns, the CPU
+// fallback catches an all-shards failure, and the recovered result matches
+// a serial host-CPU single instance.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/bgl.h"
+#include "core/defs.h"
+#include "core/model.h"
+#include "core/rng.h"
+#include "phylo/likelihood.h"
+#include "phylo/partition.h"
+#include "phylo/seqsim.h"
+#include "phylo/tree.h"
+#include "sched/sched.h"
+
+namespace bgl::phylo {
+namespace {
+
+constexpr int kTips = 8;
+constexpr int kPatterns = 200;
+
+struct Problem {
+  Tree tree;
+  std::unique_ptr<SubstitutionModel> model;
+  PatternSet data;
+};
+
+Problem makeProblem() {
+  Rng rng(4242);
+  Problem p{Tree::random(kTips, rng), defaultModelForStates(4, 4242), {}};
+  p.data.taxa = kTips;
+  p.data.patterns = kPatterns;
+  p.data.states = randomStates(kTips, kPatterns, 4, rng);
+  p.data.weights.assign(kPatterns, 1.0);
+  p.data.originalSites = kPatterns;
+  return p;
+}
+
+double referenceLogL(const Problem& p) {
+  LikelihoodOptions ref;
+  ref.resources = {0};
+  ref.requirementFlags = BGL_FLAG_FRAMEWORK_CPU | BGL_FLAG_THREADING_NONE |
+                         BGL_FLAG_VECTOR_NONE | BGL_FLAG_PRECISION_DOUBLE;
+  TreeLikelihood like(p.tree, *p.model, p.data, ref);
+  return like.logLikelihood(p.tree);
+}
+
+LikelihoodOptions cudaShard() {
+  LikelihoodOptions o;
+  o.resources = {0};
+  o.requirementFlags = BGL_FLAG_FRAMEWORK_CUDA | BGL_FLAG_PRECISION_DOUBLE;
+  return o;
+}
+
+LikelihoodOptions serialShard() {
+  LikelihoodOptions o;
+  o.resources = {0};
+  o.requirementFlags = BGL_FLAG_FRAMEWORK_CPU | BGL_FLAG_THREADING_NONE |
+                       BGL_FLAG_VECTOR_NONE | BGL_FLAG_PRECISION_DOUBLE;
+  return o;
+}
+
+/// Serial evaluation keeps fault firing order deterministic across runs.
+SplitOptions serialSplit() {
+  SplitOptions split;
+  split.mode = SplitMode::Equal;
+  split.concurrent = false;
+  return split;
+}
+
+class SplitFailover : public ::testing::Test {
+ protected:
+  void TearDown() override { ASSERT_EQ(bglSetFaultSpec(""), BGL_SUCCESS); }
+};
+
+TEST_F(SplitFailover, LaunchFaultQuarantinesShardAndPreservesLogL) {
+  const Problem p = makeProblem();
+  const double expected = referenceLogL(p);
+  const auto before = sched::counters();
+
+  SplitLikelihood like(p.tree, *p.model, p.data, {cudaShard(), serialShard()},
+                       serialSplit());
+  ASSERT_EQ(bglSetFaultSpec("launch:2"), BGL_SUCCESS);
+  const double logL = like.logLikelihood(p.tree);
+
+  // The surviving serial shard holds every pattern in original index
+  // order, so the recovered value is bit-identical to the single-instance
+  // reference.
+  EXPECT_EQ(logL, expected);
+  EXPECT_EQ(like.failoverCount(), 1);
+  EXPECT_EQ(like.quarantinedShards(), std::vector<int>({0}));
+  EXPECT_NE(like.shardError(0).find("fault"), std::string::npos);
+  EXPECT_EQ(like.shardPatterns(0), 0);
+  EXPECT_EQ(like.shardPatterns(1), kPatterns);
+  EXPECT_FALSE(like.usedCpuFallback());
+
+  const auto after = sched::counters();
+  EXPECT_EQ(after.failovers, before.failovers + 1);
+  EXPECT_EQ(after.quarantinedShards, before.quarantinedShards + 1);
+
+  // The quarantine is permanent: later rounds stay on the survivors and
+  // stay exact.
+  EXPECT_EQ(like.logLikelihood(p.tree), expected);
+  EXPECT_EQ(like.failoverCount(), 1);
+}
+
+TEST_F(SplitFailover, ConstructionFaultQuarantinesAtBuildTime) {
+  const Problem p = makeProblem();
+  const double expected = referenceLogL(p);
+
+  // A 1-byte budget fails the CUDA shard's very first device allocation,
+  // inside the TreeLikelihood constructor.
+  ASSERT_EQ(bglSetFaultSpec("alloc:1"), BGL_SUCCESS);
+  SplitLikelihood like(p.tree, *p.model, p.data, {cudaShard(), serialShard()},
+                       serialSplit());
+  ASSERT_EQ(bglSetFaultSpec(""), BGL_SUCCESS);
+
+  EXPECT_EQ(like.failoverCount(), 1);
+  EXPECT_EQ(like.quarantinedShards(), std::vector<int>({0}));
+  EXPECT_EQ(like.logLikelihood(p.tree), expected);
+}
+
+TEST_F(SplitFailover, AllShardsFailedEngagesCpuFallback) {
+  const Problem p = makeProblem();
+  const double expected = referenceLogL(p);
+
+  SplitLikelihood like(p.tree, *p.model, p.data, {cudaShard(), cudaShard()},
+                       serialSplit());
+  // Both shards launch kernels; the 1st and 2nd launch events each fire
+  // one directive, so the whole split is dead after one round.
+  ASSERT_EQ(bglSetFaultSpec("launch:1,launch:2"), BGL_SUCCESS);
+  const double logL = like.logLikelihood(p.tree);
+
+  EXPECT_TRUE(like.usedCpuFallback());
+  EXPECT_GE(like.failoverCount(), 1);
+  EXPECT_EQ(like.shardPatterns(0), kPatterns);
+  EXPECT_EQ(like.shardPatterns(1), 0);
+  EXPECT_DOUBLE_EQ(logL, expected);
+}
+
+TEST_F(SplitFailover, FailoverDisabledPropagatesTheError) {
+  const Problem p = makeProblem();
+  SplitOptions split = serialSplit();
+  split.failover = false;
+
+  SplitLikelihood like(p.tree, *p.model, p.data, {cudaShard(), serialShard()},
+                       split);
+  ASSERT_EQ(bglSetFaultSpec("launch:1"), BGL_SUCCESS);
+  try {
+    like.logLikelihood(p.tree);
+    FAIL() << "expected the injected fault to propagate";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), kErrHardware);
+    EXPECT_NE(std::string(e.what()).find("fault"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace bgl::phylo

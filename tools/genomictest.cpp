@@ -46,9 +46,16 @@ void printUsage(const char* program) {
       "  --model-estimate       with --auto-resource: rank by perf model\n"
       "                         instead of running calibrations\n"
       "  --split N              split patterns across N instances (alternating\n"
-      "                         threaded / serial CPU shards)\n"
+      "                         threaded / serial CPU shards; with --fault,\n"
+      "                         even shards run on the CUDA runtime instead)\n"
       "  --balance MODE         equal | prop | adaptive split (default equal)\n"
-      "  --rebalance            shorthand for --balance adaptive\n",
+      "  --rebalance            shorthand for --balance adaptive\n"
+      "  --fault SPEC           arm deterministic fault injection before the\n"
+      "                         run ([cuda:|opencl:]launch|memcpy|alloc:N,\n"
+      "                         comma-separated; see docs/ROBUSTNESS.md)\n"
+      "  --validate-split       with --split: also run a serial host-CPU\n"
+      "                         single-instance reference and compare logL\n"
+      "                         (implied by --fault; mismatch exits nonzero)\n",
       program);
 }
 
@@ -112,6 +119,17 @@ int main(int argc, char** argv) {
               spec.tips, spec.patterns, spec.states, spec.categories,
               spec.singlePrecision ? "single precision" : "double precision");
 
+  const std::string faultSpec = args.get("fault");
+  const bool faultArmed = !faultSpec.empty();
+  if (faultArmed) {
+    if (bglSetFaultSpec(faultSpec.c_str()) != BGL_SUCCESS) {
+      std::fprintf(stderr, "error: bad --fault spec '%s': %s\n",
+                   faultSpec.c_str(), bglGetLastErrorMessage());
+      return 1;
+    }
+    std::printf("fault injection armed: %s\n", faultSpec.c_str());
+  }
+
   if (args.has("auto-resource")) {
     // Benchmark every resource on a short calibration workload and run the
     // real problem on the fastest (beagleBenchmarkResources-style).
@@ -165,7 +183,9 @@ int main(int argc, char** argv) {
     // Heterogeneous-by-construction shards: even shards use the threaded
     // pool (preferring AVX), odd shards the serial scalar implementation —
     // the two-unequal-backends setup of the conclusion's load-balancing
-    // scenario, realizable on any host.
+    // scenario, realizable on any host. Under --fault, even shards run on
+    // the simulated CUDA runtime instead, so injected launch/memcpy/alloc
+    // faults land on device-backed shards and exercise the failover path.
     std::vector<phylo::LikelihoodOptions> shardOptions(
         static_cast<std::size_t>(splitShards));
     for (int s = 0; s < splitShards; ++s) {
@@ -174,12 +194,17 @@ int main(int argc, char** argv) {
       o.resources = {spec.resource};
       if (spec.singlePrecision) o.requirementFlags |= BGL_FLAG_PRECISION_SINGLE;
       if (s % 2 == 0) {
-        o.requirementFlags |= BGL_FLAG_THREADING_THREAD_POOL;
-        o.preferenceFlags |= BGL_FLAG_VECTOR_AVX;
+        if (faultArmed) {
+          o.requirementFlags |= BGL_FLAG_FRAMEWORK_CUDA;
+        } else {
+          o.requirementFlags |= BGL_FLAG_THREADING_THREAD_POOL;
+          o.preferenceFlags |= BGL_FLAG_VECTOR_AVX;
+        }
       } else {
         o.requirementFlags |= BGL_FLAG_THREADING_NONE | BGL_FLAG_VECTOR_NONE;
       }
     }
+    spec.validateSplitReference = faultArmed || args.has("validate-split");
 
     try {
       const auto result = harness::runSplitThroughput(spec, shardOptions, split);
@@ -198,7 +223,28 @@ int main(int argc, char** argv) {
       if (split.mode == phylo::SplitMode::Adaptive) {
         std::printf("rebalances applied: %d\n", result.rebalances);
       }
+      if (result.failovers > 0 || faultArmed) {
+        std::printf("failovers applied: %d\n", result.failovers);
+        for (int q : result.quarantined) {
+          std::printf("  shard %d quarantined: %s\n", q,
+                      result.shardErrors[static_cast<std::size_t>(q)].c_str());
+        }
+        if (result.cpuFallback) {
+          std::printf("  host-CPU fallback engaged (all shards had failed)\n");
+        }
+      }
       std::printf("validation logL: %.6f\n", result.logL);
+      if (result.referenceComputed) {
+        std::printf("reference logL:  %.6f (serial host-CPU single instance): %s\n",
+                    result.referenceLogL,
+                    result.referenceExact ? "bit-identical" : "MISMATCH");
+        if (!result.referenceExact) {
+          std::fprintf(stderr,
+                       "error: split logL %.17g != reference %.17g\n",
+                       result.logL, result.referenceLogL);
+          return 1;
+        }
+      }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
