@@ -1,0 +1,160 @@
+// PR 5 perf smoke: asynchronous command streams + level-order batching.
+//
+// Runs a Fig. 4 deep-tree genomictest workload (balanced 384-tip
+// nucleotide tree, 32 patterns, 4 rate categories, double precision — the
+// launch-overhead-bound small-problem regime of Section VIII-A) on the
+// host profile and compares the per-operation synchronous path
+// (BGL_FLAG_COMPUTATION_SYNCH) against the level-order batched
+// asynchronous path (BGL_FLAG_COMPUTATION_ASYNCH) for both simulated
+// accelerator frameworks plus the thread-pool CPU implementation.
+//
+// This is a smoke test, not just a report: it exits non-zero unless
+//  * every async log likelihood is BIT-IDENTICAL to its sync counterpart
+//    (the determinism contract of docs/PERFORMANCE.md),
+//  * the batched paths match the serial-CPU reference log likelihood
+//    bit-for-bit,
+//  * the async path is at least 1.2x faster than the sync path on both
+//    simulated frameworks (wall clock; host rows are real measurements).
+//
+// Results land in BENCH_pr5.json (set BGL_BENCH_DIR to redirect).
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "harness/genomictest.h"
+
+namespace {
+
+constexpr double kMinFrameworkSpeedup = 1.2;
+
+bgl::harness::RunResult runMode(long flags) {
+  bgl::harness::ProblemSpec spec;
+  spec.tips = 384;      // deep balanced tree: 383 ops over 9 levels
+  spec.patterns = 32;   // launch-bound: dispatch overhead dominates per-op work
+  spec.states = 4;
+  spec.categories = 4;
+  spec.singlePrecision = false;
+  spec.resource = 0;    // host profile: measured wall time
+  spec.requirementFlags = flags;
+  spec.reps = 7;
+  spec.warmupReps = 2;
+  return bgl::harness::runThroughput(spec);
+}
+
+struct Config {
+  const char* label;
+  long flags;
+  bool simulatedFramework;  // subject to the 1.2x speedup gate
+};
+
+}  // namespace
+
+int main() {
+  using namespace bgl;
+  bench::printHeader(
+      "PR 5 perf smoke: async command streams + level-order batching",
+      "Ayres & Cummings 2017, Fig. 4 workload (Section VIII-A)");
+  bench::printNote(
+      "384 tips, 32 patterns, 4 states, 4 categories, double precision; "
+      "sync = one launch per node, async = one fused launch per level");
+
+  bench::JsonReport report(
+      "pr5", "PR 5 perf smoke: async command streams + level-order batching",
+      "Ayres & Cummings 2017, Fig. 4 workload (Section VIII-A)");
+  report.note(
+      "speedup = syncSeconds / asyncSeconds per implementation; gates: "
+      "async logL bitwise-equal to sync logL, batched logL bitwise-equal "
+      "to the serial-CPU reference, speedup >= 1.2 on both simulated "
+      "frameworks");
+
+  const std::vector<Config> configs = {
+      {"cuda", BGL_FLAG_FRAMEWORK_CUDA, true},
+      {"opencl", BGL_FLAG_FRAMEWORK_OPENCL, true},
+      {"cpu-thread-pool", BGL_FLAG_THREADING_THREAD_POOL, false},
+  };
+
+  int failures = 0;
+  try {
+    const auto reference =
+        runMode(BGL_FLAG_THREADING_NONE | BGL_FLAG_VECTOR_NONE |
+                BGL_FLAG_COMPUTATION_SYNCH);
+    if (!std::isfinite(reference.logL)) {
+      // An underflowed -inf would satisfy the bitwise gates vacuously.
+      std::fprintf(stderr, "FAIL: reference logL %.17g is not finite\n",
+                   reference.logL);
+      return 1;
+    }
+    std::printf("\n%-18s %10s %10s %10s %8s %22s\n", "implementation", "sync(s)",
+                "async(s)", "speedup", "bitEq", "logL");
+    std::printf("%-18s %10s %10s %10s %8s %22.12f\n", "cpu-serial (ref)", "-",
+                "-", "-", "-", reference.logL);
+    report.row()
+        .field("implementation", "cpu-serial-reference")
+        .field("mode", "sync")
+        .field("seconds", reference.seconds)
+        .field("gflops", reference.gflops)
+        .field("logL", reference.logL);
+
+    for (const auto& config : configs) {
+      const auto sync = runMode(config.flags | BGL_FLAG_COMPUTATION_SYNCH);
+      const auto async = runMode(config.flags | BGL_FLAG_COMPUTATION_ASYNCH);
+      const double speedup = sync.seconds / async.seconds;
+      const bool syncAsyncExact = sync.logL == async.logL;
+      const bool referenceExact = async.logL == reference.logL;
+      std::printf("%-18s %10.4f %10.4f %10.2f %8s %22.12f\n", config.label,
+                  sync.seconds, async.seconds, speedup,
+                  syncAsyncExact && referenceExact ? "yes" : "NO", async.logL);
+
+      for (const auto* mode : {"sync", "async"}) {
+        const auto& r = *mode == 's' ? sync : async;
+        report.row()
+            .field("implementation", config.label)
+            .field("mode", mode)
+            .field("seconds", r.seconds)
+            .field("gflops", r.gflops)
+            .field("logL", r.logL)
+            .field("impl", r.implName);
+      }
+      report.row()
+          .field("implementation", config.label)
+          .field("mode", "summary")
+          .field("speedup", speedup)
+          .field("syncAsyncBitIdentical", syncAsyncExact ? 1 : 0)
+          .field("referenceBitIdentical", referenceExact ? 1 : 0);
+
+      if (!syncAsyncExact) {
+        std::fprintf(stderr,
+                     "FAIL %s: async logL %.17g != sync logL %.17g\n",
+                     config.label, async.logL, sync.logL);
+        ++failures;
+      }
+      if (!referenceExact) {
+        std::fprintf(stderr,
+                     "FAIL %s: batched logL %.17g != serial-CPU reference "
+                     "%.17g\n",
+                     config.label, async.logL, reference.logL);
+        ++failures;
+      }
+      if (config.simulatedFramework && speedup < kMinFrameworkSpeedup) {
+        std::fprintf(stderr,
+                     "FAIL %s: async speedup %.3f < required %.2f\n",
+                     config.label, speedup, kMinFrameworkSpeedup);
+        ++failures;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL: %s\n", e.what());
+    return 1;
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "perf smoke failed: %d violation(s)\n", failures);
+    return 1;
+  }
+  std::printf("perf smoke passed: async >= %.1fx on both frameworks, all "
+              "log likelihoods bit-identical\n",
+              kMinFrameworkSpeedup);
+  return 0;
+}

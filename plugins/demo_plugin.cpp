@@ -1,7 +1,7 @@
 // Demonstration plugin: registers an extra CPU implementation through the
 // runtime plugin interface (Section IV-C). The implementation itself is a
 // thin wrapper over the header-only serial CPU engine, distinguishable by
-// name and by supporting the BGL_FLAG_COMPUTATION_ASYNCH capability no
+// name and by supporting the BGL_FLAG_PROCESSOR_FPGA capability no
 // built-in factory claims — which is how the plugin test selects it.
 #include <memory>
 
@@ -25,7 +25,7 @@ class PluginFactory final : public ImplementationFactory {
 
   long supportFlags(int /*resource*/) const override {
     return BGL_FLAG_PRECISION_DOUBLE | BGL_FLAG_PRECISION_SINGLE |
-           BGL_FLAG_COMPUTATION_ASYNCH |  // unique capability marker
+           BGL_FLAG_PROCESSOR_FPGA |  // unique capability marker
            BGL_FLAG_COMPUTATION_SYNCH | BGL_FLAG_PROCESSOR_CPU |
            BGL_FLAG_FRAMEWORK_CPU | BGL_FLAG_VECTOR_NONE | BGL_FLAG_THREADING_NONE |
            BGL_FLAG_SCALING_MANUAL | BGL_FLAG_SCALING_ALWAYS;

@@ -7,14 +7,24 @@
 // transition matrices, partials, scaling, root/edge integration and the
 // final site-likelihood reduction all execute on the device; only scalar
 // results and explicitly requested buffers cross back.
+//
+// Unless BGL_FLAG_COMPUTATION_SYNCH is requested (without ASYNCH), the
+// device runs in asynchronous command-stream mode: launches are enqueued
+// in order and execute on a stream worker, updatePartials batches are
+// levelized (api/levelize.h) into one fused launch per dependency level
+// and kernel kind, and root/edge results are read back with a single
+// deferred transfer. The async path is bit-identical to the synchronous
+// one — see docs/PERFORMANCE.md for the determinism contract.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "api/implementation.h"
+#include "api/levelize.h"
 #include "hal/hal.h"
 #include "kernels/kernels.h"
 #include "kernels/workload.h"
@@ -30,6 +40,9 @@ class AccelImpl : public Implementation {
     // The runtime emits kernel-launch and memcpy events (with device and
     // framework metadata) into this instance's recorder.
     device_->setRecorder(&recorder_);
+    async_ = (cfg.flags & BGL_FLAG_COMPUTATION_ASYNCH) != 0 ||
+             (cfg.flags & BGL_FLAG_COMPUTATION_SYNCH) == 0;
+    if (async_) device_->setAsync(true);
     variant_ = (cfg.flags & BGL_FLAG_KERNEL_X86_STYLE)
                    ? hal::KernelVariant::X86Style
                    : (cfg.flags & BGL_FLAG_KERNEL_GPU_STYLE)
@@ -59,7 +72,10 @@ class AccelImpl : public Implementation {
         scale_.push_back(device_->subBuffer(
             scaleAlloc_, scaleStride_ * i,
             static_cast<std::size_t>(c.patternCount) * sizeof(Real)));
-        zeroBuffer(*scale_.back());
+        // Device-side fill: no host-side zero staging vector, and on an
+        // async device the fill is just another stream record.
+        device_->fillZero(scale_.back(), 0,
+                          static_cast<std::size_t>(c.patternCount) * sizeof(Real));
       }
     }
 
@@ -73,18 +89,32 @@ class AccelImpl : public Implementation {
     }
     rates_ = device_->alloc(static_cast<std::size_t>(c.categoryCount) * sizeof(Real));
     {
-      std::vector<Real> ones(c.categoryCount, Real(1));
-      device_->copyToDevice(*rates_, 0, ones.data(), ones.size() * sizeof(Real));
+      stagingReal_.assign(c.categoryCount, Real(1));
+      device_->copyToDevice(*rates_, 0, stagingReal_.data(),
+                            stagingReal_.size() * sizeof(Real));
     }
     patternWeights_ = device_->alloc(static_cast<std::size_t>(c.patternCount) * sizeof(Real));
     {
-      std::vector<Real> ones(c.patternCount, Real(1));
-      device_->copyToDevice(*patternWeights_, 0, ones.data(), ones.size() * sizeof(Real));
+      stagingReal_.assign(c.patternCount, Real(1));
+      device_->copyToDevice(*patternWeights_, 0, stagingReal_.data(),
+                            stagingReal_.size() * sizeof(Real));
     }
     siteLogL_ = device_->alloc(static_cast<std::size_t>(c.patternCount) * sizeof(Real));
     siteD1_ = device_->alloc(static_cast<std::size_t>(c.patternCount) * sizeof(Real));
     siteD2_ = device_->alloc(static_cast<std::size_t>(c.patternCount) * sizeof(Real));
-    result_ = device_->alloc(sizeof(double));
+    reduceScratch_ =
+        device_->alloc(static_cast<std::size_t>(reduceBlocks()) * sizeof(double));
+    result_ = device_->alloc(static_cast<std::size_t>(resultSlots_) * sizeof(double));
+  }
+
+  ~AccelImpl() override {
+    // Drain the command stream before buffers go away; a deferred failure
+    // at teardown has nowhere to surface.
+    try {
+      device_->finish();
+    } catch (...) {
+    }
+    device_->setRecorder(nullptr);
   }
 
   std::string implName() const override {
@@ -106,12 +136,13 @@ class AccelImpl : public Implementation {
       buf = device_->alloc(static_cast<std::size_t>(config_.patternCount) *
                            sizeof(std::int32_t));
     }
-    std::vector<std::int32_t> staged(config_.patternCount);
+    stagingInt_.resize(config_.patternCount);
     for (int k = 0; k < config_.patternCount; ++k) {
       const int s = inStates[k];
-      staged[k] = (s < 0 || s >= config_.stateCount) ? config_.stateCount : s;
+      stagingInt_[k] = (s < 0 || s >= config_.stateCount) ? config_.stateCount : s;
     }
-    device_->copyToDevice(*buf, 0, staged.data(), staged.size() * sizeof(std::int32_t));
+    device_->copyToDevice(*buf, 0, stagingInt_.data(),
+                          stagingInt_.size() * sizeof(std::int32_t));
     return BGL_SUCCESS;
   }
 
@@ -120,15 +151,15 @@ class AccelImpl : public Implementation {
     ensurePartials(tipIndex);
     const int p = config_.patternCount;
     const int s = config_.stateCount;
-    std::vector<Real> staged(partialsSize());
+    stagingReal_.resize(partialsSize());
     for (int c = 0; c < config_.categoryCount; ++c) {
-      Real* plane = staged.data() + static_cast<std::size_t>(c) * p * s;
+      Real* plane = stagingReal_.data() + static_cast<std::size_t>(c) * p * s;
       for (std::size_t i = 0; i < static_cast<std::size_t>(p) * s; ++i) {
         plane[i] = static_cast<Real>(inPartials[i]);
       }
     }
-    device_->copyToDevice(*partials_[tipIndex], 0, staged.data(),
-                          staged.size() * sizeof(Real));
+    device_->copyToDevice(*partials_[tipIndex], 0, stagingReal_.data(),
+                          stagingReal_.size() * sizeof(Real));
     return BGL_SUCCESS;
   }
 
@@ -137,12 +168,12 @@ class AccelImpl : public Implementation {
       return BGL_ERROR_OUT_OF_RANGE;
     }
     ensurePartials(bufferIndex);
-    std::vector<Real> staged(partialsSize());
-    for (std::size_t i = 0; i < staged.size(); ++i) {
-      staged[i] = static_cast<Real>(inPartials[i]);
+    stagingReal_.resize(partialsSize());
+    for (std::size_t i = 0; i < stagingReal_.size(); ++i) {
+      stagingReal_[i] = static_cast<Real>(inPartials[i]);
     }
-    device_->copyToDevice(*partials_[bufferIndex], 0, staged.data(),
-                          staged.size() * sizeof(Real));
+    device_->copyToDevice(*partials_[bufferIndex], 0, stagingReal_.data(),
+                          stagingReal_.size() * sizeof(Real));
     return BGL_SUCCESS;
   }
 
@@ -151,11 +182,11 @@ class AccelImpl : public Implementation {
         partials_[bufferIndex] == nullptr) {
       return BGL_ERROR_OUT_OF_RANGE;
     }
-    std::vector<Real> staged(partialsSize());
-    device_->copyToHost(staged.data(), *partials_[bufferIndex], 0,
-                        staged.size() * sizeof(Real));
-    for (std::size_t i = 0; i < staged.size(); ++i) {
-      outPartials[i] = static_cast<double>(staged[i]);
+    stagingReal_.resize(partialsSize());
+    device_->copyToHost(stagingReal_.data(), *partials_[bufferIndex], 0,
+                        stagingReal_.size() * sizeof(Real));
+    for (std::size_t i = 0; i < stagingReal_.size(); ++i) {
+      outPartials[i] = static_cast<double>(stagingReal_[i]);
     }
     return BGL_SUCCESS;
   }
@@ -188,10 +219,10 @@ class AccelImpl : public Implementation {
       return BGL_ERROR_OUT_OF_RANGE;
     }
     const int s = config_.stateCount;
-    std::vector<Real> cijk(static_cast<std::size_t>(s) * s * s);
+    stagingReal_.resize(static_cast<std::size_t>(s) * s * s);
     for (int i = 0; i < s; ++i) {
       for (int j = 0; j < s; ++j) {
-        Real* out = cijk.data() + (static_cast<std::size_t>(i) * s + j) * s;
+        Real* out = stagingReal_.data() + (static_cast<std::size_t>(i) * s + j) * s;
         for (int k = 0; k < s; ++k) {
           out[k] = static_cast<Real>(evec[static_cast<std::size_t>(i) * s + k] *
                                      ivec[static_cast<std::size_t>(k) * s + j]);
@@ -199,10 +230,12 @@ class AccelImpl : public Implementation {
       }
     }
     if (cijk_[eigenIndex] == nullptr) {
-      cijk_[eigenIndex] = device_->alloc(cijk.size() * sizeof(Real));
+      cijk_[eigenIndex] =
+          device_->alloc(static_cast<std::size_t>(s) * s * s * sizeof(Real));
       eval_[eigenIndex] = device_->alloc(static_cast<std::size_t>(s) * sizeof(Real));
     }
-    device_->copyToDevice(*cijk_[eigenIndex], 0, cijk.data(), cijk.size() * sizeof(Real));
+    device_->copyToDevice(*cijk_[eigenIndex], 0, stagingReal_.data(),
+                          static_cast<std::size_t>(s) * s * s * sizeof(Real));
     copyConverted(*eval_[eigenIndex], eval, s);
     return BGL_SUCCESS;
   }
@@ -225,6 +258,17 @@ class AccelImpl : public Implementation {
     const int s = config_.stateCount;
     const int c = config_.categoryCount;
 
+    for (int e = 0; e < count; ++e) {
+      if (probIndices[e] < 0 || probIndices[e] >= config_.matrixBufferCount) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      if (derivs && (d1Indices[e] < 0 || d1Indices[e] >= config_.matrixBufferCount ||
+                     d2Indices[e] < 0 || d2Indices[e] >= config_.matrixBufferCount)) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+    }
+    if (count <= 0) return BGL_SUCCESS;
+
     hal::KernelSpec spec;
     spec.id = derivs ? hal::KernelId::TransitionMatricesDerivs
                      : hal::KernelId::TransitionMatrices;
@@ -234,92 +278,49 @@ class AccelImpl : public Implementation {
     spec.useFma = useFma_;
     hal::Kernel* kernel = device_->getKernel(spec);
 
-    if (!derivs) {
-      // Batched path: ONE launch computes all edges' matrices. One launch
-      // per edge would make launch overhead dominate whole-tree updates on
-      // high-overhead devices.
-      for (int e = 0; e < count; ++e) {
-        if (probIndices[e] < 0 || probIndices[e] >= config_.matrixBufferCount) {
-          return BGL_ERROR_OUT_OF_RANGE;
-        }
-      }
-      if (edgeScratch_ == nullptr) {
-        edgeScratch_ = device_->alloc(
-            static_cast<std::size_t>(config_.matrixBufferCount) * sizeof(Real));
-        indexScratch_ = device_->alloc(
-            static_cast<std::size_t>(config_.matrixBufferCount) * sizeof(std::int32_t));
-      }
-      std::vector<Real> lengths(count);
-      std::vector<std::int32_t> indices(count);
-      for (int e = 0; e < count; ++e) {
-        lengths[e] = static_cast<Real>(edgeLengths[e]);
-        indices[e] = probIndices[e];
-      }
-      device_->copyToDevice(*edgeScratch_, 0, lengths.data(),
-                            lengths.size() * sizeof(Real));
-      device_->copyToDevice(*indexScratch_, 0, indices.data(),
-                            indices.size() * sizeof(std::int32_t));
-
-      hal::KernelArgs args;
-      args.buffers[0] = matrixAlloc_->data();
-      args.buffers[1] = cijk_[eigenIndex]->data();
-      args.buffers[2] = eval_[eigenIndex]->data();
-      args.buffers[3] = rates_->data();
-      args.buffers[6] = edgeScratch_->data();
-      args.buffers[7] = indexScratch_->data();
-      args.ints[0] = c;
-      args.ints[1] = s;
-      args.ints[2] = count;
-      args.ints[3] = static_cast<std::int64_t>(matrixStride_ / sizeof(Real));
-
-      hal::LaunchDims dims;
-      dims.numGroups = count * c;
-      dims.groupSize = s * s;
-
-      perf::LaunchWork work;
-      work.flops = count * kernels::matrixFlops(c, s, false);
-      work.bytes = count * kernels::matrixBytes(c, s, sizeof(Real), false);
-      work.fmaFriendly = true;
-      work.doublePrecision = !spec.singlePrecision;
-      work.useFma = useFma_;
-      work.numGroups = dims.numGroups;
-      device_->launch(*kernel, dims, args, work);
-      return BGL_SUCCESS;
-    }
-
+    // ONE launch computes all edges' matrices (with derivatives the index
+    // array carries three count-long sections: P, P', P''). The stage is a
+    // host-side keep-alive owned by the stream — no device staging copies,
+    // so on an async device the launch pipelines instead of flushing.
+    auto stage = std::make_shared<MatrixStage>();
+    stage->lengths.resize(count);
+    stage->indices.resize(static_cast<std::size_t>(derivs ? 3 * count : count));
     for (int e = 0; e < count; ++e) {
-      if (probIndices[e] < 0 || probIndices[e] >= config_.matrixBufferCount) {
-        return BGL_ERROR_OUT_OF_RANGE;
-      }
-      hal::KernelArgs args;
-      args.buffers[0] = matrices_[probIndices[e]]->data();
-      args.buffers[1] = cijk_[eigenIndex]->data();
-      args.buffers[2] = eval_[eigenIndex]->data();
-      args.buffers[3] = rates_->data();
+      stage->lengths[e] = static_cast<Real>(edgeLengths[e]);
+      stage->indices[e] = probIndices[e];
       if (derivs) {
-        if (d1Indices[e] < 0 || d1Indices[e] >= config_.matrixBufferCount ||
-            d2Indices[e] < 0 || d2Indices[e] >= config_.matrixBufferCount) {
-          return BGL_ERROR_OUT_OF_RANGE;
-        }
-        args.buffers[4] = matrices_[d1Indices[e]]->data();
-        args.buffers[5] = matrices_[d2Indices[e]]->data();
+        stage->indices[static_cast<std::size_t>(count) + e] = d1Indices[e];
+        stage->indices[static_cast<std::size_t>(2 * count) + e] = d2Indices[e];
       }
-      args.ints[0] = c;
-      args.ints[1] = s;
-      args.reals[0] = edgeLengths[e];
-
-      hal::LaunchDims dims;
-      dims.numGroups = c;
-      dims.groupSize = s * s;
-
-      perf::LaunchWork work;
-      work.flops = kernels::matrixFlops(c, s, derivs);
-      work.bytes = kernels::matrixBytes(c, s, sizeof(Real), derivs);
-      work.fmaFriendly = true;
-      work.doublePrecision = !spec.singlePrecision;
-      work.useFma = useFma_;
-      device_->launch(*kernel, dims, args, work);
     }
+
+    hal::KernelArgs args;
+    args.buffers[0] = matrixAlloc_->data();
+    args.buffers[1] = cijk_[eigenIndex]->data();
+    args.buffers[2] = eval_[eigenIndex]->data();
+    args.buffers[3] = rates_->data();
+    args.buffers[6] = stage->lengths.data();
+    args.buffers[7] = stage->indices.data();
+    args.ints[0] = c;
+    args.ints[1] = s;
+    args.ints[2] = count;
+    args.ints[3] = static_cast<std::int64_t>(matrixStride_ / sizeof(Real));
+
+    hal::LaunchDims dims;
+    dims.numGroups = count * c;
+    dims.groupSize = s * s;
+
+    perf::LaunchWork work;
+    work.flops = count * kernels::matrixFlops(c, s, derivs);
+    work.bytes = count * kernels::matrixBytes(c, s, sizeof(Real), derivs);
+    work.fmaFriendly = true;
+    work.doublePrecision = !spec.singlePrecision;
+    work.useFma = useFma_;
+    work.numGroups = dims.numGroups;
+
+    hal::LaunchOptions opts;
+    opts.keepAlive = stage;
+    device_->launch(*kernel, dims, args, work, opts);
     return BGL_SUCCESS;
   }
 
@@ -336,11 +337,11 @@ class AccelImpl : public Implementation {
     if (matrixIndex < 0 || matrixIndex >= config_.matrixBufferCount) {
       return BGL_ERROR_OUT_OF_RANGE;
     }
-    std::vector<Real> staged(matrixSize());
-    device_->copyToHost(staged.data(), *matrices_[matrixIndex], 0,
-                        staged.size() * sizeof(Real));
-    for (std::size_t i = 0; i < staged.size(); ++i) {
-      outMatrix[i] = static_cast<double>(staged[i]);
+    stagingReal_.resize(matrixSize());
+    device_->copyToHost(stagingReal_.data(), *matrices_[matrixIndex], 0,
+                        matrixSize() * sizeof(Real));
+    for (std::size_t i = 0; i < matrixSize(); ++i) {
+      outMatrix[i] = static_cast<double>(stagingReal_[i]);
     }
     return BGL_SUCCESS;
   }
@@ -372,11 +373,17 @@ class AccelImpl : public Implementation {
                          "updatePartials");
     recorder_.count(obs::Counter::kPartialsOperations,
                     static_cast<std::uint64_t>(count));
-    for (int i = 0; i < count; ++i) {
-      const int rc = executeOperation(operations[i], cumulativeScaleIndex);
-      if (rc != BGL_SUCCESS) return rc;
+    // Deferred accumulation needs every scale target written at most once
+    // per batch (levelize.h); repeated targets take the per-op path, which
+    // is the definition of the expected bit pattern anyway.
+    if (!async_ || !scaleWritesUnique(operations, count)) {
+      for (int i = 0; i < count; ++i) {
+        const int rc = executeOperation(operations[i], cumulativeScaleIndex);
+        if (rc != BGL_SUCCESS) return rc;
+      }
+      return BGL_SUCCESS;
     }
-    return BGL_SUCCESS;
+    return executeLevelized(operations, count, cumulativeScaleIndex);
   }
 
   int accumulateScaleFactors(const int* scaleIndices, int count,
@@ -400,8 +407,12 @@ class AccelImpl : public Implementation {
     hal::KernelSpec spec = baseSpec(hal::KernelId::ResetScale);
     hal::KernelArgs args;
     args.buffers[0] = scale_[cumulativeScaleIndex]->data();
+    const int ppg = integratePpg();
     args.ints[0] = config_.patternCount;
-    device_->launch(*device_->getKernel(spec), {1, 1, 0}, args,
+    args.ints[1] = ppg;
+    hal::LaunchDims dims;
+    dims.numGroups = (config_.patternCount + ppg - 1) / ppg;
+    device_->launch(*device_->getKernel(spec), dims, args,
                     scaleWork(/*buffers=*/1));
     return BGL_SUCCESS;
   }
@@ -413,7 +424,7 @@ class AccelImpl : public Implementation {
                          "rootLogLikelihoods");
     recorder_.count(obs::Counter::kRootEvaluations,
                     static_cast<std::uint64_t>(count));
-    double total = 0.0;
+    ensureResultSlots(count);
     for (int n = 0; n < count; ++n) {
       const int b = bufferIndices[n];
       if (b < 0 || b >= config_.bufferCount() || partials_[b] == nullptr) {
@@ -458,8 +469,15 @@ class AccelImpl : public Implementation {
       work.useFma = useFma_;
       device_->launch(*device_->getKernel(spec), dims, args, work);
 
-      total += reduceSites(*siteLogL_);
+      enqueueReduce(*siteLogL_, n);
     }
+    // Single deferred readback of all subset sums; on an async device this
+    // is the first point the API thread waits on the stream.
+    std::vector<double> sums(static_cast<std::size_t>(count));
+    device_->copyToHost(sums.data(), *result_, 0,
+                        static_cast<std::size_t>(count) * sizeof(double));
+    double total = 0.0;
+    for (int n = 0; n < count; ++n) total += sums[n];
     *outSumLogLikelihood = total;
     return std::isfinite(total) ? BGL_SUCCESS : BGL_ERROR_FLOATING_POINT;
   }
@@ -478,7 +496,8 @@ class AccelImpl : public Implementation {
     const bool derivs = d1Indices != nullptr && d2Indices != nullptr &&
                         outSumFirstDerivative != nullptr &&
                         outSumSecondDerivative != nullptr;
-    double total = 0.0, totalD1 = 0.0, totalD2 = 0.0;
+    const int slotsPer = derivs ? 3 : 1;
+    ensureResultSlots(count * slotsPer);
     for (int n = 0; n < count; ++n) {
       const int pb = parentIndices[n];
       const int cb = childIndices[n];
@@ -540,10 +559,20 @@ class AccelImpl : public Implementation {
       work.useFma = useFma_;
       device_->launch(*device_->getKernel(spec), dims, args, work);
 
-      total += reduceSites(*siteLogL_);
+      enqueueReduce(*siteLogL_, n * slotsPer);
       if (derivs) {
-        totalD1 += reduceSites(*siteD1_);
-        totalD2 += reduceSites(*siteD2_);
+        enqueueReduce(*siteD1_, n * slotsPer + 1);
+        enqueueReduce(*siteD2_, n * slotsPer + 2);
+      }
+    }
+    std::vector<double> sums(static_cast<std::size_t>(count) * slotsPer);
+    device_->copyToHost(sums.data(), *result_, 0, sums.size() * sizeof(double));
+    double total = 0.0, totalD1 = 0.0, totalD2 = 0.0;
+    for (int n = 0; n < count; ++n) {
+      total += sums[static_cast<std::size_t>(n) * slotsPer];
+      if (derivs) {
+        totalD1 += sums[static_cast<std::size_t>(n) * slotsPer + 1];
+        totalD2 += sums[static_cast<std::size_t>(n) * slotsPer + 2];
       }
     }
     *outSumLogLikelihood = total;
@@ -555,10 +584,11 @@ class AccelImpl : public Implementation {
   }
 
   int getSiteLogLikelihoods(double* outLogLikelihoods) override {
-    std::vector<Real> staged(config_.patternCount);
-    device_->copyToHost(staged.data(), *siteLogL_, 0, staged.size() * sizeof(Real));
+    stagingReal_.resize(config_.patternCount);
+    device_->copyToHost(stagingReal_.data(), *siteLogL_, 0,
+                        static_cast<std::size_t>(config_.patternCount) * sizeof(Real));
     for (int k = 0; k < config_.patternCount; ++k) {
-      outLogLikelihoods[k] = static_cast<double>(staged[k]);
+      outLogLikelihoods[k] = static_cast<double>(stagingReal_[k]);
     }
     return BGL_SUCCESS;
   }
@@ -570,11 +600,14 @@ class AccelImpl : public Implementation {
 
   int setThreadCount(int threads) override {
     if (threads < 1) return BGL_ERROR_OUT_OF_RANGE;
+    // Queued work may still be executing under the old fission setting.
+    device_->finish();
     device_->setFission(static_cast<unsigned>(threads));
     return BGL_SUCCESS;
   }
 
   int getTimeline(BglTimeline* out) override {
+    device_->finish();  // the stream worker owns the timeline while queued
     const auto& t = device_->timeline();
     out->modeledSeconds = t.modeledSeconds;
     out->measuredSeconds = t.measuredSeconds;
@@ -584,6 +617,7 @@ class AccelImpl : public Implementation {
   }
 
   int resetTimeline() override {
+    device_->finish();
     device_->timeline().reset();
     return BGL_SUCCESS;
   }
@@ -595,6 +629,13 @@ class AccelImpl : public Implementation {
   }
 
  private:
+  /// Host-side staging for one batched matrix launch, owned by the stream
+  /// until the launch has executed.
+  struct MatrixStage {
+    std::vector<Real> lengths;
+    std::vector<std::int32_t> indices;
+  };
+
   hal::KernelVariant defaultVariant() const {
     return device_->profile().deviceClass == perf::DeviceClass::Gpu
                ? hal::KernelVariant::GpuStyle
@@ -630,14 +671,10 @@ class AccelImpl : public Implementation {
   int autoCumulativeIndex() const { return config_.scaleBufferCount - 1; }
 
   void copyConverted(hal::Buffer& dst, const double* src, int n) {
-    std::vector<Real> staged(n);
-    for (int i = 0; i < n; ++i) staged[i] = static_cast<Real>(src[i]);
-    device_->copyToDevice(dst, 0, staged.data(), staged.size() * sizeof(Real));
-  }
-
-  void zeroBuffer(hal::Buffer& buf) {
-    std::vector<std::byte> zeros(buf.size());
-    device_->copyToDevice(buf, 0, zeros.data(), zeros.size());
+    stagingReal_.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) stagingReal_[i] = static_cast<Real>(src[i]);
+    device_->copyToDevice(dst, 0, stagingReal_.data(),
+                          static_cast<std::size_t>(n) * sizeof(Real));
   }
 
   hal::KernelSpec baseSpec(hal::KernelId id) const {
@@ -698,6 +735,13 @@ class AccelImpl : public Implementation {
     return {ppg, static_cast<std::size_t>(ppg) * perPattern};
   }
 
+  /// States-child convention and kernel choice for one operation.
+  int opKind(const BglOperation& op) const {
+    const bool tip1 = tipStates_[op.child1Partials] != nullptr;
+    const bool tip2 = tipStates_[op.child2Partials] != nullptr;
+    return (tip1 && tip2) ? 0 : (tip1 || tip2) ? 1 : 2;
+  }
+
   int executeOperation(const BglOperation& op, int cumulativeScaleIndex) {
     const auto& c = config_;
     if (op.destinationPartials < c.tipCount ||
@@ -718,80 +762,14 @@ class AccelImpl : public Implementation {
     }
     ensurePartials(op.destinationPartials);
 
-    const bool tip1 = tipStates_[op.child1Partials] != nullptr;
-    const bool tip2 = tipStates_[op.child2Partials] != nullptr;
-
-    hal::KernelSpec spec = baseSpec(
-        tip1 && tip2 ? hal::KernelId::StatesStates
-                     : (tip1 || tip2) ? hal::KernelId::StatesPartials
-                                      : hal::KernelId::PartialsPartials);
-
-    hal::KernelArgs args;
-    args.buffers[0] = partials_[op.destinationPartials]->data();
-    // Convention: the states child (if any) occupies the first child slot.
-    int c1 = op.child1Partials, m1 = op.child1TransitionMatrix;
-    int c2 = op.child2Partials, m2 = op.child2TransitionMatrix;
-    if (!tip1 && tip2) {
-      std::swap(c1, c2);
-      std::swap(m1, m2);
-    }
-    args.buffers[1] = (tip1 || tip2) ? tipStates_[c1]->data() : partials_[c1]->data();
-    args.buffers[2] = matrices_[m1]->data();
-    args.buffers[3] = (tip1 && tip2) ? tipStates_[c2]->data() : partials_[c2]->data();
-    args.buffers[4] = matrices_[m2]->data();
-
     const auto geom = partialsGeometry();
-    args.ints[0] = c.patternCount;
-    args.ints[1] = c.categoryCount;
-    args.ints[2] = c.stateCount;
-    args.ints[3] = geom.ppg;
-
-    hal::LaunchDims dims;
     const int patternBlocks = (c.patternCount + geom.ppg - 1) / geom.ppg;
-    dims.numGroups = patternBlocks * c.categoryCount;
-    dims.groupSize = variant_ == hal::KernelVariant::X86Style
-                         ? geom.ppg
-                         : geom.ppg * c.stateCount;
-    dims.localMemBytes = geom.localMemBytes;
-
-    perf::LaunchWork work;
-    work.flops = kernels::partialsFlops(c.patternCount, c.categoryCount, c.stateCount);
-    work.bytes = kernels::partialsBytes(c.patternCount, c.categoryCount, c.stateCount,
-                                        sizeof(Real));
-    work.workingSetBytes =
-        kernels::partialsWorkingSet(c.patternCount, c.categoryCount, c.stateCount,
-                                    sizeof(Real));
-    work.fmaFriendly = true;
-    work.doublePrecision = !spec.singlePrecision;
-    work.useFma = useFma_;
-    work.numGroups = dims.numGroups;
-    if (variant_ == hal::KernelVariant::GpuStyle &&
-        device_->profile().deviceClass != perf::DeviceClass::Gpu) {
-      // Table V: the GPU-style kernel is a poor fit on CPU-class devices.
-      work.variantEfficiency = perf::kGpuStyleOnCpuEfficiency;
-    }
-    device_->launch(*device_->getKernel(spec), dims, args, work);
+    const int members[1] = {0};
+    enqueueFusedPartials(&op, members, 1, opKind(op), geom, patternBlocks,
+                         /*concurrent=*/false);
 
     if (op.destinationScaleWrite != BGL_OP_NONE) {
-      recorder_.count(obs::Counter::kRescaleEvents);
-      hal::KernelSpec rspec = baseSpec(hal::KernelId::RescalePartials);
-      hal::KernelArgs rargs;
-      rargs.buffers[0] = partials_[op.destinationPartials]->data();
-      rargs.buffers[1] = scale_[op.destinationScaleWrite]->data();
-      const int ppg = integratePpg();
-      rargs.ints[0] = c.patternCount;
-      rargs.ints[1] = c.categoryCount;
-      rargs.ints[2] = c.stateCount;
-      rargs.ints[3] = ppg;
-      hal::LaunchDims rdims;
-      rdims.numGroups = (c.patternCount + ppg - 1) / ppg;
-      rdims.groupSize = ppg;
-      perf::LaunchWork rwork;
-      rwork.flops = static_cast<double>(c.patternCount) * c.categoryCount * c.stateCount;
-      rwork.bytes = 2.0 * c.patternCount * c.categoryCount * c.stateCount * sizeof(Real);
-      rwork.doublePrecision = !spec.singlePrecision;
-      device_->launch(*device_->getKernel(rspec), rdims, rargs, rwork);
-
+      enqueueRescale(op, /*concurrent=*/false);
       if (cumulativeScaleIndex != BGL_OP_NONE) {
         const int idx = op.destinationScaleWrite;
         const int rc = scaleOp(&idx, 1, cumulativeScaleIndex, +1);
@@ -801,50 +779,283 @@ class AccelImpl : public Implementation {
     return BGL_SUCCESS;
   }
 
-  int scaleOp(const int* scaleIndices, int count, int cumulativeScaleIndex, int sign) {
-    if (!validScale(cumulativeScaleIndex)) return BGL_ERROR_OUT_OF_RANGE;
-    hal::KernelSpec spec = baseSpec(hal::KernelId::AccumulateScale);
+  /// Level-order execution: validate the whole batch in per-op order (so
+  /// error codes match the synchronous path), then issue one fused launch
+  /// per (level, kernel kind), rescales per level, and a single deferred
+  /// cumulative accumulation in original batch order. Launch count for a
+  /// whole-tree update drops from O(#nodes) to O(tree depth).
+  int executeLevelized(const BglOperation* ops, int count, int cum) {
+    const auto& c = config_;
     for (int i = 0; i < count; ++i) {
-      if (!validScale(scaleIndices[i])) return BGL_ERROR_OUT_OF_RANGE;
-      hal::KernelArgs args;
-      args.buffers[0] = scale_[cumulativeScaleIndex]->data();
-      args.buffers[1] = scale_[scaleIndices[i]]->data();
-      args.ints[0] = config_.patternCount;
-      args.ints[1] = sign;
-      device_->launch(*device_->getKernel(spec), {1, 1, 0}, args, scaleWork(2));
+      const auto& op = ops[i];
+      if (op.destinationPartials < c.tipCount ||
+          op.destinationPartials >= c.bufferCount()) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      for (int m : {op.child1TransitionMatrix, op.child2TransitionMatrix}) {
+        if (m < 0 || m >= c.matrixBufferCount) return BGL_ERROR_OUT_OF_RANGE;
+      }
+      for (int child : {op.child1Partials, op.child2Partials}) {
+        if (child < 0 || child >= c.bufferCount()) return BGL_ERROR_OUT_OF_RANGE;
+        if (tipStates_[child] == nullptr && partials_[child] == nullptr) {
+          return BGL_ERROR_OUT_OF_RANGE;
+        }
+      }
+      if (op.destinationScaleWrite != BGL_OP_NONE &&
+          !validScale(op.destinationScaleWrite)) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      // Allocating here makes a later op's reference to this destination
+      // valid, exactly as in the sequential path.
+      ensurePartials(op.destinationPartials);
+    }
+
+    std::vector<int> level;
+    const int maxLevel = levelizeOperations(ops, count, level);
+    const auto geom = partialsGeometry();
+    const int patternBlocks = (c.patternCount + geom.ppg - 1) / geom.ppg;
+
+    std::vector<int> members;
+    for (int lv = 0; lv <= maxLevel; ++lv) {
+      bool firstInLevel = true;
+      // One fused launch per kernel kind. Kinds of the same level touch
+      // disjoint destinations, so all but the first fuse onto the level's
+      // run (concurrentWithPrevious).
+      for (int kind = 0; kind < 3; ++kind) {
+        members.clear();
+        for (int i = 0; i < count; ++i) {
+          if (level[i] == lv && opKind(ops[i]) == kind) members.push_back(i);
+        }
+        if (members.empty()) continue;
+        enqueueFusedPartials(ops, members.data(), static_cast<int>(members.size()),
+                             kind, geom, patternBlocks, !firstInLevel);
+        firstInLevel = false;
+      }
+      // Rescales read the partials this level just wrote (new run), but
+      // write disjoint scale buffers — scaleWritesUnique() held — so they
+      // fuse with each other.
+      bool firstRescale = true;
+      for (int i = 0; i < count; ++i) {
+        if (level[i] != lv || ops[i].destinationScaleWrite == BGL_OP_NONE) continue;
+        enqueueRescale(ops[i], !firstRescale);
+        firstRescale = false;
+      }
+    }
+
+    // Deferred cumulative accumulation, original batch order: the same
+    // per-pattern FP sequence as the per-op path, in one launch.
+    if (cum != BGL_OP_NONE) {
+      std::vector<int> writes;
+      for (int i = 0; i < count; ++i) {
+        if (ops[i].destinationScaleWrite != BGL_OP_NONE) {
+          writes.push_back(ops[i].destinationScaleWrite);
+        }
+      }
+      if (!writes.empty()) {
+        const int rc =
+            scaleOp(writes.data(), static_cast<int>(writes.size()), cum, +1);
+        if (rc != BGL_SUCCESS) return rc;
+      }
     }
     return BGL_SUCCESS;
   }
 
-  double reduceSites(hal::Buffer& site) {
-    hal::KernelSpec spec = baseSpec(hal::KernelId::SumSiteLikelihoods);
+  /// One launch covering `n` same-kind operations of one level; grid =
+  /// n * patternBlocks * categories groups, per-op pointers in a host-side
+  /// table the stream keeps alive.
+  void enqueueFusedPartials(const BglOperation* ops, const int* members, int n,
+                            int kind, const PartialsGeometry& geom,
+                            int patternBlocks, bool concurrent) {
+    const auto& c = config_;
+    hal::KernelSpec spec = baseSpec(kind == 0   ? hal::KernelId::StatesStates
+                                    : kind == 1 ? hal::KernelId::StatesPartials
+                                                : hal::KernelId::PartialsPartials);
+    auto table = std::make_shared<std::vector<const void*>>();
+    table->reserve(static_cast<std::size_t>(n) * 5);
+    for (int m = 0; m < n; ++m) {
+      const auto& op = ops[members[m]];
+      const bool tip1 = tipStates_[op.child1Partials] != nullptr;
+      const bool tip2 = tipStates_[op.child2Partials] != nullptr;
+      // Convention: the states child (if any) occupies the first child slot.
+      int c1 = op.child1Partials, m1 = op.child1TransitionMatrix;
+      int c2 = op.child2Partials, m2 = op.child2TransitionMatrix;
+      if (!tip1 && tip2) {
+        std::swap(c1, c2);
+        std::swap(m1, m2);
+      }
+      table->push_back(partials_[op.destinationPartials]->data());
+      table->push_back((tip1 || tip2) ? tipStates_[c1]->data()
+                                      : partials_[c1]->data());
+      table->push_back(matrices_[m1]->data());
+      table->push_back((tip1 && tip2) ? tipStates_[c2]->data()
+                                      : partials_[c2]->data());
+      table->push_back(matrices_[m2]->data());
+    }
+
     hal::KernelArgs args;
-    args.buffers[0] = site.data();
-    args.buffers[1] = patternWeights_->data();
-    args.buffers[2] = result_->data();
-    args.ints[0] = config_.patternCount;
+    args.buffers[5] = table->data();
+    args.ints[0] = c.patternCount;
+    args.ints[1] = c.categoryCount;
+    args.ints[2] = c.stateCount;
+    args.ints[3] = geom.ppg;
+    args.ints[4] = n;
+
+    hal::LaunchDims dims;
+    dims.numGroups = n * patternBlocks * c.categoryCount;
+    dims.groupSize = variant_ == hal::KernelVariant::X86Style
+                         ? geom.ppg
+                         : geom.ppg * c.stateCount;
+    dims.localMemBytes = geom.localMemBytes;
+
     perf::LaunchWork work;
-    work.flops = 2.0 * config_.patternCount;
-    work.bytes = 2.0 * config_.patternCount * sizeof(Real);
-    work.doublePrecision = true;
-    device_->launch(*device_->getKernel(spec), {1, 1, 0}, args, work);
-    double out = 0.0;
-    device_->copyToHost(&out, *result_, 0, sizeof(double));
-    return out;
+    work.flops =
+        n * kernels::partialsFlops(c.patternCount, c.categoryCount, c.stateCount);
+    work.bytes = n * kernels::partialsBytes(c.patternCount, c.categoryCount,
+                                            c.stateCount, sizeof(Real));
+    work.workingSetBytes = kernels::partialsWorkingSet(
+        c.patternCount, c.categoryCount, c.stateCount, sizeof(Real));
+    work.fmaFriendly = true;
+    work.doublePrecision = !spec.singlePrecision;
+    work.useFma = useFma_;
+    work.numGroups = dims.numGroups;
+    if (variant_ == hal::KernelVariant::GpuStyle &&
+        device_->profile().deviceClass != perf::DeviceClass::Gpu) {
+      // Table V: the GPU-style kernel is a poor fit on CPU-class devices.
+      work.variantEfficiency = perf::kGpuStyleOnCpuEfficiency;
+    }
+
+    hal::LaunchOptions opts;
+    opts.keepAlive = table;
+    opts.concurrentWithPrevious = concurrent;
+    device_->launch(*device_->getKernel(spec), dims, args, work, opts);
+  }
+
+  void enqueueRescale(const BglOperation& op, bool concurrent) {
+    const auto& c = config_;
+    recorder_.count(obs::Counter::kRescaleEvents);
+    hal::KernelSpec rspec = baseSpec(hal::KernelId::RescalePartials);
+    hal::KernelArgs rargs;
+    rargs.buffers[0] = partials_[op.destinationPartials]->data();
+    rargs.buffers[1] = scale_[op.destinationScaleWrite]->data();
+    const int ppg = integratePpg();
+    rargs.ints[0] = c.patternCount;
+    rargs.ints[1] = c.categoryCount;
+    rargs.ints[2] = c.stateCount;
+    rargs.ints[3] = ppg;
+    hal::LaunchDims rdims;
+    rdims.numGroups = (c.patternCount + ppg - 1) / ppg;
+    rdims.groupSize = ppg;
+    perf::LaunchWork rwork;
+    rwork.flops = static_cast<double>(c.patternCount) * c.categoryCount * c.stateCount;
+    rwork.bytes = 2.0 * c.patternCount * c.categoryCount * c.stateCount * sizeof(Real);
+    rwork.doublePrecision = !std::is_same_v<Real, float>;
+    hal::LaunchOptions opts;
+    opts.concurrentWithPrevious = concurrent;
+    device_->launch(*device_->getKernel(rspec), rdims, rargs, rwork, opts);
+  }
+
+  /// Multi-source scale accumulation: ONE multi-group launch adds (or
+  /// removes) all sources per pattern in array order — the per-element FP
+  /// sequence of `count` serial launches, so the result is bit-identical.
+  int scaleOp(const int* scaleIndices, int count, int cumulativeScaleIndex, int sign) {
+    if (!validScale(cumulativeScaleIndex)) return BGL_ERROR_OUT_OF_RANGE;
+    for (int i = 0; i < count; ++i) {
+      if (!validScale(scaleIndices[i])) return BGL_ERROR_OUT_OF_RANGE;
+    }
+    if (count <= 0) return BGL_SUCCESS;
+    auto indices = std::make_shared<std::vector<std::int32_t>>(
+        scaleIndices, scaleIndices + count);
+    hal::KernelSpec spec = baseSpec(hal::KernelId::AccumulateScale);
+    hal::KernelArgs args;
+    args.buffers[0] = scale_[cumulativeScaleIndex]->data();
+    args.buffers[1] = scaleAlloc_->data();
+    args.buffers[2] = indices->data();
+    const int ppg = integratePpg();
+    args.ints[0] = config_.patternCount;
+    args.ints[1] = sign;
+    args.ints[2] = count;
+    args.ints[3] = static_cast<std::int64_t>(scaleStride_ / sizeof(Real));
+    args.ints[4] = ppg;
+    hal::LaunchDims dims;
+    dims.numGroups = (config_.patternCount + ppg - 1) / ppg;
+    hal::LaunchOptions opts;
+    opts.keepAlive = indices;
+    device_->launch(*device_->getKernel(spec), dims, args, scaleWork(count + 1),
+                    opts);
+    return BGL_SUCCESS;
+  }
+
+  // ------------------------------------------------------------------
+  // Deferred weighted site reduction (two-phase, deterministic bracketing).
+  // ------------------------------------------------------------------
+
+  static constexpr int kReducePatternsPerBlock = 1024;
+  int reduceBlocks() const {
+    return (config_.patternCount + kReducePatternsPerBlock - 1) /
+           kReducePatternsPerBlock;
+  }
+
+  /// Grow the per-subset result buffer. Queued reductions may still target
+  /// the old allocation, so the stream drains first.
+  void ensureResultSlots(int slots) {
+    if (slots <= resultSlots_) return;
+    device_->finish();
+    resultSlots_ = std::max(slots, resultSlots_ * 2);
+    result_ = device_->alloc(static_cast<std::size_t>(resultSlots_) * sizeof(double));
+  }
+
+  /// Enqueue the weighted reduction of `site` into result slot `slot`.
+  /// Phase 1 partial-sums fixed 1024-pattern blocks; phase 2 combines them
+  /// in ascending order. The block size depends only on the pattern count,
+  /// so every framework and both sync/async paths bracket identically.
+  void enqueueReduce(hal::Buffer& site, int slot) {
+    hal::KernelSpec spec = baseSpec(hal::KernelId::SumSiteLikelihoods);
+    const int blocks = reduceBlocks();
+    {
+      hal::KernelArgs args;
+      args.buffers[0] = site.data();
+      args.buffers[1] = patternWeights_->data();
+      args.buffers[2] = reduceScratch_->data();
+      args.ints[0] = config_.patternCount;
+      args.ints[1] = kReducePatternsPerBlock;
+      perf::LaunchWork work;
+      work.flops = 2.0 * config_.patternCount;
+      work.bytes = 2.0 * config_.patternCount * sizeof(Real);
+      work.doublePrecision = true;
+      device_->launch(*device_->getKernel(spec), {blocks, 1, 0}, args, work);
+    }
+    {
+      hal::KernelArgs args;
+      args.buffers[0] = reduceScratch_->data();
+      args.buffers[2] = static_cast<double*>(result_->data()) + slot;
+      args.ints[0] = config_.patternCount;
+      args.ints[2] = blocks;
+      perf::LaunchWork work;
+      work.flops = static_cast<double>(blocks);
+      work.bytes = static_cast<double>(blocks + 1) * sizeof(double);
+      work.doublePrecision = true;
+      device_->launch(*device_->getKernel(spec), {1, 1, 0}, args, work);
+    }
   }
 
   hal::DevicePtr device_;
   hal::KernelVariant variant_;
   bool useFma_ = true;
+  bool async_ = false;
   int workGroupPatterns_ = 256;  // Table V default
   int compactUsed_ = 0;
+  int resultSlots_ = 4;
 
   hal::BufferPtr matrixAlloc_, scaleAlloc_;
-  hal::BufferPtr edgeScratch_, indexScratch_;  // batched matrix updates
   std::size_t matrixStride_ = 0, scaleStride_ = 0;
   std::vector<hal::BufferPtr> partials_, tipStates_, matrices_, scale_;
   std::vector<hal::BufferPtr> cijk_, eval_, freqs_, weights_;
-  hal::BufferPtr rates_, patternWeights_, siteLogL_, siteD1_, siteD2_, result_;
+  hal::BufferPtr rates_, patternWeights_, siteLogL_, siteD1_, siteD2_;
+  hal::BufferPtr reduceScratch_, result_;
+
+  // Persistent host staging reused across transfers (no per-call vectors).
+  std::vector<Real> stagingReal_;
+  std::vector<std::int32_t> stagingInt_;
 };
 
 }  // namespace bgl::accel

@@ -93,8 +93,11 @@ typedef enum BglFlags {
                                                   the benchmark workload */
   BGL_FLAG_LOADBALANCE_MODEL = 1L << 25,     /**< seed speed estimates from the
                                                   perf-model device profiles */
-  BGL_FLAG_LOADBALANCE_ADAPTIVE = 1L << 26   /**< proportional sharding plus
+  BGL_FLAG_LOADBALANCE_ADAPTIVE = 1L << 26,  /**< proportional sharding plus
                                                   EWMA-driven rebalancing */
+
+  BGL_FLAG_PROCESSOR_FPGA = 1L << 27         /**< FPGA-class device (no built-in
+                                                  backend; plugin capability) */
 } BglFlags;
 
 /** Description of a hardware resource usable by the library. */
@@ -348,6 +351,9 @@ typedef struct BglStatistics {
   double updateTransitionMatricesSeconds;
   double rootLogLikelihoodsSeconds;
   double edgeLogLikelihoodsSeconds;
+  unsigned long long streamedLaunches;    /**< launches enqueued on an async
+                                               command stream (subset of
+                                               kernelLaunches) */
 } BglStatistics;
 
 /** Read the instance's operation counters and per-category timings. */

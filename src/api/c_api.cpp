@@ -479,6 +479,7 @@ int bglGetStatistics(int instance, BglStatistics* outStatistics) {
         rec.categorySeconds(Category::kRootLogLikelihoods);
     outStatistics->edgeLogLikelihoodsSeconds =
         rec.categorySeconds(Category::kEdgeLogLikelihoods);
+    outStatistics->streamedLaunches = rec.counter(Counter::kStreamedLaunches);
     return BGL_SUCCESS;
   });
 }

@@ -1,0 +1,58 @@
+// Dependency levelization for batches of partials operations.
+//
+// An updatePartials batch is a post-order slice of the tree: operation i
+// depends on an earlier operation j when j's destination feeds i (as a
+// child) or i re-uses the same destination buffer. Grouping operations by
+// dependency depth turns a batch of N per-node dispatches into one fused
+// dispatch per level — O(tree depth) launches for a whole-tree update —
+// while operations inside a level remain topology-independent and can run
+// concurrently. The accelerator path (accel/accel_impl.h) and the threaded
+// CPU implementations (cpu/threaded_impl.h) share this analysis.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "api/bgl.h"
+
+namespace bgl {
+
+/// Assign each operation its dependency level (0 = no dependencies inside
+/// the batch). `level` is resized to `count`. Returns the maximum level.
+/// O(count^2), which is negligible against the kernel work even for
+/// thousand-operation batches.
+inline int levelizeOperations(const BglOperation* ops, int count,
+                              std::vector<int>& level) {
+  level.assign(static_cast<std::size_t>(count > 0 ? count : 0), 0);
+  int maxLevel = 0;
+  for (int i = 0; i < count; ++i) {
+    for (int j = 0; j < i; ++j) {
+      if (ops[j].destinationPartials == ops[i].child1Partials ||
+          ops[j].destinationPartials == ops[i].child2Partials ||
+          ops[j].destinationPartials == ops[i].destinationPartials) {
+        level[i] = std::max(level[i], level[j] + 1);
+      }
+    }
+    maxLevel = std::max(maxLevel, level[i]);
+  }
+  return maxLevel;
+}
+
+/// True when no scale buffer is written by more than one operation in the
+/// batch. Level-order execution defers the cumulative scale accumulation
+/// to the end of the batch (in original operation order, preserving the
+/// exact FP sequence of the per-op path); a repeated scale target would
+/// have lost its earlier value by then, so such batches take the serial
+/// fallback instead.
+inline bool scaleWritesUnique(const BglOperation* ops, int count) {
+  std::vector<int> writes;
+  for (int i = 0; i < count; ++i) {
+    if (ops[i].destinationScaleWrite != BGL_OP_NONE) {
+      writes.push_back(ops[i].destinationScaleWrite);
+    }
+  }
+  std::sort(writes.begin(), writes.end());
+  return std::adjacent_find(writes.begin(), writes.end()) == writes.end();
+}
+
+}  // namespace bgl

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "fault/fault.h"
+#include "hal/command_stream.h"
 #include "hal/workgroup_executor.h"
 #include "kernels/kernels.h"
 #include "obs/trace.h"
@@ -88,6 +89,7 @@ class ClDevice final : public hal::Device {
     if (dstOffset + bytes > dst.size()) {
       throw Error("clsim: write out of bounds", kErrOutOfRange);
     }
+    syncStream();  // in-order queue: queued launches complete before the copy
     fault::Injector::instance().onMemcpy("opencl", bytes);
     const auto t0 = Clock::now();
     std::memcpy(static_cast<std::byte*>(dst.data()) + dstOffset, src, bytes);
@@ -106,6 +108,7 @@ class ClDevice final : public hal::Device {
     if (srcOffset + bytes > src.size()) {
       throw Error("clsim: read out of bounds", kErrOutOfRange);
     }
+    syncStream();  // in-order queue: queued launches complete before the copy
     fault::Injector::instance().onMemcpy("opencl", bytes);
     const auto t0 = Clock::now();
     std::memcpy(dst, static_cast<const std::byte*>(src.data()) + srcOffset, bytes);
@@ -129,7 +132,9 @@ class ClDevice final : public hal::Device {
   }
 
   void launch(hal::Kernel& kernel, const hal::LaunchDims& dims,
-              const hal::KernelArgs& args, const perf::LaunchWork& work) override {
+              const hal::KernelArgs& args, const perf::LaunchWork& work,
+              const hal::LaunchOptions& opts = {}) override {
+    // clEnqueueNDRangeKernel validates resources at enqueue in both modes.
     if (dims.localMemBytes > profile_.localMemKb * 1024.0) {
       throw Error("clsim: CL_OUT_OF_RESOURCES (local memory request of " +
                   std::to_string(dims.localMemBytes) + " bytes exceeds " +
@@ -137,8 +142,26 @@ class ClDevice final : public hal::Device {
                   " KB local memory)",
                   kErrOutOfMemory);
     }
+    // Fault hook fires at enqueue time in both modes; injected launch
+    // failures surface at the enqueuing API call (docs/ROBUSTNESS.md).
     fault::Injector::instance().onLaunch("opencl");
     auto& k = static_cast<ClKernel&>(kernel);
+    if (stream_) {
+      hal::LaunchRecord rec;
+      rec.fn = k.fn();
+      rec.spec = k.spec();
+      rec.dims = dims;
+      rec.args = args;
+      rec.work = work;
+      rec.keepAlive = opts.keepAlive;
+      rec.concurrentWithPrevious = opts.concurrentWithPrevious;
+      if (recorder_ != nullptr) {
+        recorder_->count(obs::Counter::kKernelLaunches);
+        recorder_->count(obs::Counter::kStreamedLaunches);
+      }
+      stream_->enqueue(std::move(rec));
+      return;
+    }
     const auto t0 = Clock::now();
     hal::executeGrid(k.fn(), dims, args, fission_);
     const auto t1 = Clock::now();
@@ -166,11 +189,93 @@ class ClDevice final : public hal::Device {
     }
   }
 
-  void finish() override {}
+  void fillZero(const hal::BufferPtr& buf, std::size_t offset,
+                std::size_t bytes) override {
+    if (offset + bytes > buf->size()) {
+      throw Error("clsim: fill out of bounds", kErrOutOfRange);
+    }
+    if (stream_) {
+      hal::LaunchRecord rec;
+      rec.kind = hal::LaunchRecord::Kind::Fill;
+      rec.fillBuf = buf;
+      rec.fillOffset = offset;
+      rec.fillBytes = bytes;
+      stream_->enqueue(std::move(rec));
+      return;
+    }
+    std::memset(static_cast<std::byte*>(buf->data()) + offset, 0, bytes);
+  }
+
+  void finish() override {
+    if (!stream_) return;  // synchronous mode: nothing queued, ever
+    if (recorder_ != nullptr) {
+      obs::ScopedSpan span(*recorder_, obs::Category::kStreamFlush, "stream.flush");
+      stream_->flush();
+    } else {
+      stream_->flush();
+    }
+  }
+
+  void setAsync(bool enabled) override {
+    if (enabled && !stream_) {
+      stream_ = std::make_unique<hal::CommandStream>(
+          [this](const hal::LaunchRecord* recs, std::size_t n) {
+            executeRun(recs, n);
+          });
+    } else if (!enabled && stream_) {
+      stream_->flush();
+      stream_.reset();
+    }
+  }
+  bool asyncEnabled() const override { return stream_ != nullptr; }
 
   void setFission(unsigned n) override { fission_ = n; }
 
  private:
+  void executeRun(const hal::LaunchRecord* recs, std::size_t n) {
+    const auto t0 = Clock::now();
+    if (n == 1 && recs[0].kind == hal::LaunchRecord::Kind::Fill) {
+      std::memset(static_cast<std::byte*>(recs[0].fillBuf->data()) +
+                      recs[0].fillOffset,
+                  0, recs[0].fillBytes);
+      return;
+    }
+    std::vector<hal::GridBatchItem> items(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      items[i] = {recs[i].fn, recs[i].dims, &recs[i].args};
+    }
+    hal::executeGridBatch(items.data(), n, fission_);
+    const auto t1 = Clock::now();
+    const double measured = std::chrono::duration<double>(t1 - t0).count();
+    timeline_.measuredSeconds += measured;
+    for (std::size_t i = 0; i < n; ++i) {
+      timeline_.modeledSeconds +=
+          profile_.hostMeasured
+              ? measured / static_cast<double>(n)
+              : perf::modeledKernelSeconds(profile_, recs[i].work,
+                                           /*openCl=*/true);
+      ++timeline_.kernelLaunches;
+    }
+    if (recorder_ != nullptr && recorder_->timingEnabled()) {
+      for (std::size_t i = 0; i < n; ++i) {
+        obs::TraceEvent ev;
+        ev.category = obs::Category::kKernel;
+        ev.name = hal::kernelIdName(recs[i].spec.id);
+        ev.beginNs = recorder_->sinceEpochNs(t0);
+        ev.durNs = recorder_->sinceEpochNs(t1) - ev.beginNs;
+        ev.stream = 1;  // the async in-order queue
+        ev.groups = static_cast<std::uint64_t>(recs[i].dims.numGroups);
+        ev.device = profile_.name;
+        ev.framework = "OpenCL";
+        recorder_->recordEvent(std::move(ev));
+      }
+    }
+  }
+
+  void syncStream() {
+    if (stream_) stream_->flush();
+  }
+
   void recordCopy(const char* name, Clock::time_point t0, std::size_t bytes) {
     if (!recorder_->timingEnabled()) return;
     obs::TraceEvent ev;
@@ -190,6 +295,7 @@ class ClDevice final : public hal::Device {
   unsigned fission_ = 0;  // 0 = all compute units
   std::mutex mutex_;
   std::vector<std::unique_ptr<ClKernel>> kernels_;
+  std::unique_ptr<hal::CommandStream> stream_;
 };
 
 }  // namespace

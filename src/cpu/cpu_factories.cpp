@@ -9,8 +9,8 @@ namespace bgl::cpu {
 namespace {
 
 constexpr long kCommonFlags = BGL_FLAG_PROCESSOR_CPU | BGL_FLAG_FRAMEWORK_CPU |
-                              BGL_FLAG_COMPUTATION_SYNCH | BGL_FLAG_SCALING_MANUAL |
-                              BGL_FLAG_SCALING_ALWAYS;
+                              BGL_FLAG_COMPUTATION_SYNCH | BGL_FLAG_COMPUTATION_ASYNCH |
+                              BGL_FLAG_SCALING_MANUAL | BGL_FLAG_SCALING_ALWAYS;
 
 bool wantsSingle(const InstanceConfig& cfg) {
   return (cfg.flags & BGL_FLAG_PRECISION_SINGLE) != 0;

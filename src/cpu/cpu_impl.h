@@ -473,6 +473,15 @@ class CpuImpl : public Implementation {
   /// Kernel flavor used in trace span names ("serial", "sse", "avx", ...).
   virtual const char* kernelLabel() const { return "serial"; }
 
+  /// Level-order batching applies unless the instance was created
+  /// synchronous-only (BGL_FLAG_COMPUTATION_SYNCH without ASYNCH). The
+  /// threaded subclasses fall back to the serial per-operation path in
+  /// that case so --sync runs define the reference bit pattern.
+  bool levelOrderEnabled() const {
+    return (config_.flags & BGL_FLAG_COMPUTATION_ASYNCH) != 0 ||
+           (config_.flags & BGL_FLAG_COMPUTATION_SYNCH) == 0;
+  }
+
   /// Execute a batch of operations. The serial base runs them in order.
   virtual void executeOperations(const BglOperation* ops, int count,
                                  int cumulativeScaleIndex) {
@@ -511,19 +520,32 @@ class CpuImpl : public Implementation {
   }
 
   /// Rescaling + cumulative accumulation after an operation completes.
+  /// The level-order threaded paths split the two halves: rescales run at
+  /// the end of each level, accumulations at the end of the whole batch in
+  /// original operation order (the same FP sequence as this serial path —
+  /// see api/levelize.h).
   void finishOperationScaling(const BglOperation& op, int cumulativeScaleIndex) {
-    if (op.destinationScaleWrite != BGL_OP_NONE) {
-      obs::ScopedSpan span(recorder_, obs::Category::kRescale, "rescale");
-      recorder_.count(obs::Counter::kRescaleEvents);
-      Real* dest = partials_[op.destinationPartials].data();
-      Real* scale = scale_[op.destinationScaleWrite].data();
-      rescaleScalar<Real>(dest, scale, config_.patternCount, config_.categoryCount,
-                          config_.stateCount, 0, config_.patternCount);
-      if (cumulativeScaleIndex != BGL_OP_NONE) {
-        Real* cum = scale_[cumulativeScaleIndex].data();
-        for (int k = 0; k < config_.patternCount; ++k) cum[k] += scale[k];
-      }
+    rescaleOperation(op);
+    accumulateOperationScale(op, cumulativeScaleIndex);
+  }
+
+  void rescaleOperation(const BglOperation& op) {
+    if (op.destinationScaleWrite == BGL_OP_NONE) return;
+    obs::ScopedSpan span(recorder_, obs::Category::kRescale, "rescale");
+    recorder_.count(obs::Counter::kRescaleEvents);
+    Real* dest = partials_[op.destinationPartials].data();
+    Real* scale = scale_[op.destinationScaleWrite].data();
+    rescaleScalar<Real>(dest, scale, config_.patternCount, config_.categoryCount,
+                        config_.stateCount, 0, config_.patternCount);
+  }
+
+  void accumulateOperationScale(const BglOperation& op, int cumulativeScaleIndex) {
+    if (op.destinationScaleWrite == BGL_OP_NONE || cumulativeScaleIndex == BGL_OP_NONE) {
+      return;
     }
+    Real* cum = scale_[cumulativeScaleIndex].data();
+    const Real* scale = scale_[op.destinationScaleWrite].data();
+    for (int k = 0; k < config_.patternCount; ++k) cum[k] += scale[k];
   }
 
   /// Root-site integration over all patterns (thread-pool overrides this —

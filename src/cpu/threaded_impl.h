@@ -10,12 +10,21 @@
 //                    additionally parallelizes the root-likelihood
 //                    integration across patterns. This is the shipping
 //                    threaded model (Table III shows why).
+//
+// All three batch level-order (api/levelize.h) unless the instance was
+// created synchronous-only: operations of one dependency level dispatch
+// together — for the intra-operation threaded models as one (operation,
+// pattern-block) grid per level instead of one join per operation —
+// rescales run at the end of each level, and cumulative scale
+// accumulation is deferred to the end of the batch in original operation
+// order, so results stay bit-identical to the serial path.
 #pragma once
 
 #include <future>
 #include <thread>
 #include <vector>
 
+#include "api/levelize.h"
 #include "core/thread_pool.h"
 #include "cpu/cpu_impl.h"
 
@@ -42,22 +51,13 @@ class FuturesImpl : public CpuImpl<Real> {
  protected:
   void executeOperations(const BglOperation* ops, int count,
                          int cumulativeScaleIndex) override {
-    // Group operations into dependency levels: an operation must wait for
-    // any earlier operation whose destination it consumes. Operations
-    // within a level are topology-independent and run as futures.
-    const int patterns = this->config_.patternCount;
-    std::vector<int> level(count, 0);
-    int maxLevel = 0;
-    for (int i = 0; i < count; ++i) {
-      for (int j = 0; j < i; ++j) {
-        if (ops[j].destinationPartials == ops[i].child1Partials ||
-            ops[j].destinationPartials == ops[i].child2Partials ||
-            ops[j].destinationPartials == ops[i].destinationPartials) {
-          level[i] = std::max(level[i], level[j] + 1);
-        }
-      }
-      maxLevel = std::max(maxLevel, level[i]);
+    if (!this->levelOrderEnabled() || !scaleWritesUnique(ops, count)) {
+      CpuImpl<Real>::executeOperations(ops, count, cumulativeScaleIndex);
+      return;
     }
+    const int patterns = this->config_.patternCount;
+    std::vector<int> level;
+    const int maxLevel = levelizeOperations(ops, count, level);
 
     for (int lv = 0; lv <= maxLevel; ++lv) {
       std::vector<std::future<void>> futures;
@@ -79,8 +79,12 @@ class FuturesImpl : public CpuImpl<Real> {
       }
       for (auto& f : futures) f.get();
       for (int i = 0; i < count; ++i) {
-        if (level[i] == lv) this->finishOperationScaling(ops[i], cumulativeScaleIndex);
+        if (level[i] == lv) this->rescaleOperation(ops[i]);
       }
+    }
+    // Deferred accumulation in batch order — the serial FP sequence.
+    for (int i = 0; i < count; ++i) {
+      this->accumulateOperationScale(ops[i], cumulativeScaleIndex);
     }
   }
 
@@ -103,6 +107,64 @@ class ThreadCreateImpl : public CpuImpl<Real> {
  protected:
   void executeOperations(const BglOperation* ops, int count,
                          int cumulativeScaleIndex) override {
+    const int patterns = this->config_.patternCount;
+    if (!this->levelOrderEnabled() || !scaleWritesUnique(ops, count)) {
+      executeSerialOrder(ops, count, cumulativeScaleIndex);
+      return;
+    }
+    std::vector<int> level;
+    const int maxLevel = levelizeOperations(ops, count, level);
+    std::vector<int> members;
+    for (int lv = 0; lv <= maxLevel; ++lv) {
+      members.clear();
+      for (int i = 0; i < count; ++i) {
+        if (level[i] == lv) members.push_back(i);
+      }
+      for (int i : members) this->ensurePartials(ops[i].destinationPartials);
+      obs::ScopedSpan opSpan(this->recorder_, obs::Category::kOperation,
+                             this->kernelLabel());
+      if (patterns < kMinPatternsForThreading || threads_ <= 1) {
+        for (int i : members) this->executeOperation(ops[i], 0, patterns);
+      } else {
+        // One thread team per LEVEL rather than per operation: the grid is
+        // (operation, pattern-block) cells, handed out round-robin, so a
+        // level of small operations still costs one create/join cycle.
+        const int nt = threads_;
+        const int block = (patterns + nt - 1) / nt;
+        const int cells = static_cast<int>(members.size()) * nt;
+        const int teamSize = std::min(nt, cells);
+        auto runCells = [this, &ops, &members, nt, block, patterns,
+                         cells](int first, int stride) {
+          for (int cell = first; cell < cells; cell += stride) {
+            const int i = members[static_cast<std::size_t>(cell / nt)];
+            const int t = cell % nt;
+            const int kBegin = t * block;
+            const int kEnd = std::min(patterns, kBegin + block);
+            if (kBegin < kEnd) this->executeOperation(ops[i], kBegin, kEnd);
+          }
+        };
+        std::vector<std::thread> workers;
+        workers.reserve(teamSize - 1);
+        for (int w = 1; w < teamSize; ++w) {
+          workers.emplace_back([this, runCells, w, teamSize] {
+            obs::ScopedSpan span(this->recorder_, obs::Category::kWorker,
+                                 this->kernelLabel(), w);
+            runCells(w, teamSize);
+          });
+        }
+        runCells(0, teamSize);
+        for (auto& w : workers) w.join();
+      }
+      for (int i : members) this->rescaleOperation(ops[i]);
+    }
+    for (int i = 0; i < count; ++i) {
+      this->accumulateOperationScale(ops[i], cumulativeScaleIndex);
+    }
+  }
+
+ private:
+  void executeSerialOrder(const BglOperation* ops, int count,
+                          int cumulativeScaleIndex) {
     const int patterns = this->config_.patternCount;
     for (int i = 0; i < count; ++i) {
       this->ensurePartials(ops[i].destinationPartials);
@@ -133,7 +195,6 @@ class ThreadCreateImpl : public CpuImpl<Real> {
     }
   }
 
- private:
   int threads_ = static_cast<int>(std::thread::hardware_concurrency());
 };
 
@@ -161,18 +222,34 @@ class ThreadPoolImpl : public CpuImpl<Real> {
   void executeOperations(const BglOperation* ops, int count,
                          int cumulativeScaleIndex) override {
     const int patterns = this->config_.patternCount;
-    for (int i = 0; i < count; ++i) {
-      this->ensurePartials(ops[i].destinationPartials);
+    if (!this->levelOrderEnabled() || !scaleWritesUnique(ops, count)) {
+      executeSerialOrder(ops, count, cumulativeScaleIndex);
+      return;
+    }
+    std::vector<int> level;
+    const int maxLevel = levelizeOperations(ops, count, level);
+    std::vector<int> members;
+    for (int lv = 0; lv <= maxLevel; ++lv) {
+      members.clear();
+      for (int i = 0; i < count; ++i) {
+        if (level[i] == lv) members.push_back(i);
+      }
+      for (int i : members) this->ensurePartials(ops[i].destinationPartials);
       obs::ScopedSpan opSpan(this->recorder_, obs::Category::kOperation,
                              this->kernelLabel());
       if (patterns < kMinPatternsForThreading || threads_ <= 1) {
-        this->executeOperation(ops[i], 0, patterns);
+        for (int i : members) this->executeOperation(ops[i], 0, patterns);
       } else {
+        // One pool dispatch per LEVEL over (operation, pattern-block)
+        // cells — the work-stealing loop balances unequal operations.
         const int nt = threads_;
         const int block = (patterns + nt - 1) / nt;
+        const int cells = static_cast<int>(members.size()) * nt;
         pool_->parallelFor(
-            nt,
-            [this, &ops, i, block, patterns](int t) {
+            cells,
+            [this, &ops, &members, nt, block, patterns](int cell) {
+              const int i = members[static_cast<std::size_t>(cell / nt)];
+              const int t = cell % nt;
               const int kBegin = t * block;
               const int kEnd = std::min(patterns, kBegin + block);
               if (kBegin < kEnd) {
@@ -183,7 +260,10 @@ class ThreadPoolImpl : public CpuImpl<Real> {
             },
             static_cast<unsigned>(nt));
       }
-      this->finishOperationScaling(ops[i], cumulativeScaleIndex);
+      for (int i : members) this->rescaleOperation(ops[i]);
+    }
+    for (int i = 0; i < count; ++i) {
+      this->accumulateOperationScale(ops[i], cumulativeScaleIndex);
     }
   }
 
@@ -216,6 +296,35 @@ class ThreadPoolImpl : public CpuImpl<Real> {
   }
 
  private:
+  void executeSerialOrder(const BglOperation* ops, int count,
+                          int cumulativeScaleIndex) {
+    const int patterns = this->config_.patternCount;
+    for (int i = 0; i < count; ++i) {
+      this->ensurePartials(ops[i].destinationPartials);
+      obs::ScopedSpan opSpan(this->recorder_, obs::Category::kOperation,
+                             this->kernelLabel());
+      if (patterns < kMinPatternsForThreading || threads_ <= 1) {
+        this->executeOperation(ops[i], 0, patterns);
+      } else {
+        const int nt = threads_;
+        const int block = (patterns + nt - 1) / nt;
+        pool_->parallelFor(
+            nt,
+            [this, &ops, i, block, patterns](int t) {
+              const int kBegin = t * block;
+              const int kEnd = std::min(patterns, kBegin + block);
+              if (kBegin < kEnd) {
+                obs::ScopedSpan span(this->recorder_, obs::Category::kWorker,
+                                     this->kernelLabel(), t);
+                this->executeOperation(ops[i], kBegin, kEnd);
+              }
+            },
+            static_cast<unsigned>(nt));
+      }
+      this->finishOperationScaling(ops[i], cumulativeScaleIndex);
+    }
+  }
+
   static unsigned defaultThreads() {
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 1 ? hw - 1 : 1;  // the calling thread participates

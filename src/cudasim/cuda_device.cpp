@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "fault/fault.h"
+#include "hal/command_stream.h"
 #include "hal/workgroup_executor.h"
 #include "kernels/kernels.h"
 #include "obs/trace.h"
@@ -77,6 +78,7 @@ class CudaDevice final : public hal::Device {
     if (dstOffset + bytes > dst.size()) {
       throw Error("cudasim: HtoD out of bounds", kErrOutOfRange);
     }
+    syncStream();  // stream-ordered: queued launches complete before the copy
     fault::Injector::instance().onMemcpy("cuda", bytes);
     const auto t0 = Clock::now();
     std::memcpy(static_cast<std::byte*>(dst.data()) + dstOffset, src, bytes);
@@ -95,6 +97,7 @@ class CudaDevice final : public hal::Device {
     if (srcOffset + bytes > src.size()) {
       throw Error("cudasim: DtoH out of bounds", kErrOutOfRange);
     }
+    syncStream();  // stream-ordered: queued launches complete before the copy
     fault::Injector::instance().onMemcpy("cuda", bytes);
     const auto t0 = Clock::now();
     std::memcpy(dst, static_cast<const std::byte*>(src.data()) + srcOffset, bytes);
@@ -119,9 +122,29 @@ class CudaDevice final : public hal::Device {
   }
 
   void launch(hal::Kernel& kernel, const hal::LaunchDims& dims,
-              const hal::KernelArgs& args, const perf::LaunchWork& work) override {
+              const hal::KernelArgs& args, const perf::LaunchWork& work,
+              const hal::LaunchOptions& opts = {}) override {
+    // The fault hook fires at enqueue time in both modes, so injected
+    // launch failures surface at the enqueuing API call and counting stays
+    // deterministic regardless of stream depth (docs/ROBUSTNESS.md).
     fault::Injector::instance().onLaunch("cuda");
     auto& k = static_cast<CudaKernel&>(kernel);
+    if (stream_) {
+      hal::LaunchRecord rec;
+      rec.fn = k.fn();
+      rec.spec = k.spec();
+      rec.dims = dims;
+      rec.args = args;
+      rec.work = work;
+      rec.keepAlive = opts.keepAlive;
+      rec.concurrentWithPrevious = opts.concurrentWithPrevious;
+      if (recorder_ != nullptr) {
+        recorder_->count(obs::Counter::kKernelLaunches);
+        recorder_->count(obs::Counter::kStreamedLaunches);
+      }
+      stream_->enqueue(std::move(rec));
+      return;
+    }
     const auto t0 = Clock::now();
     hal::executeGrid(k.fn(), dims, args);
     const auto t1 = Clock::now();
@@ -149,9 +172,95 @@ class CudaDevice final : public hal::Device {
     }
   }
 
-  void finish() override {}  // launches are synchronous in the simulation
+  void fillZero(const hal::BufferPtr& buf, std::size_t offset,
+                std::size_t bytes) override {
+    if (offset + bytes > buf->size()) {
+      throw Error("cudasim: fill out of bounds", kErrOutOfRange);
+    }
+    if (stream_) {
+      hal::LaunchRecord rec;
+      rec.kind = hal::LaunchRecord::Kind::Fill;
+      rec.fillBuf = buf;
+      rec.fillOffset = offset;
+      rec.fillBytes = bytes;
+      stream_->enqueue(std::move(rec));
+      return;
+    }
+    std::memset(static_cast<std::byte*>(buf->data()) + offset, 0, bytes);
+  }
+
+  void finish() override {
+    if (!stream_) return;  // synchronous mode: nothing queued, ever
+    if (recorder_ != nullptr) {
+      obs::ScopedSpan span(*recorder_, obs::Category::kStreamFlush, "stream.flush");
+      stream_->flush();
+    } else {
+      stream_->flush();
+    }
+  }
+
+  void setAsync(bool enabled) override {
+    if (enabled && !stream_) {
+      stream_ = std::make_unique<hal::CommandStream>(
+          [this](const hal::LaunchRecord* recs, std::size_t n) {
+            executeRun(recs, n);
+          });
+    } else if (!enabled && stream_) {
+      stream_->flush();
+      stream_.reset();
+    }
+  }
+  bool asyncEnabled() const override { return stream_ != nullptr; }
 
  private:
+  /// Worker-side execution of one maximal run of fused records. Owns all
+  /// timeline/trace accounting for async launches; the API thread only
+  /// reads the timeline after a flush (finish/copy), which the stream's
+  /// mutex orders after every update made here.
+  void executeRun(const hal::LaunchRecord* recs, std::size_t n) {
+    const auto t0 = Clock::now();
+    if (n == 1 && recs[0].kind == hal::LaunchRecord::Kind::Fill) {
+      std::memset(static_cast<std::byte*>(recs[0].fillBuf->data()) +
+                      recs[0].fillOffset,
+                  0, recs[0].fillBytes);
+      return;
+    }
+    std::vector<hal::GridBatchItem> items(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      items[i] = {recs[i].fn, recs[i].dims, &recs[i].args};
+    }
+    hal::executeGridBatch(items.data(), n);
+    const auto t1 = Clock::now();
+    const double measured = std::chrono::duration<double>(t1 - t0).count();
+    timeline_.measuredSeconds += measured;
+    for (std::size_t i = 0; i < n; ++i) {
+      timeline_.modeledSeconds +=
+          profile_.hostMeasured
+              ? measured / static_cast<double>(n)
+              : perf::modeledKernelSeconds(profile_, recs[i].work,
+                                           /*openCl=*/false);
+      ++timeline_.kernelLaunches;
+    }
+    if (recorder_ != nullptr && recorder_->timingEnabled()) {
+      for (std::size_t i = 0; i < n; ++i) {
+        obs::TraceEvent ev;
+        ev.category = obs::Category::kKernel;
+        ev.name = hal::kernelIdName(recs[i].spec.id);
+        ev.beginNs = recorder_->sinceEpochNs(t0);
+        ev.durNs = recorder_->sinceEpochNs(t1) - ev.beginNs;
+        ev.stream = 1;  // the async command stream
+        ev.groups = static_cast<std::uint64_t>(recs[i].dims.numGroups);
+        ev.device = profile_.name;
+        ev.framework = "CUDA";
+        recorder_->recordEvent(std::move(ev));
+      }
+    }
+  }
+
+  void syncStream() {
+    if (stream_) stream_->flush();
+  }
+
   void recordCopy(const char* name, Clock::time_point t0, std::size_t bytes) {
     if (!recorder_->timingEnabled()) return;
     obs::TraceEvent ev;
@@ -169,6 +278,7 @@ class CudaDevice final : public hal::Device {
   perf::DeviceProfile profile_;
   std::mutex mutex_;
   std::vector<std::unique_ptr<CudaKernel>> kernels_;
+  std::unique_ptr<hal::CommandStream> stream_;
 };
 
 }  // namespace

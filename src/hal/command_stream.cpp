@@ -1,0 +1,93 @@
+#include "hal/command_stream.h"
+
+#include <utility>
+#include <vector>
+
+namespace bgl::hal {
+
+CommandStream::CommandStream(RunExecutor executor)
+    : executor_(std::move(executor)), worker_([this] { workerLoop(); }) {}
+
+CommandStream::~CommandStream() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  worker_.join();
+}
+
+void CommandStream::enqueue(LaunchRecord record) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(record));
+    maxDepth_ = std::max(maxDepth_, queue_.size() + inFlight_);
+  }
+  wake_.notify_one();
+}
+
+void CommandStream::flush() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && inFlight_ == 0; });
+  if (error_) {
+    std::exception_ptr e = std::exchange(error_, nullptr);
+    failed_ = false;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+std::size_t CommandStream::pendingDepth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size() + inFlight_;
+}
+
+std::size_t CommandStream::maxDepth() const {
+  std::lock_guard lock(mutex_);
+  return maxDepth_;
+}
+
+void CommandStream::workerLoop() {
+  std::vector<LaunchRecord> batch;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      inFlight_ = 0;
+      if (queue_.empty()) idle_.notify_all();
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      batch.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.end()));
+      queue_.clear();
+      inFlight_ = batch.size();
+    }
+
+    std::size_t i = 0;
+    while (i < batch.size()) {
+      if (failed_) {  // worker-owned after an error; discard the rest
+        break;
+      }
+      // A run is one record plus any immediate successors marked fusable.
+      // Fills never fuse (they are memset, not grid work).
+      std::size_t end = i + 1;
+      if (batch[i].kind == LaunchRecord::Kind::Kernel) {
+        while (end < batch.size() &&
+               batch[end].kind == LaunchRecord::Kind::Kernel &&
+               batch[end].concurrentWithPrevious) {
+          ++end;
+        }
+      }
+      try {
+        executor_(batch.data() + i, end - i);
+      } catch (...) {
+        std::lock_guard lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+        failed_ = true;
+      }
+      i = end;
+    }
+    batch.clear();
+  }
+}
+
+}  // namespace bgl::hal

@@ -1,0 +1,94 @@
+// In-order asynchronous command stream for the simulated device runtimes.
+//
+// In synchronous mode every hal::Device::launch pays a full thread-pool
+// fork/join barrier — O(#nodes) barriers for a whole-tree updatePartials.
+// A CommandStream instead records launches and executes them on one
+// persistent worker thread, coalescing maximal runs of launches marked
+// concurrentWithPrevious into a single fused grid dispatch
+// (executeGridBatch), so a level of independent operations costs one
+// barrier instead of one per operation.
+//
+// Ordering contract: records execute in enqueue order; a record marked
+// concurrentWithPrevious may share a dispatch with its predecessor but
+// never reorders past a record it was enqueued after. flush() returns only
+// when every prior record has executed, and rethrows the first error the
+// worker hit (later records enqueued before the flush are dropped, matching
+// the "error surfaces at the enqueuing operation or finish()" contract in
+// docs/ROBUSTNESS.md).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "hal/hal.h"
+#include "perfmodel/device_profiles.h"
+
+namespace bgl::hal {
+
+/// One recorded stream entry: a kernel launch or a device-side zero fill.
+struct LaunchRecord {
+  enum class Kind { Kernel, Fill };
+  Kind kind = Kind::Kernel;
+
+  // Kernel
+  KernelFn fn = nullptr;
+  KernelSpec spec;  ///< for trace naming
+  LaunchDims dims;
+  KernelArgs args;  ///< copied at enqueue; keepAlive pins indirect storage
+  perf::LaunchWork work;
+  std::shared_ptr<const void> keepAlive;
+  bool concurrentWithPrevious = false;
+
+  // Fill (the BufferPtr pins the allocation until the fill executes)
+  BufferPtr fillBuf;
+  std::size_t fillOffset = 0;
+  std::size_t fillBytes = 0;
+};
+
+class CommandStream {
+ public:
+  /// Executes one maximal run of fusable records (count >= 1). The device
+  /// supplies this; it owns timeline/trace accounting for the run.
+  using RunExecutor = std::function<void(const LaunchRecord*, std::size_t)>;
+
+  explicit CommandStream(RunExecutor executor);
+  ~CommandStream();
+
+  CommandStream(const CommandStream&) = delete;
+  CommandStream& operator=(const CommandStream&) = delete;
+
+  void enqueue(LaunchRecord record);
+
+  /// Block until every enqueued record has executed, then rethrow the first
+  /// deferred worker error if one occurred (clearing it, so the stream stays
+  /// usable afterwards).
+  void flush();
+
+  /// Records enqueued but not yet retired (diagnostic; racy by nature).
+  std::size_t pendingDepth() const;
+
+  /// High-water mark of pendingDepth over the stream's lifetime.
+  std::size_t maxDepth() const;
+
+ private:
+  void workerLoop();
+
+  RunExecutor executor_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;   // worker: work available / stop
+  std::condition_variable idle_;   // flushers: stream drained
+  std::deque<LaunchRecord> queue_;
+  std::size_t inFlight_ = 0;       // records the worker holds right now
+  std::size_t maxDepth_ = 0;
+  bool stop_ = false;
+  bool failed_ = false;            // drop records until the error is fetched
+  std::exception_ptr error_;
+  std::thread worker_;
+};
+
+}  // namespace bgl::hal

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -108,6 +109,17 @@ struct WorkGroupCtx {
 /// loop-fission lowering CPU OpenCL drivers use).
 using KernelFn = void (*)(const WorkGroupCtx&, const KernelArgs&);
 
+/// Per-launch options for command-stream execution.
+struct LaunchOptions {
+  /// Host-side storage referenced by the KernelArgs (index tables, pointer
+  /// tables). The stream keeps it alive until the launch has executed.
+  std::shared_ptr<const void> keepAlive;
+  /// When true, this launch writes no memory the *immediately preceding*
+  /// launch reads or writes, so an async stream may fuse the two into one
+  /// grid dispatch. Ignored by synchronous devices.
+  bool concurrentWithPrevious = false;
+};
+
 /// Device memory allocation handle.
 class Buffer {
  public:
@@ -163,12 +175,30 @@ class Device {
   /// Fetch (compiling and caching on first use) the kernel for `spec`.
   virtual Kernel* getKernel(const KernelSpec& spec) = 0;
 
-  /// Launch a kernel. `work` feeds the device performance model.
+  /// Launch a kernel. `work` feeds the device performance model. In the
+  /// default synchronous mode the kernel has completed when this returns;
+  /// with async mode enabled (setAsync) it is an enqueue onto the device's
+  /// in-order command stream and errors may surface at a later launch,
+  /// copy, or finish().
   virtual void launch(Kernel& kernel, const LaunchDims& dims,
-                      const KernelArgs& args, const perf::LaunchWork& work) = 0;
+                      const KernelArgs& args, const perf::LaunchWork& work,
+                      const LaunchOptions& opts = {}) = 0;
+
+  /// Zero `bytes` bytes of `buf` starting at `offset` on the device, without
+  /// staging a host-side source. Default: direct memset of backing storage.
+  /// Async devices may defer the fill; the shared_ptr pins the allocation.
+  virtual void fillZero(const BufferPtr& buf, std::size_t offset,
+                        std::size_t bytes) {
+    std::memset(static_cast<std::byte*>(buf->data()) + offset, 0, bytes);
+  }
 
   /// Block until all queued work completes.
   virtual void finish() = 0;
+
+  /// Switch the device into (or out of) asynchronous command-stream mode.
+  /// Devices without stream support ignore this and stay synchronous.
+  virtual void setAsync(bool /*enabled*/) {}
+  virtual bool asyncEnabled() const { return false; }
 
   /// Restrict execution to `n` host workers (OpenCL device fission;
   /// ignored by devices that do not support it).

@@ -35,4 +35,51 @@ void executeGrid(KernelFn fn, const LaunchDims& dims, const KernelArgs& args,
       maxWorkers == 0 ? 0 : maxWorkers);
 }
 
+void executeGridBatch(const GridBatchItem* items, std::size_t count,
+                      unsigned maxWorkers) {
+  if (count == 0) return;
+  if (count == 1) {
+    executeGrid(items[0].fn, items[0].dims, *items[0].args, maxWorkers);
+    return;
+  }
+
+  // Concatenate the items' group ranges into one global group space.
+  std::vector<int> offsets(count + 1, 0);
+  std::size_t maxLocalMem = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    offsets[i + 1] = offsets[i] + std::max(0, items[i].dims.numGroups);
+    maxLocalMem = std::max(maxLocalMem, items[i].dims.localMemBytes);
+  }
+  const int totalGroups = offsets[count];
+  if (totalGroups <= 0) return;
+
+  auto& pool = globalThreadPool();
+  unsigned workers = maxWorkers == 0 ? pool.size() + 1 : maxWorkers;
+  const int chunks = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(workers) * 4,
+                            static_cast<std::size_t>(totalGroups)));
+  const int groupsPerChunk = (totalGroups + chunks - 1) / chunks;
+
+  pool.parallelFor(
+      chunks,
+      [&](int chunk) {
+        std::vector<std::byte> localMem(maxLocalMem);
+        const int begin = chunk * groupsPerChunk;
+        const int end = std::min(totalGroups, begin + groupsPerChunk);
+        std::size_t item = 0;
+        for (int g = begin; g < end; ++g) {
+          while (g >= offsets[item + 1]) ++item;
+          const GridBatchItem& it = items[item];
+          WorkGroupCtx ctx;
+          ctx.groupId = g - offsets[item];
+          ctx.groupSize = it.dims.groupSize;
+          ctx.numGroups = it.dims.numGroups;
+          ctx.localMem = it.dims.localMemBytes ? localMem.data() : nullptr;
+          ctx.localMemBytes = it.dims.localMemBytes;
+          it.fn(ctx, *it.args);
+        }
+      },
+      maxWorkers == 0 ? 0 : maxWorkers);
+}
+
 }  // namespace bgl::hal

@@ -16,4 +16,19 @@ namespace bgl::hal {
 void executeGrid(KernelFn fn, const LaunchDims& dims, const KernelArgs& args,
                  unsigned maxWorkers = 0);
 
+/// One launch inside a fused grid dispatch.
+struct GridBatchItem {
+  KernelFn fn = nullptr;
+  LaunchDims dims;
+  const KernelArgs* args = nullptr;
+};
+
+/// Execute several mutually independent launches as ONE grid dispatch: the
+/// items' groups are concatenated into a single global group space and run
+/// under a single fork/join, so a batch of n launches pays one barrier
+/// instead of n. Each group sees exactly the ctx it would have seen in a
+/// standalone executeGrid call for its item.
+void executeGridBatch(const GridBatchItem* items, std::size_t count,
+                      unsigned maxWorkers = 0);
+
 }  // namespace bgl::hal

@@ -24,6 +24,9 @@
 //    b3 child2 partials (Real*) or states (int32*)
 //    b4 child2 transition matrices [C][S][S]
 //    i0 patterns  i1 categories  i2 states  i3 patternsPerGroup
+//    Fused level batch (i4 = op count > 0): b0..b4 are ignored; b5 is a
+//    pointer table with 5 entries per op (dest, child1, m1, child2, m2)
+//    and the grid is opCount * patternBlocks * categories groups.
 //
 //  TransitionMatrices / TransitionMatricesDerivs
 //    b0 dest P  [C][S][S]       (derivs: b4 dest P', b5 dest P'')
@@ -31,6 +34,11 @@
 //    b2 eigenvalues [S]
 //    b3 category rates [C]
 //    i0 categories  i1 states  r0 edge length
+//    Edge batch (i2 = edge count > 0): b0 is the matrix pool base, b6 the
+//    per-edge lengths (Real[count]), b7 int32 matrix-pool indices with
+//    stride i3 reals; grid = count * categories. For derivs the index
+//    array has three count-long sections (P, P', P'') and b4/b5 are
+//    ignored.
 //
 //  RootLikelihood
 //    b0 root partials [C][P][S]
@@ -60,15 +68,24 @@
 //
 //  AccumulateScale
 //    b0 cumulative [P]  b1 source [P]  i0 patterns  i1 sign (+1/-1)
+//    Batched multi-group (i2 = source count > 0): b1 is the scale pool
+//    base, b2 int32 scale-buffer indices with stride i3 reals, grid =
+//    pattern blocks of i4 patterns; sources accumulate in array order
+//    (bit-identical to the serial single-source sequence).
 //
 //  ResetScale
 //    b0 cumulative [P]  i0 patterns
+//    Multi-group (i1 = patterns per group > 0): grid over pattern blocks.
 //
 //  SumSiteLikelihoods
 //    b0 site log-likelihoods [P] (Real)
 //    b1 pattern weights [P] (Real)
 //    b2 out (double[1])
 //    i0 patterns
+//    Two-phase: phase 1 (i1 = block size > 0) writes per-block partial
+//    sums to b2[group]; phase 2 (i2 = block count > 0) has group 0 sum
+//    the doubles at b0 in ascending order into b2[0]. Fixed block size
+//    per pattern count => deterministic bracketing everywhere.
 #pragma once
 
 #include "hal/hal.h"

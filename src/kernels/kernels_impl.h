@@ -63,14 +63,41 @@ void partialsKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
   const int ppg = static_cast<int>(args.ints[3]);
   const int patternBlocks = (patterns + ppg - 1) / ppg;
 
-  const int pb = wg.groupId % patternBlocks;
-  const int c = wg.groupId / patternBlocks;
+  // Fused level launch (ints[4] = operation count): groups come in spans of
+  // patternBlocks * categories, one span per operation, with each op's five
+  // buffer pointers in the table at buffers[5]. Each group then computes
+  // exactly what it would in a standalone launch for its operation, so a
+  // fused level is bit-identical to the per-op sequence.
+  const int batchOps = static_cast<int>(args.ints[4]);
+  int gid = wg.groupId;
+  Real* BGL_RESTRICT dest;
+  const void* child1;
+  const Real* BGL_RESTRICT gm1;
+  const void* child2;
+  const Real* BGL_RESTRICT gm2;
+  if (batchOps > 0) {
+    const int categories = static_cast<int>(args.ints[1]);
+    const int blocksPerOp = patternBlocks * categories;
+    const int op = gid / blocksPerOp;
+    if (op >= batchOps) return;
+    gid -= op * blocksPerOp;
+    const void* const* tbl = static_cast<const void* const*>(args.buffers[5]) +
+                             static_cast<std::size_t>(op) * 5;
+    dest = static_cast<Real*>(const_cast<void*>(tbl[0]));
+    child1 = tbl[1];
+    gm1 = static_cast<const Real*>(tbl[2]);
+    child2 = tbl[3];
+    gm2 = static_cast<const Real*>(tbl[4]);
+  } else {
+    dest = static_cast<Real*>(args.buffers[0]);
+    child1 = args.buffers[1];
+    gm1 = static_cast<const Real*>(args.buffers[2]);
+    child2 = args.buffers[3];
+    gm2 = static_cast<const Real*>(args.buffers[4]);
+  }
 
-  Real* BGL_RESTRICT dest = static_cast<Real*>(args.buffers[0]);
-  const void* child1 = args.buffers[1];
-  const Real* BGL_RESTRICT gm1 = static_cast<const Real*>(args.buffers[2]);
-  const void* child2 = args.buffers[3];
-  const Real* BGL_RESTRICT gm2 = static_cast<const Real*>(args.buffers[4]);
+  const int pb = gid % patternBlocks;
+  const int c = gid / patternBlocks;
 
   const std::size_t matStride = static_cast<std::size_t>(states) * states;
   const Real* m1 = gm1 + static_cast<std::size_t>(c) * matStride;
@@ -226,6 +253,12 @@ void transitionMatrixKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
   int c = wg.groupId;
   double t = args.reals[0];
   Real* BGL_RESTRICT dest = static_cast<Real*>(args.buffers[0]);
+  Real* d1base = nullptr;
+  Real* d2base = nullptr;
+  if constexpr (WithDerivs) {
+    d1base = static_cast<Real*>(args.buffers[4]);
+    d2base = static_cast<Real*>(args.buffers[5]);
+  }
   if (batchCount > 0) {
     const int edge = wg.groupId / categories;
     if (edge >= batchCount) return;
@@ -233,8 +266,15 @@ void transitionMatrixKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
     const auto* lengths = static_cast<const Real*>(args.buffers[6]);
     const auto* indices = static_cast<const std::int32_t*>(args.buffers[7]);
     t = static_cast<double>(lengths[edge]);
-    dest += static_cast<std::size_t>(indices[edge]) *
-            static_cast<std::size_t>(args.ints[3]);
+    const std::size_t stride = static_cast<std::size_t>(args.ints[3]);
+    if constexpr (WithDerivs) {
+      // Derivative batch: indices carries three count-long sections —
+      // probability, d1 and d2 matrix-buffer indices — all offsets into
+      // the matrix pool at buffers[0].
+      d1base = dest + static_cast<std::size_t>(indices[batchCount + edge]) * stride;
+      d2base = dest + static_cast<std::size_t>(indices[2 * batchCount + edge]) * stride;
+    }
+    dest += static_cast<std::size_t>(indices[edge]) * stride;
   }
 
   const Real* BGL_RESTRICT cijk = static_cast<const Real*>(args.buffers[1]);
@@ -247,8 +287,8 @@ void transitionMatrixKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
   Real* d1 = nullptr;
   Real* d2 = nullptr;
   if constexpr (WithDerivs) {
-    d1 = static_cast<Real*>(args.buffers[4]) + static_cast<std::size_t>(c) * matStride;
-    d2 = static_cast<Real*>(args.buffers[5]) + static_cast<std::size_t>(c) * matStride;
+    d1 = d1base + static_cast<std::size_t>(c) * matStride;
+    d2 = d2base + static_cast<std::size_t>(c) * matStride;
   }
 
   const double rt = static_cast<double>(rates[c]) * t;
@@ -461,6 +501,31 @@ void accumulateScaleKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
   const int patterns = static_cast<int>(args.ints[0]);
   const Real sign = static_cast<Real>(args.ints[1]);
   Real* BGL_RESTRICT cum = static_cast<Real*>(args.buffers[0]);
+
+  // Batched multi-group mode (ints[2] = source count): buffers[1] is the
+  // scale pool base, buffers[2] an int32 array of `count` scale-buffer
+  // indices (stride ints[3] reals), grid = pattern blocks of ints[4]
+  // patterns. Each pattern accumulates its sources in array order — the
+  // same per-element FP sequence as `count` serial single-source launches,
+  // so the result is bit-identical.
+  const int count = static_cast<int>(args.ints[2]);
+  if (count > 0) {
+    const Real* BGL_RESTRICT pool = static_cast<const Real*>(args.buffers[1]);
+    const auto* BGL_RESTRICT idx = static_cast<const std::int32_t*>(args.buffers[2]);
+    const std::size_t stride = static_cast<std::size_t>(args.ints[3]);
+    const int ppg = static_cast<int>(args.ints[4]);
+    const int kBegin = wg.groupId * ppg;
+    const int kEnd = std::min(patterns, kBegin + ppg);
+    for (int k = kBegin; k < kEnd; ++k) {
+      Real acc = cum[k];
+      for (int i = 0; i < count; ++i) {
+        acc += sign * pool[static_cast<std::size_t>(idx[i]) * stride + k];
+      }
+      cum[k] = acc;
+    }
+    return;
+  }
+
   const Real* BGL_RESTRICT src = static_cast<const Real*>(args.buffers[1]);
   if (wg.groupId != 0) return;
   for (int k = 0; k < patterns; ++k) cum[k] += sign * src[k];
@@ -470,6 +535,15 @@ template <typename Real>
 void resetScaleKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
   const int patterns = static_cast<int>(args.ints[0]);
   Real* BGL_RESTRICT cum = static_cast<Real*>(args.buffers[0]);
+  // Multi-group mode (ints[1] = patterns per group); legacy single-group
+  // launches (ints[1] == 0) zero the whole buffer from group 0.
+  const int ppg = static_cast<int>(args.ints[1]);
+  if (ppg > 0) {
+    const int kBegin = wg.groupId * ppg;
+    const int kEnd = std::min(patterns, kBegin + ppg);
+    for (int k = kBegin; k < kEnd; ++k) cum[k] = Real(0);
+    return;
+  }
   if (wg.groupId != 0) return;
   for (int k = 0; k < patterns; ++k) cum[k] = Real(0);
 }
@@ -480,6 +554,34 @@ void sumSiteLikelihoodsKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
   const Real* BGL_RESTRICT site = static_cast<const Real*>(args.buffers[0]);
   const Real* BGL_RESTRICT weights = static_cast<const Real*>(args.buffers[1]);
   double* BGL_RESTRICT out = static_cast<double*>(args.buffers[2]);
+
+  // Two-phase multi-group reduction. Phase 1 (ints[1] = block size > 0):
+  // group g writes the partial sum of its pattern block to out[g]. Phase 2
+  // (ints[2] = block count > 0): group 0 combines the partials at
+  // buffers[0] in ascending block order. The block size is a fixed
+  // function of the pattern count, so every implementation and both
+  // sync/async paths produce the identical bracketing.
+  const int blockSize = static_cast<int>(args.ints[1]);
+  if (blockSize > 0) {
+    const int kBegin = wg.groupId * blockSize;
+    const int kEnd = std::min(patterns, kBegin + blockSize);
+    if (kBegin >= kEnd) return;
+    double sum = 0.0;
+    for (int k = kBegin; k < kEnd; ++k)
+      sum += static_cast<double>(weights[k]) * static_cast<double>(site[k]);
+    out[wg.groupId] = sum;
+    return;
+  }
+  const int blockCount = static_cast<int>(args.ints[2]);
+  if (blockCount > 0) {
+    if (wg.groupId != 0) return;
+    const double* BGL_RESTRICT partial = static_cast<const double*>(args.buffers[0]);
+    double sum = 0.0;
+    for (int b = 0; b < blockCount; ++b) sum += partial[b];
+    out[0] = sum;
+    return;
+  }
+
   if (wg.groupId != 0) return;
   double sum = 0.0;
   for (int k = 0; k < patterns; ++k)

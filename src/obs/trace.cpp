@@ -15,6 +15,7 @@ const char* counterName(Counter c) {
     case Counter::kKernelLaunches: return "kernelLaunches";
     case Counter::kBytesIn: return "bytesCopiedIn";
     case Counter::kBytesOut: return "bytesCopiedOut";
+    case Counter::kStreamedLaunches: return "streamedLaunches";
     case Counter::kCount: break;
   }
   return "unknown";
@@ -32,6 +33,7 @@ const char* categoryName(Category c) {
     case Category::kKernel: return "kernel";
     case Category::kMemcpy: return "memcpy";
     case Category::kWorker: return "worker";
+    case Category::kStreamFlush: return "stream.flush";
     case Category::kCount: break;
   }
   return "unknown";

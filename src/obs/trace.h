@@ -35,6 +35,7 @@ enum class Counter : int {
   kKernelLaunches,          ///< device kernel launches (accelerator instances)
   kBytesIn,                 ///< bytes staged into the instance (host->device)
   kBytesOut,                ///< bytes read back out (device->host)
+  kStreamedLaunches,        ///< launches enqueued on an async command stream
   kCount
 };
 const char* counterName(Counter c);
@@ -52,6 +53,7 @@ enum class Category : int {
   kKernel,     ///< device kernel execution (simulated runtimes)
   kMemcpy,     ///< host<->device transfer (simulated runtimes)
   kWorker,     ///< per-thread pattern block (threaded implementations)
+  kStreamFlush,///< waiting for an async command stream to drain
   kCount
 };
 const char* categoryName(Category c);

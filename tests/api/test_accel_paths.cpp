@@ -128,5 +128,76 @@ INSTANTIATE_TEST_SUITE_P(Frameworks, AccelPaths,
                                            BGL_FLAG_FRAMEWORK_OPENCL,
                                            BGL_FLAG_THREADING_NONE));
 
+// Level-order batching collapses a whole-tree updatePartials from one
+// kernel launch per node to one fused launch per dependency level: a
+// balanced 16-tip tree is 15 operations but only 4 levels.
+class AsyncBatching : public ::testing::TestWithParam<long> {};
+
+TEST_P(AsyncBatching, LaunchCountIsTreeDepthNotNodeCount) {
+  auto runTree = [&](long mode, BglTimeline& timeline, BglStatistics& stats) {
+    const int tips = 16, patterns = 64;
+    bgl::xx::Instance inst(tips, 15, tips, 4, patterns, 1, 31, 1, 0, {}, 0,
+                           GetParam() | mode);
+    for (int t = 0; t < tips; ++t) {
+      std::vector<int> states(patterns);
+      for (int k = 0; k < patterns; ++k) states[k] = (t + k) % 4;
+      inst.setTipStates(t, states);
+    }
+    const JC69Model model;
+    const auto es = model.eigenSystem();
+    inst.setEigenDecomposition(0, es.evec, es.ivec, es.eval);
+    inst.setStateFrequencies(0, model.frequencies());
+    inst.setCategoryWeights(0, {1.0});
+    inst.setCategoryRates({1.0});
+    inst.setPatternWeights(std::vector<double>(patterns, 1.0));
+    std::vector<int> nodes(30);
+    std::vector<double> lengths(30, 0.1);
+    for (int i = 0; i < 30; ++i) nodes[i] = i;
+    EXPECT_EQ(bglUpdateTransitionMatrices(inst.id(), 0, nodes.data(), nullptr,
+                                          nullptr, lengths.data(), 30),
+              BGL_SUCCESS);
+
+    // Balanced post-order batch: 8 cherries, then 4, 2, 1 internal joins.
+    std::vector<BglOperation> ops;
+    int next = tips;
+    std::vector<int> prev(tips);
+    for (int t = 0; t < tips; ++t) prev[t] = t;
+    while (prev.size() > 1) {
+      std::vector<int> cur;
+      for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+        const int dest = next++;
+        ops.push_back(BglOperation{dest, BGL_OP_NONE, BGL_OP_NONE, prev[i],
+                                   prev[i], prev[i + 1], prev[i + 1]});
+        cur.push_back(dest);
+      }
+      prev = cur;
+    }
+    EXPECT_EQ(ops.size(), 15u);
+
+    EXPECT_EQ(bglResetTimeline(inst.id()), BGL_SUCCESS);
+    inst.updatePartials(ops);
+    EXPECT_EQ(bglGetTimeline(inst.id(), &timeline), BGL_SUCCESS);
+    EXPECT_EQ(bglGetStatistics(inst.id(), &stats), BGL_SUCCESS);
+    const double logL = inst.rootLogLikelihood(30);
+    EXPECT_TRUE(std::isfinite(logL));
+    return logL;
+  };
+
+  BglTimeline syncTl{}, asyncTl{};
+  BglStatistics syncStats{}, asyncStats{};
+  const double syncL = runTree(BGL_FLAG_COMPUTATION_SYNCH, syncTl, syncStats);
+  const double asyncL = runTree(BGL_FLAG_COMPUTATION_ASYNCH, asyncTl, asyncStats);
+
+  EXPECT_EQ(syncL, asyncL);  // bit-identical results
+  EXPECT_EQ(syncTl.kernelLaunches, 15u);   // one launch per node
+  EXPECT_EQ(asyncTl.kernelLaunches, 4u);   // one launch per level
+  EXPECT_EQ(syncStats.streamedLaunches, 0u);
+  EXPECT_GE(asyncStats.streamedLaunches, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Frameworks, AsyncBatching,
+                         ::testing::Values(BGL_FLAG_FRAMEWORK_CUDA,
+                                           BGL_FLAG_FRAMEWORK_OPENCL));
+
 }  // namespace
 }  // namespace bgl

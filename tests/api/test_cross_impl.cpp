@@ -112,6 +112,63 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(4, 20, 61)),
     crossImplName);
 
+// The PR 5 determinism contract (docs/PERFORMANCE.md): the asynchronous
+// level-order batched path must reproduce the synchronous per-operation
+// path BIT-FOR-BIT on every implementation family — same tree, same data,
+// scaling on so the deferred cumulative accumulation is exercised too.
+struct SyncAsyncConfig {
+  const char* label;
+  long requirementFlags;
+  int resource;
+};
+
+const SyncAsyncConfig kSyncAsyncConfigs[] = {
+    {"cpu-serial", BGL_FLAG_THREADING_NONE | BGL_FLAG_VECTOR_NONE, perf::kHostCpu},
+    {"cpu-futures", BGL_FLAG_THREADING_FUTURES, perf::kHostCpu},
+    {"cpu-thread-create", BGL_FLAG_THREADING_THREAD_CREATE, perf::kHostCpu},
+    {"cpu-thread-pool", BGL_FLAG_THREADING_THREAD_POOL, perf::kHostCpu},
+    {"cuda", BGL_FLAG_FRAMEWORK_CUDA, perf::kQuadroP5000},
+    {"opencl", BGL_FLAG_FRAMEWORK_OPENCL, perf::kRadeonR9Nano},
+};
+
+class SyncAsyncParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(SyncAsyncParity, LogLikelihoodBitIdentical) {
+  const SyncAsyncConfig& config = kSyncAsyncConfigs[GetParam()];
+  Rng rng(4242);
+  auto tree = phylo::Tree::random(12, rng, 0.1);
+  HKY85Model model(2.0, {0.3, 0.25, 0.2, 0.25});
+  auto data = phylo::simulatePatterns(tree, model, 600, rng);
+
+  auto run = [&](long mode) {
+    phylo::LikelihoodOptions opts;
+    opts.categories = 4;
+    opts.requirementFlags = config.requirementFlags | mode;
+    opts.resources = {config.resource};
+    opts.useScaling = true;  // exercise deferred cumulative accumulation
+    phylo::TreeLikelihood like(tree, model, data, opts);
+    return like.logLikelihood();
+  };
+
+  const double sync = run(BGL_FLAG_COMPUTATION_SYNCH);
+  const double async = run(BGL_FLAG_COMPUTATION_ASYNCH);
+  ASSERT_TRUE(std::isfinite(sync)) << config.label;
+  EXPECT_EQ(sync, async) << config.label;  // bitwise, not NEAR
+}
+
+std::string syncAsyncName(const ::testing::TestParamInfo<int>& info) {
+  std::string name = kSyncAsyncConfigs[info.param].label;
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllImplementations, SyncAsyncParity,
+    ::testing::Range(0, static_cast<int>(std::size(kSyncAsyncConfigs))),
+    syncAsyncName);
+
 TEST(CrossImpl, SiteLogLikelihoodsAgreeAcrossFrameworks) {
   Rng rng(77);
   auto tree = phylo::Tree::random(6, rng, 0.1);

@@ -83,6 +83,46 @@ TEST_F(FaultInject, LaunchFaultFiresOnNthLaunch) {
   EXPECT_EQ(bglFinalizeInstance(inst), BGL_SUCCESS);
 }
 
+TEST_F(FaultInject, DeferredLaunchFaultSurfacesAtEnqueuingCall) {
+  // Async instances enqueue launches onto a command stream, but injected
+  // launch faults still fire at the ENQUEUING call — not at some later
+  // finish() — per the contract in docs/ROBUSTNESS.md. Both modes must
+  // show the identical SUCCESS / HARDWARE / SUCCESS pattern, and the
+  // stream must remain usable after the failure.
+  for (long mode : {BGL_FLAG_COMPUTATION_ASYNCH, BGL_FLAG_COMPUTATION_SYNCH}) {
+    const int resource = 0;
+    const int inst = bglCreateInstance(
+        4, 3, 4, 4, 16, 1, 6, 2, 0, &resource, 1, 0,
+        BGL_FLAG_FRAMEWORK_CUDA | BGL_FLAG_PRECISION_DOUBLE | mode, nullptr);
+    ASSERT_GE(inst, 0);
+    std::vector<double> evec(16, 0.0), ivec(16, 0.0), eval(4, 0.0);
+    for (int i = 0; i < 4; ++i) evec[i * 4 + i] = ivec[i * 4 + i] = 1.0;
+    ASSERT_EQ(bglSetEigenDecomposition(inst, 0, evec.data(), ivec.data(),
+                                       eval.data()),
+              BGL_SUCCESS);
+    const int index = 1;
+    const double length = 0.1;
+    ASSERT_EQ(bglSetFaultSpec("launch:2"), BGL_SUCCESS);
+    EXPECT_EQ(bglUpdateTransitionMatrices(inst, 0, &index, nullptr, nullptr,
+                                          &length, 1),
+              BGL_SUCCESS)
+        << "mode=" << mode;
+    EXPECT_EQ(bglUpdateTransitionMatrices(inst, 0, &index, nullptr, nullptr,
+                                          &length, 1),
+              BGL_ERROR_HARDWARE)
+        << "mode=" << mode;
+    EXPECT_NE(lastError().find("launch"), std::string::npos);
+    EXPECT_EQ(bglUpdateTransitionMatrices(inst, 0, &index, nullptr, nullptr,
+                                          &length, 1),
+              BGL_SUCCESS)
+        << "mode=" << mode;
+    // The stream drains cleanly after the injected failure.
+    EXPECT_EQ(bglWaitForComputation(inst), BGL_SUCCESS);
+    ASSERT_EQ(bglSetFaultSpec(""), BGL_SUCCESS);
+    EXPECT_EQ(bglFinalizeInstance(inst), BGL_SUCCESS);
+  }
+}
+
 TEST_F(FaultInject, AllocBudgetFailsInstanceCreation) {
   ASSERT_EQ(bglSetFaultSpec("alloc:1024"), BGL_SUCCESS);
   const int inst = makeInstance(BGL_FLAG_FRAMEWORK_CUDA, /*patterns=*/512);

@@ -13,9 +13,9 @@
 
 namespace {
 
-int makeAsynchInstance(BglInstanceDetails* info) {
+int makeFpgaInstance(BglInstanceDetails* info) {
   return bglCreateInstance(4, 3, 4, 4, 16, 1, 6, 1, 0, nullptr, 0, 0,
-                           BGL_FLAG_COMPUTATION_ASYNCH, info);
+                           BGL_FLAG_PROCESSOR_FPGA, info);
 }
 
 TEST(Plugin, RejectsBadPaths) {
@@ -27,20 +27,20 @@ TEST(Plugin, LoadsDemoPluginAndServesRequests) {
   const char* path = BGL_DEMO_PLUGIN_PATH;
   ASSERT_NE(path[0], '\0') << "demo plugin path not configured";
 
-  // Before loading, nothing serves the ASYNCH capability the plugin claims.
+  // Before loading, nothing serves the FPGA capability the plugin claims.
   BglInstanceDetails info{};
-  EXPECT_EQ(makeAsynchInstance(&info), BGL_ERROR_NO_IMPLEMENTATION);
+  EXPECT_EQ(makeFpgaInstance(&info), BGL_ERROR_NO_IMPLEMENTATION);
 
   ASSERT_EQ(bglLoadPlugin(path), 1);
 
-  const int instance = makeAsynchInstance(&info);
+  const int instance = makeFpgaInstance(&info);
   ASSERT_GE(instance, 0);
   EXPECT_STREQ(info.implName, "plugin-demo-serial");
   bglFinalizeInstance(instance);
 
   // The resource list reflects the new capability.
   EXPECT_TRUE(bglGetResourceList()->list[0].supportFlags &
-              BGL_FLAG_COMPUTATION_ASYNCH);
+              BGL_FLAG_PROCESSOR_FPGA);
 }
 
 TEST(Plugin, PluginImplementationComputesCorrectly) {
@@ -65,7 +65,7 @@ TEST(Plugin, PluginImplementationComputesCorrectly) {
     inst.updatePartials({BglOperation{2, BGL_OP_NONE, BGL_OP_NONE, 0, 0, 1, 1}});
     return inst.rootLogLikelihood(2);
   };
-  const double viaPlugin = runWith(BGL_FLAG_COMPUTATION_ASYNCH);
+  const double viaPlugin = runWith(BGL_FLAG_PROCESSOR_FPGA);
   const double viaBuiltin = runWith(BGL_FLAG_THREADING_NONE);
   EXPECT_DOUBLE_EQ(viaPlugin, viaBuiltin);
 }

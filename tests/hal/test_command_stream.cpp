@@ -1,0 +1,201 @@
+// Semantics of the asynchronous in-order command stream (the PR's launch
+// model): enqueue order is execution order, maximal concurrent runs fuse
+// into one dispatch, flush() drains and surfaces deferred errors, and the
+// device-level async mode defers work until finish()/readback.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "clsim/cl_runtime.h"
+#include "cudasim/cuda_device.h"
+#include "hal/command_stream.h"
+#include "perfmodel/device_profiles.h"
+
+namespace bgl {
+namespace {
+
+hal::LaunchRecord kernelRecord(int id, bool concurrent) {
+  hal::LaunchRecord rec;
+  rec.kind = hal::LaunchRecord::Kind::Kernel;
+  rec.args.ints[0] = id;
+  rec.concurrentWithPrevious = concurrent;
+  return rec;
+}
+
+/// Collects the (id, run-length) structure the worker delivers. A `gate`
+/// promise lets tests hold the worker inside the first run so subsequent
+/// enqueues deterministically pile up behind it.
+struct RunLog {
+  std::vector<std::vector<int>> runs;
+  std::promise<void> gate;
+
+  hal::CommandStream::RunExecutor executor() {
+    return [this](const hal::LaunchRecord* recs, std::size_t n) {
+      std::vector<int> run;
+      for (std::size_t i = 0; i < n; ++i) {
+        run.push_back(static_cast<int>(recs[i].args.ints[0]));
+      }
+      if (!run.empty() && run.front() == -1) gate.get_future().wait();
+      runs.push_back(std::move(run));
+    };
+  }
+};
+
+TEST(CommandStream, ExecutesInEnqueueOrder) {
+  RunLog log;
+  {
+    hal::CommandStream stream(log.executor());
+    for (int i = 0; i < 16; ++i) stream.enqueue(kernelRecord(i, false));
+    stream.flush();
+  }
+  std::vector<int> flat;
+  for (const auto& run : log.runs) flat.insert(flat.end(), run.begin(), run.end());
+  ASSERT_EQ(flat.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(flat[static_cast<std::size_t>(i)], i);
+}
+
+TEST(CommandStream, ConcurrentRunsCoalesceIntoOneDispatch) {
+  RunLog log;
+  hal::CommandStream stream(log.executor());
+  // Hold the worker in the gate record so the level below queues up whole.
+  stream.enqueue(kernelRecord(-1, false));
+  stream.enqueue(kernelRecord(0, false));
+  stream.enqueue(kernelRecord(1, true));
+  stream.enqueue(kernelRecord(2, true));
+  stream.enqueue(kernelRecord(3, false));  // new run: not concurrent
+  stream.enqueue(kernelRecord(4, true));
+  log.gate.set_value();
+  stream.flush();
+  ASSERT_EQ(log.runs.size(), 3u);
+  EXPECT_EQ(log.runs[0], std::vector<int>({-1}));
+  EXPECT_EQ(log.runs[1], std::vector<int>({0, 1, 2}));
+  EXPECT_EQ(log.runs[2], std::vector<int>({3, 4}));
+}
+
+TEST(CommandStream, FillRecordsNeverFuse) {
+  RunLog log;
+  hal::CommandStream stream(log.executor());
+  stream.enqueue(kernelRecord(-1, false));
+  stream.enqueue(kernelRecord(0, false));
+  hal::LaunchRecord fill;
+  fill.kind = hal::LaunchRecord::Kind::Fill;
+  fill.args.ints[0] = 100;
+  fill.concurrentWithPrevious = true;  // must be ignored for fills
+  stream.enqueue(fill);
+  stream.enqueue(kernelRecord(1, true));  // cannot fuse across the fill
+  log.gate.set_value();
+  stream.flush();
+  ASSERT_EQ(log.runs.size(), 4u);
+  EXPECT_EQ(log.runs[1], std::vector<int>({0}));
+  EXPECT_EQ(log.runs[2], std::vector<int>({100}));
+  EXPECT_EQ(log.runs[3], std::vector<int>({1}));
+}
+
+TEST(CommandStream, TracksQueueDepthHighWaterMark) {
+  RunLog log;
+  hal::CommandStream stream(log.executor());
+  stream.enqueue(kernelRecord(-1, false));
+  for (int i = 0; i < 8; ++i) stream.enqueue(kernelRecord(i, false));
+  EXPECT_GE(stream.pendingDepth(), 8u);
+  log.gate.set_value();
+  stream.flush();
+  EXPECT_EQ(stream.pendingDepth(), 0u);
+  EXPECT_GE(stream.maxDepth(), 8u);
+}
+
+TEST(CommandStream, FlushRethrowsDeferredErrorAndDropsLaterRecords) {
+  std::vector<int> executed;
+  hal::CommandStream stream([&executed](const hal::LaunchRecord* recs,
+                                        std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const int id = static_cast<int>(recs[i].args.ints[0]);
+      if (id == 13) throw std::runtime_error("injected worker failure");
+      executed.push_back(id);
+    }
+  });
+  stream.enqueue(kernelRecord(1, false));
+  stream.enqueue(kernelRecord(13, false));
+  stream.enqueue(kernelRecord(2, false));  // enqueued after the failure: dropped
+  EXPECT_THROW(stream.flush(), std::runtime_error);
+  // The error is cleared: the stream remains usable afterwards.
+  stream.enqueue(kernelRecord(3, false));
+  EXPECT_NO_THROW(stream.flush());
+  EXPECT_EQ(executed, std::vector<int>({1, 3}));
+}
+
+TEST(CommandStream, DestructorDrainsWithoutFlush) {
+  std::vector<int> executed;
+  {
+    hal::CommandStream stream(
+        [&executed](const hal::LaunchRecord* recs, std::size_t n) {
+          for (std::size_t i = 0; i < n; ++i) {
+            executed.push_back(static_cast<int>(recs[i].args.ints[0]));
+          }
+        });
+    stream.enqueue(kernelRecord(7, false));
+    stream.enqueue(kernelRecord(8, true));
+  }
+  EXPECT_EQ(executed, std::vector<int>({7, 8}));
+}
+
+// ---------------------------------------------------------------------
+// Device-level async mode: both simulated frameworks defer launches onto
+// the stream and drain at finish() / host readback, with identical results
+// and the same launch accounting as the synchronous mode.
+// ---------------------------------------------------------------------
+
+void exerciseAsyncDevice(hal::Device& dev) {
+  dev.setAsync(true);
+  EXPECT_TRUE(dev.asyncEnabled());
+
+  hal::KernelSpec spec;
+  spec.id = hal::KernelId::ResetScale;
+  spec.states = 4;
+  auto* kernel = dev.getKernel(spec);
+
+  std::vector<double> ones(256, 1.0);
+  auto buf = dev.alloc(256 * sizeof(double));
+  dev.copyToDevice(*buf, 0, ones.data(), 256 * sizeof(double));
+
+  hal::KernelArgs args;
+  args.buffers[0] = buf->data();
+  args.ints[0] = 256;
+  dev.launch(*kernel, {1, 1, 0}, args, {});
+  dev.launch(*kernel, {1, 1, 0}, args, {});
+  dev.finish();
+  EXPECT_EQ(dev.timeline().kernelLaunches, 2u);
+
+  // Readback drains the stream implicitly: the data is the kernel's output.
+  std::vector<double> out(256, -1.0);
+  dev.copyToHost(out.data(), *buf, 0, 256 * sizeof(double));
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 0.0);
+
+  // fillZero is a stream record too, ordered after the launches.
+  dev.copyToDevice(*buf, 0, ones.data(), 256 * sizeof(double));
+  dev.fillZero(buf, 0, 128 * sizeof(double));
+  dev.copyToHost(out.data(), *buf, 0, 256 * sizeof(double));
+  for (int i = 0; i < 128; ++i) EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)], 0.0);
+  for (int i = 128; i < 256; ++i) {
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)], 1.0);
+  }
+}
+
+TEST(AsyncDevice, CudaRuntimeDefersAndDrains) {
+  auto dev = cudasim::createDevice(perf::kHostCpu);
+  exerciseAsyncDevice(*dev);
+}
+
+TEST(AsyncDevice, OpenClRuntimeDefersAndDrains) {
+  auto dev = clsim::createDeviceByProfile(perf::kHostCpu);
+  exerciseAsyncDevice(*dev);
+}
+
+TEST(AsyncDevice, SynchronousRemainsTheDefault) {
+  auto dev = cudasim::createDevice(perf::kHostCpu);
+  EXPECT_FALSE(dev->asyncEnabled());
+}
+
+}  // namespace
+}  // namespace bgl

@@ -39,6 +39,12 @@ void printUsage(const char* program) {
       "  --threads N            thread count / device fission\n"
       "  --workgroup N          patterns per work-group (x86 kernels)\n"
       "  --no-fma               disable fused-multiply-add kernels\n"
+      "  --async                require the asynchronous command-stream /\n"
+      "                         level-order batched execution path (default\n"
+      "                         behavior when neither toggle is given)\n"
+      "  --sync                 require the synchronous per-operation path\n"
+      "                         (the bit-identical reference; see\n"
+      "                         docs/PERFORMANCE.md)\n"
       "  --seed N               RNG seed (default 1234)\n"
       "  --trace FILE           write a Chrome trace (chrome://tracing) JSON\n"
       "  --stats-json FILE      write per-operation counters/timings as JSON\n"
@@ -114,6 +120,13 @@ int main(int argc, char** argv) {
   if (kernel == "gpu") spec.requirementFlags |= BGL_FLAG_KERNEL_GPU_STYLE;
   if (kernel == "x86") spec.requirementFlags |= BGL_FLAG_KERNEL_X86_STYLE;
   if (args.has("no-fma")) spec.requirementFlags |= BGL_FLAG_FMA_OFF;
+
+  if (args.has("async") && args.has("sync")) {
+    std::fprintf(stderr, "error: --async and --sync are mutually exclusive\n");
+    return 1;
+  }
+  if (args.has("async")) spec.requirementFlags |= BGL_FLAG_COMPUTATION_ASYNCH;
+  if (args.has("sync")) spec.requirementFlags |= BGL_FLAG_COMPUTATION_SYNCH;
 
   std::printf("genomictest: %d tips, %d patterns, %d states, %d categories, %s\n",
               spec.tips, spec.patterns, spec.states, spec.categories,
