@@ -1,0 +1,142 @@
+// PR 6 perf smoke: the always-on observability layer (counters, gauges,
+// journal, pending-depth sampling) must be effectively free.
+//
+// Runs the Fig. 4 deep-tree genomictest workload (balanced 384-tip
+// nucleotide tree, 32 patterns, 4 rate categories, double precision — the
+// launch-overhead-bound regime of Section VIII-A, i.e. the regime where
+// per-operation instrumentation overhead is MOST visible) with the obs
+// master switch on (production default) and off (every count/gauge/journal
+// call site reduces to one relaxed atomic load), alternating rounds and
+// taking the best of each mode so scheduler noise cancels.
+//
+// Gates (non-zero exit on violation):
+//  * instrumented runtime <= 3% over uninstrumented, per implementation,
+//  * log likelihoods bit-identical between the two modes (instrumentation
+//    must never perturb results).
+//
+// Results land in BENCH_pr6.json (set BGL_BENCH_DIR to redirect).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "harness/genomictest.h"
+#include "obs/trace.h"
+
+namespace {
+
+constexpr double kMaxOverhead = 0.03;  // 3%
+// One evaluation of this workload is ~0.4 ms, well inside scheduler-jitter
+// territory, so a single best-of-7 is noisy to several percent. Alternating
+// rounds × many reps gives the minimum hundreds of samples per mode; the
+// floor it converges to is stable to well under the 3% gate.
+constexpr int kRounds = 7;  // alternating on/off rounds per config
+
+bgl::harness::RunResult runOnce(long flags) {
+  bgl::harness::ProblemSpec spec;
+  spec.tips = 384;      // deep balanced tree: 383 ops over 9 levels
+  spec.patterns = 32;   // launch-bound: per-op overhead dominates
+  spec.states = 4;
+  spec.categories = 4;
+  spec.singlePrecision = false;
+  spec.resource = 0;    // host profile: measured wall time
+  spec.requirementFlags = flags;
+  spec.reps = 50;
+  spec.warmupReps = 5;
+  return bgl::harness::runThroughput(spec);
+}
+
+struct Config {
+  const char* label;
+  long flags;
+};
+
+}  // namespace
+
+int main() {
+  using namespace bgl;
+  bench::printHeader(
+      "PR 6 perf smoke: observability overhead gate",
+      "Ayres & Cummings 2017, Fig. 4 workload (Section VIII-A)");
+  bench::printNote(
+      "384 tips, 32 patterns, 4 states, 4 categories, double precision; "
+      "obs on = counters+gauges+journal live, obs off = master switch "
+      "(one relaxed load per site); gate: on <= 1.03x off, logL bit-equal");
+
+  bench::JsonReport report("pr6",
+                           "PR 6 perf smoke: observability overhead gate",
+                           "Ayres & Cummings 2017, Fig. 4 workload");
+  report.note("overhead = onSeconds / offSeconds - 1, best of " +
+              std::to_string(kRounds) +
+              " alternating rounds per mode; gate: overhead <= 3% and "
+              "bit-identical log likelihoods");
+
+  // The serial path measures pure counter overhead; the streamed CUDA path
+  // additionally exercises the enqueue-time gauge sampling and flow-id
+  // allocation added by the causal tracer.
+  const std::vector<Config> configs = {
+      {"cpu-serial", BGL_FLAG_THREADING_NONE | BGL_FLAG_VECTOR_NONE},
+      {"cuda-async", BGL_FLAG_FRAMEWORK_CUDA | BGL_FLAG_COMPUTATION_ASYNCH},
+  };
+
+  int failures = 0;
+  std::printf("\n%-12s %12s %12s %10s %8s\n", "impl", "off(s)", "on(s)",
+              "overhead", "bitEq");
+  try {
+    for (const auto& config : configs) {
+      double bestOff = 0.0, bestOn = 0.0;
+      double logLOff = 0.0, logLOn = 0.0;
+      for (int round = 0; round < kRounds; ++round) {
+        obs::setEnabled(false);
+        const auto off = runOnce(config.flags);
+        obs::setEnabled(true);
+        const auto on = runOnce(config.flags);
+        if (round == 0 || off.seconds < bestOff) bestOff = off.seconds;
+        if (round == 0 || on.seconds < bestOn) bestOn = on.seconds;
+        logLOff = off.logL;
+        logLOn = on.logL;
+      }
+      const double overhead = bestOn / bestOff - 1.0;
+      const bool bitEq = logLOff == logLOn;
+      std::printf("%-12s %12.6f %12.6f %9.2f%% %8s\n", config.label, bestOff,
+                  bestOn, overhead * 100.0, bitEq ? "yes" : "NO");
+      report.row()
+          .field("implementation", config.label)
+          .field("offSeconds", bestOff)
+          .field("onSeconds", bestOn)
+          .field("overhead", overhead)
+          .field("logL", logLOn)
+          .field("bitIdentical", bitEq ? 1 : 0);
+
+      if (!bitEq) {
+        std::fprintf(stderr,
+                     "FAIL %s: instrumented logL %.17g != uninstrumented "
+                     "%.17g\n",
+                     config.label, logLOn, logLOff);
+        ++failures;
+      }
+      if (overhead > kMaxOverhead) {
+        std::fprintf(stderr,
+                     "FAIL %s: observability overhead %.2f%% exceeds the "
+                     "%.0f%% budget\n",
+                     config.label, overhead * 100.0, kMaxOverhead * 100.0);
+        ++failures;
+      }
+    }
+  } catch (const std::exception& e) {
+    obs::setEnabled(true);
+    std::fprintf(stderr, "FAIL: %s\n", e.what());
+    return 1;
+  }
+  obs::setEnabled(true);
+
+  if (failures > 0) {
+    std::fprintf(stderr, "perf smoke failed: %d violation(s)\n", failures);
+    return 1;
+  }
+  std::printf("perf smoke passed: observability overhead <= %.0f%% on every "
+              "implementation, results bit-identical\n",
+              kMaxOverhead * 100.0);
+  return 0;
+}

@@ -359,7 +359,12 @@ typedef struct BglStatistics {
 /** Read the instance's operation counters and per-category timings. */
 int bglGetStatistics(int instance, BglStatistics* outStatistics);
 
-/** Zero the instance's counters, timings and retained trace events. */
+/**
+ * Zero the instance's counters, timings, gauges and retained trace events.
+ * The process-wide journal (bglGetJournal) is deliberately NOT cleared:
+ * reset re-baselines metrics, but the flight recorder must still show what
+ * happened before the reset.
+ */
 int bglResetStatistics(int instance);
 
 /**
@@ -460,6 +465,81 @@ const char* bglGetLastErrorMessage(void);
  * message) on a malformed spec, leaving the previous spec armed.
  */
 int bglSetFaultSpec(const char* spec);
+
+/**
+ * What a journal record describes. The journal is the process-wide flight
+ * recorder: a fixed-capacity ring of structured operational events (errors,
+ * injected faults, stream error latches, shard quarantines, failover steps,
+ * rebalances, calibration fallbacks) that is always on and survives
+ * bglResetStatistics.
+ */
+typedef enum BglJournalKind {
+  BGL_JOURNAL_ERROR = 1,                /**< error surfaced through the C API */
+  BGL_JOURNAL_FAULT_INJECTED = 2,       /**< fault-injector directive fired */
+  BGL_JOURNAL_STREAM_ERROR = 3,         /**< async command stream latched an error */
+  BGL_JOURNAL_SHARD_QUARANTINE = 4,     /**< split-likelihood shard quarantined */
+  BGL_JOURNAL_REAPPORTION = 5,          /**< surviving shards re-apportioned */
+  BGL_JOURNAL_RETRY = 6,                /**< shard set rebuilt, evaluation retried */
+  BGL_JOURNAL_CPU_FALLBACK = 7,         /**< last-resort host-CPU fallback engaged */
+  BGL_JOURNAL_REBALANCE = 8,            /**< adaptive load balancer re-split */
+  BGL_JOURNAL_CALIBRATION_FALLBACK = 9  /**< calibration errored; model seed used */
+} BglJournalKind;
+
+/** One journal record. Ids that do not apply are -1; `message` is always
+ * NUL-terminated. */
+typedef struct BglJournalRecord {
+  unsigned long long sequence;  /**< global append index (monotone) */
+  unsigned long long timeNs;    /**< monotonic ns since the journal started */
+  int kind;                     /**< a BglJournalKind value */
+  int code;                     /**< BglReturnCode when error-like, else 0 */
+  int instance;                 /**< instance id, -1 unknown / process-wide */
+  int resource;                 /**< resource id, -1 unknown */
+  int shard;                    /**< split-likelihood shard index, -1 n/a */
+  char message[112];            /**< human-readable detail (truncated) */
+} BglJournalRecord;
+
+/**
+ * Copy the retained journal records, oldest first, into `outRecords`
+ * (caller-allocated, room for `capacity` entries). `*outCount` receives the
+ * number written. Pass outRecords == NULL (or capacity 0) to query the
+ * retained count alone. Lock-free with respect to concurrent appends:
+ * records a writer is mid-overwrite on are skipped, never torn.
+ */
+int bglGetJournal(BglJournalRecord* outRecords, int capacity, int* outCount);
+
+/**
+ * Aggregate statistics over every instance the process has created: live
+ * instances contribute their current counters, finalized instances the
+ * totals they held at finalize. `pendingDepth` sums the async command-stream
+ * queue depth gauges of live instances; `pendingDepthMax` is the process
+ * high-water mark.
+ */
+typedef struct BglProcessStatistics {
+  int liveInstances;                    /**< currently registered instances */
+  unsigned long long instancesCreated;  /**< ever created in this process */
+  unsigned long long instancesRetired;  /**< finalized so far */
+  BglStatistics totals;                 /**< summed counters and timings */
+  unsigned long long pendingDepth;      /**< current queued+in-flight launches */
+  unsigned long long pendingDepthMax;   /**< high-water pending depth */
+  unsigned long long journalRecords;    /**< journal records ever appended */
+} BglProcessStatistics;
+
+/** Read the process-wide statistics aggregate. */
+int bglGetProcessStatistics(BglProcessStatistics* outStatistics);
+
+/**
+ * Start (or retarget) the background live-metrics service: append one
+ * JSON-lines snapshot to `path` every `periodMs` milliseconds (<= 0: 500)
+ * — cumulative process counters, per-period deltas, p50/p95/p99 per span
+ * category, queue-depth gauges, and journal records new since the previous
+ * line — and periodically refresh per-instance bglSetTraceFile /
+ * bglSetStatsFile outputs so the last snapshot survives an abnormal
+ * teardown. A final line is written when the service stops. Passing NULL
+ * or "" stops the service. Equivalent to setting BGL_METRICS (path) and
+ * BGL_METRICS_MS (period) in the environment before the first
+ * bglCreateInstance. Enables span timing on all live and future instances.
+ */
+int bglSetMetricsFile(const char* path, int periodMs);
 
 #ifdef __cplusplus
 }

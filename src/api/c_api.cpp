@@ -2,8 +2,10 @@
 // owns the instance table and translates exceptions into return codes.
 #include "api/bgl.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -15,6 +17,8 @@
 #include "core/defs.h"
 #include "fault/fault.h"
 #include "obs/export.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
 
 // The Error::code() constants in core/defs.h mirror BglReturnCode so the
 // layers below the C API can attach structured codes without including
@@ -23,6 +27,27 @@ static_assert(bgl::kErrGeneral == BGL_ERROR_GENERAL);
 static_assert(bgl::kErrOutOfMemory == BGL_ERROR_OUT_OF_MEMORY);
 static_assert(bgl::kErrOutOfRange == BGL_ERROR_OUT_OF_RANGE);
 static_assert(bgl::kErrHardware == BGL_ERROR_HARDWARE);
+
+// BglJournalKind mirrors obs::JournalKind; keep the two in lockstep.
+static_assert(BGL_JOURNAL_ERROR ==
+              static_cast<int>(bgl::obs::JournalKind::kError));
+static_assert(BGL_JOURNAL_FAULT_INJECTED ==
+              static_cast<int>(bgl::obs::JournalKind::kFaultInjected));
+static_assert(BGL_JOURNAL_STREAM_ERROR ==
+              static_cast<int>(bgl::obs::JournalKind::kStreamError));
+static_assert(BGL_JOURNAL_SHARD_QUARANTINE ==
+              static_cast<int>(bgl::obs::JournalKind::kShardQuarantine));
+static_assert(BGL_JOURNAL_REAPPORTION ==
+              static_cast<int>(bgl::obs::JournalKind::kReapportion));
+static_assert(BGL_JOURNAL_RETRY == static_cast<int>(bgl::obs::JournalKind::kRetry));
+static_assert(BGL_JOURNAL_CPU_FALLBACK ==
+              static_cast<int>(bgl::obs::JournalKind::kCpuFallback));
+static_assert(BGL_JOURNAL_REBALANCE ==
+              static_cast<int>(bgl::obs::JournalKind::kRebalance));
+static_assert(BGL_JOURNAL_CALIBRATION_FALLBACK ==
+              static_cast<int>(bgl::obs::JournalKind::kCalibrationFallback));
+static_assert(sizeof(BglJournalRecord{}.message) ==
+              bgl::obs::JournalRecord::kMessageBytes);
 
 namespace {
 
@@ -87,6 +112,16 @@ std::shared_ptr<bgl::Implementation> lookup(int instance) {
   return g_instances[instance].impl;
 }
 
+/// Flight-record an error the C API is about to surface, then flush the
+/// instance's stats/trace files so the failure context survives even if
+/// the process never reaches a clean bglFinalizeInstance.
+void journalError(int instance, int code, const std::string& message) {
+  bgl::obs::Journal::instance().append(bgl::obs::JournalKind::kError, code,
+                                       instance, /*resource=*/-1, /*shard=*/-1,
+                                       message);
+  bgl::obs::ProcessRegistry::instance().snapshotInstanceFiles(instance);
+}
+
 /// Run `fn` on the instance, translating exceptions to error codes and
 /// capturing their messages for bglGetLastErrorMessage.
 template <typename F>
@@ -102,16 +137,38 @@ int withInstance(int instance, F&& fn) {
     return fn(*impl);
   } catch (const std::bad_alloc&) {
     setLastError("allocation failed");
+    journalError(instance, BGL_ERROR_OUT_OF_MEMORY, t_lastError);
     return BGL_ERROR_OUT_OF_MEMORY;
   } catch (const bgl::Error& e) {
     setLastError(e.what());
-    return returnCodeFor(e);
+    const int code = returnCodeFor(e);
+    journalError(instance, code, t_lastError);
+    return code;
   } catch (const std::exception& e) {
     setLastError(e.what());
+    journalError(instance, BGL_ERROR_UNIDENTIFIED_EXCEPTION, t_lastError);
     return BGL_ERROR_UNIDENTIFIED_EXCEPTION;
   } catch (...) {
+    journalError(instance, BGL_ERROR_UNIDENTIFIED_EXCEPTION,
+                 "unidentified exception");
     return BGL_ERROR_UNIDENTIFIED_EXCEPTION;
   }
+}
+
+/// First-use hookup of the live-metrics service from the environment
+/// (BGL_METRICS = path, BGL_METRICS_MS = period), mirroring how BGL_TRACE
+/// and BGL_STATS are read at instance creation.
+void startMetricsFromEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* path = std::getenv("BGL_METRICS");
+    if (path == nullptr || *path == '\0') return;
+    int periodMs = 0;
+    if (const char* ms = std::getenv("BGL_METRICS_MS"); ms != nullptr && *ms) {
+      periodMs = std::atoi(ms);
+    }
+    bgl::obs::ProcessRegistry::instance().setMetricsFile(path, periodMs);
+  });
 }
 
 }  // namespace
@@ -172,56 +229,79 @@ int bglCreateInstance(int tipCount, int partialsBufferCount, int compactBufferCo
   cfg.categoryCount = categoryCount;
   cfg.scaleBufferCount = scaleBufferCount;
 
+  startMetricsFromEnvOnce();
+
   int error = BGL_SUCCESS;
   try {
     auto result = bgl::Registry::instance().create(cfg, resourceList, resourceCount,
                                                    preferenceFlags, requirementFlags,
                                                    &error);
-    if (result.impl == nullptr) return error;
-
-    std::lock_guard lock(g_mutex);
-    int id = -1;
-    for (int i = 0; i < static_cast<int>(g_instances.size()); ++i) {
-      if (g_instances[i].impl == nullptr) {
-        id = i;
-        break;
+    if (result.impl == nullptr) {
+      if (error != BGL_SUCCESS) {
+        bgl::obs::Journal::instance().append(bgl::obs::JournalKind::kError, error,
+                                             /*instance=*/-1, /*resource=*/-1,
+                                             /*shard=*/-1, t_lastError);
       }
+      return error;
     }
-    if (id < 0) {
-      id = static_cast<int>(g_instances.size());
-      g_instances.emplace_back();
+
+    int id = -1;
+    std::string traceFile, statsFile;
+    {
+      std::lock_guard lock(g_mutex);
+      for (int i = 0; i < static_cast<int>(g_instances.size()); ++i) {
+        if (g_instances[i].impl == nullptr) {
+          id = i;
+          break;
+        }
+      }
+      if (id < 0) {
+        id = static_cast<int>(g_instances.size());
+        g_instances.emplace_back();
+      }
+      auto& slot = g_instances[id];
+      slot.impl = std::move(result.impl);
+      slot.implName = result.implName;
+      slot.resourceName = result.resourceName;
+      slot.resource = result.resource;
+      slot.flags = result.flags;
+      if (const char* trace = std::getenv("BGL_TRACE"); trace != nullptr && *trace) {
+        slot.traceFile = claimPathLocked(trace, id);
+        slot.impl->recorder().enableEvents();
+      }
+      if (const char* stats = std::getenv("BGL_STATS"); stats != nullptr && *stats) {
+        slot.statsFile = claimPathLocked(stats, id);
+        slot.impl->recorder().enableTiming();
+      }
+      if (returnInfo != nullptr) {
+        returnInfo->resourceNumber = slot.resource;
+        returnInfo->resourceName = slot.resourceName.c_str();
+        returnInfo->implName = slot.implName.c_str();
+        returnInfo->flags = slot.flags;
+      }
+      auto& registry = bgl::obs::ProcessRegistry::instance();
+      registry.add(id, std::weak_ptr<void>(slot.impl), &slot.impl->recorder(),
+                   slot.implName, slot.resourceName, slot.resource);
+      traceFile = slot.traceFile;
+      statsFile = slot.statsFile;
     }
-    auto& slot = g_instances[id];
-    slot.impl = std::move(result.impl);
-    slot.implName = result.implName;
-    slot.resourceName = result.resourceName;
-    slot.resource = result.resource;
-    slot.flags = result.flags;
-    if (const char* trace = std::getenv("BGL_TRACE"); trace != nullptr && *trace) {
-      slot.traceFile = claimPathLocked(trace, id);
-      slot.impl->recorder().enableEvents();
-    }
-    if (const char* stats = std::getenv("BGL_STATS"); stats != nullptr && *stats) {
-      slot.statsFile = claimPathLocked(stats, id);
-      slot.impl->recorder().enableTiming();
-    }
-    if (returnInfo != nullptr) {
-      returnInfo->resourceNumber = slot.resource;
-      returnInfo->resourceName = slot.resourceName.c_str();
-      returnInfo->implName = slot.implName.c_str();
-      returnInfo->flags = slot.flags;
-    }
+    bgl::obs::ProcessRegistry::instance().setFiles(id, traceFile, statsFile);
     return id;
   } catch (const std::bad_alloc&) {
     setLastError("allocation failed while creating the instance");
+    journalError(-1, BGL_ERROR_OUT_OF_MEMORY, t_lastError);
     return BGL_ERROR_OUT_OF_MEMORY;
   } catch (const bgl::Error& e) {
     setLastError(e.what());
-    return returnCodeFor(e);
+    const int code = returnCodeFor(e);
+    journalError(-1, code, t_lastError);
+    return code;
   } catch (const std::exception& e) {
     setLastError(e.what());
+    journalError(-1, BGL_ERROR_UNIDENTIFIED_EXCEPTION, t_lastError);
     return BGL_ERROR_UNIDENTIFIED_EXCEPTION;
   } catch (...) {
+    journalError(-1, BGL_ERROR_UNIDENTIFIED_EXCEPTION, "unidentified exception");
     return BGL_ERROR_UNIDENTIFIED_EXCEPTION;
   }
 }
@@ -247,6 +327,10 @@ int bglFinalizeInstance(int instance) {
     releasePathLocked(slot.traceFile);
     releasePathLocked(slot.statsFile);
   }
+  // Retire from the process registry first — the metrics thread must stop
+  // rewriting this instance's files before the final export below — while
+  // `slot.impl` still pins the recorder so the final totals fold in.
+  bgl::obs::ProcessRegistry::instance().remove(instance);
   const std::string process = slot.implName + " @ " + slot.resourceName;
   if (!slot.traceFile.empty()) {
     if (!bgl::obs::writeChromeTraceFile(slot.traceFile, slot.impl->recorder(),
@@ -492,34 +576,46 @@ int bglResetStatistics(int instance) {
 }
 
 int bglSetTraceFile(int instance, const char* path) {
-  std::lock_guard lock(g_mutex);
-  if (instance < 0 || instance >= static_cast<int>(g_instances.size()) ||
-      g_instances[instance].impl == nullptr) {
-    return BGL_ERROR_OUT_OF_RANGE;
+  std::string traceFile, statsFile;
+  {
+    std::lock_guard lock(g_mutex);
+    if (instance < 0 || instance >= static_cast<int>(g_instances.size()) ||
+        g_instances[instance].impl == nullptr) {
+      return BGL_ERROR_OUT_OF_RANGE;
+    }
+    auto& slot = g_instances[instance];
+    releasePathLocked(slot.traceFile);
+    slot.traceFile.clear();
+    if (path != nullptr && *path) {
+      slot.traceFile = claimPathLocked(path, instance);
+      slot.impl->recorder().enableEvents();
+    }
+    traceFile = slot.traceFile;
+    statsFile = slot.statsFile;
   }
-  auto& slot = g_instances[instance];
-  releasePathLocked(slot.traceFile);
-  slot.traceFile.clear();
-  if (path != nullptr && *path) {
-    slot.traceFile = claimPathLocked(path, instance);
-    slot.impl->recorder().enableEvents();
-  }
+  bgl::obs::ProcessRegistry::instance().setFiles(instance, traceFile, statsFile);
   return BGL_SUCCESS;
 }
 
 int bglSetStatsFile(int instance, const char* path) {
-  std::lock_guard lock(g_mutex);
-  if (instance < 0 || instance >= static_cast<int>(g_instances.size()) ||
-      g_instances[instance].impl == nullptr) {
-    return BGL_ERROR_OUT_OF_RANGE;
+  std::string traceFile, statsFile;
+  {
+    std::lock_guard lock(g_mutex);
+    if (instance < 0 || instance >= static_cast<int>(g_instances.size()) ||
+        g_instances[instance].impl == nullptr) {
+      return BGL_ERROR_OUT_OF_RANGE;
+    }
+    auto& slot = g_instances[instance];
+    releasePathLocked(slot.statsFile);
+    slot.statsFile.clear();
+    if (path != nullptr && *path) {
+      slot.statsFile = claimPathLocked(path, instance);
+      slot.impl->recorder().enableTiming();
+    }
+    traceFile = slot.traceFile;
+    statsFile = slot.statsFile;
   }
-  auto& slot = g_instances[instance];
-  releasePathLocked(slot.statsFile);
-  slot.statsFile.clear();
-  if (path != nullptr && *path) {
-    slot.statsFile = claimPathLocked(path, instance);
-    slot.impl->recorder().enableTiming();
-  }
+  bgl::obs::ProcessRegistry::instance().setFiles(instance, traceFile, statsFile);
   return BGL_SUCCESS;
 }
 
@@ -527,6 +623,86 @@ int bglSetWorkGroupSize(int instance, int patternsPerWorkGroup) {
   return withInstance(instance, [&](auto& impl) {
     return impl.setWorkGroupSize(patternsPerWorkGroup);
   });
+}
+
+int bglGetJournal(BglJournalRecord* outRecords, int capacity, int* outCount) {
+  if (outCount == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  t_lastError.clear();
+  const std::vector<bgl::obs::JournalRecord> records =
+      bgl::obs::Journal::instance().snapshot();
+  if (outRecords == nullptr || capacity <= 0) {
+    *outCount = static_cast<int>(records.size());
+    return BGL_SUCCESS;
+  }
+  // When the caller's buffer is smaller than the retained window, keep the
+  // most recent records — the useful end of a flight recording.
+  const std::size_t n = std::min<std::size_t>(records.size(), capacity);
+  const std::size_t first = records.size() - n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bgl::obs::JournalRecord& src = records[first + i];
+    BglJournalRecord& dst = outRecords[i];
+    dst.sequence = src.sequence;
+    dst.timeNs = src.timeNs;
+    dst.kind = static_cast<int>(src.kind);
+    dst.code = src.code;
+    dst.instance = src.instance;
+    dst.resource = src.resource;
+    dst.shard = src.shard;
+    std::memcpy(dst.message, src.message, sizeof(dst.message));
+  }
+  *outCount = static_cast<int>(n);
+  return BGL_SUCCESS;
+}
+
+int bglGetProcessStatistics(BglProcessStatistics* outStatistics) {
+  if (outStatistics == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  t_lastError.clear();
+  using bgl::obs::Category;
+  using bgl::obs::Counter;
+  using bgl::obs::Gauge;
+  const bgl::obs::ProcessAggregate agg =
+      bgl::obs::ProcessRegistry::instance().aggregate();
+  const auto counter = [&](Counter c) { return agg.counters[static_cast<int>(c)]; };
+  const auto seconds = [&](Category c) {
+    return agg.histograms[static_cast<int>(c)].totalNs * 1e-9;
+  };
+  *outStatistics = BglProcessStatistics{};
+  outStatistics->liveInstances = agg.liveInstances;
+  outStatistics->instancesCreated = agg.instancesCreated;
+  outStatistics->instancesRetired = agg.instancesRetired;
+  outStatistics->totals.partialsOperations = counter(Counter::kPartialsOperations);
+  outStatistics->totals.transitionMatrices = counter(Counter::kTransitionMatrices);
+  outStatistics->totals.rootEvaluations = counter(Counter::kRootEvaluations);
+  outStatistics->totals.edgeEvaluations = counter(Counter::kEdgeEvaluations);
+  outStatistics->totals.rescaleEvents = counter(Counter::kRescaleEvents);
+  outStatistics->totals.scaleAccumulations = counter(Counter::kScaleAccumulations);
+  outStatistics->totals.kernelLaunches = counter(Counter::kKernelLaunches);
+  outStatistics->totals.bytesCopiedIn = counter(Counter::kBytesIn);
+  outStatistics->totals.bytesCopiedOut = counter(Counter::kBytesOut);
+  outStatistics->totals.streamedLaunches = counter(Counter::kStreamedLaunches);
+  outStatistics->totals.updatePartialsSeconds = seconds(Category::kUpdatePartials);
+  outStatistics->totals.updateTransitionMatricesSeconds =
+      seconds(Category::kUpdateTransitionMatrices);
+  outStatistics->totals.rootLogLikelihoodsSeconds =
+      seconds(Category::kRootLogLikelihoods);
+  outStatistics->totals.edgeLogLikelihoodsSeconds =
+      seconds(Category::kEdgeLogLikelihoods);
+  outStatistics->pendingDepth =
+      agg.gaugeLevels[static_cast<int>(Gauge::kPendingDepth)];
+  outStatistics->pendingDepthMax =
+      agg.gaugeMax[static_cast<int>(Gauge::kPendingDepth)];
+  outStatistics->journalRecords = bgl::obs::Journal::instance().totalAppended();
+  return BGL_SUCCESS;
+}
+
+int bglSetMetricsFile(const char* path, int periodMs) {
+  t_lastError.clear();
+  const std::string target = path == nullptr ? "" : path;
+  if (!bgl::obs::ProcessRegistry::instance().setMetricsFile(target, periodMs)) {
+    setLastError("could not open metrics file '" + target + "'");
+    return BGL_ERROR_GENERAL;
+  }
+  return BGL_SUCCESS;
 }
 
 }  // extern "C"

@@ -138,11 +138,41 @@ class CudaDevice final : public hal::Device {
       rec.work = work;
       rec.keepAlive = opts.keepAlive;
       rec.concurrentWithPrevious = opts.concurrentWithPrevious;
+      const bool timing = recorder_ != nullptr && recorder_->timingEnabled();
+      const char* kernelName = hal::kernelIdName(k.spec().id);
+      std::uint64_t groups = static_cast<std::uint64_t>(dims.numGroups);
+      std::uint64_t enqueueBeginNs = 0;
+      if (timing) {
+        rec.enqueueNs = recorder_->nowNs();
+        rec.flowId = obs::nextFlowId();
+        enqueueBeginNs = rec.enqueueNs;
+      }
+      const std::uint64_t flowId = rec.flowId;
       if (recorder_ != nullptr) {
         recorder_->count(obs::Counter::kKernelLaunches);
         recorder_->count(obs::Counter::kStreamedLaunches);
       }
       stream_->enqueue(std::move(rec));
+      if (recorder_ != nullptr) {
+        // Exported gauge: queue depth the API thread observed right after
+        // this enqueue (high-water kept by the recorder).
+        recorder_->setGauge(obs::Gauge::kPendingDepth, stream_->pendingDepth());
+        if (timing) {
+          obs::TraceEvent ev;
+          ev.category = obs::Category::kEnqueue;
+          ev.name = kernelName;
+          ev.beginNs = enqueueBeginNs;
+          ev.durNs = recorder_->nowNs() - enqueueBeginNs;
+          ev.tid = 0;  // API thread
+          ev.stream = 1;
+          ev.groups = groups;
+          ev.device = profile_.name;
+          ev.framework = "CUDA";
+          ev.flowId = flowId;
+          ev.flowPhase = 1;  // flow starts at the enqueue span
+          recorder_->recordEvent(std::move(ev));
+        }
+      }
       return;
     }
     const auto t0 = Clock::now();
@@ -218,6 +248,9 @@ class CudaDevice final : public hal::Device {
   /// reads the timeline after a flush (finish/copy), which the stream's
   /// mutex orders after every update made here.
   void executeRun(const hal::LaunchRecord* recs, std::size_t n) {
+    if (recorder_ != nullptr) {
+      recorder_->setGauge(obs::Gauge::kInFlight, n);
+    }
     const auto t0 = Clock::now();
     if (n == 1 && recs[0].kind == hal::LaunchRecord::Kind::Fill) {
       std::memset(static_cast<std::byte*>(recs[0].fillBuf->data()) +
@@ -248,12 +281,23 @@ class CudaDevice final : public hal::Device {
         ev.name = hal::kernelIdName(recs[i].spec.id);
         ev.beginNs = recorder_->sinceEpochNs(t0);
         ev.durNs = recorder_->sinceEpochNs(t1) - ev.beginNs;
+        ev.tid = 1;  // stream worker thread
         ev.stream = 1;  // the async command stream
         ev.groups = static_cast<std::uint64_t>(recs[i].dims.numGroups);
         ev.device = profile_.name;
         ev.framework = "CUDA";
+        if (recs[i].flowId != 0) {
+          ev.flowId = recs[i].flowId;
+          ev.flowPhase = 2;  // flow lands on the execution span
+          if (ev.beginNs > recs[i].enqueueNs) {
+            ev.queuedNs = ev.beginNs - recs[i].enqueueNs;
+          }
+        }
         recorder_->recordEvent(std::move(ev));
       }
+    }
+    if (recorder_ != nullptr) {
+      recorder_->setGauge(obs::Gauge::kInFlight, 0);
     }
   }
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "core/defs.h"
+#include "obs/journal.h"
 
 namespace bgl::fault {
 namespace {
@@ -15,6 +16,17 @@ const char* kindName(Kind kind) {
     case Kind::Alloc: return "alloc";
   }
   return "?";
+}
+
+/// Flight-record a directive firing before the throw: the exception may be
+/// swallowed by a retry loop layers above, but the journal still shows the
+/// fault actually triggered.
+void journalFired(Kind kind, const char* framework, long long value, int code) {
+  obs::Journal::instance().append(
+      obs::JournalKind::kFaultInjected, code, /*instance=*/-1, /*resource=*/-1,
+      /*shard=*/-1,
+      std::string(kindName(kind)) + ":" + std::to_string(value) + " fired on " +
+          framework);
 }
 
 /// Split `spec` on commas, dropping empty pieces (trailing commas ok).
@@ -146,6 +158,7 @@ void Injector::onLaunch(const char* framework) {
     // fires; later events drive it negative and never match again.
     if (d->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       d->fired.store(true, std::memory_order_relaxed);
+      journalFired(d->kind, framework, d->value, kErrHardware);
       throw Error("fault: injected kernel-launch failure (launch " +
                       std::to_string(d->value) + " on " + framework + ")",
                   kErrHardware);
@@ -162,6 +175,7 @@ void Injector::onMemcpy(const char* framework, std::size_t bytes) {
     if (!d->framework.empty() && d->framework != framework) continue;
     if (d->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       d->fired.store(true, std::memory_order_relaxed);
+      journalFired(d->kind, framework, d->value, kErrHardware);
       throw Error("fault: injected memcpy failure (transfer " +
                       std::to_string(d->value) + ", " + std::to_string(bytes) +
                       " bytes on " + framework + ")",
@@ -184,6 +198,7 @@ void Injector::onAlloc(const char* framework, std::size_t bytes) {
                                std::memory_order_acq_rel);
     if (before < static_cast<long long>(bytes)) {
       d->fired.store(true, std::memory_order_relaxed);
+      journalFired(d->kind, framework, d->value, kErrOutOfMemory);
       throw Error("fault: device allocation budget exhausted (" +
                       std::to_string(bytes) + " bytes requested, budget " +
                       std::to_string(d->value) + " on " + framework + ")",

@@ -3,7 +3,34 @@
 #include <utility>
 #include <vector>
 
+#include "core/defs.h"
+#include "obs/journal.h"
+
 namespace bgl::hal {
+namespace {
+
+/// Flight-record the worker latching an error. The latch defers the
+/// exception until the next flush — possibly many operations later on a
+/// different thread — so the journal entry is what pins the failure to
+/// the moment (and stream depth) it actually happened at.
+void journalLatchedError(std::exception_ptr error) {
+  int code = 0;
+  std::string message = "unidentified stream worker exception";
+  try {
+    std::rethrow_exception(std::move(error));
+  } catch (const Error& e) {
+    code = e.code();
+    message = e.what();
+  } catch (const std::exception& e) {
+    message = e.what();
+  } catch (...) {
+  }
+  obs::Journal::instance().append(obs::JournalKind::kStreamError, code,
+                                  /*instance=*/-1, /*resource=*/-1,
+                                  /*shard=*/-1, message);
+}
+
+}  // namespace
 
 CommandStream::CommandStream(RunExecutor executor)
     : executor_(std::move(executor)), worker_([this] { workerLoop(); }) {}
@@ -80,9 +107,16 @@ void CommandStream::workerLoop() {
       try {
         executor_(batch.data() + i, end - i);
       } catch (...) {
-        std::lock_guard lock(mutex_);
-        if (!error_) error_ = std::current_exception();
-        failed_ = true;
+        bool first = false;
+        {
+          std::lock_guard lock(mutex_);
+          if (!error_) {
+            error_ = std::current_exception();
+            first = true;
+          }
+          failed_ = true;
+        }
+        if (first) journalLatchedError(std::current_exception());
       }
       i = end;
     }

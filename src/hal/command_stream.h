@@ -19,6 +19,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -43,6 +44,12 @@ struct LaunchRecord {
   perf::LaunchWork work;
   std::shared_ptr<const void> keepAlive;
   bool concurrentWithPrevious = false;
+
+  // Causal tracing: set by the device at enqueue time so the worker-side
+  // execution span can report how long the record sat queued and tie back
+  // to the API-thread enqueue span via a Chrome flow event.
+  std::uint64_t enqueueNs = 0;
+  std::uint64_t flowId = 0;
 
   // Fill (the BufferPtr pins the allocation until the fill executes)
   BufferPtr fillBuf;

@@ -131,6 +131,23 @@ void writeEventArgs(JsonWriter& w, const TraceEvent& ev) {
   if (ev.stream >= 0) w.field("stream", ev.stream);
   if (ev.bytes > 0) w.field("bytes", ev.bytes);
   if (ev.groups > 0) w.field("groups", ev.groups);
+  if (ev.queuedNs > 0) w.field("queuedNs", ev.queuedNs);
+  w.endObject();
+}
+
+/// Chrome flow event ("s" opens the arrow at the enqueue span, "f" with
+/// bp:"e" lands it on the enclosing execution span). Emitted directly
+/// after the span's B event so viewers bind the flow to that slice.
+void writeFlow(JsonWriter& w, const TraceEvent& ev) {
+  w.beginObject();
+  w.field("name", "stream");
+  w.field("cat", "flow");
+  w.field("ph", ev.flowPhase == 1 ? "s" : "f");
+  if (ev.flowPhase != 1) w.field("bp", "e");
+  w.field("id", ev.flowId);
+  w.field("ts", toUs(ev.beginNs));
+  w.field("pid", 1);
+  w.field("tid", ev.tid);
   w.endObject();
 }
 
@@ -198,6 +215,7 @@ void writeChromeTrace(std::ostream& os, const TraceRecorder& recorder,
         open.pop_back();
       }
       writeBegin(w, *ev);
+      if (ev->flowId != 0 && ev->flowPhase != 0) writeFlow(w, *ev);
       open.push_back(ev);
     }
     while (!open.empty()) {
@@ -219,10 +237,24 @@ void writeChromeTrace(std::ostream& os, const TraceRecorder& recorder,
 // Stats export
 // ---------------------------------------------------------------------------
 
+void writeJournalRecord(JsonWriter& w, const JournalRecord& rec) {
+  w.beginObject();
+  w.field("sequence", rec.sequence);
+  w.field("timeNs", rec.timeNs);
+  w.field("kind", journalKindName(rec.kind));
+  if (rec.code != 0) w.field("code", rec.code);
+  if (rec.instance >= 0) w.field("instance", rec.instance);
+  if (rec.resource >= 0) w.field("resource", rec.resource);
+  if (rec.shard >= 0) w.field("shard", rec.shard);
+  w.field("message", std::string(rec.message));
+  w.endObject();
+}
+
 void writeStatsJson(std::ostream& os, const TraceRecorder& recorder,
                     const std::string& implName, const std::string& resourceName) {
   JsonWriter w(os);
   w.beginObject();
+  w.field("schema", 2);
   w.field("implementation", implName);
   w.field("resource", resourceName);
 
@@ -230,6 +262,15 @@ void writeStatsJson(std::ostream& os, const TraceRecorder& recorder,
   for (int c = 0; c < static_cast<int>(Counter::kCount); ++c) {
     const auto counter = static_cast<Counter>(c);
     w.field(counterName(counter), recorder.counter(counter));
+  }
+  w.endObject();
+
+  w.key("gauges").beginObject();
+  for (int g = 0; g < static_cast<int>(Gauge::kCount); ++g) {
+    const auto gauge = static_cast<Gauge>(g);
+    const std::string name = gaugeName(gauge);
+    w.field(name, recorder.gauge(gauge));
+    w.field(name + "Max", recorder.gaugeMax(gauge));
   }
   w.endObject();
 
@@ -244,6 +285,9 @@ void writeStatsJson(std::ostream& os, const TraceRecorder& recorder,
     w.field("minNs", h.minNs);
     w.field("maxNs", h.maxNs);
     w.field("meanNs", static_cast<double>(h.totalNs) / static_cast<double>(h.count));
+    w.field("p50Ns", histogramQuantile(h, 0.50));
+    w.field("p95Ns", histogramQuantile(h, 0.95));
+    w.field("p99Ns", histogramQuantile(h, 0.99));
     w.key("log2Buckets").beginArray();
     int last = DurationHistogram::kBuckets;
     while (last > 0 && h.buckets[last - 1] == 0) --last;
@@ -256,6 +300,16 @@ void writeStatsJson(std::ostream& os, const TraceRecorder& recorder,
   w.field("timelineSeconds", recorder.timelineSeconds());
   w.field("retainedEvents", static_cast<std::uint64_t>(recorder.eventCount()));
   w.field("droppedEvents", recorder.droppedEvents());
+
+  // Process-wide flight recorder: every stats export carries the journal,
+  // so a postmortem starts from whatever stats file survived (satellite of
+  // docs/ROBUSTNESS.md — the journal replaces the last-error string).
+  const Journal& journal = Journal::instance();
+  w.field("journalTotal", journal.totalAppended());
+  w.key("journal").beginArray();
+  for (const JournalRecord& rec : journal.snapshot()) writeJournalRecord(w, rec);
+  w.endArray();
+
   w.endObject();
   os << '\n';
 }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/journal.h"
 #include "obs/trace.h"
 
 namespace bgl::obs {
@@ -52,13 +53,21 @@ class JsonWriter {
 };
 
 /// Write the recorder's retained timeline as Chrome trace-event JSON with
-/// balanced, per-(pid,tid) properly nested B/E event pairs.
+/// balanced, per-(pid,tid) properly nested B/E event pairs. Events carrying
+/// a flowId additionally emit Chrome flow events ("s"/"f" phases) tying the
+/// API-thread enqueue span to the worker-thread execution span.
 void writeChromeTrace(std::ostream& os, const TraceRecorder& recorder,
                       const std::string& processName);
 
-/// Write counters plus per-category duration histograms as flat JSON.
+/// Write counters plus per-category duration histograms as flat JSON
+/// (schema 2: adds p50/p95/p99 per category, gauges, and the process
+/// journal array — see docs/OBSERVABILITY.md for the full schema).
 void writeStatsJson(std::ostream& os, const TraceRecorder& recorder,
                     const std::string& implName, const std::string& resourceName);
+
+/// Serialize one journal record as a JSON object (shared by the stats
+/// export and the metrics-file JSON-lines writer).
+void writeJournalRecord(JsonWriter& w, const JournalRecord& rec);
 
 /// File variants; return false if the file cannot be opened or written.
 bool writeChromeTraceFile(const std::string& path, const TraceRecorder& recorder,

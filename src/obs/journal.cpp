@@ -1,0 +1,152 @@
+#include "obs/journal.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "obs/trace.h"
+
+namespace bgl::obs {
+
+const char* journalKindName(JournalKind kind) {
+  switch (kind) {
+    case JournalKind::kError: return "error";
+    case JournalKind::kFaultInjected: return "faultInjected";
+    case JournalKind::kStreamError: return "streamError";
+    case JournalKind::kShardQuarantine: return "shardQuarantine";
+    case JournalKind::kReapportion: return "reapportion";
+    case JournalKind::kRetry: return "retry";
+    case JournalKind::kCpuFallback: return "cpuFallback";
+    case JournalKind::kRebalance: return "rebalance";
+    case JournalKind::kCalibrationFallback: return "calibrationFallback";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::uint64_t packPair(std::int32_t hi, std::int32_t lo) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(hi)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(lo));
+}
+
+std::int32_t pairHi(std::uint64_t w) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(w >> 32));
+}
+
+std::int32_t pairLo(std::uint64_t w) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(w));
+}
+
+}  // namespace
+
+Journal::Journal()
+    : epochNs_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+                   .count()) {}
+
+Journal& Journal::instance() {
+  // Leaked on purpose: journal appends can come from device worker threads
+  // and static destructors of other translation units; the flight recorder
+  // must outlive everything that might still write to it.
+  static Journal* journal = new Journal();
+  return *journal;
+}
+
+std::uint64_t Journal::nowNs() const {
+  const std::int64_t now =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return static_cast<std::uint64_t>(now - epochNs_);
+}
+
+void Journal::append(JournalKind kind, int code, int instance, int resource,
+                     int shard, std::string_view message) {
+  if (!enabled()) return;
+
+  std::uint64_t payload[kPayloadWords] = {};
+  const std::uint64_t seq = next_.fetch_add(1, std::memory_order_acq_rel);
+  payload[0] = seq;
+  payload[1] = nowNs();
+  payload[2] = packPair(static_cast<std::int32_t>(kind), code);
+  payload[3] = packPair(instance, resource);
+  payload[4] = packPair(shard, 0);
+
+  char text[JournalRecord::kMessageBytes] = {};
+  const std::size_t n =
+      std::min(message.size(), static_cast<std::size_t>(JournalRecord::kMessageBytes - 1));
+  std::memcpy(text, message.data(), n);
+  std::memcpy(payload + kHeaderWords, text, sizeof(text));
+
+  Slot& slot = slots_[seq % kCapacity];
+  // Seqlock write protocol: odd stamp -> release fence -> payload words ->
+  // even stamp (release). The release fence guarantees any reader that
+  // observes one of this generation's payload words also observes the odd
+  // stamp, so a concurrent snapshot discards the slot instead of mixing
+  // generations.
+  //
+  // The odd stamp is claimed with a CAS so two appends a full wraparound
+  // apart (sequence numbers kCapacity apart map to the same slot) cannot
+  // interleave their payload stores: a writer that finds the slot mid-write
+  // spins for the handful of stores the owner needs, and a writer overtaken
+  // by a *newer* generation drops its record — it was due to be overwritten
+  // anyway.
+  for (;;) {
+    std::uint64_t cur = slot.stamp.load(std::memory_order_acquire);
+    if (cur & 1) continue;             // another writer holds the slot
+    if (cur >= 2 * seq + 2) return;    // a newer record already landed here
+    if (slot.stamp.compare_exchange_weak(cur, 2 * seq + 1,
+                                         std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+  std::atomic_thread_fence(std::memory_order_release);
+  for (std::size_t i = 0; i < kPayloadWords; ++i) {
+    slot.words[i].store(payload[i], std::memory_order_relaxed);
+  }
+  slot.stamp.store(2 * seq + 2, std::memory_order_release);
+}
+
+std::vector<JournalRecord> Journal::snapshot() const {
+  const std::uint64_t total = next_.load(std::memory_order_acquire);
+  const std::uint64_t first = total > kCapacity ? total - kCapacity : 0;
+
+  std::vector<JournalRecord> out;
+  out.reserve(static_cast<std::size_t>(total - first));
+  for (std::uint64_t seq = first; seq < total; ++seq) {
+    const Slot& slot = slots_[seq % kCapacity];
+    std::uint64_t payload[kPayloadWords];
+    bool valid = false;
+    // A slot is only unstable while one append is between its two stamp
+    // stores; a couple of retries ride that out. A slot already claimed by
+    // a *newer* generation (stamp > 2*seq+2) is gone for good — skip it.
+    for (int attempt = 0; attempt < 4 && !valid; ++attempt) {
+      const std::uint64_t s1 = slot.stamp.load(std::memory_order_acquire);
+      if (s1 != 2 * seq + 2) {
+        if (s1 > 2 * seq + 2) break;  // overwritten by a newer record
+        continue;                     // writer still in flight
+      }
+      for (std::size_t i = 0; i < kPayloadWords; ++i) {
+        payload[i] = slot.words[i].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      valid = slot.stamp.load(std::memory_order_relaxed) == s1;
+    }
+    if (!valid) continue;
+
+    JournalRecord rec;
+    rec.sequence = payload[0];
+    rec.timeNs = payload[1];
+    rec.kind = static_cast<JournalKind>(pairHi(payload[2]));
+    rec.code = pairLo(payload[2]);
+    rec.instance = pairHi(payload[3]);
+    rec.resource = pairLo(payload[3]);
+    rec.shard = pairHi(payload[4]);
+    std::memcpy(rec.message, payload + kHeaderWords, sizeof(rec.message));
+    rec.message[JournalRecord::kMessageBytes - 1] = '\0';
+    out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace bgl::obs

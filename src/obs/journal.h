@@ -1,0 +1,116 @@
+// Process-wide flight recorder: a lock-free ring buffer of structured
+// operational events (the "black box" a days-long analysis is reconstructed
+// from after the fact).
+//
+// The journal records *why the system changed state*, not per-operation
+// telemetry: errors surfaced through the C API, fault-injector firings,
+// command-stream error latches, shard quarantines, failover re-apportioning,
+// host-CPU fallbacks, adaptive rebalances and calibration fallbacks. It is
+// always on, fixed-capacity (last kCapacity records survive, older ones are
+// overwritten), and writable from any thread without taking a lock — an
+// append from a device worker thread or a failing shard future never blocks
+// behind a reader.
+//
+// Concurrency design (seqlock ring, TSan-clean by construction):
+//   * every field of a slot is a std::atomic word, so concurrent access is
+//     never a data race — torn *records* are instead detected and discarded
+//     via a per-slot stamp;
+//   * a writer claims a global sequence number with fetch_add, marks the
+//     slot's stamp odd (2*seq+1), publishes the payload words with relaxed
+//     stores behind a release fence, then marks the stamp complete
+//     (2*seq+2, release);
+//   * a reader loads the stamp (acquire), copies the payload words
+//     (relaxed), issues an acquire fence, and re-reads the stamp: any
+//     mismatch means a writer was mid-overwrite and the copy is discarded.
+//
+// The journal is deliberately NOT cleared by bglResetStatistics: reset
+// re-baselines *metrics*, but a postmortem must still see what happened
+// before the reset (see docs/OBSERVABILITY.md, "Reset semantics").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace bgl::obs {
+
+/// What a journal record describes. Values are part of the C ABI
+/// (BglJournalKind in api/bgl.h mirrors them; keep in lockstep).
+enum class JournalKind : int {
+  kError = 1,               ///< error surfaced through a C API entry point
+  kFaultInjected = 2,       ///< deterministic fault-injector directive fired
+  kStreamError = 3,         ///< async command stream latched a worker error
+  kShardQuarantine = 4,     ///< split-likelihood shard taken out of service
+  kReapportion = 5,         ///< surviving shards re-apportioned after failover
+  kRetry = 6,               ///< shard set rebuilt and the evaluation retried
+  kCpuFallback = 7,         ///< last-resort host-CPU fallback engaged
+  kRebalance = 8,           ///< adaptive load balancer applied a re-split
+  kCalibrationFallback = 9, ///< calibration run errored; perf-model seed used
+};
+const char* journalKindName(JournalKind kind);
+
+/// One decoded journal record. `message` is NUL-terminated (truncated to
+/// fit); ids that do not apply are -1.
+struct JournalRecord {
+  static constexpr int kMessageBytes = 112;
+
+  std::uint64_t sequence = 0;  ///< global append index (monotone, 0-based)
+  std::uint64_t timeNs = 0;    ///< monotonic nanoseconds since journal start
+  JournalKind kind = JournalKind::kError;
+  int code = 0;                ///< BglReturnCode when error-like, else 0
+  int instance = -1;           ///< C API instance id, -1 unknown/process-wide
+  int resource = -1;           ///< resource id, -1 unknown
+  int shard = -1;              ///< split-likelihood shard index, -1 n/a
+  char message[kMessageBytes] = {};
+};
+
+/// The process-wide journal singleton.
+class Journal {
+ public:
+  static constexpr std::size_t kCapacity = 1024;
+
+  static Journal& instance();
+
+  /// Append one record (lock-free, any thread). `message` is truncated to
+  /// JournalRecord::kMessageBytes - 1 characters. No-op while the obs
+  /// master switch (obs::setEnabled) is off.
+  void append(JournalKind kind, int code, int instance, int resource, int shard,
+              std::string_view message);
+
+  /// Copy out the retained records, oldest first. Records a concurrent
+  /// writer is mid-overwrite on are omitted (each is retried a few times
+  /// first), so the result can briefly be shorter than expected — never
+  /// torn.
+  std::vector<JournalRecord> snapshot() const;
+
+  /// Records ever appended (monotone; exceeds kCapacity once wrapped).
+  std::uint64_t totalAppended() const {
+    return next_.load(std::memory_order_acquire);
+  }
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+ private:
+  Journal();
+
+  // Payload packed into whole 64-bit words so every slot byte is covered
+  // by an atomic object (no mixed-size access, no non-atomic race).
+  static constexpr std::size_t kHeaderWords = 5;  // sequence, timeNs, 3 id pairs
+  static constexpr std::size_t kMessageWords = JournalRecord::kMessageBytes / 8;
+  static constexpr std::size_t kPayloadWords = kHeaderWords + kMessageWords;
+
+  struct Slot {
+    std::atomic<std::uint64_t> stamp{0};  // 0 = empty, odd = writing, even = done
+    std::atomic<std::uint64_t> words[kPayloadWords] = {};
+  };
+
+  std::uint64_t nowNs() const;
+
+  std::atomic<std::uint64_t> next_{0};
+  std::int64_t epochNs_ = 0;
+  Slot slots_[kCapacity];
+};
+
+}  // namespace bgl::obs

@@ -1,0 +1,343 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/journal.h"
+
+namespace bgl::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Refreshing a very large retained timeline every tick would turn the
+/// metrics thread into the bottleneck it is meant to observe; past this
+/// many events the trace file is only written at finalize / on error.
+constexpr std::size_t kMaxPeriodicTraceEvents = 1u << 18;
+
+}  // namespace
+
+struct ProcessRegistry::Impl {
+  struct Entry {
+    std::weak_ptr<void> owner;
+    TraceRecorder* recorder = nullptr;
+    std::string implName;
+    std::string resourceName;
+    int resource = -1;
+    std::string traceFile;
+    std::string statsFile;
+    std::size_t lastTraceEvents = static_cast<std::size_t>(-1);
+  };
+
+  // ---- registry ----
+  mutable std::mutex mutex;
+  std::map<int, Entry> entries;
+  ProcessAggregate retired;  ///< folded totals of finalized instances
+  std::uint64_t created = 0;
+
+  // ---- metrics service ----
+  mutable std::mutex serviceMutex; ///< serializes setMetricsFile calls
+  std::mutex threadMutex;          ///< guards stop flag / cv
+  std::condition_variable wake;
+  std::thread worker;
+  bool stopRequested = false;
+  std::string path;
+  std::ofstream out;
+  int periodMs = 500;
+  bool active = false;
+
+  // snapshot-line state (worker thread only)
+  std::uint64_t lineSeq = 0;
+  std::uint64_t journalSeen = 0;
+  std::uint64_t prevCounters[static_cast<int>(Counter::kCount)] = {};
+  Clock::time_point epoch = Clock::now();
+};
+
+ProcessRegistry::ProcessRegistry() : impl_(std::make_unique<Impl>()) {}
+
+ProcessRegistry::~ProcessRegistry() { setMetricsFile("", 0); }
+
+ProcessRegistry& ProcessRegistry::instance() {
+  // Function-local static (not leaked): its destructor joins the metrics
+  // thread at exit, before file-scope globals constructed earlier (the C
+  // API's instance table among them) are torn down.
+  static ProcessRegistry registry;
+  return registry;
+}
+
+void ProcessRegistry::add(int id, std::weak_ptr<void> owner,
+                          TraceRecorder* recorder, std::string implName,
+                          std::string resourceName, int resource) {
+  bool enableTiming = false;
+  {
+    std::lock_guard lock(impl_->mutex);
+    Impl::Entry entry;
+    entry.owner = std::move(owner);
+    entry.recorder = recorder;
+    entry.implName = std::move(implName);
+    entry.resourceName = std::move(resourceName);
+    entry.resource = resource;
+    impl_->entries[id] = std::move(entry);
+    ++impl_->created;
+    enableTiming = impl_->active;
+  }
+  // Live metrics needs span timing for the quantile fields.
+  if (enableTiming && recorder != nullptr) recorder->enableTiming();
+}
+
+void ProcessRegistry::setFiles(int id, std::string traceFile,
+                               std::string statsFile) {
+  std::lock_guard lock(impl_->mutex);
+  const auto it = impl_->entries.find(id);
+  if (it == impl_->entries.end()) return;
+  it->second.traceFile = std::move(traceFile);
+  it->second.statsFile = std::move(statsFile);
+  it->second.lastTraceEvents = static_cast<std::size_t>(-1);
+}
+
+void ProcessRegistry::remove(int id) {
+  std::lock_guard lock(impl_->mutex);
+  const auto it = impl_->entries.find(id);
+  if (it == impl_->entries.end()) return;
+  if (const auto pin = it->second.owner.lock()) {
+    const TraceRecorder& rec = *it->second.recorder;
+    for (int c = 0; c < static_cast<int>(Counter::kCount); ++c) {
+      impl_->retired.counters[c] += rec.counter(static_cast<Counter>(c));
+    }
+    for (int c = 0; c < static_cast<int>(Category::kCount); ++c) {
+      impl_->retired.histograms[c].merge(rec.histogram(static_cast<Category>(c)));
+    }
+    for (int g = 0; g < static_cast<int>(Gauge::kCount); ++g) {
+      const auto high = rec.gaugeMax(static_cast<Gauge>(g));
+      if (high > impl_->retired.gaugeMax[g]) impl_->retired.gaugeMax[g] = high;
+    }
+  }
+  ++impl_->retired.instancesRetired;
+  impl_->entries.erase(it);
+}
+
+ProcessAggregate ProcessRegistry::aggregate() const {
+  std::lock_guard lock(impl_->mutex);
+  ProcessAggregate out = impl_->retired;
+  out.instancesCreated = impl_->created;
+  for (const auto& [id, entry] : impl_->entries) {
+    const auto pin = entry.owner.lock();
+    if (pin == nullptr) continue;
+    ++out.liveInstances;
+    const TraceRecorder& rec = *entry.recorder;
+    for (int c = 0; c < static_cast<int>(Counter::kCount); ++c) {
+      out.counters[c] += rec.counter(static_cast<Counter>(c));
+    }
+    for (int c = 0; c < static_cast<int>(Category::kCount); ++c) {
+      out.histograms[c].merge(rec.histogram(static_cast<Category>(c)));
+    }
+    for (int g = 0; g < static_cast<int>(Gauge::kCount); ++g) {
+      out.gaugeLevels[g] += rec.gauge(static_cast<Gauge>(g));
+      const auto high = rec.gaugeMax(static_cast<Gauge>(g));
+      if (high > out.gaugeMax[g]) out.gaugeMax[g] = high;
+    }
+  }
+  return out;
+}
+
+void ProcessRegistry::snapshotInstanceFiles(int id) {
+  struct Work {
+    std::shared_ptr<void> pin;
+    TraceRecorder* recorder;
+    std::string implName, resourceName, traceFile, statsFile;
+    bool writeTrace = false;
+  };
+  std::vector<Work> work;
+  {
+    std::lock_guard lock(impl_->mutex);
+    for (auto& [entryId, entry] : impl_->entries) {
+      if (id >= 0 && entryId != id) continue;
+      if (entry.traceFile.empty() && entry.statsFile.empty()) continue;
+      auto pin = entry.owner.lock();
+      if (pin == nullptr) continue;
+      Work w;
+      w.pin = std::move(pin);
+      w.recorder = entry.recorder;
+      w.implName = entry.implName;
+      w.resourceName = entry.resourceName;
+      w.traceFile = entry.traceFile;
+      w.statsFile = entry.statsFile;
+      if (!w.traceFile.empty()) {
+        const std::size_t events = entry.recorder->eventCount();
+        w.writeTrace = events != entry.lastTraceEvents &&
+                       events <= kMaxPeriodicTraceEvents;
+        if (w.writeTrace) entry.lastTraceEvents = events;
+      }
+      work.push_back(std::move(w));
+    }
+  }
+  for (const Work& w : work) {
+    if (!w.statsFile.empty()) {
+      if (!writeStatsJsonFile(w.statsFile, *w.recorder, w.implName,
+                              w.resourceName)) {
+        std::fprintf(stderr, "bgl: could not snapshot stats file '%s'\n",
+                     w.statsFile.c_str());
+      }
+    }
+    if (w.writeTrace) {
+      if (!writeChromeTraceFile(w.traceFile, *w.recorder,
+                                w.implName + " @ " + w.resourceName)) {
+        std::fprintf(stderr, "bgl: could not snapshot trace file '%s'\n",
+                     w.traceFile.c_str());
+      }
+    }
+  }
+}
+
+namespace {
+
+void writeSnapshotLine(ProcessRegistry& registry, ProcessRegistry::Impl& impl) {
+  const ProcessAggregate agg = registry.aggregate();
+  const Journal& journal = Journal::instance();
+  const std::uint64_t journalTotal = journal.totalAppended();
+
+  JsonWriter w(impl.out);
+  w.beginObject();
+  w.field("schema", 1);
+  w.field("seq", impl.lineSeq++);
+  w.field("uptimeNs",
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                   impl.epoch)
+                  .count()));
+  w.field("liveInstances", agg.liveInstances);
+  w.field("instancesCreated", agg.instancesCreated);
+  w.field("instancesRetired", agg.instancesRetired);
+
+  w.key("counters").beginObject();
+  for (int c = 0; c < static_cast<int>(Counter::kCount); ++c) {
+    w.field(counterName(static_cast<Counter>(c)), agg.counters[c]);
+  }
+  w.endObject();
+
+  // Per-period deltas, clamped at zero: a bglResetStatistics or an instance
+  // retiring between lines can shrink the cumulative view, and a monotone
+  // delta stream is more useful to a live reader than a negative spike.
+  w.key("deltas").beginObject();
+  for (int c = 0; c < static_cast<int>(Counter::kCount); ++c) {
+    const std::uint64_t cur = agg.counters[c];
+    const std::uint64_t prev = impl.prevCounters[c];
+    w.field(counterName(static_cast<Counter>(c)), cur > prev ? cur - prev : 0);
+    impl.prevCounters[c] = cur;
+  }
+  w.endObject();
+
+  w.key("categories").beginObject();
+  for (int c = 0; c < static_cast<int>(Category::kCount); ++c) {
+    const DurationHistogram& h = agg.histograms[c];
+    if (h.count == 0) continue;
+    w.key(categoryName(static_cast<Category>(c))).beginObject();
+    w.field("count", h.count);
+    w.field("totalSeconds", h.totalNs * 1e-9);
+    w.field("p50Ns", histogramQuantile(h, 0.50));
+    w.field("p95Ns", histogramQuantile(h, 0.95));
+    w.field("p99Ns", histogramQuantile(h, 0.99));
+    w.endObject();
+  }
+  w.endObject();
+
+  w.key("gauges").beginObject();
+  for (int g = 0; g < static_cast<int>(Gauge::kCount); ++g) {
+    const std::string name = gaugeName(static_cast<Gauge>(g));
+    w.field(name, agg.gaugeLevels[g]);
+    w.field(name + "Max", agg.gaugeMax[g]);
+  }
+  w.endObject();
+
+  w.field("journalTotal", journalTotal);
+  w.key("journal").beginArray();
+  if (journalTotal > impl.journalSeen) {
+    for (const JournalRecord& rec : journal.snapshot()) {
+      if (rec.sequence < impl.journalSeen) continue;
+      writeJournalRecord(w, rec);
+    }
+  }
+  impl.journalSeen = journalTotal;
+  w.endArray();
+
+  w.endObject();
+  impl.out << '\n';
+  impl.out.flush();
+}
+
+}  // namespace
+
+bool ProcessRegistry::setMetricsFile(const std::string& path, int periodMs) {
+  std::lock_guard serviceLock(impl_->serviceMutex);
+
+  // Stop the current thread (final snapshot line included) before
+  // retargeting, so two workers never share the stream.
+  if (impl_->worker.joinable()) {
+    {
+      std::lock_guard lock(impl_->threadMutex);
+      impl_->stopRequested = true;
+    }
+    impl_->wake.notify_all();
+    impl_->worker.join();
+    impl_->active = false;
+  }
+
+  if (path.empty()) return true;
+
+  impl_->out.close();
+  impl_->out.clear();
+  impl_->out.open(path, std::ios::trunc);
+  if (!impl_->out) {
+    std::fprintf(stderr, "bgl: could not open metrics file '%s'\n", path.c_str());
+    return false;
+  }
+  impl_->path = path;
+  impl_->periodMs = periodMs > 0 ? periodMs : 500;
+  impl_->stopRequested = false;
+  impl_->lineSeq = 0;
+  impl_->journalSeen = 0;
+  for (auto& c : impl_->prevCounters) c = 0;
+  impl_->active = true;
+
+  // The quantile fields need span timing on every contributing instance.
+  {
+    std::lock_guard lock(impl_->mutex);
+    for (auto& [id, entry] : impl_->entries) {
+      if (const auto pin = entry.owner.lock()) entry.recorder->enableTiming();
+    }
+  }
+
+  impl_->worker = std::thread([this] {
+    auto& impl = *impl_;
+    for (;;) {
+      {
+        std::unique_lock lock(impl.threadMutex);
+        impl.wake.wait_for(lock, std::chrono::milliseconds(impl.periodMs),
+                           [&] { return impl.stopRequested; });
+        if (impl.stopRequested) break;
+      }
+      writeSnapshotLine(*this, impl);
+      snapshotInstanceFiles();
+    }
+    // Final line so even a run shorter than one period leaves a snapshot.
+    writeSnapshotLine(*this, impl);
+    snapshotInstanceFiles();
+    impl.out.flush();
+  });
+  return true;
+}
+
+bool ProcessRegistry::metricsActive() const {
+  std::lock_guard lock(impl_->serviceMutex);
+  return impl_->active;
+}
+
+}  // namespace bgl::obs

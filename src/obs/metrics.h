@@ -1,0 +1,100 @@
+// Process-wide metrics registry and live-metrics service.
+//
+// PR 1's TraceRecorder is per-instance and one-shot: counters accumulate
+// inside one instance and the stats/trace files are written at finalize.
+// A long-lived multi-tenant process (many instances created and destroyed
+// over hours) needs the complement:
+//
+//   * ProcessRegistry — every instance the C API creates registers here
+//     (weak reference + recorder pointer + metadata). aggregate() folds the
+//     counters, duration histograms and gauges of all *live* instances
+//     together with the final totals of every *retired* one, keyed by
+//     (instance, resource), backing bglGetProcessStatistics.
+//   * a background snapshot thread (bglSetMetricsFile / BGL_METRICS) that
+//     appends one JSON-lines record per period: cumulative process
+//     counters, per-period deltas, p50/p95/p99 per span category derived
+//     from the log2 histograms, queue-depth gauges, and the journal
+//     records appended since the previous line. `genomictest --watch` and
+//     `phylomc3 --watch` stream these during a run.
+//   * snapshotInstanceFiles — periodically (and on every error the C API
+//     surfaces) rewrites the per-instance bglSetStatsFile/bglSetTraceFile
+//     outputs, so the last periodic snapshot survives an instance that
+//     dies via shard failover or a latched stream error instead of a
+//     clean finalize.
+//
+// Layering: obs knows nothing about api::Implementation — the C API hands
+// over an opaque owner (weak_ptr<void>) whose lifetime pins the recorder.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace bgl::obs {
+
+/// Aggregate over every instance the process has created: live instances
+/// contribute their current recorder state, retired instances the totals
+/// they held at finalize. Monotone as long as bglResetStatistics is not
+/// used mid-flight (reset re-baselines the live contribution; see
+/// docs/OBSERVABILITY.md, "Reset semantics").
+struct ProcessAggregate {
+  std::uint64_t counters[static_cast<int>(Counter::kCount)] = {};
+  DurationHistogram histograms[static_cast<int>(Category::kCount)];
+  std::uint64_t gaugeLevels[static_cast<int>(Gauge::kCount)] = {}; ///< sum, live only
+  std::uint64_t gaugeMax[static_cast<int>(Gauge::kCount)] = {};    ///< high-water, all
+  int liveInstances = 0;
+  std::uint64_t instancesCreated = 0;
+  std::uint64_t instancesRetired = 0;
+};
+
+class ProcessRegistry {
+ public:
+  static ProcessRegistry& instance();
+
+  /// Register a live instance. `owner` pins `recorder`'s storage while
+  /// locked; `recorder` must stay valid for as long as owner can be locked.
+  void add(int id, std::weak_ptr<void> owner, TraceRecorder* recorder,
+           std::string implName, std::string resourceName, int resource);
+
+  /// Update the instance's export destinations (empty = none). The metrics
+  /// thread and the error-triggered snapshot path rewrite these files.
+  void setFiles(int id, std::string traceFile, std::string statsFile);
+
+  /// Retire an instance: fold its final recorder state into the retired
+  /// totals and drop the registration. Call while the instance is still
+  /// alive (the C API does this inside bglFinalizeInstance).
+  void remove(int id);
+
+  ProcessAggregate aggregate() const;
+
+  /// Rewrite the stats/trace files of instance `id` (every registered
+  /// instance when id < 0) from current recorder state. Best-effort: write
+  /// failures are reported on stderr once per path, never thrown.
+  void snapshotInstanceFiles(int id = -1);
+
+  /// Start (or retarget) the background metrics thread: append one
+  /// JSON-lines snapshot to `path` every `periodMs` milliseconds and
+  /// refresh per-instance files. An empty path stops the thread after one
+  /// final snapshot line. Enables span timing on all live and future
+  /// instances so the quantile fields are populated. Returns false when
+  /// the file cannot be opened.
+  bool setMetricsFile(const std::string& path, int periodMs);
+
+  /// True while the metrics thread is running (used by tests).
+  bool metricsActive() const;
+
+  ProcessRegistry(const ProcessRegistry&) = delete;
+  ProcessRegistry& operator=(const ProcessRegistry&) = delete;
+
+  struct Impl;  ///< opaque state (metrics.cpp)
+
+ private:
+  ProcessRegistry();
+  ~ProcessRegistry();
+
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bgl::obs

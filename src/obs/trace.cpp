@@ -4,6 +4,15 @@
 
 namespace bgl::obs {
 
+void setEnabled(bool on) {
+  detail::g_obsEnabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t nextFlowId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 const char* counterName(Counter c) {
   switch (c) {
     case Counter::kPartialsOperations: return "partialsOperations";
@@ -34,7 +43,17 @@ const char* categoryName(Category c) {
     case Category::kMemcpy: return "memcpy";
     case Category::kWorker: return "worker";
     case Category::kStreamFlush: return "stream.flush";
+    case Category::kEnqueue: return "stream.enqueue";
     case Category::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* gaugeName(Gauge g) {
+  switch (g) {
+    case Gauge::kPendingDepth: return "pendingDepth";
+    case Gauge::kInFlight: return "inFlight";
+    case Gauge::kCount: break;
   }
   return "unknown";
 }
@@ -61,8 +80,48 @@ void DurationHistogram::record(std::uint64_t ns) {
   ++buckets[bucket];
 }
 
+void DurationHistogram::merge(const DurationHistogram& other) {
+  if (other.count == 0) return;
+  if (count == 0 || other.minNs < minNs) minNs = other.minNs;
+  if (other.maxNs > maxNs) maxNs = other.maxNs;
+  count += other.count;
+  totalNs += other.totalNs;
+  for (int b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+}
+
+double histogramQuantile(const DurationHistogram& h, double q) {
+  if (h.count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Target rank in (0, count]; the record at rank r is the r-th smallest.
+  const double rank = q * static_cast<double>(h.count);
+  double cumulative = 0.0;
+  double estimate = static_cast<double>(h.maxNs);
+  for (int b = 0; b < DurationHistogram::kBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    const double prev = cumulative;
+    cumulative += static_cast<double>(h.buckets[b]);
+    if (cumulative >= rank) {
+      // Linear interpolation inside the bucket: bucket 0 spans [0, 2),
+      // bucket b >= 1 spans [2^b, 2^(b+1)).
+      const double lo = b == 0 ? 0.0 : static_cast<double>(1ull << b);
+      const double hi = static_cast<double>(1ull << (b + 1));
+      const double fraction =
+          (rank - prev) / static_cast<double>(h.buckets[b]);
+      estimate = lo + fraction * (hi - lo);
+      break;
+    }
+  }
+  // Clamp to the observed range: the extremes are known exactly.
+  if (estimate < static_cast<double>(h.minNs)) estimate = static_cast<double>(h.minNs);
+  if (estimate > static_cast<double>(h.maxNs)) estimate = static_cast<double>(h.maxNs);
+  return estimate;
+}
+
 void TraceRecorder::reset() {
   for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
+  for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+  for (auto& g : gaugeMax_) g.store(0, std::memory_order_relaxed);
   std::lock_guard lock(mutex_);
   for (auto& h : hist_) h = DurationHistogram{};
   events_.clear();

@@ -24,6 +24,21 @@
 
 namespace bgl::obs {
 
+namespace detail {
+/// Master instrumentation switch (see enabled() below).
+inline std::atomic<bool> g_obsEnabled{true};
+}  // namespace detail
+
+/// Process-wide master switch over the always-on instrumentation (counters,
+/// gauges, journal appends). On by default; turning it off exists solely so
+/// bench_obs_overhead can measure the cost of the always-on layer against a
+/// faithful stand-in for compiling it out — one relaxed load replaces each
+/// counter add. Not part of the public C API on purpose.
+inline bool enabled() {
+  return detail::g_obsEnabled.load(std::memory_order_relaxed);
+}
+void setEnabled(bool on);
+
 /// Per-instance operation counters (always on).
 enum class Counter : int {
   kPartialsOperations = 0,  ///< partial-likelihoods operations executed
@@ -54,9 +69,20 @@ enum class Category : int {
   kMemcpy,     ///< host<->device transfer (simulated runtimes)
   kWorker,     ///< per-thread pattern block (threaded implementations)
   kStreamFlush,///< waiting for an async command stream to drain
+  kEnqueue,    ///< API-thread enqueue of a streamed launch (flow start)
   kCount
 };
 const char* categoryName(Category c);
+
+/// Instantaneous gauges (always on, like counters). setGauge overwrites
+/// the level and tracks the high-water mark separately.
+enum class Gauge : int {
+  kPendingDepth = 0,  ///< command-stream records enqueued but not retired,
+                      ///< sampled at enqueue time
+  kInFlight,          ///< records the stream worker holds right now
+  kCount
+};
+const char* gaugeName(Gauge g);
 
 /// True for the API-level categories that make up the CPU timeline.
 bool isTimelineCategory(Category c);
@@ -71,7 +97,17 @@ struct DurationHistogram {
   std::uint64_t buckets[kBuckets] = {};
 
   void record(std::uint64_t ns);
+
+  /// Merge another histogram into this one (process-wide aggregation).
+  void merge(const DurationHistogram& other);
 };
+
+/// Estimated duration (ns) at quantile `q` in [0, 1], by linear
+/// interpolation inside the log2 bucket the target rank falls in. Bucket 0
+/// spans [0, 2) ns; bucket i >= 1 spans [2^i, 2^(i+1)) ns. The result is
+/// clamped to [minNs, maxNs] so boundary quantiles are exact. Returns 0 for
+/// an empty histogram. See docs/OBSERVABILITY.md for the derivation.
+double histogramQuantile(const DurationHistogram& h, double q);
 
 /// One retained span. Device/framework/stream/bytes/groups are only set on
 /// kernel-launch and memcpy events emitted by the simulated runtimes.
@@ -86,7 +122,18 @@ struct TraceEvent {
   std::uint64_t groups = 0;
   std::string device;
   std::string framework;
+
+  // Causal stream tracing: a nonzero flowId ties an API-thread enqueue span
+  // (flowPhase 1, Chrome "s") to the worker-thread execution span it caused
+  // (flowPhase 2, Chrome "f"). queuedNs is the enqueue-to-execute latency,
+  // exported as an arg on the execution span.
+  std::uint64_t flowId = 0;
+  int flowPhase = 0;  ///< 0 = none, 1 = flow start, 2 = flow finish
+  std::uint64_t queuedNs = 0;
 };
+
+/// Process-unique flow id for tying an enqueue span to its execution span.
+std::uint64_t nextFlowId();
 
 class TraceRecorder {
  public:
@@ -110,10 +157,28 @@ class TraceRecorder {
 
   // ---- counters ----
   void count(Counter c, std::uint64_t n = 1) {
+    if (!enabled()) return;
     counters_[static_cast<int>(c)].fetch_add(n, std::memory_order_relaxed);
   }
   std::uint64_t counter(Counter c) const {
     return counters_[static_cast<int>(c)].load(std::memory_order_relaxed);
+  }
+
+  // ---- gauges ----
+  void setGauge(Gauge g, std::uint64_t v) {
+    if (!enabled()) return;
+    const int i = static_cast<int>(g);
+    gauges_[i].store(v, std::memory_order_relaxed);
+    std::uint64_t prev = gaugeMax_[i].load(std::memory_order_relaxed);
+    while (prev < v && !gaugeMax_[i].compare_exchange_weak(
+                           prev, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t gauge(Gauge g) const {
+    return gauges_[static_cast<int>(g)].load(std::memory_order_relaxed);
+  }
+  std::uint64_t gaugeMax(Gauge g) const {
+    return gaugeMax_[static_cast<int>(g)].load(std::memory_order_relaxed);
   }
 
   /// Zero counters, histograms and the retained timeline (modes persist).
@@ -152,6 +217,8 @@ class TraceRecorder {
 
   std::atomic<unsigned> mode_{0};
   std::atomic<std::uint64_t> counters_[static_cast<int>(Counter::kCount)] = {};
+  std::atomic<std::uint64_t> gauges_[static_cast<int>(Gauge::kCount)] = {};
+  std::atomic<std::uint64_t> gaugeMax_[static_cast<int>(Gauge::kCount)] = {};
   std::chrono::steady_clock::time_point epoch_;
 
   mutable std::mutex mutex_;

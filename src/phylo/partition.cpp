@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "core/defs.h"
+#include "obs/journal.h"
 #include "sched/sched.h"
 
 namespace bgl::phylo {
@@ -257,6 +258,11 @@ void SplitLikelihood::build(const Tree& tree, const std::vector<int>& shares) {
     obs::ScopedSpan span(sched::recorder(), obs::Category::kOperation,
                          "sched.failover");
     current = sharesAfterQuarantine();
+    obs::Journal::instance().append(
+        obs::JournalKind::kRetry, 0, /*instance=*/-1, /*resource=*/-1,
+        /*shard=*/-1,
+        "rebuilding shard set, attempt " + std::to_string(attempt + 2) + "/" +
+            std::to_string(maxAttempts));
   }
   throw Error("SplitLikelihood: shard construction still failing after " +
                   std::to_string(maxAttempts) + " failovers: " + lastFailure_,
@@ -294,6 +300,9 @@ void SplitLikelihood::quarantine(std::size_t shard, const std::string& reason,
   shards_[shard].reset();  // destroy the instance; never hand it work again
   lastFailure_ = reason;
   lastFailureCode_ = code;
+  obs::Journal::instance().append(obs::JournalKind::kShardQuarantine, code,
+                                  /*instance=*/-1, /*resource=*/-1,
+                                  static_cast<int>(shard), reason);
 }
 
 std::vector<int> SplitLikelihood::sharesAfterQuarantine() {
@@ -326,6 +335,11 @@ std::vector<int> SplitLikelihood::sharesAfterQuarantine() {
     shardErrors_[0].clear();
     cpuFallbackUsed_ = true;
     active_ = {0};
+    obs::Journal::instance().append(
+        obs::JournalKind::kCpuFallback, 0, /*instance=*/-1, /*resource=*/0,
+        /*shard=*/0,
+        "every shard quarantined; host-CPU fallback carries the full "
+        "alignment");
   }
 
   std::vector<double> speeds;
@@ -352,6 +366,11 @@ std::vector<int> SplitLikelihood::sharesAfterQuarantine() {
   for (std::size_t j = 0; j < active_.size(); ++j) {
     shares[static_cast<std::size_t>(active_[j])] = activeShares[j];
   }
+  obs::Journal::instance().append(
+      obs::JournalKind::kReapportion, 0, /*instance=*/-1, /*resource=*/-1,
+      /*shard=*/-1,
+      std::to_string(data_.patterns) + " patterns re-apportioned across " +
+          std::to_string(active_.size()) + " surviving shard(s)");
   return shares;
 }
 
@@ -461,6 +480,12 @@ double SplitLikelihood::logLikelihood(const Tree& tree) {
           }
           const int migrated = sched::migratedItems(shardPatterns_, newShares);
           sched::noteRebalance(static_cast<std::uint64_t>(migrated));
+          obs::Journal::instance().append(
+              obs::JournalKind::kRebalance, 0, /*instance=*/-1,
+              /*resource=*/-1, /*shard=*/-1,
+              "adaptive re-split migrated " + std::to_string(migrated) +
+                  " patterns across " + std::to_string(active_.size()) +
+                  " shard(s)");
           obs::ScopedSpan span(sched::recorder(), obs::Category::kOperation,
                                "sched.rebalance");
           build(tree, newShares);
@@ -482,6 +507,11 @@ double SplitLikelihood::logLikelihood(const Tree& tree) {
     obs::ScopedSpan span(sched::recorder(), obs::Category::kOperation,
                          "sched.failover");
     build(tree, sharesAfterQuarantine());
+    obs::Journal::instance().append(
+        obs::JournalKind::kRetry, 0, /*instance=*/-1, /*resource=*/-1,
+        /*shard=*/-1,
+        "shard set rebuilt after " + std::to_string(failed.size()) +
+            " shard failure(s); retrying the evaluation");
   }
   throw Error("SplitLikelihood: evaluation still failing after " +
                   std::to_string(maxAttempts) + " failovers: " + lastFailure_,

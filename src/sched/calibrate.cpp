@@ -18,6 +18,7 @@
 #include "core/gamma.h"
 #include "core/model.h"
 #include "core/rng.h"
+#include "obs/journal.h"
 #include "kernels/workload.h"
 #include "perfmodel/device_profiles.h"
 
@@ -331,12 +332,16 @@ ResourceEstimate resourceEstimate(int resource, const CalibrationSpec& spec,
       } else {
         estimate = modelEstimate(resource, spec);
       }
-    } catch (const Error&) {
+    } catch (const Error& e) {
       // A calibration run that dies mid-workload (device fault, injected
       // or real) must not take the scheduler down with it: fall back to
       // the perf-model seed and keep scheduling.
       globalCounters().calibrationFailures.fetch_add(1,
                                                      std::memory_order_relaxed);
+      obs::Journal::instance().append(
+          obs::JournalKind::kCalibrationFallback, e.code(), /*instance=*/-1,
+          resource, /*shard=*/-1,
+          std::string("calibration failed, perf-model seed used: ") + e.what());
       estimate = modelEstimate(resource, spec);
     }
   } else {

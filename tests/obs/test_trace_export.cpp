@@ -209,12 +209,26 @@ void checkChromeTrace(const std::string& path, std::map<std::string, int>* categ
 
   std::map<double, std::vector<std::string>> stacks;  // tid -> open span names
   std::map<double, double> lastTs;
+  std::map<double, int> flowStarts;  // flow id -> "s" events seen
   int begins = 0, ends = 0;
   for (const auto& ev : events->items) {
     ASSERT_EQ(ev.kind, JsonValue::kObject);
     const JsonValue* ph = ev.get("ph");
     ASSERT_NE(ph, nullptr);
     if (ph->text == "M") continue;  // metadata (process_name)
+    if (ph->text == "s" || ph->text == "f") {
+      // Chrome flow events tying the enqueue span to the execution span:
+      // every flow opens ("s") before it lands ("f"), keyed by id.
+      const JsonValue* id = ev.get("id");
+      ASSERT_NE(id, nullptr) << "flow event without id";
+      if (ph->text == "s") {
+        ++flowStarts[id->number];
+      } else {
+        EXPECT_GT(flowStarts[id->number], 0)
+            << "flow finish without a start, id " << id->number;
+      }
+      continue;
+    }
     const JsonValue* name = ev.get("name");
     const JsonValue* ts = ev.get("ts");
     const JsonValue* tid = ev.get("tid");

@@ -18,6 +18,7 @@
 #include "api/bgl.h"
 #include "harness/genomictest.h"
 #include "tools/argparse.h"
+#include "tools/watch.h"
 
 namespace {
 
@@ -56,6 +57,11 @@ void printUsage(const char* program) {
       "                         even shards run on the CUDA runtime instead)\n"
       "  --balance MODE         equal | prop | adaptive split (default equal)\n"
       "  --rebalance            shorthand for --balance adaptive\n"
+      "  --watch MS             print live process statistics every MS\n"
+      "                         milliseconds and a journal summary at exit\n"
+      "  --metrics-file FILE    stream periodic JSON-lines metrics snapshots\n"
+      "                         to FILE (period from --watch, default 500 ms;\n"
+      "                         see docs/OBSERVABILITY.md)\n"
       "  --fault SPEC           arm deterministic fault injection before the\n"
       "                         run ([cuda:|opencl:]launch|memcpy|alloc:N,\n"
       "                         comma-separated; see docs/ROBUSTNESS.md)\n"
@@ -131,6 +137,10 @@ int main(int argc, char** argv) {
   std::printf("genomictest: %d tips, %d patterns, %d states, %d categories, %s\n",
               spec.tips, spec.patterns, spec.states, spec.categories,
               spec.singlePrecision ? "single precision" : "double precision");
+
+  const int watchMs = args.getInt("watch", 0);
+  const std::string metricsFile = args.get("metrics-file");
+  tools::StatsWatch watch(watchMs, metricsFile);
 
   const std::string faultSpec = args.get("fault");
   const bool faultArmed = !faultSpec.empty();
@@ -260,8 +270,10 @@ int main(int argc, char** argv) {
       }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
+      watch.stop();
       return 1;
     }
+    watch.stop();
     return 0;
   }
 
@@ -283,7 +295,9 @@ int main(int argc, char** argv) {
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    watch.stop();
     return 1;
   }
+  watch.stop();
   return 0;
 }

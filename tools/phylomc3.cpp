@@ -20,6 +20,7 @@
 #include "phylo/nexus.h"
 #include "phylo/seqsim.h"
 #include "tools/argparse.h"
+#include "tools/watch.h"
 
 namespace {
 
@@ -50,10 +51,16 @@ int main(int argc, char** argv) {
         "  --ml               maximum-likelihood hill-climb instead of MCMC\n"
         "  --trace FILE       Chrome trace JSON per instance (chains get\n"
         "                     unique .iN suffixes)\n"
-        "  --stats-json FILE  per-operation counters/timings as JSON\n",
+        "  --stats-json FILE  per-operation counters/timings as JSON\n"
+        "  --watch MS         print live process statistics every MS ms and\n"
+        "                     a journal summary at exit\n"
+        "  --metrics-file F   stream periodic JSON-lines metrics snapshots\n"
+        "                     to F (period from --watch, default 500 ms)\n",
         args.program().c_str());
     return 0;
   }
+
+  tools::StatsWatch watch(args.getInt("watch", 0), args.get("metrics-file"));
 
   try {
     // ---- data ----
@@ -165,7 +172,9 @@ int main(int argc, char** argv) {
     std::printf("MAP tree: %s\n", result.mapTree.toNewick().c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    watch.stop();
     return 1;
   }
+  watch.stop();
   return 0;
 }

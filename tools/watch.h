@@ -1,0 +1,148 @@
+// Live-metrics watcher shared by genomictest and phylomc3 (--watch):
+// starts the library's background metrics service (bglSetMetricsFile) when a
+// metrics file is requested, and prints a periodic one-line delta of the
+// process-wide statistics to stderr so a long run is observable while it is
+// still running. On stop it prints a summary of the journal (the process
+// flight recorder) — every fault firing, quarantine, failover step and
+// rebalance the run went through.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/bgl.h"
+
+namespace bgl::tools {
+
+inline const char* journalKindLabel(int kind) {
+  switch (kind) {
+    case BGL_JOURNAL_ERROR: return "error";
+    case BGL_JOURNAL_FAULT_INJECTED: return "fault-injected";
+    case BGL_JOURNAL_STREAM_ERROR: return "stream-error";
+    case BGL_JOURNAL_SHARD_QUARANTINE: return "shard-quarantine";
+    case BGL_JOURNAL_REAPPORTION: return "reapportion";
+    case BGL_JOURNAL_RETRY: return "retry";
+    case BGL_JOURNAL_CPU_FALLBACK: return "cpu-fallback";
+    case BGL_JOURNAL_REBALANCE: return "rebalance";
+    case BGL_JOURNAL_CALIBRATION_FALLBACK: return "calibration-fallback";
+  }
+  return "unknown";
+}
+
+class StatsWatch {
+ public:
+  /// `periodMs` <= 0 disables the live printer (the metrics file, if any,
+  /// still runs at the library default period).
+  StatsWatch(int periodMs, std::string metricsFile)
+      : periodMs_(periodMs), metricsFile_(std::move(metricsFile)) {
+    if (!metricsFile_.empty()) {
+      if (bglSetMetricsFile(metricsFile_.c_str(), periodMs_) != BGL_SUCCESS) {
+        std::fprintf(stderr, "warning: %s\n", bglGetLastErrorMessage());
+        metricsFile_.clear();
+      }
+    }
+    if (periodMs_ > 0) {
+      printer_ = std::thread([this] { printLoop(); });
+    }
+  }
+
+  ~StatsWatch() { stop(); }
+
+  StatsWatch(const StatsWatch&) = delete;
+  StatsWatch& operator=(const StatsWatch&) = delete;
+
+  /// Stop the watcher: final delta line, metrics-service shutdown (which
+  /// appends its own final JSON-lines snapshot), journal summary.
+  void stop() {
+    bool wasRunning = false;
+    {
+      std::lock_guard lock(mutex_);
+      if (stopped_) return;
+      stopped_ = true;
+      wasRunning = printer_.joinable();
+    }
+    wake_.notify_all();
+    if (wasRunning) printer_.join();
+    if (!metricsFile_.empty()) {
+      bglSetMetricsFile(nullptr, 0);
+      std::fprintf(stderr, "metrics written: %s\n", metricsFile_.c_str());
+    }
+    if (periodMs_ > 0 || !metricsFile_.empty()) printJournalSummary();
+  }
+
+ private:
+  void printLoop() {
+    for (;;) {
+      {
+        std::unique_lock lock(mutex_);
+        wake_.wait_for(lock, std::chrono::milliseconds(periodMs_),
+                       [this] { return stopped_; });
+        if (stopped_) break;
+      }
+      printDelta();
+    }
+    printDelta();  // final line so short runs still show one sample
+  }
+
+  void printDelta() {
+    BglProcessStatistics stats;
+    if (bglGetProcessStatistics(&stats) != BGL_SUCCESS) return;
+    // Deltas clamp at zero: bglResetStatistics mid-run shrinks the
+    // cumulative totals, and a monotone stream reads better than a
+    // negative spike.
+    const auto delta = [](unsigned long long cur, unsigned long long& prev) {
+      const unsigned long long d = cur > prev ? cur - prev : 0;
+      prev = cur;
+      return d;
+    };
+    const unsigned long long ops =
+        delta(stats.totals.partialsOperations, prevOps_);
+    const unsigned long long launches =
+        delta(stats.totals.kernelLaunches, prevLaunches_);
+    const unsigned long long journal =
+        delta(stats.journalRecords, prevJournal_);
+    std::fprintf(stderr,
+                 "watch: %d live  +%llu partials-ops  +%llu launches  "
+                 "pending %llu (max %llu)  +%llu journal\n",
+                 stats.liveInstances, ops, launches, stats.pendingDepth,
+                 stats.pendingDepthMax, journal);
+  }
+
+  void printJournalSummary() {
+    int total = 0;
+    if (bglGetJournal(nullptr, 0, &total) != BGL_SUCCESS || total == 0) return;
+    std::vector<BglJournalRecord> records(static_cast<std::size_t>(total));
+    int count = 0;
+    if (bglGetJournal(records.data(), total, &count) != BGL_SUCCESS) return;
+    std::fprintf(stderr, "journal: %d record(s)\n", count);
+    for (int i = 0; i < count; ++i) {
+      const BglJournalRecord& r = records[static_cast<std::size_t>(i)];
+      std::fprintf(stderr, "  [%llu] %-20s", r.sequence,
+                   journalKindLabel(r.kind));
+      if (r.instance >= 0) std::fprintf(stderr, " instance %d", r.instance);
+      if (r.resource >= 0) std::fprintf(stderr, " resource %d", r.resource);
+      if (r.shard >= 0) std::fprintf(stderr, " shard %d", r.shard);
+      if (r.code != 0) std::fprintf(stderr, " code %d", r.code);
+      std::fprintf(stderr, "  %s\n", r.message);
+    }
+  }
+
+  int periodMs_ = 0;
+  std::string metricsFile_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::thread printer_;
+  bool stopped_ = false;
+
+  unsigned long long prevOps_ = 0;
+  unsigned long long prevLaunches_ = 0;
+  unsigned long long prevJournal_ = 0;
+};
+
+}  // namespace bgl::tools
