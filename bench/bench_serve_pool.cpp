@@ -1,0 +1,341 @@
+// Serving-layer benchmark: pooled sessions vs per-request instance
+// lifecycle, and the O(depth) online-update contract.
+//
+// Part 1 replays a mixed many-client trace twice. The baseline pays the
+// full per-request cost a service without a pool would pay — calibration
+// (cold scheduler cache), bglCreateInstance, model + data staging, a full
+// evaluation, bglFinalizeInstance — once per session. The pooled path
+// replays the same trace through bglSessionOpen/Close, where instances
+// are recycled across sessions and admission uses cached estimates. The
+// acceptance gate is pooled throughput >= 3x the baseline.
+//
+// Part 2 builds a caterpillar tree on the simulated CUDA resource (async
+// command streams), then measures the streamedLaunches delta of one
+// online addTaxon + evaluate. The dirty path is O(depth) operations, one
+// fused launch per level, so the delta must stay within a small constant
+// of the dirtied-path length — while a full recompute issues one launch
+// per internal node. Both must agree bitwise.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/bgl.h"
+#include "bench/bench_util.h"
+#include "core/gamma.h"
+#include "core/model.h"
+#include "core/rng.h"
+#include "harness/serve_trace.h"
+#include "perfmodel/device_profiles.h"
+#include "phylo/seqsim.h"
+#include "sched/sched.h"
+
+namespace {
+
+using bgl::bench::JsonReport;
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One session's worth of baseline work: what a pool-less service pays per
+/// request. Returns the evaluation log likelihood.
+double baselineRequest(int states, int patterns, int categories, int taxa,
+                       unsigned seed) {
+  // Cold calibration, as a fresh process (or per-request re-calibration)
+  // would run it.
+  bgl::sched::clearCache();
+  bgl::sched::CalibrationSpec calib;
+  calib.states = states;
+  calib.patterns = patterns;
+  calib.categories = categories;
+  bgl::sched::benchmarkResource(0, calib);
+
+  const int resource = 0;
+  BglInstanceDetails details{};
+  const int instance = bglCreateInstance(
+      taxa, taxa, taxa, states, patterns, 1, 2 * taxa, categories, 0,
+      &resource, 1, 0, 0, &details);
+  if (instance < 0) {
+    std::fprintf(stderr, "baseline create failed (%d)\n", instance);
+    std::exit(1);
+  }
+
+  bgl::Rng rng(seed);
+  const auto model = bgl::defaultModelForStates(states, seed);
+  const auto es = model->eigenSystem();
+  bglSetEigenDecomposition(instance, 0, es.evec.data(), es.ivec.data(),
+                           es.eval.data());
+  bglSetStateFrequencies(instance, 0, model->frequencies().data());
+  const std::vector<double> weights(static_cast<std::size_t>(categories),
+                                    1.0 / categories);
+  bglSetCategoryWeights(instance, 0, weights.data());
+  const auto rates = categories > 1 ? bgl::discreteGammaRates(0.5, categories)
+                                    : std::vector<double>{1.0};
+  bglSetCategoryRates(instance, rates.data());
+  const std::vector<double> patternWeights(static_cast<std::size_t>(patterns),
+                                           1.0);
+  bglSetPatternWeights(instance, patternWeights.data());
+
+  const auto tipData = bgl::phylo::randomStates(taxa, patterns, states, rng);
+  std::vector<int> tip(static_cast<std::size_t>(patterns));
+  for (int t = 0; t < taxa; ++t) {
+    std::memcpy(tip.data(),
+                tipData.data() + static_cast<std::size_t>(t) * patterns,
+                sizeof(int) * static_cast<std::size_t>(patterns));
+    bglSetTipStates(instance, t, tip.data());
+  }
+
+  std::vector<int> matrices;
+  std::vector<double> lengths;
+  for (int m = 0; m < 2 * (taxa - 1); ++m) {
+    matrices.push_back(m);
+    lengths.push_back(rng.uniform(0.01, 0.5));
+  }
+  bglUpdateTransitionMatrices(instance, 0, matrices.data(), nullptr, nullptr,
+                              lengths.data(), static_cast<int>(matrices.size()));
+
+  // Caterpillar evaluation over all taxa.
+  std::vector<BglOperation> ops;
+  for (int i = 0; i < taxa - 1; ++i) {
+    BglOperation op;
+    op.destinationPartials = taxa + i;
+    op.destinationScaleWrite = BGL_OP_NONE;
+    op.destinationScaleRead = BGL_OP_NONE;
+    op.child1Partials = i == 0 ? 0 : taxa + i - 1;
+    op.child1TransitionMatrix = 2 * i;
+    op.child2Partials = i + 1;
+    op.child2TransitionMatrix = 2 * i + 1;
+    ops.push_back(op);
+  }
+  bglUpdatePartials(instance, ops.data(), static_cast<int>(ops.size()),
+                    BGL_OP_NONE);
+  const int rootBuffer = taxa + taxa - 2;
+  const int zero = 0;
+  double logL = 0.0;
+  bglCalculateRootLogLikelihoods(instance, &rootBuffer, &zero, &zero, nullptr,
+                                 1, &logL);
+  bglFinalizeInstance(instance);
+  return logL;
+}
+
+/// The mixed-client request schedule both paths replay: (states, patterns,
+/// categories, taxa, seed) per session, interleaved tenants.
+struct Request {
+  int states, patterns, categories, taxa;
+  unsigned seed;
+};
+
+std::vector<Request> requestMix() {
+  // Three shape classes (a nucleotide 4-category model, a fast no-gamma
+  // screen, and an amino-acid class), interleaved as three tenants would
+  // issue them. Tree sizes stay inside the pool's base capacity class so
+  // steady-state requests recycle instead of growing.
+  return {
+      {4, 300, 4, 8, 101}, {4, 200, 1, 6, 201}, {20, 120, 2, 6, 301},
+      {4, 200, 1, 7, 202}, {4, 300, 4, 7, 102}, {20, 120, 2, 5, 302},
+      {4, 200, 1, 5, 203}, {4, 300, 4, 8, 103}, {20, 120, 2, 6, 303},
+      {4, 200, 1, 6, 204}, {4, 300, 4, 6, 104}, {20, 120, 2, 5, 304},
+  };
+}
+
+}  // namespace
+
+int main() {
+  bgl::bench::printHeader(
+      "Serving-layer instance pool: pooled sessions vs per-request lifecycle",
+      "ISSUE 8 (likelihood-as-a-service); BEAGLE 4.1 long-lived instances");
+  JsonReport report("pr8", "Serving-layer instance pool",
+                    "likelihood-as-a-service, ICPP 2017 reproduction PR 8");
+
+  const std::vector<Request> mix = requestMix();
+
+  // ---- baseline: per-request create/calibrate/finalize ----
+  const double baseStart = now();
+  double baseLogL = 0.0;
+  for (const Request& r : mix) {
+    baseLogL = baselineRequest(r.states, r.patterns, r.categories, r.taxa,
+                               r.seed);
+  }
+  const double baselineSeconds = now() - baseStart;
+
+  // ---- pooled: the same sessions through the serving layer ----
+  bglPoolConfigure(nullptr);
+  bgl::sched::clearCache();
+  const double poolStart = now();
+  double poolLogL = 0.0;
+  for (const Request& r : mix) {
+    const int session = bglSessionOpen("bench", r.states, r.patterns,
+                                       r.categories, 0, 0, 0);
+    if (session < 0) {
+      std::fprintf(stderr, "pooled open failed (%d): %s\n", session,
+                   bglGetLastErrorMessage());
+      return 1;
+    }
+    const auto model = bgl::defaultModelForStates(r.states, r.seed);
+    const auto es = model->eigenSystem();
+    const std::vector<double> weights(
+        static_cast<std::size_t>(r.categories), 1.0 / r.categories);
+    const auto rates = r.categories > 1
+                           ? bgl::discreteGammaRates(0.5, r.categories)
+                           : std::vector<double>{1.0};
+    bglSessionSetModel(session, es.evec.data(), es.ivec.data(), es.eval.data(),
+                       model->frequencies().data(), weights.data(),
+                       rates.data(), nullptr);
+    bgl::Rng rng(r.seed);
+    const auto tipData =
+        bgl::phylo::randomStates(r.taxa, r.patterns, r.states, rng);
+    std::vector<int> tip(static_cast<std::size_t>(r.patterns));
+    for (int t = 0; t < r.taxa; ++t) {
+      std::memcpy(tip.data(),
+                  tipData.data() + static_cast<std::size_t>(t) * r.patterns,
+                  sizeof(int) * static_cast<std::size_t>(r.patterns));
+      BglSessionDetails details{};
+      bglSessionGetDetails(session, &details);
+      // Caterpillar: attach every taxon at the previous tip's join point
+      // (node ids grow monotonically; attaching at the root each time).
+      bglSessionAddTaxon(session, tip.data(), details.root < 0 ? 0 : details.root,
+                         rng.uniform(0.01, 0.5), rng.uniform(0.01, 0.5));
+    }
+    if (bglSessionLogLikelihood(session, &poolLogL) != BGL_SUCCESS) {
+      std::fprintf(stderr, "pooled eval failed: %s\n", bglGetLastErrorMessage());
+      return 1;
+    }
+    bglSessionClose(session);
+  }
+  const double pooledSeconds = now() - poolStart;
+
+  BglPoolStatistics pool{};
+  bglPoolGetStatistics(&pool);
+  const double speedup = baselineSeconds / pooledSeconds;
+
+  std::printf("\nrequests: %zu sessions (mixed shapes, interleaved tenants)\n",
+              mix.size());
+  std::printf("%-46s %10.4f s\n",
+              "baseline (create/calibrate/finalize per request)",
+              baselineSeconds);
+  std::printf("%-46s %10.4f s\n", "pooled (bglSession*, recycled leases)",
+              pooledSeconds);
+  std::printf("%-46s %10.2fx\n", "speedup", speedup);
+  std::printf("pool: created %llu  recycled %llu  grows %llu\n",
+              pool.instancesCreated, pool.instancesRecycled, pool.reinitGrows);
+  (void)baseLogL;
+
+  report.row()
+      .field("section", "pooled-vs-per-request")
+      .field("requests", static_cast<int>(mix.size()))
+      .field("baselineSeconds", baselineSeconds)
+      .field("pooledSeconds", pooledSeconds)
+      .field("speedup", speedup)
+      .field("recycled", static_cast<double>(pool.instancesRecycled))
+      .field("gate", "speedup >= 3x");
+
+  bool pass = speedup >= 3.0;
+  if (!pass) {
+    std::fprintf(stderr, "GATE FAILED: pooled speedup %.2fx < 3x\n", speedup);
+  }
+
+  // ---- online update: O(depth) launches, bit-identical logL ----
+  std::printf("\nonline update on the simulated CUDA resource "
+              "(async command streams):\n");
+  {
+    const int states = 4, patterns = 512, categories = 4, taxa = 24;
+    const int session = bglSessionOpen("bench-online", states, patterns,
+                                       categories, bgl::perf::kQuadroP5000,
+                                       0, 0);
+    if (session < 0) {
+      std::fprintf(stderr, "online open failed (%d): %s\n", session,
+                   bglGetLastErrorMessage());
+      return 1;
+    }
+    const auto model = bgl::defaultModelForStates(states, 7);
+    const auto es = model->eigenSystem();
+    const std::vector<double> weights(static_cast<std::size_t>(categories),
+                                      1.0 / categories);
+    const auto rates = bgl::discreteGammaRates(0.5, categories);
+    bglSessionSetModel(session, es.evec.data(), es.ivec.data(), es.eval.data(),
+                       model->frequencies().data(), weights.data(),
+                       rates.data(), nullptr);
+    bgl::Rng rng(7);
+    const auto tipData =
+        bgl::phylo::randomStates(taxa + 1, patterns, states, rng);
+    std::vector<int> tip(static_cast<std::size_t>(patterns));
+    for (int t = 0; t < taxa; ++t) {
+      std::memcpy(tip.data(),
+                  tipData.data() + static_cast<std::size_t>(t) * patterns,
+                  sizeof(int) * static_cast<std::size_t>(patterns));
+      BglSessionDetails details{};
+      bglSessionGetDetails(session, &details);
+      bglSessionAddTaxon(session, tip.data(),
+                         details.root < 0 ? 0 : details.root,
+                         rng.uniform(0.01, 0.5), rng.uniform(0.01, 0.5));
+    }
+    double warm = 0.0;
+    bglSessionLogLikelihood(session, &warm);  // settle the tree
+
+    BglSessionDetails details{};
+    bglSessionGetDetails(session, &details);
+    BglStatistics before{};
+    bglGetStatistics(details.instance, &before);
+
+    // One online update: a new taxon at the root dirties a path of one new
+    // join node — O(1) partials ops here; O(depth) in general.
+    std::memcpy(tip.data(),
+                tipData.data() + static_cast<std::size_t>(taxa) * patterns,
+                sizeof(int) * static_cast<std::size_t>(patterns));
+    bglSessionAddTaxon(session, tip.data(), details.root, 0.1, 0.2);
+    double online = 0.0;
+    bglSessionLogLikelihood(session, &online);
+
+    bglSessionGetDetails(session, &details);
+    BglStatistics after{};
+    bglGetStatistics(details.instance, &after);
+    const unsigned long long onlineLaunches =
+        after.streamedLaunches - before.streamedLaunches;
+
+    double full = 0.0;
+    bglSessionFullLogLikelihood(session, &full);
+    BglStatistics final{};
+    bglGetStatistics(details.instance, &final);
+    const unsigned long long fullLaunches =
+        final.streamedLaunches - after.streamedLaunches;
+
+    const bool identical = online == full;
+    // The dirtied path after attaching at the root is a single join node:
+    // one partials level. Matrices (one fused batch) and the root kernel
+    // ride along — allow a small constant.
+    const bool launchesOk = onlineLaunches <= 8 && onlineLaunches > 0 &&
+                            fullLaunches > onlineLaunches;
+
+    std::printf("  online addTaxon+eval: %llu streamed launches\n",
+                onlineLaunches);
+    std::printf("  full recompute:       %llu streamed launches\n",
+                fullLaunches);
+    std::printf("  logL online %.10f  full %.10f  %s\n", online, full,
+                identical ? "bit-identical" : "MISMATCH");
+    report.row()
+        .field("section", "online-update")
+        .field("onlineStreamedLaunches", static_cast<double>(onlineLaunches))
+        .field("fullStreamedLaunches", static_cast<double>(fullLaunches))
+        .field("bitIdentical", identical ? 1 : 0)
+        .field("gate", "online launches O(depth), logL bit-identical");
+    if (!identical) {
+      std::fprintf(stderr, "GATE FAILED: online logL != full logL\n");
+      pass = false;
+    }
+    if (!launchesOk) {
+      std::fprintf(stderr,
+                   "GATE FAILED: online launches %llu (full %llu) not O(depth)\n",
+                   onlineLaunches, fullLaunches);
+      pass = false;
+    }
+    bglSessionClose(session);
+  }
+
+  std::printf("\n%s\n", pass ? "ALL GATES PASSED" : "GATE FAILURE");
+  return pass ? 0 : 1;
+}

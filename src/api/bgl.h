@@ -30,7 +30,10 @@ typedef enum BglReturnCode {
   BGL_ERROR_NO_RESOURCE = -6,
   BGL_ERROR_NO_IMPLEMENTATION = -7,
   BGL_ERROR_FLOATING_POINT = -8,
-  BGL_ERROR_HARDWARE = -9        /**< device/runtime failure (launch, transfer) */
+  BGL_ERROR_HARDWARE = -9,       /**< device/runtime failure (launch, transfer) */
+  BGL_ERROR_REJECTED = -10       /**< admission control refused the request
+                                      (quota, backpressure, or load shedding);
+                                      retry later or against another pool */
 } BglReturnCode;
 
 /**
@@ -456,10 +459,15 @@ const char* bglGetLastErrorMessage(void);
  *   alloc:B   — device allocations beyond a cumulative budget of B bytes
  *               fail (persistent)
  * and framework optionally "cuda" or "opencl" to restrict the directive
- * to one runtime. Fired faults surface as BGL_ERROR_HARDWARE (or
- * BGL_ERROR_OUT_OF_MEMORY for the allocation budget) with detail in
- * bglGetLastErrorMessage. Passing NULL or "" disarms. Equivalent to
- * setting BGL_FAULT in the environment before the first library call.
+ * to one runtime, or "host" for the host-allocation site consulted by the
+ * serving layer's instance pool: `host:alloc:N` makes the Nth pooled
+ * instance creation (including grow-on-demand reinits) after this call
+ * fail with BGL_ERROR_OUT_OF_MEMORY (one-shot, event-counted rather than
+ * byte-budgeted; `host` supports only `alloc`). Fired faults surface as
+ * BGL_ERROR_HARDWARE (or BGL_ERROR_OUT_OF_MEMORY for the allocation
+ * sites) with detail in bglGetLastErrorMessage. Passing NULL or ""
+ * disarms. Equivalent to setting BGL_FAULT in the environment before the
+ * first library call.
  *
  * Returns BGL_ERROR_OUT_OF_RANGE (with detail in the last-error
  * message) on a malformed spec, leaving the previous spec armed.
@@ -482,7 +490,11 @@ typedef enum BglJournalKind {
   BGL_JOURNAL_RETRY = 6,                /**< shard set rebuilt, evaluation retried */
   BGL_JOURNAL_CPU_FALLBACK = 7,         /**< last-resort host-CPU fallback engaged */
   BGL_JOURNAL_REBALANCE = 8,            /**< adaptive load balancer re-split */
-  BGL_JOURNAL_CALIBRATION_FALLBACK = 9  /**< calibration errored; model seed used */
+  BGL_JOURNAL_CALIBRATION_FALLBACK = 9, /**< calibration errored; model seed used */
+  BGL_JOURNAL_ADMISSION_REJECT = 10,    /**< serving layer refused a session */
+  BGL_JOURNAL_POOL_EVICT = 11,          /**< idle pooled instance finalized */
+  BGL_JOURNAL_POOL_REINIT = 12          /**< pooled instance re-created larger
+                                             (grow-on-demand reinit) */
 } BglJournalKind;
 
 /** One journal record. Ids that do not apply are -1; `message` is always
@@ -540,6 +552,140 @@ int bglGetProcessStatistics(BglProcessStatistics* outStatistics);
  * bglCreateInstance. Enables span timing on all live and future instances.
  */
 int bglSetMetricsFile(const char* path, int periodMs);
+
+/* ------------------------------------------------------------------ */
+/* Likelihood-as-a-service: multi-tenant instance pool and sessions.  */
+/*                                                                    */
+/* A long-lived server process multiplexes many concurrent analyses   */
+/* over a shared pool of recycled instances instead of paying full    */
+/* create/calibrate/finalize per request. Sessions are admission-     */
+/* controlled (per-tenant quotas, queue-depth backpressure, load      */
+/* shedding driven by the scheduler's calibration data) and support   */
+/* online tree updates: adding a taxon or changing a branch length    */
+/* recomputes only the dirtied path to the root. See docs/SERVING.md. */
+/* ------------------------------------------------------------------ */
+
+/** Serving-layer limits. Zero/negative fields select the defaults. */
+typedef struct BglPoolConfig {
+  int maxSessions;            /**< concurrent sessions, all tenants (default 64) */
+  int maxSessionsPerTenant;   /**< concurrent sessions per tenant (default 8) */
+  long long maxPendingDepth;  /**< reject opens while the process async queue
+                                   depth exceeds this (default 4096) */
+  double maxEstimatedLoad;    /**< reject opens once the summed calibrated
+                                   seconds-per-evaluation of live sessions
+                                   exceeds this (default: unlimited) */
+  int idleEvictMs;            /**< free pooled instances idle at least this
+                                   long are finalized on the next pool sweep
+                                   (default 30000; 0 keeps the default) */
+} BglPoolConfig;
+
+/**
+ * Configure the process-wide serving layer. May be called at any time;
+ * new limits apply to subsequent admissions and sweeps (already-admitted
+ * sessions are never revoked). Passing NULL restores the defaults.
+ */
+int bglPoolConfigure(const BglPoolConfig* config);
+
+/** Serving-layer occupancy gauges and admission counters. */
+typedef struct BglPoolStatistics {
+  int liveSessions;                      /**< sessions currently open */
+  int pooledInstances;                   /**< instances the pool owns (leased + free) */
+  int freeInstances;                     /**< instances on the free list */
+  unsigned long long admitted;           /**< session opens admitted */
+  unsigned long long rejectedQuota;      /**< opens rejected on a tenant/global quota */
+  unsigned long long rejectedBackpressure; /**< opens rejected on queue depth */
+  unsigned long long rejectedLoad;       /**< opens shed on calibrated load */
+  unsigned long long instancesCreated;   /**< pool instances ever created */
+  unsigned long long instancesRecycled;  /**< acquisitions served from the free list */
+  unsigned long long reinitGrows;        /**< grow-on-demand reinits applied */
+  unsigned long long evictions;          /**< idle instances finalized */
+  double estimatedLoadSeconds;           /**< summed calibrated seconds/evaluation
+                                              of live sessions */
+} BglPoolStatistics;
+
+/** Read the serving layer's statistics (zeros before first use). */
+int bglPoolGetStatistics(BglPoolStatistics* outStatistics);
+
+/**
+ * Sweep the free list now, finalizing instances idle for at least
+ * `idleMs` milliseconds (0: every free instance). Returns the number
+ * evicted. Sweeps also run opportunistically on acquire/release.
+ */
+int bglPoolTrim(int idleMs);
+
+/**
+ * Open an admission-controlled analysis session for `tenant` (NULL or ""
+ * reads as the anonymous tenant). The session leases a pooled instance
+ * matched on (resource, shape class) — recycled when one is free, created
+ * on demand otherwise — and releases it for reuse at bglSessionClose.
+ *
+ * @return session id (>= 0), BGL_ERROR_REJECTED when admission control
+ * refuses (detail in bglGetLastErrorMessage), or another BglReturnCode.
+ */
+int bglSessionOpen(const char* tenant, int stateCount, int patternCount,
+                   int categoryCount, int resource, long preferenceFlags,
+                   long requirementFlags);
+
+/** Close a session and return its instance to the pool's free list. */
+int bglSessionClose(int session);
+
+/**
+ * Supply the session's substitution model: row-major eigenvectors,
+ * inverse eigenvectors and eigenvalues, state frequencies, category
+ * weights and rates, and per-pattern weights (NULL: unit weights). May be
+ * called again to swap models; doing so dirties the whole tree.
+ */
+int bglSessionSetModel(int session, const double* inEigenVectors,
+                       const double* inInverseEigenVectors,
+                       const double* inEigenValues, const double* inFrequencies,
+                       const double* inCategoryWeights,
+                       const double* inCategoryRates,
+                       const double* inPatternWeights);
+
+/**
+ * Online update: add one taxon (compact states, patternCount entries) to
+ * the live tree. The first taxon creates a single-tip tree (attachNode
+ * ignored); the second joins both tips under a new root. Later taxa split
+ * the edge above `attachNode`: the attach node keeps `distalLength` below
+ * the new internal node and the new tip hangs at `pendantLength`
+ * (attaching at the root instead grows a new root above it, with the old
+ * root at `distalLength`). Only the path from the
+ * attachment point to the root is marked dirty, so the next
+ * bglSessionLogLikelihood re-enqueues O(depth) operations rather than the
+ * whole tree. Outgrowing the leased instance triggers a grow-on-demand
+ * reinit from the pool (never a "ran out of slots" failure).
+ *
+ * @return the new tip's node id (>= 0) or a negative BglReturnCode.
+ */
+int bglSessionAddTaxon(int session, const int* inStates, int attachNode,
+                       double distalLength, double pendantLength);
+
+/** Online update: set the branch length above `node` (dirties its path). */
+int bglSessionSetBranch(int session, int node, double length);
+
+/**
+ * Log likelihood of the live tree, recomputing only dirtied transition
+ * matrices and the dirtied partials paths (bit-identical to a full
+ * recompute). Needs >= 2 taxa and a model.
+ */
+int bglSessionLogLikelihood(int session, double* outLogLikelihood);
+
+/** Reference path: mark everything dirty and recompute from the tips. */
+int bglSessionFullLogLikelihood(int session, double* outLogLikelihood);
+
+/** Shape and placement of a live session. */
+typedef struct BglSessionDetails {
+  int instance;        /**< leased instance id (valid until close/reinit) */
+  int taxa;            /**< taxa in the live tree */
+  int nodes;           /**< node ids in [0, nodes) are addressable */
+  int root;            /**< current root node id (-1: empty tree) */
+  int tipCapacity;     /**< taxa the leased instance can hold before reinit */
+  const char* implName;/**< implementation serving the lease */
+} BglSessionDetails;
+
+/** Describe a live session (implName owned by the library, valid until
+ * the session's next library call). */
+int bglSessionGetDetails(int session, BglSessionDetails* outDetails);
 
 #ifdef __cplusplus
 }

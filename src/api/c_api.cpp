@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "api/implementation.h"
+#include "api/last_error.h"
 #include "api/registry.h"
 #include "core/defs.h"
 #include "fault/fault.h"
@@ -27,6 +28,7 @@ static_assert(bgl::kErrGeneral == BGL_ERROR_GENERAL);
 static_assert(bgl::kErrOutOfMemory == BGL_ERROR_OUT_OF_MEMORY);
 static_assert(bgl::kErrOutOfRange == BGL_ERROR_OUT_OF_RANGE);
 static_assert(bgl::kErrHardware == BGL_ERROR_HARDWARE);
+static_assert(bgl::kErrRejected == BGL_ERROR_REJECTED);
 
 // BglJournalKind mirrors obs::JournalKind; keep the two in lockstep.
 static_assert(BGL_JOURNAL_ERROR ==
@@ -46,6 +48,12 @@ static_assert(BGL_JOURNAL_REBALANCE ==
               static_cast<int>(bgl::obs::JournalKind::kRebalance));
 static_assert(BGL_JOURNAL_CALIBRATION_FALLBACK ==
               static_cast<int>(bgl::obs::JournalKind::kCalibrationFallback));
+static_assert(BGL_JOURNAL_ADMISSION_REJECT ==
+              static_cast<int>(bgl::obs::JournalKind::kAdmissionReject));
+static_assert(BGL_JOURNAL_POOL_EVICT ==
+              static_cast<int>(bgl::obs::JournalKind::kPoolEvict));
+static_assert(BGL_JOURNAL_POOL_REINIT ==
+              static_cast<int>(bgl::obs::JournalKind::kPoolReinit));
 static_assert(sizeof(BglJournalRecord{}.message) ==
               bgl::obs::JournalRecord::kMessageBytes);
 
@@ -78,7 +86,7 @@ void setLastError(std::string message) { t_lastError = std::move(message); }
 /// arbitrary integers through the C ABI).
 int returnCodeFor(const bgl::Error& error) {
   const int code = error.code();
-  return (code <= BGL_SUCCESS && code >= BGL_ERROR_HARDWARE) ? code
+  return (code <= BGL_SUCCESS && code >= BGL_ERROR_REJECTED) ? code
                                                              : BGL_ERROR_GENERAL;
 }
 
@@ -172,6 +180,16 @@ void startMetricsFromEnvOnce() {
 }
 
 }  // namespace
+
+namespace bgl::api {
+
+void setThreadLastError(std::string message) {
+  setLastError(std::move(message));
+}
+
+void clearThreadLastError() { t_lastError.clear(); }
+
+}  // namespace bgl::api
 
 extern "C" {
 

@@ -1,0 +1,17 @@
+// Internal: the thread-local last-error channel behind
+// bglGetLastErrorMessage. The channel lives in c_api.cpp; other C API
+// translation units (sched_c_api.cpp, serve_c_api.cpp) use these hooks to
+// attach detail to the codes they return. Not part of the public surface.
+#pragma once
+
+#include <string>
+
+namespace bgl::api {
+
+/// Replace the calling thread's last-error detail.
+void setThreadLastError(std::string message);
+
+/// Clear the calling thread's last-error detail (entry-point preamble).
+void clearThreadLastError();
+
+}  // namespace bgl::api

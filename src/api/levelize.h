@@ -19,21 +19,46 @@ namespace bgl {
 
 /// Assign each operation its dependency level (0 = no dependencies inside
 /// the batch). `level` is resized to `count`. Returns the maximum level.
-/// O(count^2), which is negligible against the kernel work even for
-/// thousand-operation batches.
+///
+/// O(count) single pass over the batch: a dense table tracks, per partials
+/// buffer, the level of the *latest* operation so far that writes it. That
+/// is sufficient because repeated writers of one destination are forced
+/// strictly upward (a later writer levels at least one above any earlier
+/// writer of the same buffer), so the latest writer always carries the
+/// maximum level among them — consulting it alone reproduces the max the
+/// old quadratic scan took over every earlier writer. The serving layer
+/// re-levelizes a batch per online update, so this pass being cheap
+/// matters beyond amortized whole-tree updates.
 inline int levelizeOperations(const BglOperation* ops, int count,
                               std::vector<int>& level) {
   level.assign(static_cast<std::size_t>(count > 0 ? count : 0), 0);
+  if (count <= 0) return 0;
+
+  int maxBuffer = -1;
+  for (int i = 0; i < count; ++i) {
+    maxBuffer = std::max({maxBuffer, ops[i].destinationPartials,
+                          ops[i].child1Partials, ops[i].child2Partials});
+  }
+
+  // writerLevel[b]: level of the latest in-batch write to buffer b, or -1
+  // when the batch has not written b (tip buffers, external inputs).
+  std::vector<int> writerLevel(static_cast<std::size_t>(maxBuffer + 1), -1);
   int maxLevel = 0;
   for (int i = 0; i < count; ++i) {
-    for (int j = 0; j < i; ++j) {
-      if (ops[j].destinationPartials == ops[i].child1Partials ||
-          ops[j].destinationPartials == ops[i].child2Partials ||
-          ops[j].destinationPartials == ops[i].destinationPartials) {
-        level[i] = std::max(level[i], level[j] + 1);
+    int lv = 0;
+    const auto feeds = [&](int buffer) {
+      if (buffer >= 0 && writerLevel[static_cast<std::size_t>(buffer)] >= 0) {
+        lv = std::max(lv, writerLevel[static_cast<std::size_t>(buffer)] + 1);
       }
+    };
+    feeds(ops[i].child1Partials);
+    feeds(ops[i].child2Partials);
+    feeds(ops[i].destinationPartials);
+    level[i] = lv;
+    if (ops[i].destinationPartials >= 0) {
+      writerLevel[static_cast<std::size_t>(ops[i].destinationPartials)] = lv;
     }
-    maxLevel = std::max(maxLevel, level[i]);
+    maxLevel = std::max(maxLevel, lv);
   }
   return maxLevel;
 }

@@ -36,6 +36,7 @@ inline constexpr int kErrGeneral = -1;
 inline constexpr int kErrOutOfMemory = -2;
 inline constexpr int kErrOutOfRange = -5;
 inline constexpr int kErrHardware = -9;
+inline constexpr int kErrRejected = -10;
 
 /// Thrown on unrecoverable internal errors (API-level errors return codes).
 /// `code` classifies the failure for the C API shim: it becomes the

@@ -89,9 +89,10 @@ bool Injector::configure(const std::string& spec, std::string* error) {
         lastColon - (kindStart == std::string::npos ? 0 : kindStart + 1));
     const std::string valueText = piece.substr(lastColon + 1);
 
-    if (!framework.empty() && framework != "cuda" && framework != "opencl") {
+    if (!framework.empty() && framework != "cuda" && framework != "opencl" &&
+        framework != "host") {
       if (error != nullptr) *error = "unknown fault framework '" + framework +
-                                     "' (expected cuda or opencl)";
+                                     "' (expected cuda, opencl or host)";
       return false;
     }
     auto directive = std::make_unique<Directive>();
@@ -105,6 +106,11 @@ bool Injector::configure(const std::string& spec, std::string* error) {
     } else {
       if (error != nullptr) *error = "unknown fault kind '" + kindText +
                                      "' (expected launch, memcpy or alloc)";
+      return false;
+    }
+    if (framework == "host" && directive->kind != Kind::Alloc) {
+      if (error != nullptr) *error = "the host fault site supports only alloc "
+                                     "(got '" + kindText + "')";
       return false;
     }
     long long value = 0;
@@ -184,12 +190,32 @@ void Injector::onMemcpy(const char* framework, std::size_t bytes) {
   }
 }
 
+void Injector::onHostAlloc(const char* what, std::size_t bytes) {
+  State* s = state_.load(std::memory_order_acquire);
+  if (s == nullptr) return;
+  for (auto& d : s->directives) {
+    // Host directives are always explicit (`host:alloc:N`); device-wide
+    // alloc budgets never match the host checkpoint.
+    if (d->kind != Kind::Alloc || d->framework != "host") continue;
+    // Event-counted one-shot, same scheme as launch:N.
+    if (d->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      d->fired.store(true, std::memory_order_relaxed);
+      journalFired(d->kind, "host", d->value, kErrOutOfMemory);
+      throw Error("fault: injected host allocation failure (" +
+                      std::string(what) + ", " + std::to_string(bytes) +
+                      " bytes, checkpoint " + std::to_string(d->value) + ")",
+                  kErrOutOfMemory);
+    }
+  }
+}
+
 void Injector::onAlloc(const char* framework, std::size_t bytes) {
   State* s = state_.load(std::memory_order_acquire);
   if (s == nullptr) return;
   s->allocBytes.fetch_add(bytes, std::memory_order_relaxed);
   for (auto& d : s->directives) {
     if (d->kind != Kind::Alloc) continue;
+    if (d->framework == "host") continue;
     if (!d->framework.empty() && d->framework != framework) continue;
     // Persistent budget: the allocation that crosses it fails, and so
     // does every allocation after (the budget only ever shrinks).

@@ -15,14 +15,22 @@
 // Spec grammar (comma-separated directives):
 //   [framework:]kind:value
 //     kind = launch | memcpy | alloc
-//     framework = cuda | opencl      (optional; default: both runtimes)
+//     framework = cuda | opencl | host  (optional; default: both device
+//                                        runtimes — never the host site)
 //   launch:N  — the Nth kernel launch after configuration fails (one-shot)
 //   memcpy:N  — the Nth device copy (either direction) fails (one-shot)
 //   alloc:B   — device allocations beyond a cumulative budget of B bytes
 //               fail (persistent: once exhausted, every later allocation
 //               fails too)
+//   host:alloc:N — the Nth host-allocation checkpoint fails (one-shot,
+//               event-counted rather than byte-budgeted). The serving
+//               layer's instance pool consults this site before every
+//               pooled instance creation — including grow-on-demand
+//               reinits — so pool growth failure paths are
+//               deterministically testable. `host` supports only `alloc`.
 //
-// Examples: "launch:2", "cuda:launch:1,opencl:memcpy:3", "alloc:1048576".
+// Examples: "launch:2", "cuda:launch:1,opencl:memcpy:3", "alloc:1048576",
+// "host:alloc:2".
 //
 // The disabled fast path is one relaxed atomic load; instrumented
 // runtimes pay nothing when no spec is armed.
@@ -77,6 +85,12 @@ class Injector {
   void onLaunch(const char* framework);
   void onMemcpy(const char* framework, std::size_t bytes);
   void onAlloc(const char* framework, std::size_t bytes);
+
+  /// Host-allocation checkpoint (serving-layer instance pool). Counts
+  /// events, not bytes: a `host:alloc:N` directive makes the Nth
+  /// checkpoint after arming throw bgl::Error(kErrOutOfMemory). `what`
+  /// names the allocation for the error message and journal record.
+  void onHostAlloc(const char* what, std::size_t bytes);
 
   Counters counters() const;
 

@@ -1,0 +1,248 @@
+#include "harness/serve_trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "api/bgl.h"
+#include "core/defs.h"
+#include "core/gamma.h"
+#include "core/model.h"
+#include "core/rng.h"
+#include "phylo/seqsim.h"
+
+namespace bgl::harness {
+namespace {
+
+/// Append the thread-local API error detail (when any) to `message`.
+std::string withLastError(std::string message) {
+  if (const char* detail = bglGetLastErrorMessage();
+      detail != nullptr && *detail != '\0') {
+    message += ": ";
+    message += detail;
+  }
+  return message;
+}
+
+struct Tenant {
+  int session = -1;
+  int states = 4;
+  int patterns = 0;
+  int categories = 1;
+  bool evaluated = false;
+  double lastOnlineLogL = 0.0;
+};
+
+/// Add one random taxon to the tenant's session.
+void addRandomTaxon(const std::string& name, Tenant& tenant, Rng& rng) {
+  const std::vector<int> states =
+      phylo::randomStates(1, tenant.patterns, tenant.states, rng);
+  BglSessionDetails details{};
+  int rc = bglSessionGetDetails(tenant.session, &details);
+  if (rc != BGL_SUCCESS) {
+    throw Error(withLastError("trace: getDetails failed for '" + name + "'"),
+                rc);
+  }
+  const int attach = details.nodes > 0 ? rng.belowInt(details.nodes) : 0;
+  const double distal = rng.uniform(0.01, 0.3);
+  const double pendant = rng.uniform(0.01, 0.3);
+  rc = bglSessionAddTaxon(tenant.session, states.data(), attach, distal,
+                          pendant);
+  if (rc < 0) {
+    throw Error(withLastError("trace: addTaxon failed for '" + name + "'"), rc);
+  }
+}
+
+}  // namespace
+
+ReplayStats replayServeTrace(std::istream& in, const ReplayOptions& options) {
+  ReplayStats stats;
+  std::map<std::string, Tenant> tenants;
+  std::string line;
+  int lineNumber = 0;
+
+  const auto fail = [&](const std::string& what) -> void {
+    throw Error("trace line " + std::to_string(lineNumber) + ": " + what,
+                kErrOutOfRange);
+  };
+  // nullptr when the tenant has no live session — its open was rejected by
+  // admission control, it never opened, or it already closed. The caller
+  // skips the command (a real client backs off after a rejection).
+  const auto liveTenant = [&](const std::string& name) -> Tenant* {
+    const auto it = tenants.find(name);
+    if (it == tenants.end() || it->second.session < 0) return nullptr;
+    return &it->second;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineNumber;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream words(line);
+    std::string name, verb;
+    if (!(words >> name >> verb)) continue;  // blank or comment-only line
+    ++stats.commands;
+    if (options.verbose) {
+      std::printf("trace:%d  %s %s\n", lineNumber, name.c_str(), verb.c_str());
+    }
+
+    if (verb == "open") {
+      int states = 0, patterns = 0, categories = 0, resource = 0;
+      if (!(words >> states >> patterns >> categories)) {
+        fail("open needs <states> <patterns> <categories> [resource]");
+      }
+      words >> resource;  // optional, defaults to 0 (host)
+      const int session = bglSessionOpen(name.c_str(), states, patterns,
+                                         categories, resource, 0, 0);
+      if (session == BGL_ERROR_REJECTED) {
+        ++stats.rejected;
+        continue;
+      }
+      if (session < 0) {
+        fail(withLastError("open failed for '" + name + "' (code " +
+                           std::to_string(session) + ")"));
+      }
+      ++stats.opens;
+      Tenant tenant;
+      tenant.session = session;
+      tenant.states = states;
+      tenant.patterns = patterns;
+      tenant.categories = categories;
+      tenants[name] = tenant;
+    } else if (verb == "model") {
+      unsigned long long seed = 0;
+      if (!(words >> seed)) fail("model needs <seed>");
+      Tenant* live = liveTenant(name);
+      if (live == nullptr) {
+        ++stats.skipped;
+        continue;
+      }
+      Tenant& tenant = *live;
+      const auto model =
+          defaultModelForStates(tenant.states, static_cast<unsigned>(seed));
+      const auto es = model->eigenSystem();
+      const std::vector<double> weights(
+          static_cast<std::size_t>(tenant.categories),
+          1.0 / tenant.categories);
+      const std::vector<double> rates =
+          tenant.categories > 1 ? discreteGammaRates(0.5, tenant.categories)
+                                : std::vector<double>{1.0};
+      const int rc = bglSessionSetModel(
+          tenant.session, es.evec.data(), es.ivec.data(), es.eval.data(),
+          model->frequencies().data(), weights.data(), rates.data(), nullptr);
+      if (rc != BGL_SUCCESS) {
+        fail(withLastError("model failed for '" + name + "'"));
+      }
+      tenant.evaluated = false;
+    } else if (verb == "taxa" || verb == "add") {
+      int count = 1;
+      unsigned long long seed = 0;
+      if (verb == "taxa" && !(words >> count)) fail("taxa needs <count> <seed>");
+      if (!(words >> seed)) fail(verb + " needs <seed>");
+      Tenant* live = liveTenant(name);
+      if (live == nullptr) {
+        ++stats.skipped;
+        continue;
+      }
+      Tenant& tenant = *live;
+      Rng rng(seed);
+      for (int i = 0; i < count; ++i) {
+        addRandomTaxon(name, tenant, rng);
+        ++stats.taxaAdded;
+      }
+      tenant.evaluated = false;  // the tree changed; eval/full can differ
+    } else if (verb == "branch") {
+      unsigned long long seed = 0;
+      if (!(words >> seed)) fail("branch needs <seed>");
+      Tenant* live = liveTenant(name);
+      if (live == nullptr) {
+        ++stats.skipped;
+        continue;
+      }
+      Tenant& tenant = *live;
+      Rng rng(seed);
+      BglSessionDetails details{};
+      bglSessionGetDetails(tenant.session, &details);
+      if (details.nodes < 2) fail("branch needs a tree with >= 2 nodes");
+      // Retry until a non-root node comes up (the root has no branch).
+      for (;;) {
+        const int node = rng.belowInt(details.nodes);
+        if (node == details.root) continue;
+        const int rc = bglSessionSetBranch(tenant.session, node,
+                                           rng.uniform(0.01, 0.5));
+        if (rc != BGL_SUCCESS) {
+          fail(withLastError("branch failed for '" + name + "'"));
+        }
+        break;
+      }
+      ++stats.branchSets;
+      tenant.evaluated = false;  // the tree changed; eval/full can differ
+    } else if (verb == "eval" || verb == "full") {
+      Tenant* live = liveTenant(name);
+      if (live == nullptr) {
+        ++stats.skipped;
+        continue;
+      }
+      Tenant& tenant = *live;
+      double logL = 0.0;
+      const int rc = verb == "eval"
+                         ? bglSessionLogLikelihood(tenant.session, &logL)
+                         : bglSessionFullLogLikelihood(tenant.session, &logL);
+      if (rc != BGL_SUCCESS) {
+        fail(withLastError(verb + " failed for '" + name + "'"));
+      }
+      if (verb == "eval") {
+        ++stats.evals;
+        tenant.evaluated = true;
+        tenant.lastOnlineLogL = logL;
+      } else {
+        ++stats.fulls;
+        // An eval directly before a full sees the same tree, so the online
+        // (dirty-path) result must match the full recompute bitwise.
+        if (tenant.evaluated && logL != tenant.lastOnlineLogL) {
+          ++stats.mismatches;
+        }
+        tenant.evaluated = false;
+      }
+      stats.lastLogL = logL;
+    } else if (verb == "close") {
+      Tenant* live = liveTenant(name);
+      if (live == nullptr) {
+        ++stats.skipped;
+        continue;
+      }
+      Tenant& tenant = *live;
+      const int rc = bglSessionClose(tenant.session);
+      if (rc != BGL_SUCCESS) {
+        fail(withLastError("close failed for '" + name + "'"));
+      }
+      tenant.session = -1;
+      ++stats.closes;
+    } else {
+      fail("unknown trace verb '" + verb + "'");
+    }
+  }
+
+  // Leave no sessions behind: a trace may end with tenants still open.
+  for (auto& [name, tenant] : tenants) {
+    if (tenant.session >= 0) {
+      bglSessionClose(tenant.session);
+      tenant.session = -1;
+      ++stats.closes;
+    }
+  }
+  return stats;
+}
+
+ReplayStats replayServeTraceFile(const std::string& path,
+                                 const ReplayOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    throw Error("trace: could not open '" + path + "'", kErrOutOfRange);
+  }
+  return replayServeTrace(in, options);
+}
+
+}  // namespace bgl::harness

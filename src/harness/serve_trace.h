@@ -1,0 +1,63 @@
+// Mixed-client trace replay for the serving layer (genomictest --serve).
+//
+// A trace file is a deterministic script of serving-layer traffic: many
+// tenants opening sessions, growing trees online, evaluating, and
+// closing, interleaved the way a real multi-client process would see
+// them. Replaying one exercises the whole serve stack — pool recycling,
+// admission control, grow-on-demand reinits, dirty-path evaluation —
+// through the public C API, with every random choice derived from seeds
+// in the file so two replays are identical.
+//
+// Line grammar (one command per line, '#' starts a comment):
+//   <tenant> open <states> <patterns> <categories> [resource]
+//   <tenant> model <seed>          install a default model for the shape
+//   <tenant> taxa <count> <seed>   add `count` random taxa (random
+//                                  attachment points and branch lengths)
+//   <tenant> add <seed>            add one random taxon
+//   <tenant> branch <seed>         perturb one random branch length
+//   <tenant> eval                  online (dirty-path) log likelihood
+//   <tenant> full                  full-recompute log likelihood; when an
+//                                  eval on the same tenant precedes it,
+//                                  the two must agree bitwise
+//   <tenant> close                 close the tenant's session
+//
+// A rejected open (BGL_ERROR_REJECTED) is counted, not fatal: traces are
+// allowed to push past the configured quotas on purpose. Commands for a
+// tenant whose open was rejected (or that never opened) are skipped and
+// counted, the way a real client backs off after a rejection. Any other
+// error fails the replay.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace bgl::harness {
+
+struct ReplayOptions {
+  bool verbose = false;  ///< print one line per command to stdout
+};
+
+struct ReplayStats {
+  int commands = 0;
+  int opens = 0;
+  int rejected = 0;   ///< opens refused by admission control
+  int skipped = 0;    ///< commands for tenants without an open session
+  int taxaAdded = 0;
+  int branchSets = 0;
+  int evals = 0;
+  int fulls = 0;
+  int closes = 0;
+  int mismatches = 0; ///< eval/full pairs that disagreed bitwise
+  double lastLogL = 0.0;
+};
+
+/// Replay a trace from a stream. Throws bgl::Error on a malformed line or
+/// a non-rejection API failure.
+ReplayStats replayServeTrace(std::istream& in, const ReplayOptions& options);
+
+/// Replay a trace file. Throws bgl::Error when the file cannot be opened.
+ReplayStats replayServeTraceFile(const std::string& path,
+                                 const ReplayOptions& options);
+
+}  // namespace bgl::harness

@@ -18,6 +18,9 @@ const char* journalKindName(JournalKind kind) {
     case JournalKind::kCpuFallback: return "cpuFallback";
     case JournalKind::kRebalance: return "rebalance";
     case JournalKind::kCalibrationFallback: return "calibrationFallback";
+    case JournalKind::kAdmissionReject: return "admissionReject";
+    case JournalKind::kPoolEvict: return "poolEvict";
+    case JournalKind::kPoolReinit: return "poolReinit";
   }
   return "unknown";
 }

@@ -47,6 +47,9 @@ enum class JournalKind : int {
   kCpuFallback = 7,         ///< last-resort host-CPU fallback engaged
   kRebalance = 8,           ///< adaptive load balancer applied a re-split
   kCalibrationFallback = 9, ///< calibration run errored; perf-model seed used
+  kAdmissionReject = 10,    ///< serving layer refused a session open
+  kPoolEvict = 11,          ///< idle pooled instance finalized
+  kPoolReinit = 12,         ///< pooled instance re-created larger (grow)
 };
 const char* journalKindName(JournalKind kind);
 

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -23,7 +24,20 @@ using Clock = std::chrono::steady_clock;
 /// many events the trace file is only written at finalize / on error.
 constexpr std::size_t kMaxPeriodicTraceEvents = 1u << 18;
 
+std::atomic<ServeStatsProvider>& serveProviderSlot() {
+  static std::atomic<ServeStatsProvider> provider{nullptr};
+  return provider;
+}
+
 }  // namespace
+
+void setServeStatsProvider(ServeStatsProvider provider) {
+  serveProviderSlot().store(provider, std::memory_order_release);
+}
+
+ServeStatsProvider serveStatsProvider() {
+  return serveProviderSlot().load(std::memory_order_acquire);
+}
 
 struct ProcessRegistry::Impl {
   struct Entry {
@@ -206,7 +220,9 @@ void writeSnapshotLine(ProcessRegistry& registry, ProcessRegistry::Impl& impl) {
 
   JsonWriter w(impl.out);
   w.beginObject();
-  w.field("schema", 1);
+  // Schema 2 added the optional "serve" object (serving-layer pool and
+  // admission statistics); all schema-1 fields are unchanged.
+  w.field("schema", 2);
   w.field("seq", impl.lineSeq++);
   w.field("uptimeNs",
           static_cast<std::uint64_t>(
@@ -256,6 +272,26 @@ void writeSnapshotLine(ProcessRegistry& registry, ProcessRegistry::Impl& impl) {
     w.field(name + "Max", agg.gaugeMax[g]);
   }
   w.endObject();
+
+  if (ServeStatsProvider provider = serveStatsProvider()) {
+    ServeStats serve;
+    if (provider(&serve)) {
+      w.key("serve").beginObject();
+      w.field("liveSessions", serve.liveSessions);
+      w.field("pooledInstances", serve.pooledInstances);
+      w.field("freeInstances", serve.freeInstances);
+      w.field("admitted", serve.admitted);
+      w.field("rejectedQuota", serve.rejectedQuota);
+      w.field("rejectedBackpressure", serve.rejectedBackpressure);
+      w.field("rejectedLoad", serve.rejectedLoad);
+      w.field("instancesCreated", serve.instancesCreated);
+      w.field("instancesRecycled", serve.instancesRecycled);
+      w.field("reinitGrows", serve.reinitGrows);
+      w.field("evictions", serve.evictions);
+      w.field("estimatedLoadSeconds", serve.estimatedLoadSeconds);
+      w.endObject();
+    }
+  }
 
   w.field("journalTotal", journalTotal);
   w.key("journal").beginArray();

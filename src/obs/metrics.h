@@ -49,6 +49,37 @@ struct ProcessAggregate {
   std::uint64_t instancesRetired = 0;
 };
 
+/// Serving-layer statistics snapshot for the metrics stream (schema 2's
+/// "serve" object). obs stays ignorant of the serve module's types: serve
+/// registers a plain-function provider at startup and obs polls it per
+/// snapshot line. Field meanings match BglPoolStatistics (api/bgl.h).
+struct ServeStats {
+  int liveSessions = 0;
+  int pooledInstances = 0;
+  int freeInstances = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejectedQuota = 0;
+  std::uint64_t rejectedBackpressure = 0;
+  std::uint64_t rejectedLoad = 0;
+  std::uint64_t instancesCreated = 0;
+  std::uint64_t instancesRecycled = 0;
+  std::uint64_t reinitGrows = 0;
+  std::uint64_t evictions = 0;
+  double estimatedLoadSeconds = 0.0;
+};
+
+/// Provider fills `*out` and returns true; returning false (or having no
+/// provider registered) omits the "serve" object from snapshot lines.
+using ServeStatsProvider = bool (*)(ServeStats* out);
+
+/// Register (or clear, with nullptr) the process-wide serve-stats
+/// provider. Thread-safe; the metrics thread picks the change up on its
+/// next snapshot line.
+void setServeStatsProvider(ServeStatsProvider provider);
+
+/// The currently registered provider (nullptr when none).
+ServeStatsProvider serveStatsProvider();
+
 class ProcessRegistry {
  public:
   static ProcessRegistry& instance();

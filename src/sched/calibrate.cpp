@@ -403,6 +403,19 @@ int fastestResource(const std::vector<int>& candidates,
   return bestResource;
 }
 
+double estimateEvaluationSeconds(int resource, int patterns, int states,
+                                 int categories) {
+  const auto& registry = perf::deviceRegistry();
+  if (resource < 0 || resource >= static_cast<int>(registry.size())) {
+    return -1.0;
+  }
+  CalibrationSpec spec;
+  spec.patterns = patterns > 0 ? patterns : 1;
+  spec.states = states > 1 ? states : 4;
+  spec.categories = categories > 0 ? categories : 1;
+  return resourceEstimate(resource, spec, /*benchmark=*/false).seconds;
+}
+
 void clearCache() {
   std::lock_guard lock(cacheMutex());
   cache().clear();

@@ -98,6 +98,16 @@ std::vector<ResourceEstimate> resourceEstimates(const std::vector<int>& resource
 /// bglGetResourcePerformance. Returns < 0 for an invalid resource.
 double resourcePerformance(int resource);
 
+/// Admission-control load estimate: predicted seconds for one full
+/// evaluation of a (`patterns`, `states`, `categories`) workload on
+/// `resource`. Never executes anything — served from the calibration
+/// cache when a matching estimate exists (measured estimates included),
+/// otherwise perf-model-seeded. The serving layer (src/serve/) sums these
+/// across live sessions to shed load before it materializes. Returns < 0
+/// for an invalid resource.
+double estimateEvaluationSeconds(int resource, int patterns, int states,
+                                 int categories);
+
 /// Fastest resource among `candidates` (empty = all) by estimate; -1 when
 /// none can be served.
 int fastestResource(const std::vector<int>& candidates = {},

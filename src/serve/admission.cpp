@@ -1,0 +1,96 @@
+#include "serve/admission.h"
+
+#include "api/bgl.h"
+#include "obs/journal.h"
+
+namespace bgl::serve {
+namespace {
+
+void journalReject(const std::string& tenant, const std::string& reason) {
+  obs::Journal::instance().append(obs::JournalKind::kAdmissionReject,
+                                  BGL_ERROR_REJECTED, /*instance=*/-1,
+                                  /*resource=*/-1, /*shard=*/-1,
+                                  "tenant '" + tenant + "': " + reason);
+}
+
+}  // namespace
+
+void AdmissionController::setConfig(const AdmissionConfig& config) {
+  std::lock_guard lock(mutex_);
+  config_ = config;
+}
+
+AdmissionConfig AdmissionController::config() const {
+  std::lock_guard lock(mutex_);
+  return config_;
+}
+
+bool AdmissionController::admit(const std::string& tenant,
+                                double estimatedSeconds, std::string* reason) {
+  // The pending-depth gauge is read before taking the lock: it comes from
+  // the obs registry (its own lock) and must not nest inside ours.
+  BglProcessStatistics process{};
+  bglGetProcessStatistics(&process);
+
+  std::lock_guard lock(mutex_);
+  std::string why;
+  if (liveSessions_ >= config_.maxSessions) {
+    ++counters_.rejectedQuota;
+    why = "global session quota reached (" +
+          std::to_string(config_.maxSessions) + " sessions)";
+  } else if (tenantSessions_[tenant] >= config_.maxSessionsPerTenant) {
+    ++counters_.rejectedQuota;
+    why = "tenant session quota reached (" +
+          std::to_string(config_.maxSessionsPerTenant) + " sessions)";
+  } else if (static_cast<long long>(process.pendingDepth) >
+             config_.maxPendingDepth) {
+    ++counters_.rejectedBackpressure;
+    why = "backpressure: async pending depth " +
+          std::to_string(process.pendingDepth) + " exceeds " +
+          std::to_string(config_.maxPendingDepth);
+  } else if (config_.maxEstimatedLoad > 0.0 &&
+             loadSeconds_ + estimatedSeconds > config_.maxEstimatedLoad) {
+    ++counters_.rejectedLoad;
+    why = "load shed: estimated load would reach " +
+          std::to_string(loadSeconds_ + estimatedSeconds) + " s/eval (limit " +
+          std::to_string(config_.maxEstimatedLoad) + ")";
+  } else {
+    ++counters_.admitted;
+    ++liveSessions_;
+    ++tenantSessions_[tenant];
+    loadSeconds_ += estimatedSeconds;
+    return true;
+  }
+  if (reason != nullptr) *reason = why;
+  journalReject(tenant, why);
+  return false;
+}
+
+void AdmissionController::releaseSession(const std::string& tenant,
+                                         double estimatedSeconds) {
+  std::lock_guard lock(mutex_);
+  const auto it = tenantSessions_.find(tenant);
+  if (it != tenantSessions_.end() && --it->second <= 0) {
+    tenantSessions_.erase(it);
+  }
+  if (liveSessions_ > 0) --liveSessions_;
+  loadSeconds_ -= estimatedSeconds;
+  if (loadSeconds_ < 0.0) loadSeconds_ = 0.0;
+}
+
+AdmissionCounters AdmissionController::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+int AdmissionController::liveSessions() const {
+  std::lock_guard lock(mutex_);
+  return liveSessions_;
+}
+
+double AdmissionController::estimatedLoadSeconds() const {
+  std::lock_guard lock(mutex_);
+  return loadSeconds_;
+}
+
+}  // namespace bgl::serve

@@ -1,0 +1,78 @@
+// Admission control for the serving layer.
+//
+// A multi-tenant likelihood service degrades for everyone when any one
+// tenant can open unbounded sessions or the async pipelines back up. The
+// controller gates every session open with four checks, in order:
+//
+//   1. global session quota       (maxSessions)
+//   2. per-tenant session quota   (maxSessionsPerTenant)
+//   3. queue-depth backpressure   (process async pending depth, the
+//                                  kPendingDepth gauge the command streams
+//                                  export, vs maxPendingDepth)
+//   4. load shedding              (summed scheduler-calibrated seconds per
+//                                  evaluation of live sessions plus the
+//                                  candidate, vs maxEstimatedLoad)
+//
+// A refusal journals kAdmissionReject (the flight recorder shows who was
+// turned away and why) and surfaces BGL_ERROR_REJECTED through the C API.
+// Check 4 is what ties the serving layer to src/sched/: the cost of a
+// candidate session is sched::estimateEvaluationSeconds — calibration
+// cache when warm, perf-model seed otherwise — so shedding decisions use
+// the same estimates that drive resource selection and sharding.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace bgl::serve {
+
+/// Resolved serving limits (BglPoolConfig with defaults applied).
+struct AdmissionConfig {
+  int maxSessions = 64;
+  int maxSessionsPerTenant = 8;
+  long long maxPendingDepth = 4096;
+  double maxEstimatedLoad = 0.0;  ///< <= 0: unlimited
+};
+
+/// Admission decision counters (monotone).
+struct AdmissionCounters {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejectedQuota = 0;
+  std::uint64_t rejectedBackpressure = 0;
+  std::uint64_t rejectedLoad = 0;
+};
+
+/// Tracks live sessions per tenant and applies the checks above.
+/// Thread-safe.
+class AdmissionController {
+ public:
+  void setConfig(const AdmissionConfig& config);
+  AdmissionConfig config() const;
+
+  /// Gate one session open. `estimatedSeconds` is the candidate's
+  /// scheduler-estimated cost per evaluation. On admission the tenant's
+  /// live count and the load sum are charged and true is returned; on
+  /// refusal the matching rejection counter is bumped, kAdmissionReject
+  /// is journaled, `*reason` is set, and false is returned.
+  bool admit(const std::string& tenant, double estimatedSeconds,
+             std::string* reason);
+
+  /// Release one admitted session's charge (tenant count and load sum).
+  void releaseSession(const std::string& tenant, double estimatedSeconds);
+
+  AdmissionCounters counters() const;
+  int liveSessions() const;
+  double estimatedLoadSeconds() const;
+
+ private:
+  mutable std::mutex mutex_;
+  AdmissionConfig config_;
+  AdmissionCounters counters_;
+  std::map<std::string, int> tenantSessions_;
+  int liveSessions_ = 0;
+  double loadSeconds_ = 0.0;
+};
+
+}  // namespace bgl::serve

@@ -1,0 +1,209 @@
+#include "serve/pool.h"
+
+#include <cstddef>
+#include <iterator>
+#include <utility>
+
+#include "api/bgl.h"
+#include "core/defs.h"
+#include "fault/fault.h"
+#include "obs/journal.h"
+
+namespace bgl::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Append the thread-local API error detail (when any) to `message`.
+std::string withLastError(std::string message) {
+  if (const char* detail = bglGetLastErrorMessage();
+      detail != nullptr && *detail != '\0') {
+    message += ": ";
+    message += detail;
+  }
+  return message;
+}
+
+/// Rough footprint of one pooled instance, for the fault checkpoint's
+/// journal record (partials dominate: one buffer per tip slot and per
+/// internal slot).
+std::size_t approxBytes(const PoolKey& key) {
+  const std::size_t buffer = static_cast<std::size_t>(key.patterns) *
+                             key.states * key.categories * sizeof(double);
+  return buffer * static_cast<std::size_t>(2 * key.tipCapacity);
+}
+
+}  // namespace
+
+int quantizeTipCapacity(int tips) {
+  int capacity = kMinTipCapacity;
+  while (capacity < tips) capacity *= 2;
+  return capacity;
+}
+
+InstancePool& InstancePool::instance() {
+  static InstancePool* pool = new InstancePool();  // leaked: outlives callers
+  return *pool;
+}
+
+Lease InstancePool::create(const PoolKey& key) {
+  // Deterministic failure site for pool growth paths: BGL_FAULT=host:alloc:N
+  // fails the Nth pooled creation (first lease or grow reinit alike).
+  fault::Injector::instance().onHostAlloc("pooled instance partials",
+                                          approxBytes(key));
+
+  const int t = key.tipCapacity;
+  BglInstanceDetails details{};
+  const int instance = bglCreateInstance(
+      /*tipCount=*/t, /*partialsBufferCount=*/t, /*compactBufferCount=*/t,
+      key.states, key.patterns, /*eigenBufferCount=*/1,
+      /*matrixBufferCount=*/2 * t, key.categories, /*scaleBufferCount=*/0,
+      &key.resource, 1, key.preferenceFlags, key.requirementFlags, &details);
+  if (instance < 0) {
+    throw Error(withLastError("serve: could not create a pooled instance "
+                              "(code " +
+                              std::to_string(instance) + ")"),
+                instance);
+  }
+
+  Lease lease;
+  lease.instance = instance;
+  lease.key = key;
+  lease.implName = details.implName;
+  lease.resourceName = details.resourceName;
+  return lease;
+}
+
+Lease InstancePool::acquire(int resource, int states, int patterns,
+                            int categories, long preferenceFlags,
+                            long requirementFlags, int minTips) {
+  PoolKey key;
+  key.resource = resource;
+  key.states = states;
+  key.patterns = patterns;
+  key.categories = categories;
+  key.preferenceFlags = preferenceFlags;
+  key.requirementFlags = requirementFlags;
+  key.tipCapacity = quantizeTipCapacity(minTips);
+
+  {
+    std::lock_guard lock(mutex_);
+    auto it = free_.find(key);
+    if (it != free_.end() && !it->second.empty()) {
+      Lease lease = std::move(it->second.back().lease);
+      it->second.pop_back();
+      if (it->second.empty()) free_.erase(it);
+      ++leased_;
+      ++counters_.recycled;
+      return lease;
+    }
+  }
+
+  Lease lease = create(key);
+  {
+    std::lock_guard lock(mutex_);
+    ++leased_;
+    ++counters_.created;
+  }
+  return lease;
+}
+
+Lease InstancePool::grow(Lease lease, int minTips) {
+  PoolKey key = lease.key;
+  key.tipCapacity = quantizeTipCapacity(minTips);
+  const int oldInstance = lease.instance;
+  const int oldCapacity = lease.key.tipCapacity;
+
+  // The old instance is finalized before the larger one is created: a
+  // serving process near its memory ceiling should not need both alive at
+  // once, and the session replays its state into the new lease anyway.
+  bglFinalizeInstance(oldInstance);
+  lease.instance = -1;
+
+  Lease grown;
+  try {
+    grown = create(key);
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    --leased_;  // the old lease is gone and no new one replaced it
+    throw;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    ++counters_.created;
+    ++counters_.grows;
+  }
+  obs::Journal::instance().append(
+      obs::JournalKind::kPoolReinit, 0, grown.instance, key.resource,
+      /*shard=*/-1,
+      "pool grow: " + std::to_string(oldCapacity) + " -> " +
+          std::to_string(key.tipCapacity) + " tips (was instance " +
+          std::to_string(oldInstance) + ")");
+  return grown;
+}
+
+void InstancePool::release(Lease lease) {
+  if (!lease.valid()) return;
+  int idleMs;
+  {
+    std::lock_guard lock(mutex_);
+    FreeEntry entry;
+    entry.lease = std::move(lease);
+    entry.idleSince = Clock::now();
+    free_[entry.lease.key].push_back(std::move(entry));
+    --leased_;
+    idleMs = idleEvictMs_;
+  }
+  trim(idleMs);
+}
+
+void InstancePool::setIdleEvictMs(int idleEvictMs) {
+  std::lock_guard lock(mutex_);
+  idleEvictMs_ = idleEvictMs;
+}
+
+int InstancePool::trim(int idleMs) {
+  // Collect under the lock, finalize outside it: bglFinalizeInstance can
+  // block on in-flight device work.
+  std::vector<Lease> evict;
+  {
+    std::lock_guard lock(mutex_);
+    const auto cutoff = Clock::now() - std::chrono::milliseconds(idleMs);
+    for (auto it = free_.begin(); it != free_.end();) {
+      auto& entries = it->second;
+      for (std::size_t i = 0; i < entries.size();) {
+        if (entries[i].idleSince <= cutoff) {
+          evict.push_back(std::move(entries[i].lease));
+          entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+      it = entries.empty() ? free_.erase(it) : std::next(it);
+    }
+    counters_.evictions += evict.size();
+  }
+  for (const Lease& lease : evict) {
+    bglFinalizeInstance(lease.instance);
+    obs::Journal::instance().append(
+        obs::JournalKind::kPoolEvict, 0, lease.instance, lease.key.resource,
+        /*shard=*/-1,
+        "pool evict: idle instance (" + std::to_string(lease.key.tipCapacity) +
+            " tips, " + std::to_string(lease.key.patterns) + " patterns)");
+  }
+  return static_cast<int>(evict.size());
+}
+
+PoolStats InstancePool::stats() const {
+  std::lock_guard lock(mutex_);
+  PoolStats out;
+  out.counters = counters_;
+  out.free_ = 0;
+  for (const auto& [key, entries] : free_) {
+    out.free_ += static_cast<int>(entries.size());
+  }
+  out.pooled = leased_ + out.free_;
+  return out;
+}
+
+}  // namespace bgl::serve

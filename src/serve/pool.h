@@ -1,0 +1,146 @@
+// Instance pool for the serving layer: leases of live library instances
+// keyed by (resource, shape class).
+//
+// A long-lived likelihood service churns through short analyses; paying
+// bglCreateInstance + calibration + bglFinalizeInstance per request is
+// the dominant cost at high request rates (the motivation in ISSUE 8 and
+// the OnlineCalculator pattern in sts). The pool keeps finalized-would-be
+// instances on a free list instead: an acquire with a matching shape
+// class recycles one (counters say how often), a release parks it with an
+// idle timestamp, and a sweep finalizes instances idle past the
+// configured horizon.
+//
+// Shape class: (resource, states, patterns, categories, flags) must match
+// exactly — a partials buffer is shaped by all of them — plus a tip
+// capacity bucket quantized to powers of two, so trees that grow online
+// re-lease from a small number of buckets instead of fragmenting the pool
+// per taxon count. Outgrowing a lease is handled by grow(): the old
+// instance is finalized and a larger one created in its place (the
+// "grow-on-demand reinit" the sts exemplar resolves with a hard throw).
+//
+// Failure injection: every instance creation — first acquire and grow
+// alike — passes a fault::Injector host-allocation checkpoint, so
+// `BGL_FAULT=host:alloc:N` makes the Nth pooled creation fail
+// deterministically (docs/ROBUSTNESS.md).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace bgl::serve {
+
+/// Shape class a pooled instance serves. Two leases are interchangeable
+/// exactly when their keys compare equal.
+struct PoolKey {
+  int resource = 0;
+  int states = 4;
+  int patterns = 0;
+  int categories = 1;
+  long preferenceFlags = 0;
+  long requirementFlags = 0;
+  int tipCapacity = 0;  ///< quantized (power of two, >= kMinTipCapacity)
+
+  friend bool operator<(const PoolKey& a, const PoolKey& b) {
+    return std::tie(a.resource, a.states, a.patterns, a.categories,
+                    a.preferenceFlags, a.requirementFlags, a.tipCapacity) <
+           std::tie(b.resource, b.states, b.patterns, b.categories,
+                    b.preferenceFlags, b.requirementFlags, b.tipCapacity);
+  }
+  friend bool operator==(const PoolKey& a, const PoolKey& b) {
+    return !(a < b) && !(b < a);
+  }
+};
+
+/// Smallest tip capacity the pool provisions; smaller requests round up.
+inline constexpr int kMinTipCapacity = 8;
+
+/// Tip capacity bucket for `tips` taxa: the smallest power of two >= tips
+/// and >= kMinTipCapacity.
+int quantizeTipCapacity(int tips);
+
+/// A leased instance. Movable value; release() returns it to the pool.
+struct Lease {
+  int instance = -1;          ///< live C API instance id
+  PoolKey key;                ///< free-list bucket identity
+  std::string implName;      ///< implementation serving the lease
+  std::string resourceName;
+  bool valid() const { return instance >= 0; }
+};
+
+/// Pool activity counters (monotone since process start).
+struct PoolCounters {
+  std::uint64_t created = 0;   ///< instances created (first leases + grows)
+  std::uint64_t recycled = 0;  ///< acquisitions served from the free list
+  std::uint64_t grows = 0;     ///< grow-on-demand reinits applied
+  std::uint64_t evictions = 0; ///< idle instances finalized
+};
+
+/// Pool occupancy snapshot.
+struct PoolStats {
+  int pooled = 0;  ///< instances the pool owns (leased + free)
+  int free_ = 0;   ///< instances parked on the free list
+  PoolCounters counters;
+};
+
+/// Process-wide instance pool. All methods are thread-safe; instance
+/// creation and finalization run outside the pool lock.
+class InstancePool {
+ public:
+  static InstancePool& instance();
+
+  /// Lease an instance for the given shape and at least `minTips` taxa.
+  /// Recycles a free instance when the bucket has one, otherwise creates
+  /// (host-alloc fault checkpoint, then bglCreateInstance). Throws
+  /// bgl::Error when creation fails.
+  Lease acquire(int resource, int states, int patterns, int categories,
+                long preferenceFlags, long requirementFlags, int minTips);
+
+  /// Replace `lease` with a larger-capacity instance of the same shape
+  /// (capacity bucket for `minTips`). The old instance is finalized, the
+  /// reinit is journaled (kPoolReinit), and the new lease returned. On
+  /// failure the old instance is already gone — the caller's session is
+  /// dead either way — and bgl::Error is thrown.
+  Lease grow(Lease lease, int minTips);
+
+  /// Return a lease to the free list (idle clock starts now), then sweep
+  /// with the configured idle horizon.
+  void release(Lease lease);
+
+  /// Set the idle horizon used by opportunistic sweeps (milliseconds).
+  void setIdleEvictMs(int idleEvictMs);
+
+  /// Finalize free instances idle for at least `idleMs` milliseconds
+  /// (0 = every free instance). Returns how many were evicted.
+  int trim(int idleMs);
+
+  PoolStats stats() const;
+
+  InstancePool(const InstancePool&) = delete;
+  InstancePool& operator=(const InstancePool&) = delete;
+
+ private:
+  InstancePool() = default;
+
+  struct FreeEntry {
+    Lease lease;
+    std::chrono::steady_clock::time_point idleSince;
+  };
+
+  /// Create a fresh instance for `key` (called without the lock held):
+  /// host-alloc fault checkpoint, then bglCreateInstance. Throws
+  /// bgl::Error on failure.
+  Lease create(const PoolKey& key);
+
+  mutable std::mutex mutex_;
+  std::map<PoolKey, std::vector<FreeEntry>> free_;
+  int leased_ = 0;  ///< leases currently out
+  int idleEvictMs_ = 30000;
+  PoolCounters counters_;
+};
+
+}  // namespace bgl::serve

@@ -1,0 +1,196 @@
+// C API surface of the serving layer (bglPool* / bglSession*). Lives in
+// the serve library for the same reason sched_c_api.cpp lives in sched:
+// the serving layer drives instance creation through the public C API, so
+// bgl_api must not link back into it.
+#include <new>
+#include <string>
+
+#include "api/bgl.h"
+#include "api/last_error.h"
+#include "core/defs.h"
+#include "serve/service.h"
+
+namespace {
+
+/// Map an Error's embedded code to a BglReturnCode (mirrors the clamp in
+/// c_api.cpp: unknown codes degrade to BGL_ERROR_GENERAL).
+int returnCodeFor(const bgl::Error& error) {
+  const int code = error.code();
+  return (code <= BGL_SUCCESS && code >= BGL_ERROR_REJECTED) ? code
+                                                             : BGL_ERROR_GENERAL;
+}
+
+/// Run a serving-layer entry point, translating exceptions into return
+/// codes with bglGetLastErrorMessage detail.
+template <typename F>
+int guarded(F&& fn) {
+  bgl::api::clearThreadLastError();
+  try {
+    return fn();
+  } catch (const std::bad_alloc&) {
+    bgl::api::setThreadLastError("allocation failed");
+    return BGL_ERROR_OUT_OF_MEMORY;
+  } catch (const bgl::Error& e) {
+    bgl::api::setThreadLastError(e.what());
+    return returnCodeFor(e);
+  } catch (const std::exception& e) {
+    bgl::api::setThreadLastError(e.what());
+    return BGL_ERROR_UNIDENTIFIED_EXCEPTION;
+  } catch (...) {
+    return BGL_ERROR_UNIDENTIFIED_EXCEPTION;
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+int bglPoolConfigure(const BglPoolConfig* config) {
+  return guarded([&] {
+    if (config == nullptr) {
+      bgl::serve::Service::instance().configureDefaults();
+      return BGL_SUCCESS;
+    }
+    bgl::serve::AdmissionConfig admission;
+    if (config->maxSessions > 0) admission.maxSessions = config->maxSessions;
+    if (config->maxSessionsPerTenant > 0) {
+      admission.maxSessionsPerTenant = config->maxSessionsPerTenant;
+    }
+    if (config->maxPendingDepth > 0) {
+      admission.maxPendingDepth = config->maxPendingDepth;
+    }
+    if (config->maxEstimatedLoad > 0.0) {
+      admission.maxEstimatedLoad = config->maxEstimatedLoad;
+    }
+    const int idleEvictMs =
+        config->idleEvictMs > 0 ? config->idleEvictMs : 30000;
+    bgl::serve::Service::instance().configure(admission, idleEvictMs);
+    return BGL_SUCCESS;
+  });
+}
+
+int bglPoolGetStatistics(BglPoolStatistics* outStatistics) {
+  if (outStatistics == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  return guarded([&] {
+    const bgl::serve::ServiceStats stats =
+        bgl::serve::Service::instance().stats();
+    *outStatistics = BglPoolStatistics{};
+    outStatistics->liveSessions = stats.liveSessions;
+    outStatistics->pooledInstances = stats.pooledInstances;
+    outStatistics->freeInstances = stats.freeInstances;
+    outStatistics->admitted = stats.admission.admitted;
+    outStatistics->rejectedQuota = stats.admission.rejectedQuota;
+    outStatistics->rejectedBackpressure = stats.admission.rejectedBackpressure;
+    outStatistics->rejectedLoad = stats.admission.rejectedLoad;
+    outStatistics->instancesCreated = stats.pool.created;
+    outStatistics->instancesRecycled = stats.pool.recycled;
+    outStatistics->reinitGrows = stats.pool.grows;
+    outStatistics->evictions = stats.pool.evictions;
+    outStatistics->estimatedLoadSeconds = stats.estimatedLoadSeconds;
+    return BGL_SUCCESS;
+  });
+}
+
+int bglPoolTrim(int idleMs) {
+  return guarded([&] {
+    return bgl::serve::InstancePool::instance().trim(idleMs < 0 ? 0 : idleMs);
+  });
+}
+
+int bglSessionOpen(const char* tenant, int stateCount, int patternCount,
+                   int categoryCount, int resource, long preferenceFlags,
+                   long requirementFlags) {
+  return guarded([&] {
+    return bgl::serve::Service::instance().open(
+        tenant == nullptr ? "" : tenant, stateCount, patternCount,
+        categoryCount, resource, preferenceFlags, requirementFlags);
+  });
+}
+
+int bglSessionClose(int session) {
+  return guarded([&] {
+    bgl::serve::Service::instance().close(session);
+    return BGL_SUCCESS;
+  });
+}
+
+int bglSessionSetModel(int session, const double* inEigenVectors,
+                       const double* inInverseEigenVectors,
+                       const double* inEigenValues, const double* inFrequencies,
+                       const double* inCategoryWeights,
+                       const double* inCategoryRates,
+                       const double* inPatternWeights) {
+  return guarded([&] {
+    bgl::serve::Service::instance().withSession(
+        session, [&](bgl::serve::Session& s) {
+          s.setModel(inEigenVectors, inInverseEigenVectors, inEigenValues,
+                     inFrequencies, inCategoryWeights, inCategoryRates,
+                     inPatternWeights);
+          return 0;
+        });
+    return BGL_SUCCESS;
+  });
+}
+
+int bglSessionAddTaxon(int session, const int* inStates, int attachNode,
+                       double distalLength, double pendantLength) {
+  return guarded([&] {
+    return bgl::serve::Service::instance().withSession(
+        session, [&](bgl::serve::Session& s) {
+          return s.addTaxon(inStates, attachNode, distalLength, pendantLength);
+        });
+  });
+}
+
+int bglSessionSetBranch(int session, int node, double length) {
+  return guarded([&] {
+    bgl::serve::Service::instance().withSession(
+        session, [&](bgl::serve::Session& s) {
+          s.setBranch(node, length);
+          return 0;
+        });
+    return BGL_SUCCESS;
+  });
+}
+
+int bglSessionLogLikelihood(int session, double* outLogLikelihood) {
+  if (outLogLikelihood == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  return guarded([&] {
+    *outLogLikelihood = bgl::serve::Service::instance().withSession(
+        session, [](bgl::serve::Session& s) { return s.logLikelihood(); });
+    return BGL_SUCCESS;
+  });
+}
+
+int bglSessionFullLogLikelihood(int session, double* outLogLikelihood) {
+  if (outLogLikelihood == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  return guarded([&] {
+    *outLogLikelihood = bgl::serve::Service::instance().withSession(
+        session, [](bgl::serve::Session& s) { return s.fullLogLikelihood(); });
+    return BGL_SUCCESS;
+  });
+}
+
+int bglSessionGetDetails(int session, BglSessionDetails* outDetails) {
+  if (outDetails == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  return guarded([&] {
+    // The implName pointer must outlive the session lock; a thread-local
+    // copy matches the documented lifetime ("valid until the session's
+    // next library call").
+    thread_local std::string implName;
+    bgl::serve::Service::instance().withSession(
+        session, [&](bgl::serve::Session& s) {
+          outDetails->instance = s.instanceId();
+          outDetails->taxa = s.taxa();
+          outDetails->nodes = s.nodeCount();
+          outDetails->root = s.root();
+          outDetails->tipCapacity = s.tipCapacity();
+          implName = s.implName();
+          return 0;
+        });
+    outDetails->implName = implName.c_str();
+    return BGL_SUCCESS;
+  });
+}
+
+}  // extern "C"

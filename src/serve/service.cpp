@@ -1,0 +1,126 @@
+#include "serve/service.h"
+
+#include <utility>
+
+#include "core/defs.h"
+#include "obs/metrics.h"
+#include "sched/sched.h"
+
+namespace bgl::serve {
+namespace {
+
+bool fillServeStats(obs::ServeStats* out) {
+  const ServiceStats stats = Service::instance().stats();
+  out->liveSessions = stats.liveSessions;
+  out->pooledInstances = stats.pooledInstances;
+  out->freeInstances = stats.freeInstances;
+  out->admitted = stats.admission.admitted;
+  out->rejectedQuota = stats.admission.rejectedQuota;
+  out->rejectedBackpressure = stats.admission.rejectedBackpressure;
+  out->rejectedLoad = stats.admission.rejectedLoad;
+  out->instancesCreated = stats.pool.created;
+  out->instancesRecycled = stats.pool.recycled;
+  out->reinitGrows = stats.pool.grows;
+  out->evictions = stats.pool.evictions;
+  out->estimatedLoadSeconds = stats.estimatedLoadSeconds;
+  return true;
+}
+
+}  // namespace
+
+Service::Service() {
+  // From here on the metrics stream's snapshot lines carry the "serve"
+  // object (schema 2).
+  obs::setServeStatsProvider(&fillServeStats);
+}
+
+Service& Service::instance() {
+  static Service* service = new Service();  // leaked: outlives callers
+  return *service;
+}
+
+void Service::configure(const AdmissionConfig& admission, int idleEvictMs) {
+  admission_.setConfig(admission);
+  InstancePool::instance().setIdleEvictMs(idleEvictMs);
+}
+
+void Service::configureDefaults() {
+  configure(AdmissionConfig{}, /*idleEvictMs=*/30000);
+}
+
+int Service::open(const std::string& tenant, int states, int patterns,
+                  int categories, int resource, long preferenceFlags,
+                  long requirementFlags) {
+  const std::string who = tenant.empty() ? "anonymous" : tenant;
+  const double estimate =
+      sched::estimateEvaluationSeconds(resource, patterns, states, categories);
+
+  std::string reason;
+  if (!admission_.admit(who, estimate > 0.0 ? estimate : 0.0, &reason)) {
+    throw Error("serve: admission refused: " + reason, kErrRejected);
+  }
+
+  std::unique_ptr<Session> session;
+  try {
+    session = std::make_unique<Session>(who, states, patterns, categories,
+                                        resource, preferenceFlags,
+                                        requirementFlags);
+  } catch (...) {
+    admission_.releaseSession(who, estimate > 0.0 ? estimate : 0.0);
+    throw;
+  }
+
+  auto entry = std::make_shared<Entry>();
+  entry->session = std::move(session);
+  std::lock_guard lock(mutex_);
+  const int id = nextId_++;
+  sessions_[id] = std::move(entry);
+  return id;
+}
+
+void Service::close(int sessionId) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = sessions_.find(sessionId);
+    if (it == sessions_.end()) {
+      throw Error("serve: session " + std::to_string(sessionId) +
+                      " is not a live session id",
+                  kErrOutOfRange);
+    }
+    entry = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Destroy under the session lock so a concurrent withSession finishes
+  // first; the admission charge is released with the session's estimate.
+  std::lock_guard sessionLock(entry->mutex);
+  const std::string tenant = entry->session->tenant();
+  const double estimate = entry->session->estimatedSeconds();
+  entry->session.reset();
+  admission_.releaseSession(tenant, estimate > 0.0 ? estimate : 0.0);
+}
+
+std::shared_ptr<Service::Entry> Service::find(int sessionId) {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(sessionId);
+  if (it == sessions_.end() || it->second->session == nullptr) {
+    throw Error("serve: session " + std::to_string(sessionId) +
+                    " is not a live session id",
+                kErrOutOfRange);
+  }
+  return it->second;
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats out;
+  out.admission = admission_.counters();
+  out.liveSessions = admission_.liveSessions();
+  out.estimatedLoadSeconds = admission_.estimatedLoadSeconds();
+  const PoolStats pool = InstancePool::instance().stats();
+  out.pooledInstances = pool.pooled;
+  out.freeInstances = pool.free_;
+  out.pool = pool.counters;
+  return out;
+}
+
+}  // namespace bgl::serve

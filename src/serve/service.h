@@ -1,0 +1,88 @@
+// Process-wide serving facade: session table, admission, statistics.
+//
+// This is the layer the bglPool* / bglSession* C API talks to. It owns
+// the session id space, routes opens through the AdmissionController,
+// leases instances from the InstancePool via Session, and aggregates both
+// into the BglPoolStatistics snapshot. On first use it registers itself
+// as the obs metrics stream's serve-stats provider, so `--watch` and the
+// JSON-lines snapshots show pool occupancy and admission gauges live
+// (metrics schema 2, docs/OBSERVABILITY.md).
+//
+// Locking: the service mutex covers the session table and config only.
+// Session operations run outside it under the per-session mutex, so slow
+// evaluations on one tenant never serialize another tenant's opens.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/defs.h"
+#include "serve/admission.h"
+#include "serve/session.h"
+
+namespace bgl::serve {
+
+/// Aggregated serving-layer statistics (mirrors BglPoolStatistics).
+struct ServiceStats {
+  int liveSessions = 0;
+  int pooledInstances = 0;
+  int freeInstances = 0;
+  AdmissionCounters admission;
+  PoolCounters pool;
+  double estimatedLoadSeconds = 0.0;
+};
+
+class Service {
+ public:
+  static Service& instance();
+
+  /// Apply limits (zero/negative fields select defaults; see BglPoolConfig).
+  void configure(const AdmissionConfig& admission, int idleEvictMs);
+  void configureDefaults();
+
+  /// Open a session for `tenant`. Returns the session id. Throws
+  /// bgl::Error with kErrRejected when admission control refuses, or the
+  /// underlying creation error.
+  int open(const std::string& tenant, int states, int patterns, int categories,
+           int resource, long preferenceFlags, long requirementFlags);
+
+  /// Close a session and return its lease to the pool. Throws
+  /// kErrOutOfRange for a dead id.
+  void close(int sessionId);
+
+  /// Run `fn(session)` under the session's own lock. Throws kErrOutOfRange
+  /// for a dead id.
+  template <typename F>
+  auto withSession(int sessionId, F&& fn) {
+    const std::shared_ptr<Entry> entry = find(sessionId);
+    std::lock_guard lock(entry->mutex);
+    if (entry->session == nullptr) {
+      // Lost a race with close(): the entry left the table after find().
+      throw Error("serve: session " + std::to_string(sessionId) +
+                      " is not a live session id",
+                  kErrOutOfRange);
+    }
+    return fn(*entry->session);
+  }
+
+  ServiceStats stats() const;
+
+ private:
+  Service();
+
+  struct Entry {
+    std::unique_ptr<Session> session;
+    std::mutex mutex;
+  };
+
+  std::shared_ptr<Entry> find(int sessionId);
+
+  mutable std::mutex mutex_;
+  AdmissionController admission_;
+  std::map<int, std::shared_ptr<Entry>> sessions_;
+  int nextId_ = 0;
+};
+
+}  // namespace bgl::serve

@@ -1,0 +1,383 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "api/bgl.h"
+#include "core/defs.h"
+#include "sched/sched.h"
+
+namespace bgl::serve {
+namespace {
+
+/// Append the thread-local API error detail (when any) to `message`.
+std::string withLastError(std::string message) {
+  if (const char* detail = bglGetLastErrorMessage();
+      detail != nullptr && *detail != '\0') {
+    message += ": ";
+    message += detail;
+  }
+  return message;
+}
+
+void check(int rc, const char* what) {
+  if (rc != BGL_SUCCESS) {
+    throw Error(withLastError(std::string("serve: ") + what + " failed (code " +
+                              std::to_string(rc) + ")"),
+                rc);
+  }
+}
+
+}  // namespace
+
+Session::Session(std::string tenant, int states, int patterns, int categories,
+                 int resource, long preferenceFlags, long requirementFlags)
+    : tenant_(std::move(tenant)),
+      states_(states),
+      patterns_(patterns),
+      categories_(categories),
+      resource_(resource),
+      preferenceFlags_(preferenceFlags),
+      requirementFlags_(requirementFlags) {
+  if (states_ < 2 || patterns_ < 1 || categories_ < 1) {
+    throw Error("serve: session shape must have >= 2 states, >= 1 pattern "
+                "and >= 1 category",
+                kErrOutOfRange);
+  }
+  estimatedSeconds_ =
+      sched::estimateEvaluationSeconds(resource_, patterns_, states_, categories_);
+  if (estimatedSeconds_ < 0.0) {
+    throw Error("serve: resource " + std::to_string(resource_) +
+                    " is not in the resource registry",
+                kErrOutOfRange);
+  }
+  lease_ = InstancePool::instance().acquire(resource_, states_, patterns_,
+                                            categories_, preferenceFlags_,
+                                            requirementFlags_, kMinTipCapacity);
+}
+
+Session::~Session() {
+  if (lease_.valid()) InstancePool::instance().release(std::move(lease_));
+}
+
+void Session::setModel(const double* eigenVectors,
+                       const double* inverseEigenVectors,
+                       const double* eigenValues, const double* frequencies,
+                       const double* categoryWeights,
+                       const double* categoryRates,
+                       const double* patternWeights) {
+  if (eigenVectors == nullptr || inverseEigenVectors == nullptr ||
+      eigenValues == nullptr || frequencies == nullptr ||
+      categoryWeights == nullptr || categoryRates == nullptr) {
+    throw Error("serve: setModel requires every parameter except "
+                "patternWeights",
+                kErrOutOfRange);
+  }
+  const std::size_t s = static_cast<std::size_t>(states_);
+  const std::size_t c = static_cast<std::size_t>(categories_);
+  model_.eigenVectors.assign(eigenVectors, eigenVectors + s * s);
+  model_.inverseEigenVectors.assign(inverseEigenVectors,
+                                    inverseEigenVectors + s * s);
+  model_.eigenValues.assign(eigenValues, eigenValues + s);
+  model_.frequencies.assign(frequencies, frequencies + s);
+  model_.categoryWeights.assign(categoryWeights, categoryWeights + c);
+  model_.categoryRates.assign(categoryRates, categoryRates + c);
+  if (patternWeights != nullptr) {
+    model_.patternWeights.assign(patternWeights,
+                                 patternWeights + patterns_);
+  } else {
+    model_.patternWeights.assign(static_cast<std::size_t>(patterns_), 1.0);
+  }
+  modelSet_ = true;
+
+  check(bglSetEigenDecomposition(lease_.instance, 0,
+                                 model_.eigenVectors.data(),
+                                 model_.inverseEigenVectors.data(),
+                                 model_.eigenValues.data()),
+        "setEigenDecomposition");
+  check(bglSetStateFrequencies(lease_.instance, 0, model_.frequencies.data()),
+        "setStateFrequencies");
+  check(bglSetCategoryWeights(lease_.instance, 0,
+                              model_.categoryWeights.data()),
+        "setCategoryWeights");
+  check(bglSetCategoryRates(lease_.instance, model_.categoryRates.data()),
+        "setCategoryRates");
+  check(bglSetPatternWeights(lease_.instance, model_.patternWeights.data()),
+        "setPatternWeights");
+
+  // A model swap invalidates every matrix and every internal buffer.
+  markAllDirty();
+}
+
+int Session::newInternalNode() {
+  Node node;
+  node.isTip = false;
+  node.dirtyPartials = true;
+  // Internal partials buffers live above the tip slots of the current
+  // lease; replayIntoLease() renumbers them after a grow.
+  node.partialsBuffer = lease_.key.tipCapacity + nextInternal_++;
+  nodes_.push_back(node);
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void Session::markPathDirty(int node) {
+  for (int n = node; n != -1; n = nodes_[static_cast<std::size_t>(n)].parent) {
+    Node& ref = nodes_[static_cast<std::size_t>(n)];
+    if (!ref.isTip) ref.dirtyPartials = true;
+  }
+}
+
+void Session::markAllDirty() {
+  for (Node& node : nodes_) {
+    if (!node.isTip) node.dirtyPartials = true;
+    if (node.matrixIndex >= 0) node.dirtyMatrix = true;
+  }
+}
+
+void Session::ensureMatrix(int node) {
+  Node& ref = nodes_[static_cast<std::size_t>(node)];
+  if (ref.matrixIndex < 0) ref.matrixIndex = nextMatrix_++;
+  ref.dirtyMatrix = true;
+}
+
+void Session::replayIntoLease() {
+  // Internal partials buffers live above the tip slots, so their ids are
+  // a function of the lease's tip capacity — renumber after every grow.
+  const int base = lease_.key.tipCapacity;
+  nextInternal_ = 0;
+  for (Node& node : nodes_) {
+    if (node.isTip) {
+      node.partialsBuffer = node.tipIndex;
+    } else {
+      node.partialsBuffer = base + nextInternal_++;
+    }
+  }
+  for (std::size_t t = 0; t < tipStates_.size(); ++t) {
+    check(bglSetTipStates(lease_.instance, static_cast<int>(t),
+                          tipStates_[t].data()),
+          "setTipStates");
+  }
+  if (modelSet_) {
+    check(bglSetEigenDecomposition(lease_.instance, 0,
+                                   model_.eigenVectors.data(),
+                                   model_.inverseEigenVectors.data(),
+                                   model_.eigenValues.data()),
+          "setEigenDecomposition");
+    check(bglSetStateFrequencies(lease_.instance, 0,
+                                 model_.frequencies.data()),
+          "setStateFrequencies");
+    check(bglSetCategoryWeights(lease_.instance, 0,
+                                model_.categoryWeights.data()),
+          "setCategoryWeights");
+    check(bglSetCategoryRates(lease_.instance, model_.categoryRates.data()),
+          "setCategoryRates");
+    check(bglSetPatternWeights(lease_.instance, model_.patternWeights.data()),
+          "setPatternWeights");
+  }
+  markAllDirty();
+}
+
+int Session::addTaxon(const int* tipStates, int attachNode, double distalLength,
+                      double pendantLength) {
+  if (tipStates == nullptr) {
+    throw Error("serve: addTaxon requires tip state data", kErrOutOfRange);
+  }
+  const int taxon = taxa();
+  if (taxon >= 2) {
+    if (attachNode < 0 || attachNode >= nodeCount()) {
+      throw Error("serve: attach node " + std::to_string(attachNode) +
+                      " is not a live node id",
+                  kErrOutOfRange);
+    }
+  }
+  if (distalLength < 0.0 || pendantLength < 0.0) {
+    throw Error("serve: branch lengths must be non-negative", kErrOutOfRange);
+  }
+
+  // Outgrowing the lease triggers the pool's grow-on-demand reinit (the
+  // sts OnlineCalculator would throw "ran out of slots" here).
+  if (taxon + 1 > lease_.key.tipCapacity) {
+    Lease old = std::move(lease_);
+    // A moved-from Lease keeps its instance id (int member); invalidate it
+    // so a failed grow leaves this session lease-less instead of releasing
+    // the already-finalized old instance back to the pool.
+    lease_.instance = -1;
+    lease_ = InstancePool::instance().grow(std::move(old), taxon + 1);
+    replayIntoLease();
+  }
+
+  tipStates_.emplace_back(tipStates, tipStates + patterns_);
+  check(bglSetTipStates(lease_.instance, taxon, tipStates_.back().data()),
+        "setTipStates");
+
+  Node tip;
+  tip.isTip = true;
+  tip.tipIndex = taxon;
+  tip.partialsBuffer = taxon;
+  nodes_.push_back(tip);
+  const int tipNode = static_cast<int>(nodes_.size()) - 1;
+
+  if (taxon == 0) {
+    // A single-tip tree: no partials, no matrices, nothing to evaluate.
+    root_ = tipNode;
+    return tipNode;
+  }
+
+  if (taxon == 1) {
+    // Second taxon: join both tips under a new root.
+    const int join = newInternalNode();
+    Node& j = nodes_[static_cast<std::size_t>(join)];
+    j.child[0] = root_;
+    j.child[1] = tipNode;
+    nodes_[static_cast<std::size_t>(root_)].parent = join;
+    nodes_[static_cast<std::size_t>(root_)].branch = distalLength;
+    nodes_[static_cast<std::size_t>(tipNode)].parent = join;
+    nodes_[static_cast<std::size_t>(tipNode)].branch = pendantLength;
+    ensureMatrix(root_);
+    ensureMatrix(tipNode);
+    root_ = join;
+    markPathDirty(join);
+    return tipNode;
+  }
+
+  const int attach = attachNode;
+  const int join = newInternalNode();
+  Node& j = nodes_[static_cast<std::size_t>(join)];
+  Node& a = nodes_[static_cast<std::size_t>(attach)];
+  if (attach == root_) {
+    // Grow a new root above the old one.
+    j.child[0] = attach;
+    j.child[1] = tipNode;
+    a.parent = join;
+    a.branch = distalLength;
+    root_ = join;
+  } else {
+    // Split the edge above the attach node: the attach node keeps
+    // `distalLength` below the new internal node, which inherits the
+    // remainder of the original edge.
+    const int parent = a.parent;
+    Node& p = nodes_[static_cast<std::size_t>(parent)];
+    const double original = a.branch;
+    j.parent = parent;
+    j.branch = std::max(original - distalLength, 0.0);
+    j.child[0] = attach;
+    j.child[1] = tipNode;
+    (p.child[0] == attach ? p.child[0] : p.child[1]) = join;
+    a.parent = join;
+    a.branch = distalLength;
+  }
+  nodes_[static_cast<std::size_t>(tipNode)].parent = join;
+  nodes_[static_cast<std::size_t>(tipNode)].branch = pendantLength;
+  ensureMatrix(attach);
+  ensureMatrix(tipNode);
+  if (nodes_[static_cast<std::size_t>(join)].parent != -1) ensureMatrix(join);
+  markPathDirty(join);
+  return tipNode;
+}
+
+void Session::setBranch(int node, double length) {
+  if (node < 0 || node >= nodeCount()) {
+    throw Error("serve: node " + std::to_string(node) +
+                    " is not a live node id",
+                kErrOutOfRange);
+  }
+  if (length < 0.0) {
+    throw Error("serve: branch lengths must be non-negative", kErrOutOfRange);
+  }
+  Node& ref = nodes_[static_cast<std::size_t>(node)];
+  if (ref.parent == -1) {
+    throw Error("serve: the root has no branch above it", kErrOutOfRange);
+  }
+  ref.branch = length;
+  ref.dirtyMatrix = true;
+  // The partials of every ancestor consume this matrix's output.
+  markPathDirty(ref.parent);
+}
+
+double Session::evaluate() {
+  if (taxa() < 2) {
+    throw Error("serve: need at least two taxa to evaluate", kErrOutOfRange);
+  }
+  if (!modelSet_) {
+    throw Error("serve: no model set (bglSessionSetModel)", kErrOutOfRange);
+  }
+
+  // One batched matrix update over every dirty edge.
+  std::vector<int> matrixIndices;
+  std::vector<double> edgeLengths;
+  for (const Node& node : nodes_) {
+    if (node.dirtyMatrix && node.matrixIndex >= 0) {
+      matrixIndices.push_back(node.matrixIndex);
+      edgeLengths.push_back(node.branch);
+    }
+  }
+  if (!matrixIndices.empty()) {
+    check(bglUpdateTransitionMatrices(lease_.instance, 0, matrixIndices.data(),
+                                      nullptr, nullptr, edgeLengths.data(),
+                                      static_cast<int>(matrixIndices.size())),
+          "updateTransitionMatrices");
+  }
+
+  // Post-order emission of the dirty partials operations. Dirty sets are
+  // upward-closed (every marking walks to the root), so a child's
+  // operation always precedes its parent's in the batch and the level
+  // batcher sees a well-ordered dependency chain.
+  std::vector<BglOperation> ops;
+  std::vector<int> stack = {root_};
+  std::vector<int> postorder;
+  while (!stack.empty()) {
+    const int n = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    if (node.isTip || !node.dirtyPartials) continue;
+    postorder.push_back(n);
+    stack.push_back(node.child[0]);
+    stack.push_back(node.child[1]);
+  }
+  std::reverse(postorder.begin(), postorder.end());
+  ops.reserve(postorder.size());
+  for (const int n : postorder) {
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    const Node& c0 = nodes_[static_cast<std::size_t>(node.child[0])];
+    const Node& c1 = nodes_[static_cast<std::size_t>(node.child[1])];
+    BglOperation op;
+    op.destinationPartials = node.partialsBuffer;
+    op.destinationScaleWrite = BGL_OP_NONE;
+    op.destinationScaleRead = BGL_OP_NONE;
+    op.child1Partials = c0.partialsBuffer;
+    op.child1TransitionMatrix = c0.matrixIndex;
+    op.child2Partials = c1.partialsBuffer;
+    op.child2TransitionMatrix = c1.matrixIndex;
+    ops.push_back(op);
+  }
+  if (!ops.empty()) {
+    check(bglUpdatePartials(lease_.instance, ops.data(),
+                            static_cast<int>(ops.size()), BGL_OP_NONE),
+          "updatePartials");
+  }
+
+  const int rootBuffer = nodes_[static_cast<std::size_t>(root_)].partialsBuffer;
+  const int zero = 0;
+  double logL = 0.0;
+  const int rc = bglCalculateRootLogLikelihoods(lease_.instance, &rootBuffer,
+                                                &zero, &zero, nullptr, 1,
+                                                &logL);
+  if (rc != BGL_SUCCESS && rc != BGL_ERROR_FLOATING_POINT) {
+    check(rc, "calculateRootLogLikelihoods");
+  }
+
+  for (Node& node : nodes_) {
+    node.dirtyMatrix = false;
+    node.dirtyPartials = false;
+  }
+  return logL;
+}
+
+double Session::logLikelihood() { return evaluate(); }
+
+double Session::fullLogLikelihood() {
+  markAllDirty();
+  return evaluate();
+}
+
+}  // namespace bgl::serve

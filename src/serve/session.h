@@ -1,0 +1,132 @@
+// One tenant analysis session: a live tree over a leased pooled instance,
+// with dirty-tracked online updates.
+//
+// The session keeps the authoritative copy of everything a lease needs —
+// model parameters, per-taxon tip states, the tree with branch lengths —
+// so it can replay its full state into a new instance after a
+// grow-on-demand reinit. Day-to-day it never replays: addTaxon and
+// setBranch mark only the changed node's path to the root dirty, and the
+// next logLikelihood() re-enqueues exactly those transition matrices and
+// partials operations through bglUpdatePartials (which level-orders them —
+// PR 5's batcher — into one fused launch per level, O(depth) launches for
+// a path).
+//
+// Bit-identity contract: an online evaluation is bit-identical to a full
+// recompute. Untouched partials buffers retain their values verbatim; a
+// dirtied node's operation consumes the same child buffers and matrices
+// with the same per-operation kernel regardless of how many other
+// operations share the batch; and the root reduction is unchanged. The
+// serve test suite asserts this across all six implementation families.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/pool.h"
+
+namespace bgl::serve {
+
+/// Stored substitution-model parameters (row-major, sizes fixed by the
+/// session's states/categories/patterns shape).
+struct ModelSpec {
+  std::vector<double> eigenVectors;         ///< states * states
+  std::vector<double> inverseEigenVectors;  ///< states * states
+  std::vector<double> eigenValues;          ///< states
+  std::vector<double> frequencies;          ///< states
+  std::vector<double> categoryWeights;      ///< categories
+  std::vector<double> categoryRates;        ///< categories
+  std::vector<double> patternWeights;       ///< patterns
+};
+
+class Session {
+ public:
+  /// Acquire a lease from the pool. Throws bgl::Error on failure.
+  Session(std::string tenant, int states, int patterns, int categories,
+          int resource, long preferenceFlags, long requirementFlags);
+
+  /// Release the lease back to the pool.
+  ~Session();
+
+  const std::string& tenant() const { return tenant_; }
+  int states() const { return states_; }
+  int patterns() const { return patterns_; }
+  int categories() const { return categories_; }
+  int resource() const { return resource_; }
+
+  /// Install (or swap) the model. nullptr patternWeights = unit weights.
+  /// Swapping dirties every matrix and every internal node.
+  void setModel(const double* eigenVectors, const double* inverseEigenVectors,
+                const double* eigenValues, const double* frequencies,
+                const double* categoryWeights, const double* categoryRates,
+                const double* patternWeights);
+
+  /// Attach a new taxon (see bglSessionAddTaxon in api/bgl.h for the
+  /// placement contract). Returns the new tip's node id. Grows the lease
+  /// when the tree outgrows it.
+  int addTaxon(const int* tipStates, int attachNode, double distalLength,
+               double pendantLength);
+
+  /// Set the branch length above `node`; dirties the node's matrix and
+  /// the partials path to the root.
+  void setBranch(int node, double length);
+
+  /// Evaluate the live tree, recomputing only what is dirty.
+  double logLikelihood();
+
+  /// Reference path: dirty everything, then evaluate.
+  double fullLogLikelihood();
+
+  int taxa() const { return static_cast<int>(tipStates_.size()); }
+  int nodeCount() const { return static_cast<int>(nodes_.size()); }
+  int root() const { return root_; }
+  int instanceId() const { return lease_.instance; }
+  int tipCapacity() const { return lease_.key.tipCapacity; }
+  const std::string& implName() const { return lease_.implName; }
+
+  /// Scheduler-estimated seconds per evaluation (fixed at open; the
+  /// admission controller's load unit for this session).
+  double estimatedSeconds() const { return estimatedSeconds_; }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+ private:
+  struct Node {
+    int parent = -1;
+    int child[2] = {-1, -1};
+    double branch = 0.0;      ///< length of the edge above this node
+    bool isTip = false;
+    int tipIndex = -1;        ///< index into tipStates_ (tips only)
+    int partialsBuffer = -1;  ///< instance partials buffer id
+    int matrixIndex = -1;     ///< transition matrix above this node (-1: root)
+    bool dirtyMatrix = false;
+    bool dirtyPartials = false;  ///< internals only
+  };
+
+  int newInternalNode();
+  void markPathDirty(int node);  ///< dirty partials from `node` up to root
+  void markAllDirty();
+  void ensureMatrix(int node);   ///< allocate a matrix index when missing
+  /// Re-create instance-side state after acquire/grow: model, tip states,
+  /// internal buffer ids; everything dirty.
+  void replayIntoLease();
+  /// Shared evaluation path behind logLikelihood/fullLogLikelihood.
+  double evaluate();
+
+  std::string tenant_;
+  int states_, patterns_, categories_, resource_;
+  long preferenceFlags_, requirementFlags_;
+  double estimatedSeconds_ = 0.0;
+
+  Lease lease_;
+  bool modelSet_ = false;
+  ModelSpec model_;
+  std::vector<std::vector<int>> tipStates_;  ///< per taxon, patterns_ ints
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  int nextMatrix_ = 0;
+  int nextInternal_ = 0;  ///< internal buffers allocated (ids from capacity)
+};
+
+}  // namespace bgl::serve

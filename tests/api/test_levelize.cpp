@@ -1,0 +1,158 @@
+// The O(n) single-pass levelizer (api/levelize.h) against the original
+// quadratic all-pairs scan it replaced: identical per-operation levels and
+// identical maximum level on structured and random batches, including the
+// repeated-destination case the latest-writer argument hinges on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "api/levelize.h"
+#include "core/rng.h"
+
+namespace bgl {
+namespace {
+
+BglOperation op(int dest, int c1, int c2) {
+  BglOperation o;
+  o.destinationPartials = dest;
+  o.destinationScaleWrite = BGL_OP_NONE;
+  o.destinationScaleRead = BGL_OP_NONE;
+  o.child1Partials = c1;
+  o.child1TransitionMatrix = 2 * c1;
+  o.child2Partials = c2;
+  o.child2TransitionMatrix = 2 * c2 + 1;
+  return o;
+}
+
+/// The original quadratic levelizer, kept verbatim as the reference: scan
+/// every earlier operation for a dependency (its destination feeds this
+/// operation as a child, or the destination buffer is re-used).
+int referenceLevelize(const BglOperation* ops, int count,
+                      std::vector<int>& level) {
+  level.assign(static_cast<std::size_t>(count > 0 ? count : 0), 0);
+  int maxLevel = 0;
+  for (int i = 0; i < count; ++i) {
+    int lv = 0;
+    for (int j = 0; j < i; ++j) {
+      const int dest = ops[j].destinationPartials;
+      if (dest == ops[i].child1Partials || dest == ops[i].child2Partials ||
+          dest == ops[i].destinationPartials) {
+        lv = std::max(lv, level[static_cast<std::size_t>(j)] + 1);
+      }
+    }
+    level[static_cast<std::size_t>(i)] = lv;
+    maxLevel = std::max(maxLevel, lv);
+  }
+  return maxLevel;
+}
+
+void expectMatchesReference(const std::vector<BglOperation>& ops,
+                            const char* what) {
+  std::vector<int> fast, reference;
+  const int fastMax =
+      levelizeOperations(ops.data(), static_cast<int>(ops.size()), fast);
+  const int refMax =
+      referenceLevelize(ops.data(), static_cast<int>(ops.size()), reference);
+  EXPECT_EQ(fastMax, refMax) << what;
+  ASSERT_EQ(fast.size(), reference.size()) << what;
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i], reference[i]) << what << " op " << i;
+  }
+}
+
+TEST(Levelize, EmptyAndSingleBatches) {
+  std::vector<int> level;
+  EXPECT_EQ(levelizeOperations(nullptr, 0, level), 0);
+  EXPECT_TRUE(level.empty());
+
+  const std::vector<BglOperation> one = {op(8, 0, 1)};
+  EXPECT_EQ(levelizeOperations(one.data(), 1, level), 0);
+  ASSERT_EQ(level.size(), 1u);
+  EXPECT_EQ(level[0], 0);
+}
+
+TEST(Levelize, IndependentOperationsShareLevelZero) {
+  const std::vector<BglOperation> ops = {op(8, 0, 1), op(9, 2, 3),
+                                         op(10, 4, 5), op(11, 6, 7)};
+  std::vector<int> level;
+  EXPECT_EQ(levelizeOperations(ops.data(), static_cast<int>(ops.size()), level),
+            0);
+  for (const int lv : level) EXPECT_EQ(lv, 0);
+  expectMatchesReference(ops, "independent");
+}
+
+TEST(Levelize, CaterpillarChainClimbsOneLevelPerOperation) {
+  // Each operation consumes the previous destination: levels 0,1,2,...
+  std::vector<BglOperation> ops;
+  for (int i = 0; i < 20; ++i) {
+    ops.push_back(op(10 + i, i == 0 ? 0 : 10 + i - 1, 1 + i));
+  }
+  std::vector<int> level;
+  EXPECT_EQ(levelizeOperations(ops.data(), static_cast<int>(ops.size()), level),
+            19);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(level[static_cast<std::size_t>(i)], i);
+  expectMatchesReference(ops, "caterpillar");
+}
+
+TEST(Levelize, RepeatedDestinationWritesSerializeUpward) {
+  // Three writes to buffer 9: each re-write must level strictly above the
+  // previous one even with no child dependency between them — this is the
+  // property the single-pass latest-writer table relies on.
+  const std::vector<BglOperation> ops = {op(9, 0, 1), op(9, 2, 3), op(9, 4, 5),
+                                         op(10, 9, 6)};
+  std::vector<int> level;
+  EXPECT_EQ(levelizeOperations(ops.data(), static_cast<int>(ops.size()), level),
+            3);
+  EXPECT_EQ(level[0], 0);
+  EXPECT_EQ(level[1], 1);
+  EXPECT_EQ(level[2], 2);
+  EXPECT_EQ(level[3], 3);  // consumes the LAST write, not the first
+  expectMatchesReference(ops, "repeated destination");
+}
+
+TEST(Levelize, BalancedTreePostorderMatchesDepth) {
+  // A balanced 8-tip tree in post-order: four leaf joins (level 0), two
+  // mid joins (level 1), one root join (level 2).
+  const std::vector<BglOperation> ops = {
+      op(8, 0, 1),  op(9, 2, 3),  op(10, 4, 5), op(11, 6, 7),
+      op(12, 8, 9), op(13, 10, 11), op(14, 12, 13)};
+  std::vector<int> level;
+  EXPECT_EQ(levelizeOperations(ops.data(), static_cast<int>(ops.size()), level),
+            2);
+  const std::vector<int> expected = {0, 0, 0, 0, 1, 1, 2};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(level[i], expected[i]) << "op " << i;
+  }
+  expectMatchesReference(ops, "balanced tree");
+}
+
+TEST(Levelize, RandomBatchesMatchQuadraticReference) {
+  Rng rng(20260807);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int count = 1 + rng.belowInt(120);
+    const int buffers = 4 + rng.belowInt(60);
+    std::vector<BglOperation> ops;
+    ops.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      ops.push_back(op(rng.belowInt(buffers), rng.belowInt(buffers),
+                       rng.belowInt(buffers)));
+    }
+    expectMatchesReference(ops, "random trial");
+  }
+}
+
+TEST(Levelize, SparseBufferIdsStayLinearInBatchSize) {
+  // Large buffer ids only cost table width, not correctness.
+  const std::vector<BglOperation> ops = {op(5000, 0, 1), op(5001, 5000, 2),
+                                         op(9000, 5001, 5000)};
+  std::vector<int> level;
+  EXPECT_EQ(levelizeOperations(ops.data(), static_cast<int>(ops.size()), level),
+            2);
+  EXPECT_EQ(level[0], 0);
+  EXPECT_EQ(level[1], 1);
+  EXPECT_EQ(level[2], 2);
+  expectMatchesReference(ops, "sparse ids");
+}
+
+}  // namespace
+}  // namespace bgl

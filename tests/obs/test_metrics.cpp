@@ -218,7 +218,7 @@ TEST(ObsMetricsService, WritesPeriodicJsonLinesSnapshots) {
   const auto lines = readLines(path);
   ASSERT_GE(lines.size(), 2u) << "expected periodic snapshots plus the final";
   for (std::size_t i = 0; i < lines.size(); ++i) {
-    EXPECT_NE(lines[i].find("\"schema\":1"), std::string::npos) << lines[i];
+    EXPECT_NE(lines[i].find("\"schema\":2"), std::string::npos) << lines[i];
     EXPECT_NE(lines[i].find("\"seq\":" + std::to_string(i)),
               std::string::npos)
         << "snapshot sequence must be dense";

@@ -1,0 +1,70 @@
+// Shared helpers for the serving-layer tests. Everything returns plain
+// status codes instead of using gtest assertions so the helpers are safe
+// to call from worker threads (ServeConcurrentTenants) — callers EXPECT on
+// the returned values from the main thread.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/bgl.h"
+#include "core/gamma.h"
+#include "core/model.h"
+#include "core/rng.h"
+#include "phylo/seqsim.h"
+
+namespace bgl::serve_test {
+
+/// Reset the process-wide serving layer between tests: default limits,
+/// every pooled instance evicted. Counters are monotone — tests must
+/// compare deltas, not absolutes.
+inline void resetServing() {
+  bglPoolConfigure(nullptr);
+  bglPoolTrim(0);
+}
+
+/// Install the repo's default model for `states` into the session.
+/// Returns the first failing return code, or BGL_SUCCESS.
+inline int setDefaultModel(int session, int states, int categories,
+                           std::uint64_t seed) {
+  const auto model = defaultModelForStates(states, seed);
+  const auto es = model->eigenSystem();
+  const std::vector<double> weights(static_cast<std::size_t>(categories),
+                                    1.0 / categories);
+  const auto rates = categories > 1 ? discreteGammaRates(0.5, categories)
+                                    : std::vector<double>{1.0};
+  return bglSessionSetModel(session, es.evec.data(), es.ivec.data(),
+                            es.eval.data(), model->frequencies().data(),
+                            weights.data(), rates.data(), nullptr);
+}
+
+/// Grow the session's tree to `taxa` tips with seeded random data and
+/// seeded random attachment points; deterministic given (seed, session
+/// history). Returns the first failing return code, or BGL_SUCCESS.
+inline int addRandomTaxa(int session, int taxa, int patterns, int states,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  const auto data = phylo::randomStates(taxa, patterns, states, rng);
+  std::vector<int> tip(static_cast<std::size_t>(patterns));
+  for (int t = 0; t < taxa; ++t) {
+    std::memcpy(tip.data(), data.data() + static_cast<std::size_t>(t) * patterns,
+                sizeof(int) * static_cast<std::size_t>(patterns));
+    BglSessionDetails details{};
+    if (const int rc = bglSessionGetDetails(session, &details);
+        rc != BGL_SUCCESS) {
+      return rc;
+    }
+    const int attach = details.nodes > 0 ? rng.belowInt(details.nodes) : 0;
+    const double distal = rng.uniform(0.01, 0.3);
+    const double pendant = rng.uniform(0.01, 0.3);
+    if (const int rc = bglSessionAddTaxon(session, tip.data(), attach, distal,
+                                          pendant);
+        rc < 0) {
+      return rc;
+    }
+  }
+  return BGL_SUCCESS;
+}
+
+}  // namespace bgl::serve_test

@@ -1,0 +1,282 @@
+// Serving-layer sessions across every implementation family: recycled
+// leases must be indistinguishable from fresh instances (bit-identical
+// log likelihoods), online dirty-path evaluation must be bit-identical to
+// a full recompute after every tree edit, and the online path must issue
+// O(depth) streamed launches on async resources. ServeConcurrentTenants
+// runs the whole stack from parallel tenant threads (TSan job).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "perfmodel/device_profiles.h"
+#include "tests/serve/serve_test_util.h"
+
+namespace bgl {
+namespace {
+
+using serve_test::addRandomTaxa;
+using serve_test::resetServing;
+using serve_test::setDefaultModel;
+
+struct FamilyConfig {
+  const char* label;
+  long requirementFlags;
+  int resource;
+};
+
+// The six implementation families of the cross-impl suite: four CPU
+// threading modes plus the two simulated accelerator frameworks.
+const FamilyConfig kFamilies[] = {
+    {"cpu-serial", BGL_FLAG_THREADING_NONE | BGL_FLAG_VECTOR_NONE,
+     perf::kHostCpu},
+    {"cpu-futures", BGL_FLAG_THREADING_FUTURES, perf::kHostCpu},
+    {"cpu-thread-create", BGL_FLAG_THREADING_THREAD_CREATE, perf::kHostCpu},
+    {"cpu-thread-pool", BGL_FLAG_THREADING_THREAD_POOL, perf::kHostCpu},
+    {"cuda", BGL_FLAG_FRAMEWORK_CUDA, perf::kQuadroP5000},
+    {"opencl", BGL_FLAG_FRAMEWORK_OPENCL, perf::kRadeonR9Nano},
+};
+
+class ServeSession : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { resetServing(); }
+  void TearDown() override { resetServing(); }
+};
+
+TEST_P(ServeSession, RecycledLeaseIsBitIdenticalToFreshInstance) {
+  const FamilyConfig& family = kFamilies[GetParam()];
+  const int patterns = 96, states = 4, categories = 2;
+
+  auto runAnalysis = [&](double* outLogL, int* outInstance) {
+    const int s = bglSessionOpen("recycler", states, patterns, categories,
+                                 family.resource, 0, family.requirementFlags);
+    ASSERT_GE(s, 0) << family.label << ": " << bglGetLastErrorMessage();
+    ASSERT_EQ(setDefaultModel(s, states, categories, 9), BGL_SUCCESS);
+    ASSERT_EQ(addRandomTaxa(s, 7, patterns, states, 41), BGL_SUCCESS);
+    BglSessionDetails details{};
+    ASSERT_EQ(bglSessionGetDetails(s, &details), BGL_SUCCESS);
+    *outInstance = details.instance;
+    ASSERT_EQ(bglSessionLogLikelihood(s, outLogL), BGL_SUCCESS);
+    ASSERT_EQ(bglSessionClose(s), BGL_SUCCESS);
+  };
+
+  BglPoolStatistics before{};
+  ASSERT_EQ(bglPoolGetStatistics(&before), BGL_SUCCESS);
+
+  double fresh = 0.0, recycled = 0.0;
+  int firstInstance = -1, secondInstance = -1;
+  runAnalysis(&fresh, &firstInstance);
+  runAnalysis(&recycled, &secondInstance);
+
+  ASSERT_TRUE(std::isfinite(fresh)) << family.label;
+  // The second run leased the very instance the first run freed, and no
+  // stale state leaked through: same tree, same data, same bits.
+  EXPECT_EQ(secondInstance, firstInstance) << family.label;
+  EXPECT_EQ(recycled, fresh) << family.label;
+
+  BglPoolStatistics after{};
+  ASSERT_EQ(bglPoolGetStatistics(&after), BGL_SUCCESS);
+  EXPECT_EQ(after.instancesRecycled - before.instancesRecycled, 1u)
+      << family.label;
+}
+
+TEST_P(ServeSession, OnlineUpdatesBitIdenticalToFullRecompute) {
+  const FamilyConfig& family = kFamilies[GetParam()];
+  const int patterns = 64, states = 4, categories = 2;
+
+  const int s = bglSessionOpen("online", states, patterns, categories,
+                               family.resource, 0, family.requirementFlags);
+  ASSERT_GE(s, 0) << family.label << ": " << bglGetLastErrorMessage();
+  ASSERT_EQ(setDefaultModel(s, states, categories, 13), BGL_SUCCESS);
+
+  Rng rng(55);
+  const auto data = phylo::randomStates(10, patterns, states, rng);
+  std::vector<int> tip(static_cast<std::size_t>(patterns));
+  for (int t = 0; t < 10; ++t) {
+    std::memcpy(tip.data(), data.data() + static_cast<std::size_t>(t) * patterns,
+                sizeof(int) * static_cast<std::size_t>(patterns));
+    BglSessionDetails details{};
+    ASSERT_EQ(bglSessionGetDetails(s, &details), BGL_SUCCESS);
+    const int attach = details.nodes > 0 ? rng.belowInt(details.nodes) : 0;
+    const int node = bglSessionAddTaxon(s, tip.data(), attach,
+                                        rng.uniform(0.01, 0.3),
+                                        rng.uniform(0.01, 0.3));
+    ASSERT_GE(node, 0) << family.label;
+    if (t < 1) continue;  // one tip: nothing to evaluate yet
+
+    // After every single edit: the dirty-path evaluation must equal the
+    // everything-dirty reference bit for bit.
+    double online = 0.0, full = 0.0;
+    ASSERT_EQ(bglSessionLogLikelihood(s, &online), BGL_SUCCESS);
+    ASSERT_EQ(bglSessionFullLogLikelihood(s, &full), BGL_SUCCESS);
+    ASSERT_TRUE(std::isfinite(online)) << family.label << " taxon " << t;
+    EXPECT_EQ(online, full) << family.label << " taxon " << t;
+  }
+
+  // Branch-length edits dirty one matrix and one path.
+  for (int edit = 0; edit < 4; ++edit) {
+    BglSessionDetails details{};
+    ASSERT_EQ(bglSessionGetDetails(s, &details), BGL_SUCCESS);
+    int node = rng.belowInt(details.nodes);
+    if (node == details.root) node = (node + 1) % details.nodes;
+    ASSERT_EQ(bglSessionSetBranch(s, node, rng.uniform(0.01, 0.4)),
+              BGL_SUCCESS);
+    double online = 0.0, full = 0.0;
+    ASSERT_EQ(bglSessionLogLikelihood(s, &online), BGL_SUCCESS);
+    ASSERT_EQ(bglSessionFullLogLikelihood(s, &full), BGL_SUCCESS);
+    EXPECT_EQ(online, full) << family.label << " edit " << edit;
+  }
+
+  ASSERT_EQ(bglSessionClose(s), BGL_SUCCESS);
+}
+
+std::string familyName(const ::testing::TestParamInfo<int>& info) {
+  std::string name = kFamilies[info.param].label;
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ServeSession,
+                         ::testing::Range(0, static_cast<int>(
+                                                 std::size(kFamilies))),
+                         familyName);
+
+TEST(ServeOnlineLaunches, DirtyPathIssuesODepthStreamedLaunches) {
+  resetServing();
+  const int patterns = 128, states = 4, categories = 2, taxa = 16;
+
+  const int s = bglSessionOpen("launches", states, patterns, categories,
+                               perf::kQuadroP5000, 0, 0);
+  ASSERT_GE(s, 0) << bglGetLastErrorMessage();
+  ASSERT_EQ(setDefaultModel(s, states, categories, 21), BGL_SUCCESS);
+  ASSERT_EQ(addRandomTaxa(s, taxa, patterns, states, 61), BGL_SUCCESS);
+
+  double settle = 0.0;
+  ASSERT_EQ(bglSessionLogLikelihood(s, &settle), BGL_SUCCESS);
+
+  BglSessionDetails details{};
+  ASSERT_EQ(bglSessionGetDetails(s, &details), BGL_SUCCESS);
+  BglStatistics before{};
+  ASSERT_EQ(bglGetStatistics(details.instance, &before), BGL_SUCCESS);
+
+  // One taxon at the root: the dirty path is the single new join node.
+  std::vector<int> tip(static_cast<std::size_t>(patterns), 1);
+  ASSERT_GE(bglSessionAddTaxon(s, tip.data(), details.root, 0.1, 0.2), 0);
+  double online = 0.0;
+  ASSERT_EQ(bglSessionLogLikelihood(s, &online), BGL_SUCCESS);
+
+  BglStatistics afterOnline{};
+  ASSERT_EQ(bglGetStatistics(details.instance, &afterOnline), BGL_SUCCESS);
+  const unsigned long long onlineLaunches =
+      afterOnline.streamedLaunches - before.streamedLaunches;
+
+  double full = 0.0;
+  ASSERT_EQ(bglSessionFullLogLikelihood(s, &full), BGL_SUCCESS);
+  BglStatistics afterFull{};
+  ASSERT_EQ(bglGetStatistics(details.instance, &afterFull), BGL_SUCCESS);
+  const unsigned long long fullLaunches =
+      afterFull.streamedLaunches - afterOnline.streamedLaunches;
+
+  EXPECT_EQ(online, full);  // bitwise
+  // One partials level, one matrix batch, the root reduction — a small
+  // constant, while the full recompute walks every internal node level.
+  EXPECT_GT(onlineLaunches, 0u);
+  EXPECT_LE(onlineLaunches, 8u);
+  EXPECT_GT(fullLaunches, onlineLaunches);
+
+  ASSERT_EQ(bglSessionClose(s), BGL_SUCCESS);
+  resetServing();
+}
+
+TEST(ServeConcurrentTenants, ParallelOpenUpdateEvalClose) {
+  resetServing();
+  BglPoolConfig config{};
+  config.maxSessions = 64;
+  config.maxSessionsPerTenant = 32;
+  ASSERT_EQ(bglPoolConfigure(&config), BGL_SUCCESS);
+
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 3;
+  std::atomic<int> failures{0};
+  std::atomic<int> evaluations{0};
+
+  // gtest assertions are not thread-safe; workers count failures and the
+  // main thread asserts. Tenants contend for the pool, the admission
+  // controller, and the service table at once.
+  auto worker = [&](int id) {
+    const std::string tenant = "tenant-" + std::to_string(id);
+    for (int it = 0; it < kIterations; ++it) {
+      const int s = bglSessionOpen(tenant.c_str(), 4, 48, 2, 0, 0, 0);
+      if (s < 0) {
+        ++failures;
+        continue;
+      }
+      if (setDefaultModel(s, 4, 2, 100 + id) != BGL_SUCCESS ||
+          addRandomTaxa(s, 6, 48, 4,
+                        static_cast<std::uint64_t>(1000 + id * 17 + it)) !=
+              BGL_SUCCESS) {
+        ++failures;
+        bglSessionClose(s);
+        continue;
+      }
+      double online = 0.0, full = 0.0;
+      if (bglSessionLogLikelihood(s, &online) != BGL_SUCCESS ||
+          bglSessionFullLogLikelihood(s, &full) != BGL_SUCCESS ||
+          !std::isfinite(online) || online != full) {
+        ++failures;
+      } else {
+        ++evaluations;
+      }
+      if (bglSessionClose(s) != BGL_SUCCESS) ++failures;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int id = 0; id < kThreads; ++id) threads.emplace_back(worker, id);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(evaluations.load(), kThreads * kIterations);
+  BglPoolStatistics stats{};
+  ASSERT_EQ(bglPoolGetStatistics(&stats), BGL_SUCCESS);
+  EXPECT_EQ(stats.liveSessions, 0);
+  resetServing();
+}
+
+TEST(ServeConcurrentTenants, CloseRacesWithEvaluation) {
+  // One tenant evaluating in a loop while another thread closes the
+  // session: every call must return a structured code, never crash.
+  resetServing();
+  const int s = bglSessionOpen("racer", 4, 48, 2, 0, 0, 0);
+  ASSERT_GE(s, 0);
+  ASSERT_EQ(setDefaultModel(s, 4, 2, 5), BGL_SUCCESS);
+  ASSERT_EQ(addRandomTaxa(s, 6, 48, 4, 71), BGL_SUCCESS);
+
+  std::atomic<bool> crashed{false};
+  std::thread evaluator([&] {
+    for (int i = 0; i < 50; ++i) {
+      double logL = 0.0;
+      const int rc = bglSessionLogLikelihood(s, &logL);
+      if (rc != BGL_SUCCESS && rc != BGL_ERROR_OUT_OF_RANGE) {
+        crashed = true;
+        return;
+      }
+      if (rc == BGL_ERROR_OUT_OF_RANGE) return;  // closed under us: fine
+    }
+  });
+  std::thread closer([&] { bglSessionClose(s); });
+  evaluator.join();
+  closer.join();
+  EXPECT_FALSE(crashed.load());
+  resetServing();
+}
+
+}  // namespace
+}  // namespace bgl

@@ -17,6 +17,7 @@
 
 #include "api/bgl.h"
 #include "harness/genomictest.h"
+#include "harness/serve_trace.h"
 #include "tools/argparse.h"
 #include "tools/watch.h"
 
@@ -63,8 +64,16 @@ void printUsage(const char* program) {
       "                         to FILE (period from --watch, default 500 ms;\n"
       "                         see docs/OBSERVABILITY.md)\n"
       "  --fault SPEC           arm deterministic fault injection before the\n"
-      "                         run ([cuda:|opencl:]launch|memcpy|alloc:N,\n"
+      "                         run ([cuda:|opencl:|host:]launch|memcpy|alloc:N,\n"
       "                         comma-separated; see docs/ROBUSTNESS.md)\n"
+      "  --serve FILE           replay a serving-layer trace file (many\n"
+      "                         tenants, online tree updates) through the\n"
+      "                         bglPool*/bglSession* API and print replay\n"
+      "                         statistics; see docs/SERVING.md\n"
+      "  --serve-verbose        with --serve: print one line per command\n"
+      "  --max-sessions N       with --serve: global session quota\n"
+      "  --max-per-tenant N     with --serve: per-tenant session quota\n"
+      "  --max-load SECONDS     with --serve: estimated-load shedding limit\n"
       "  --validate-split       with --split: also run a serial host-CPU\n"
       "                         single-instance reference and compare logL\n"
       "                         (implied by --fault; mismatch exits nonzero)\n",
@@ -151,6 +160,51 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("fault injection armed: %s\n", faultSpec.c_str());
+  }
+
+  if (const std::string traceFile = args.get("serve"); !traceFile.empty()) {
+    BglPoolConfig config{};
+    config.maxSessions = args.getInt("max-sessions", 0);
+    config.maxSessionsPerTenant = args.getInt("max-per-tenant", 0);
+    config.maxEstimatedLoad = args.getDouble("max-load", 0.0);
+    if (bglPoolConfigure(&config) != BGL_SUCCESS) {
+      std::fprintf(stderr, "error: bglPoolConfigure failed: %s\n",
+                   bglGetLastErrorMessage());
+      return 1;
+    }
+    harness::ReplayOptions options;
+    options.verbose = args.has("serve-verbose");
+    try {
+      const auto replay = harness::replayServeTraceFile(traceFile, options);
+      BglPoolStatistics pool{};
+      bglPoolGetStatistics(&pool);
+      std::printf("serve replay: %s\n", traceFile.c_str());
+      std::printf(
+          "  commands %d  opens %d  rejected %d  skipped %d  taxa %d"
+          "  branches %d\n",
+          replay.commands, replay.opens, replay.rejected, replay.skipped,
+          replay.taxaAdded, replay.branchSets);
+      std::printf("  evals %d  fulls %d  closes %d  last logL %.6f\n",
+                  replay.evals, replay.fulls, replay.closes, replay.lastLogL);
+      std::printf("  pool: created %llu  recycled %llu  grows %llu  "
+                  "evicted %llu  (now %d pooled, %d free)\n",
+                  pool.instancesCreated, pool.instancesRecycled,
+                  pool.reinitGrows, pool.evictions, pool.pooledInstances,
+                  pool.freeInstances);
+      if (replay.mismatches != 0) {
+        std::fprintf(stderr,
+                     "error: %d online/full log-likelihood mismatch(es)\n",
+                     replay.mismatches);
+        watch.stop();
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      watch.stop();
+      return 1;
+    }
+    watch.stop();
+    return 0;
   }
 
   if (args.has("auto-resource")) {

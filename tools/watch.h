@@ -31,6 +31,9 @@ inline const char* journalKindLabel(int kind) {
     case BGL_JOURNAL_CPU_FALLBACK: return "cpu-fallback";
     case BGL_JOURNAL_REBALANCE: return "rebalance";
     case BGL_JOURNAL_CALIBRATION_FALLBACK: return "calibration-fallback";
+    case BGL_JOURNAL_ADMISSION_REJECT: return "admission-reject";
+    case BGL_JOURNAL_POOL_EVICT: return "pool-evict";
+    case BGL_JOURNAL_POOL_REINIT: return "pool-reinit";
   }
   return "unknown";
 }
@@ -112,6 +115,23 @@ class StatsWatch {
                  "pending %llu (max %llu)  +%llu journal\n",
                  stats.liveInstances, ops, launches, stats.pendingDepth,
                  stats.pendingDepthMax, journal);
+    // The serving layer's occupancy and admission gauges, once it has
+    // seen traffic (all-zero statistics keep non-serving runs quiet).
+    BglPoolStatistics pool;
+    if (bglPoolGetStatistics(&pool) == BGL_SUCCESS &&
+        (pool.admitted != 0 || pool.rejectedQuota != 0 ||
+         pool.rejectedBackpressure != 0 || pool.rejectedLoad != 0 ||
+         pool.pooledInstances != 0)) {
+      const unsigned long long rejected = delta(
+          pool.rejectedQuota + pool.rejectedBackpressure + pool.rejectedLoad,
+          prevRejected_);
+      const unsigned long long admitted = delta(pool.admitted, prevAdmitted_);
+      std::fprintf(stderr,
+                   "serve: %d sessions  pool %d (%d free)  +%llu admitted  "
+                   "+%llu rejected  load %.3fs\n",
+                   pool.liveSessions, pool.pooledInstances, pool.freeInstances,
+                   admitted, rejected, pool.estimatedLoadSeconds);
+    }
   }
 
   void printJournalSummary() {
@@ -143,6 +163,8 @@ class StatsWatch {
   unsigned long long prevOps_ = 0;
   unsigned long long prevLaunches_ = 0;
   unsigned long long prevJournal_ = 0;
+  unsigned long long prevAdmitted_ = 0;
+  unsigned long long prevRejected_ = 0;
 };
 
 }  // namespace bgl::tools
