@@ -17,8 +17,18 @@
 //    simulated frameworks (wall clock; host rows are real measurements).
 //
 // Results land in BENCH_pr5.json (set BGL_BENCH_DIR to redirect).
+//
+// PR 9 adds a second section (skippable to with --pipelined): a multi-round
+// codon workload where every round re-derives all transition matrices from
+// new branch lengths — the call pattern of a branch-length optimizer. There
+// the cross-call pipelined mode (BGL_FLAG_COMPUTATION_PIPELINE, two device
+// streams: matrices for round r+1 derive while round r's partials drain)
+// must beat the single-stream async mode by >= 1.2x on both simulated
+// frameworks with per-round log likelihoods bit-identical to the serial-CPU
+// reference. That section lands in BENCH_pr9.json.
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -28,6 +38,8 @@
 namespace {
 
 constexpr double kMinFrameworkSpeedup = 1.2;
+constexpr double kMinPipelineSpeedup = 1.2;
+constexpr int kPipelineRounds = 6;
 
 bgl::harness::RunResult runMode(long flags) {
   bgl::harness::ProblemSpec spec;
@@ -43,16 +55,182 @@ bgl::harness::RunResult runMode(long flags) {
   return bgl::harness::runThroughput(spec);
 }
 
+bgl::harness::PipelinedRunResult runPipelinedMode(long flags, int resource) {
+  bgl::harness::ProblemSpec spec;
+  spec.tips = 16;       // 15 ops per round; matrix pool = two halves of 16
+  spec.patterns = 32;
+  spec.states = 61;     // codon model: matrix derivation rivals partials cost
+  spec.categories = 4;
+  spec.singlePrecision = false;
+  spec.resource = resource;  // simulated profiles: deterministic modeled
+                             // per-stream critical-path time, noise-free gate
+  spec.requirementFlags = flags;
+  spec.reps = 3;
+  spec.warmupReps = 1;
+  return bgl::harness::runPipelinedThroughput(spec, kPipelineRounds);
+}
+
+bool roundsBitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
 struct Config {
   const char* label;
   long flags;
   bool simulatedFramework;  // subject to the 1.2x speedup gate
 };
 
+/// PR 9 section: cross-call pipelining on the multi-round codon workload.
+int runPipelinedSection() {
+  using namespace bgl;
+  bench::printHeader(
+      "PR 9 perf smoke: cross-call pipelining (multi-stream device model)",
+      "multi-round codon workload; matrices for round r+1 overlap round r");
+  bench::printNote(
+      "16 tips, 32 patterns, 61 states, 4 categories, 6 rounds, double "
+      "precision; async = single stream, pipelined = matrix stream + "
+      "compute stream with event fences; simulated device profiles "
+      "(modeled per-stream critical path)");
+
+  bench::JsonReport report(
+      "pr9", "PR 9 perf smoke: cross-call pipelining",
+      "multi-round codon workload (branch-length-optimizer call pattern)");
+  report.note(
+      "speedup = asyncSeconds / pipelinedSeconds per implementation; gates: "
+      "per-round logL bitwise-equal across async/pipelined/serial-CPU "
+      "reference, speedup >= 1.2 on both simulated frameworks");
+
+  struct PipelineConfig {
+    const char* label;
+    const char* resourceFragment;  // perf-registry resource to run on
+    long flags;
+    bool simulatedFramework;  // subject to the 1.2x speedup gate
+  };
+  const std::vector<PipelineConfig> configs = {
+      {"cuda", "Quadro", BGL_FLAG_FRAMEWORK_CUDA, true},
+      {"opencl", "Radeon", BGL_FLAG_FRAMEWORK_OPENCL, true},
+      {"cpu-thread-pool", "", BGL_FLAG_THREADING_THREAD_POOL, false},
+  };
+
+  int failures = 0;
+  try {
+    const auto reference =
+        runPipelinedMode(BGL_FLAG_THREADING_NONE | BGL_FLAG_VECTOR_NONE |
+                             BGL_FLAG_COMPUTATION_SYNCH,
+                         /*resource=*/0);
+    for (double logL : reference.roundLogL) {
+      if (!std::isfinite(logL)) {
+        std::fprintf(stderr, "FAIL: reference round logL %.17g is not finite\n",
+                     logL);
+        return 1;
+      }
+    }
+    std::printf("\n%-18s %10s %10s %10s %8s %22s\n", "implementation",
+                "async(s)", "pipe(s)", "speedup", "bitEq", "logL[last]");
+    std::printf("%-18s %10s %10s %10s %8s %22.12f\n", "cpu-serial (ref)", "-",
+                "-", "-", "-", reference.roundLogL.back());
+    {
+      auto row = report.row();
+      row.field("implementation", "cpu-serial-reference")
+          .field("mode", "sync")
+          .field("seconds", reference.seconds)
+          .field("gflops", reference.gflops);
+      for (std::size_t r = 0; r < reference.roundLogL.size(); ++r) {
+        row.field("logL" + std::to_string(r), reference.roundLogL[r]);
+      }
+    }
+
+    for (const auto& config : configs) {
+      int resource = 0;
+      if (*config.resourceFragment != '\0') {
+        resource = harness::findResource(config.resourceFragment);
+        if (resource < 0) {
+          std::fprintf(stderr, "FAIL %s: no resource matching '%s'\n",
+                       config.label, config.resourceFragment);
+          ++failures;
+          continue;
+        }
+      }
+      const auto async =
+          runPipelinedMode(config.flags | BGL_FLAG_COMPUTATION_ASYNCH, resource);
+      const auto pipelined = runPipelinedMode(config.flags |
+                                                  BGL_FLAG_COMPUTATION_ASYNCH |
+                                                  BGL_FLAG_COMPUTATION_PIPELINE,
+                                              resource);
+      const double speedup = async.seconds / pipelined.seconds;
+      const bool asyncPipeExact =
+          roundsBitIdentical(async.roundLogL, pipelined.roundLogL);
+      const bool referenceExact =
+          roundsBitIdentical(pipelined.roundLogL, reference.roundLogL);
+      std::printf("%-18s %10.4f %10.4f %10.2f %8s %22.12f\n", config.label,
+                  async.seconds, pipelined.seconds, speedup,
+                  asyncPipeExact && referenceExact ? "yes" : "NO",
+                  pipelined.roundLogL.back());
+
+      for (const auto* mode : {"async", "pipelined"}) {
+        const auto& r = *mode == 'a' ? async : pipelined;
+        report.row()
+            .field("implementation", config.label)
+            .field("mode", mode)
+            .field("seconds", r.seconds)
+            .field("gflops", r.gflops)
+            .field("logL", r.roundLogL.back())
+            .field("impl", r.implName);
+      }
+      report.row()
+          .field("implementation", config.label)
+          .field("mode", "summary")
+          .field("speedup", speedup)
+          .field("asyncPipelinedBitIdentical", asyncPipeExact ? 1 : 0)
+          .field("referenceBitIdentical", referenceExact ? 1 : 0);
+
+      if (!asyncPipeExact) {
+        std::fprintf(stderr,
+                     "FAIL %s: pipelined round logLs differ from async\n",
+                     config.label);
+        ++failures;
+      }
+      if (!referenceExact) {
+        std::fprintf(stderr,
+                     "FAIL %s: pipelined round logLs differ from serial-CPU "
+                     "reference\n",
+                     config.label);
+        ++failures;
+      }
+      if (config.simulatedFramework && speedup < kMinPipelineSpeedup) {
+        std::fprintf(stderr,
+                     "FAIL %s: pipelined speedup %.3f < required %.2f\n",
+                     config.label, speedup, kMinPipelineSpeedup);
+        ++failures;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL: %s\n", e.what());
+    return 1;
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "pipelined perf smoke failed: %d violation(s)\n",
+                 failures);
+    return failures;
+  }
+  std::printf("pipelined perf smoke passed: pipelined >= %.1fx over async on "
+              "both frameworks, all round log likelihoods bit-identical\n",
+              kMinPipelineSpeedup);
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bgl;
+  const bool pipelinedOnly =
+      argc > 1 && std::strcmp(argv[1], "--pipelined") == 0;
+  if (pipelinedOnly) return runPipelinedSection();
   bench::printHeader(
       "PR 5 perf smoke: async command streams + level-order batching",
       "Ayres & Cummings 2017, Fig. 4 workload (Section VIII-A)");
@@ -156,5 +334,5 @@ int main() {
   std::printf("perf smoke passed: async >= %.1fx on both frameworks, all "
               "log likelihoods bit-identical\n",
               kMinFrameworkSpeedup);
-  return 0;
+  return runPipelinedSection() > 0 ? 1 : 0;
 }

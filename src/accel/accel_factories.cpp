@@ -19,6 +19,7 @@ long resourceProcessorFlag(int resource) {
 constexpr long kCommonFlags =
     BGL_FLAG_PRECISION_SINGLE | BGL_FLAG_PRECISION_DOUBLE |
     BGL_FLAG_COMPUTATION_SYNCH | BGL_FLAG_COMPUTATION_ASYNCH |
+    BGL_FLAG_COMPUTATION_PIPELINE |
     BGL_FLAG_SCALING_MANUAL | BGL_FLAG_SCALING_ALWAYS |
     BGL_FLAG_KERNEL_GPU_STYLE | BGL_FLAG_KERNEL_X86_STYLE | BGL_FLAG_FMA_OFF;
 

@@ -42,7 +42,20 @@ class AccelImpl : public Implementation {
     device_->setRecorder(&recorder_);
     async_ = (cfg.flags & BGL_FLAG_COMPUTATION_ASYNCH) != 0 ||
              (cfg.flags & BGL_FLAG_COMPUTATION_SYNCH) == 0;
-    if (async_) device_->setAsync(true);
+    // Cross-call pipelining (docs/PERFORMANCE.md): transition matrices issue
+    // on a second device stream so round N+1's matrices overlap round N's
+    // partials. Implies async; a device that ignores setStreamCount (one
+    // stream) degrades to plain async — same-stream signal/wait pairs retire
+    // in enqueue order, so the fences become no-ops, not deadlocks.
+    pipeline_ = async_ && (cfg.flags & BGL_FLAG_COMPUTATION_PIPELINE) != 0;
+    if (async_) {
+      if (pipeline_) device_->setStreamCount(2);
+      device_->setAsync(true);
+    }
+    if (pipeline_) {
+      matrixDirty_.assign(static_cast<std::size_t>(cfg.matrixBufferCount), 0);
+      matrixReadByC_.assign(static_cast<std::size_t>(cfg.matrixBufferCount), 0);
+    }
     variant_ = (cfg.flags & BGL_FLAG_KERNEL_X86_STYLE)
                    ? hal::KernelVariant::X86Style
                    : (cfg.flags & BGL_FLAG_KERNEL_GPU_STYLE)
@@ -104,7 +117,16 @@ class AccelImpl : public Implementation {
     siteD2_ = device_->alloc(static_cast<std::size_t>(c.patternCount) * sizeof(Real));
     reduceScratch_ =
         device_->alloc(static_cast<std::size_t>(reduceBlocks()) * sizeof(double));
-    result_ = device_->alloc(static_cast<std::size_t>(resultSlots_) * sizeof(double));
+    // Double-buffered result staging: consecutive root/edge evaluations
+    // alternate buffers so a readback of round N never has to wait for
+    // round N+1's reductions (pipelined mode; one buffer otherwise).
+    resultBuf_[0] =
+        device_->alloc(static_cast<std::size_t>(resultSlots_) * sizeof(double));
+    resultBuf_[1] =
+        pipeline_ ? device_->alloc(static_cast<std::size_t>(resultSlots_) *
+                                   sizeof(double))
+                  : resultBuf_[0];
+    result_ = resultBuf_[0];
   }
 
   ~AccelImpl() override {
@@ -320,6 +342,30 @@ class AccelImpl : public Implementation {
 
     hal::LaunchOptions opts;
     opts.keepAlive = stage;
+    if (pipeline_) {
+      // WAR fence: if the compute stream has un-drained reads of any target
+      // matrix, the matrix stream must wait for them before overwriting.
+      // In the steady pipelined cadence (disjoint matrix halves, a compute
+      // drain per round at the result readback) this never fires.
+      bool hazard = false;
+      for (std::size_t i = 0; i < stage->indices.size(); ++i) {
+        hazard = hazard || matrixReadByC_[stage->indices[i]] != 0;
+      }
+      if (hazard) {
+        device_->waitEvent(kMatrixStream, device_->recordEvent(kComputeStream));
+        std::fill(matrixReadByC_.begin(), matrixReadByC_.end(), char(0));
+      }
+      opts.stream = kMatrixStream;
+      device_->launch(*kernel, dims, args, work, opts);
+      // RAW edge for consumers: the next partials/edge batch that reads any
+      // of these matrices waits on this event (recorded after the launch,
+      // so it covers every matrix write enqueued so far).
+      for (std::size_t i = 0; i < stage->indices.size(); ++i) {
+        matrixDirty_[stage->indices[i]] = 1;
+      }
+      matricesReady_ = device_->recordEvent(kMatrixStream);
+      return BGL_SUCCESS;
+    }
     device_->launch(*kernel, dims, args, work, opts);
     return BGL_SUCCESS;
   }
@@ -373,6 +419,19 @@ class AccelImpl : public Implementation {
                          "updatePartials");
     recorder_.count(obs::Counter::kPartialsOperations,
                     static_cast<std::uint64_t>(count));
+    if (pipeline_) {
+      // RAW fence: if any matrix this batch reads is still in flight on the
+      // matrix stream, the compute stream waits for the matrices-ready
+      // event before the batch's first launch. Out-of-range indices are
+      // skipped here; validation below still rejects the batch.
+      matrixReadScratch_.clear();
+      for (int i = 0; i < count; ++i) {
+        matrixReadScratch_.push_back(operations[i].child1TransitionMatrix);
+        matrixReadScratch_.push_back(operations[i].child2TransitionMatrix);
+      }
+      fenceAndMarkMatrixReads(matrixReadScratch_.data(),
+                              matrixReadScratch_.size());
+    }
     // Deferred accumulation needs every scale target written at most once
     // per batch (levelize.h); repeated targets take the per-op path, which
     // is the definition of the expected bit pattern anyway.
@@ -424,6 +483,10 @@ class AccelImpl : public Implementation {
                          "rootLogLikelihoods");
     recorder_.count(obs::Counter::kRootEvaluations,
                     static_cast<std::uint64_t>(count));
+    if (pipeline_) {
+      resultParity_ ^= 1;
+      result_ = resultBuf_[resultParity_];
+    }
     ensureResultSlots(count);
     for (int n = 0; n < count; ++n) {
       const int b = bufferIndices[n];
@@ -472,10 +535,20 @@ class AccelImpl : public Implementation {
       enqueueReduce(*siteLogL_, n);
     }
     // Single deferred readback of all subset sums; on an async device this
-    // is the first point the API thread waits on the stream.
+    // is the first point the API thread waits on the stream. Pipelined
+    // mode drains only the compute stream — queued transition-matrix work
+    // for the next round keeps executing through the readback.
     std::vector<double> sums(static_cast<std::size_t>(count));
-    device_->copyToHost(sums.data(), *result_, 0,
-                        static_cast<std::size_t>(count) * sizeof(double));
+    if (pipeline_) {
+      device_->copyToHostFromStream(sums.data(), *result_, 0,
+                                    static_cast<std::size_t>(count) *
+                                        sizeof(double),
+                                    kComputeStream);
+      noteComputeDrained();
+    } else {
+      device_->copyToHost(sums.data(), *result_, 0,
+                          static_cast<std::size_t>(count) * sizeof(double));
+    }
     double total = 0.0;
     for (int n = 0; n < count; ++n) total += sums[n];
     *outSumLogLikelihood = total;
@@ -497,6 +570,20 @@ class AccelImpl : public Implementation {
                         outSumFirstDerivative != nullptr &&
                         outSumSecondDerivative != nullptr;
     const int slotsPer = derivs ? 3 : 1;
+    if (pipeline_) {
+      resultParity_ ^= 1;
+      result_ = resultBuf_[resultParity_];
+      // Edge integration reads transition matrices on the compute stream.
+      matrixReadScratch_.assign(probIndices, probIndices + count);
+      if (derivs) {
+        matrixReadScratch_.insert(matrixReadScratch_.end(), d1Indices,
+                                  d1Indices + count);
+        matrixReadScratch_.insert(matrixReadScratch_.end(), d2Indices,
+                                  d2Indices + count);
+      }
+      fenceAndMarkMatrixReads(matrixReadScratch_.data(),
+                              matrixReadScratch_.size());
+    }
     ensureResultSlots(count * slotsPer);
     for (int n = 0; n < count; ++n) {
       const int pb = parentIndices[n];
@@ -566,7 +653,14 @@ class AccelImpl : public Implementation {
       }
     }
     std::vector<double> sums(static_cast<std::size_t>(count) * slotsPer);
-    device_->copyToHost(sums.data(), *result_, 0, sums.size() * sizeof(double));
+    if (pipeline_) {
+      device_->copyToHostFromStream(sums.data(), *result_, 0,
+                                    sums.size() * sizeof(double),
+                                    kComputeStream);
+      noteComputeDrained();
+    } else {
+      device_->copyToHost(sums.data(), *result_, 0, sums.size() * sizeof(double));
+    }
     double total = 0.0, totalD1 = 0.0, totalD2 = 0.0;
     for (int n = 0; n < count; ++n) {
       total += sums[static_cast<std::size_t>(n) * slotsPer];
@@ -585,8 +679,18 @@ class AccelImpl : public Implementation {
 
   int getSiteLogLikelihoods(double* outLogLikelihoods) override {
     stagingReal_.resize(config_.patternCount);
-    device_->copyToHost(stagingReal_.data(), *siteLogL_, 0,
-                        static_cast<std::size_t>(config_.patternCount) * sizeof(Real));
+    if (pipeline_) {
+      // Site likelihoods are compute-stream state; leave queued matrix
+      // work for the next round running.
+      device_->copyToHostFromStream(
+          stagingReal_.data(), *siteLogL_, 0,
+          static_cast<std::size_t>(config_.patternCount) * sizeof(Real),
+          kComputeStream);
+      noteComputeDrained();
+    } else {
+      device_->copyToHost(stagingReal_.data(), *siteLogL_, 0,
+                          static_cast<std::size_t>(config_.patternCount) * sizeof(Real));
+    }
     for (int k = 0; k < config_.patternCount; ++k) {
       outLogLikelihoods[k] = static_cast<double>(stagingReal_[k]);
     }
@@ -595,6 +699,7 @@ class AccelImpl : public Implementation {
 
   int waitForComputation() override {
     device_->finish();
+    noteDeviceDrained();
     return BGL_SUCCESS;
   }
 
@@ -602,12 +707,14 @@ class AccelImpl : public Implementation {
     if (threads < 1) return BGL_ERROR_OUT_OF_RANGE;
     // Queued work may still be executing under the old fission setting.
     device_->finish();
+    noteDeviceDrained();
     device_->setFission(static_cast<unsigned>(threads));
     return BGL_SUCCESS;
   }
 
   int getTimeline(BglTimeline* out) override {
-    device_->finish();  // the stream worker owns the timeline while queued
+    device_->finish();  // the stream workers own the timeline while queued
+    noteDeviceDrained();
     const auto& t = device_->timeline();
     out->modeledSeconds = t.modeledSeconds;
     out->measuredSeconds = t.measuredSeconds;
@@ -618,7 +725,10 @@ class AccelImpl : public Implementation {
 
   int resetTimeline() override {
     device_->finish();
-    device_->timeline().reset();
+    noteDeviceDrained();
+    // resetTimeline (not timeline().reset()) so multi-stream devices also
+    // zero their per-stream modeled clocks.
+    device_->resetTimeline();
     return BGL_SUCCESS;
   }
 
@@ -995,13 +1105,64 @@ class AccelImpl : public Implementation {
            kReducePatternsPerBlock;
   }
 
-  /// Grow the per-subset result buffer. Queued reductions may still target
-  /// the old allocation, so the stream drains first.
+  /// Grow the per-subset result buffers. Queued reductions may still target
+  /// the old allocations, so every stream drains first.
   void ensureResultSlots(int slots) {
     if (slots <= resultSlots_) return;
     device_->finish();
+    noteDeviceDrained();
     resultSlots_ = std::max(slots, resultSlots_ * 2);
-    result_ = device_->alloc(static_cast<std::size_t>(resultSlots_) * sizeof(double));
+    resultBuf_[0] =
+        device_->alloc(static_cast<std::size_t>(resultSlots_) * sizeof(double));
+    resultBuf_[1] =
+        pipeline_ ? device_->alloc(static_cast<std::size_t>(resultSlots_) *
+                                   sizeof(double))
+                  : resultBuf_[0];
+    result_ = resultBuf_[resultParity_ & (pipeline_ ? 1 : 0)];
+  }
+
+  // ------------------------------------------------------------------
+  // Cross-stream hazard tracking (pipelined mode). The compute stream is
+  // stream 0, transition matrices issue on stream 1; StreamEvents carry the
+  // happens-before edges between them. See docs/PERFORMANCE.md.
+  // ------------------------------------------------------------------
+
+  /// Wait on the matrices-ready event if any matrix this compute batch
+  /// reads has an un-fenced write on the matrix stream, then mark the reads
+  /// (for the producer-side WAR check). The latest event covers all earlier
+  /// matrix-stream writes, so one wait clears every dirty bit.
+  void fenceAndMarkMatrixReads(const int* indices, std::size_t n) {
+    if (!pipeline_) return;
+    bool hazard = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int m = indices[i];
+      hazard = hazard || (m >= 0 && m < config_.matrixBufferCount &&
+                          matrixDirty_[m] != 0);
+    }
+    if (hazard) {
+      device_->waitEvent(kComputeStream, matricesReady_);
+      std::fill(matrixDirty_.begin(), matrixDirty_.end(), char(0));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const int m = indices[i];
+      if (m >= 0 && m < config_.matrixBufferCount) matrixReadByC_[m] = 1;
+    }
+  }
+
+  /// The compute stream drained (stream-scoped readback): its matrix reads
+  /// have retired, so the next matrix update needs no WAR fence. Without
+  /// this clearing, reads accumulate forever and the WAR fence would fire
+  /// every round, serializing the two streams.
+  void noteComputeDrained() {
+    if (!pipeline_) return;
+    std::fill(matrixReadByC_.begin(), matrixReadByC_.end(), char(0));
+  }
+
+  /// Every stream drained (finish()): all pending reads and writes retired.
+  void noteDeviceDrained() {
+    if (!pipeline_) return;
+    std::fill(matrixDirty_.begin(), matrixDirty_.end(), char(0));
+    std::fill(matrixReadByC_.begin(), matrixReadByC_.end(), char(0));
   }
 
   /// Enqueue the weighted reduction of `site` into result slot `slot`.
@@ -1042,16 +1203,26 @@ class AccelImpl : public Implementation {
   hal::KernelVariant variant_;
   bool useFma_ = true;
   bool async_ = false;
+  bool pipeline_ = false;
   int workGroupPatterns_ = 256;  // Table V default
   int compactUsed_ = 0;
   int resultSlots_ = 4;
+
+  // Pipelined-mode stream assignment and hazard state.
+  static constexpr int kComputeStream = 0;  // partials/scaling/root/edge
+  static constexpr int kMatrixStream = 1;   // transition matrices
+  std::vector<char> matrixDirty_;    // written on stream 1, not yet fenced
+  std::vector<char> matrixReadByC_;  // read on stream 0 since its last drain
+  hal::StreamEventPtr matricesReady_;
+  std::vector<int> matrixReadScratch_;
+  int resultParity_ = 0;
 
   hal::BufferPtr matrixAlloc_, scaleAlloc_;
   std::size_t matrixStride_ = 0, scaleStride_ = 0;
   std::vector<hal::BufferPtr> partials_, tipStates_, matrices_, scale_;
   std::vector<hal::BufferPtr> cijk_, eval_, freqs_, weights_;
   hal::BufferPtr rates_, patternWeights_, siteLogL_, siteD1_, siteD2_;
-  hal::BufferPtr reduceScratch_, result_;
+  hal::BufferPtr reduceScratch_, result_, resultBuf_[2];
 
   // Persistent host staging reused across transfers (no per-call vectors).
   std::vector<Real> stagingReal_;

@@ -99,8 +99,16 @@ typedef enum BglFlags {
   BGL_FLAG_LOADBALANCE_ADAPTIVE = 1L << 26,  /**< proportional sharding plus
                                                   EWMA-driven rebalancing */
 
-  BGL_FLAG_PROCESSOR_FPGA = 1L << 27         /**< FPGA-class device (no built-in
+  BGL_FLAG_PROCESSOR_FPGA = 1L << 27,        /**< FPGA-class device (no built-in
                                                   backend; plugin capability) */
+
+  BGL_FLAG_COMPUTATION_PIPELINE = 1L << 28   /**< cross-call pipelining: issue
+                                                  transition matrices and
+                                                  partials on separate device
+                                                  streams with event-ordered
+                                                  overlap (implies ASYNCH;
+                                                  synchronous CPU families
+                                                  accept it as a no-op) */
 } BglFlags;
 
 /** Description of a hardware resource usable by the library. */

@@ -1,5 +1,6 @@
 #include "clsim/cl_runtime.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <mutex>
@@ -93,10 +94,8 @@ class ClDevice final : public hal::Device {
     fault::Injector::instance().onMemcpy("opencl", bytes);
     const auto t0 = Clock::now();
     std::memcpy(static_cast<std::byte*>(dst.data()) + dstOffset, src, bytes);
-    timeline_.bytesCopied += bytes;
-    if (!profile_.hostMeasured) {
-      timeline_.modeledSeconds += perf::modeledCopySeconds(profile_, static_cast<double>(bytes));
-    }
+    accountCopy(perf::modeledCopySeconds(profile_, static_cast<double>(bytes)),
+                bytes);
     if (recorder_ != nullptr) {
       recorder_->count(obs::Counter::kBytesIn, bytes);
       recordCopy("HtoD", t0, bytes);
@@ -112,13 +111,43 @@ class ClDevice final : public hal::Device {
     fault::Injector::instance().onMemcpy("opencl", bytes);
     const auto t0 = Clock::now();
     std::memcpy(dst, static_cast<const std::byte*>(src.data()) + srcOffset, bytes);
-    timeline_.bytesCopied += bytes;
-    if (!profile_.hostMeasured) {
-      timeline_.modeledSeconds += perf::modeledCopySeconds(profile_, static_cast<double>(bytes));
-    }
+    accountCopy(perf::modeledCopySeconds(profile_, static_cast<double>(bytes)),
+                bytes);
     if (recorder_ != nullptr) {
       recorder_->count(obs::Counter::kBytesOut, bytes);
       recordCopy("DtoH", t0, bytes);
+    }
+  }
+
+  void copyToHostFromStream(void* dst, const hal::Buffer& src,
+                            std::size_t srcOffset, std::size_t bytes,
+                            int stream) override {
+    if (streams_.size() < 2) {
+      copyToHost(dst, src, srcOffset, bytes);
+      return;
+    }
+    if (srcOffset + bytes > src.size()) {
+      throw Error("clsim: read out of bounds", kErrOutOfRange);
+    }
+    const int idx = clampStream(stream);
+    streams_[idx].stream->flush();  // drain only the owning queue
+    fault::Injector::instance().onMemcpy("opencl", bytes);
+    const auto t0 = Clock::now();
+    std::memcpy(dst, static_cast<const std::byte*>(src.data()) + srcOffset, bytes);
+    {
+      std::lock_guard lock(timelineMutex_);
+      timeline_.bytesCopied += bytes;
+      if (!profile_.hostMeasured) {
+        auto& slot = streams_[idx];
+        slot.clock +=
+            perf::modeledCopySeconds(profile_, static_cast<double>(bytes));
+        timeline_.modeledSeconds =
+            std::max(timeline_.modeledSeconds, slot.clock);
+      }
+    }
+    if (recorder_ != nullptr) {
+      recorder_->count(obs::Counter::kBytesOut, bytes);
+      recordCopy("DtoH", t0, bytes, 1 + idx);
     }
   }
 
@@ -146,7 +175,8 @@ class ClDevice final : public hal::Device {
     // failures surface at the enqueuing API call (docs/ROBUSTNESS.md).
     fault::Injector::instance().onLaunch("opencl");
     auto& k = static_cast<ClKernel&>(kernel);
-    if (stream_) {
+    if (!streams_.empty()) {
+      const int idx = clampStream(opts.stream);
       hal::LaunchRecord rec;
       rec.fn = k.fn();
       rec.spec = k.spec();
@@ -169,11 +199,12 @@ class ClDevice final : public hal::Device {
         recorder_->count(obs::Counter::kKernelLaunches);
         recorder_->count(obs::Counter::kStreamedLaunches);
       }
-      stream_->enqueue(std::move(rec));
+      streams_[idx].stream->enqueue(std::move(rec));
       if (recorder_ != nullptr) {
         // Exported gauge: queue depth the API thread observed right after
-        // this enqueue (high-water kept by the recorder).
-        recorder_->setGauge(obs::Gauge::kPendingDepth, stream_->pendingDepth());
+        // this enqueue, summed across queues (high-water kept by the
+        // recorder).
+        recorder_->setGauge(obs::Gauge::kPendingDepth, totalPendingDepth());
         if (timing) {
           obs::TraceEvent ev;
           ev.category = obs::Category::kEnqueue;
@@ -181,7 +212,7 @@ class ClDevice final : public hal::Device {
           ev.beginNs = enqueueBeginNs;
           ev.durNs = recorder_->nowNs() - enqueueBeginNs;
           ev.tid = 0;  // API thread
-          ev.stream = 1;
+          ev.stream = 1 + idx;
           ev.groups = groups;
           ev.device = profile_.name;
           ev.framework = "OpenCL";
@@ -224,45 +255,150 @@ class ClDevice final : public hal::Device {
     if (offset + bytes > buf->size()) {
       throw Error("clsim: fill out of bounds", kErrOutOfRange);
     }
-    if (stream_) {
+    if (!streams_.empty()) {
+      // Fills always land on queue 0 (the compute queue); every fill target
+      // in the accel layer is compute-queue-ordered state.
       hal::LaunchRecord rec;
       rec.kind = hal::LaunchRecord::Kind::Fill;
       rec.fillBuf = buf;
       rec.fillOffset = offset;
       rec.fillBytes = bytes;
-      stream_->enqueue(std::move(rec));
+      streams_[0].stream->enqueue(std::move(rec));
       return;
     }
     std::memset(static_cast<std::byte*>(buf->data()) + offset, 0, bytes);
   }
 
   void finish() override {
-    if (!stream_) return;  // synchronous mode: nothing queued, ever
+    if (streams_.empty()) return;  // synchronous mode: nothing queued, ever
     if (recorder_ != nullptr) {
       obs::ScopedSpan span(*recorder_, obs::Category::kStreamFlush, "stream.flush");
-      stream_->flush();
+      syncAll();
     } else {
-      stream_->flush();
+      syncAll();
     }
   }
 
   void setAsync(bool enabled) override {
-    if (enabled && !stream_) {
-      stream_ = std::make_unique<hal::CommandStream>(
-          [this](const hal::LaunchRecord* recs, std::size_t n) {
-            executeRun(recs, n);
-          });
-    } else if (!enabled && stream_) {
-      stream_->flush();
-      stream_.reset();
+    if (enabled && streams_.empty()) {
+      for (int i = 0; i < streamCount_; ++i) addStream();
+    } else if (!enabled && !streams_.empty()) {
+      syncAll();
+      streams_.clear();
     }
   }
-  bool asyncEnabled() const override { return stream_ != nullptr; }
+  bool asyncEnabled() const override { return !streams_.empty(); }
+
+  int streamCount() const override { return static_cast<int>(streams_.size()); }
+
+  void setStreamCount(int n) override {
+    n = std::min(std::max(n, 1), kMaxStreams);
+    streamCount_ = n;
+    if (streams_.empty()) return;  // applied on the next setAsync(true)
+    if (static_cast<int>(streams_.size()) == n) return;
+    syncAll();  // a global sync point; no queued record may be orphaned
+    while (static_cast<int>(streams_.size()) > n) streams_.pop_back();
+    while (static_cast<int>(streams_.size()) < n) addStream();
+  }
+
+  hal::StreamEventPtr recordEvent(int stream) override {
+    if (streams_.empty()) return nullptr;
+    const int idx = clampStream(stream);
+    auto event = std::make_shared<hal::StreamEvent>();
+    if (recorder_ != nullptr && recorder_->timingEnabled()) {
+      event->flowId = obs::nextFlowId();
+    }
+    hal::LaunchRecord rec;
+    rec.kind = hal::LaunchRecord::Kind::Signal;
+    rec.event = event;
+    streams_[idx].stream->enqueue(std::move(rec));
+    return event;
+  }
+
+  void waitEvent(int stream, const hal::StreamEventPtr& event) override {
+    if (streams_.empty() || !event) return;
+    const int idx = clampStream(stream);
+    hal::LaunchRecord rec;
+    rec.kind = hal::LaunchRecord::Kind::Wait;
+    rec.event = event;
+    streams_[idx].stream->enqueue(std::move(rec));
+  }
+
+  void resetTimeline() override {
+    std::lock_guard lock(timelineMutex_);
+    timeline_.reset();
+    for (auto& slot : streams_) slot.clock = 0.0;
+  }
 
   void setFission(unsigned n) override { fission_ = n; }
 
  private:
-  void executeRun(const hal::LaunchRecord* recs, std::size_t n) {
+  static constexpr int kMaxStreams = 8;
+
+  /// One in-order command queue plus its modeled clock; see the CUDA
+  /// runtime for the critical-path timeline model the clocks implement.
+  struct StreamSlot {
+    std::unique_ptr<hal::CommandStream> stream;
+    double clock = 0.0;
+  };
+
+  int clampStream(int s) const {
+    const int last = static_cast<int>(streams_.size()) - 1;
+    return std::min(std::max(s, 0), last);
+  }
+
+  void addStream() {
+    const std::size_t idx = streams_.size();
+    StreamSlot slot;
+    slot.clock = timeline_.modeledSeconds;
+    slot.stream = std::make_unique<hal::CommandStream>(
+        [this, idx](const hal::LaunchRecord* recs, std::size_t n) {
+          executeRun(idx, recs, n);
+        });
+    streams_.push_back(std::move(slot));
+  }
+
+  void syncAll() {
+    std::exception_ptr first;
+    for (auto& slot : streams_) {
+      try {
+        slot.stream->flush();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+  }
+
+  std::size_t totalPendingDepth() const {
+    std::size_t total = 0;
+    for (const auto& slot : streams_) total += slot.stream->pendingDepth();
+    return total;
+  }
+
+  /// Full-flush copy: a global sync point — every queue clock advances to
+  /// the common barrier plus the copy time.
+  void accountCopy(double seconds, std::size_t bytes) {
+    std::lock_guard lock(timelineMutex_);
+    timeline_.bytesCopied += bytes;
+    if (profile_.hostMeasured) return;
+    if (streams_.empty()) {
+      timeline_.modeledSeconds += seconds;
+      return;
+    }
+    double maxClock = timeline_.modeledSeconds;
+    for (const auto& slot : streams_) maxClock = std::max(maxClock, slot.clock);
+    for (auto& slot : streams_) slot.clock = maxClock + seconds;
+    timeline_.modeledSeconds = maxClock + seconds;
+  }
+
+  void executeRun(std::size_t streamIdx, const hal::LaunchRecord* recs,
+                  std::size_t n) {
+    if (recs[0].kind == hal::LaunchRecord::Kind::Signal ||
+        recs[0].kind == hal::LaunchRecord::Kind::Wait) {
+      executeSync(streamIdx, recs[0]);
+      return;
+    }
     if (recorder_ != nullptr) {
       recorder_->setGauge(obs::Gauge::kInFlight, n);
     }
@@ -280,14 +416,20 @@ class ClDevice final : public hal::Device {
     hal::executeGridBatch(items.data(), n, fission_);
     const auto t1 = Clock::now();
     const double measured = std::chrono::duration<double>(t1 - t0).count();
-    timeline_.measuredSeconds += measured;
+    double runModeled = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      timeline_.modeledSeconds +=
-          profile_.hostMeasured
-              ? measured / static_cast<double>(n)
-              : perf::modeledKernelSeconds(profile_, recs[i].work,
-                                           /*openCl=*/true);
-      ++timeline_.kernelLaunches;
+      runModeled += profile_.hostMeasured
+                        ? measured / static_cast<double>(n)
+                        : perf::modeledKernelSeconds(profile_, recs[i].work,
+                                                     /*openCl=*/true);
+    }
+    {
+      std::lock_guard lock(timelineMutex_);
+      timeline_.measuredSeconds += measured;
+      timeline_.kernelLaunches += n;
+      auto& slot = streams_[streamIdx];
+      slot.clock += runModeled;
+      timeline_.modeledSeconds = std::max(timeline_.modeledSeconds, slot.clock);
     }
     if (recorder_ != nullptr && recorder_->timingEnabled()) {
       for (std::size_t i = 0; i < n; ++i) {
@@ -296,8 +438,8 @@ class ClDevice final : public hal::Device {
         ev.name = hal::kernelIdName(recs[i].spec.id);
         ev.beginNs = recorder_->sinceEpochNs(t0);
         ev.durNs = recorder_->sinceEpochNs(t1) - ev.beginNs;
-        ev.tid = 1;  // stream worker thread
-        ev.stream = 1;  // the async in-order queue
+        ev.tid = 1 + static_cast<int>(streamIdx);  // per-queue worker
+        ev.stream = 1 + static_cast<int>(streamIdx);
         ev.groups = static_cast<std::uint64_t>(recs[i].dims.numGroups);
         ev.device = profile_.name;
         ev.framework = "OpenCL";
@@ -316,18 +458,50 @@ class ClDevice final : public hal::Device {
     }
   }
 
-  void syncStream() {
-    if (stream_) stream_->flush();
+  /// Signal/Wait accounting; see the CUDA runtime twin for the contract.
+  void executeSync(std::size_t streamIdx, const hal::LaunchRecord& rec) {
+    const auto t0 = Clock::now();
+    const bool isSignal = rec.kind == hal::LaunchRecord::Kind::Signal;
+    {
+      std::lock_guard lock(timelineMutex_);
+      auto& slot = streams_[streamIdx];
+      if (isSignal) {
+        if (rec.event) rec.event->stampModeled(slot.clock);
+      } else if (rec.event) {
+        slot.clock = std::max(slot.clock, rec.event->modeledAt());
+        timeline_.modeledSeconds =
+            std::max(timeline_.modeledSeconds, slot.clock);
+      }
+    }
+    if (recorder_ != nullptr && recorder_->timingEnabled() && rec.event) {
+      obs::TraceEvent ev;
+      ev.category = obs::Category::kStreamSync;
+      ev.name = isSignal ? "EventSignal" : "EventWait";
+      ev.beginNs = recorder_->sinceEpochNs(t0);
+      ev.durNs = recorder_->nowNs() - ev.beginNs;
+      ev.tid = 1 + static_cast<int>(streamIdx);
+      ev.stream = 1 + static_cast<int>(streamIdx);
+      ev.device = profile_.name;
+      ev.framework = "OpenCL";
+      if (rec.event->flowId != 0) {
+        ev.flowId = rec.event->flowId;
+        ev.flowPhase = isSignal ? 1 : 2;  // flow: signal span -> wait span
+      }
+      recorder_->recordEvent(std::move(ev));
+    }
   }
 
-  void recordCopy(const char* name, Clock::time_point t0, std::size_t bytes) {
+  void syncStream() { syncAll(); }
+
+  void recordCopy(const char* name, Clock::time_point t0, std::size_t bytes,
+                  int stream = 0) {
     if (!recorder_->timingEnabled()) return;
     obs::TraceEvent ev;
     ev.category = obs::Category::kMemcpy;
     ev.name = name;
     ev.beginNs = recorder_->sinceEpochNs(t0);
     ev.durNs = recorder_->nowNs() - ev.beginNs;
-    ev.stream = 0;
+    ev.stream = stream;
     ev.bytes = bytes;
     ev.device = profile_.name;
     ev.framework = "OpenCL";
@@ -338,8 +512,10 @@ class ClDevice final : public hal::Device {
   perf::DeviceProfile profile_;
   unsigned fission_ = 0;  // 0 = all compute units
   std::mutex mutex_;
+  std::mutex timelineMutex_;  // orders queue workers on timeline_/clocks
   std::vector<std::unique_ptr<ClKernel>> kernels_;
-  std::unique_ptr<hal::CommandStream> stream_;
+  std::vector<StreamSlot> streams_;
+  int streamCount_ = 1;  // queues to create on the next setAsync(true)
 };
 
 }  // namespace

@@ -10,6 +10,7 @@ namespace {
 
 constexpr long kCommonFlags = BGL_FLAG_PROCESSOR_CPU | BGL_FLAG_FRAMEWORK_CPU |
                               BGL_FLAG_COMPUTATION_SYNCH | BGL_FLAG_COMPUTATION_ASYNCH |
+                              BGL_FLAG_COMPUTATION_PIPELINE |  // async no-op on CPU
                               BGL_FLAG_SCALING_MANUAL | BGL_FLAG_SCALING_ALWAYS;
 
 bool wantsSingle(const InstanceConfig& cfg) {

@@ -58,7 +58,7 @@ void CommandStream::flush() {
   idle_.wait(lock, [this] { return queue_.empty() && inFlight_ == 0; });
   if (error_) {
     std::exception_ptr e = std::exchange(error_, nullptr);
-    failed_ = false;
+    failed_.store(false, std::memory_order_release);
     lock.unlock();
     std::rethrow_exception(e);
   }
@@ -91,11 +91,20 @@ void CommandStream::workerLoop() {
 
     std::size_t i = 0;
     while (i < batch.size()) {
-      if (failed_) {  // worker-owned after an error; discard the rest
-        break;
+      if (failed_.load(std::memory_order_acquire)) {
+        // Error latched: drop the record, but Signal records must still
+        // fire — a consumer stream may already be blocked in a Wait on
+        // this event, and a dropped signal would deadlock it. (modeledAt
+        // stays 0.0; the consumer's clock merge is a no-op.)
+        if (batch[i].kind == LaunchRecord::Kind::Signal && batch[i].event) {
+          batch[i].event->signal();
+        }
+        ++i;
+        continue;
       }
       // A run is one record plus any immediate successors marked fusable.
-      // Fills never fuse (they are memset, not grid work).
+      // Fills never fuse (they are memset, not grid work); Signal/Wait
+      // records execute alone so the executor can account them exactly.
       std::size_t end = i + 1;
       if (batch[i].kind == LaunchRecord::Kind::Kernel) {
         while (end < batch.size() &&
@@ -104,8 +113,16 @@ void CommandStream::workerLoop() {
           ++end;
         }
       }
+      // A Wait blocks *before* the executor runs, so the executor observes
+      // a signaled event and can merge the producer's modeled clock.
+      if (batch[i].kind == LaunchRecord::Kind::Wait && batch[i].event) {
+        batch[i].event->wait();
+      }
       try {
         executor_(batch.data() + i, end - i);
+        if (batch[i].kind == LaunchRecord::Kind::Signal && batch[i].event) {
+          batch[i].event->signal();
+        }
       } catch (...) {
         bool first = false;
         {
@@ -114,9 +131,13 @@ void CommandStream::workerLoop() {
             error_ = std::current_exception();
             first = true;
           }
-          failed_ = true;
+          failed_.store(true, std::memory_order_release);
         }
         if (first) journalLatchedError(std::current_exception());
+        // Even a failed Signal run must release its waiters.
+        if (batch[i].kind == LaunchRecord::Kind::Signal && batch[i].event) {
+          batch[i].event->signal();
+        }
       }
       i = end;
     }

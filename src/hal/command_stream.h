@@ -15,8 +15,16 @@
 // worker hit (later records enqueued before the flush are dropped, matching
 // the "error surfaces at the enqueuing operation or finish()" contract in
 // docs/ROBUSTNESS.md).
+//
+// Cross-stream ordering: Signal and Wait records extend the contract across
+// streams. A Wait record blocks this stream's worker until the matching
+// Signal (on another stream) retires, establishing happens-before between
+// the producer's earlier records and this stream's later ones. Signals fire
+// even on the error-drop path so a failed producer never strands a waiting
+// consumer (see docs/PERFORMANCE.md, "Cross-call pipelining").
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -31,9 +39,10 @@
 
 namespace bgl::hal {
 
-/// One recorded stream entry: a kernel launch or a device-side zero fill.
+/// One recorded stream entry: a kernel launch, a device-side zero fill, or
+/// a cross-stream synchronization point (Signal/Wait on a StreamEvent).
 struct LaunchRecord {
-  enum class Kind { Kernel, Fill };
+  enum class Kind { Kernel, Fill, Signal, Wait };
   Kind kind = Kind::Kernel;
 
   // Kernel
@@ -55,6 +64,13 @@ struct LaunchRecord {
   BufferPtr fillBuf;
   std::size_t fillOffset = 0;
   std::size_t fillBytes = 0;
+
+  // Signal / Wait: the cross-stream event. A Signal record fires the event
+  // when retired (even on the error-drop path — see workerLoop — so a
+  // waiter on another stream can never deadlock on a failed producer); a
+  // Wait record blocks the worker until the event signals, before the
+  // executor sees it. Neither kind ever fuses with a kernel run.
+  StreamEventPtr event;
 };
 
 class CommandStream {
@@ -93,7 +109,10 @@ class CommandStream {
   std::size_t inFlight_ = 0;       // records the worker holds right now
   std::size_t maxDepth_ = 0;
   bool stop_ = false;
-  bool failed_ = false;            // drop records until the error is fetched
+  // Error latch: drop records until the error is fetched. Atomic because
+  // the worker polls it between runs without mutex_ while flush() clears it
+  // under the lock — a plain bool here is a data race (ISSUE 9 bugfix).
+  std::atomic<bool> failed_{false};
   std::exception_ptr error_;
   std::thread worker_;
 };

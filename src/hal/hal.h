@@ -9,10 +9,12 @@
 // data movement, and device characteristics.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/defs.h"
@@ -118,7 +120,61 @@ struct LaunchOptions {
   /// launch reads or writes, so an async stream may fuse the two into one
   /// grid dispatch. Ignored by synchronous devices.
   bool concurrentWithPrevious = false;
+  /// Which of the device's in-order command streams receives the launch.
+  /// Out-of-range indices clamp to the last stream; synchronous devices
+  /// (and devices with a single stream) ignore this.
+  int stream = 0;
 };
+
+/// Cross-stream synchronization point. Recorded (enqueued) on a producer
+/// stream via Device::recordEvent and waited on by a consumer stream via
+/// Device::waitEvent: the consumer's worker blocks until every record the
+/// producer enqueued before the event has executed — a happens-before edge
+/// between two in-order streams without a full flush. Events are single-use
+/// and sticky: once signaled they stay signaled, so a late waiter never
+/// blocks. `modeledAt` carries the producer stream's modeled clock at
+/// signal time so the device timeline can account cross-stream critical
+/// paths (see docs/PERFORMANCE.md, "Cross-call pipelining").
+class StreamEvent {
+ public:
+  /// Stamp the producer's modeled clock; called by the device executor just
+  /// before signal(). Not synchronized on its own — the signal publishes it.
+  void stampModeled(double seconds) { modeledAt_ = seconds; }
+
+  void signal() {
+    {
+      std::lock_guard lock(mutex_);
+      signaled_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void wait() const {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return signaled_; });
+  }
+
+  bool signaled() const {
+    std::lock_guard lock(mutex_);
+    return signaled_;
+  }
+
+  /// Valid after wait()/signaled(); 0.0 if the producer dropped the signal
+  /// record on an error path (the signal itself still fires — see
+  /// command_stream.cpp — so waiters never deadlock on a failed stream).
+  double modeledAt() const { return modeledAt_; }
+
+  /// Chrome-trace flow id linking the signal span to its wait spans; set by
+  /// the recording device when span timing is enabled.
+  std::uint64_t flowId = 0;
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  bool signaled_ = false;
+  double modeledAt_ = 0.0;
+};
+using StreamEventPtr = std::shared_ptr<StreamEvent>;
 
 /// Device memory allocation handle.
 class Buffer {
@@ -172,6 +228,17 @@ class Device {
   virtual void copyToHost(void* dst, const Buffer& src, std::size_t srcOffset,
                           std::size_t bytes) = 0;
 
+  /// Stream-scoped readback: drains only `stream` before copying, so other
+  /// streams keep executing (the double-buffered root-result readback path).
+  /// The caller guarantees no other stream has outstanding writes to the
+  /// source region. Default: full-flush copyToHost (synchronous devices and
+  /// single-stream devices lose nothing).
+  virtual void copyToHostFromStream(void* dst, const Buffer& src,
+                                    std::size_t srcOffset, std::size_t bytes,
+                                    int /*stream*/) {
+    copyToHost(dst, src, srcOffset, bytes);
+  }
+
   /// Fetch (compiling and caching on first use) the kernel for `spec`.
   virtual Kernel* getKernel(const KernelSpec& spec) = 0;
 
@@ -200,12 +267,36 @@ class Device {
   virtual void setAsync(bool /*enabled*/) {}
   virtual bool asyncEnabled() const { return false; }
 
+  /// Number of in-order command streams currently live (0 when synchronous).
+  virtual int streamCount() const { return asyncEnabled() ? 1 : 0; }
+
+  /// Request `n` in-order streams (clamped to the device's supported range).
+  /// Only meaningful in async mode; existing queued work is drained first.
+  /// Devices without multi-stream support keep a single stream.
+  virtual void setStreamCount(int /*n*/) {}
+
+  /// Enqueue a signal record on `stream` and return the event. Every record
+  /// enqueued on `stream` before this call happens-before the signal.
+  /// Returns null on synchronous devices (no cross-stream ordering needed).
+  virtual StreamEventPtr recordEvent(int /*stream*/) { return nullptr; }
+
+  /// Enqueue a wait record on `stream`: records enqueued on `stream` after
+  /// this call execute only once `event` has signaled. Null events and
+  /// synchronous devices are no-ops. Callers must only wait on events whose
+  /// signal record is already enqueued, which keeps the cross-stream
+  /// wait-for graph acyclic (edges point backward in global enqueue order).
+  virtual void waitEvent(int /*stream*/, const StreamEventPtr& /*event*/) {}
+
   /// Restrict execution to `n` host workers (OpenCL device fission;
   /// ignored by devices that do not support it).
   virtual void setFission(unsigned /*n*/) {}
 
   Timeline& timeline() { return timeline_; }
   const Timeline& timeline() const { return timeline_; }
+
+  /// Zero the timeline. Multi-stream devices also reset their per-stream
+  /// modeled clocks, which a plain `timeline().reset()` cannot reach.
+  virtual void resetTimeline() { timeline_.reset(); }
 
   /// Attach the owning instance's trace recorder; the runtimes then emit
   /// kernel-launch and memcpy events (with device/framework/stream

@@ -231,6 +231,210 @@ RunResult runThroughput(const ProblemSpec& spec) {
   return result;
 }
 
+PipelinedRunResult runPipelinedThroughput(const ProblemSpec& spec, int rounds) {
+  if (spec.tips < 2) throw Error("runPipelinedThroughput: need >= 2 tips");
+  if (rounds < 1) throw Error("runPipelinedThroughput: need >= 1 round");
+
+  // Two disjoint matrix-pool halves: round r derives into half r % 2, so
+  // deriving round r+1's matrices never writes a buffer round r reads.
+  const int halfPool = std::min(2 * (spec.tips - 1), 16);
+  const int matPool = 2 * halfPool;
+
+  const std::size_t realBytes = spec.singlePrecision ? 4 : 8;
+  const double bufferBytes = static_cast<double>(spec.categories) * spec.patterns *
+                             spec.states * realBytes;
+  int pool = spec.tips - 1;
+  if (!spec.balancedTopology || bufferBytes * (pool + 1) > 3.0e9) {
+    pool = std::max(2, std::min(spec.internalBufferPool, spec.tips - 1));
+  }
+  if (bufferBytes * (pool + 1) > 4.0e9) {
+    throw Error("runPipelinedThroughput: problem would need >4 GB of partials buffers");
+  }
+
+  const long precisionFlag =
+      spec.singlePrecision ? BGL_FLAG_PRECISION_SINGLE : BGL_FLAG_PRECISION_DOUBLE;
+
+  BglInstanceDetails details{};
+  const int resource = spec.resource;
+  const int instance = bglCreateInstance(
+      spec.tips, pool, spec.tips, spec.states, spec.patterns,
+      /*eigenBufferCount=*/1, matPool, spec.categories, /*scaleBufferCount=*/0,
+      &resource, 1, spec.preferenceFlags,
+      spec.requirementFlags | precisionFlag, &details);
+  if (instance < 0) {
+    throw Error(withLastError("runPipelinedThroughput: no implementation (code " +
+                              std::to_string(instance) + ")"),
+                instance);
+  }
+
+  PipelinedRunResult result;
+  result.implName = details.implName;
+  result.resourceName = details.resourceName;
+
+  try {
+    if (!spec.traceFile.empty()) bglSetTraceFile(instance, spec.traceFile.c_str());
+    if (!spec.statsFile.empty()) bglSetStatsFile(instance, spec.statsFile.c_str());
+    if (spec.threadCount > 0) bglSetThreadCount(instance, spec.threadCount);
+    if (spec.workGroupSize > 0) bglSetWorkGroupSize(instance, spec.workGroupSize);
+
+    Rng rng(spec.seed);
+    const auto model = defaultModelForStates(spec.states, spec.seed);
+    const auto es = model->eigenSystem();
+    int rc = bglSetEigenDecomposition(instance, 0, es.evec.data(), es.ivec.data(),
+                                      es.eval.data());
+    if (rc != BGL_SUCCESS) throw Error(withLastError("setEigenDecomposition failed"), rc);
+    bglSetStateFrequencies(instance, 0, model->frequencies().data());
+    const std::vector<double> weights(spec.categories, 1.0 / spec.categories);
+    bglSetCategoryWeights(instance, 0, weights.data());
+    const auto rates = spec.categories > 1
+                           ? discreteGammaRates(0.5, spec.categories)
+                           : std::vector<double>{1.0};
+    bglSetCategoryRates(instance, rates.data());
+    const std::vector<double> patternWeights(spec.patterns, 1.0);
+    bglSetPatternWeights(instance, patternWeights.data());
+
+    const auto tipData =
+        phylo::randomStates(spec.tips, spec.patterns, spec.states, rng);
+    std::vector<int> tipBuf(spec.patterns);
+    for (int t = 0; t < spec.tips; ++t) {
+      std::memcpy(tipBuf.data(), tipData.data() + static_cast<std::size_t>(t) * spec.patterns,
+                  sizeof(int) * spec.patterns);
+      rc = bglSetTipStates(instance, t, tipBuf.data());
+      if (rc != BGL_SUCCESS) throw Error(withLastError("setTipStates failed"), rc);
+    }
+
+    // Base branch lengths; round r rescales them all, the way an optimizer
+    // iteration re-derives every matrix from a new length proposal.
+    std::vector<double> baseLengths(halfPool);
+    for (int m = 0; m < halfPool; ++m) baseLengths[m] = rng.uniform(0.01, 0.5);
+
+    // Evaluation topology, matrix indices kept within [0, halfPool): the
+    // same balanced reduction / bounded chain as runThroughput.
+    std::vector<BglOperation> ops;
+    ops.reserve(spec.tips - 1);
+    int rootBuffer;
+    if (pool >= spec.tips - 1) {
+      std::vector<int> level(spec.tips);
+      for (int t = 0; t < spec.tips; ++t) level[t] = t;
+      int nextInternal = spec.tips;
+      int opIndex = 0;
+      while (level.size() > 1) {
+        std::vector<int> next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+          BglOperation op;
+          op.destinationPartials = nextInternal;
+          op.destinationScaleWrite = BGL_OP_NONE;
+          op.destinationScaleRead = BGL_OP_NONE;
+          op.child1Partials = level[i];
+          op.child1TransitionMatrix = (2 * opIndex) % halfPool;
+          op.child2Partials = level[i + 1];
+          op.child2TransitionMatrix = (2 * opIndex + 1) % halfPool;
+          ops.push_back(op);
+          next.push_back(nextInternal);
+          ++nextInternal;
+          ++opIndex;
+        }
+        if (level.size() % 2 == 1) next.push_back(level.back());
+        level = std::move(next);
+      }
+      rootBuffer = level[0];
+    } else {
+      for (int i = 0; i < spec.tips - 1; ++i) {
+        BglOperation op;
+        op.destinationPartials = spec.tips + (i % pool);
+        op.destinationScaleWrite = BGL_OP_NONE;
+        op.destinationScaleRead = BGL_OP_NONE;
+        op.child1Partials = (i == 0) ? 0 : spec.tips + ((i - 1) % pool);
+        op.child1TransitionMatrix = (2 * i) % halfPool;
+        op.child2Partials = (i == 0) ? 1 : i + 1;
+        op.child2TransitionMatrix = (2 * i + 1) % halfPool;
+        ops.push_back(op);
+      }
+      rootBuffer = spec.tips + ((spec.tips - 2) % pool);
+    }
+
+    // Per-parity operation lists: half h shifts matrix indices by h*halfPool.
+    std::vector<BglOperation> opsByParity[2];
+    for (int h = 0; h < 2; ++h) {
+      opsByParity[h] = ops;
+      for (auto& op : opsByParity[h]) {
+        op.child1TransitionMatrix += h * halfPool;
+        op.child2TransitionMatrix += h * halfPool;
+      }
+    }
+
+    std::vector<int> roundIndices(halfPool);
+    std::vector<double> roundLengths(halfPool);
+    const auto deriveMatrices = [&](int round) {
+      const int base = (round % 2) * halfPool;
+      const double scale = 1.0 + 0.05 * round;
+      for (int m = 0; m < halfPool; ++m) {
+        roundIndices[m] = base + m;
+        roundLengths[m] = baseLengths[m] * scale;
+      }
+      const int rc2 = bglUpdateTransitionMatrices(instance, 0, roundIndices.data(),
+                                                  nullptr, nullptr,
+                                                  roundLengths.data(), halfPool);
+      if (rc2 != BGL_SUCCESS) {
+        throw Error(withLastError("updateTransitionMatrices failed"), rc2);
+      }
+    };
+
+    result.roundLogL.assign(static_cast<std::size_t>(rounds), 0.0);
+    const int zero = 0;
+    const auto runSequence = [&]() {
+      // Round cadence: matrices for round r+1 are derived while round r's
+      // partials are still in flight (a pipelined instance overlaps them on
+      // separate streams; everyone else just runs them in this order).
+      deriveMatrices(0);
+      for (int r = 0; r < rounds; ++r) {
+        const auto& roundOps = opsByParity[r % 2];
+        int rc2 = bglUpdatePartials(instance, roundOps.data(),
+                                    static_cast<int>(roundOps.size()), BGL_OP_NONE);
+        if (rc2 != BGL_SUCCESS) throw Error(withLastError("updatePartials failed"), rc2);
+        if (r + 1 < rounds) deriveMatrices(r + 1);
+        rc2 = bglCalculateRootLogLikelihoods(instance, &rootBuffer, &zero, &zero,
+                                             nullptr, 1, &result.roundLogL[r]);
+        if (rc2 != BGL_SUCCESS && rc2 != BGL_ERROR_FLOATING_POINT) {
+          throw Error(withLastError("calculateRootLogLikelihoods failed"), rc2);
+        }
+      }
+      bglWaitForComputation(instance);
+    };
+
+    for (int w = 0; w < spec.warmupReps; ++w) runSequence();
+
+    const bool hasTimeline = bglResetTimeline(instance) == BGL_SUCCESS;
+    double bestSeconds = 1e300;
+    double bestWall = 1e300;
+    for (int r = 0; r < spec.reps; ++r) {
+      if (hasTimeline) bglResetTimeline(instance);
+      const double t0 = now();
+      runSequence();
+      const double wall = now() - t0;
+      bestWall = std::min(bestWall, wall);
+      double repSeconds = wall;
+      if (hasTimeline) {
+        BglTimeline timeline{};
+        bglGetTimeline(instance, &timeline);
+        repSeconds = timeline.modeledSeconds;
+        result.modeled = timeline.modeledSeconds != timeline.measuredSeconds;
+      }
+      bestSeconds = std::min(bestSeconds, repSeconds);
+    }
+
+    result.measuredSeconds = bestWall;
+    result.seconds = bestSeconds;
+    result.flops = evaluationFlops(spec) * rounds;
+    result.gflops = result.flops / result.seconds / 1e9;
+  } catch (...) {
+    bglFinalizeInstance(instance);
+    throw;
+  }
+  bglFinalizeInstance(instance);
+  return result;
+}
+
 SplitRunResult runSplitThroughput(const ProblemSpec& spec,
                                   const std::vector<phylo::LikelihoodOptions>& shardOptions,
                                   const phylo::SplitOptions& split) {

@@ -70,6 +70,29 @@ RunResult runThroughput(const ProblemSpec& spec);
 /// Resource id whose name contains `nameFragment` (case-sensitive), or -1.
 int findResource(const std::string& nameFragment);
 
+/// Result of a multi-round (pipelined-style) evaluation run.
+struct PipelinedRunResult {
+  double seconds = 0.0;       ///< best-of-reps time for all rounds
+  double measuredSeconds = 0.0;
+  double gflops = 0.0;
+  double flops = 0.0;         ///< partials FLOPs summed over rounds
+  bool modeled = false;       ///< true if `seconds` came from the perf model
+  std::vector<double> roundLogL;  ///< per-round root log likelihoods
+  std::string implName;
+  std::string resourceName;
+};
+
+/// Run `rounds` full evaluations back to back, re-deriving every transition
+/// matrix before each round from rescaled branch lengths — the call pattern
+/// of an optimizer iterating over branch-length proposals. Rounds alternate
+/// between two disjoint matrix-buffer halves, so an instance created with
+/// BGL_FLAG_COMPUTATION_PIPELINE can derive round r+1's matrices on its
+/// matrix stream while round r's partials drain on the compute stream. The
+/// exact same call order is valid synchronously, so the per-round log
+/// likelihoods must be bitwise identical across sync / async / pipelined
+/// instances — that is the acceptance check pipelined mode has to pass.
+PipelinedRunResult runPipelinedThroughput(const ProblemSpec& spec, int rounds);
+
 /// Result of a multi-instance split-likelihood run.
 struct SplitRunResult {
   double seconds = 0.0;    ///< best-of-reps wall time of one evaluation round

@@ -291,17 +291,18 @@ void transitionMatrixKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
     d2 = d2base + static_cast<std::size_t>(c) * matStride;
   }
 
-  const double rt = static_cast<double>(rates[c]) * t;
-
   // exp(lambda_k * r_c * t) per eigenvalue, staged on the stack (the GPU
-  // kernel stages this in local memory).
+  // kernel stages this in local memory). The association must be
+  // exp((lambda_k * r_c) * t), matching the host-CPU implementations: any
+  // other grouping rounds differently for some (eigenvalue, rate, length)
+  // triples and breaks the cross-implementation bitwise-logL contract.
   constexpr int kMaxStates = 64;
   Real expl[kMaxStates];
   Real lam1[kMaxStates];
   Real lam2[kMaxStates];
   for (int k = 0; k < states; ++k) {
     const double lam = static_cast<double>(eval[k]) * static_cast<double>(rates[c]);
-    expl[k] = static_cast<Real>(std::exp(static_cast<double>(eval[k]) * rt));
+    expl[k] = static_cast<Real>(std::exp(lam * t));
     if constexpr (WithDerivs) {
       lam1[k] = static_cast<Real>(lam);
       lam2[k] = static_cast<Real>(lam * lam);
@@ -313,16 +314,22 @@ void transitionMatrixKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
   for (int i = 0; i < states; ++i) {
     for (int j = 0; j < states; ++j) {
       const Real* ck = cijk + (static_cast<std::size_t>(i) * states + j) * states;
+      // The P(t) dot product is accumulated with the NON-fused madd
+      // regardless of the UseFma toggle: the host-CPU reference computes
+      // `v = ck*expl; sum += v` with `v` reused for the derivative sums,
+      // which no compiler contracts into an FMA. Fusing here would put
+      // every accelerator matrix one ulp away from the reference and break
+      // the cross-implementation bitwise-logL contract.
       Real sum = Real(0);
-      for (int k = 0; k < states; ++k) sum = madd<Real, UseFma>(ck[k], expl[k], sum);
+      for (int k = 0; k < states; ++k) sum = madd<Real, false>(ck[k], expl[k], sum);
       // Tiny negative values from round-off would poison log() later.
       p[static_cast<std::size_t>(i) * states + j] = sum > Real(0) ? sum : Real(0);
       if constexpr (WithDerivs) {
         Real sum1 = Real(0), sum2 = Real(0);
         for (int k = 0; k < states; ++k) {
           const Real e = ck[k] * expl[k];
-          sum1 = madd<Real, UseFma>(e, lam1[k], sum1);
-          sum2 = madd<Real, UseFma>(e, lam2[k], sum2);
+          sum1 = madd<Real, false>(e, lam1[k], sum1);
+          sum2 = madd<Real, false>(e, lam2[k], sum2);
         }
         d1[static_cast<std::size_t>(i) * states + j] = sum1;
         d2[static_cast<std::size_t>(i) * states + j] = sum2;

@@ -44,6 +44,7 @@ const char* categoryName(Category c) {
     case Category::kWorker: return "worker";
     case Category::kStreamFlush: return "stream.flush";
     case Category::kEnqueue: return "stream.enqueue";
+    case Category::kStreamSync: return "stream.sync";
     case Category::kCount: break;
   }
   return "unknown";

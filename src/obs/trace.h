@@ -70,6 +70,7 @@ enum class Category : int {
   kWorker,     ///< per-thread pattern block (threaded implementations)
   kStreamFlush,///< waiting for an async command stream to drain
   kEnqueue,    ///< API-thread enqueue of a streamed launch (flow start)
+  kStreamSync, ///< cross-stream event signal/wait (multi-stream devices)
   kCount
 };
 const char* categoryName(Category c);

@@ -38,7 +38,12 @@ bool AdmissionController::admit(const std::string& tenant,
     ++counters_.rejectedQuota;
     why = "global session quota reached (" +
           std::to_string(config_.maxSessions) + " sessions)";
-  } else if (tenantSessions_[tenant] >= config_.maxSessionsPerTenant) {
+  } else if (const auto it = tenantSessions_.find(tenant);
+             (it != tenantSessions_.end() ? it->second : 0) >=
+                 config_.maxSessionsPerTenant) {
+    // find(), not operator[]: the quota check must not insert a permanent
+    // zero entry for every rejected tenant name (unbounded map growth under
+    // churning tenants).
     ++counters_.rejectedQuota;
     why = "tenant session quota reached (" +
           std::to_string(config_.maxSessionsPerTenant) + " sessions)";
@@ -91,6 +96,11 @@ int AdmissionController::liveSessions() const {
 double AdmissionController::estimatedLoadSeconds() const {
   std::lock_guard lock(mutex_);
   return loadSeconds_;
+}
+
+std::size_t AdmissionController::trackedTenants() const {
+  std::lock_guard lock(mutex_);
+  return tenantSessions_.size();
 }
 
 }  // namespace bgl::serve

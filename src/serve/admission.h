@@ -21,6 +21,7 @@
 // the same estimates that drive resource selection and sharding.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -65,6 +66,11 @@ class AdmissionController {
   AdmissionCounters counters() const;
   int liveSessions() const;
   double estimatedLoadSeconds() const;
+
+  /// Number of tenants currently holding at least one live session. Bounded
+  /// by liveSessions(): the quota check never inserts entries for rejected
+  /// tenants, and releaseSession erases a tenant's entry at zero.
+  std::size_t trackedTenants() const;
 
  private:
   mutable std::mutex mutex_;

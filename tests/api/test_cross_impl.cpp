@@ -112,10 +112,13 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(4, 20, 61)),
     crossImplName);
 
-// The PR 5 determinism contract (docs/PERFORMANCE.md): the asynchronous
-// level-order batched path must reproduce the synchronous per-operation
-// path BIT-FOR-BIT on every implementation family — same tree, same data,
-// scaling on so the deferred cumulative accumulation is exercised too.
+// The PR 5 determinism contract (docs/PERFORMANCE.md), extended by PR 9 to
+// three-way: the asynchronous level-order batched path AND the cross-call
+// pipelined path (BGL_FLAG_COMPUTATION_PIPELINE, multi-stream on the
+// simulated accelerators, a no-op on the CPU families) must reproduce the
+// synchronous per-operation path BIT-FOR-BIT on every implementation
+// family — same tree, same data, scaling on so the deferred cumulative
+// accumulation is exercised too.
 struct SyncAsyncConfig {
   const char* label;
   long requirementFlags;
@@ -152,8 +155,61 @@ TEST_P(SyncAsyncParity, LogLikelihoodBitIdentical) {
 
   const double sync = run(BGL_FLAG_COMPUTATION_SYNCH);
   const double async = run(BGL_FLAG_COMPUTATION_ASYNCH);
+  const double pipelined =
+      run(BGL_FLAG_COMPUTATION_ASYNCH | BGL_FLAG_COMPUTATION_PIPELINE);
   ASSERT_TRUE(std::isfinite(sync)) << config.label;
-  EXPECT_EQ(sync, async) << config.label;  // bitwise, not NEAR
+  EXPECT_EQ(sync, async) << config.label;      // bitwise, not NEAR
+  EXPECT_EQ(sync, pipelined) << config.label;  // bitwise, not NEAR
+}
+
+// Multi-round parity: an optimizer's call pattern — re-set every branch
+// length and re-evaluate on one persistent instance. This is the pattern
+// the pipelined mode overlaps across calls (round N+1 matrices enqueued
+// while round N partials drain), so every round's logL must match the
+// synchronous path bit-for-bit, per round, with scaling on.
+TEST_P(SyncAsyncParity, MultiRoundRebranchBitIdentical) {
+  const SyncAsyncConfig& config = kSyncAsyncConfigs[GetParam()];
+  constexpr int kRounds = 4;
+  Rng rng(5151);
+  auto tree = phylo::Tree::random(12, rng, 0.1);
+  HKY85Model model(2.0, {0.3, 0.25, 0.2, 0.25});
+  auto data = phylo::simulatePatterns(tree, model, 400, rng);
+
+  // Round r evaluates a tree whose branch lengths are all rescaled by
+  // (1 + 0.15*r); built once so every mode sees identical inputs.
+  std::vector<phylo::Tree> roundTrees;
+  for (int r = 0; r < kRounds; ++r) {
+    phylo::Tree scaled = tree;
+    for (int i = 0; i < scaled.nodeCount(); ++i) {
+      scaled.node(i).length = tree.node(i).length * (1.0 + 0.15 * r);
+    }
+    roundTrees.push_back(std::move(scaled));
+  }
+
+  auto run = [&](long mode) {
+    phylo::LikelihoodOptions opts;
+    opts.categories = 4;
+    opts.requirementFlags = config.requirementFlags | mode;
+    opts.resources = {config.resource};
+    opts.useScaling = true;
+    phylo::TreeLikelihood like(tree, model, data, opts);
+    std::vector<double> logLs;
+    for (const auto& t : roundTrees) logLs.push_back(like.logLikelihood(t));
+    return logLs;
+  };
+
+  const auto sync = run(BGL_FLAG_COMPUTATION_SYNCH);
+  const auto async = run(BGL_FLAG_COMPUTATION_ASYNCH);
+  const auto pipelined =
+      run(BGL_FLAG_COMPUTATION_ASYNCH | BGL_FLAG_COMPUTATION_PIPELINE);
+  ASSERT_EQ(sync.size(), static_cast<std::size_t>(kRounds));
+  for (int r = 0; r < kRounds; ++r) {
+    ASSERT_TRUE(std::isfinite(sync[r])) << config.label << " round=" << r;
+    EXPECT_EQ(sync[r], async[r]) << config.label << " round=" << r;
+    EXPECT_EQ(sync[r], pipelined[r]) << config.label << " round=" << r;
+  }
+  // Sanity: the rescales actually changed the answer between rounds.
+  EXPECT_NE(sync[0], sync[1]);
 }
 
 std::string syncAsyncName(const ::testing::TestParamInfo<int>& info) {

@@ -4,8 +4,12 @@
 // device-level async mode defers work until finish()/readback.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <future>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "clsim/cl_runtime.h"
@@ -141,6 +145,176 @@ TEST(CommandStream, DestructorDrainsWithoutFlush) {
 }
 
 // ---------------------------------------------------------------------
+// failed_ error-latch thread-safety regression (the PR 9 bugfix): the
+// worker thread polls the latch while another thread latches and clears
+// it through flush(). Before failed_ became atomic this was a data race
+// TSan flags (CI runs this suite under -fsanitize=thread).
+// ---------------------------------------------------------------------
+
+TEST(CommandStream, ErrorLatchIsThreadSafeUnderConcurrentFlush) {
+  std::atomic<int> executed{0};
+  hal::CommandStream stream(
+      [&executed](const hal::LaunchRecord* recs, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (recs[i].args.ints[0] < 0) throw std::runtime_error("injected");
+          executed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+  std::atomic<bool> stop{false};
+  // One thread flushes in a loop (clearing the latch each time an injected
+  // failure surfaces) while this thread keeps enqueuing records that keep
+  // re-latching it on the worker.
+  std::thread flusher([&stream, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      try {
+        stream.flush();
+      } catch (const std::runtime_error&) {
+      }
+    }
+  });
+  for (int i = 0; i < 4000; ++i) {
+    stream.enqueue(kernelRecord(i % 7 == 0 ? -1 : i, false));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  flusher.join();
+  try {
+    stream.flush();
+  } catch (const std::runtime_error&) {
+  }
+  // flush() cleared whatever was latched: the stream must be usable again.
+  const int before = executed.load();
+  stream.enqueue(kernelRecord(1, false));
+  EXPECT_NO_THROW(stream.flush());
+  EXPECT_EQ(executed.load(), before + 1);
+}
+
+// ---------------------------------------------------------------------
+// Cross-stream events: Signal/Wait records, their ordering guarantees,
+// and the no-deadlock error-path contract.
+// ---------------------------------------------------------------------
+
+hal::LaunchRecord signalRecord(const hal::StreamEventPtr& event) {
+  hal::LaunchRecord rec;
+  rec.kind = hal::LaunchRecord::Kind::Signal;
+  rec.event = event;
+  return rec;
+}
+
+hal::LaunchRecord waitRecord(const hal::StreamEventPtr& event) {
+  hal::LaunchRecord rec;
+  rec.kind = hal::LaunchRecord::Kind::Wait;
+  rec.event = event;
+  return rec;
+}
+
+TEST(CommandStream, WaitOrdersWorkAfterSignalingStream) {
+  const auto event = std::make_shared<hal::StreamEvent>();
+  std::vector<int> order;
+  std::mutex orderMutex;
+  std::promise<void> gate;
+  auto gateFuture = gate.get_future().share();
+  const auto logger = [&order, &orderMutex, gateFuture](int tag) {
+    return [&order, &orderMutex, gateFuture, tag](const hal::LaunchRecord* recs,
+                                                  std::size_t n) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (recs[i].kind != hal::LaunchRecord::Kind::Kernel) continue;
+        const int id = static_cast<int>(recs[i].args.ints[0]);
+        if (id == -1) {
+          gateFuture.wait();  // hold this worker until the test releases it
+          continue;
+        }
+        std::lock_guard lock(orderMutex);
+        order.push_back(tag * 100 + id);
+      }
+    };
+  };
+
+  hal::CommandStream producer(logger(1));
+  hal::CommandStream consumer(logger(2));
+
+  // Hold the producer in a gate so the Signal provably has not fired while
+  // the consumer's Wait is already pending on its worker.
+  producer.enqueue(kernelRecord(-1, false));
+  producer.enqueue(kernelRecord(1, false));
+  producer.enqueue(signalRecord(event));
+  consumer.enqueue(waitRecord(event));
+  consumer.enqueue(kernelRecord(2, false));
+
+  EXPECT_FALSE(event->signaled());
+  gate.set_value();
+  producer.flush();
+  consumer.flush();
+  EXPECT_TRUE(event->signaled());
+
+  std::lock_guard lock(orderMutex);
+  ASSERT_EQ(order.size(), 2u);
+  // Producer's payload kernel (101) retired before the consumer's (202).
+  EXPECT_EQ(order[0], 101);
+  EXPECT_EQ(order[1], 202);
+}
+
+TEST(CommandStream, SignalStillFiresWhenExecutorThrows) {
+  const auto event = std::make_shared<hal::StreamEvent>();
+  hal::CommandStream stream([](const hal::LaunchRecord*, std::size_t) {
+    throw std::runtime_error("every record fails");
+  });
+  stream.enqueue(signalRecord(event));
+  EXPECT_THROW(stream.flush(), std::runtime_error);
+  // A dependent stream waiting on this event must not deadlock.
+  EXPECT_TRUE(event->signaled());
+}
+
+TEST(CommandStream, SignalStillFiresOnErrorDropPath) {
+  const auto event = std::make_shared<hal::StreamEvent>();
+  hal::CommandStream stream([](const hal::LaunchRecord* recs, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (recs[i].args.ints[0] == 13) throw std::runtime_error("injected");
+    }
+  });
+  stream.enqueue(kernelRecord(13, false));
+  // Enqueued after the failure latches: the record is dropped, but its
+  // signal must still fire or a waiting stream would hang forever.
+  stream.enqueue(signalRecord(event));
+  EXPECT_THROW(stream.flush(), std::runtime_error);
+  EXPECT_TRUE(event->signaled());
+}
+
+TEST(CommandStream, WaitsAreSkippedAfterErrorLatches) {
+  // A Wait on a never-signaled event after the latch must not block the
+  // worker: the error-drop path skips waits entirely.
+  const auto neverSignaled = std::make_shared<hal::StreamEvent>();
+  hal::CommandStream stream([](const hal::LaunchRecord* recs, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (recs[i].args.ints[0] == 13) throw std::runtime_error("injected");
+    }
+  });
+  stream.enqueue(kernelRecord(13, false));
+  stream.enqueue(waitRecord(neverSignaled));
+  stream.enqueue(kernelRecord(1, false));
+  EXPECT_THROW(stream.flush(), std::runtime_error);  // returns: no deadlock
+  EXPECT_FALSE(neverSignaled->signaled());
+}
+
+TEST(CommandStream, SignalAndWaitNeverFuseWithKernels) {
+  RunLog log;
+  const auto event = std::make_shared<hal::StreamEvent>();
+  hal::CommandStream stream(log.executor());
+  stream.enqueue(kernelRecord(-1, false));
+  stream.enqueue(kernelRecord(0, false));
+  auto sig = signalRecord(event);
+  sig.concurrentWithPrevious = true;  // must be ignored for signals
+  stream.enqueue(std::move(sig));
+  stream.enqueue(kernelRecord(1, true));  // cannot fuse across the signal
+  log.gate.set_value();
+  stream.flush();
+  ASSERT_EQ(log.runs.size(), 4u);
+  EXPECT_EQ(log.runs[1], std::vector<int>({0}));
+  EXPECT_EQ(log.runs[2].size(), 1u);  // the signal, alone
+  EXPECT_EQ(log.runs[3], std::vector<int>({1}));
+  EXPECT_TRUE(event->signaled());
+}
+
+// ---------------------------------------------------------------------
 // Device-level async mode: both simulated frameworks defer launches onto
 // the stream and drain at finish() / host readback, with identical results
 // and the same launch accounting as the synchronous mode.
@@ -195,6 +369,125 @@ TEST(AsyncDevice, OpenClRuntimeDefersAndDrains) {
 TEST(AsyncDevice, SynchronousRemainsTheDefault) {
   auto dev = cudasim::createDevice(perf::kHostCpu);
   EXPECT_FALSE(dev->asyncEnabled());
+}
+
+// ---------------------------------------------------------------------
+// Multi-stream device model: several in-order streams per device, event
+// fences between them, stream-scoped readbacks, per-stream modeled clocks.
+// ---------------------------------------------------------------------
+
+void exerciseMultiStreamDevice(hal::Device& dev) {
+  dev.setStreamCount(2);
+  dev.setAsync(true);
+  ASSERT_EQ(dev.streamCount(), 2);
+
+  hal::KernelSpec spec;
+  spec.id = hal::KernelId::ResetScale;
+  spec.states = 4;
+  auto* kernel = dev.getKernel(spec);
+
+  std::vector<double> ones(256, 1.0);
+  auto buf = dev.alloc(256 * sizeof(double));
+  dev.copyToDevice(*buf, 0, ones.data(), 256 * sizeof(double));
+
+  // Producer kernel on stream 1 zeroes the buffer; the consumer readback on
+  // stream 0 is fenced behind it by an event. Correct data through the
+  // stream-scoped readback proves the Wait ordered the cross-stream edge.
+  hal::KernelArgs args;
+  args.buffers[0] = buf->data();
+  args.ints[0] = 256;
+  hal::LaunchOptions opts;
+  opts.stream = 1;
+  dev.launch(*kernel, {1, 1, 0}, args, {}, opts);
+  const auto ready = dev.recordEvent(1);
+  ASSERT_NE(ready, nullptr);
+  dev.waitEvent(0, ready);
+
+  std::vector<double> out(256, -1.0);
+  dev.copyToHostFromStream(out.data(), *buf, 0, 256 * sizeof(double), 0);
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_TRUE(ready->signaled());
+
+  // Same-stream Signal-then-Wait retires in order: a pipelined caller on a
+  // degraded 1-stream device must not deadlock.
+  dev.setStreamCount(1);
+  EXPECT_EQ(dev.streamCount(), 1);
+  dev.waitEvent(0, dev.recordEvent(0));
+  dev.finish();
+
+  // Out-of-range stream indices clamp instead of crashing.
+  opts.stream = 7;
+  dev.launch(*kernel, {1, 1, 0}, args, {}, opts);
+  dev.finish();
+
+  // resetTimeline() zeroes the device timeline and every stream clock.
+  dev.resetTimeline();
+  EXPECT_EQ(dev.timeline().modeledSeconds, 0.0);
+  EXPECT_EQ(dev.timeline().kernelLaunches, 0u);
+
+  // Stream counts clamp to the supported range.
+  dev.setStreamCount(64);
+  EXPECT_LE(dev.streamCount(), 8);
+  dev.setStreamCount(0);
+  EXPECT_EQ(dev.streamCount(), 1);
+}
+
+TEST(MultiStreamDevice, CudaRuntimeFencesAcrossStreams) {
+  auto dev = cudasim::createDevice(perf::kHostCpu);
+  exerciseMultiStreamDevice(*dev);
+}
+
+TEST(MultiStreamDevice, OpenClRuntimeFencesAcrossStreams) {
+  auto dev = clsim::createDeviceByProfile(perf::kHostCpu);
+  exerciseMultiStreamDevice(*dev);
+}
+
+TEST(MultiStreamDevice, SynchronousDeviceHasNoStreamsOrEvents) {
+  auto dev = cudasim::createDevice(perf::kHostCpu);
+  EXPECT_EQ(dev->streamCount(), 0);
+  EXPECT_EQ(dev->recordEvent(0), nullptr);
+  // waitEvent on a sync device is a no-op, not a crash.
+  dev->waitEvent(0, nullptr);
+}
+
+TEST(MultiStreamDevice, ModeledClocksTakeCriticalPathNotSum) {
+  // On a simulated profile the timeline is the roofline model. Two streams
+  // each running one identical kernel must advance the device's modeled
+  // time by ~one kernel, not two: the clocks run concurrently and
+  // modeledSeconds is their max (the critical path).
+  auto serial = cudasim::createDevice(perf::kQuadroP5000);
+  auto parallel = cudasim::createDevice(perf::kQuadroP5000);
+
+  const auto runTwoKernels = [](hal::Device& dev, int secondStream) {
+    dev.setStreamCount(2);
+    dev.setAsync(true);
+    hal::KernelSpec spec;
+    spec.id = hal::KernelId::ResetScale;
+    spec.states = 4;
+    auto* kernel = dev.getKernel(spec);
+    auto buf = dev.alloc(4096 * sizeof(double));
+    hal::KernelArgs args;
+    args.buffers[0] = buf->data();
+    args.ints[0] = 4096;
+    perf::LaunchWork work;
+    work.flops = 1e7;
+    work.bytes = 4096 * sizeof(double);
+    work.numGroups = 8;
+    hal::LaunchOptions opts;
+    opts.stream = 0;
+    dev.launch(*kernel, {8, 64, 0}, args, work, opts);
+    opts.stream = secondStream;
+    dev.launch(*kernel, {8, 64, 0}, args, work, opts);
+    dev.finish();
+    return dev.timeline().modeledSeconds;
+  };
+
+  const double sumSeconds = runTwoKernels(*serial, 0);       // same stream
+  const double maxSeconds = runTwoKernels(*parallel, 1);     // split streams
+  EXPECT_GT(sumSeconds, 0.0);
+  // The split run models the two kernels as overlapped: it must cost about
+  // half the serial run (allow slack for launch-overhead terms).
+  EXPECT_LT(maxSeconds, 0.75 * sumSeconds);
 }
 
 }  // namespace

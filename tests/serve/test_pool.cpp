@@ -249,6 +249,42 @@ TEST_F(ServePool, BackpressureRejectionPath) {
   EXPECT_EQ(controller.liveSessions(), 0);
 }
 
+TEST_F(ServePool, RejectedTenantLeavesNoQuotaEntry) {
+  // Regression: the per-tenant quota check used operator[] on the tenant
+  // map, so a rejected never-admitted tenant left a permanent zero entry
+  // behind — an unbounded-growth leak under a stream of unique rejected
+  // tenant names. The check must be read-only on refusal.
+  serve::AdmissionController controller;
+  serve::AdmissionConfig config;
+  config.maxSessions = 0;  // reject everyone at the global quota
+  controller.setConfig(config);
+
+  std::string reason;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(controller.admit("drive-by-" + std::to_string(i), 0.0, &reason));
+  }
+  EXPECT_EQ(controller.trackedTenants(), 0u);
+  EXPECT_EQ(controller.liveSessions(), 0);
+
+  // Same for a per-tenant quota refusal: with maxSessionsPerTenant == 0
+  // the tenant is refused before ever being tracked, and the refusal must
+  // not start tracking it.
+  config.maxSessions = 64;
+  config.maxSessionsPerTenant = 0;
+  controller.setConfig(config);
+  EXPECT_FALSE(controller.admit("untracked", 0.0, &reason));
+  EXPECT_NE(reason.find("quota"), std::string::npos);
+  EXPECT_EQ(controller.trackedTenants(), 0u);
+
+  // An admitted tenant is tracked, and release at zero erases the entry.
+  config.maxSessionsPerTenant = 8;
+  controller.setConfig(config);
+  EXPECT_TRUE(controller.admit("real", 0.0, &reason));
+  EXPECT_EQ(controller.trackedTenants(), 1u);
+  controller.releaseSession("real", 0.0);
+  EXPECT_EQ(controller.trackedTenants(), 0u);
+}
+
 TEST_F(ServePool, HostAllocFaultFailsPooledCreationOnce) {
   const unsigned long long journalBefore = journalHead();
   // The free list is empty (SetUp trims), so this open must create — and

@@ -47,6 +47,10 @@ void printUsage(const char* program) {
       "  --sync                 require the synchronous per-operation path\n"
       "                         (the bit-identical reference; see\n"
       "                         docs/PERFORMANCE.md)\n"
+      "  --pipelined            run the multi-round cross-call pipelined\n"
+      "                         workload (implies --async; round N+1 matrices\n"
+      "                         overlap round N partials on a second stream)\n"
+      "  --rounds N             rounds for --pipelined (default 6)\n"
       "  --seed N               RNG seed (default 1234)\n"
       "  --trace FILE           write a Chrome trace (chrome://tracing) JSON\n"
       "  --stats-json FILE      write per-operation counters/timings as JSON\n"
@@ -140,8 +144,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --async and --sync are mutually exclusive\n");
     return 1;
   }
+  if (args.has("pipelined") && args.has("sync")) {
+    std::fprintf(stderr, "error: --pipelined and --sync are mutually exclusive\n");
+    return 1;
+  }
   if (args.has("async")) spec.requirementFlags |= BGL_FLAG_COMPUTATION_ASYNCH;
   if (args.has("sync")) spec.requirementFlags |= BGL_FLAG_COMPUTATION_SYNCH;
+  if (args.has("pipelined")) {
+    spec.requirementFlags |=
+        BGL_FLAG_COMPUTATION_ASYNCH | BGL_FLAG_COMPUTATION_PIPELINE;
+  }
 
   std::printf("genomictest: %d tips, %d patterns, %d states, %d categories, %s\n",
               spec.tips, spec.patterns, spec.states, spec.categories,
@@ -321,6 +333,30 @@ int main(int argc, char** argv) {
                        result.logL, result.referenceLogL);
           return 1;
         }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      watch.stop();
+      return 1;
+    }
+    watch.stop();
+    return 0;
+  }
+
+  if (args.has("pipelined")) {
+    // Multi-round workload: round N+1's transition matrices are enqueued on
+    // the matrix stream while round N's partials drain on the compute
+    // stream (docs/PERFORMANCE.md, "Cross-call pipelining").
+    try {
+      const int rounds = args.getInt("rounds", 6);
+      const auto result = harness::runPipelinedThroughput(spec, rounds);
+      std::printf("implementation: %s on %s\n", result.implName.c_str(),
+                  result.resourceName.c_str());
+      std::printf("time for %d pipelined rounds: %.6f s (%s)\n", rounds,
+                  result.seconds, result.modeled ? "roofline-modeled" : "measured");
+      std::printf("throughput: %.2f GFLOPS effective\n", result.gflops);
+      for (std::size_t r = 0; r < result.roundLogL.size(); ++r) {
+        std::printf("round %zu logL: %.6f\n", r, result.roundLogL[r]);
       }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
