@@ -100,12 +100,17 @@ class AccelImpl : public Implementation {
       freqs_[i] = device_->alloc(static_cast<std::size_t>(c.stateCount) * sizeof(Real));
       weights_[i] = device_->alloc(static_cast<std::size_t>(c.categoryCount) * sizeof(Real));
     }
-    rates_ = device_->alloc(static_cast<std::size_t>(c.categoryCount) * sizeof(Real));
-    {
-      stagingReal_.assign(c.categoryCount, Real(1));
-      device_->copyToDevice(*rates_, 0, stagingReal_.data(),
+    // One category-rates buffer per eigen slot; slot 0 doubles as the
+    // legacy single-model rates (setCategoryRates).
+    rates_.resize(c.eigenBufferCount);
+    stagingReal_.assign(c.categoryCount, Real(1));
+    for (int i = 0; i < c.eigenBufferCount; ++i) {
+      rates_[i] =
+          device_->alloc(static_cast<std::size_t>(c.categoryCount) * sizeof(Real));
+      device_->copyToDevice(*rates_[i], 0, stagingReal_.data(),
                             stagingReal_.size() * sizeof(Real));
     }
+    partEnd_.assign(1, c.patternCount);
     patternWeights_ = device_->alloc(static_cast<std::size_t>(c.patternCount) * sizeof(Real));
     {
       stagingReal_.assign(c.patternCount, Real(1));
@@ -226,7 +231,13 @@ class AccelImpl : public Implementation {
   }
 
   int setCategoryRates(const double* inRates) override {
-    copyConverted(*rates_, inRates, config_.categoryCount);
+    copyConverted(*rates_[0], inRates, config_.categoryCount);
+    return BGL_SUCCESS;
+  }
+
+  int setCategoryRatesWithIndex(int ratesIndex, const double* inRates) override {
+    if (!validEigenSlot(ratesIndex)) return BGL_ERROR_OUT_OF_RANGE;
+    copyConverted(*rates_[ratesIndex], inRates, config_.categoryCount);
     return BGL_SUCCESS;
   }
 
@@ -320,7 +331,7 @@ class AccelImpl : public Implementation {
     args.buffers[0] = matrixAlloc_->data();
     args.buffers[1] = cijk_[eigenIndex]->data();
     args.buffers[2] = eval_[eigenIndex]->data();
-    args.buffers[3] = rates_->data();
+    args.buffers[3] = rates_[0]->data();
     args.buffers[6] = stage->lengths.data();
     args.buffers[7] = stage->indices.data();
     args.ints[0] = c;
@@ -367,6 +378,50 @@ class AccelImpl : public Implementation {
       return BGL_SUCCESS;
     }
     device_->launch(*kernel, dims, args, work, opts);
+    return BGL_SUCCESS;
+  }
+
+  /// Multi-model matrix update: edges carry per-edge eigen and rates slots
+  /// (one slot per partition's substitution model). Edges are grouped by
+  /// (eigen, rates) pair into one batched launch per distinct pair — each
+  /// matrix is computed independently, so regrouping is bitwise-neutral,
+  /// and the launch count is O(#models), not O(#edges).
+  int updateTransitionMatricesWithModels(const int* eigenIndices,
+                                         const int* ratesIndices,
+                                         const int* probIndices,
+                                         const double* edgeLengths,
+                                         int count) override {
+    for (int e = 0; e < count; ++e) {
+      const int ei = eigenIndices[e];
+      if (!validEigenSlot(ei) || cijk_[ei] == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+      const int ri = ratesIndices != nullptr ? ratesIndices[e] : 0;
+      if (!validEigenSlot(ri)) return BGL_ERROR_OUT_OF_RANGE;
+      if (probIndices[e] < 0 || probIndices[e] >= config_.matrixBufferCount) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+    }
+    if (count <= 0) return BGL_SUCCESS;
+    obs::ScopedSpan span(recorder_, obs::Category::kUpdateTransitionMatrices,
+                         "updateTransitionMatricesWithModels");
+    recorder_.count(obs::Counter::kTransitionMatrices,
+                    static_cast<std::uint64_t>(count));
+    std::vector<char> done(static_cast<std::size_t>(count), 0);
+    for (int e = 0; e < count; ++e) {
+      if (done[e]) continue;
+      const int ei = eigenIndices[e];
+      const int ri = ratesIndices != nullptr ? ratesIndices[e] : 0;
+      auto stage = std::make_shared<MatrixStage>();
+      for (int f = e; f < count; ++f) {
+        if (done[f] || eigenIndices[f] != ei ||
+            (ratesIndices != nullptr ? ratesIndices[f] : 0) != ri) {
+          continue;
+        }
+        done[f] = 1;
+        stage->lengths.push_back(static_cast<Real>(edgeLengths[f]));
+        stage->indices.push_back(probIndices[f]);
+      }
+      enqueueMatrixBatch(ei, ri, std::move(stage));
+    }
     return BGL_SUCCESS;
   }
 
@@ -443,6 +498,102 @@ class AccelImpl : public Implementation {
       return BGL_SUCCESS;
     }
     return executeLevelized(operations, count, cumulativeScaleIndex);
+  }
+
+  /// Multi-partition mode: the pattern axis is a concatenation of
+  /// partitions; the (validated, contiguous, non-decreasing) map is
+  /// converted to per-partition [begin, end) ranges. Buffers stay shared —
+  /// partitions touch disjoint pattern ranges of them.
+  int setPatternPartitions(int partitionCount,
+                           const int* inPatternPartitions) override {
+    if (partitionCount < 1) return BGL_ERROR_OUT_OF_RANGE;
+    if (partitionCount == 1) {
+      partitionCount_ = 1;
+      partBegin_.assign(1, 0);
+      partEnd_.assign(1, config_.patternCount);
+      return BGL_SUCCESS;
+    }
+    partBegin_.assign(static_cast<std::size_t>(partitionCount), 0);
+    partEnd_.assign(static_cast<std::size_t>(partitionCount), 0);
+    for (int k = 0; k < config_.patternCount; ++k) {
+      const int q = inPatternPartitions[k];
+      if (partEnd_[q] == 0) partBegin_[q] = k;
+      partEnd_[q] = k + 1;
+    }
+    partitionCount_ = partitionCount;
+    return BGL_SUCCESS;
+  }
+
+  int updatePartialsByPartition(const BglOperationByPartition* operations,
+                                int count, int cumulativeScaleIndex) override {
+    // SCALING_ALWAYS: same rewrite as the single-partition path. Partitions
+    // share per-node scale buffers over disjoint pattern ranges, so ONE
+    // reset of the cumulative buffer covers every partition in the batch.
+    std::vector<BglOperationByPartition> rewritten;
+    if ((config_.flags & BGL_FLAG_SCALING_ALWAYS) && config_.scaleBufferCount > 0) {
+      rewritten.assign(operations, operations + count);
+      for (auto& op : rewritten) {
+        if (op.destinationScaleWrite == BGL_OP_NONE) {
+          op.destinationScaleWrite = op.destinationPartials - config_.tipCount;
+        }
+      }
+      operations = rewritten.data();
+      cumulativeScaleIndex = autoCumulativeIndex();
+      const int rc = resetScaleFactors(cumulativeScaleIndex);
+      if (rc != BGL_SUCCESS) return rc;
+    }
+    if (cumulativeScaleIndex != BGL_OP_NONE && !validScale(cumulativeScaleIndex)) {
+      return BGL_ERROR_OUT_OF_RANGE;
+    }
+    obs::ScopedSpan span(recorder_, obs::Category::kUpdatePartials,
+                         "updatePartialsByPartition");
+    recorder_.count(obs::Counter::kPartialsOperations,
+                    static_cast<std::uint64_t>(count));
+    if (pipeline_) {
+      matrixReadScratch_.clear();
+      for (int i = 0; i < count; ++i) {
+        matrixReadScratch_.push_back(operations[i].child1TransitionMatrix);
+        matrixReadScratch_.push_back(operations[i].child2TransitionMatrix);
+      }
+      fenceAndMarkMatrixReads(matrixReadScratch_.data(),
+                              matrixReadScratch_.size());
+    }
+    // Whole-batch validation in per-op order (error codes match the serial
+    // path), allocating destinations as the serial path would.
+    const auto& c = config_;
+    for (int i = 0; i < count; ++i) {
+      const auto& op = operations[i];
+      if (op.partition < 0 || op.partition >= partitionCount_) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      if (op.destinationPartials < c.tipCount ||
+          op.destinationPartials >= c.bufferCount()) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      for (int m : {op.child1TransitionMatrix, op.child2TransitionMatrix}) {
+        if (m < 0 || m >= c.matrixBufferCount) return BGL_ERROR_OUT_OF_RANGE;
+      }
+      for (int child : {op.child1Partials, op.child2Partials}) {
+        if (child < 0 || child >= c.bufferCount()) return BGL_ERROR_OUT_OF_RANGE;
+        if (tipStates_[child] == nullptr && partials_[child] == nullptr) {
+          return BGL_ERROR_OUT_OF_RANGE;
+        }
+      }
+      if (op.destinationScaleWrite != BGL_OP_NONE &&
+          !validScale(op.destinationScaleWrite)) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      ensurePartials(op.destinationPartials);
+    }
+    if (!async_ || !scaleWritesUniqueByPartition(operations, count)) {
+      for (int i = 0; i < count; ++i) {
+        const int rc =
+            executePartitionedOperation(operations[i], cumulativeScaleIndex);
+        if (rc != BGL_SUCCESS) return rc;
+      }
+      return BGL_SUCCESS;
+    }
+    return executeLevelizedByPartition(operations, count, cumulativeScaleIndex);
   }
 
   int accumulateScaleFactors(const int* scaleIndices, int count,
@@ -553,6 +704,99 @@ class AccelImpl : public Implementation {
     for (int n = 0; n < count; ++n) total += sums[n];
     *outSumLogLikelihood = total;
     return std::isfinite(total) ? BGL_SUCCESS : BGL_ERROR_FLOATING_POINT;
+  }
+
+  /// Per-partition root integration: one ranged RootLikelihood launch plus
+  /// a ranged two-phase reduction per entry, then a SINGLE readback of all
+  /// partition sums. The phase-1 blocks are laid out from each partition's
+  /// range start, so every per-partition sum brackets exactly as a
+  /// standalone per-partition instance would — the bitwise contract the
+  /// cross-family tests pin down.
+  int calculateRootLogLikelihoodsByPartition(
+      const int* bufferIndices, const int* weightIndices, const int* freqIndices,
+      const int* scaleIndices, const int* partitionIndices, int count,
+      double* outByPartition, double* outTotal) override {
+    obs::ScopedSpan span(recorder_, obs::Category::kRootLogLikelihoods,
+                         "rootLogLikelihoodsByPartition");
+    recorder_.count(obs::Counter::kRootEvaluations,
+                    static_cast<std::uint64_t>(count));
+    if (pipeline_) {
+      resultParity_ ^= 1;
+      result_ = resultBuf_[resultParity_];
+    }
+    ensureResultSlots(count);
+    for (int n = 0; n < count; ++n) {
+      const int q = partitionIndices[n];
+      if (q < 0 || q >= partitionCount_) return BGL_ERROR_OUT_OF_RANGE;
+      const int b = bufferIndices[n];
+      if (b < 0 || b >= config_.bufferCount() || partials_[b] == nullptr) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      if (!validEigenSlot(weightIndices[n]) || !validEigenSlot(freqIndices[n])) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      void* cum = nullptr;
+      if (scaleIndices != nullptr && scaleIndices[n] != BGL_OP_NONE) {
+        if (!validScale(scaleIndices[n])) return BGL_ERROR_OUT_OF_RANGE;
+        cum = scale_[scaleIndices[n]]->data();
+      } else if ((config_.flags & BGL_FLAG_SCALING_ALWAYS) &&
+                 config_.scaleBufferCount > 0) {
+        cum = scale_[autoCumulativeIndex()]->data();
+      }
+      const int kBegin = partBegin_[q];
+      const int kEnd = partEnd_[q];
+
+      hal::KernelSpec spec = baseSpec(hal::KernelId::RootLikelihood);
+      hal::KernelArgs args;
+      args.buffers[0] = partials_[b]->data();
+      args.buffers[1] = freqs_[freqIndices[n]]->data();
+      args.buffers[2] = weights_[weightIndices[n]]->data();
+      args.buffers[3] = siteLogL_->data();
+      args.buffers[4] = cum;
+      const int ppg = integratePpg();
+      args.ints[0] = config_.patternCount;
+      args.ints[1] = config_.categoryCount;
+      args.ints[2] = config_.stateCount;
+      args.ints[3] = ppg;
+      args.ints[4] = kBegin;
+      args.ints[5] = kEnd;
+
+      hal::LaunchDims dims;
+      dims.numGroups = (kEnd - kBegin + ppg - 1) / ppg;
+      dims.groupSize = ppg;
+
+      perf::LaunchWork work;
+      work.flops = kernels::rootFlops(kEnd - kBegin, config_.categoryCount,
+                                      config_.stateCount);
+      work.bytes = kernels::rootBytes(kEnd - kBegin, config_.categoryCount,
+                                      config_.stateCount, sizeof(Real));
+      work.fmaFriendly = true;
+      work.doublePrecision = !spec.singlePrecision;
+      work.useFma = useFma_;
+      device_->launch(*device_->getKernel(spec), dims, args, work);
+
+      enqueueReduceRange(*siteLogL_, n, kBegin, kEnd);
+    }
+    std::vector<double> sums(static_cast<std::size_t>(count));
+    if (pipeline_) {
+      device_->copyToHostFromStream(sums.data(), *result_, 0,
+                                    static_cast<std::size_t>(count) *
+                                        sizeof(double),
+                                    kComputeStream);
+      noteComputeDrained();
+    } else {
+      device_->copyToHost(sums.data(), *result_, 0,
+                          static_cast<std::size_t>(count) * sizeof(double));
+    }
+    double total = 0.0;
+    bool finite = true;
+    for (int n = 0; n < count; ++n) {
+      outByPartition[n] = sums[n];
+      total += sums[n];
+      finite = finite && std::isfinite(sums[n]);
+    }
+    if (outTotal != nullptr) *outTotal = total;
+    return finite ? BGL_SUCCESS : BGL_ERROR_FLOATING_POINT;
   }
 
   int calculateEdgeLogLikelihoods(const int* parentIndices, const int* childIndices,
@@ -746,6 +990,14 @@ class AccelImpl : public Implementation {
     std::vector<std::int32_t> indices;
   };
 
+  /// Host-side staging for one partitioned fused partials launch: the
+  /// 5-pointer table plus the int32[4]-per-op range table, kept alive
+  /// together by the stream.
+  struct PartitionStage {
+    std::vector<const void*> table;
+    std::vector<std::int32_t> ranges;
+  };
+
   hal::KernelVariant defaultVariant() const {
     return device_->profile().deviceClass == perf::DeviceClass::Gpu
                ? hal::KernelVariant::GpuStyle
@@ -847,6 +1099,11 @@ class AccelImpl : public Implementation {
 
   /// States-child convention and kernel choice for one operation.
   int opKind(const BglOperation& op) const {
+    const bool tip1 = tipStates_[op.child1Partials] != nullptr;
+    const bool tip2 = tipStates_[op.child2Partials] != nullptr;
+    return (tip1 && tip2) ? 0 : (tip1 || tip2) ? 1 : 2;
+  }
+  int opKind(const BglOperationByPartition& op) const {
     const bool tip1 = tipStates_[op.child1Partials] != nullptr;
     const bool tip2 = tipStates_[op.child2Partials] != nullptr;
     return (tip1 && tip2) ? 0 : (tip1 || tip2) ? 1 : 2;
@@ -1096,6 +1353,310 @@ class AccelImpl : public Implementation {
   }
 
   // ------------------------------------------------------------------
+  // Multi-partition execution. Partitions occupy disjoint [begin, end)
+  // ranges of the concatenated pattern axis and share every node-indexed
+  // buffer; all launches below are the ranged variants of the kernels the
+  // single-partition path uses, so the per-pattern FP sequences coincide.
+  // ------------------------------------------------------------------
+
+  /// One batched matrix launch for a (eigen, rates) model pair — the
+  /// non-derivative body of updateTransitionMatrices with per-slot model
+  /// inputs, including the pipelined-mode stream fencing.
+  void enqueueMatrixBatch(int eigenIndex, int ratesIndex,
+                          std::shared_ptr<MatrixStage> stage) {
+    const int s = config_.stateCount;
+    const int c = config_.categoryCount;
+    const int n = static_cast<int>(stage->indices.size());
+    hal::KernelSpec spec = baseSpec(hal::KernelId::TransitionMatrices);
+    hal::Kernel* kernel = device_->getKernel(spec);
+
+    hal::KernelArgs args;
+    args.buffers[0] = matrixAlloc_->data();
+    args.buffers[1] = cijk_[eigenIndex]->data();
+    args.buffers[2] = eval_[eigenIndex]->data();
+    args.buffers[3] = rates_[ratesIndex]->data();
+    args.buffers[6] = stage->lengths.data();
+    args.buffers[7] = stage->indices.data();
+    args.ints[0] = c;
+    args.ints[1] = s;
+    args.ints[2] = n;
+    args.ints[3] = static_cast<std::int64_t>(matrixStride_ / sizeof(Real));
+
+    hal::LaunchDims dims;
+    dims.numGroups = n * c;
+    dims.groupSize = s * s;
+
+    perf::LaunchWork work;
+    work.flops = n * kernels::matrixFlops(c, s, /*derivs=*/false);
+    work.bytes = n * kernels::matrixBytes(c, s, sizeof(Real), /*derivs=*/false);
+    work.fmaFriendly = true;
+    work.doublePrecision = !spec.singlePrecision;
+    work.useFma = useFma_;
+    work.numGroups = dims.numGroups;
+
+    hal::LaunchOptions opts;
+    opts.keepAlive = stage;
+    if (pipeline_) {
+      bool hazard = false;
+      for (std::size_t i = 0; i < stage->indices.size(); ++i) {
+        hazard = hazard || matrixReadByC_[stage->indices[i]] != 0;
+      }
+      if (hazard) {
+        device_->waitEvent(kMatrixStream, device_->recordEvent(kComputeStream));
+        std::fill(matrixReadByC_.begin(), matrixReadByC_.end(), char(0));
+      }
+      opts.stream = kMatrixStream;
+      device_->launch(*kernel, dims, args, work, opts);
+      for (std::size_t i = 0; i < stage->indices.size(); ++i) {
+        matrixDirty_[stage->indices[i]] = 1;
+      }
+      matricesReady_ = device_->recordEvent(kMatrixStream);
+      return;
+    }
+    device_->launch(*kernel, dims, args, work, opts);
+  }
+
+  /// Serial per-op partitioned execution (sync mode, or repeated scale
+  /// targets): one ranged fused launch, then the op's ranged rescale and
+  /// immediate ranged cumulative accumulation. Caller validated the batch.
+  int executePartitionedOperation(const BglOperationByPartition& op,
+                                  int cumulativeScaleIndex) {
+    const auto geom = partialsGeometry();
+    const int member = 0;
+    enqueueFusedPartialsByPartition(&op, &member, 1, opKind(op), geom,
+                                    /*concurrent=*/false);
+    if (op.destinationScaleWrite != BGL_OP_NONE) {
+      enqueueRescaleRanged(op, /*concurrent=*/false);
+      if (cumulativeScaleIndex != BGL_OP_NONE) {
+        const int idx = op.destinationScaleWrite;
+        const int rc =
+            scaleOpRanged(&idx, 1, cumulativeScaleIndex, +1,
+                          partBegin_[op.partition], partEnd_[op.partition],
+                          /*concurrent=*/false);
+        if (rc != BGL_SUCCESS) return rc;
+      }
+    }
+    return BGL_SUCCESS;
+  }
+
+  /// Level-order partitioned execution. Levels come from the (buffer,
+  /// partition)-keyed analysis, so Q partitions' whole-tree batches share
+  /// one set of per-level launches: launch count stays O(tree depth), not
+  /// O(depth × partitions) — the point of multi-partition mode.
+  int executeLevelizedByPartition(const BglOperationByPartition* ops, int count,
+                                  int cum) {
+    std::vector<int> level;
+    const int maxLevel =
+        levelizeOperationsByPartition(ops, count, partitionCount_, level);
+    const auto geom = partialsGeometry();
+
+    std::vector<int> members;
+    for (int lv = 0; lv <= maxLevel; ++lv) {
+      bool firstInLevel = true;
+      for (int kind = 0; kind < 3; ++kind) {
+        members.clear();
+        for (int i = 0; i < count; ++i) {
+          if (level[i] == lv && opKind(ops[i]) == kind) members.push_back(i);
+        }
+        if (members.empty()) continue;
+        enqueueFusedPartialsByPartition(ops, members.data(),
+                                        static_cast<int>(members.size()), kind,
+                                        geom, !firstInLevel);
+        firstInLevel = false;
+      }
+      // Rescales read this level's partials (new run) and write disjoint
+      // (scale buffer, pattern range) pairs — scaleWritesUniqueByPartition
+      // held — so they fuse with each other.
+      bool firstRescale = true;
+      for (int i = 0; i < count; ++i) {
+        if (level[i] != lv || ops[i].destinationScaleWrite == BGL_OP_NONE) {
+          continue;
+        }
+        enqueueRescaleRanged(ops[i], !firstRescale);
+        firstRescale = false;
+      }
+    }
+
+    // Deferred cumulative accumulation: one ranged batched launch per
+    // partition, sources in original batch order within the partition (the
+    // per-pattern FP sequence of the per-op path). Partitions cover
+    // disjoint ranges, so all but the first fuse onto the same run.
+    if (cum != BGL_OP_NONE) {
+      std::vector<int> writes;
+      bool first = true;
+      for (int q = 0; q < partitionCount_; ++q) {
+        writes.clear();
+        for (int i = 0; i < count; ++i) {
+          if (ops[i].partition == q &&
+              ops[i].destinationScaleWrite != BGL_OP_NONE) {
+            writes.push_back(ops[i].destinationScaleWrite);
+          }
+        }
+        if (writes.empty()) continue;
+        const int rc =
+            scaleOpRanged(writes.data(), static_cast<int>(writes.size()), cum,
+                          +1, partBegin_[q], partEnd_[q], !first);
+        if (rc != BGL_SUCCESS) return rc;
+        first = false;
+      }
+    }
+    return BGL_SUCCESS;
+  }
+
+  /// One launch covering `n` same-kind operations of one level, each
+  /// restricted to its partition's pattern range. Grid = sum over ops of
+  /// patternBlocks(op) * categories; the int32[4]-per-op range table
+  /// {rangeBegin, rangeEnd, groupOffset, patternBlocks} lets each group
+  /// binary-search its operation.
+  void enqueueFusedPartialsByPartition(const BglOperationByPartition* ops,
+                                       const int* members, int n, int kind,
+                                       const PartialsGeometry& geom,
+                                       bool concurrent) {
+    const auto& c = config_;
+    hal::KernelSpec spec = baseSpec(kind == 0   ? hal::KernelId::StatesStates
+                                    : kind == 1 ? hal::KernelId::StatesPartials
+                                                : hal::KernelId::PartialsPartials);
+    auto stage = std::make_shared<PartitionStage>();
+    stage->table.reserve(static_cast<std::size_t>(n) * 5);
+    stage->ranges.reserve(static_cast<std::size_t>(n) * 4);
+    int groupOffset = 0;
+    double flops = 0.0, bytes = 0.0;
+    for (int m = 0; m < n; ++m) {
+      const auto& op = ops[members[m]];
+      const bool tip1 = tipStates_[op.child1Partials] != nullptr;
+      const bool tip2 = tipStates_[op.child2Partials] != nullptr;
+      int c1 = op.child1Partials, m1 = op.child1TransitionMatrix;
+      int c2 = op.child2Partials, m2 = op.child2TransitionMatrix;
+      if (!tip1 && tip2) {
+        std::swap(c1, c2);
+        std::swap(m1, m2);
+      }
+      stage->table.push_back(partials_[op.destinationPartials]->data());
+      stage->table.push_back((tip1 || tip2) ? tipStates_[c1]->data()
+                                            : partials_[c1]->data());
+      stage->table.push_back(matrices_[m1]->data());
+      stage->table.push_back((tip1 && tip2) ? tipStates_[c2]->data()
+                                            : partials_[c2]->data());
+      stage->table.push_back(matrices_[m2]->data());
+
+      const int kBegin = partBegin_[op.partition];
+      const int kEnd = partEnd_[op.partition];
+      const int blocks = (kEnd - kBegin + geom.ppg - 1) / geom.ppg;
+      stage->ranges.push_back(kBegin);
+      stage->ranges.push_back(kEnd);
+      stage->ranges.push_back(groupOffset);
+      stage->ranges.push_back(blocks);
+      groupOffset += blocks * c.categoryCount;
+      flops += kernels::partialsFlops(kEnd - kBegin, c.categoryCount,
+                                      c.stateCount);
+      bytes += kernels::partialsBytes(kEnd - kBegin, c.categoryCount,
+                                      c.stateCount, sizeof(Real));
+    }
+
+    hal::KernelArgs args;
+    args.buffers[5] = stage->table.data();
+    args.buffers[6] = stage->ranges.data();
+    args.ints[0] = c.patternCount;
+    args.ints[1] = c.categoryCount;
+    args.ints[2] = c.stateCount;
+    args.ints[3] = geom.ppg;
+    args.ints[4] = n;
+    args.ints[5] = 1;
+
+    hal::LaunchDims dims;
+    dims.numGroups = groupOffset;
+    dims.groupSize = variant_ == hal::KernelVariant::X86Style
+                         ? geom.ppg
+                         : geom.ppg * c.stateCount;
+    dims.localMemBytes = geom.localMemBytes;
+
+    perf::LaunchWork work;
+    work.flops = flops;
+    work.bytes = bytes;
+    work.workingSetBytes = kernels::partialsWorkingSet(
+        c.patternCount, c.categoryCount, c.stateCount, sizeof(Real));
+    work.fmaFriendly = true;
+    work.doublePrecision = !spec.singlePrecision;
+    work.useFma = useFma_;
+    work.numGroups = dims.numGroups;
+    if (variant_ == hal::KernelVariant::GpuStyle &&
+        device_->profile().deviceClass != perf::DeviceClass::Gpu) {
+      work.variantEfficiency = perf::kGpuStyleOnCpuEfficiency;
+    }
+
+    hal::LaunchOptions opts;
+    opts.keepAlive = stage;
+    opts.concurrentWithPrevious = concurrent;
+    device_->launch(*device_->getKernel(spec), dims, args, work, opts);
+  }
+
+  /// Ranged rescale: only the op's partition range of the destination is
+  /// renormalized, writing that range of the per-node scale buffer.
+  void enqueueRescaleRanged(const BglOperationByPartition& op, bool concurrent) {
+    const auto& c = config_;
+    recorder_.count(obs::Counter::kRescaleEvents);
+    const int kBegin = partBegin_[op.partition];
+    const int kEnd = partEnd_[op.partition];
+    hal::KernelSpec rspec = baseSpec(hal::KernelId::RescalePartials);
+    hal::KernelArgs rargs;
+    rargs.buffers[0] = partials_[op.destinationPartials]->data();
+    rargs.buffers[1] = scale_[op.destinationScaleWrite]->data();
+    const int ppg = integratePpg();
+    rargs.ints[0] = c.patternCount;
+    rargs.ints[1] = c.categoryCount;
+    rargs.ints[2] = c.stateCount;
+    rargs.ints[3] = ppg;
+    rargs.ints[4] = kBegin;
+    rargs.ints[5] = kEnd;
+    hal::LaunchDims rdims;
+    rdims.numGroups = (kEnd - kBegin + ppg - 1) / ppg;
+    rdims.groupSize = ppg;
+    perf::LaunchWork rwork;
+    rwork.flops =
+        static_cast<double>(kEnd - kBegin) * c.categoryCount * c.stateCount;
+    rwork.bytes =
+        2.0 * (kEnd - kBegin) * c.categoryCount * c.stateCount * sizeof(Real);
+    rwork.doublePrecision = !std::is_same_v<Real, float>;
+    hal::LaunchOptions opts;
+    opts.concurrentWithPrevious = concurrent;
+    device_->launch(*device_->getKernel(rspec), rdims, rargs, rwork, opts);
+  }
+
+  /// Ranged batched scale accumulation over one partition's pattern range;
+  /// sources accumulate in array order, as in scaleOp.
+  int scaleOpRanged(const int* scaleIndices, int count, int cumulativeScaleIndex,
+                    int sign, int kBegin, int kEnd, bool concurrent) {
+    if (!validScale(cumulativeScaleIndex)) return BGL_ERROR_OUT_OF_RANGE;
+    for (int i = 0; i < count; ++i) {
+      if (!validScale(scaleIndices[i])) return BGL_ERROR_OUT_OF_RANGE;
+    }
+    if (count <= 0) return BGL_SUCCESS;
+    auto indices = std::make_shared<std::vector<std::int32_t>>(
+        scaleIndices, scaleIndices + count);
+    hal::KernelSpec spec = baseSpec(hal::KernelId::AccumulateScale);
+    hal::KernelArgs args;
+    args.buffers[0] = scale_[cumulativeScaleIndex]->data();
+    args.buffers[1] = scaleAlloc_->data();
+    args.buffers[2] = indices->data();
+    const int ppg = integratePpg();
+    args.ints[0] = config_.patternCount;
+    args.ints[1] = sign;
+    args.ints[2] = count;
+    args.ints[3] = static_cast<std::int64_t>(scaleStride_ / sizeof(Real));
+    args.ints[4] = ppg;
+    args.ints[5] = kBegin;
+    args.ints[6] = kEnd;
+    hal::LaunchDims dims;
+    dims.numGroups = (kEnd - kBegin + ppg - 1) / ppg;
+    hal::LaunchOptions opts;
+    opts.keepAlive = indices;
+    opts.concurrentWithPrevious = concurrent;
+    device_->launch(*device_->getKernel(spec), dims, args, scaleWork(count + 1),
+                    opts);
+    return BGL_SUCCESS;
+  }
+
+  // ------------------------------------------------------------------
   // Deferred weighted site reduction (two-phase, deterministic bracketing).
   // ------------------------------------------------------------------
 
@@ -1199,6 +1760,42 @@ class AccelImpl : public Implementation {
     }
   }
 
+  /// Ranged variant of enqueueReduce: phase-1 blocks are laid out from the
+  /// partition's range start (covering [kBegin, kEnd)), so the partition's
+  /// sum brackets exactly as a standalone per-partition buffer would.
+  void enqueueReduceRange(hal::Buffer& site, int slot, int kBegin, int kEnd) {
+    hal::KernelSpec spec = baseSpec(hal::KernelId::SumSiteLikelihoods);
+    const int blocks = (kEnd - kBegin + kReducePatternsPerBlock - 1) /
+                       kReducePatternsPerBlock;
+    {
+      hal::KernelArgs args;
+      args.buffers[0] = site.data();
+      args.buffers[1] = patternWeights_->data();
+      args.buffers[2] = reduceScratch_->data();
+      args.ints[0] = config_.patternCount;
+      args.ints[1] = kReducePatternsPerBlock;
+      args.ints[3] = kBegin;
+      args.ints[4] = kEnd;
+      perf::LaunchWork work;
+      work.flops = 2.0 * (kEnd - kBegin);
+      work.bytes = 2.0 * (kEnd - kBegin) * sizeof(Real);
+      work.doublePrecision = true;
+      device_->launch(*device_->getKernel(spec), {blocks, 1, 0}, args, work);
+    }
+    {
+      hal::KernelArgs args;
+      args.buffers[0] = reduceScratch_->data();
+      args.buffers[2] = static_cast<double*>(result_->data()) + slot;
+      args.ints[0] = config_.patternCount;
+      args.ints[2] = blocks;
+      perf::LaunchWork work;
+      work.flops = static_cast<double>(blocks);
+      work.bytes = static_cast<double>(blocks + 1) * sizeof(double);
+      work.doublePrecision = true;
+      device_->launch(*device_->getKernel(spec), {1, 1, 0}, args, work);
+    }
+  }
+
   hal::DevicePtr device_;
   hal::KernelVariant variant_;
   bool useFma_ = true;
@@ -1220,9 +1817,15 @@ class AccelImpl : public Implementation {
   hal::BufferPtr matrixAlloc_, scaleAlloc_;
   std::size_t matrixStride_ = 0, scaleStride_ = 0;
   std::vector<hal::BufferPtr> partials_, tipStates_, matrices_, scale_;
-  std::vector<hal::BufferPtr> cijk_, eval_, freqs_, weights_;
-  hal::BufferPtr rates_, patternWeights_, siteLogL_, siteD1_, siteD2_;
+  std::vector<hal::BufferPtr> cijk_, eval_, freqs_, weights_, rates_;
+  hal::BufferPtr patternWeights_, siteLogL_, siteD1_, siteD2_;
   hal::BufferPtr reduceScratch_, result_, resultBuf_[2];
+
+  // Multi-partition state: partitions occupy [partBegin_[q], partEnd_[q])
+  // of the concatenated pattern axis (single-partition: one full range).
+  int partitionCount_ = 1;
+  std::vector<int> partBegin_{0};
+  std::vector<int> partEnd_;
 
   // Persistent host staging reused across transfers (no per-call vectors).
   std::vector<Real> stagingReal_;

@@ -151,6 +151,27 @@ typedef struct BglOperation {
 #define BGL_OP_NONE (-1)
 #define BGL_OP_COUNT 7
 
+/**
+ * One partial-likelihoods operation restricted to a data partition: the
+ * BglOperation fields plus the partition the operation evaluates. The
+ * operation touches only the partition's pattern range (set with
+ * bglSetPatternPartitions); its transition-matrix indices normally point at
+ * matrices derived from that partition's substitution model
+ * (bglUpdateTransitionMatricesWithModels).
+ */
+typedef struct BglOperationByPartition {
+  int destinationPartials;
+  int destinationScaleWrite;
+  int destinationScaleRead;
+  int child1Partials;
+  int child1TransitionMatrix;
+  int child2Partials;
+  int child2TransitionMatrix;
+  int partition;              /**< partition index in [0, partitionCount) */
+} BglOperationByPartition;
+
+#define BGL_PARTOP_COUNT 8
+
 /** Library version string. */
 const char* bglGetVersion(void);
 
@@ -218,8 +239,21 @@ int bglSetStateFrequencies(int instance, int stateFrequenciesIndex,
 int bglSetCategoryWeights(int instance, int categoryWeightsIndex,
                           const double* inCategoryWeights);
 
-/** Set the (global) rate-category rates. */
+/** Set the (global) rate-category rates. Equivalent to
+ * bglSetCategoryRatesWithIndex(instance, 0, inCategoryRates). */
 int bglSetCategoryRates(int instance, const double* inCategoryRates);
+
+/**
+ * Set the rate-category rates for slot `categoryRatesIndex`. The library
+ * holds one rates slot per eigen-buffer slot, so a multi-partition instance
+ * can give every partition its own discrete-rate distribution: partition q
+ * conventionally keeps its eigendecomposition, frequencies, weights and
+ * rates all at slot q. Slot 0 aliases the legacy bglSetCategoryRates
+ * buffer. Returns BGL_ERROR_OUT_OF_RANGE for an index outside
+ * [0, eigenBufferCount).
+ */
+int bglSetCategoryRatesWithIndex(int instance, int categoryRatesIndex,
+                                 const double* inCategoryRates);
 
 /** Set per-pattern weights (pattern multiplicities). */
 int bglSetPatternWeights(int instance, const double* inPatternWeights);
@@ -244,6 +278,22 @@ int bglUpdateTransitionMatrices(int instance, int eigenIndex,
                                 const int* secondDerivativeIndices,
                                 const double* edgeLengths, int count);
 
+/**
+ * Compute transition matrices for `count` edges where each edge selects its
+ * own substitution model: edge i derives from eigendecomposition slot
+ * eigenIndices[i] and rate-category slot categoryRatesIndices[i] into
+ * matrix buffer probabilityIndices[i]. This is the multi-partition form of
+ * bglUpdateTransitionMatrices: one call (and on accelerator instances a
+ * near-constant number of kernel launches) re-derives the matrices of
+ * every partition, instead of one call per partition. Passing
+ * categoryRatesIndices == NULL uses slot 0 (the legacy global rates) for
+ * every edge.
+ */
+int bglUpdateTransitionMatricesWithModels(int instance, const int* eigenIndices,
+                                          const int* categoryRatesIndices,
+                                          const int* probabilityIndices,
+                                          const double* edgeLengths, int count);
+
 /** Set a transition matrix directly (stateCount^2 x categoryCount values). */
 int bglSetTransitionMatrix(int instance, int matrixIndex, const double* inMatrix,
                            double paddedValue);
@@ -260,6 +310,50 @@ int bglGetTransitionMatrix(int instance, int matrixIndex, double* outMatrix);
  */
 int bglUpdatePartials(int instance, const BglOperation* operations,
                       int operationCount, int cumulativeScaleIndex);
+
+/**
+ * Switch the instance into multi-partition mode (or replace the current
+ * partition assignment): the pattern axis is divided into `partitionCount`
+ * contiguous ranges by `inPatternPartitions`, an array of patternCount
+ * per-pattern partition indices that must be non-decreasing and cover
+ * every value in [0, partitionCount) (i.e. partitions are concatenated
+ * along the pattern axis). Partition boundaries are derived from the map.
+ *
+ * After this call, bglUpdatePartialsByPartition evaluates operations over
+ * individual partition ranges, bglUpdateTransitionMatricesWithModels
+ * derives per-partition matrices, and
+ * bglCalculateRootLogLikelihoodsByPartition returns one log likelihood per
+ * partition. Partition-blind entry points (bglUpdatePartials,
+ * bglCalculateRootLogLikelihoods, ...) still operate on the full pattern
+ * axis. Passing partitionCount == 1 returns to single-partition behavior.
+ *
+ * The per-partition arithmetic is range-blocked, so every partition's
+ * result is bitwise identical to a single-partition instance holding that
+ * partition's patterns alone (see docs/PERFORMANCE.md, "Multi-partition
+ * evaluation").
+ *
+ * Returns BGL_ERROR_OUT_OF_RANGE for a map that is not a non-decreasing
+ * cover of [0, partitionCount), and BGL_ERROR_UNIMPLEMENTED on
+ * implementations without multi-partition support.
+ */
+int bglSetPatternPartitions(int instance, int partitionCount,
+                            const int* inPatternPartitions);
+
+/**
+ * Execute a batch of partition-restricted partials operations (the
+ * multi-partition core). Each operation evaluates Eq. 1 over its
+ * partition's pattern range only; operations from different partitions
+ * with the same destination buffer are independent (disjoint ranges) and
+ * batched implementations fuse all partitions' operations for a tree
+ * level into the same per-level kernel launches, keeping launch count
+ * O(tree depth) instead of O(depth x partitions). If
+ * `cumulativeScaleIndex` != BGL_OP_NONE, per-operation scale factors are
+ * folded into that cumulative buffer over each operation's range, in
+ * operation order within every partition.
+ */
+int bglUpdatePartialsByPartition(int instance,
+                                 const BglOperationByPartition* operations,
+                                 int operationCount, int cumulativeScaleIndex);
 
 /** Accumulate the given scale buffers into cumulative buffer `cumulativeScaleIndex`. */
 int bglAccumulateScaleFactors(int instance, const int* scaleIndices, int count,
@@ -282,6 +376,27 @@ int bglCalculateRootLogLikelihoods(int instance, const int* bufferIndices,
                                    const int* stateFrequenciesIndices,
                                    const int* cumulativeScaleIndices, int count,
                                    double* outSumLogLikelihood);
+
+/**
+ * Integrate root partials per partition: entry i integrates partition
+ * partitionIndices[i] of buffer bufferIndices[i] against frequency /
+ * weight slots stateFrequenciesIndices[i] / categoryWeightsIndices[i]
+ * (conventionally the partition's own slots), applying cumulative scale
+ * buffer cumulativeScaleIndices[i] (BGL_OP_NONE: none) over the
+ * partition's range. outSumLogLikelihoodByPartition[i] receives entry i's
+ * log likelihood; *outSumLogLikelihood (ignored when NULL) the serial sum
+ * over entries in order. Batched implementations evaluate every entry in
+ * one set of launches and return the whole vector in a single readback.
+ * Each per-partition value is bitwise identical to
+ * bglCalculateRootLogLikelihoods on a single-partition instance holding
+ * that partition alone. Returns BGL_ERROR_FLOATING_POINT when any entry
+ * is non-finite (all entries are still written).
+ */
+int bglCalculateRootLogLikelihoodsByPartition(
+    int instance, const int* bufferIndices, const int* categoryWeightsIndices,
+    const int* stateFrequenciesIndices, const int* cumulativeScaleIndices,
+    const int* partitionIndices, int count,
+    double* outSumLogLikelihoodByPartition, double* outSumLogLikelihood);
 
 /**
  * Compute the log likelihood across the edge (parent, child), optionally

@@ -121,6 +121,10 @@ class Instance {
   void setCategoryRates(const std::vector<double>& rates) {
     check(bglSetCategoryRates(id_, rates.data()), "bglSetCategoryRates");
   }
+  void setCategoryRates(int ratesIndex, const std::vector<double>& rates) {
+    check(bglSetCategoryRatesWithIndex(id_, ratesIndex, rates.data()),
+          "bglSetCategoryRatesWithIndex");
+  }
   void setPatternWeights(const std::vector<double>& weights) {
     check(bglSetPatternWeights(id_, weights.data()), "bglSetPatternWeights");
   }
@@ -143,6 +147,50 @@ class Instance {
     check(bglUpdatePartials(id_, ops.data(), static_cast<int>(ops.size()),
                             cumulativeScaleIndex),
           "bglUpdatePartials");
+  }
+  void updateTransitionMatricesWithModels(const std::vector<int>& eigenIndices,
+                                          const std::vector<int>& ratesIndices,
+                                          const std::vector<int>& probIndices,
+                                          const std::vector<double>& lengths) {
+    check(bglUpdateTransitionMatricesWithModels(
+              id_, eigenIndices.data(),
+              ratesIndices.empty() ? nullptr : ratesIndices.data(),
+              probIndices.data(), lengths.data(),
+              static_cast<int>(probIndices.size())),
+          "bglUpdateTransitionMatricesWithModels");
+  }
+  void setPatternPartitions(int partitionCount,
+                            const std::vector<int>& patternPartitions) {
+    check(bglSetPatternPartitions(
+              id_, partitionCount,
+              patternPartitions.empty() ? nullptr : patternPartitions.data()),
+          "bglSetPatternPartitions");
+  }
+  void updatePartialsByPartition(const std::vector<BglOperationByPartition>& ops,
+                                 int cumulativeScaleIndex = BGL_OP_NONE) {
+    check(bglUpdatePartialsByPartition(id_, ops.data(),
+                                       static_cast<int>(ops.size()),
+                                       cumulativeScaleIndex),
+          "bglUpdatePartialsByPartition");
+  }
+  /// Per-partition root log-likelihoods in one call; entry k uses
+  /// bufferIndices[k] etc. for partition partitionIndices[k]. Tolerates
+  /// BGL_ERROR_FLOATING_POINT the same way rootLogLikelihood does (the
+  /// out vector is still fully written).
+  std::vector<double> rootLogLikelihoodsByPartition(
+      const std::vector<int>& bufferIndices, const std::vector<int>& weightIndices,
+      const std::vector<int>& freqIndices, const std::vector<int>& scaleIndices,
+      const std::vector<int>& partitionIndices, double* outTotal = nullptr) {
+    std::vector<double> out(bufferIndices.size(), 0.0);
+    const int rc = bglCalculateRootLogLikelihoodsByPartition(
+        id_, bufferIndices.data(), weightIndices.data(), freqIndices.data(),
+        scaleIndices.empty() ? nullptr : scaleIndices.data(),
+        partitionIndices.data(), static_cast<int>(bufferIndices.size()),
+        out.data(), outTotal);
+    if (rc != BGL_SUCCESS && rc != BGL_ERROR_FLOATING_POINT) {
+      check(rc, "bglCalculateRootLogLikelihoodsByPartition");
+    }
+    return out;
   }
   double rootLogLikelihood(int rootBuffer, int weightsIndex = 0, int freqsIndex = 0,
                            int cumulativeScaleIndex = BGL_OP_NONE) {

@@ -413,6 +413,21 @@ int bglSetCategoryRates(int instance, const double* inCategoryRates) {
       instance, [&](auto& impl) { return impl.setCategoryRates(inCategoryRates); });
 }
 
+int bglSetCategoryRatesWithIndex(int instance, int categoryRatesIndex,
+                                 const double* inCategoryRates) {
+  if (inCategoryRates == nullptr) return BGL_ERROR_OUT_OF_RANGE;
+  return withInstance(instance, [&](auto& impl) -> int {
+    if (categoryRatesIndex < 0 ||
+        categoryRatesIndex >= impl.config().eigenBufferCount) {
+      bgl::api::setThreadLastError("category-rates index " +
+                                   std::to_string(categoryRatesIndex) +
+                                   " outside [0, eigenBufferCount)");
+      return BGL_ERROR_OUT_OF_RANGE;
+    }
+    return impl.setCategoryRatesWithIndex(categoryRatesIndex, inCategoryRates);
+  });
+}
+
 int bglSetPatternWeights(int instance, const double* inPatternWeights) {
   if (inPatternWeights == nullptr) return BGL_ERROR_OUT_OF_RANGE;
   return withInstance(
@@ -447,6 +462,20 @@ int bglUpdateTransitionMatrices(int instance, int eigenIndex,
   });
 }
 
+int bglUpdateTransitionMatricesWithModels(int instance, const int* eigenIndices,
+                                          const int* categoryRatesIndices,
+                                          const int* probabilityIndices,
+                                          const double* edgeLengths, int count) {
+  if (eigenIndices == nullptr || probabilityIndices == nullptr ||
+      edgeLengths == nullptr || count < 0) {
+    return BGL_ERROR_OUT_OF_RANGE;
+  }
+  return withInstance(instance, [&](auto& impl) {
+    return impl.updateTransitionMatricesWithModels(
+        eigenIndices, categoryRatesIndices, probabilityIndices, edgeLengths, count);
+  });
+}
+
 int bglSetTransitionMatrix(int instance, int matrixIndex, const double* inMatrix,
                            double paddedValue) {
   if (inMatrix == nullptr) return BGL_ERROR_OUT_OF_RANGE;
@@ -467,6 +496,52 @@ int bglUpdatePartials(int instance, const BglOperation* operations, int operatio
   if (operations == nullptr || operationCount < 0) return BGL_ERROR_OUT_OF_RANGE;
   return withInstance(instance, [&](auto& impl) {
     return impl.updatePartials(operations, operationCount, cumulativeScaleIndex);
+  });
+}
+
+int bglSetPatternPartitions(int instance, int partitionCount,
+                            const int* inPatternPartitions) {
+  if (partitionCount < 1) return BGL_ERROR_OUT_OF_RANGE;
+  if (partitionCount > 1 && inPatternPartitions == nullptr) {
+    return BGL_ERROR_OUT_OF_RANGE;
+  }
+  return withInstance(instance, [&](auto& impl) -> int {
+    // Validate the map here so every implementation receives a
+    // well-formed one: non-decreasing partition ids forming a
+    // contiguous cover of [0, partitionCount) over all patterns.
+    if (partitionCount > 1) {
+      const int patterns = impl.config().patternCount;
+      int previous = -1;
+      for (int s = 0; s < patterns; ++s) {
+        const int q = inPatternPartitions[s];
+        if (q < 0 || q >= partitionCount || q < previous || q > previous + 1) {
+          bgl::api::setThreadLastError(
+              "pattern-partition map must be a non-decreasing contiguous "
+              "cover of [0, partitionCount); bad id " +
+              std::to_string(q) + " at pattern " + std::to_string(s));
+          return BGL_ERROR_OUT_OF_RANGE;
+        }
+        previous = q;
+      }
+      if (previous != partitionCount - 1) {
+        bgl::api::setThreadLastError(
+            "pattern-partition map covers only partitions [0, " +
+            std::to_string(previous + 1) + ") of " +
+            std::to_string(partitionCount));
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+    }
+    return impl.setPatternPartitions(partitionCount, inPatternPartitions);
+  });
+}
+
+int bglUpdatePartialsByPartition(int instance,
+                                 const BglOperationByPartition* operations,
+                                 int operationCount, int cumulativeScaleIndex) {
+  if (operations == nullptr || operationCount < 0) return BGL_ERROR_OUT_OF_RANGE;
+  return withInstance(instance, [&](auto& impl) {
+    return impl.updatePartialsByPartition(operations, operationCount,
+                                          cumulativeScaleIndex);
   });
 }
 
@@ -507,6 +582,24 @@ int bglCalculateRootLogLikelihoods(int instance, const int* bufferIndices,
                                             stateFrequenciesIndices,
                                             cumulativeScaleIndices, count,
                                             outSumLogLikelihood);
+  });
+}
+
+int bglCalculateRootLogLikelihoodsByPartition(
+    int instance, const int* bufferIndices, const int* categoryWeightsIndices,
+    const int* stateFrequenciesIndices, const int* cumulativeScaleIndices,
+    const int* partitionIndices, int count,
+    double* outSumLogLikelihoodByPartition, double* outSumLogLikelihood) {
+  if (bufferIndices == nullptr || categoryWeightsIndices == nullptr ||
+      stateFrequenciesIndices == nullptr || partitionIndices == nullptr ||
+      outSumLogLikelihoodByPartition == nullptr || count < 1) {
+    return BGL_ERROR_OUT_OF_RANGE;
+  }
+  return withInstance(instance, [&](auto& impl) {
+    return impl.calculateRootLogLikelihoodsByPartition(
+        bufferIndices, categoryWeightsIndices, stateFrequenciesIndices,
+        cumulativeScaleIndices, partitionIndices, count,
+        outSumLogLikelihoodByPartition, outSumLogLikelihood);
   });
 }
 

@@ -69,6 +69,36 @@ class Implementation {
   virtual int updatePartials(const BglOperation* operations, int count,
                              int cumulativeScaleIndex) = 0;
 
+  /// Multi-partition mode (bglSetPatternPartitions and friends). The CPU
+  /// and accelerator families implement these; backends without partition
+  /// support inherit the BGL_ERROR_UNIMPLEMENTED defaults. Map validation
+  /// (non-decreasing contiguous cover) happens in the C shim, so
+  /// implementations receive a well-formed map.
+  virtual int setPatternPartitions(int /*partitionCount*/,
+                                   const int* /*patternPartitions*/) {
+    return BGL_ERROR_UNIMPLEMENTED;
+  }
+  virtual int setCategoryRatesWithIndex(int ratesIndex, const double* inRates) {
+    return ratesIndex == 0 ? setCategoryRates(inRates) : BGL_ERROR_UNIMPLEMENTED;
+  }
+  virtual int updateTransitionMatricesWithModels(
+      const int* /*eigenIndices*/, const int* /*ratesIndices*/,
+      const int* /*probIndices*/, const double* /*edgeLengths*/, int /*count*/) {
+    return BGL_ERROR_UNIMPLEMENTED;
+  }
+  virtual int updatePartialsByPartition(
+      const BglOperationByPartition* /*operations*/, int /*count*/,
+      int /*cumulativeScaleIndex*/) {
+    return BGL_ERROR_UNIMPLEMENTED;
+  }
+  virtual int calculateRootLogLikelihoodsByPartition(
+      const int* /*bufferIndices*/, const int* /*weightIndices*/,
+      const int* /*freqIndices*/, const int* /*scaleIndices*/,
+      const int* /*partitionIndices*/, int /*count*/, double* /*outByPartition*/,
+      double* /*outTotal*/) {
+    return BGL_ERROR_UNIMPLEMENTED;
+  }
+
   virtual int accumulateScaleFactors(const int* scaleIndices, int count,
                                      int cumulativeScaleIndex) = 0;
   virtual int removeScaleFactors(const int* scaleIndices, int count,

@@ -63,6 +63,56 @@ inline int levelizeOperations(const BglOperation* ops, int count,
   return maxLevel;
 }
 
+/// Partitioned variant: dependencies are keyed on (buffer, partition).
+/// Partitions occupy disjoint pattern ranges of shared buffers, so the
+/// same node's update in different partitions is independent — Q
+/// partitions' whole-tree batches collapse to the *tree's* depth in
+/// levels, not depth × Q, which is what keeps the fused launch count
+/// O(tree depth) in multi-partition mode.
+inline int levelizeOperationsByPartition(const BglOperationByPartition* ops,
+                                         int count, int partitionCount,
+                                         std::vector<int>& level) {
+  level.assign(static_cast<std::size_t>(count > 0 ? count : 0), 0);
+  if (count <= 0) return 0;
+  if (partitionCount < 1) partitionCount = 1;
+
+  int maxBuffer = -1;
+  for (int i = 0; i < count; ++i) {
+    maxBuffer = std::max({maxBuffer, ops[i].destinationPartials,
+                          ops[i].child1Partials, ops[i].child2Partials});
+  }
+
+  // writerLevel[b * partitionCount + q]: level of the latest in-batch
+  // write to buffer b in partition q, or -1 when unwritten.
+  std::vector<int> writerLevel(
+      static_cast<std::size_t>(maxBuffer + 1) *
+          static_cast<std::size_t>(partitionCount),
+      -1);
+  int maxLevel = 0;
+  for (int i = 0; i < count; ++i) {
+    const int q = ops[i].partition;
+    int lv = 0;
+    const auto feeds = [&](int buffer) {
+      if (buffer < 0) return;
+      const std::size_t key = static_cast<std::size_t>(buffer) *
+                                  static_cast<std::size_t>(partitionCount) +
+                              static_cast<std::size_t>(q);
+      if (writerLevel[key] >= 0) lv = std::max(lv, writerLevel[key] + 1);
+    };
+    feeds(ops[i].child1Partials);
+    feeds(ops[i].child2Partials);
+    feeds(ops[i].destinationPartials);
+    level[i] = lv;
+    if (ops[i].destinationPartials >= 0) {
+      writerLevel[static_cast<std::size_t>(ops[i].destinationPartials) *
+                      static_cast<std::size_t>(partitionCount) +
+                  static_cast<std::size_t>(q)] = lv;
+    }
+    maxLevel = std::max(maxLevel, lv);
+  }
+  return maxLevel;
+}
+
 /// True when no scale buffer is written by more than one operation in the
 /// batch. Level-order execution defers the cumulative scale accumulation
 /// to the end of the batch (in original operation order, preserving the
@@ -74,6 +124,21 @@ inline bool scaleWritesUnique(const BglOperation* ops, int count) {
   for (int i = 0; i < count; ++i) {
     if (ops[i].destinationScaleWrite != BGL_OP_NONE) {
       writes.push_back(ops[i].destinationScaleWrite);
+    }
+  }
+  std::sort(writes.begin(), writes.end());
+  return std::adjacent_find(writes.begin(), writes.end()) == writes.end();
+}
+
+/// Partitioned variant of scaleWritesUnique: a scale buffer may be
+/// written once per *partition* (disjoint pattern ranges), so uniqueness
+/// is keyed on the (scaleBuffer, partition) pair.
+inline bool scaleWritesUniqueByPartition(const BglOperationByPartition* ops,
+                                         int count) {
+  std::vector<std::pair<int, int>> writes;
+  for (int i = 0; i < count; ++i) {
+    if (ops[i].destinationScaleWrite != BGL_OP_NONE) {
+      writes.emplace_back(ops[i].destinationScaleWrite, ops[i].partition);
     }
   }
   std::sort(writes.begin(), writes.end());

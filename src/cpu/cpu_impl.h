@@ -33,13 +33,17 @@ class CpuImpl : public Implementation {
     freqs_.assign(c.eigenBufferCount, AlignedVector<Real>(c.stateCount, Real(0)));
     weights_.assign(c.eigenBufferCount,
                     AlignedVector<Real>(c.categoryCount, Real(0)));
-    rates_.assign(c.categoryCount, 1.0);
+    // One rates slot per eigen slot (multi-partition mode pairs eigen
+    // slot q with rates slot q); slot 0 is the legacy setCategoryRates
+    // target.
+    rates_.assign(c.eigenBufferCount, std::vector<double>(c.categoryCount, 1.0));
     patternWeights_.assign(c.patternCount, 1.0);
     scale_.assign(c.scaleBufferCount,
                   AlignedVector<Real>(c.patternCount, Real(0)));
     siteLogL_.assign(c.patternCount, Real(0));
     siteD1_.assign(c.patternCount, Real(0));
     siteD2_.assign(c.patternCount, Real(0));
+    partEnd_.assign(1, c.patternCount);
   }
 
   std::string implName() const override { return "CPU-serial"; }
@@ -130,7 +134,15 @@ class CpuImpl : public Implementation {
   }
 
   int setCategoryRates(const double* inRates) override {
-    for (int c = 0; c < config_.categoryCount; ++c) rates_[c] = inRates[c];
+    for (int c = 0; c < config_.categoryCount; ++c) rates_[0][c] = inRates[c];
+    return BGL_SUCCESS;
+  }
+
+  int setCategoryRatesWithIndex(int ratesIndex, const double* inRates) override {
+    if (!validEigenSlot(ratesIndex)) return BGL_ERROR_OUT_OF_RANGE;
+    for (int c = 0; c < config_.categoryCount; ++c) {
+      rates_[ratesIndex][c] = inRates[c];
+    }
     return BGL_SUCCESS;
   }
 
@@ -201,7 +213,7 @@ class CpuImpl : public Implementation {
       }
       const double t = edgeLengths[e];
       for (int c = 0; c < config_.categoryCount; ++c) {
-        const double r = rates_[c];
+        const double r = rates_[0][c];
         for (int k = 0; k < s; ++k) {
           const double lam = eval[k] * r;
           expl[k] = std::exp(lam * t);
@@ -225,6 +237,49 @@ class CpuImpl : public Implementation {
               d1[idx] = static_cast<Real>(sum1);
               d2[idx] = static_cast<Real>(sum2);
             }
+          }
+        }
+      }
+    }
+    return BGL_SUCCESS;
+  }
+
+  int updateTransitionMatricesWithModels(const int* eigenIndices,
+                                         const int* ratesIndices,
+                                         const int* probIndices,
+                                         const double* edgeLengths,
+                                         int count) override {
+    obs::ScopedSpan span(recorder_, obs::Category::kUpdateTransitionMatrices,
+                         "updateTransitionMatricesWithModels");
+    recorder_.count(obs::Counter::kTransitionMatrices,
+                    static_cast<std::uint64_t>(count));
+    const int s = config_.stateCount;
+    std::vector<double> expl(s);
+    for (int e = 0; e < count; ++e) {
+      const int ei = eigenIndices[e];
+      const int ri = ratesIndices != nullptr ? ratesIndices[e] : 0;
+      const int pi = probIndices[e];
+      if (!validEigenSlot(ei) || eigenCijk_[ei].empty() || !validEigenSlot(ri) ||
+          pi < 0 || pi >= config_.matrixBufferCount) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      const auto& cijk = eigenCijk_[ei];
+      const auto& eval = eigenValues_[ei];
+      const auto& rates = rates_[ri];
+      Real* pd = matrices_[pi].data();
+      const double t = edgeLengths[e];
+      for (int c = 0; c < config_.categoryCount; ++c) {
+        const double r = rates[c];
+        for (int k = 0; k < s; ++k) expl[k] = std::exp((eval[k] * r) * t);
+        const std::size_t plane = static_cast<std::size_t>(c) * s * s;
+        for (int i = 0; i < s; ++i) {
+          for (int j = 0; j < s; ++j) {
+            const double* ck =
+                cijk.data() + (static_cast<std::size_t>(i) * s + j) * s;
+            double sum = 0.0;
+            for (int k = 0; k < s; ++k) sum += ck[k] * expl[k];
+            pd[plane + static_cast<std::size_t>(i) * s + j] =
+                static_cast<Real>(sum > 0.0 ? sum : 0.0);
           }
         }
       }
@@ -284,6 +339,105 @@ class CpuImpl : public Implementation {
                     static_cast<std::uint64_t>(count));
     executeOperations(operations, count, cumulativeScaleIndex);
     return BGL_SUCCESS;
+  }
+
+  // ------------------------------------------------------------------
+  // Multi-partition mode
+  // ------------------------------------------------------------------
+
+  int setPatternPartitions(int partitionCount,
+                           const int* patternPartitions) override {
+    if (partitionCount < 1) return BGL_ERROR_OUT_OF_RANGE;
+    if (partitionCount == 1) {
+      partitionCount_ = 1;
+      partBegin_.assign(1, 0);
+      partEnd_.assign(1, config_.patternCount);
+      return BGL_SUCCESS;
+    }
+    // The C shim guarantees a non-decreasing contiguous cover; convert
+    // the per-pattern map into [begin, end) ranges.
+    partBegin_.assign(partitionCount, 0);
+    partEnd_.assign(partitionCount, 0);
+    for (int k = 0; k < config_.patternCount; ++k) {
+      const int q = patternPartitions[k];
+      if (q < 0 || q >= partitionCount) return BGL_ERROR_OUT_OF_RANGE;
+      if (partEnd_[q] == 0) partBegin_[q] = k;
+      partEnd_[q] = k + 1;
+    }
+    partitionCount_ = partitionCount;
+    return BGL_SUCCESS;
+  }
+
+  int updatePartialsByPartition(const BglOperationByPartition* operations,
+                                int count, int cumulativeScaleIndex) override {
+    if (partitionCount_ < 1) return BGL_ERROR_OUT_OF_RANGE;
+    std::vector<BglOperationByPartition> rewritten;
+    if ((config_.flags & BGL_FLAG_SCALING_ALWAYS) && config_.scaleBufferCount > 0) {
+      rewritten.assign(operations, operations + count);
+      for (auto& op : rewritten) {
+        if (op.destinationScaleWrite == BGL_OP_NONE) {
+          op.destinationScaleWrite = op.destinationPartials - config_.tipCount;
+        }
+      }
+      operations = rewritten.data();
+      cumulativeScaleIndex = autoCumulativeIndex();
+      // One reset covers every partition: ranges are disjoint, and each
+      // partition then accumulates only its own [begin, end) in op order
+      // — the same FP sequence a per-partition instance would produce.
+      const int rc = resetScaleFactors(cumulativeScaleIndex);
+      if (rc != BGL_SUCCESS) return rc;
+    }
+    const int rc = validatePartitionedOperations(operations, count,
+                                                 cumulativeScaleIndex);
+    if (rc != BGL_SUCCESS) return rc;
+    obs::ScopedSpan span(recorder_, obs::Category::kUpdatePartials,
+                         "updatePartialsByPartition");
+    recorder_.count(obs::Counter::kPartialsOperations,
+                    static_cast<std::uint64_t>(count));
+    executePartitionedOperations(operations, count, cumulativeScaleIndex);
+    return BGL_SUCCESS;
+  }
+
+  int calculateRootLogLikelihoodsByPartition(
+      const int* bufferIndices, const int* weightIndices, const int* freqIndices,
+      const int* scaleIndices, const int* partitionIndices, int count,
+      double* outByPartition, double* outTotal) override {
+    if (partitionCount_ < 1) return BGL_ERROR_OUT_OF_RANGE;
+    obs::ScopedSpan span(recorder_, obs::Category::kRootLogLikelihoods,
+                         "rootLogLikelihoodsByPartition");
+    recorder_.count(obs::Counter::kRootEvaluations,
+                    static_cast<std::uint64_t>(count));
+    double total = 0.0;
+    bool finite = true;
+    for (int n = 0; n < count; ++n) {
+      const int q = partitionIndices[n];
+      if (q < 0 || q >= partitionCount_) return BGL_ERROR_OUT_OF_RANGE;
+      const int b = bufferIndices[n];
+      if (b < 0 || b >= config_.bufferCount() || partials_[b].empty()) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      if (!validEigenSlot(weightIndices[n]) || !validEigenSlot(freqIndices[n])) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      const Real* cum = nullptr;
+      if (scaleIndices != nullptr && scaleIndices[n] != BGL_OP_NONE) {
+        if (!validScale(scaleIndices[n])) return BGL_ERROR_OUT_OF_RANGE;
+        cum = scale_[scaleIndices[n]].data();
+      } else if ((config_.flags & BGL_FLAG_SCALING_ALWAYS) &&
+                 config_.scaleBufferCount > 0) {
+        cum = scale_[autoCumulativeIndex()].data();
+      }
+      const int kBegin = partBegin_[q];
+      const int kEnd = partEnd_[q];
+      computeRootSitesRange(partials_[b].data(), freqs_[freqIndices[n]].data(),
+                            weights_[weightIndices[n]].data(), cum, kBegin, kEnd);
+      const double sum = weightedSiteSumRange(siteLogL_.data(), kBegin, kEnd);
+      outByPartition[n] = sum;
+      total += sum;
+      finite = finite && std::isfinite(sum);
+    }
+    if (outTotal != nullptr) *outTotal = total;
+    return finite ? BGL_SUCCESS : BGL_ERROR_FLOATING_POINT;
   }
 
   // ------------------------------------------------------------------
@@ -492,6 +646,31 @@ class CpuImpl : public Implementation {
     }
   }
 
+  /// Strip the partition tag: the first seven fields of
+  /// BglOperationByPartition are exactly a BglOperation.
+  static BglOperation baseOp(const BglOperationByPartition& op) {
+    return BglOperation{op.destinationPartials,    op.destinationScaleWrite,
+                        op.destinationScaleRead,   op.child1Partials,
+                        op.child1TransitionMatrix, op.child2Partials,
+                        op.child2TransitionMatrix};
+  }
+
+  /// Execute a partitioned batch. The serial base runs operations in
+  /// order, each restricted to its partition's pattern range — the
+  /// reference FP sequence the level-order paths must reproduce.
+  virtual void executePartitionedOperations(const BglOperationByPartition* ops,
+                                            int count, int cumulativeScaleIndex) {
+    for (int i = 0; i < count; ++i) {
+      obs::ScopedSpan span(recorder_, obs::Category::kOperation, kernelLabel());
+      const BglOperation op = baseOp(ops[i]);
+      const int kBegin = partBegin_[ops[i].partition];
+      const int kEnd = partEnd_[ops[i].partition];
+      executeOperation(op, kBegin, kEnd);
+      rescaleOperationRange(op, kBegin, kEnd);
+      accumulateOperationScaleRange(op, cumulativeScaleIndex, kBegin, kEnd);
+    }
+  }
+
   /// Compute one operation over a pattern range (thread-splittable).
   void executeOperation(const BglOperation& op, int kBegin, int kEnd) {
     const int p = config_.patternCount;
@@ -530,22 +709,33 @@ class CpuImpl : public Implementation {
   }
 
   void rescaleOperation(const BglOperation& op) {
+    rescaleOperationRange(op, 0, config_.patternCount);
+  }
+
+  void rescaleOperationRange(const BglOperation& op, int kBegin, int kEnd) {
     if (op.destinationScaleWrite == BGL_OP_NONE) return;
     obs::ScopedSpan span(recorder_, obs::Category::kRescale, "rescale");
     recorder_.count(obs::Counter::kRescaleEvents);
     Real* dest = partials_[op.destinationPartials].data();
     Real* scale = scale_[op.destinationScaleWrite].data();
     rescaleScalar<Real>(dest, scale, config_.patternCount, config_.categoryCount,
-                        config_.stateCount, 0, config_.patternCount);
+                        config_.stateCount, kBegin, kEnd);
   }
 
   void accumulateOperationScale(const BglOperation& op, int cumulativeScaleIndex) {
+    accumulateOperationScaleRange(op, cumulativeScaleIndex, 0,
+                                  config_.patternCount);
+  }
+
+  void accumulateOperationScaleRange(const BglOperation& op,
+                                     int cumulativeScaleIndex, int kBegin,
+                                     int kEnd) {
     if (op.destinationScaleWrite == BGL_OP_NONE || cumulativeScaleIndex == BGL_OP_NONE) {
       return;
     }
     Real* cum = scale_[cumulativeScaleIndex].data();
     const Real* scale = scale_[op.destinationScaleWrite].data();
-    for (int k = 0; k < config_.patternCount; ++k) cum[k] += scale[k];
+    for (int k = kBegin; k < kEnd; ++k) cum[k] += scale[k];
   }
 
   /// Root-site integration over all patterns (thread-pool overrides this —
@@ -555,6 +745,18 @@ class CpuImpl : public Implementation {
     rootLikelihoodScalar<Real>(partials, freqs, weights, cumScale, siteLogL_.data(),
                                config_.patternCount, config_.categoryCount,
                                config_.stateCount, 0, config_.patternCount);
+  }
+
+  /// Ranged root-site integration for one partition. Per-pattern math is
+  /// position-independent, so the scalar kernel over [kBegin, kEnd)
+  /// reproduces a per-partition instance's computeRootSites bit for bit.
+  virtual void computeRootSitesRange(const Real* partials, const Real* freqs,
+                                     const Real* weights, const Real* cumScale,
+                                     int kBegin, int kEnd) {
+    rootLikelihoodScalar<Real>(partials, freqs, weights, cumScale,
+                               siteLogL_.data(), config_.patternCount,
+                               config_.categoryCount, config_.stateCount, kBegin,
+                               kEnd);
   }
 
   // ----- inner compute kernels (vectorized subclasses override) -----
@@ -634,11 +836,51 @@ class CpuImpl : public Implementation {
   }
 
   double weightedSiteSum(const Real* site) const {
+    return weightedSiteSumRange(site, 0, config_.patternCount);
+  }
+
+  /// Serial ascending weighted sum over a pattern range — the partition's
+  /// patterns occupy [kBegin, kEnd) of the concatenated axis, so this is
+  /// the same FP sequence as a per-partition instance's weightedSiteSum.
+  double weightedSiteSumRange(const Real* site, int kBegin, int kEnd) const {
     double sum = 0.0;
-    for (int k = 0; k < config_.patternCount; ++k) {
+    for (int k = kBegin; k < kEnd; ++k) {
       sum += patternWeights_[k] * static_cast<double>(site[k]);
     }
     return sum;
+  }
+
+  int validatePartitionedOperations(const BglOperationByPartition* ops, int count,
+                                    int cumulativeScaleIndex) const {
+    if (cumulativeScaleIndex != BGL_OP_NONE && !validScale(cumulativeScaleIndex)) {
+      return BGL_ERROR_OUT_OF_RANGE;
+    }
+    for (int i = 0; i < count; ++i) {
+      const auto& op = ops[i];
+      if (op.partition < 0 || op.partition >= partitionCount_) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      if (op.destinationPartials < config_.tipCount ||
+          op.destinationPartials >= config_.bufferCount()) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+      for (int child : {op.child1Partials, op.child2Partials}) {
+        if (child < 0 || child >= config_.bufferCount()) return BGL_ERROR_OUT_OF_RANGE;
+        if (tipStates_[child].empty() && partials_[child].empty()) {
+          bool produced = false;
+          for (int j = 0; j < i; ++j) produced |= ops[j].destinationPartials == child;
+          if (!produced) return BGL_ERROR_OUT_OF_RANGE;
+        }
+      }
+      for (int m : {op.child1TransitionMatrix, op.child2TransitionMatrix}) {
+        if (m < 0 || m >= config_.matrixBufferCount) return BGL_ERROR_OUT_OF_RANGE;
+      }
+      if (op.destinationScaleWrite != BGL_OP_NONE &&
+          !validScale(op.destinationScaleWrite)) {
+        return BGL_ERROR_OUT_OF_RANGE;
+      }
+    }
+    return BGL_SUCCESS;
   }
 
   // ----- storage -----
@@ -650,8 +892,14 @@ class CpuImpl : public Implementation {
   std::vector<std::vector<double>> eigenValues_;
   std::vector<AlignedVector<Real>> freqs_;
   std::vector<AlignedVector<Real>> weights_;
-  std::vector<double> rates_;
+  std::vector<std::vector<double>> rates_;  // by eigen slot
   std::vector<double> patternWeights_;
+
+  // Multi-partition state (setPatternPartitions): partition q covers
+  // concatenated patterns [partBegin_[q], partEnd_[q]).
+  int partitionCount_ = 1;
+  std::vector<int> partBegin_{0};
+  std::vector<int> partEnd_;
   std::vector<AlignedVector<Real>> scale_;
   AlignedVector<Real> siteLogL_, siteD1_, siteD2_;
 

@@ -88,6 +88,53 @@ class FuturesImpl : public CpuImpl<Real> {
     }
   }
 
+  void executePartitionedOperations(const BglOperationByPartition* ops, int count,
+                                    int cumulativeScaleIndex) override {
+    if (!this->levelOrderEnabled() || !scaleWritesUniqueByPartition(ops, count)) {
+      CpuImpl<Real>::executePartitionedOperations(ops, count, cumulativeScaleIndex);
+      return;
+    }
+    std::vector<int> level;
+    const int maxLevel = levelizeOperationsByPartition(
+        ops, count, this->partitionCount_, level);
+    for (int lv = 0; lv <= maxLevel; ++lv) {
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < count; ++i) {
+        if (level[i] != lv) continue;
+        this->ensurePartials(ops[i].destinationPartials);
+        const BglOperation op = this->baseOp(ops[i]);
+        const int kBegin = this->partBegin_[ops[i].partition];
+        const int kEnd = this->partEnd_[ops[i].partition];
+        if (static_cast<int>(futures.size()) + 1 >= maxConcurrent_) {
+          obs::ScopedSpan span(this->recorder_, obs::Category::kOperation,
+                               this->kernelLabel());
+          this->executeOperation(op, kBegin, kEnd);
+          continue;
+        }
+        futures.push_back(
+            std::async(std::launch::async, [this, op, i, kBegin, kEnd] {
+              obs::ScopedSpan span(this->recorder_, obs::Category::kWorker,
+                                   this->kernelLabel(), i + 1);
+              this->executeOperation(op, kBegin, kEnd);
+            }));
+      }
+      for (auto& f : futures) f.get();
+      for (int i = 0; i < count; ++i) {
+        if (level[i] == lv) {
+          this->rescaleOperationRange(this->baseOp(ops[i]),
+                                      this->partBegin_[ops[i].partition],
+                                      this->partEnd_[ops[i].partition]);
+        }
+      }
+    }
+    for (int i = 0; i < count; ++i) {
+      this->accumulateOperationScaleRange(this->baseOp(ops[i]),
+                                          cumulativeScaleIndex,
+                                          this->partBegin_[ops[i].partition],
+                                          this->partEnd_[ops[i].partition]);
+    }
+  }
+
  private:
   int maxConcurrent_ = static_cast<int>(std::thread::hardware_concurrency());
 };
@@ -159,6 +206,69 @@ class ThreadCreateImpl : public CpuImpl<Real> {
     }
     for (int i = 0; i < count; ++i) {
       this->accumulateOperationScale(ops[i], cumulativeScaleIndex);
+    }
+  }
+
+  void executePartitionedOperations(const BglOperationByPartition* ops, int count,
+                                    int cumulativeScaleIndex) override {
+    if (!this->levelOrderEnabled() || !scaleWritesUniqueByPartition(ops, count) ||
+        this->config_.patternCount < kMinPatternsForThreading || threads_ <= 1) {
+      CpuImpl<Real>::executePartitionedOperations(ops, count, cumulativeScaleIndex);
+      return;
+    }
+    std::vector<int> level;
+    const int maxLevel = levelizeOperationsByPartition(
+        ops, count, this->partitionCount_, level);
+    std::vector<int> members;
+    const int nt = threads_;
+    for (int lv = 0; lv <= maxLevel; ++lv) {
+      members.clear();
+      for (int i = 0; i < count; ++i) {
+        if (level[i] == lv) members.push_back(i);
+      }
+      for (int i : members) this->ensurePartials(ops[i].destinationPartials);
+      obs::ScopedSpan opSpan(this->recorder_, obs::Category::kOperation,
+                             this->kernelLabel());
+      // (operation, block-within-partition-range) cells: each member op
+      // splits its own [begin, end) into nt blocks, so a level mixing
+      // large and small partitions still shares one create/join cycle.
+      const int cells = static_cast<int>(members.size()) * nt;
+      const int teamSize = std::min(nt, cells);
+      if (teamSize < 1) continue;
+      auto runCells = [this, &ops, &members, nt, cells](int first, int stride) {
+        for (int cell = first; cell < cells; cell += stride) {
+          const int i = members[static_cast<std::size_t>(cell / nt)];
+          const int t = cell % nt;
+          const int b = this->partBegin_[ops[i].partition];
+          const int e = this->partEnd_[ops[i].partition];
+          const int block = (e - b + nt - 1) / nt;
+          const int kBegin = b + t * block;
+          const int kEnd = std::min(e, kBegin + block);
+          if (kBegin < kEnd) this->executeOperation(this->baseOp(ops[i]), kBegin, kEnd);
+        }
+      };
+      std::vector<std::thread> workers;
+      workers.reserve(teamSize - 1);
+      for (int w = 1; w < teamSize; ++w) {
+        workers.emplace_back([this, runCells, w, teamSize] {
+          obs::ScopedSpan span(this->recorder_, obs::Category::kWorker,
+                               this->kernelLabel(), w);
+          runCells(w, teamSize);
+        });
+      }
+      runCells(0, teamSize);
+      for (auto& w : workers) w.join();
+      for (int i : members) {
+        this->rescaleOperationRange(this->baseOp(ops[i]),
+                                    this->partBegin_[ops[i].partition],
+                                    this->partEnd_[ops[i].partition]);
+      }
+    }
+    for (int i = 0; i < count; ++i) {
+      this->accumulateOperationScaleRange(this->baseOp(ops[i]),
+                                          cumulativeScaleIndex,
+                                          this->partBegin_[ops[i].partition],
+                                          this->partEnd_[ops[i].partition]);
     }
   }
 
@@ -264,6 +374,61 @@ class ThreadPoolImpl : public CpuImpl<Real> {
     }
     for (int i = 0; i < count; ++i) {
       this->accumulateOperationScale(ops[i], cumulativeScaleIndex);
+    }
+  }
+
+  void executePartitionedOperations(const BglOperationByPartition* ops, int count,
+                                    int cumulativeScaleIndex) override {
+    if (!this->levelOrderEnabled() || !scaleWritesUniqueByPartition(ops, count) ||
+        this->config_.patternCount < kMinPatternsForThreading || threads_ <= 1) {
+      CpuImpl<Real>::executePartitionedOperations(ops, count, cumulativeScaleIndex);
+      return;
+    }
+    std::vector<int> level;
+    const int maxLevel = levelizeOperationsByPartition(
+        ops, count, this->partitionCount_, level);
+    std::vector<int> members;
+    const int nt = threads_;
+    for (int lv = 0; lv <= maxLevel; ++lv) {
+      members.clear();
+      for (int i = 0; i < count; ++i) {
+        if (level[i] == lv) members.push_back(i);
+      }
+      for (int i : members) this->ensurePartials(ops[i].destinationPartials);
+      obs::ScopedSpan opSpan(this->recorder_, obs::Category::kOperation,
+                             this->kernelLabel());
+      // One pool dispatch per level over (operation, block-within-range)
+      // cells; each op splits its own partition range into nt blocks.
+      const int cells = static_cast<int>(members.size()) * nt;
+      if (cells < 1) continue;
+      pool_->parallelFor(
+          cells,
+          [this, &ops, &members, nt](int cell) {
+            const int i = members[static_cast<std::size_t>(cell / nt)];
+            const int t = cell % nt;
+            const int b = this->partBegin_[ops[i].partition];
+            const int e = this->partEnd_[ops[i].partition];
+            const int block = (e - b + nt - 1) / nt;
+            const int kBegin = b + t * block;
+            const int kEnd = std::min(e, kBegin + block);
+            if (kBegin < kEnd) {
+              obs::ScopedSpan span(this->recorder_, obs::Category::kWorker,
+                                   this->kernelLabel(), t);
+              this->executeOperation(this->baseOp(ops[i]), kBegin, kEnd);
+            }
+          },
+          static_cast<unsigned>(nt));
+      for (int i : members) {
+        this->rescaleOperationRange(this->baseOp(ops[i]),
+                                    this->partBegin_[ops[i].partition],
+                                    this->partEnd_[ops[i].partition]);
+      }
+    }
+    for (int i = 0; i < count; ++i) {
+      this->accumulateOperationScaleRange(this->baseOp(ops[i]),
+                                          cumulativeScaleIndex,
+                                          this->partBegin_[ops[i].partition],
+                                          this->partEnd_[ops[i].partition]);
     }
   }
 

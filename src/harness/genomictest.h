@@ -118,4 +118,36 @@ SplitRunResult runSplitThroughput(const ProblemSpec& spec,
                                   const std::vector<phylo::LikelihoodOptions>& shardOptions,
                                   const phylo::SplitOptions& split);
 
+/// Result of a multi-partition (phylogenomic) evaluation run.
+struct PartitionedRunResult {
+  double seconds = 0.0;       ///< best-of-reps time base for throughput
+  double measuredSeconds = 0.0;
+  double gflops = 0.0;
+  double flops = 0.0;         ///< partials FLOPs summed over partitions
+  double logL = 0.0;          ///< sum of per-partition log likelihoods
+  int partitions = 0;
+  int instances = 0;          ///< library instances serving the partitions
+  int peakConcurrency = 0;
+  std::uint64_t kernelLaunches = 0;  ///< launches issued by the last round
+  int failovers = 0;
+  int rebalances = 0;
+  std::vector<double> partitionLogL;    ///< per partition, original order
+  std::vector<std::string> implNames;   ///< per partition
+  double referenceLogL = 0.0;      ///< serial host-CPU per-instance logL sum
+  bool referenceComputed = false;
+  bool referenceExact = false;     ///< every partition bitwise-equal
+};
+
+/// Evaluate `partitions` synthetic gene partitions — each with its own
+/// substitution model (distinct parameter seed) and its own slice of
+/// `spec.patterns` — over one shared random tree. PartitionOptions picks
+/// the layout: batched (one multi-partition instance per resource, the
+/// fused level-order launch path) or the legacy one instance per
+/// partition. When `validateReference` is set the per-partition log
+/// likelihoods are checked bitwise against serial host-CPU single-
+/// partition instances.
+PartitionedRunResult runPartitionedThroughput(const ProblemSpec& spec, int partitions,
+                                              const phylo::PartitionOptions& options,
+                                              bool validateReference = false);
+
 }  // namespace bgl::harness

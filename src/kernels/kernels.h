@@ -27,6 +27,10 @@
 //    Fused level batch (i4 = op count > 0): b0..b4 are ignored; b5 is a
 //    pointer table with 5 entries per op (dest, child1, m1, child2, m2)
 //    and the grid is opCount * patternBlocks * categories groups.
+//    Partitioned fused batch (i4 > 0 AND i5 != 0): additionally b6 is an
+//    int32 table with 4 entries per op {rangeBegin, rangeEnd, groupOffset,
+//    patternBlocks}; each op spans patternBlocks * categories groups
+//    starting at its groupOffset and computes only its pattern range.
 //
 //  TransitionMatrices / TransitionMatricesDerivs
 //    b0 dest P  [C][S][S]       (derivs: b4 dest P', b5 dest P'')
@@ -47,6 +51,8 @@
 //    b3 site log-likelihoods out [P] (Real)
 //    b4 cumulative scale factors [P] or null
 //    i0 patterns  i1 categories  i2 states  i3 patternsPerGroup
+//    Ranged (i5 = range end > 0): integrate patterns [i4, i5) only, with
+//    block 0 at i4 (one partition of a concatenated pattern axis).
 //
 //  EdgeLikelihood
 //    b0 parent partials [C][P][S]
@@ -65,13 +71,15 @@
 //    b0 partials [C][P][S] (in/out)
 //    b1 scale factors out [P] (log space)
 //    i0 patterns  i1 categories  i2 states  i3 patternsPerGroup
+//    Ranged (i5 = range end > 0): rescale patterns [i4, i5) only.
 //
 //  AccumulateScale
 //    b0 cumulative [P]  b1 source [P]  i0 patterns  i1 sign (+1/-1)
 //    Batched multi-group (i2 = source count > 0): b1 is the scale pool
 //    base, b2 int32 scale-buffer indices with stride i3 reals, grid =
 //    pattern blocks of i4 patterns; sources accumulate in array order
-//    (bit-identical to the serial single-source sequence).
+//    (bit-identical to the serial single-source sequence). Ranged batched
+//    (i6 = range end > 0): accumulate patterns [i5, i6) only.
 //
 //  ResetScale
 //    b0 cumulative [P]  i0 patterns
@@ -85,7 +93,10 @@
 //    Two-phase: phase 1 (i1 = block size > 0) writes per-block partial
 //    sums to b2[group]; phase 2 (i2 = block count > 0) has group 0 sum
 //    the doubles at b0 in ascending order into b2[0]. Fixed block size
-//    per pattern count => deterministic bracketing everywhere.
+//    per pattern count => deterministic bracketing everywhere. Ranged
+//    phase 1 (i4 = range end > 0): blocks laid out from i3, covering
+//    patterns [i3, i4) — per-partition sums match a standalone
+//    per-partition buffer's bracketing exactly.
 #pragma once
 
 #include "hal/hal.h"

@@ -69,18 +69,52 @@ void partialsKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
   // exactly what it would in a standalone launch for its operation, so a
   // fused level is bit-identical to the per-op sequence.
   const int batchOps = static_cast<int>(args.ints[4]);
-  int gid = wg.groupId;
+  const int gid = wg.groupId;
   Real* BGL_RESTRICT dest;
   const void* child1;
   const Real* BGL_RESTRICT gm1;
   const void* child2;
   const Real* BGL_RESTRICT gm2;
+  int pb, c, kBegin, kEnd;
   if (batchOps > 0) {
     const int categories = static_cast<int>(args.ints[1]);
-    const int blocksPerOp = patternBlocks * categories;
-    const int op = gid / blocksPerOp;
-    if (op >= batchOps) return;
-    gid -= op * blocksPerOp;
+    int op, local;
+    if (args.ints[5] != 0) {
+      // Partitioned fused launch: each op covers its own pattern range
+      // [begin, end) of the concatenated axis, so ops contribute a
+      // VARIABLE number of groups. buffers[6] holds int32[4] per op:
+      // {rangeBegin, rangeEnd, groupOffset, patternBlocks}; the group id
+      // is decoded by binary search over the monotone groupOffset column.
+      // Every group still computes exactly what a standalone ranged
+      // launch for its op would, so the fusion stays bit-identical.
+      const auto* ranges = static_cast<const std::int32_t*>(args.buffers[6]);
+      int lo = 0, hi = batchOps - 1;
+      while (lo < hi) {
+        const int mid = (lo + hi + 1) / 2;
+        if (static_cast<int>(ranges[4 * mid + 2]) <= gid) {
+          lo = mid;
+        } else {
+          hi = mid - 1;
+        }
+      }
+      op = lo;
+      local = gid - static_cast<int>(ranges[4 * op + 2]);
+      const int opBlocks = static_cast<int>(ranges[4 * op + 3]);
+      if (local < 0 || local >= opBlocks * categories) return;
+      pb = local % opBlocks;
+      c = local / opBlocks;
+      kBegin = static_cast<int>(ranges[4 * op]) + pb * ppg;
+      kEnd = std::min(static_cast<int>(ranges[4 * op + 1]), kBegin + ppg);
+    } else {
+      const int blocksPerOp = patternBlocks * categories;
+      op = gid / blocksPerOp;
+      if (op >= batchOps) return;
+      local = gid - op * blocksPerOp;
+      pb = local % patternBlocks;
+      c = local / patternBlocks;
+      kBegin = pb * ppg;
+      kEnd = std::min(patterns, kBegin + ppg);
+    }
     const void* const* tbl = static_cast<const void* const*>(args.buffers[5]) +
                              static_cast<std::size_t>(op) * 5;
     dest = static_cast<Real*>(const_cast<void*>(tbl[0]));
@@ -94,10 +128,11 @@ void partialsKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
     gm1 = static_cast<const Real*>(args.buffers[2]);
     child2 = args.buffers[3];
     gm2 = static_cast<const Real*>(args.buffers[4]);
+    pb = gid % patternBlocks;
+    c = gid / patternBlocks;
+    kBegin = pb * ppg;
+    kEnd = std::min(patterns, kBegin + ppg);
   }
-
-  const int pb = gid % patternBlocks;
-  const int c = gid / patternBlocks;
 
   const std::size_t matStride = static_cast<std::size_t>(states) * states;
   const Real* m1 = gm1 + static_cast<std::size_t>(c) * matStride;
@@ -105,8 +140,6 @@ void partialsKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
 
   const std::size_t planeOffset =
       static_cast<std::size_t>(c) * patterns * states;
-  const int kBegin = pb * ppg;
-  const int kEnd = std::min(patterns, kBegin + ppg);
 
   if constexpr (Variant == KernelVariant::GpuStyle) {
     // GPU-style execution: one work-item per (pattern, state), the exact
@@ -355,8 +388,14 @@ void rootLikelihoodKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
   Real* BGL_RESTRICT siteOut = static_cast<Real*>(args.buffers[3]);
   const Real* BGL_RESTRICT cumScale = static_cast<const Real*>(args.buffers[4]);
 
-  const int kBegin = wg.groupId * ppg;
-  const int kEnd = std::min(patterns, kBegin + ppg);
+  // Ranged mode (ints[5] = range end > 0): integrate only the pattern
+  // range [ints[4], ints[5]) — one partition of a concatenated axis. The
+  // per-pattern math is position-independent, so a ranged launch matches
+  // a whole-buffer launch bit for bit on the shared patterns.
+  const int rangeBegin = static_cast<int>(args.ints[4]);
+  const int rangeEnd = static_cast<int>(args.ints[5]);
+  const int kBegin = (rangeEnd > 0 ? rangeBegin : 0) + wg.groupId * ppg;
+  const int kEnd = std::min(rangeEnd > 0 ? rangeEnd : patterns, kBegin + ppg);
 
   for (int k = kBegin; k < kEnd; ++k) {
     Real lik = Real(0);
@@ -480,8 +519,12 @@ void rescalePartialsKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
   Real* BGL_RESTRICT partials = static_cast<Real*>(args.buffers[0]);
   Real* BGL_RESTRICT scale = static_cast<Real*>(args.buffers[1]);
 
-  const int kBegin = wg.groupId * ppg;
-  const int kEnd = std::min(patterns, kBegin + ppg);
+  // Ranged mode (ints[5] = range end > 0): rescale one partition's
+  // pattern range [ints[4], ints[5]) only.
+  const int rangeBegin = static_cast<int>(args.ints[4]);
+  const int rangeEnd = static_cast<int>(args.ints[5]);
+  const int kBegin = (rangeEnd > 0 ? rangeBegin : 0) + wg.groupId * ppg;
+  const int kEnd = std::min(rangeEnd > 0 ? rangeEnd : patterns, kBegin + ppg);
 
   for (int k = kBegin; k < kEnd; ++k) {
     Real maxv = Real(0);
@@ -521,8 +564,13 @@ void accumulateScaleKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
     const auto* BGL_RESTRICT idx = static_cast<const std::int32_t*>(args.buffers[2]);
     const std::size_t stride = static_cast<std::size_t>(args.ints[3]);
     const int ppg = static_cast<int>(args.ints[4]);
-    const int kBegin = wg.groupId * ppg;
-    const int kEnd = std::min(patterns, kBegin + ppg);
+    // Ranged mode (ints[6] = range end > 0): accumulate only the pattern
+    // range [ints[5], ints[6]) — one partition's slice of the shared
+    // cumulative buffer.
+    const int rangeBegin = static_cast<int>(args.ints[5]);
+    const int rangeEnd = static_cast<int>(args.ints[6]);
+    const int kBegin = (rangeEnd > 0 ? rangeBegin : 0) + wg.groupId * ppg;
+    const int kEnd = std::min(rangeEnd > 0 ? rangeEnd : patterns, kBegin + ppg);
     for (int k = kBegin; k < kEnd; ++k) {
       Real acc = cum[k];
       for (int i = 0; i < count; ++i) {
@@ -570,8 +618,16 @@ void sumSiteLikelihoodsKernel(const WorkGroupCtx& wg, const KernelArgs& args) {
   // sync/async paths produce the identical bracketing.
   const int blockSize = static_cast<int>(args.ints[1]);
   if (blockSize > 0) {
-    const int kBegin = wg.groupId * blockSize;
-    const int kEnd = std::min(patterns, kBegin + blockSize);
+    // Ranged mode (ints[4] = range end > 0): phase-1 blocks are laid out
+    // relative to the range start [ints[3], ints[4]), so block b of a
+    // partition's range sums exactly the patterns that block b of a
+    // standalone per-partition buffer would — the phase-2 combine then
+    // reproduces the per-instance bracketing bit for bit.
+    const int rangeBegin = static_cast<int>(args.ints[3]);
+    const int rangeEnd = static_cast<int>(args.ints[4]);
+    const int kBegin = (rangeEnd > 0 ? rangeBegin : 0) + wg.groupId * blockSize;
+    const int kEnd = std::min(rangeEnd > 0 ? rangeEnd : patterns,
+                              kBegin + blockSize);
     if (kBegin >= kEnd) return;
     double sum = 0.0;
     for (int k = kBegin; k < kEnd; ++k)

@@ -1,11 +1,16 @@
 #include "phylo/partition.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <functional>
 #include <future>
 #include <numeric>
+#include <thread>
 
 #include "core/defs.h"
+#include "core/gamma.h"
 #include "obs/journal.h"
 #include "sched/sched.h"
 
@@ -55,38 +60,726 @@ bool isHardError(int code) {
   }
 }
 
+/// See likelihood.cpp: throw with the code plus the thread-local detail.
+[[noreturn]] void throwApiError(const std::string& what, int rc) {
+  std::string message = what + " failed with code " + std::to_string(rc);
+  if (const char* detail = bglGetLastErrorMessage(); detail != nullptr && *detail) {
+    message += ": ";
+    message += detail;
+  }
+  throw Error(message, rc);
+}
+
+/// Run fn(i) for i in [0, n) with at most `cap` concurrent executors; the
+/// calling thread participates, so at most cap-1 threads are spawned no
+/// matter how many work items there are. fn must not throw. Returns the
+/// peak number of simultaneously running fn calls.
+int runBounded(int n, int cap, const std::function<void(int)>& fn) {
+  if (n <= 0) return 0;
+  if (cap < 1) cap = 1;
+  const int workers = std::min(cap, n);
+  std::atomic<int> next{0};
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  auto body = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      const int now = running.fetch_add(1, std::memory_order_relaxed) + 1;
+      int seen = peak.load(std::memory_order_relaxed);
+      while (now > seen &&
+             !peak.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+      }
+      fn(i);
+      running.fetch_sub(1, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers - 1));
+  for (int t = 1; t < workers; ++t) threads.emplace_back(body);
+  body();
+  for (auto& th : threads) th.join();
+  return peak.load(std::memory_order_relaxed);
+}
+
+int concurrencyCap(const PartitionOptions& options) {
+  if (options.maxConcurrency > 0) return options.maxConcurrency;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 4;
+}
+
+/// Predicted seconds of one evaluation of `spec` on `resource`; positive
+/// even when the perf model has no answer for the resource.
+double partitionCost(int resource, const PartitionSpec& spec) {
+  const int states = spec.model != nullptr ? spec.model->states() : 4;
+  const double est = sched::estimateEvaluationSeconds(
+      resource, spec.data.patterns, states, spec.options.categories);
+  if (est > 0.0) return est;
+  return 1e-9 * spec.data.patterns * states * spec.options.categories;
+}
+
 }  // namespace
 
 PartitionedLikelihood::PartitionedLikelihood(const Tree& tree,
                                              const std::vector<PartitionSpec>& specs,
                                              bool concurrent)
-    : concurrent_(concurrent) {
-  if (specs.empty()) throw Error("PartitionedLikelihood: no partitions");
-  parts_.reserve(specs.size());
-  for (const auto& spec : specs) {
+    : PartitionedLikelihood(tree, specs, [&] {
+        PartitionOptions options;
+        options.batched = false;  // keep the Section IV-F per-partition layout
+        options.concurrent = concurrent;
+        return options;
+      }()) {}
+
+PartitionedLikelihood::PartitionedLikelihood(const Tree& tree,
+                                             const std::vector<PartitionSpec>& specs,
+                                             const PartitionOptions& options)
+    : tree_(tree), specs_(specs), options_(options) {
+  if (specs_.empty()) throw Error("PartitionedLikelihood: no partitions");
+  for (const auto& spec : specs_) {
     if (spec.model == nullptr) throw Error("PartitionedLikelihood: null model");
-    parts_.push_back(std::make_unique<TreeLikelihood>(tree, *spec.model, spec.data,
-                                                      spec.options));
+    if (spec.data.taxa != tree_.tipCount()) {
+      throw Error("PartitionedLikelihood: tree/data taxon count mismatch");
+    }
+    if (spec.data.patterns < 1) {
+      throw Error("PartitionedLikelihood: partition with no patterns");
+    }
+  }
+  partitionLogL_.assign(specs_.size(), 0.0);
+
+  if (!options_.batched) {
+    parts_.reserve(specs_.size());
+    for (const auto& spec : specs_) {
+      parts_.push_back(std::make_unique<TreeLikelihood>(tree_, *spec.model,
+                                                        spec.data, spec.options));
+    }
+    return;
+  }
+
+  partitionResource_.reserve(specs_.size());
+  for (const auto& spec : specs_) {
+    partitionResource_.push_back(shardResource(spec.options));
+  }
+  for (int r : partitionResource_) {
+    if (std::find(resourceIds_.begin(), resourceIds_.end(), r) ==
+        resourceIds_.end()) {
+      resourceIds_.push_back(r);
+    }
+  }
+  resourceQuarantined_.assign(resourceIds_.size(), 0);
+  if (options_.adaptive) rebuildBalancer();
+  buildGroupsWithFailover();
+}
+
+PartitionedLikelihood::~PartitionedLikelihood() { destroyGroups(); }
+
+void PartitionedLikelihood::destroyGroups() {
+  for (auto& group : groups_) {
+    if (group.instance >= 0) bglFinalizeInstance(group.instance);
+  }
+  groups_.clear();
+}
+
+bool PartitionedLikelihood::tryBuildGroups() {
+  destroyGroups();
+  partitionGroup_.assign(specs_.size(), -1);
+  // Group partitions of compatible shape per resource, first-appearance
+  // order; member order within a group fixes the concatenation order of
+  // the shared pattern axis.
+  for (std::size_t p = 0; p < specs_.size(); ++p) {
+    const auto& spec = specs_[p];
+    const int resource = partitionResource_[p];
+    const int states = spec.model->states();
+    int slot = -1;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      const auto& group = groups_[g];
+      if (group.resource == resource && group.states == states &&
+          group.categories == spec.options.categories &&
+          group.useScaling == spec.options.useScaling &&
+          group.preferenceFlags == spec.options.preferenceFlags &&
+          group.requirementFlags == spec.options.requirementFlags) {
+        slot = static_cast<int>(g);
+        break;
+      }
+    }
+    if (slot < 0) {
+      Group group;
+      group.resource = resource;
+      group.states = states;
+      group.categories = spec.options.categories;
+      group.useScaling = spec.options.useScaling;
+      group.preferenceFlags = spec.options.preferenceFlags;
+      group.requirementFlags = spec.options.requirementFlags;
+      slot = static_cast<int>(groups_.size());
+      groups_.push_back(std::move(group));
+    }
+    groups_[static_cast<std::size_t>(slot)].members.push_back(static_cast<int>(p));
+    groups_[static_cast<std::size_t>(slot)].patterns += spec.data.patterns;
+    partitionGroup_[p] = slot;
+  }
+  for (auto& group : groups_) {
+    try {
+      buildGroupInstance(group);
+    } catch (const Error& e) {
+      if (!options_.failover || !isHardError(e.code())) throw;
+      quarantineResource(group.resource, e.what(), e.code());
+      return false;
+    } catch (const std::bad_alloc&) {
+      if (!options_.failover) throw;
+      quarantineResource(group.resource, "out of host memory building instance",
+                         kErrOutOfMemory);
+      return false;
+    }
+  }
+  return true;
+}
+
+void PartitionedLikelihood::buildGroupInstance(Group& group) {
+  const int tips = tree_.tipCount();
+  const int edges = 2 * tips - 2;
+  const int q = static_cast<int>(group.members.size());
+  const int scaleBuffers = group.useScaling ? tips : 0;
+
+  // ONE instance for the whole group: the pattern axis is the member
+  // partitions' concatenation; each member owns eigen/frequency/weight/
+  // rate slot s and the matrix slots [s*edges, (s+1)*edges).
+  BglInstanceDetails details{};
+  const int instance = bglCreateInstance(
+      tips, /*partialsBufferCount=*/tips - 1, /*compactBufferCount=*/tips,
+      group.states, group.patterns, /*eigenBufferCount=*/q,
+      /*matrixBufferCount=*/q * edges, group.categories, scaleBuffers,
+      &group.resource, 1, group.preferenceFlags, group.requirementFlags,
+      &details);
+  if (instance < 0) {
+    throwApiError("PartitionedLikelihood: bglCreateInstance", instance);
+  }
+  group.instance = instance;
+  group.implName = details.implName;
+
+  int rc = BGL_SUCCESS;
+  for (int s = 0; rc == BGL_SUCCESS && s < q; ++s) {
+    const auto& spec = specs_[static_cast<std::size_t>(group.members[s])];
+    const auto es = spec.model->eigenSystem();
+    rc = bglSetEigenDecomposition(instance, s, es.evec.data(), es.ivec.data(),
+                                  es.eval.data());
+    if (rc == BGL_SUCCESS) {
+      rc = bglSetStateFrequencies(instance, s, spec.model->frequencies().data());
+    }
+    if (rc == BGL_SUCCESS) {
+      const std::vector<double> weights(group.categories, 1.0 / group.categories);
+      rc = bglSetCategoryWeights(instance, s, weights.data());
+    }
+    if (rc == BGL_SUCCESS) {
+      const auto rates =
+          group.categories > 1
+              ? discreteGammaRates(spec.options.alpha, group.categories)
+              : std::vector<double>{1.0};
+      rc = bglSetCategoryRatesWithIndex(instance, s, rates.data());
+    }
+  }
+  if (rc == BGL_SUCCESS) {
+    std::vector<double> weights;
+    std::vector<int> map;
+    weights.reserve(static_cast<std::size_t>(group.patterns));
+    map.reserve(static_cast<std::size_t>(group.patterns));
+    for (int s = 0; s < q; ++s) {
+      const auto& data = specs_[static_cast<std::size_t>(group.members[s])].data;
+      weights.insert(weights.end(), data.weights.begin(), data.weights.end());
+      map.insert(map.end(), static_cast<std::size_t>(data.patterns), s);
+    }
+    rc = bglSetPatternWeights(instance, weights.data());
+    if (rc == BGL_SUCCESS) rc = bglSetPatternPartitions(instance, q, map.data());
+  }
+  for (int t = 0; rc == BGL_SUCCESS && t < tips; ++t) {
+    std::vector<int> tipStates;
+    tipStates.reserve(static_cast<std::size_t>(group.patterns));
+    for (int s = 0; s < q; ++s) {
+      const auto& data = specs_[static_cast<std::size_t>(group.members[s])].data;
+      for (int k = 0; k < data.patterns; ++k) tipStates.push_back(data.at(t, k));
+    }
+    rc = bglSetTipStates(instance, t, tipStates.data());
+  }
+  if (rc != BGL_SUCCESS) {
+    const std::string detail = bglGetLastErrorMessage();
+    bglFinalizeInstance(instance);
+    group.instance = -1;
+    std::string message =
+        "PartitionedLikelihood: instance setup failed with code " +
+        std::to_string(rc);
+    if (!detail.empty()) message += ": " + detail;
+    throw Error(message, rc);
   }
 }
 
-double PartitionedLikelihood::logLikelihood(const Tree& tree) {
-  if (!concurrent_ || parts_.size() == 1) {
+void PartitionedLikelihood::buildGroupsWithFailover() {
+  const int maxAttempts = static_cast<int>(resourceIds_.size()) + 2;
+  for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+    if (tryBuildGroups()) return;
+    // tryBuildGroups quarantined the failing resource; re-home its
+    // partitions onto the survivors and retry the whole build.
+    ++failovers_;
+    sched::noteFailover(1);
+    obs::ScopedSpan span(sched::recorder(), obs::Category::kOperation,
+                         "sched.failover");
+    rehomeQuarantined();
+    obs::Journal::instance().append(
+        obs::JournalKind::kRetry, 0, /*instance=*/-1, /*resource=*/-1,
+        /*shard=*/-1,
+        "rebuilding partition groups, attempt " + std::to_string(attempt + 2) +
+            "/" + std::to_string(maxAttempts));
+  }
+  throw Error("PartitionedLikelihood: group construction still failing after " +
+                  std::to_string(maxAttempts) + " failovers: " + lastFailure_,
+              lastFailureCode_ != 0 ? lastFailureCode_ : kErrHardware);
+}
+
+void PartitionedLikelihood::quarantineResource(int resource,
+                                               const std::string& reason,
+                                               int code) {
+  for (std::size_t i = 0; i < resourceIds_.size(); ++i) {
+    if (resourceIds_[i] == resource) resourceQuarantined_[i] = 1;
+  }
+  lastFailure_ = reason;
+  lastFailureCode_ = code;
+  obs::Journal::instance().append(obs::JournalKind::kShardQuarantine, code,
+                                  /*instance=*/-1, resource, /*shard=*/-1,
+                                  reason);
+}
+
+void PartitionedLikelihood::rehomeQuarantined() {
+  std::vector<int> active;
+  for (std::size_t i = 0; i < resourceIds_.size(); ++i) {
+    if (!resourceQuarantined_[i]) active.push_back(resourceIds_[i]);
+  }
+  if (active.empty()) {
+    if (!options_.cpuFallback || cpuFallbackUsed_) {
+      throw Error(
+          "PartitionedLikelihood: every resource is quarantined; last error: " +
+              lastFailure_,
+          lastFailureCode_ != 0 ? lastFailureCode_ : kErrHardware);
+    }
+    // Last resort: one host-CPU instance set carries every partition.
+    // Precision requirements are preserved; the failing framework/vector/
+    // threading demands are dropped.
+    const long precisionMask =
+        BGL_FLAG_PRECISION_SINGLE | BGL_FLAG_PRECISION_DOUBLE;
+    for (auto& spec : specs_) {
+      LikelihoodOptions fallback;
+      fallback.categories = spec.options.categories;
+      fallback.alpha = spec.options.alpha;
+      fallback.useScaling = spec.options.useScaling;
+      fallback.requirementFlags =
+          BGL_FLAG_FRAMEWORK_CPU | (spec.options.requirementFlags & precisionMask);
+      fallback.preferenceFlags = spec.options.preferenceFlags & precisionMask;
+      fallback.resources = {0};
+      spec.options = fallback;
+    }
+    std::fill(partitionResource_.begin(), partitionResource_.end(), 0);
+    bool known = false;
+    for (std::size_t i = 0; i < resourceIds_.size(); ++i) {
+      if (resourceIds_[i] == 0) {
+        resourceQuarantined_[i] = 0;
+        known = true;
+      }
+    }
+    if (!known) {
+      resourceIds_.push_back(0);
+      resourceQuarantined_.push_back(0);
+    }
+    cpuFallbackUsed_ = true;
+    obs::Journal::instance().append(
+        obs::JournalKind::kCpuFallback, 0, /*instance=*/-1, /*resource=*/0,
+        /*shard=*/-1,
+        "every resource quarantined; host-CPU fallback carries all partitions");
+    if (options_.adaptive) rebuildBalancer();
+    return;
+  }
+
+  // Greedy re-home: partitions stranded on quarantined resources, heaviest
+  // first, each onto the surviving resource with the smallest predicted
+  // finish time (current load + this partition's cost there).
+  auto onQuarantined = [&](int resource) {
+    for (std::size_t i = 0; i < resourceIds_.size(); ++i) {
+      if (resourceIds_[i] == resource) return resourceQuarantined_[i] != 0;
+    }
+    return false;
+  };
+  std::vector<double> load(active.size(), 0.0);
+  std::vector<std::size_t> stranded;
+  for (std::size_t p = 0; p < specs_.size(); ++p) {
+    if (onQuarantined(partitionResource_[p])) {
+      stranded.push_back(p);
+      continue;
+    }
+    for (std::size_t j = 0; j < active.size(); ++j) {
+      if (active[j] == partitionResource_[p]) {
+        load[j] += partitionCost(active[j], specs_[p]);
+      }
+    }
+  }
+  std::stable_sort(stranded.begin(), stranded.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return partitionCost(active[0], specs_[a]) >
+                            partitionCost(active[0], specs_[b]);
+                   });
+  for (std::size_t p : stranded) {
+    std::size_t best = 0;
+    double bestFinish = 0.0;
+    for (std::size_t j = 0; j < active.size(); ++j) {
+      const double finish = load[j] + partitionCost(active[j], specs_[p]);
+      if (j == 0 || finish < bestFinish) {
+        best = j;
+        bestFinish = finish;
+      }
+    }
+    partitionResource_[p] = active[best];
+    load[best] = bestFinish;
+  }
+  obs::Journal::instance().append(
+      obs::JournalKind::kReapportion, 0, /*instance=*/-1, /*resource=*/-1,
+      /*shard=*/-1,
+      std::to_string(stranded.size()) + " partition(s) re-homed across " +
+          std::to_string(active.size()) + " surviving resource(s)");
+  if (options_.adaptive) rebuildBalancer();
+}
+
+void PartitionedLikelihood::rebuildBalancer() {
+  balancerResources_.clear();
+  for (std::size_t i = 0; i < resourceIds_.size(); ++i) {
+    if (!resourceQuarantined_[i]) balancerResources_.push_back(resourceIds_[i]);
+  }
+  if (balancerResources_.size() < 2) {
+    balancer_.reset();
+    return;
+  }
+  // Seed speeds from the perf model so the first rounds start near the
+  // steady state; observations take over through the EWMA.
+  std::vector<double> speeds;
+  speeds.reserve(balancerResources_.size());
+  for (int r : balancerResources_) {
+    double patterns = 0.0;
+    double seconds = 0.0;
+    for (std::size_t p = 0; p < specs_.size(); ++p) {
+      patterns += specs_[p].data.patterns;
+      seconds += partitionCost(r, specs_[p]);
+    }
+    speeds.push_back(seconds > 0.0 ? patterns / seconds : 1.0);
+  }
+  sched::LoadBalancer::Options options;
+  options.ewmaAlpha = options_.ewmaAlpha;
+  options.imbalanceThreshold = options_.imbalanceThreshold;
+  options.settleRounds = options_.settleRounds;
+  balancer_ = std::make_unique<sched::LoadBalancer>(speeds, options);
+}
+
+void PartitionedLikelihood::evaluateGroup(Group& group, const Tree& tree) {
+  group.seconds = 0.0;
+  group.launches = 0;
+  group.errorCode = 0;
+  group.errorMessage.clear();
+  // Failures are captured into the group instead of thrown: groups run on
+  // worker threads, and a raw exception would lose the resource identity
+  // the failover path needs.
+  try {
+    const int instance = group.instance;
+    const int tips = tree.tipCount();
+    const int edges = 2 * tips - 2;
+    const int q = static_cast<int>(group.members.size());
+    const bool timeline = bglResetTimeline(instance) == BGL_SUCCESS;
+    const auto start = Clock::now();
+
+    // Every member shares the tree's edge set; one batched call refreshes
+    // all q model copies of every edge matrix.
+    std::vector<int> matrixNodes;
+    std::vector<double> lengths;
+    tree.matrixUpdates(matrixNodes, lengths);
+    const int perModel = static_cast<int>(matrixNodes.size());
+    std::vector<int> eigenIdx(static_cast<std::size_t>(q) * perModel);
+    std::vector<int> ratesIdx(static_cast<std::size_t>(q) * perModel);
+    std::vector<int> probIdx(static_cast<std::size_t>(q) * perModel);
+    std::vector<double> allLengths(static_cast<std::size_t>(q) * perModel);
+    for (int s = 0; s < q; ++s) {
+      for (int i = 0; i < perModel; ++i) {
+        const std::size_t at = static_cast<std::size_t>(s) * perModel + i;
+        eigenIdx[at] = s;
+        ratesIdx[at] = s;
+        probIdx[at] = s * edges + matrixNodes[static_cast<std::size_t>(i)];
+        allLengths[at] = lengths[static_cast<std::size_t>(i)];
+      }
+    }
+    int rc = bglUpdateTransitionMatricesWithModels(
+        instance, eigenIdx.data(), ratesIdx.data(), probIdx.data(),
+        allLengths.data(), q * perModel);
+    if (rc != BGL_SUCCESS) throwApiError("updateTransitionMatricesWithModels", rc);
+
+    const int cum = group.useScaling ? tips - 1 : BGL_OP_NONE;
+    if (group.useScaling) {
+      rc = bglResetScaleFactors(instance, cum);
+      if (rc != BGL_SUCCESS) throwApiError("resetScaleFactors", rc);
+    }
+
+    // The same level-order traversal once per member; the level batcher
+    // fuses all members' operations for a level into one launch set.
+    const auto baseOps = tree.operations(group.useScaling);
+    std::vector<BglOperationByPartition> ops;
+    ops.reserve(baseOps.size() * static_cast<std::size_t>(q));
+    for (int s = 0; s < q; ++s) {
+      for (const auto& op : baseOps) {
+        BglOperationByPartition pop;
+        pop.destinationPartials = op.destinationPartials;
+        pop.destinationScaleWrite = op.destinationScaleWrite;
+        pop.destinationScaleRead = op.destinationScaleRead;
+        pop.child1Partials = op.child1Partials;
+        pop.child1TransitionMatrix = s * edges + op.child1TransitionMatrix;
+        pop.child2Partials = op.child2Partials;
+        pop.child2TransitionMatrix = s * edges + op.child2TransitionMatrix;
+        pop.partition = s;
+        ops.push_back(pop);
+      }
+    }
+    rc = bglUpdatePartialsByPartition(instance, ops.data(),
+                                      static_cast<int>(ops.size()), cum);
+    if (rc != BGL_SUCCESS) throwApiError("updatePartialsByPartition", rc);
+
+    const int root = tree.root();
+    std::vector<int> roots(static_cast<std::size_t>(q), root);
+    std::vector<int> slots(static_cast<std::size_t>(q));
+    std::iota(slots.begin(), slots.end(), 0);
+    std::vector<int> cums(static_cast<std::size_t>(q), cum);
+    std::vector<int> partIdx = slots;
+    std::vector<double> logLs(static_cast<std::size_t>(q), 0.0);
     double total = 0.0;
-    for (auto& part : parts_) total += part->logLikelihood(tree);
-    return total;
+    rc = bglCalculateRootLogLikelihoodsByPartition(
+        instance, roots.data(), slots.data(), slots.data(),
+        group.useScaling ? cums.data() : nullptr, partIdx.data(), q,
+        logLs.data(), &total);
+    if (rc != BGL_SUCCESS && rc != BGL_ERROR_FLOATING_POINT) {
+      throwApiError("calculateRootLogLikelihoodsByPartition", rc);
+    }
+    for (int s = 0; s < q; ++s) {
+      partitionLogL_[static_cast<std::size_t>(group.members[s])] =
+          logLs[static_cast<std::size_t>(s)];
+    }
+
+    double seconds = elapsedSeconds(start);
+    if (timeline) {
+      // Prefer the obs-layer timeline: on simulated accelerator profiles
+      // the roofline-modeled time is the honest per-device time base and is
+      // immune to host oversubscription when groups run concurrently.
+      BglTimeline tl{};
+      if (bglGetTimeline(instance, &tl) == BGL_SUCCESS) {
+        group.launches = tl.kernelLaunches;
+        if (tl.modeledSeconds > 0.0) seconds = tl.modeledSeconds;
+      }
+    }
+    group.seconds = seconds;
+  } catch (const Error& e) {
+    group.errorCode = e.code() != 0 ? e.code() : kErrGeneral;
+    group.errorMessage = e.what();
+  } catch (const std::bad_alloc&) {
+    group.errorCode = kErrOutOfMemory;
+    group.errorMessage = "out of host memory evaluating partition group";
+  } catch (const std::exception& e) {
+    group.errorCode = kErrGeneral;
+    group.errorMessage = e.what();
   }
-  // One async evaluation per instance: instances are fully independent
-  // (this is the concurrency model client programs use per Section IV-F).
-  std::vector<std::future<double>> futures;
-  futures.reserve(parts_.size() - 1);
-  for (std::size_t i = 1; i < parts_.size(); ++i) {
-    futures.push_back(std::async(std::launch::async, [this, i, &tree] {
-      return parts_[i]->logLikelihood(tree);
-    }));
+}
+
+double PartitionedLikelihood::evaluateBatched(const Tree& tree) {
+  const int maxAttempts = static_cast<int>(resourceIds_.size()) + 2;
+  for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+    const int n = static_cast<int>(groups_.size());
+    if (!options_.concurrent || n == 1) {
+      for (auto& group : groups_) evaluateGroup(group, tree);
+      peakConcurrency_ = std::max(peakConcurrency_, 1);
+    } else {
+      const int peak = runBounded(n, concurrencyCap(options_), [&](int i) {
+        evaluateGroup(groups_[static_cast<std::size_t>(i)], tree);
+      });
+      peakConcurrency_ = std::max(peakConcurrency_, peak);
+    }
+
+    std::vector<std::size_t> failed;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      if (groups_[g].errorCode == 0) continue;
+      if (!isHardError(groups_[g].errorCode)) {
+        // Programming error: reproduces on any resource, never failed over.
+        throw Error(groups_[g].errorMessage, groups_[g].errorCode);
+      }
+      failed.push_back(g);
+    }
+
+    if (failed.empty()) {
+      lastInstanceSeconds_.clear();
+      lastKernelLaunches_ = 0;
+      for (const auto& group : groups_) {
+        lastInstanceSeconds_.push_back(group.seconds);
+        lastKernelLaunches_ += group.launches;
+      }
+      if (options_.adaptive) maybeRebalance();
+      double total = 0.0;
+      for (double v : partitionLogL_) total += v;
+      return total;
+    }
+
+    if (!options_.failover) {
+      throw Error(groups_[failed.front()].errorMessage,
+                  groups_[failed.front()].errorCode);
+    }
+    for (std::size_t g : failed) {
+      quarantineResource(groups_[g].resource, groups_[g].errorMessage,
+                         groups_[g].errorCode);
+    }
+    ++failovers_;
+    sched::noteFailover(static_cast<std::uint64_t>(failed.size()));
+    obs::ScopedSpan span(sched::recorder(), obs::Category::kOperation,
+                         "sched.failover");
+    rehomeQuarantined();
+    buildGroupsWithFailover();
+    obs::Journal::instance().append(
+        obs::JournalKind::kRetry, 0, /*instance=*/-1, /*resource=*/-1,
+        /*shard=*/-1,
+        "partition groups rebuilt after " + std::to_string(failed.size()) +
+            " instance failure(s); retrying the evaluation");
   }
-  double total = parts_[0]->logLikelihood(tree);
-  for (auto& f : futures) total += f.get();
+  throw Error("PartitionedLikelihood: evaluation still failing after " +
+                  std::to_string(maxAttempts) + " failovers: " + lastFailure_,
+              lastFailureCode_ != 0 ? lastFailureCode_ : kErrHardware);
+}
+
+void PartitionedLikelihood::maybeRebalance() {
+  if (balancer_ == nullptr || balancerResources_.size() < 2) return;
+  // One observation per active resource: patterns and modeled seconds
+  // summed over the resource's groups.
+  const std::size_t nR = balancerResources_.size();
+  std::vector<double> seconds(nR, 0.0);
+  std::vector<int> patterns(nR, 0);
+  for (const auto& group : groups_) {
+    for (std::size_t j = 0; j < nR; ++j) {
+      if (balancerResources_[j] == group.resource) {
+        seconds[j] += group.seconds;
+        patterns[j] += group.patterns;
+      }
+    }
+  }
+  int totalPatterns = 0;
+  for (std::size_t j = 0; j < nR; ++j) {
+    totalPatterns += patterns[j];
+    if (patterns[j] > 0 && seconds[j] > 0.0) {
+      balancer_->observe(static_cast<int>(j), patterns[j], seconds[j]);
+    }
+  }
+  if (balancer_->rebalance(totalPatterns, patterns).empty()) return;
+  // The balancer votes for a re-split of the pattern axis; partitions move
+  // whole, so translate the vote into an LPT assignment of per-partition
+  // costs onto the observed speeds.
+  std::vector<double> weights(specs_.size());
+  for (std::size_t p = 0; p < specs_.size(); ++p) {
+    const auto& spec = specs_[p];
+    weights[p] = static_cast<double>(spec.data.patterns) *
+                 spec.model->states() * spec.options.categories;
+  }
+  const auto assignment = sched::apportionWeightedItems(weights, balancer_->speeds());
+  int migrated = 0;
+  for (std::size_t p = 0; p < specs_.size(); ++p) {
+    const int resource = balancerResources_[static_cast<std::size_t>(assignment[p])];
+    if (resource != partitionResource_[p]) {
+      ++migrated;
+      partitionResource_[p] = resource;
+    }
+  }
+  if (migrated == 0) return;
+  sched::noteRebalance(static_cast<std::uint64_t>(migrated));
+  obs::Journal::instance().append(
+      obs::JournalKind::kRebalance, 0, /*instance=*/-1, /*resource=*/-1,
+      /*shard=*/-1,
+      "adaptive re-home migrated " + std::to_string(migrated) +
+          " partition(s) across " + std::to_string(nR) + " resource(s)");
+  obs::ScopedSpan span(sched::recorder(), obs::Category::kOperation,
+                       "sched.rebalance");
+  buildGroupsWithFailover();
+  ++rebalances_;
+}
+
+double PartitionedLikelihood::evaluateLegacy(const Tree& tree) {
+  const int n = static_cast<int>(parts_.size());
+  std::vector<int> codes(static_cast<std::size_t>(n), 0);
+  std::vector<std::string> messages(static_cast<std::size_t>(n));
+  std::vector<double> seconds(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::uint64_t> launches(static_cast<std::size_t>(n), 0);
+  auto evalOne = [&](int i) {
+    const auto at = static_cast<std::size_t>(i);
+    try {
+      const int instance = parts_[at]->instance();
+      const bool timeline = bglResetTimeline(instance) == BGL_SUCCESS;
+      const auto start = Clock::now();
+      partitionLogL_[at] = parts_[at]->logLikelihood(tree);
+      seconds[at] = elapsedSeconds(start);
+      if (timeline) {
+        BglTimeline tl{};
+        if (bglGetTimeline(instance, &tl) == BGL_SUCCESS) {
+          launches[at] = tl.kernelLaunches;
+          if (tl.modeledSeconds > 0.0) seconds[at] = tl.modeledSeconds;
+        }
+      }
+    } catch (const Error& e) {
+      codes[at] = e.code() != 0 ? e.code() : kErrGeneral;
+      messages[at] = e.what();
+    } catch (const std::exception& e) {
+      codes[at] = kErrGeneral;
+      messages[at] = e.what();
+    }
+  };
+  if (!options_.concurrent || n == 1) {
+    for (int i = 0; i < n; ++i) evalOne(i);
+    peakConcurrency_ = std::max(peakConcurrency_, 1);
+  } else {
+    // Bounded worker team popping an index queue: never more live threads
+    // than the concurrency cap, however many partitions the analysis has
+    // (the old per-partition std::async fan-out spawned one thread each).
+    const int peak = runBounded(n, concurrencyCap(options_), evalOne);
+    peakConcurrency_ = std::max(peakConcurrency_, peak);
+  }
+  for (int i = 0; i < n; ++i) {
+    const auto at = static_cast<std::size_t>(i);
+    if (codes[at] != 0) throw Error(messages[at], codes[at]);
+  }
+  lastInstanceSeconds_.assign(seconds.begin(), seconds.end());
+  lastKernelLaunches_ = 0;
+  for (std::uint64_t l : launches) lastKernelLaunches_ += l;
+  double total = 0.0;
+  for (double v : partitionLogL_) total += v;
+  return total;
+}
+
+double PartitionedLikelihood::logLikelihood(const Tree& tree) {
+  if (tree.tipCount() != tree_.tipCount()) {
+    throw Error("PartitionedLikelihood: taxon count changed");
+  }
+  tree_ = tree;
+  return options_.batched ? evaluateBatched(tree_) : evaluateLegacy(tree_);
+}
+
+const std::string& PartitionedLikelihood::implName(int partition) const {
+  if (!options_.batched) {
+    return parts_[static_cast<std::size_t>(partition)]->implName();
+  }
+  const int g = partitionGroup_[static_cast<std::size_t>(partition)];
+  return groups_[static_cast<std::size_t>(g)].implName;
+}
+
+int PartitionedLikelihood::instanceCount() const {
+  return options_.batched ? static_cast<int>(groups_.size())
+                          : static_cast<int>(parts_.size());
+}
+
+int PartitionedLikelihood::groupOf(int partition) const {
+  return options_.batched ? partitionGroup_[static_cast<std::size_t>(partition)]
+                          : partition;
+}
+
+double PartitionedLikelihood::lastModeledSeconds() const {
+  double total = 0.0;
+  for (double s : lastInstanceSeconds_) total += s;
   return total;
 }
 
@@ -103,12 +796,21 @@ void autoAssignResources(std::vector<PartitionSpec>& specs, bool benchmark) {
                       const sched::ResourceEstimate* b) {
                      return a->patternsPerSecond > b->patternsPerSecond;
                    });
-  // Largest partitions first, so the heaviest subsets land on the fastest
-  // resources; wrap around when partitions outnumber resources.
+  // Costliest partitions first, so the heaviest subsets land on the
+  // fastest resources; wrap around when partitions outnumber resources.
+  // Cost is the scheduler's full per-evaluation estimate — patterns AND
+  // states x categories — measured against one fixed yardstick resource
+  // (the fastest) so the ordering is resource-independent: a 500-pattern
+  // codon partition outranks a 2000-pattern nucleotide one.
+  const int yardstick = ranked.front()->resource;
+  std::vector<double> costs(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    costs[i] = partitionCost(yardstick, specs[i]);
+  }
   std::vector<std::size_t> order(specs.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return specs[a].data.patterns > specs[b].data.patterns;
+    return costs[a] > costs[b];
   });
   for (std::size_t i = 0; i < order.size(); ++i) {
     const auto* pick = ranked[i % ranked.size()];

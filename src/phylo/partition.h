@@ -13,7 +13,9 @@
 // and rebalanced between evaluation rounds from observed per-shard times.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/model.h"
@@ -31,31 +33,159 @@ struct PartitionSpec {
   LikelihoodOptions options;
 };
 
-/// Multiple (model, data, instance) triples sharing one tree: the
-/// partitioned-analysis pattern of Section IV-F.
+/// Policy knobs for PartitionedLikelihood.
+struct PartitionOptions {
+  /// Batch partitions into ONE multi-partition instance per resource
+  /// (bglSetPatternPartitions + the ByPartition calls): partitions of a
+  /// compatible shape share a concatenated pattern axis, and the level
+  /// batcher fuses all of their per-level work into the same grid
+  /// launches — launch count stays O(tree depth), not O(depth x
+  /// partitions). false: the legacy one-instance-per-partition layout.
+  bool batched = true;
+  /// Evaluate instances concurrently (per-resource groups when batched,
+  /// per-partition instances otherwise).
+  bool concurrent = true;
+  /// Concurrency cap for the instance evaluations. 0 = the hardware
+  /// concurrency of the host. Never more threads than instances.
+  int maxConcurrency = 0;
+  /// Batched mode: when an instance fails hard (device fault, exhausted
+  /// memory, lost implementation), quarantine its resource and re-home
+  /// its partitions onto the surviving resources, then retry the round.
+  bool failover = true;
+  /// Last resort when every resource is quarantined: one host-CPU
+  /// instance carries all partitions.
+  bool cpuFallback = true;
+  /// Batched mode: feed observed per-resource round times to the EWMA
+  /// balancer and re-home whole partitions across resources when the
+  /// predicted imbalance persists.
+  bool adaptive = false;
+  double ewmaAlpha = 0.4;           ///< weight of the newest observation
+  double imbalanceThreshold = 1.15; ///< max/min round-time ratio gate
+  int settleRounds = 2;             ///< imbalanced rounds before re-homing
+};
+
+/// Multiple (model, data) subsets sharing one tree: the partitioned-
+/// analysis pattern of Section IV-F, upgraded from one instance per
+/// partition to one multi-partition instance per *resource*.
+///
+/// Batched mode groups partitions of compatible shape (resource, state
+/// count, categories, scaling, flags) into one instance whose pattern
+/// axis is the concatenation of the group's partitions. Each partition
+/// keeps its own substitution model (per-partition eigen / frequency /
+/// weight / rate slots), its own transition matrices (slot q*(2*tips-2) +
+/// edge) and its own pattern range of the shared partials and scale
+/// buffers. One evaluation issues one fused launch set per tree level for
+/// ALL partitions and returns every per-partition log-likelihood in a
+/// single readback.
 class PartitionedLikelihood {
  public:
   PartitionedLikelihood(const Tree& tree, const std::vector<PartitionSpec>& specs,
                         bool concurrent = true);
+  PartitionedLikelihood(const Tree& tree, const std::vector<PartitionSpec>& specs,
+                        const PartitionOptions& options);
+  ~PartitionedLikelihood();
+
+  PartitionedLikelihood(const PartitionedLikelihood&) = delete;
+  PartitionedLikelihood& operator=(const PartitionedLikelihood&) = delete;
 
   /// Sum of per-partition log likelihoods for `tree`.
   double logLikelihood(const Tree& tree);
 
-  int partitionCount() const { return static_cast<int>(parts_.size()); }
-  const std::string& implName(int partition) const {
-    return parts_[partition]->implName();
+  int partitionCount() const { return static_cast<int>(specs_.size()); }
+  const std::string& implName(int partition) const;
+  /// Per-partition log likelihoods from the last logLikelihood() call
+  /// (original partition order).
+  const std::vector<double>& partitionLogLikelihoods() const {
+    return partitionLogL_;
   }
+  /// Library instances currently serving the partitions (batched: one per
+  /// resource group; legacy: one per partition).
+  int instanceCount() const;
+  /// Group index serving `partition` (batched mode; partition index in
+  /// legacy mode).
+  int groupOf(int partition) const;
+  /// Highest number of instance evaluations that ran at the same time in
+  /// any round so far (bounded by PartitionOptions::maxConcurrency).
+  int peakConcurrency() const { return peakConcurrency_; }
+  int failoverCount() const { return failovers_; }
+  int rebalanceCount() const { return rebalances_; }
+  bool usedCpuFallback() const { return cpuFallbackUsed_; }
+  /// Per-instance seconds of the last round (modeled timeline when the
+  /// implementation provides one, wall time otherwise), instance order.
+  const std::vector<double>& lastInstanceSeconds() const {
+    return lastInstanceSeconds_;
+  }
+  /// Sum of lastInstanceSeconds(): the device-time cost of the last round.
+  double lastModeledSeconds() const;
+  /// Kernel launches issued by the last round across all instances.
+  std::uint64_t lastKernelLaunches() const { return lastKernelLaunches_; }
 
  private:
+  struct Group {
+    int resource = -1;
+    int states = 0;
+    int categories = 0;
+    bool useScaling = false;
+    long preferenceFlags = 0;
+    long requirementFlags = 0;
+    std::vector<int> members;  ///< partition indices, concatenation order
+    int instance = -1;
+    std::string implName;
+    int patterns = 0;
+    double seconds = 0.0;          ///< last round
+    std::uint64_t launches = 0;    ///< last round
+    int errorCode = 0;             ///< last round; 0 = succeeded
+    std::string errorMessage;
+  };
+
+  void destroyGroups();
+  void buildGroupInstance(Group& group);
+  void buildGroupsWithFailover();
+  bool tryBuildGroups();
+  void quarantineResource(int resource, const std::string& reason, int code);
+  void rehomeQuarantined();
+  void rebuildBalancer();
+  void evaluateGroup(Group& group, const Tree& tree);
+  double evaluateLegacy(const Tree& tree);
+  double evaluateBatched(const Tree& tree);
+  void maybeRebalance();
+
+  Tree tree_;
+  std::vector<PartitionSpec> specs_;  ///< models borrowed, must outlive
+  PartitionOptions options_;
+
+  // Legacy one-instance-per-partition layout.
   std::vector<std::unique_ptr<TreeLikelihood>> parts_;
-  bool concurrent_;
+
+  // Batched per-resource layout. partitionResource_ is the single source
+  // of truth; groups_ is derived from it on every (re)build.
+  std::vector<Group> groups_;
+  std::vector<int> partitionResource_;
+  std::vector<int> partitionGroup_;
+  std::vector<int> resourceIds_;        ///< distinct resources, stable order
+  std::vector<char> resourceQuarantined_;
+  std::unique_ptr<sched::LoadBalancer> balancer_;  ///< over active resources
+  std::vector<int> balancerResources_;
+
+  std::vector<double> partitionLogL_;
+  std::vector<double> lastInstanceSeconds_;
+  std::uint64_t lastKernelLaunches_ = 0;
+  int peakConcurrency_ = 0;
+  int failovers_ = 0;
+  int rebalances_ = 0;
+  bool cpuFallbackUsed_ = false;
+  std::string lastFailure_;
+  int lastFailureCode_ = 0;
 };
 
 /// Assign each partition a preferred resource using the scheduler's
-/// throughput estimates: partitions are ranked by pattern count and the
-/// largest ones get the fastest resources (round-robin over the distinct
-/// resources when there are more partitions than resources). `benchmark`
-/// false seeds speeds from the perf model instead of calibrating.
+/// throughput estimates: partitions are ranked by predicted evaluation
+/// cost (sched::estimateEvaluationSeconds over patterns, states AND rate
+/// categories — a short codon partition can far outweigh a long
+/// nucleotide one) and the heaviest subsets get the fastest resources
+/// (round-robin over the distinct resources when there are more
+/// partitions than resources). `benchmark` false seeds speeds from the
+/// perf model instead of calibrating.
 void autoAssignResources(std::vector<PartitionSpec>& specs, bool benchmark = true);
 
 /// How SplitLikelihood divides patterns across shards.

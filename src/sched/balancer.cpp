@@ -173,4 +173,35 @@ std::vector<int> LoadBalancer::rebalance(int total,
   return shares;
 }
 
+std::vector<int> apportionWeightedItems(const std::vector<double>& weights,
+                                        const std::vector<double>& speeds) {
+  if (speeds.empty()) return {};
+  const std::vector<double> s = sanitizeSpeeds(speeds);
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double wa = std::isfinite(weights[a]) && weights[a] > 0.0 ? weights[a] : 0.0;
+    const double wb = std::isfinite(weights[b]) && weights[b] > 0.0 ? weights[b] : 0.0;
+    return wa > wb;
+  });
+  std::vector<double> load(s.size(), 0.0);
+  std::vector<int> assignment(weights.size(), 0);
+  for (std::size_t item : order) {
+    const double w =
+        std::isfinite(weights[item]) && weights[item] > 0.0 ? weights[item] : 0.0;
+    std::size_t best = 0;
+    double bestFinish = 0.0;
+    for (std::size_t j = 0; j < s.size(); ++j) {
+      const double finish = (load[j] + w) / s[j];
+      if (j == 0 || finish < bestFinish) {
+        best = j;
+        bestFinish = finish;
+      }
+    }
+    assignment[item] = static_cast<int>(best);
+    load[best] += w;
+  }
+  return assignment;
+}
+
 }  // namespace bgl::sched

@@ -88,4 +88,16 @@ class LoadBalancer {
 /// decreases; equals the sum of increases).
 int migratedItems(const std::vector<int>& before, const std::vector<int>& after);
 
+/// Assign indivisible weighted items to shards of the given speeds,
+/// minimizing the predicted makespan greedily (LPT: items in descending
+/// weight order, each to the shard whose finish time `(load + weight) /
+/// speed` is smallest; ties go to the lower shard index, so the result is
+/// deterministic). Complements proportionalShares for work that cannot be
+/// split at pattern granularity — e.g. whole partitions moving between
+/// multi-partition instances. Non-positive or non-finite speeds are
+/// treated as "very slow". Returns item -> shard; empty when `speeds` is
+/// empty.
+std::vector<int> apportionWeightedItems(const std::vector<double>& weights,
+                                        const std::vector<double>& speeds);
+
 }  // namespace bgl::sched

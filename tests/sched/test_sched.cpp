@@ -2,8 +2,10 @@
 // balancing, resource calibration determinism, and the C-API surface.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -317,6 +319,51 @@ TEST(SchedCApi, CxxWrappersRoundTrip) {
   EXPECT_EQ(static_cast<int>(all.size()), bglGetResourceList()->length);
   EXPECT_GT(xx::resourcePerformance(0), 0.0);
   EXPECT_THROW(xx::resourcePerformance(99), Error);
+}
+
+// ---------------------------------------------------------------------------
+// apportionWeightedItems (whole-item LPT assignment; PartitionedLikelihood
+// re-homing and adaptive partition rebalancing)
+// ---------------------------------------------------------------------------
+
+TEST(ApportionWeightedItems, BalancesLoadsAcrossEqualShards) {
+  // LPT on two equal shards: 5 -> shard 0, 4 -> shard 1, 3 -> shard 1
+  // (finish 7 beats 8), 2 -> shard 0 (7), 1 -> shard 0 on the 7/7 tie.
+  const auto a = apportionWeightedItems({5.0, 4.0, 3.0, 2.0, 1.0}, {1.0, 1.0});
+  ASSERT_EQ(a.size(), 5u);
+  double load[2] = {0.0, 0.0};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_GE(a[i], 0);
+    ASSERT_LT(a[i], 2);
+    load[a[i]] += 5.0 - static_cast<double>(i);
+  }
+  EXPECT_EQ(std::max(load[0], load[1]), 8.0);  // optimal makespan for 15/2
+}
+
+TEST(ApportionWeightedItems, FasterShardTakesProportionallyMore) {
+  // Shard 0 is 3x the speed: all equal items finish sooner there until
+  // its queue is 3 items deep.
+  const auto a = apportionWeightedItems({3.0, 3.0, 3.0, 3.0}, {3.0, 1.0});
+  EXPECT_EQ(a, std::vector<int>({0, 0, 0, 1}));
+}
+
+TEST(ApportionWeightedItems, DeterministicTieBreakToLowerIndex) {
+  const auto a = apportionWeightedItems({1.0, 1.0}, {1.0, 1.0});
+  EXPECT_EQ(a[0], 0);  // empty loads tie: lower index wins
+  EXPECT_EQ(a[1], 1);
+}
+
+TEST(ApportionWeightedItems, EdgeCases) {
+  EXPECT_TRUE(apportionWeightedItems({1.0, 2.0}, {}).empty());
+  EXPECT_TRUE(apportionWeightedItems({}, {1.0}).empty());
+  // Non-finite / non-positive weights are treated as zero work, not UB.
+  const auto a = apportionWeightedItems(
+      {std::numeric_limits<double>::quiet_NaN(), -3.0, 2.0}, {1.0, 1.0});
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[2], 0);  // the only real item lands on the first shard
+  // A dead speed estimate still receives (almost) nothing.
+  const auto b = apportionWeightedItems({4.0, 4.0}, {1.0, 0.0});
+  EXPECT_EQ(b, std::vector<int>({0, 0}));
 }
 
 // ---------------------------------------------------------------------------

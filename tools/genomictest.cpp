@@ -57,6 +57,18 @@ void printUsage(const char* program) {
       "  --auto-resource        benchmark all resources, run on the fastest\n"
       "  --model-estimate       with --auto-resource: rank by perf model\n"
       "                         instead of running calibrations\n"
+      "  --partitions N         evaluate N gene partitions (each with its own\n"
+      "                         substitution model and a slice of --patterns)\n"
+      "                         batched into one multi-partition instance\n"
+      "                         (fused level-order launches; see\n"
+      "                         docs/PERFORMANCE.md, Multi-partition\n"
+      "                         evaluation)\n"
+      "  --unbatched            with --partitions: the legacy layout, one\n"
+      "                         instance per partition\n"
+      "  --validate-partitions  with --partitions: compare every partition's\n"
+      "                         logL bitwise against a single-partition\n"
+      "                         instance with the same options (mismatch\n"
+      "                         exits nonzero)\n"
       "  --split N              split patterns across N instances (alternating\n"
       "                         threaded / serial CPU shards; with --fault,\n"
       "                         even shards run on the CUDA runtime instead)\n"
@@ -251,6 +263,47 @@ int main(int argc, char** argv) {
     }
     spec.resource = best;
     std::printf("auto-selected resource %d (%s)\n", best, list->list[best].name);
+  }
+
+  const int partitionCount = args.getInt("partitions", 0);
+  if (partitionCount > 0) {
+    phylo::PartitionOptions options;
+    options.batched = !args.has("unbatched");
+    try {
+      const auto result = harness::runPartitionedThroughput(
+          spec, partitionCount, options, args.has("validate-partitions"));
+      std::printf("partitions: %d across %d instance(s) (%s layout)\n",
+                  result.partitions, result.instances,
+                  options.batched ? "batched multi-partition" : "one per partition");
+      std::printf("implementation: %s\n",
+                  result.implNames.empty() ? "?" : result.implNames.front().c_str());
+      std::printf("time per evaluation: %.6f s (device time base)\n", result.seconds);
+      std::printf("throughput: %.2f GFLOPS effective\n", result.gflops);
+      std::printf("kernel launches per round: %llu\n",
+                  static_cast<unsigned long long>(result.kernelLaunches));
+      if (result.failovers > 0) {
+        std::printf("failovers applied: %d\n", result.failovers);
+      }
+      std::printf("validation logL: %.6f (sum over %d partitions)\n", result.logL,
+                  result.partitions);
+      if (result.referenceComputed) {
+        std::printf("reference logL:  %.6f (per-instance, same implementation): %s\n",
+                    result.referenceLogL,
+                    result.referenceExact ? "bit-identical" : "MISMATCH");
+        if (!result.referenceExact) {
+          std::fprintf(stderr, "error: partitioned logL %.17g != reference %.17g\n",
+                       result.logL, result.referenceLogL);
+          watch.stop();
+          return 1;
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      watch.stop();
+      return 1;
+    }
+    watch.stop();
+    return 0;
   }
 
   const int splitShards = args.getInt("split", 0);
